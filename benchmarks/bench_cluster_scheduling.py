@@ -1,0 +1,62 @@
+"""Bench: cluster scheduling application (Section 1.3, Sparrow-style).
+
+Paper reference: the Section 1.3 argument that per-task d-choice degrades as
+a job's parallelism ``k`` grows (one straggler task delays the whole job),
+while sharing one probe wave across the job — (k, d)-choice / batch sampling
+— keeps response times low at the same per-task probe budget.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.applications import run_scheduling_experiment, scheduling_table
+
+# 256 workers so that even the k = 64 jobs can issue 2k = 128 distinct-ish
+# probes; with k equal to the cluster size batch sampling degenerates to
+# random placement (the probe count is clamped to the number of workers).
+N_WORKERS = 256
+TASKS_PER_JOB = (4, 16, 64)
+N_JOBS = 300
+
+
+def test_cluster_scheduling_response_times(benchmark, run_once, bench_seed):
+    comparisons = run_once(
+        run_scheduling_experiment,
+        n_workers=N_WORKERS,
+        tasks_per_job_values=TASKS_PER_JOB,
+        n_jobs=N_JOBS,
+        utilization=0.7,
+        probe_ratio=2.0,
+        seed=bench_seed,
+    )
+    print("\n" + scheduling_table(comparisons).to_text())
+
+    for comparison in comparisons:
+        reports = comparison.reports
+        per_task = next(v for name, v in reports.items() if "per-task" in name)
+        batch = next(v for name, v in reports.items() if name.startswith("batch"))
+        random_sched = reports["random"]
+        late = next(v for name, v in reports.items() if name.startswith("late-binding"))
+        k = comparison.tasks_per_job
+        benchmark.extra_info[f"k={k}"] = {
+            "random": round(random_sched.mean_response, 2),
+            "per_task": round(per_task.mean_response, 2),
+            "batch": round(batch.mean_response, 2),
+            "late_binding": round(late.mean_response, 2),
+        }
+
+        # Probe-based schedulers beat random placement.
+        assert per_task.mean_response <= random_sched.mean_response * 1.05
+        assert batch.mean_response <= random_sched.mean_response * 1.05
+        # Batch sampling matches per-task probing's message cost exactly
+        # (probe_ratio * tasks) and does not lose on response time.
+        assert batch.messages_per_task <= per_task.messages_per_task + 1e-9
+        assert batch.mean_response <= per_task.mean_response * 1.15
+        # Late binding (the extension) is at least as good as batch sampling.
+        assert late.mean_response <= batch.mean_response * 1.05
+
+    # The advantage of sharing probes grows with parallelism: at k = 64 the
+    # batch scheduler's p99 is no worse than per-task's.
+    largest = comparisons[-1]
+    per_task = next(v for name, v in largest.reports.items() if "per-task" in name)
+    batch = next(v for name, v in largest.reports.items() if name.startswith("batch"))
+    assert batch.p99_response <= per_task.p99_response * 1.10

@@ -1,0 +1,38 @@
+"""Micro-benchmarks of the core allocation loop.
+
+These are conventional timing benchmarks (multiple rounds) rather than
+experiment reproductions: they track the throughput of the (k, d)-choice
+inner loop and the vectorized single-choice baseline so performance
+regressions in the substrate are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import run_single_choice
+from repro.core.process import run_kd_choice
+
+MICRO_N = 1 << 14
+
+
+@pytest.mark.parametrize("k,d", [(1, 2), (4, 8), (16, 17), (64, 128)])
+def test_throughput_kd_choice(benchmark, k, d):
+    result = benchmark(run_kd_choice, n_bins=MICRO_N, k=k, d=d, seed=0)
+    assert result.total_balls_check()
+    benchmark.extra_info["balls_placed"] = MICRO_N
+    benchmark.extra_info["max_load"] = result.max_load
+
+
+def test_throughput_single_choice_vectorized(benchmark):
+    result = benchmark(run_single_choice, MICRO_N, seed=0)
+    assert result.total_balls_check()
+    benchmark.extra_info["balls_placed"] = MICRO_N
+
+
+def test_throughput_heavy_load(benchmark):
+    result = benchmark(
+        run_kd_choice, n_bins=MICRO_N // 4, k=4, d=8, n_balls=MICRO_N, seed=0
+    )
+    assert int(result.loads.sum()) == MICRO_N
+    benchmark.extra_info["balls_placed"] = MICRO_N

@@ -1,0 +1,103 @@
+"""Bench: extension experiments (weighted balls, stale information, churn,
+exact validation).
+
+These go beyond the paper's own evaluation (which covers Table 1 and the
+analytical claims) and exercise the extension modules: weighted (k, d)-choice,
+the parallel-rounds model with stale load snapshots, the dynamic
+insert/delete system, and the exact-distribution validation of the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.extensions import (
+    churn_table,
+    exact_validation_table,
+    run_churn_experiment,
+    run_exact_validation,
+    run_staleness_experiment,
+    run_weighted_experiment,
+    staleness_table,
+    weighted_table,
+)
+
+
+def test_weighted_balls(benchmark, run_once, bench_seed):
+    points = run_once(
+        run_weighted_experiment,
+        n=3 * 2 ** 10,
+        configurations=((1, 2), (4, 8), (16, 17)),
+        weight_distributions=("constant", "exponential", "pareto"),
+        trials=3,
+        seed=bench_seed,
+    )
+    print("\n" + weighted_table(points).to_text())
+    by_key = {(p.k, p.d, p.weight_distribution): p for p in points}
+    # Multiple choices keep the weighted gap bounded even under heavy tails,
+    # and constant weights are never worse than Pareto weights.
+    for k, d in ((1, 2), (4, 8)):
+        assert (
+            by_key[(k, d, "constant")].mean_weighted_gap
+            <= by_key[(k, d, "pareto")].mean_weighted_gap + 0.5
+        )
+    assert by_key[(4, 8, "exponential")].mean_weighted_gap <= by_key[
+        (1, 2, "exponential")
+    ].mean_weighted_gap + 1.0
+    benchmark.extra_info["points"] = len(points)
+
+
+def test_stale_information(benchmark, run_once, bench_seed):
+    points = run_once(
+        run_staleness_experiment,
+        n=3 * 2 ** 11,
+        k=4,
+        d=8,
+        stale_rounds_values=(1, 4, 16, 64, 256),
+        trials=3,
+        seed=bench_seed,
+    )
+    print("\n" + staleness_table(points).to_text())
+    fresh = points[0]
+    most_stale = points[-1]
+    # Staleness degrades the guarantee monotonically (in tendency) but the
+    # fully fresh process keeps its small constant maximum load.
+    assert fresh.mean_max_load <= 3.0
+    assert most_stale.mean_max_load >= fresh.mean_max_load
+    benchmark.extra_info["fresh"] = fresh.mean_max_load
+    benchmark.extra_info["stale_256"] = most_stale.mean_max_load
+
+
+def test_dynamic_churn(benchmark, run_once, bench_seed):
+    points = run_once(
+        run_churn_experiment,
+        n=512,
+        configurations=((1, 1), (1, 2), (4, 8)),
+        rounds=2048,
+        trials=2,
+        seed=bench_seed,
+    )
+    print("\n" + churn_table(points).to_text())
+    by_config = {(p.k, p.d): p for p in points}
+    # The dynamic analogue of the power of choices: probing beats random
+    # placement on the steady-state gap, and (4, 8) is at least as good as
+    # (1, 2).
+    assert by_config[(1, 2)].steady_gap <= by_config[(1, 1)].steady_gap + 0.25
+    assert by_config[(4, 8)].steady_gap <= by_config[(1, 2)].steady_gap + 0.5
+    for point in points:
+        assert point.final_balls == 512
+    benchmark.extra_info["gaps"] = {
+        f"k{p.k}_d{p.d}": round(p.steady_gap, 2) for p in points
+    }
+
+
+def test_exact_validation(benchmark, run_once, bench_seed):
+    points = run_once(
+        run_exact_validation,
+        instances=((4, 1, 2), (4, 2, 3), (5, 2, 4), (6, 3, 4)),
+        trials=4000,
+        seed=bench_seed,
+    )
+    print("\n" + exact_validation_table(points).to_text())
+    for point in points:
+        assert point.total_variation < 0.05
+        assert abs(point.exact_expected_max - point.empirical_expected_max) < 0.1
+    benchmark.extra_info["max_tv"] = max(p.total_variation for p in points)

@@ -1,0 +1,43 @@
+"""Bench: Figure 1 — sorted bin-load vector with the upper-bound landmark β₀.
+
+Paper reference: Figure 1 (schematic sorted load vector used by the
+upper-bound analysis, split at ``β₀ = n/(6 d_k)``).
+
+The bench measures the real sorted load profile of two representative
+configurations — (4, 8), the ``d_k = O(1)`` setting, and (16, 17), the
+growing-``d_k`` setting — and reports the loads at rank β₀ together with the
+Figure 1 decomposition ``M = B_{β₀} + (B_1 − B_{β₀})``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.load_profile import run_load_profile
+
+PROFILE_N = 3 * 2 ** 14
+CONFIGS = ((4, 8), (16, 17))
+
+
+def test_figure1_sorted_profile(benchmark, run_once, bench_seed):
+    result = run_once(
+        run_load_profile, n=PROFILE_N, configurations=CONFIGS, seed=bench_seed
+    )
+    print()
+    for series in result.series:
+        decomposition = series.figure1_decomposition()
+        print(
+            f"(k={series.k}, d={series.d}): max load {series.max_load}, "
+            f"beta0 = {series.beta0:.1f}, B_beta0 = {series.load_at_beta0}, "
+            f"B1 - B_beta0 = {decomposition['B1_minus_Bbeta0']:.0f}"
+        )
+        print(f"  profile (rank, load): {series.profile_points[:12]} ...")
+        benchmark.extra_info[f"k{series.k}_d{series.d}_max_load"] = series.max_load
+
+    # Shape checks: the profile is flat over most of its range (Figure 1's
+    # plateau) and B_{β₀} is a small constant.
+    for series in result.series:
+        assert series.load_at_beta0 is not None
+        assert series.load_at_beta0 <= 4
+        assert series.max_load >= series.load_at_beta0
+        # Deep tail: the median bin holds at most the average (1 ball).
+        mid_rank_loads = [load for rank, load in series.profile_points if rank > PROFILE_N // 2]
+        assert all(load <= 2 for load in mid_rank_loads)

@@ -1,0 +1,55 @@
+"""Bench: Figure 2 — sorted bin-load vector with the lower-bound landmarks.
+
+Paper reference: Figure 2 (schematic sorted load vector used by the
+lower-bound analysis, annotated at ``γ* = 4n/d_k`` and ``γ₀ = n/d``).
+
+The bench measures the loads at both landmark ranks and checks the
+decomposition the figure illustrates: the maximum load is at least
+``B_{γ*}`` plus the load difference ``B_1 − B_{γ₀}`` accumulated above rank
+``γ₀``, and for growing ``d_k`` the ``B_{γ*}`` term is non-trivial.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.asymptotics import d_k
+from repro.experiments.load_profile import run_load_profile
+
+PROFILE_N = 3 * 2 ** 14
+CONFIGS = ((4, 8), (16, 17), (64, 65))
+
+
+def test_figure2_sorted_profile(benchmark, run_once, bench_seed):
+    result = run_once(
+        run_load_profile, n=PROFILE_N, configurations=CONFIGS, seed=bench_seed
+    )
+    print()
+    for series in result.series:
+        decomposition = series.figure2_decomposition()
+        print(
+            f"(k={series.k}, d={series.d}) d_k={d_k(series.k, series.d):.1f}: "
+            f"max load {series.max_load}, "
+            f"gamma* = {series.gamma_star_:.1f} -> B = {series.load_at_gamma_star}, "
+            f"gamma0 = {series.gamma0:.1f} -> B = {series.load_at_gamma0}, "
+            f"B1 - B_gamma0 = {decomposition['B1_minus_Bgamma0']:.0f}"
+        )
+        benchmark.extra_info[f"k{series.k}_d{series.d}_max_load"] = series.max_load
+
+    by_config = {(s.k, s.d): s for s in result.series}
+
+    # For (4, 8) the ratio d_k = 2 puts gamma* = 2n beyond the last rank, so
+    # the landmark is undefined — exactly why the paper only needs the
+    # B_{gamma*} term when d_k grows.  For growing d_k the load at gamma* is
+    # positive and increases with d_k (the lower-bound term of Theorem 6).
+    assert by_config[(4, 8)].load_at_gamma_star is None
+    assert by_config[(16, 17)].load_at_gamma_star >= 1
+    assert by_config[(64, 65)].load_at_gamma_star >= by_config[(16, 17)].load_at_gamma_star
+
+    # The maximum load dominates each of the two Figure 2 pieces.
+    for series in result.series:
+        decomposition = series.figure2_decomposition()
+        assert series.max_load >= decomposition["B_gamma_star"]
+        assert series.max_load >= decomposition["B1_minus_Bgamma0"]
+
+    # The figure's overall message: as k approaches d the profile's head
+    # rises — (64, 65) ends with a strictly larger maximum than (4, 8).
+    assert by_config[(64, 65)].max_load > by_config[(4, 8)].max_load

@@ -1,0 +1,35 @@
+"""Bench: Section 3 majorization chain — empirical stochastic-order checks.
+
+Paper reference: Properties (ii)–(v) of Section 3 and the sandwich
+``A(1, d−k+1) ≤_mj A(k, d) ≤_mj A(1, ⌊d/k⌋)`` used to prove Theorem 2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.majorization_exp import majorization_table, run_majorization_chain
+
+MAJ_N = 3 * 2 ** 10
+CONFIGS = ((3, 5), (8, 12))
+
+
+def test_majorization_chain(benchmark, run_once, bench_seed):
+    experiments = run_once(
+        run_majorization_chain,
+        n=MAJ_N,
+        configurations=CONFIGS,
+        trials=8,
+        seed=bench_seed,
+    )
+    print("\n" + majorization_table(experiments).to_text())
+
+    consistent = sum(1 for e in experiments if e.report.consistent)
+    benchmark.extra_info["consistent"] = consistent
+    benchmark.extra_info["total"] = len(experiments)
+
+    # Six orderings are checked (three per configuration); the large
+    # majority must be empirically consistent, and the mean max loads must
+    # never invert the claimed order by more than half a ball.
+    assert consistent >= len(experiments) - 1
+    for experiment in experiments:
+        report = experiment.report
+        assert report.mean_max_small <= report.mean_max_large + 0.5, experiment.claim

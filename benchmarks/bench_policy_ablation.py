@@ -1,0 +1,37 @@
+"""Bench: ablation of the allocation policy (Section 7 future work).
+
+Paper reference: the Section 7 remark that relaxing the multiplicity cap
+("the less-loaded candidate bins can receive more balls regardless of how
+many times those bins are sampled") should improve balance when ``k ≈ d``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import ablation_table, run_policy_ablation
+
+ABLATION_N = 3 * 2 ** 11
+CONFIGS = ((2, 3), (8, 9), (32, 33), (8, 16))
+
+
+def test_policy_ablation_strict_vs_greedy(benchmark, run_once, bench_seed):
+    points = run_once(
+        run_policy_ablation,
+        n=ABLATION_N,
+        configurations=CONFIGS,
+        trials=5,
+        seed=bench_seed,
+    )
+    print("\n" + ablation_table(points).to_text())
+
+    by_config = {(p.k, p.d): p for p in points}
+    for point in points:
+        benchmark.extra_info[f"k{point.k}_d{point.d}"] = (
+            round(point.strict_mean, 2),
+            round(point.greedy_mean, 2),
+        )
+
+    # The greedy relaxation never hurts, and it helps most when k ≈ d with
+    # large k (the case the paper points at).
+    for point in points:
+        assert point.greedy_mean <= point.strict_mean + 0.4, (point.k, point.d)
+    assert by_config[(32, 33)].improvement >= by_config[(8, 16)].improvement

@@ -1,0 +1,58 @@
+"""Bench: distributed storage application (Section 1.3).
+
+Paper reference: the Section 1.3 argument that storing the ``k`` replicas (or
+chunks) of a file on the ``k`` least loaded of ``d = k + 1`` probed servers
+gives load balance comparable to per-replica two-choice at roughly half the
+placement message cost, and lookups that contact ``k + 1`` candidate servers
+instead of ``2k``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.applications import run_storage_experiment, storage_table
+
+N_SERVERS = 1024
+N_FILES = 8192
+REPLICAS = (2, 3, 8)
+
+
+def test_storage_placement_balance_and_cost(benchmark, run_once, bench_seed):
+    comparisons = run_once(
+        run_storage_experiment,
+        n_servers=N_SERVERS,
+        n_files=N_FILES,
+        replica_values=REPLICAS,
+        seed=bench_seed,
+    )
+    print("\n" + storage_table(comparisons).to_text())
+
+    for comparison in comparisons:
+        reports = comparison.reports
+        random_policy = reports["random"]
+        two_choice = next(v for name, v in reports.items() if "per-replica" in name)
+        kd_plus_one = next(v for name, v in reports.items() if "d=k+1" in name)
+        kd_double = next(v for name, v in reports.items() if "d=2k" in name)
+        k = comparison.replicas
+        benchmark.extra_info[f"replicas={k}"] = {
+            "random_max": random_policy.max_load,
+            "two_choice_max": two_choice.max_load,
+            "kd_plus_one_max": kd_plus_one.max_load,
+            "kd_double_max": kd_double.max_load,
+        }
+
+        # Probe-based placement beats random placement on the max server load.
+        assert kd_plus_one.max_load <= random_policy.max_load
+        assert kd_double.max_load <= random_policy.max_load
+        # (k, k+1)-choice costs about (k+1)/(2k) of two-choice's messages...
+        expected_ratio = (k + 1) / (2 * k)
+        measured_ratio = kd_plus_one.messages_per_file / two_choice.messages_per_file
+        assert abs(measured_ratio - expected_ratio) < 0.05
+        # ...with comparable balance.  At 8192 files on 1024 servers the
+        # system is heavily loaded (~8k replicas per server for k = 8), where
+        # d = k + 1 concedes a few extra replicas to two-choice; the gap to
+        # random placement remains far larger.
+        assert kd_plus_one.max_load <= two_choice.max_load + 4
+        assert kd_plus_one.gap <= 0.5 * random_policy.gap + 1.0
+        # Lookup cost: k + 1 candidates vs 2k for per-chunk two-choice.
+        assert kd_plus_one.mean_lookup_cost == k + 1
+        assert two_choice.mean_lookup_cost == 2 * k

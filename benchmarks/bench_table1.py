@@ -1,0 +1,83 @@
+"""Bench: Table 1 — maximum load of (k, d)-choice over the (k, d) grid.
+
+Paper reference: Table 1 (n = 3·2^16, 10 trials per cell).
+
+* ``test_table1_scaled``     — routine run at n = 3·2^12 with a representative
+  subset of rows; finishes in seconds and preserves the qualitative shape.
+* ``test_table1_full_paper_scale`` — the full grid at the paper's n (marked
+  ``slow``; several minutes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import (
+    PAPER_TABLE1,
+    TABLE1_D_VALUES,
+    TABLE1_K_VALUES,
+    TABLE1_N,
+    run_table1,
+)
+
+SCALED_N = 3 * 2 ** 12
+SCALED_K = (1, 2, 4, 8, 16, 64)
+SCALED_D = (1, 2, 3, 5, 9, 17, 65)
+
+
+def _compare_with_paper(result):
+    """Annotate each reproduced cell with the paper's reported values."""
+    rows = []
+    for (k, d), cell in sorted(result.cells.items()):
+        paper = PAPER_TABLE1.get((k, d))
+        rows.append(
+            {
+                "k": k,
+                "d": d,
+                "measured": cell.text,
+                "paper(n=3*2^16)": ", ".join(map(str, paper)) if paper else "n/a",
+            }
+        )
+    return rows
+
+
+def test_table1_scaled(benchmark, run_once, bench_seed):
+    result = run_once(
+        run_table1,
+        n=SCALED_N,
+        trials=3,
+        seed=bench_seed,
+        k_values=SCALED_K,
+        d_values=SCALED_D,
+    )
+    rows = _compare_with_paper(result)
+    benchmark.extra_info["n"] = SCALED_N
+    benchmark.extra_info["cells"] = len(rows)
+    print("\n" + result.to_text())
+
+    # Shape checks against the paper's grid: d >= 5 columns stay at 2 for
+    # small k, and the near-diagonal cells are the worst in each row.
+    assert max(result.cells[(1, 5)].max_loads) <= 3
+    assert max(result.cells[(2, 9)].max_loads) <= 2
+    assert max(result.cells[(8, 9)].max_loads) >= max(result.cells[(8, 17)].max_loads)
+    assert max(result.cells[(1, 1)].max_loads) > max(result.cells[(1, 2)].max_loads)
+
+
+@pytest.mark.slow
+def test_table1_full_paper_scale(benchmark, run_once, bench_seed):
+    result = run_once(
+        run_table1,
+        n=TABLE1_N,
+        trials=10,
+        seed=bench_seed,
+        k_values=TABLE1_K_VALUES,
+        d_values=TABLE1_D_VALUES,
+    )
+    print("\n" + result.to_text())
+    benchmark.extra_info["n"] = TABLE1_N
+
+    # The headline anchors of the paper's table.
+    assert max(result.cells[(1, 2)].max_loads) <= 4          # two-choice: 3, 4
+    assert max(result.cells[(1, 1)].max_loads) >= 6          # single-choice: 7-9
+    assert max(result.cells[(128, 193)].max_loads) <= 3      # matches (1,193)
+    assert max(result.cells[(8, 9)].max_loads) <= 5          # close to two-choice

@@ -1,0 +1,50 @@
+"""Bench: Theorem 1 regimes — maximum-load scaling vs the closed-form bounds.
+
+Paper reference: Theorem 1 / Section 1.1 discussion (there is no numbered
+figure; the claim is the centrepiece of the evaluation).  The bench sweeps
+``n`` for one configuration per regime and prints measured maximum loads next
+to the predicted leading terms, so the growth shapes can be compared.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.regimes import DEFAULT_CONFIGS, regime_table, run_regime_scaling
+
+N_VALUES = (1 << 10, 1 << 12, 1 << 14)
+
+
+def test_theorem1_regime_scaling(benchmark, run_once, bench_seed):
+    points = run_once(
+        run_regime_scaling,
+        n_values=N_VALUES,
+        configs=DEFAULT_CONFIGS,
+        trials=3,
+        seed=bench_seed,
+    )
+    print("\n" + regime_table(points).to_text())
+
+    by_config = {}
+    for point in points:
+        by_config.setdefault(point.config, []).append(point)
+
+    # Single choice grows noticeably with n; the d_k = O(1) configurations
+    # barely move (double-logarithmic growth).
+    single = sorted(by_config["single-choice (k=d=1)"], key=lambda p: p.n)
+    assert single[-1].mean_max_load >= single[0].mean_max_load
+    constant_regime = sorted(
+        by_config["(k,2k), k=ln n  [d_k=2]"], key=lambda p: p.n
+    )
+    assert constant_regime[-1].mean_max_load - constant_regime[0].mean_max_load <= 1.0
+
+    # At the largest n, the regime ordering matches the theory: the d_k = 2
+    # configurations beat single choice, and (k, k+1) with k = sqrt(n) falls
+    # in between.
+    largest = {config: max(pts, key=lambda p: p.n) for config, pts in by_config.items()}
+    single_load = largest["single-choice (k=d=1)"].mean_max_load
+    wide_load = largest["(k,2k), k=ln n  [d_k=2]"].mean_max_load
+    tight_load = largest["(k,k+1), k=sqrt n  [d_k→∞]"].mean_max_load
+    assert wide_load < single_load
+    assert wide_load <= tight_load <= single_load + 0.5
+
+    for point in points:
+        benchmark.extra_info[f"{point.config}@{point.n}"] = point.mean_max_load

@@ -1,0 +1,43 @@
+"""Bench: Theorem 2 — the heavily loaded case (m > n balls, d ≥ 2k).
+
+Paper reference: Theorem 2.  The claim: for ``d ≥ 2k`` the gap between the
+maximum and the average load stays ``Θ(ln ln n)`` — independent of the number
+of balls — because (k, d)-choice is sandwiched between ``A(1, d−k+1)`` and
+``A(1, ⌊d/k⌋)``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.heavy import heavy_table, run_heavy_case
+
+HEAVY_N = 1 << 12
+LOAD_FACTORS = (1, 2, 4, 8)
+CONFIGS = ((2, 4), (4, 8), (8, 16))
+
+
+def test_theorem2_heavy_case_gap(benchmark, run_once, bench_seed):
+    points = run_once(
+        run_heavy_case,
+        n=HEAVY_N,
+        load_factors=LOAD_FACTORS,
+        configurations=CONFIGS,
+        trials=3,
+        seed=bench_seed,
+    )
+    print("\n" + heavy_table(points).to_text())
+
+    by_config = {}
+    for point in points:
+        by_config.setdefault((point.k, point.d), []).append(point)
+
+    for (k, d), series in by_config.items():
+        series.sort(key=lambda p: p.load_factor)
+        gaps = [p.mean_gap for p in series]
+        # The gap must not grow with the load factor: it stays within a small
+        # additive band while the average load grows 8x.
+        assert max(gaps) - min(gaps) <= 2.5, (k, d, gaps)
+        # The measured gap respects the sandwich: no larger than the
+        # empirical gap of A(1, floor(d/k)) plus slack.
+        heaviest = series[-1]
+        assert heaviest.mean_gap <= heaviest.sandwich_upper_gap + 1.5
+        benchmark.extra_info[f"k{k}_d{d}_gap_at_8x"] = heaviest.mean_gap

@@ -1,0 +1,47 @@
+"""Bench: the maximum-load vs message-cost trade-off (Section 1.1).
+
+Paper reference: the Section 1.1 discussion of the main result — with
+``d = 2k`` and ``k = Θ(polylog n)`` the process reaches a constant maximum
+load using 2n messages, and with ``d − k = Θ(ln n)``, ``k ≥ Θ(ln² n)`` it
+reaches ``o(ln ln n)`` maximum load using ``(1 + o(1)) n`` messages — placed
+against the single-choice, Greedy[d], (1+β) and adaptive comparators.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tradeoff import run_tradeoff, tradeoff_table
+
+TRADEOFF_N = 3 * 2 ** 13
+
+
+def test_tradeoff_max_load_vs_messages(benchmark, run_once, bench_seed):
+    points = run_once(run_tradeoff, n=TRADEOFF_N, trials=3, seed=bench_seed)
+    print("\n" + tradeoff_table(points).to_text())
+
+    by_scheme = {p.scheme: p for p in points}
+    single = by_scheme["single-choice"]
+    greedy2 = by_scheme["greedy[2]"]
+    constant_load = next(p for name, p in by_scheme.items() if name.startswith("(k,2k)"))
+    low_message = next(p for name, p in by_scheme.items() if "(k,k+ln n)" in name)
+    storage_cfg = next(p for name, p in by_scheme.items() if "(k,k+1)" in name)
+
+    for point in points:
+        benchmark.extra_info[point.scheme] = (
+            round(point.mean_max_load, 2),
+            round(point.mean_messages_per_ball, 2),
+        )
+
+    # Headline claim 1: constant max load at ~2 messages per ball, matching
+    # Greedy[2]'s cost but with a (weakly) better max load than single choice
+    # and no worse than Greedy[2] + 1.
+    assert abs(constant_load.mean_messages_per_ball - 2.0) <= 0.3
+    assert constant_load.mean_max_load <= 3.0
+    assert constant_load.mean_max_load <= greedy2.mean_max_load + 1.0
+
+    # Headline claim 2: near-minimal message cost (close to 1 per ball) while
+    # still beating single choice on the max load.
+    assert low_message.mean_messages_per_ball <= 1.3
+    assert low_message.mean_max_load < single.mean_max_load
+
+    # Storage configuration (d = k+1): roughly half of two-choice's messages.
+    assert storage_cfg.mean_messages_per_ball <= 0.65 * greedy2.mean_messages_per_ball

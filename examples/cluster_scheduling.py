@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Parallel job scheduling in a cluster with (k, d)-choice batch sampling.
+
+The paper's Section 1.3 argues that the standard per-task power-of-d-choices
+degrades as a job's parallelism grows: the job finishes when its *slowest*
+task finishes, and with many tasks it becomes likely that at least one task's
+d probes all land on busy workers.  Sharing a single wave of d = 2k probes
+across the whole job — the (k, d)-choice strategy, Sparrow's "batch
+sampling" — removes that failure mode at the same per-task message cost.
+
+This example simulates a 256-worker cluster under Poisson job arrivals at
+70 % utilization, sweeps the per-job parallelism, and compares four
+schedulers: random placement, per-task two-choice, batch (k, d)-choice and
+late binding.
+
+Run with:  python examples/cluster_scheduling.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import (
+    BatchSamplingScheduler,
+    LateBindingScheduler,
+    PerTaskDChoiceScheduler,
+    RandomScheduler,
+    simulate_cluster,
+)
+from repro.simulation import ResultTable, SeedTree, poisson_job_trace
+
+
+def main() -> None:
+    n_workers = 256
+    n_jobs = 300
+    utilization = 0.7
+    tree = SeedTree(42)
+
+    table = ResultTable(
+        columns=[
+            "tasks/job", "scheduler", "mean_response", "p95_response",
+            "p99_response", "messages_per_task",
+        ],
+        title=f"{n_workers}-worker cluster, Poisson arrivals at {utilization:.0%} load",
+    )
+
+    for tasks_per_job in (4, 16, 64):
+        arrival_rate = utilization * n_workers / tasks_per_job
+        trace_seed = tree.integer_seed()
+        for scheduler in (
+            RandomScheduler(),
+            PerTaskDChoiceScheduler(d=2),
+            BatchSamplingScheduler(probe_ratio=2.0),
+            LateBindingScheduler(probe_ratio=2.0),
+        ):
+            trace = poisson_job_trace(
+                n_jobs=n_jobs,
+                arrival_rate=arrival_rate,
+                tasks_per_job=tasks_per_job,
+                seed=trace_seed,  # identical workload for every scheduler
+            )
+            report = simulate_cluster(
+                n_workers, scheduler, trace, seed=tree.integer_seed()
+            )
+            table.add(
+                {
+                    "tasks/job": tasks_per_job,
+                    "scheduler": report.scheduler,
+                    "mean_response": round(report.mean_response, 2),
+                    "p95_response": round(report.p95_response, 2),
+                    "p99_response": round(report.p99_response, 2),
+                    "messages_per_task": round(report.messages_per_task, 2),
+                }
+            )
+
+    print(table.to_text())
+    print(
+        "\nReading the table: as tasks/job grows, per-task two-choice tail\n"
+        "latencies inflate while batch (k,d)-choice sampling stays flat at the\n"
+        "same 2 probes per task; late binding (the Sparrow refinement) improves\n"
+        "it further at the cost of extra cancellation messages."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: run the (k, d)-choice process and compare it to the classics.
+
+This example places n balls into n bins with several allocation strategies,
+prints the maximum load and message cost of each, and shows how the measured
+values line up with the paper's Theorem 1 prediction.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    run_d_choice,
+    run_kd_choice,
+    run_one_plus_beta,
+    run_single_choice,
+)
+from repro.analysis import classify_regime, predicted_max_load
+from repro.core.metrics import summarize
+from repro.simulation import ResultTable
+
+
+def main() -> None:
+    n = 3 * 2 ** 14  # 49 152 balls and bins
+    seed = 7
+
+    runs = [
+        run_single_choice(n, seed=seed),
+        run_d_choice(n, d=2, seed=seed),
+        run_one_plus_beta(n, beta=0.5, seed=seed),
+        run_kd_choice(n, k=2, d=3, seed=seed),
+        run_kd_choice(n, k=8, d=9, seed=seed),
+        run_kd_choice(n, k=16, d=32, seed=seed),
+        run_kd_choice(n, k=64, d=65, seed=seed),
+    ]
+
+    table = ResultTable(
+        columns=["scheme", "k", "d", "max_load", "messages_per_ball", "predicted"],
+        title=f"Balls-into-bins with n = {n} (seed {seed})",
+    )
+    for result in runs:
+        prediction = (
+            round(predicted_max_load(result.k, result.d, n), 2)
+            if result.k <= result.d
+            else ""
+        )
+        record = dict(summarize(result))
+        record["predicted"] = prediction
+        table.add(record)
+    print(table.to_text())
+
+    print()
+    for k, d in [(2, 3), (16, 32), (64, 65)]:
+        regime = classify_regime(k, d, n)
+        print(
+            f"(k={k}, d={d}): d_k = {regime.dk:.1f}  ->  regime '{regime.name}', "
+            f"predicted leading term {predicted_max_load(k, d, n):.2f}"
+        )
+
+    print(
+        "\nTakeaway: with d about twice k the maximum load stays a small constant\n"
+        "at only d/k probes per ball, while k close to d drifts towards the\n"
+        "single-choice behaviour — exactly the trade-off Theorem 1 quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro — a reproduction of "A Generalization of Multiple Choice
+Balls-into-Bins: Tight Bounds" (Gahyun Park, PODC 2011 / arXiv:1201.3310).
+
+The package implements the (k, d)-choice allocation process, the classic
+balls-into-bins baselines and adaptive comparators, the theoretical bounds of
+the paper, and two application substrates (a Sparrow-style cluster scheduler
+and a distributed-storage placement simulator), plus experiment recipes that
+regenerate every table and figure in the paper's evaluation.
+
+Quick start
+-----------
+>>> from repro import run_kd_choice
+>>> result = run_kd_choice(n_bins=4096, k=4, d=8, seed=7)
+>>> result.max_load <= 4
+True
+"""
+
+from .core import (
+    AllocationResult,
+    BallPlacement,
+    BinState,
+    ChurnResult,
+    DynamicKDChoiceProcess,
+    GreedyPolicy,
+    KDChoiceProcess,
+    ProcessParams,
+    SerializedKDChoice,
+    StaleKDChoiceProcess,
+    StrictPolicy,
+    WeightedKDChoiceProcess,
+    get_policy,
+    metrics,
+    run_always_go_left,
+    run_batch_random,
+    run_churn_kd_choice,
+    run_d_choice,
+    run_kd_choice,
+    run_one_plus_beta,
+    run_serialized_kd_choice,
+    run_single_choice,
+    run_stale_kd_choice,
+    run_threshold_adaptive,
+    run_two_phase_adaptive,
+    run_weighted_kd_choice,
+)
+from . import analysis, cluster, experiments, simulation, storage
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core re-exports
+    "AllocationResult",
+    "ProcessParams",
+    "BinState",
+    "KDChoiceProcess",
+    "run_kd_choice",
+    "SerializedKDChoice",
+    "run_serialized_kd_choice",
+    "BallPlacement",
+    "StrictPolicy",
+    "GreedyPolicy",
+    "get_policy",
+    "run_single_choice",
+    "run_d_choice",
+    "run_one_plus_beta",
+    "run_always_go_left",
+    "run_batch_random",
+    "run_threshold_adaptive",
+    "run_two_phase_adaptive",
+    "WeightedKDChoiceProcess",
+    "run_weighted_kd_choice",
+    "StaleKDChoiceProcess",
+    "run_stale_kd_choice",
+    "DynamicKDChoiceProcess",
+    "ChurnResult",
+    "run_churn_kd_choice",
+    "metrics",
+    # subpackages
+    "analysis",
+    "simulation",
+    "experiments",
+    "cluster",
+    "storage",
+]

@@ -1,0 +1,116 @@
+"""Analytical companions to the simulations: bounds, regimes, recurrences.
+
+This subpackage evaluates the paper's closed-form predictions (Theorem 1,
+Theorem 2, Corollary 1, the layered-induction sequences) and provides the
+empirical stochastic-order checks used to validate the Section 3 properties.
+"""
+
+from .asymptotics import (
+    d_k,
+    delta,
+    inverse_factorial,
+    ln_ln,
+    log_binomial,
+    log_ratio,
+    polylog,
+    stirling_inverse_factorial,
+)
+from .exact import (
+    empirical_max_load_distribution,
+    exact_kd_choice_distribution,
+    exact_single_choice_distribution,
+    expected_max_load,
+    max_load_distribution,
+    total_variation_distance,
+)
+from .bounds import (
+    Regime,
+    classify_regime,
+    corollary1_term,
+    d_choice_max_load,
+    heavy_case_gap_prediction,
+    message_cost,
+    predicted_max_load,
+    single_choice_max_load,
+    theorem1_bounds,
+    theorem1_leading_term,
+    theorem2_bounds,
+)
+from .majorization import (
+    MajorizationReport,
+    compare_processes,
+    empirical_majorization_fraction,
+    mean_prefix_profile,
+    prefix_sum_profile,
+)
+from .recurrences import (
+    LayeredInduction,
+    beta_sequence,
+    beta_zero,
+    gamma_sequence,
+    gamma_star,
+    gamma_zero,
+    predicted_i_star,
+)
+from .statistics import (
+    TrialStatistics,
+    confidence_interval,
+    empirical_cdf,
+    format_value_set,
+    observed_value_set,
+    stochastic_dominance_fraction,
+    trial_statistics,
+)
+
+__all__ = [
+    # asymptotics
+    "d_k",
+    "delta",
+    "ln_ln",
+    "log_ratio",
+    "inverse_factorial",
+    "stirling_inverse_factorial",
+    "log_binomial",
+    "polylog",
+    # bounds
+    "Regime",
+    "classify_regime",
+    "theorem1_leading_term",
+    "theorem1_bounds",
+    "corollary1_term",
+    "theorem2_bounds",
+    "single_choice_max_load",
+    "d_choice_max_load",
+    "message_cost",
+    "predicted_max_load",
+    "heavy_case_gap_prediction",
+    # recurrences
+    "LayeredInduction",
+    "beta_sequence",
+    "gamma_sequence",
+    "predicted_i_star",
+    "beta_zero",
+    "gamma_zero",
+    "gamma_star",
+    # majorization
+    "MajorizationReport",
+    "compare_processes",
+    "empirical_majorization_fraction",
+    "mean_prefix_profile",
+    "prefix_sum_profile",
+    # exact distributions
+    "exact_kd_choice_distribution",
+    "exact_single_choice_distribution",
+    "max_load_distribution",
+    "expected_max_load",
+    "total_variation_distance",
+    "empirical_max_load_distribution",
+    # statistics
+    "TrialStatistics",
+    "trial_statistics",
+    "observed_value_set",
+    "format_value_set",
+    "confidence_interval",
+    "empirical_cdf",
+    "stochastic_dominance_fraction",
+]

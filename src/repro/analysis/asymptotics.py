@@ -1,0 +1,113 @@
+"""Asymptotic helper functions used throughout the paper's analysis.
+
+These small numeric helpers implement the quantities the theorems are stated
+in terms of: the ratio ``d_k = d/(d-k)``, the slack term ``δ(n)``, iterated
+logarithms, and the Stirling-style inversion of ``y! ≤ c`` that appears in the
+proofs of Theorem 3 and Theorem 6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = [
+    "d_k",
+    "delta",
+    "ln_ln",
+    "log_ratio",
+    "inverse_factorial",
+    "stirling_inverse_factorial",
+    "log_binomial",
+    "polylog",
+]
+
+
+def d_k(k: int, d: int) -> float:
+    """The paper's ``d_k = d / (d - k)``; infinity when ``k == d``."""
+    if not 1 <= k <= d:
+        raise ValueError(f"requires 1 <= k <= d, got k={k}, d={d}")
+    if k == d:
+        return math.inf
+    return d / (d - k)
+
+
+def delta(n: int) -> float:
+    """``δ(n) = ln ln ln n / ln ln n`` (Section 2.1), defined for large n.
+
+    For small ``n`` where the iterated logarithms are not positive the
+    function returns 0.0, which keeps downstream formulas finite.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    lnln_n = ln_ln(n)
+    if lnln_n <= 1.0:
+        # ln ln ln n is undefined or non-positive; the slack term vanishes.
+        return 0.0
+    return math.log(lnln_n) / lnln_n
+
+
+def ln_ln(n: float) -> float:
+    """``ln ln n`` clamped to 0 for arguments where it would be undefined."""
+    if n <= 1.0:
+        return 0.0
+    inner = math.log(n)
+    if inner <= 1.0:
+        return 0.0
+    return math.log(inner)
+
+
+def log_ratio(x: float) -> float:
+    """``ln x / ln ln x``, the max-load rate of single choice.
+
+    Clamped to 0 for ``x`` small enough that the expression is undefined.
+    """
+    if x <= 1.0:
+        return 0.0
+    numerator = math.log(x)
+    denominator = ln_ln(x)
+    if denominator <= 0.0:
+        return 0.0
+    return numerator / denominator
+
+
+def inverse_factorial(bound: float) -> int:
+    """Largest integer ``y`` with ``y! <= bound`` (exact, by iteration).
+
+    The proofs of Theorem 3 and Lemma 11 solve ``y_1! <= 48 d_k`` and
+    ``n / (8 y!) >= (ln d_k) n / d_k``; this helper performs those inversions
+    exactly.
+    """
+    if bound < 1.0:
+        return 0
+    y = 0
+    factorial = 1.0
+    while factorial * (y + 1) <= bound:
+        y += 1
+        factorial *= y
+    return y
+
+
+def stirling_inverse_factorial(bound: float) -> float:
+    """Asymptotic solution of ``y! = bound``: ``y ≈ ln bound / ln ln bound``.
+
+    This is the closed form the paper substitutes after applying Stirling's
+    formula; useful for comparing the exact and asymptotic inversions.
+    """
+    return log_ratio(bound)
+
+
+def log_binomial(n: int, r: int) -> float:
+    """Natural log of ``C(n, r)``; ``-inf`` when the coefficient is zero."""
+    if r < 0 or r > n:
+        return -math.inf
+    return (
+        math.lgamma(n + 1) - math.lgamma(r + 1) - math.lgamma(n - r + 1)
+    )
+
+
+def polylog(n: int, exponent: float = 1.0) -> float:
+    """``(ln n)^exponent`` — the paper's ``polylog n`` with a chosen power."""
+    if n <= 1:
+        return 0.0
+    return math.log(n) ** exponent

@@ -1,0 +1,181 @@
+"""Closed-form bounds from Theorem 1, Theorem 2 and Corollary 1.
+
+The theorems bound the maximum load ``M(k, d, n)`` up to additive ``O(1)`` or
+multiplicative ``1 ± o(1)`` terms.  The functions below evaluate the *leading*
+terms of those bounds so experiments can plot measured maximum loads against
+the predicted growth rates.  Because the hidden constants are not specified by
+the paper, callers compare *shapes* (growth in ``n``, crossovers in ``k`` and
+``d``) rather than absolute values; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .asymptotics import d_k, delta, ln_ln, log_ratio
+
+__all__ = [
+    "Regime",
+    "classify_regime",
+    "theorem1_leading_term",
+    "theorem1_bounds",
+    "corollary1_term",
+    "theorem2_bounds",
+    "single_choice_max_load",
+    "d_choice_max_load",
+    "message_cost",
+    "predicted_max_load",
+]
+
+# ``d_k`` growing past this value is treated as the "d_k -> infinity" regime
+# when classifying finite instances.  The paper's dichotomy is asymptotic; for
+# finite n we follow Corollary 1's trigger ``d_k >= e^{(ln ln n)^3}`` for the
+# extreme regime and use a mild threshold for the intermediate one.
+_DK_GROWING_THRESHOLD = 8.0
+
+
+@dataclass(frozen=True)
+class Regime:
+    """Classification of a finite (k, d, n) instance.
+
+    Attributes
+    ----------
+    name:
+        "dk_constant"  — ``d_k = O(1)``: Theorem 1(i) applies.
+        "dk_growing"   — ``d_k`` large but below Corollary 1's trigger:
+        Theorem 1(ii) applies and both terms matter.
+        "single_choice_like" — ``d_k ≥ e^{(ln ln n)^3}``: Corollary 1 applies
+        and the process behaves like single choice.
+    dk:
+        The value of ``d_k = d/(d-k)``.
+    """
+
+    name: str
+    dk: float
+
+
+def classify_regime(k: int, d: int, n: int) -> Regime:
+    """Classify (k, d, n) into the regime used by Theorem 1 / Corollary 1."""
+    dk = d_k(k, d)
+    if math.isinf(dk):
+        return Regime("single_choice_like", dk)
+    trigger = math.exp(ln_ln(n) ** 3) if n > 15 else math.inf
+    if dk >= trigger:
+        return Regime("single_choice_like", dk)
+    if dk >= _DK_GROWING_THRESHOLD:
+        return Regime("dk_growing", dk)
+    return Regime("dk_constant", dk)
+
+
+def theorem1_leading_term(k: int, d: int, n: int) -> float:
+    """Leading term of Theorem 1's bound on ``M(k, d, n)``.
+
+    * ``ln ln n / ln(d - k + 1)`` always contributes;
+    * ``ln d_k / ln ln d_k`` contributes when ``d_k`` is large (Theorem 1(ii)).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    dk = d_k(k, d)
+    base = ln_ln(n) / math.log(d - k + 1) if d - k + 1 > 1 else float("inf")
+    if math.isinf(dk):
+        # k == d degenerates to single choice: ln n / ln ln n.
+        return single_choice_max_load(n)
+    regime = classify_regime(k, d, n)
+    if regime.name == "dk_constant":
+        return base
+    second = log_ratio(dk)
+    if regime.name == "single_choice_like":
+        return second
+    return base + second
+
+
+def theorem1_bounds(
+    k: int, d: int, n: int, additive_constant: float = 2.0
+) -> tuple[float, float]:
+    """Lower and upper bound estimates from Theorem 1.
+
+    ``additive_constant`` stands in for the unspecified ``O(1)``; the default
+    of 2 matches the explicit "+2" slack appearing in the upper-bound proof
+    (``M ≤ y_0 + i* + 2``).
+    """
+    leading = theorem1_leading_term(k, d, n)
+    return max(leading - additive_constant, 1.0), leading + additive_constant
+
+
+def corollary1_term(k: int, d: int, n: int) -> float:
+    """Corollary 1: ``(1 ± o(1)) ln d_k / ln ln d_k`` for very large ``d_k``."""
+    dk = d_k(k, d)
+    if math.isinf(dk):
+        return single_choice_max_load(n)
+    return log_ratio(dk)
+
+
+def theorem2_bounds(
+    k: int, d: int, m: int, n: int, additive_constant: float = 2.0
+) -> tuple[float, float]:
+    """Theorem 2: bounds on the max load *gap* for ``m > n`` balls, ``d ≥ 2k``.
+
+    Returns ``(lower, upper)`` estimates for ``M(k, d, m, n) - m/n`` built
+    from the majorization sandwich
+    ``A(1, d-k+1) ≤ A(k, d) ≤ A(1, ⌊d/k⌋)`` and the heavily loaded d-choice
+    result of Berenbrink et al. (gap = ``ln ln n / ln d + O(1)``).
+    """
+    if d < 2 * k:
+        raise ValueError(
+            f"Theorem 2 requires d >= 2k, got k={k}, d={d} "
+            "(the case d < 2k is open, Section 7)"
+        )
+    if m <= 0 or n <= 0:
+        raise ValueError("m and n must be positive")
+    lower = ln_ln(n) / math.log(d - k + 1) - additive_constant
+    floor_ratio = d // k
+    upper = ln_ln(n) / math.log(floor_ratio) + additive_constant if floor_ratio > 1 else math.inf
+    return max(lower, 0.0), upper
+
+
+def single_choice_max_load(n: int) -> float:
+    """``(1 + o(1)) ln n / ln ln n`` — classic single-choice maximum load."""
+    return log_ratio(n)
+
+
+def d_choice_max_load(n: int, d: int) -> float:
+    """``ln ln n / ln d + Θ(1)`` — Azar et al.'s Greedy[d] maximum load.
+
+    Returns the leading term only.
+    """
+    if d < 2:
+        return single_choice_max_load(n)
+    return ln_ln(n) / math.log(d)
+
+
+def message_cost(k: int, d: int, n_balls: int) -> int:
+    """Total probe messages of (k, d)-choice: ``d`` per round, ``n/k`` rounds."""
+    if k < 1 or d < k:
+        raise ValueError(f"requires 1 <= k <= d, got k={k}, d={d}")
+    rounds = -(-n_balls // k)
+    return rounds * d
+
+
+def predicted_max_load(k: int, d: int, n: int) -> float:
+    """Point prediction for the maximum load (leading term of Theorem 1).
+
+    Convenience alias used by the experiment recipes when annotating measured
+    values with the theory's prediction.
+    """
+    return theorem1_leading_term(k, d, n)
+
+
+def heavy_case_gap_prediction(k: int, d: int, n: int) -> float:
+    """Midpoint of the Theorem 2 sandwich, used as a point prediction."""
+    lower, upper = theorem2_bounds(k, d, m=2 * n, n=n, additive_constant=0.0)
+    if math.isinf(upper):
+        return lower
+    return 0.5 * (lower + upper)
+
+
+__all__.append("heavy_case_gap_prediction")
+
+# ``delta`` is re-exported for callers that want the paper's slack term
+# together with the bounds.
+__all__.append("delta")

@@ -1,0 +1,178 @@
+"""Empirical checks of the majorization / domination relations (Definition 2).
+
+Section 3 of the paper proves a chain of stochastic-order relations between
+allocation processes, most importantly (used in the proof of Theorem 2)::
+
+    A(1, d-k+1)  ≤_mj  A(k, d)  ≤_mj  A(1, ⌊d/k⌋)
+
+Majorization (``≤_mj``) compares the distribution of prefix sums of the
+sorted load vector; domination (``≤_dm``) compares per-rank loads.  Neither
+can be verified exactly from finitely many samples, so this module provides
+*empirical* comparisons: averaged prefix-sum profiles, stochastic-dominance
+checks on the maximum load, and a combined report that experiments and tests
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..core.types import AllocationResult
+from .statistics import stochastic_dominance_fraction
+
+__all__ = [
+    "prefix_sum_profile",
+    "mean_prefix_profile",
+    "empirical_majorization_fraction",
+    "MajorizationReport",
+    "compare_processes",
+]
+
+ProcessRunner = Callable[[int], AllocationResult]
+"""A callable ``seed -> AllocationResult`` representing one process."""
+
+
+def prefix_sum_profile(result: "AllocationResult | np.ndarray") -> np.ndarray:
+    """Prefix sums of the sorted load vector: ``B_{≤x}`` for x = 1..n."""
+    loads = result.loads if isinstance(result, AllocationResult) else np.asarray(result)
+    return np.cumsum(np.sort(loads)[::-1])
+
+
+def mean_prefix_profile(results: Sequence["AllocationResult | np.ndarray"]) -> np.ndarray:
+    """Average prefix-sum profile over repeated trials."""
+    if not results:
+        raise ValueError("need at least one trial")
+    profiles = np.stack([prefix_sum_profile(r) for r in results])
+    return profiles.mean(axis=0)
+
+
+def empirical_majorization_fraction(
+    smaller: Sequence["AllocationResult | np.ndarray"],
+    larger: Sequence["AllocationResult | np.ndarray"],
+    tolerance: float = 0.0,
+) -> float:
+    """Fraction of ranks ``x`` at which the mean ``B_{≤x}`` ordering holds.
+
+    If process ``smaller`` is majorized by ``larger`` then for every ``x`` the
+    expected prefix sum of ``smaller`` is at most that of ``larger``; this
+    function measures how often that holds for the empirical means, allowing
+    a small ``tolerance`` (in balls) for sampling noise.
+    """
+    mean_small = mean_prefix_profile(smaller)
+    mean_large = mean_prefix_profile(larger)
+    if mean_small.shape != mean_large.shape:
+        raise ValueError("both processes must use the same number of bins")
+    holds = mean_small <= mean_large + tolerance
+    return float(np.mean(holds))
+
+
+@dataclass(frozen=True)
+class MajorizationReport:
+    """Outcome of an empirical comparison between two processes.
+
+    Attributes
+    ----------
+    label_small, label_large:
+        Names of the compared processes (the relation claims
+        ``small ≤_mj large``).
+    trials:
+        Number of independent runs per process.
+    prefix_fraction:
+        Fraction of ranks where the mean prefix-sum ordering holds.
+    max_load_dominance:
+        Fraction of thresholds where the max-load distribution of the small
+        process is stochastically below the large one.
+    mean_max_small, mean_max_large:
+        Mean maximum loads of the two processes.
+    """
+
+    label_small: str
+    label_large: str
+    trials: int
+    prefix_fraction: float
+    max_load_dominance: float
+    mean_max_small: float
+    mean_max_large: float
+
+    @property
+    def consistent(self) -> bool:
+        """Whether the samples are consistent with the claimed ordering.
+
+        The criterion is deliberately tolerant: both empirical fractions must
+        be high, and the mean maximum loads must not contradict the order by
+        more than half a ball.
+        """
+        return (
+            self.prefix_fraction >= 0.9
+            and self.max_load_dominance >= 0.75
+            and self.mean_max_small <= self.mean_max_large + 0.5
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "small": self.label_small,
+            "large": self.label_large,
+            "trials": self.trials,
+            "prefix_fraction": round(self.prefix_fraction, 4),
+            "max_load_dominance": round(self.max_load_dominance, 4),
+            "mean_max_small": round(self.mean_max_small, 4),
+            "mean_max_large": round(self.mean_max_large, 4),
+            "consistent": self.consistent,
+        }
+
+
+def compare_processes(
+    run_small: ProcessRunner,
+    run_large: ProcessRunner,
+    trials: int,
+    seeds: Sequence[int],
+    label_small: str = "small",
+    label_large: str = "large",
+    tolerance: float = 0.0,
+) -> MajorizationReport:
+    """Run both processes ``trials`` times and compare them empirically.
+
+    Parameters
+    ----------
+    run_small, run_large:
+        Callables mapping a seed to an :class:`AllocationResult`.  The claim
+        under test is ``run_small ≤_mj run_large``.
+    trials:
+        Number of runs per process.
+    seeds:
+        At least ``2 * trials`` integer seeds; the first ``trials`` feed the
+        small process, the next ``trials`` the large one (independent runs,
+        as Definition 2 compares distributions, not couplings).
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if len(seeds) < 2 * trials:
+        raise ValueError(
+            f"need at least {2 * trials} seeds, got {len(seeds)}"
+        )
+    results_small: List[AllocationResult] = [
+        run_small(int(seeds[i])) for i in range(trials)
+    ]
+    results_large: List[AllocationResult] = [
+        run_large(int(seeds[trials + i])) for i in range(trials)
+    ]
+
+    prefix_fraction = empirical_majorization_fraction(
+        results_small, results_large, tolerance=tolerance
+    )
+    max_small = [r.max_load for r in results_small]
+    max_large = [r.max_load for r in results_large]
+    dominance = stochastic_dominance_fraction(max_small, max_large)
+
+    return MajorizationReport(
+        label_small=label_small,
+        label_large=label_large,
+        trials=trials,
+        prefix_fraction=prefix_fraction,
+        max_load_dominance=dominance,
+        mean_max_small=float(np.mean(max_small)),
+        mean_max_large=float(np.mean(max_large)),
+    )

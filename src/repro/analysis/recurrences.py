@@ -1,0 +1,171 @@
+"""Layered-induction recurrences from the upper- and lower-bound proofs.
+
+The proof of Theorem 4 controls the number of bins above each height with the
+sequence (equation 16)::
+
+    β_0     = n / (6 d_k)
+    β_{i+1} = 6 (n/k) C(d, d-k+1) (β_i / n)^{d-k+1}
+
+and stops at the largest ``i*`` with ``β_{i*} ≥ 6 ln n``; the maximum load is
+then at most ``y_0 + i* + 2``.  The lower-bound proof of Theorem 7 uses the
+analogous sequence ``γ_i`` (equations 27–28).
+
+These recurrences are implemented here both because they are directly
+testable predictions (the measured ``ν_{y_0+i}`` should fall below ``β_i``)
+and because the Figure 1 / Figure 2 reproduction annotates the sorted load
+profile with the landmarks ``β_0``, ``γ_0 = n/d`` and ``γ* = 4n/d_k``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from .asymptotics import d_k, log_binomial
+
+__all__ = [
+    "LayeredInduction",
+    "beta_sequence",
+    "gamma_sequence",
+    "predicted_i_star",
+    "beta_zero",
+    "gamma_zero",
+    "gamma_star",
+]
+
+
+def beta_zero(k: int, d: int, n: int) -> float:
+    """``β_0 = n / (6 d_k)`` — the Figure 1 landmark."""
+    dk = d_k(k, d)
+    if math.isinf(dk):
+        return 0.0
+    return n / (6.0 * dk)
+
+
+def gamma_zero(d: int, n: int) -> float:
+    """``γ_0 = n / d`` — the Figure 2 landmark for the gap lower bound."""
+    if d < 1:
+        raise ValueError(f"d must be at least 1, got {d}")
+    return n / d
+
+
+def gamma_star(k: int, d: int, n: int) -> float:
+    """``γ* = 4 n / d_k`` — the Figure 2 landmark for the ``B_{γ*}`` bound."""
+    dk = d_k(k, d)
+    if math.isinf(dk):
+        return 0.0
+    return 4.0 * n / dk
+
+
+def predicted_i_star(k: int, d: int, n: int) -> float:
+    """The proof's bound on the number of induction layers:
+    ``i* ≤ ln ln n / ln(d - k + 1)``."""
+    if d - k + 1 <= 1:
+        return float("inf")
+    if n <= math.e:
+        return 0.0
+    inner = math.log(n)
+    if inner <= 1.0:
+        return 0.0
+    return math.log(inner) / math.log(d - k + 1)
+
+
+def beta_sequence(k: int, d: int, n: int, max_terms: int = 200) -> List[float]:
+    """The ``β_i`` sequence of equation (16), truncated at ``β_i < 6 ln n``.
+
+    Returned values are in *bins* (not fractions); computation is done in log
+    space so huge binomial coefficients never overflow.
+    """
+    if not 1 <= k < d:
+        raise ValueError(f"requires 1 <= k < d, got k={k}, d={d}")
+    if n <= 1:
+        raise ValueError(f"n must exceed 1, got {n}")
+    exponent = d - k + 1
+    log_n = math.log(n)
+    # log of the multiplier 6 (n/k) C(d, d-k+1) / n^{d-k+1}
+    log_multiplier = (
+        math.log(6.0) + log_n - math.log(k) + log_binomial(d, exponent) - exponent * log_n
+    )
+    stop = 6.0 * log_n  # the proof's 6 ln n cut-off
+
+    sequence: List[float] = []
+    log_beta = math.log(beta_zero(k, d, n)) if beta_zero(k, d, n) > 0 else -math.inf
+    for _ in range(max_terms):
+        beta = math.exp(log_beta) if log_beta > -700 else 0.0
+        sequence.append(beta)
+        if beta < stop:
+            break
+        log_beta = log_multiplier + exponent * log_beta
+    return sequence
+
+
+def gamma_sequence(k: int, d: int, n: int, max_terms: int = 200) -> List[float]:
+    """The ``γ_i`` sequence of equations (27)–(28), truncated at ``γ_i < 9 ln n``."""
+    if not 1 <= k < d:
+        raise ValueError(f"requires 1 <= k < d, got k={k}, d={d}")
+    if n <= 1:
+        raise ValueError(f"n must exceed 1, got {n}")
+    exponent = d - k + 1
+    log_n = math.log(n)
+    stop = 9.0 * log_n  # the proof's 9 ln n cut-off (equation 32)
+
+    sequence: List[float] = []
+    log_gamma = math.log(gamma_zero(d, n))
+    for i in range(max_terms):
+        gamma = math.exp(log_gamma) if log_gamma > -700 else 0.0
+        sequence.append(gamma)
+        if gamma < stop:
+            break
+        # γ_{i+1} = (1 / 2^{i+6}) (n/k) C(d, d-k+1) (γ_i / n)^{d-k+1}
+        log_gamma = (
+            -(i + 6) * math.log(2.0)
+            + log_n
+            - math.log(k)
+            + log_binomial(d, exponent)
+            + exponent * (log_gamma - log_n)
+        )
+    return sequence
+
+
+@dataclass(frozen=True)
+class LayeredInduction:
+    """All landmarks of the layered-induction argument for one (k, d, n).
+
+    Attributes
+    ----------
+    beta:   the β_i sequence (upper bound, equation 16).
+    gamma:  the γ_i sequence (lower bound, equations 27–28).
+    i_star_upper: number of useful β layers (index of first β_i < 6 ln n).
+    i_star_predicted: the closed-form bound ``ln ln n / ln(d-k+1)``.
+    beta0, gamma0, gamma_star: the Figure 1/2 landmarks.
+    """
+
+    k: int
+    d: int
+    n: int
+    beta: List[float]
+    gamma: List[float]
+    i_star_upper: int
+    i_star_predicted: float
+    beta0: float
+    gamma0: float
+    gamma_star: float
+
+    @classmethod
+    def compute(cls, k: int, d: int, n: int) -> "LayeredInduction":
+        """Evaluate every landmark for the given parameters."""
+        beta = beta_sequence(k, d, n)
+        gamma = gamma_sequence(k, d, n)
+        return cls(
+            k=k,
+            d=d,
+            n=n,
+            beta=beta,
+            gamma=gamma,
+            i_star_upper=max(len(beta) - 1, 0),
+            i_star_predicted=predicted_i_star(k, d, n),
+            beta0=beta_zero(k, d, n),
+            gamma0=gamma_zero(d, n),
+            gamma_star=gamma_star(k, d, n),
+        )

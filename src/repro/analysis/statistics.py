@@ -1,0 +1,137 @@
+"""Trial aggregation and simple statistics for repeated experiments.
+
+Table 1 of the paper reports, for each (k, d) cell, the *set* of maximum
+loads observed over ten independent runs (e.g. "2, 3" when both values
+occurred).  :func:`observed_value_set` reproduces that presentation;
+:func:`trial_statistics` provides the usual mean / spread summary used by the
+other experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TrialStatistics",
+    "trial_statistics",
+    "observed_value_set",
+    "format_value_set",
+    "confidence_interval",
+    "empirical_cdf",
+    "stochastic_dominance_fraction",
+]
+
+
+@dataclass(frozen=True)
+class TrialStatistics:
+    """Summary statistics of a collection of scalar trial outcomes."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+        }
+
+
+def trial_statistics(values: Iterable[float]) -> TrialStatistics:
+    """Compute summary statistics over trial outcomes."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty collection of trials")
+    return TrialStatistics(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+    )
+
+
+def observed_value_set(values: Iterable[float]) -> List[int]:
+    """Sorted list of distinct integer outcomes, Table-1 style."""
+    return sorted({int(v) for v in values})
+
+
+def format_value_set(values: Iterable[float]) -> str:
+    """Render distinct outcomes the way Table 1 prints them ("2, 3")."""
+    return ", ".join(str(v) for v in observed_value_set(values))
+
+
+def confidence_interval(
+    values: Iterable[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the mean of the trials."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot build a confidence interval from no trials")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, mean
+    std_error = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    # Two-sided normal quantile via the inverse error function.
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    return mean - z * std_error, mean + z * std_error
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki's approximation, ~1e-3 accurate)."""
+    if not -1.0 < x < 1.0:
+        raise ValueError("erfinv is defined on (-1, 1)")
+    a = 0.147
+    ln_term = math.log(1.0 - x * x)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    return math.copysign(
+        math.sqrt(math.sqrt(first * first - ln_term / a) - first), x
+    )
+
+
+def empirical_cdf(values: Sequence[float]) -> "tuple[np.ndarray, np.ndarray]":
+    """Empirical CDF of the given values: returns (sorted values, F(values))."""
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        raise ValueError("cannot build a CDF from no values")
+    cdf = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return arr, cdf
+
+
+def stochastic_dominance_fraction(
+    smaller: Sequence[float], larger: Sequence[float]
+) -> float:
+    """Fraction of thresholds at which ``smaller`` is stochastically below ``larger``.
+
+    For every threshold ``t`` in the union of observed values, checks
+    ``P(X >= t) <= P(Y >= t)`` where ``X`` are the ``smaller`` samples and
+    ``Y`` the ``larger`` ones.  A value of 1.0 means the empirical
+    distributions are consistent with ``X`` being stochastically dominated by
+    ``Y`` (Definition 2(iii) evaluated empirically).
+    """
+    x = np.asarray(list(smaller), dtype=float)
+    y = np.asarray(list(larger), dtype=float)
+    if x.size == 0 or y.size == 0:
+        raise ValueError("both samples must be non-empty")
+    thresholds = np.union1d(x, y)
+    satisfied = 0
+    for t in thresholds:
+        p_x = np.mean(x >= t)
+        p_y = np.mean(y >= t)
+        if p_x <= p_y + 1e-12:
+            satisfied += 1
+    return satisfied / thresholds.size

@@ -1,0 +1,284 @@
+"""Command-line interface: run any experiment recipe from the shell.
+
+Examples
+--------
+::
+
+    # A scaled-down Table 1 (rows k=1,2,4, all d columns)
+    python -m repro table1 --n 12288 --trials 3 --k 1 2 4
+
+    # Figures 1 and 2: sorted load profiles with proof landmarks
+    python -m repro profile --n 16384
+
+    # Theorem 1 regimes, Theorem 2 heavy case, trade-off, applications
+    python -m repro regimes
+    python -m repro heavy
+    python -m repro tradeoff
+    python -m repro scheduling
+    python -m repro storage
+    python -m repro majorization
+    python -m repro ablation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .experiments import (
+    ablation_table,
+    churn_table,
+    exact_validation_table,
+    generate_report,
+    heavy_table,
+    majorization_table,
+    open_question_table,
+    regime_table,
+    run_churn_experiment,
+    run_exact_validation,
+    run_heavy_case,
+    run_load_profile,
+    run_majorization_chain,
+    run_open_question_heavy,
+    run_policy_ablation,
+    run_regime_scaling,
+    run_scheduling_experiment,
+    run_staleness_experiment,
+    run_storage_experiment,
+    run_table1,
+    run_tradeoff,
+    run_weighted_experiment,
+    scheduling_table,
+    staleness_table,
+    storage_table,
+    tradeoff_table,
+    weighted_table,
+)
+from .simulation.results import ResultTable
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro-kd`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-kd",
+        description="Reproduce experiments from 'A Generalization of Multiple "
+        "Choice Balls-into-Bins' (Park, PODC 2011).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="Reproduce Table 1 (max-load grid)")
+    table1.add_argument("--n", type=int, default=3 * 2 ** 12, help="balls and bins")
+    table1.add_argument("--trials", type=int, default=3, help="runs per cell")
+    table1.add_argument("--seed", type=int, default=0)
+    table1.add_argument("--k", type=int, nargs="*", default=None, help="k rows")
+    table1.add_argument("--d", type=int, nargs="*", default=None, help="d columns")
+
+    profile = subparsers.add_parser(
+        "profile", help="Figures 1 & 2: sorted load profiles with landmarks"
+    )
+    profile.add_argument("--n", type=int, default=3 * 2 ** 14)
+    profile.add_argument("--seed", type=int, default=0)
+
+    regimes = subparsers.add_parser("regimes", help="Theorem 1 regime scaling")
+    regimes.add_argument("--trials", type=int, default=3)
+    regimes.add_argument("--seed", type=int, default=0)
+
+    heavy = subparsers.add_parser("heavy", help="Theorem 2 heavily loaded case")
+    heavy.add_argument("--n", type=int, default=1 << 12)
+    heavy.add_argument("--trials", type=int, default=3)
+    heavy.add_argument("--seed", type=int, default=0)
+
+    tradeoff = subparsers.add_parser("tradeoff", help="Max load vs message cost")
+    tradeoff.add_argument("--n", type=int, default=3 * 2 ** 13)
+    tradeoff.add_argument("--trials", type=int, default=3)
+    tradeoff.add_argument("--seed", type=int, default=0)
+
+    scheduling = subparsers.add_parser(
+        "scheduling", help="Cluster-scheduling application experiment"
+    )
+    scheduling.add_argument("--workers", type=int, default=64)
+    scheduling.add_argument("--jobs", type=int, default=400)
+    scheduling.add_argument("--seed", type=int, default=0)
+
+    storage = subparsers.add_parser(
+        "storage", help="Distributed-storage application experiment"
+    )
+    storage.add_argument("--servers", type=int, default=1024)
+    storage.add_argument("--files", type=int, default=8192)
+    storage.add_argument("--seed", type=int, default=0)
+
+    majorization = subparsers.add_parser(
+        "majorization", help="Empirical Section 3 majorization checks"
+    )
+    majorization.add_argument("--n", type=int, default=3 * 2 ** 10)
+    majorization.add_argument("--trials", type=int, default=8)
+    majorization.add_argument("--seed", type=int, default=0)
+
+    ablation = subparsers.add_parser(
+        "ablation", help="Strict vs greedy allocation policy (Section 7)"
+    )
+    ablation.add_argument("--n", type=int, default=3 * 2 ** 10)
+    ablation.add_argument("--trials", type=int, default=5)
+    ablation.add_argument("--seed", type=int, default=0)
+
+    weighted = subparsers.add_parser(
+        "weighted", help="Extension: weighted balls (exponential / Pareto weights)"
+    )
+    weighted.add_argument("--n", type=int, default=3 * 2 ** 10)
+    weighted.add_argument("--trials", type=int, default=3)
+    weighted.add_argument("--seed", type=int, default=0)
+
+    staleness = subparsers.add_parser(
+        "staleness", help="Extension: stale load information (parallel rounds)"
+    )
+    staleness.add_argument("--n", type=int, default=3 * 2 ** 10)
+    staleness.add_argument("--trials", type=int, default=3)
+    staleness.add_argument("--seed", type=int, default=0)
+
+    churn = subparsers.add_parser(
+        "churn", help="Extension: dynamic insert/delete steady state"
+    )
+    churn.add_argument("--n", type=int, default=512)
+    churn.add_argument("--rounds", type=int, default=2048)
+    churn.add_argument("--seed", type=int, default=0)
+
+    open_question = subparsers.add_parser(
+        "open-question", help="Section 7 open case: heavily loaded d < 2k"
+    )
+    open_question.add_argument("--n", type=int, default=1 << 11)
+    open_question.add_argument("--trials", type=int, default=3)
+    open_question.add_argument("--seed", type=int, default=0)
+
+    exact = subparsers.add_parser(
+        "exact", help="Validate the simulator against exact tiny-instance distributions"
+    )
+    exact.add_argument("--trials", type=int, default=4000)
+    exact.add_argument("--seed", type=int, default=0)
+
+    report = subparsers.add_parser(
+        "report", help="Run every recipe (scaled) and emit a Markdown report"
+    )
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--sections", nargs="*", default=None, help="subset of section keys to run"
+    )
+    report.add_argument(
+        "--output", type=str, default=None, help="write the Markdown to this file"
+    )
+
+    return parser
+
+
+def _print(table_or_text: "ResultTable | str") -> None:
+    if isinstance(table_or_text, ResultTable):
+        print(table_or_text.to_text())
+    else:
+        print(table_or_text)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-kd`` / ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        result = run_table1(
+            n=args.n, trials=args.trials, seed=args.seed,
+            k_values=args.k, d_values=args.d,
+        )
+        _print(result.to_text())
+    elif args.command == "profile":
+        result = run_load_profile(n=args.n, seed=args.seed)
+        lines: List[str] = []
+        for series in result.series:
+            lines.append(
+                f"(k={series.k}, d={series.d}, n={series.n}): max load {series.max_load}, "
+                f"beta0={series.beta0:.1f}, gamma0={series.gamma0:.1f}, "
+                f"gamma*={series.gamma_star_:.1f}"
+            )
+            lines.append(f"  Figure 1 decomposition: {series.figure1_decomposition()}")
+            lines.append(f"  Figure 2 decomposition: {series.figure2_decomposition()}")
+        _print("\n".join(lines))
+    elif args.command == "regimes":
+        _print(regime_table(run_regime_scaling(trials=args.trials, seed=args.seed)))
+    elif args.command == "heavy":
+        _print(heavy_table(run_heavy_case(n=args.n, trials=args.trials, seed=args.seed)))
+    elif args.command == "tradeoff":
+        _print(tradeoff_table(run_tradeoff(n=args.n, trials=args.trials, seed=args.seed)))
+    elif args.command == "scheduling":
+        _print(
+            scheduling_table(
+                run_scheduling_experiment(
+                    n_workers=args.workers, n_jobs=args.jobs, seed=args.seed
+                )
+            )
+        )
+    elif args.command == "storage":
+        _print(
+            storage_table(
+                run_storage_experiment(
+                    n_servers=args.servers, n_files=args.files, seed=args.seed
+                )
+            )
+        )
+    elif args.command == "majorization":
+        _print(
+            majorization_table(
+                run_majorization_chain(n=args.n, trials=args.trials, seed=args.seed)
+            )
+        )
+    elif args.command == "ablation":
+        _print(
+            ablation_table(
+                run_policy_ablation(n=args.n, trials=args.trials, seed=args.seed)
+            )
+        )
+    elif args.command == "weighted":
+        _print(
+            weighted_table(
+                run_weighted_experiment(n=args.n, trials=args.trials, seed=args.seed)
+            )
+        )
+    elif args.command == "staleness":
+        _print(
+            staleness_table(
+                run_staleness_experiment(n=args.n, trials=args.trials, seed=args.seed)
+            )
+        )
+    elif args.command == "churn":
+        _print(
+            churn_table(
+                run_churn_experiment(n=args.n, rounds=args.rounds, seed=args.seed)
+            )
+        )
+    elif args.command == "open-question":
+        _print(
+            open_question_table(
+                run_open_question_heavy(n=args.n, trials=args.trials, seed=args.seed)
+            )
+        )
+    elif args.command == "exact":
+        _print(
+            exact_validation_table(
+                run_exact_validation(trials=args.trials, seed=args.seed)
+            )
+        )
+    elif args.command == "report":
+        report = generate_report(seed=args.seed, sections=args.sections)
+        markdown = report.to_markdown()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(markdown)
+            print(f"wrote {args.output} ({len(report.sections)} sections)")
+        else:
+            print(markdown)
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Cluster-scheduling substrate: a Sparrow-style discrete-event simulator.
+
+Built to exercise the paper's Section 1.3 application of (k, d)-choice to
+parallel job scheduling: jobs of ``k`` tasks arrive, probes measure worker
+queue lengths, and the scheduler under test decides placement.
+"""
+
+from .events import Event, EventQueue, JOB_ARRIVAL, TASK_FINISH
+from .jobs import JobRecord, TaskRecord
+from .metrics import ClusterReport, build_report
+from .schedulers import (
+    BatchSamplingScheduler,
+    LateBindingScheduler,
+    PerTaskDChoiceScheduler,
+    RandomScheduler,
+    Scheduler,
+    SchedulingDecision,
+)
+from .simulator import ClusterSimulator, simulate_cluster
+from .workers import Reservation, Worker
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "JOB_ARRIVAL",
+    "TASK_FINISH",
+    "JobRecord",
+    "TaskRecord",
+    "Worker",
+    "Reservation",
+    "Scheduler",
+    "SchedulingDecision",
+    "RandomScheduler",
+    "PerTaskDChoiceScheduler",
+    "BatchSamplingScheduler",
+    "LateBindingScheduler",
+    "ClusterSimulator",
+    "simulate_cluster",
+    "ClusterReport",
+    "build_report",
+]

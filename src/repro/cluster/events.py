@@ -1,0 +1,65 @@
+"""Event queue for the cluster discrete-event simulation.
+
+A tiny, dependency-free priority queue of timestamped events.  Ties in time
+are broken by insertion order, which makes simulation runs fully
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Event", "EventQueue", "JOB_ARRIVAL", "TASK_FINISH"]
+
+# Event kinds used by the cluster simulator.
+JOB_ARRIVAL = "job_arrival"
+TASK_FINISH = "task_finish"
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event.
+
+    Ordering is by ``(time, sequence)``; ``kind`` and ``payload`` do not
+    participate in comparisons.
+    """
+
+    time: float
+    sequence: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event at ``time`` and return it."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(time=time, sequence=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it, or ``None`` if empty."""
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,106 @@
+"""Runtime records for jobs and tasks in the cluster simulation.
+
+The workload module (:mod:`repro.simulation.workloads`) describes *what*
+arrives; these classes track *what happened* to each task and job during a
+simulation run: queueing, start, finish, and the derived response times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..simulation.workloads import JobSpec
+
+__all__ = ["TaskRecord", "JobRecord"]
+
+
+@dataclass
+class TaskRecord:
+    """One task's life cycle inside the simulator."""
+
+    job_id: int
+    task_index: int
+    duration: float
+    arrival_time: float
+    worker_id: Optional[int] = None
+    enqueue_time: Optional[float] = None
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+
+    @property
+    def wait_time(self) -> float:
+        """Time between arrival and start of service."""
+        if self.start_time is None:
+            raise ValueError("task has not started yet")
+        return self.start_time - self.arrival_time
+
+    @property
+    def response_time(self) -> float:
+        """Time between arrival and completion."""
+        if self.finish_time is None:
+            raise ValueError("task has not finished yet")
+        return self.finish_time - self.arrival_time
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_time is not None
+
+
+@dataclass
+class JobRecord:
+    """A job's tasks plus the derived job-level metrics.
+
+    The paper's motivation (Section 1.3): a job's completion time is the time
+    its *last* task finishes, so per-task d-choice degrades as parallelism
+    grows — one straggler task suffices to delay the whole job.
+    """
+
+    spec: JobSpec
+    tasks: List[TaskRecord] = field(default_factory=list)
+
+    @classmethod
+    def from_spec(cls, spec: JobSpec) -> "JobRecord":
+        """Create runtime records for every task of the job."""
+        record = cls(spec=spec)
+        record.tasks = [
+            TaskRecord(
+                job_id=spec.job_id,
+                task_index=index,
+                duration=duration,
+                arrival_time=spec.arrival_time,
+            )
+            for index, duration in enumerate(spec.task_durations)
+        ]
+        return record
+
+    @property
+    def job_id(self) -> int:
+        return self.spec.job_id
+
+    @property
+    def arrival_time(self) -> float:
+        return self.spec.arrival_time
+
+    @property
+    def finished(self) -> bool:
+        return all(task.finished for task in self.tasks)
+
+    @property
+    def finish_time(self) -> float:
+        """Completion time of the last task."""
+        if not self.finished:
+            raise ValueError(f"job {self.job_id} has unfinished tasks")
+        return max(task.finish_time for task in self.tasks)  # type: ignore[arg-type]
+
+    @property
+    def response_time(self) -> float:
+        """Job response time: last task finish minus job arrival."""
+        return self.finish_time - self.arrival_time
+
+    @property
+    def mean_task_wait(self) -> float:
+        """Average queueing delay across the job's tasks."""
+        if not self.finished:
+            raise ValueError(f"job {self.job_id} has unfinished tasks")
+        return sum(task.wait_time for task in self.tasks) / len(self.tasks)

@@ -1,0 +1,98 @@
+"""Cluster simulation reports.
+
+The key metric is the distribution of *job response times* — the time from a
+job's arrival until its last task completes — because that is the quantity
+the paper argues (k, d)-choice improves over per-task d-choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .jobs import JobRecord
+from .workers import Worker
+
+__all__ = ["ClusterReport", "build_report"]
+
+
+def _percentile(values: np.ndarray, q: float) -> float:
+    return float(np.percentile(values, q)) if values.size else 0.0
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Aggregate outcome of a cluster simulation run."""
+
+    scheduler: str
+    n_workers: int
+    n_jobs: int
+    n_tasks: int
+    horizon: float
+    mean_response: float
+    median_response: float
+    p95_response: float
+    p99_response: float
+    max_response: float
+    mean_task_wait: float
+    messages: int
+    messages_per_task: float
+    mean_utilization: float
+    max_queue_length: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat record for result tables."""
+        return {
+            "scheduler": self.scheduler,
+            "workers": self.n_workers,
+            "jobs": self.n_jobs,
+            "tasks": self.n_tasks,
+            "mean_response": round(self.mean_response, 4),
+            "median_response": round(self.median_response, 4),
+            "p95_response": round(self.p95_response, 4),
+            "p99_response": round(self.p99_response, 4),
+            "mean_task_wait": round(self.mean_task_wait, 4),
+            "messages": self.messages,
+            "messages_per_task": round(self.messages_per_task, 4),
+            "utilization": round(self.mean_utilization, 4),
+        }
+
+
+def build_report(
+    scheduler_name: str,
+    jobs: Sequence[JobRecord],
+    workers: Sequence[Worker],
+    messages: int,
+    horizon: float,
+) -> ClusterReport:
+    """Summarize a finished simulation run."""
+    unfinished = [job.job_id for job in jobs if not job.finished]
+    if unfinished:
+        raise ValueError(
+            f"cannot build a report with unfinished jobs: {unfinished[:5]}"
+        )
+    responses = np.asarray([job.response_time for job in jobs], dtype=float)
+    waits: List[float] = [task.wait_time for job in jobs for task in job.tasks]
+    n_tasks = sum(len(job.tasks) for job in jobs)
+    utilizations = [worker.utilization(horizon) for worker in workers]
+    max_queue = max((worker.queue_length for worker in workers), default=0)
+
+    return ClusterReport(
+        scheduler=scheduler_name,
+        n_workers=len(workers),
+        n_jobs=len(jobs),
+        n_tasks=n_tasks,
+        horizon=horizon,
+        mean_response=float(responses.mean()) if responses.size else 0.0,
+        median_response=_percentile(responses, 50),
+        p95_response=_percentile(responses, 95),
+        p99_response=_percentile(responses, 99),
+        max_response=float(responses.max()) if responses.size else 0.0,
+        mean_task_wait=float(np.mean(waits)) if waits else 0.0,
+        messages=messages,
+        messages_per_task=messages / n_tasks if n_tasks else 0.0,
+        mean_utilization=float(np.mean(utilizations)) if utilizations else 0.0,
+        max_queue_length=int(max_queue),
+    )

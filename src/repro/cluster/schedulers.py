@@ -1,0 +1,239 @@
+"""Task schedulers for the cluster substrate.
+
+Four probe-based schedulers are implemented, matching the comparison the
+paper's Section 1.3 sketches for parallel job scheduling:
+
+``RandomScheduler``
+    Every task goes to a uniformly random worker (the single-choice
+    baseline).
+``PerTaskDChoiceScheduler``
+    Every task independently probes ``d`` random workers and joins the
+    shortest queue — the standard power-of-d-choices applied per task.  As
+    the paper argues, a job's response time is governed by its slowest task,
+    so this degrades as the job's parallelism ``k`` grows.
+``BatchSamplingScheduler``
+    The (k, d)-choice strategy: the job issues ``d`` probes *once* and its
+    ``k`` tasks are assigned to the ``k`` least-loaded probed workers under
+    the paper's multiplicity cap (the strict policy).  Matches Sparrow's
+    "batch sampling".
+``LateBindingScheduler``
+    Sparrow's refinement: the ``d`` probes place reservations; a worker that
+    reaches a reservation asks the scheduler for a task, so tasks bind to the
+    first ``k`` workers to become available.  Included as an extension point
+    beyond the paper's model.
+
+Every scheduler returns :class:`SchedulingDecision` objects; the simulator
+applies them and charges the reported probe messages.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.policies import StrictPolicy
+from .jobs import JobRecord, TaskRecord
+from .workers import Reservation, Worker
+
+__all__ = [
+    "SchedulingDecision",
+    "Scheduler",
+    "RandomScheduler",
+    "PerTaskDChoiceScheduler",
+    "BatchSamplingScheduler",
+    "LateBindingScheduler",
+]
+
+
+@dataclass
+class SchedulingDecision:
+    """What a scheduler decided for one job arrival.
+
+    Attributes
+    ----------
+    placements:
+        Pairs ``(worker_id, entry)`` to enqueue, where ``entry`` is either a
+        concrete :class:`TaskRecord` or a :class:`Reservation`.
+    messages:
+        Probe (and cancellation) messages charged for the decision.
+    """
+
+    placements: List[Tuple[int, object]] = field(default_factory=list)
+    messages: int = 0
+
+
+class Scheduler(ABC):
+    """Base class for probe-based schedulers."""
+
+    name: str = "scheduler"
+
+    @abstractmethod
+    def schedule_job(
+        self,
+        job: JobRecord,
+        workers: Sequence[Worker],
+        now: float,
+        rng: np.random.Generator,
+    ) -> SchedulingDecision:
+        """Decide where the tasks of ``job`` go."""
+
+    def describe(self) -> str:
+        """Human-readable description used in reports."""
+        return self.name
+
+
+class RandomScheduler(Scheduler):
+    """Each task is sent to one uniformly random worker."""
+
+    name = "random"
+
+    def schedule_job(
+        self,
+        job: JobRecord,
+        workers: Sequence[Worker],
+        now: float,
+        rng: np.random.Generator,
+    ) -> SchedulingDecision:
+        decision = SchedulingDecision()
+        n_workers = len(workers)
+        targets = rng.integers(0, n_workers, size=len(job.tasks))
+        for task, worker_id in zip(job.tasks, targets.tolist()):
+            decision.placements.append((int(worker_id), task))
+            decision.messages += 1
+        return decision
+
+
+class PerTaskDChoiceScheduler(Scheduler):
+    """Each task independently probes ``d`` workers and joins the shortest queue."""
+
+    def __init__(self, d: int = 2) -> None:
+        if d < 1:
+            raise ValueError(f"d must be at least 1, got {d}")
+        self.d = d
+        self.name = f"per-task-{d}-choice"
+
+    def schedule_job(
+        self,
+        job: JobRecord,
+        workers: Sequence[Worker],
+        now: float,
+        rng: np.random.Generator,
+    ) -> SchedulingDecision:
+        decision = SchedulingDecision()
+        n_workers = len(workers)
+        probes = rng.integers(0, n_workers, size=(len(job.tasks), self.d))
+        for task, row in zip(job.tasks, probes.tolist()):
+            decision.messages += self.d
+            best_worker = row[0]
+            best_load = workers[best_worker].queue_length
+            for worker_id in row[1:]:
+                load = workers[worker_id].queue_length
+                if load < best_load:
+                    best_load = load
+                    best_worker = worker_id
+            decision.placements.append((int(best_worker), task))
+        return decision
+
+
+class BatchSamplingScheduler(Scheduler):
+    """(k, d)-choice batch sampling: one probe wave shared by the whole job.
+
+    Parameters
+    ----------
+    probe_ratio:
+        Number of probes per task; the job issues ``d = ceil(probe_ratio * k)``
+        probes (Sparrow uses probe_ratio = 2).
+    d:
+        Alternatively, a fixed probe count per job (overrides probe_ratio).
+    """
+
+    def __init__(self, probe_ratio: float = 2.0, d: Optional[int] = None) -> None:
+        if d is None and probe_ratio <= 0:
+            raise ValueError(f"probe_ratio must be positive, got {probe_ratio}")
+        if d is not None and d < 1:
+            raise ValueError(f"d must be at least 1, got {d}")
+        self.probe_ratio = probe_ratio
+        self.fixed_d = d
+        self._policy = StrictPolicy()
+        label = f"d={d}" if d is not None else f"ratio={probe_ratio:g}"
+        self.name = f"batch-(k,d)-choice[{label}]"
+
+    def probes_for(self, k: int, n_workers: int) -> int:
+        """Number of probes issued for a job with ``k`` tasks."""
+        if self.fixed_d is not None:
+            d = self.fixed_d
+        else:
+            d = int(np.ceil(self.probe_ratio * k))
+        return max(k, min(d, n_workers))
+
+    def schedule_job(
+        self,
+        job: JobRecord,
+        workers: Sequence[Worker],
+        now: float,
+        rng: np.random.Generator,
+    ) -> SchedulingDecision:
+        decision = SchedulingDecision()
+        n_workers = len(workers)
+        k = len(job.tasks)
+        d = self.probes_for(k, n_workers)
+        samples = [int(s) for s in rng.integers(0, n_workers, size=d)]
+        decision.messages += d
+
+        loads = [worker.queue_length for worker in workers]
+        destinations = self._policy.select(loads, samples, k, rng)
+        for task, worker_id in zip(job.tasks, destinations):
+            decision.placements.append((int(worker_id), task))
+        return decision
+
+
+class LateBindingScheduler(Scheduler):
+    """Sparrow-style batch sampling with late binding.
+
+    The job's ``d`` probes enqueue reservations; each reservation, when it
+    reaches the head of a worker's queue, claims the next unassigned task of
+    the job (or is discarded if none remain, charging one cancellation
+    message).
+    """
+
+    def __init__(self, probe_ratio: float = 2.0) -> None:
+        if probe_ratio <= 0:
+            raise ValueError(f"probe_ratio must be positive, got {probe_ratio}")
+        self.probe_ratio = probe_ratio
+        self.name = f"late-binding[ratio={probe_ratio:g}]"
+        self._pending: Dict[int, Deque[TaskRecord]] = {}
+        self.cancellation_messages = 0
+
+    def schedule_job(
+        self,
+        job: JobRecord,
+        workers: Sequence[Worker],
+        now: float,
+        rng: np.random.Generator,
+    ) -> SchedulingDecision:
+        decision = SchedulingDecision()
+        n_workers = len(workers)
+        k = len(job.tasks)
+        d = max(k, min(int(np.ceil(self.probe_ratio * k)), n_workers))
+        samples = rng.integers(0, n_workers, size=d)
+        decision.messages += d
+
+        self._pending[job.job_id] = deque(job.tasks)
+
+        def claim(worker_id: int, time: float, job_id: int = job.job_id) -> Optional[TaskRecord]:
+            queue = self._pending.get(job_id)
+            if queue:
+                return queue.popleft()
+            # No tasks left: the reservation is cancelled at a one-message cost.
+            self.cancellation_messages += 1
+            return None
+
+        for worker_id in samples.tolist():
+            decision.placements.append(
+                (int(worker_id), Reservation(job_id=job.job_id, claim=claim))
+            )
+        return decision

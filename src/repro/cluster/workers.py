@@ -1,0 +1,147 @@
+"""Worker machines: single-slot servers with FIFO task queues.
+
+Each worker executes one task at a time and queues the rest in FIFO order,
+mirroring the worker model of Sparrow [Ousterhout et al., SOSP 2013], the
+system the paper cites for the cluster-scheduling application.  Two queue
+entry types exist:
+
+* a concrete :class:`~repro.cluster.jobs.TaskRecord` (early binding), or
+* a :class:`Reservation` placeholder (late binding): when the reservation
+  reaches the head of the queue the worker asks the scheduler for a task; if
+  the job has none left, the reservation is discarded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Union
+
+from .jobs import TaskRecord
+
+__all__ = ["Reservation", "Worker"]
+
+
+@dataclass
+class Reservation:
+    """A late-binding placeholder enqueued by a probe.
+
+    Attributes
+    ----------
+    job_id:
+        Job on whose behalf the reservation was placed.
+    claim:
+        Callback ``(worker_id, now) -> TaskRecord | None`` provided by the
+        scheduler.  Returning ``None`` means every task of the job is already
+        running elsewhere and the reservation should be discarded.
+    """
+
+    job_id: int
+    claim: "callable"
+
+
+QueueEntry = Union[TaskRecord, Reservation]
+
+
+class Worker:
+    """A single worker machine with a FIFO queue."""
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.queue: Deque[QueueEntry] = deque()
+        self.running: Optional[TaskRecord] = None
+        self.busy_until: float = 0.0
+        self.tasks_completed: int = 0
+        self.busy_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Load signals used by probes
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """Number of queued entries plus the running task, if any.
+
+        This is the load estimate a probe message returns — the same signal
+        the (k, d)-choice and per-task d-choice schedulers compare.
+        """
+        return len(self.queue) + (1 if self.running is not None else 0)
+
+    def pending_work(self, now: float) -> float:
+        """Remaining service time of the running task plus queued task work.
+
+        Reservations contribute zero because their task durations are not yet
+        known to the worker.
+        """
+        work = max(self.busy_until - now, 0.0) if self.running is not None else 0.0
+        for entry in self.queue:
+            if isinstance(entry, TaskRecord):
+                work += entry.duration
+        return work
+
+    # ------------------------------------------------------------------
+    # Queue operations (driven by the simulator)
+    # ------------------------------------------------------------------
+    def enqueue(self, entry: QueueEntry, now: float) -> Optional[TaskRecord]:
+        """Add an entry; if the worker is idle, start work immediately.
+
+        Returns the task that started (so the simulator can schedule its
+        finish event), or ``None`` if nothing started.
+        """
+        if isinstance(entry, TaskRecord):
+            entry.worker_id = self.worker_id
+            entry.enqueue_time = now
+        if self.running is None:
+            started = self._start_entry(entry, now)
+            if started is not None:
+                return started
+            # A reservation that could not be claimed: stay idle.
+            return None
+        self.queue.append(entry)
+        return None
+
+    def finish_current(self, now: float) -> Optional[TaskRecord]:
+        """Complete the running task and start the next queue entry.
+
+        Returns the next task that started (if any) so the simulator can
+        schedule its finish event.
+        """
+        if self.running is None:
+            raise RuntimeError(f"worker {self.worker_id} has no running task to finish")
+        finished = self.running
+        finished.finish_time = now
+        self.busy_time += finished.duration
+        self.tasks_completed += 1
+        self.running = None
+
+        while self.queue:
+            entry = self.queue.popleft()
+            started = self._start_entry(entry, now)
+            if started is not None:
+                return started
+        return None
+
+    def _start_entry(self, entry: QueueEntry, now: float) -> Optional[TaskRecord]:
+        """Try to start a queue entry; resolve reservations via their claim."""
+        if isinstance(entry, Reservation):
+            task = entry.claim(self.worker_id, now)
+            if task is None:
+                return None
+            task.worker_id = self.worker_id
+            task.enqueue_time = task.enqueue_time if task.enqueue_time is not None else now
+            entry = task
+        entry.start_time = now
+        self.running = entry
+        self.busy_until = now + entry.duration
+        return entry
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of the time horizon this worker spent executing tasks."""
+        if horizon <= 0:
+            return 0.0
+        return min(self.busy_time / horizon, 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Worker(id={self.worker_id}, queue_length={self.queue_length}, "
+            f"completed={self.tasks_completed})"
+        )

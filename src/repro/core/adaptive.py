@@ -1,0 +1,214 @@
+"""Adaptive allocation comparators.
+
+The paper's introduction compares its non-adaptive (k, d)-choice scheme
+against *adaptive* algorithms, where the number of probes per ball is not
+fixed:
+
+* Czumaj & Stemann (Random Structures & Algorithms 2001): ``O(ln ln n)``
+  maximum load with ``(1 + o(1)) n`` messages in expectation.
+* Lenzen & Wattenhofer (STOC 2011) and Berenbrink et al. (SPAA 2013):
+  constant maximum load with ``O(1)`` average probes per ball.
+
+These comparators are implemented here so the trade-off bench
+(``benchmarks/bench_tradeoff.py``) can place (k, d)-choice on the same
+max-load versus message-cost plane the paper argues about in Section 1.1.
+
+Two schemes are provided:
+
+``run_threshold_adaptive``
+    Probe random bins one at a time; commit to the first bin whose load is at
+    most a threshold, falling back to the best probed bin after ``max_probes``
+    probes.  With threshold equal to the current average load this is the
+    classical low-message adaptive scheme: most balls stop after one or two
+    probes, so the total message cost is ``(1 + o(1)) n``.
+
+``run_two_phase_adaptive``
+    A simplified Lenzen–Wattenhofer-style two-phase scheme: every ball first
+    probes one random bin and commits if the bin is below a cap; the few balls
+    that fail retry with ``d`` probes and join the least loaded.  Constant
+    maximum load with ``O(n)`` messages for a suitable cap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .types import AllocationResult
+
+__all__ = ["run_threshold_adaptive", "run_two_phase_adaptive"]
+
+_CHUNK = 8192
+
+
+def _make_rng(
+    seed: "int | np.random.SeedSequence | None",
+    rng: Optional[np.random.Generator],
+) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng(seed)
+
+
+def run_threshold_adaptive(
+    n_bins: int,
+    n_balls: Optional[int] = None,
+    threshold: "int | Callable[[float], int] | None" = None,
+    max_probes: Optional[int] = None,
+    seed: "int | np.random.SeedSequence | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> AllocationResult:
+    """Adaptive threshold probing (Czumaj–Stemann style).
+
+    Parameters
+    ----------
+    threshold:
+        Either a fixed integer load threshold, a callable mapping the current
+        average load to a threshold, or ``None`` for the default
+        ``ceil(average) + 1``.
+    max_probes:
+        Probe budget per ball; default ``max(2, ceil(log2 n))``.  After the
+        budget is exhausted the ball joins the least loaded probed bin.
+
+    Returns
+    -------
+    AllocationResult
+        ``extra['probe_histogram']`` maps number-of-probes to ball count, and
+        ``extra['average_probes']`` is the realized mean probes per ball.
+    """
+    if n_bins <= 0:
+        raise ValueError(f"n_bins must be positive, got {n_bins}")
+    if n_balls is None:
+        n_balls = n_bins
+    if max_probes is None:
+        max_probes = max(2, int(np.ceil(np.log2(max(n_bins, 2)))))
+    if max_probes < 1:
+        raise ValueError(f"max_probes must be at least 1, got {max_probes}")
+    generator = _make_rng(seed, rng)
+
+    if threshold is None:
+        def threshold_fn(average: float) -> int:
+            return int(np.ceil(average)) + 1
+    elif callable(threshold):
+        threshold_fn = threshold
+    else:
+        fixed = int(threshold)
+
+        def threshold_fn(average: float) -> int:
+            return fixed
+
+    loads = [0] * n_bins
+    messages = 0
+    probe_histogram: dict[int, int] = {}
+    placed = 0
+
+    # Pre-draw probes in a (chunk, max_probes) block; unused probes in a row
+    # are simply ignored, which keeps the inner loop free of RNG calls.
+    remaining = n_balls
+    while remaining > 0:
+        batch = min(remaining, _CHUNK)
+        probes = generator.integers(0, n_bins, size=(batch, max_probes))
+        for row in probes.tolist():
+            limit = threshold_fn(placed / n_bins)
+            best_bin = row[0]
+            best_load = loads[best_bin]
+            used = 1
+            if best_load > limit:
+                for bin_index in row[1:]:
+                    used += 1
+                    load = loads[bin_index]
+                    if load < best_load:
+                        best_load = load
+                        best_bin = bin_index
+                    if load <= limit:
+                        break
+            loads[best_bin] += 1
+            placed += 1
+            messages += used
+            probe_histogram[used] = probe_histogram.get(used, 0) + 1
+        remaining -= batch
+
+    return AllocationResult(
+        loads=np.asarray(loads, dtype=np.int64),
+        scheme="adaptive-threshold",
+        n_bins=n_bins,
+        n_balls=n_balls,
+        k=1,
+        d=max_probes,
+        messages=messages,
+        rounds=n_balls,
+        policy="adaptive",
+        extra={
+            "probe_histogram": probe_histogram,
+            "average_probes": messages / max(n_balls, 1),
+            "max_probes": max_probes,
+        },
+    )
+
+
+def run_two_phase_adaptive(
+    n_bins: int,
+    n_balls: Optional[int] = None,
+    cap: Optional[int] = None,
+    retry_probes: int = 4,
+    seed: "int | np.random.SeedSequence | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> AllocationResult:
+    """Two-phase adaptive allocation (simplified Lenzen–Wattenhofer).
+
+    Phase 1: the ball probes a single random bin and commits if the bin holds
+    fewer than ``cap`` balls (default ``ceil(m/n) + 2``).  Phase 2: otherwise
+    it probes ``retry_probes`` random bins and joins the least loaded of them
+    (unconditionally).
+    """
+    if n_bins <= 0:
+        raise ValueError(f"n_bins must be positive, got {n_bins}")
+    if n_balls is None:
+        n_balls = n_bins
+    if retry_probes < 1:
+        raise ValueError(f"retry_probes must be at least 1, got {retry_probes}")
+    if cap is None:
+        cap = int(np.ceil(n_balls / n_bins)) + 2
+    generator = _make_rng(seed, rng)
+
+    loads = [0] * n_bins
+    messages = 0
+    retries = 0
+    remaining = n_balls
+    while remaining > 0:
+        batch = min(remaining, _CHUNK)
+        first = generator.integers(0, n_bins, size=batch)
+        fallback = generator.integers(0, n_bins, size=(batch, retry_probes))
+        for primary, row in zip(first.tolist(), fallback.tolist()):
+            messages += 1
+            if loads[primary] < cap:
+                loads[primary] += 1
+                continue
+            retries += 1
+            messages += retry_probes
+            best_bin = row[0]
+            best_load = loads[best_bin]
+            for bin_index in row[1:]:
+                load = loads[bin_index]
+                if load < best_load:
+                    best_load = load
+                    best_bin = bin_index
+            loads[best_bin] += 1
+        remaining -= batch
+
+    return AllocationResult(
+        loads=np.asarray(loads, dtype=np.int64),
+        scheme="adaptive-two-phase",
+        n_bins=n_bins,
+        n_balls=n_balls,
+        k=1,
+        d=retry_probes,
+        messages=messages,
+        rounds=n_balls,
+        policy="adaptive",
+        extra={
+            "cap": cap,
+            "retries": retries,
+            "retry_fraction": retries / max(n_balls, 1),
+            "average_probes": messages / max(n_balls, 1),
+        },
+    )

@@ -1,0 +1,165 @@
+"""Metrics over allocation outcomes.
+
+All functions accept either an :class:`~repro.core.types.AllocationResult` or
+a plain load vector (anything :func:`numpy.asarray` accepts) so they can be
+used both on library results and on externally produced load data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Union
+
+import numpy as np
+
+from .types import AllocationResult
+
+__all__ = [
+    "as_loads",
+    "max_load",
+    "min_load",
+    "average_load",
+    "gap",
+    "load_profile",
+    "nu",
+    "nu_vector",
+    "mu",
+    "load_histogram",
+    "empty_fraction",
+    "message_cost",
+    "messages_per_ball",
+    "summarize",
+    "height_histogram",
+]
+
+LoadsLike = Union[AllocationResult, np.ndarray, Iterable[int]]
+
+
+def as_loads(loads: LoadsLike) -> np.ndarray:
+    """Normalize the argument to an integer load vector."""
+    if isinstance(loads, AllocationResult):
+        return loads.loads
+    arr = np.asarray(loads, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError("load vector must be one-dimensional")
+    return arr
+
+
+def max_load(loads: LoadsLike) -> int:
+    """Maximum bin load ``M`` (paper's ``B_1``)."""
+    arr = as_loads(loads)
+    return int(arr.max()) if arr.size else 0
+
+
+def min_load(loads: LoadsLike) -> int:
+    """Minimum bin load (``B_n``)."""
+    arr = as_loads(loads)
+    return int(arr.min()) if arr.size else 0
+
+
+def average_load(loads: LoadsLike) -> float:
+    """Average number of balls per bin."""
+    arr = as_loads(loads)
+    return float(arr.mean()) if arr.size else 0.0
+
+
+def gap(loads: LoadsLike) -> float:
+    """Maximum load minus average load (the heavily-loaded-case metric)."""
+    arr = as_loads(loads)
+    if arr.size == 0:
+        return 0.0
+    return float(arr.max() - arr.mean())
+
+
+def load_profile(loads: LoadsLike) -> np.ndarray:
+    """Sorted load vector ``B_1 >= B_2 >= ... >= B_n`` (Figures 1 and 2)."""
+    return np.sort(as_loads(loads))[::-1]
+
+
+def nu(loads: LoadsLike, y: int) -> int:
+    """``ν_y``: number of bins with at least ``y`` balls."""
+    arr = as_loads(loads)
+    if y <= 0:
+        return int(arr.size)
+    return int(np.count_nonzero(arr >= y))
+
+
+def nu_vector(loads: LoadsLike, max_height: int | None = None) -> np.ndarray:
+    """``ν_y`` for ``y = 0 .. max_height`` (default: the maximum load)."""
+    arr = as_loads(loads)
+    top = int(arr.max()) if max_height is None and arr.size else (max_height or 0)
+    counts = np.bincount(arr, minlength=top + 1)
+    cumulative = np.cumsum(counts)
+    result = np.empty(top + 1, dtype=np.int64)
+    result[0] = arr.size
+    if top >= 1:
+        result[1:] = arr.size - cumulative[:top]
+    return result
+
+
+def mu(loads: LoadsLike, y: int) -> int:
+    """``µ_y``: number of balls with height at least ``y``.
+
+    A bin with load ``B`` contributes ``max(B - y + 1, 0)`` balls of height at
+    least ``y``.
+    """
+    arr = as_loads(loads)
+    if y <= 1:
+        return int(arr.sum())
+    excess = arr - (y - 1)
+    return int(excess[excess > 0].sum())
+
+
+def load_histogram(loads: LoadsLike) -> Dict[int, int]:
+    """Mapping load value -> number of bins holding exactly that many balls."""
+    arr = as_loads(loads)
+    values, counts = np.unique(arr, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def empty_fraction(loads: LoadsLike) -> float:
+    """Fraction of bins with zero balls."""
+    arr = as_loads(loads)
+    if arr.size == 0:
+        return 0.0
+    return float(np.count_nonzero(arr == 0)) / arr.size
+
+
+def message_cost(result: AllocationResult) -> int:
+    """Total number of bin probes issued by the process."""
+    return result.messages
+
+
+def messages_per_ball(result: AllocationResult) -> float:
+    """Average probes per ball."""
+    return result.messages_per_ball
+
+
+def height_histogram(loads: LoadsLike) -> Dict[int, int]:
+    """Number of balls at each height.
+
+    The ball sitting at position ``h`` from the bottom of its bin has height
+    ``h``, so a bin with load ``B`` holds exactly one ball of each height
+    ``1 .. B``.  The histogram therefore equals ``{h: ν_h}``.
+    """
+    arr = as_loads(loads)
+    if arr.size == 0:
+        return {}
+    top = int(arr.max())
+    return {h: nu(arr, h) for h in range(1, top + 1)}
+
+
+def summarize(result: AllocationResult) -> Mapping[str, object]:
+    """One-line summary of an allocation outcome.
+
+    Extends :meth:`AllocationResult.summary` with distribution statistics.
+    """
+    arr = result.loads
+    summary = dict(result.summary())
+    summary.update(
+        {
+            "min_load": int(arr.min()) if arr.size else 0,
+            "std_load": float(arr.std()) if arr.size else 0.0,
+            "empty_fraction": empty_fraction(arr),
+        }
+    )
+    return summary

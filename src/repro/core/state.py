@@ -1,0 +1,226 @@
+"""Bin state and load accounting for balls-into-bins processes.
+
+The :class:`BinState` class is the mutable substrate on which every allocation
+process in this library operates.  It stores the unsorted load vector (bin
+``i`` keeps its identity for the whole run, matching a physical machine or
+storage server) and exposes the sorted views and counting functions used in
+the paper's analysis:
+
+* ``nu(y)``  — the number of bins with at least ``y`` balls (paper's ``ν_y``),
+* ``mu(y)``  — the number of balls with height at least ``y`` (paper's ``µ_y``),
+* ``sorted_loads()`` — the sorted bin-load vector ``B_1 ≥ B_2 ≥ ... ≥ B_n``
+  used throughout Sections 4 and 5.
+
+The *height* of a ball is the number of balls in its bin immediately after it
+is placed (Section 2.1 of the paper).  ``BinState.place`` returns that height
+so processes can implement the removal rule of the (k, d)-choice policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["BinState"]
+
+
+class BinState:
+    """Mutable load vector for ``n`` bins.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of bins.  Must be a positive integer.
+    loads:
+        Optional initial loads.  When omitted, every bin starts empty.
+
+    Notes
+    -----
+    The class intentionally keeps the load vector as a plain Python list of
+    integers: allocation processes touch a handful of bins per round, and
+    element access on a list is faster than single-element access on a NumPy
+    array.  Whole-vector analytics (``nu``, ``sorted_loads`` ...) convert to
+    NumPy on demand.
+    """
+
+    def __init__(self, n_bins: int, loads: Sequence[int] | None = None) -> None:
+        if n_bins <= 0:
+            raise ValueError(f"n_bins must be positive, got {n_bins}")
+        if loads is None:
+            self._loads: List[int] = [0] * n_bins
+        else:
+            if len(loads) != n_bins:
+                raise ValueError(
+                    f"loads has length {len(loads)}, expected n_bins={n_bins}"
+                )
+            if any(load < 0 for load in loads):
+                raise ValueError("bin loads must be non-negative")
+            self._loads = [int(load) for load in loads]
+        self._n_bins = n_bins
+        self._total = sum(self._loads)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_bins(self) -> int:
+        """Number of bins."""
+        return self._n_bins
+
+    @property
+    def total_balls(self) -> int:
+        """Total number of balls currently placed."""
+        return self._total
+
+    @property
+    def loads(self) -> List[int]:
+        """A copy of the unsorted load vector (index = bin identity)."""
+        return list(self._loads)
+
+    def load_of(self, bin_index: int) -> int:
+        """Load of a specific bin."""
+        return self._loads[bin_index]
+
+    def __len__(self) -> int:
+        return self._n_bins
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BinState(n_bins={self._n_bins}, total_balls={self._total}, "
+            f"max_load={self.max_load()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def place(self, bin_index: int) -> int:
+        """Place one ball into ``bin_index`` and return the ball's height.
+
+        The height is the load of the bin *including* the new ball, which is
+        the paper's definition of ball height.
+        """
+        self._loads[bin_index] += 1
+        self._total += 1
+        return self._loads[bin_index]
+
+    def remove(self, bin_index: int) -> None:
+        """Remove one ball from ``bin_index``.
+
+        Used by the (k, d)-choice policy that places all ``d`` balls and then
+        removes the ``d - k`` with maximal heights.
+        """
+        if self._loads[bin_index] <= 0:
+            raise ValueError(f"bin {bin_index} is empty; cannot remove a ball")
+        self._loads[bin_index] -= 1
+        self._total -= 1
+
+    def place_many(self, bin_indices: Iterable[int]) -> List[int]:
+        """Place one ball into each listed bin (with multiplicity).
+
+        Returns the heights of the placed balls, in placement order.
+        """
+        return [self.place(index) for index in bin_indices]
+
+    def copy(self) -> "BinState":
+        """Return an independent copy of this state."""
+        clone = BinState.__new__(BinState)
+        clone._loads = list(self._loads)
+        clone._n_bins = self._n_bins
+        clone._total = self._total
+        return clone
+
+    # ------------------------------------------------------------------
+    # Sorted views and counters from the paper
+    # ------------------------------------------------------------------
+    def as_array(self) -> np.ndarray:
+        """The unsorted load vector as a NumPy array."""
+        return np.asarray(self._loads, dtype=np.int64)
+
+    def sorted_loads(self) -> np.ndarray:
+        """The sorted load vector ``B_1 ≥ B_2 ≥ ... ≥ B_n`` (descending)."""
+        arr = self.as_array()
+        arr[::-1].sort()  # in-place ascending sort of the reversed view
+        return arr
+
+    def max_load(self) -> int:
+        """Maximum bin load (``B_1`` in the paper's notation)."""
+        return max(self._loads) if self._loads else 0
+
+    def min_load(self) -> int:
+        """Minimum bin load (``B_n``)."""
+        return min(self._loads) if self._loads else 0
+
+    def average_load(self) -> float:
+        """Average load ``m / n``."""
+        return self._total / self._n_bins
+
+    def gap(self) -> float:
+        """Gap between the maximum and the average load.
+
+        This is the quantity tracked by the heavily-loaded analysis
+        (Theorem 2 and [Berenbrink et al. 2006]).
+        """
+        return self.max_load() - self.average_load()
+
+    def nu(self, y: int) -> int:
+        """Number of bins with at least ``y`` balls (paper's ``ν_y``)."""
+        if y <= 0:
+            return self._n_bins
+        return sum(1 for load in self._loads if load >= y)
+
+    def mu(self, y: int) -> int:
+        """Number of balls with height at least ``y`` (paper's ``µ_y``).
+
+        A bin with load ``B`` holds exactly ``max(B - y + 1, 0)`` balls of
+        height at least ``y``, so ``µ_y = Σ_i [B_i - y + 1]^+``.
+        """
+        if y <= 1:
+            # Every ball has height at least 1.
+            return self._total
+        return sum(load - y + 1 for load in self._loads if load >= y)
+
+    def nu_vector(self, max_height: int | None = None) -> np.ndarray:
+        """``ν_y`` for every ``y`` from 0 to ``max_height`` (inclusive)."""
+        top = self.max_load() if max_height is None else max_height
+        counts = np.bincount(self.as_array(), minlength=top + 1)
+        # ν_y = number of bins with load >= y = n - #bins with load < y
+        cumulative = np.cumsum(counts)
+        nu = np.empty(top + 1, dtype=np.int64)
+        nu[0] = self._n_bins
+        if top >= 1:
+            nu[1:] = self._n_bins - cumulative[:top]
+        return nu
+
+    def load_histogram(self) -> Dict[int, int]:
+        """Mapping from load value to the number of bins with that load."""
+        histogram: Dict[int, int] = {}
+        for load in self._loads:
+            histogram[load] = histogram.get(load, 0) + 1
+        return histogram
+
+    def fraction_empty(self) -> float:
+        """Fraction of bins holding zero balls."""
+        return sum(1 for load in self._loads if load == 0) / self._n_bins
+
+    # ------------------------------------------------------------------
+    # Comparison helpers
+    # ------------------------------------------------------------------
+    def prefix_sums(self) -> np.ndarray:
+        """Prefix sums of the sorted load vector: ``B_{≤x}`` for x=1..n.
+
+        ``B_{≤x}`` is the number of balls in the ``x`` most loaded bins, the
+        quantity used by the paper's majorization order (Definition 2).
+        """
+        return np.cumsum(self.sorted_loads())
+
+    def majorizes(self, other: "BinState") -> bool:
+        """True if this state majorizes ``other`` sample-wise.
+
+        Sample-wise majorization means ``B_{≤x}(self) ≥ B_{≤x}(other)`` for
+        every prefix ``x``.  This is the coupling-level statement behind the
+        distributional majorization of Definition 2(ii).
+        """
+        if other.n_bins != self._n_bins:
+            raise ValueError("states must have the same number of bins")
+        return bool(np.all(self.prefix_sums() >= other.prefix_sums()))

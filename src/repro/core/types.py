@@ -1,0 +1,174 @@
+"""Common result and parameter types shared by every allocation process.
+
+Every process in :mod:`repro.core` — the (k, d)-choice process, the classic
+baselines and the adaptive comparators — returns an :class:`AllocationResult`,
+so downstream code (metrics, experiment recipes, benches) can treat them
+uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["ProcessParams", "AllocationResult"]
+
+
+@dataclass(frozen=True)
+class ProcessParams:
+    """Parameters of a (k, d)-choice run.
+
+    Attributes
+    ----------
+    n_bins:
+        Number of bins ``n``.
+    n_balls:
+        Number of balls ``m`` placed in total (``m = n`` in the lightly
+        loaded case, ``m > n`` for Theorem 2's heavily loaded case).
+    k:
+        Number of balls placed per round.
+    d:
+        Number of bins probed per round.  Must satisfy ``1 <= k <= d``.
+    policy:
+        Name of the allocation policy ("strict" for the paper's rule,
+        "greedy" for the Section 7 relaxation).
+    """
+
+    n_bins: int
+    n_balls: int
+    k: int
+    d: int
+    policy: str = "strict"
+
+    def __post_init__(self) -> None:
+        if self.n_bins <= 0:
+            raise ValueError(f"n_bins must be positive, got {self.n_bins}")
+        if self.n_balls < 0:
+            raise ValueError(f"n_balls must be non-negative, got {self.n_balls}")
+        if not 1 <= self.k <= self.d:
+            raise ValueError(
+                f"requires 1 <= k <= d, got k={self.k}, d={self.d}"
+            )
+        if self.d > self.n_bins:
+            raise ValueError(
+                f"d must not exceed n_bins, got d={self.d}, n_bins={self.n_bins}"
+            )
+
+    @property
+    def d_k(self) -> float:
+        """The paper's ``d_k = d / (d - k)`` (infinity when ``k == d``)."""
+        if self.d == self.k:
+            return float("inf")
+        return self.d / (self.d - self.k)
+
+    @property
+    def rounds(self) -> int:
+        """Number of full rounds required to place ``n_balls`` balls."""
+        return -(-self.n_balls // self.k)  # ceiling division
+
+    @property
+    def message_cost(self) -> int:
+        """Total probe messages: ``d`` probes per round (footnote 1)."""
+        return self.rounds * self.d
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of an allocation process.
+
+    Attributes
+    ----------
+    loads:
+        Final unsorted load vector (``loads[i]`` = balls in physical bin i).
+    scheme:
+        Human-readable scheme name ("(k,d)-choice", "single-choice", ...).
+    n_bins, n_balls:
+        Problem size.
+    k, d:
+        Round size and probe count where applicable (``k = d = 1`` for the
+        classic single-choice process).
+    messages:
+        Total number of bin probes issued by the process.
+    rounds:
+        Number of rounds executed (equals ``n_balls`` for serial processes).
+    policy:
+        Allocation policy name, where applicable.
+    extra:
+        Scheme-specific extras (e.g. probe histogram for adaptive schemes).
+    """
+
+    loads: np.ndarray
+    scheme: str
+    n_bins: int
+    n_balls: int
+    k: int = 1
+    d: int = 1
+    messages: int = 0
+    rounds: int = 0
+    policy: str = "strict"
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.loads = np.asarray(self.loads, dtype=np.int64)
+        if self.loads.ndim != 1:
+            raise ValueError("loads must be a one-dimensional vector")
+        if self.loads.shape[0] != self.n_bins:
+            raise ValueError(
+                f"loads has length {self.loads.shape[0]}, expected {self.n_bins}"
+            )
+
+    # ------------------------------------------------------------------
+    # Convenience metrics (full metric suite lives in repro.core.metrics)
+    # ------------------------------------------------------------------
+    @property
+    def max_load(self) -> int:
+        """Maximum bin load ``M``."""
+        return int(self.loads.max()) if self.loads.size else 0
+
+    @property
+    def average_load(self) -> float:
+        """Average load ``m / n``."""
+        return float(self.n_balls) / float(self.n_bins)
+
+    @property
+    def gap(self) -> float:
+        """Max load minus average load."""
+        return self.max_load - self.average_load
+
+    @property
+    def messages_per_ball(self) -> float:
+        """Average number of probes per ball."""
+        if self.n_balls == 0:
+            return 0.0
+        return self.messages / self.n_balls
+
+    def sorted_loads(self) -> np.ndarray:
+        """Sorted load vector ``B_1 >= B_2 >= ... >= B_n``."""
+        return np.sort(self.loads)[::-1]
+
+    def nu(self, y: int) -> int:
+        """Number of bins with at least ``y`` balls."""
+        if y <= 0:
+            return self.n_bins
+        return int(np.count_nonzero(self.loads >= y))
+
+    def total_balls_check(self) -> bool:
+        """True when the load vector sums to ``n_balls`` (conservation)."""
+        return int(self.loads.sum()) == self.n_balls
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary summary used by result tables."""
+        return {
+            "scheme": self.scheme,
+            "n_bins": self.n_bins,
+            "n_balls": self.n_balls,
+            "k": self.k,
+            "d": self.d,
+            "policy": self.policy,
+            "max_load": self.max_load,
+            "gap": round(self.gap, 4),
+            "messages": self.messages,
+            "messages_per_ball": round(self.messages_per_ball, 4),
+        }

@@ -1,0 +1,137 @@
+"""Experiment recipes: one module per paper artefact (table, figure, claim).
+
+Every module exposes a ``run_*`` function returning structured results plus a
+``*_table`` helper that renders them the way the paper presents them; the
+benchmark harness and the examples call these recipes.
+"""
+
+from .ablation import AblationPoint, ablation_table, run_policy_ablation
+from .applications import (
+    SchedulingComparison,
+    StorageComparison,
+    run_scheduling_experiment,
+    run_storage_experiment,
+    scheduling_table,
+    storage_table,
+)
+from .extensions import (
+    ChurnPoint,
+    ExactValidationPoint,
+    OpenQuestionPoint,
+    StalenessPoint,
+    WeightedPoint,
+    churn_table,
+    exact_validation_table,
+    open_question_table,
+    run_churn_experiment,
+    run_exact_validation,
+    run_open_question_heavy,
+    run_staleness_experiment,
+    run_weighted_experiment,
+    staleness_table,
+    weighted_table,
+)
+from .heavy import HeavyPoint, heavy_table, run_heavy_case
+from .report import (
+    REPORT_SECTIONS,
+    ReportSection,
+    ReproductionReport,
+    generate_report,
+)
+from .load_profile import (
+    LoadProfileResult,
+    ProfileSeries,
+    downsample_profile,
+    run_load_profile,
+)
+from .majorization_exp import (
+    MajorizationExperiment,
+    majorization_table,
+    run_majorization_chain,
+)
+from .regimes import (
+    DEFAULT_CONFIGS,
+    RegimeConfig,
+    RegimePoint,
+    regime_table,
+    run_regime_scaling,
+)
+from .table1 import (
+    PAPER_TABLE1,
+    TABLE1_D_VALUES,
+    TABLE1_K_VALUES,
+    TABLE1_N,
+    Table1Cell,
+    Table1Result,
+    run_table1,
+    table1_cell,
+)
+from .tradeoff import TradeoffPoint, default_schemes, run_tradeoff, tradeoff_table
+
+__all__ = [
+    # table 1
+    "TABLE1_N",
+    "TABLE1_K_VALUES",
+    "TABLE1_D_VALUES",
+    "PAPER_TABLE1",
+    "Table1Cell",
+    "Table1Result",
+    "table1_cell",
+    "run_table1",
+    # figures
+    "ProfileSeries",
+    "LoadProfileResult",
+    "run_load_profile",
+    "downsample_profile",
+    # regimes
+    "RegimeConfig",
+    "RegimePoint",
+    "DEFAULT_CONFIGS",
+    "run_regime_scaling",
+    "regime_table",
+    # heavy case
+    "HeavyPoint",
+    "run_heavy_case",
+    "heavy_table",
+    # majorization
+    "MajorizationExperiment",
+    "run_majorization_chain",
+    "majorization_table",
+    # tradeoff
+    "TradeoffPoint",
+    "run_tradeoff",
+    "tradeoff_table",
+    "default_schemes",
+    # applications
+    "SchedulingComparison",
+    "StorageComparison",
+    "run_scheduling_experiment",
+    "run_storage_experiment",
+    "scheduling_table",
+    "storage_table",
+    # ablation
+    "AblationPoint",
+    "run_policy_ablation",
+    "ablation_table",
+    # extensions
+    "WeightedPoint",
+    "run_weighted_experiment",
+    "weighted_table",
+    "StalenessPoint",
+    "run_staleness_experiment",
+    "staleness_table",
+    "ChurnPoint",
+    "run_churn_experiment",
+    "churn_table",
+    "OpenQuestionPoint",
+    "run_open_question_heavy",
+    "open_question_table",
+    "ExactValidationPoint",
+    "run_exact_validation",
+    "exact_validation_table",
+    # report
+    "REPORT_SECTIONS",
+    "ReportSection",
+    "ReproductionReport",
+    "generate_report",
+]

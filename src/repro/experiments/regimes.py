@@ -1,0 +1,136 @@
+"""Theorem 1 regimes: maximum-load scaling against the closed-form bounds.
+
+The theorem distinguishes two regimes:
+
+* ``d_k = O(1)``: the maximum load grows like ``ln ln n / ln(d − k + 1)``
+  (plus an additive constant) — the familiar doubly-logarithmic multiple-
+  choice behaviour.
+* ``d_k → ∞``: an extra ``ln d_k / ln ln d_k`` term appears; as ``k``
+  approaches ``d`` the process degrades towards single choice.
+
+This experiment sweeps ``n`` for representative configurations of each regime
+(plus the single-choice anchor) and reports measured maximum loads alongside
+the predicted leading terms so the growth shapes can be compared.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from ..analysis.bounds import classify_regime, theorem1_leading_term
+from ..core.process import run_kd_choice
+from ..simulation.results import ResultTable
+from ..simulation.rng import SeedTree
+from ..simulation.runner import run_trials
+
+__all__ = ["RegimeConfig", "RegimePoint", "run_regime_scaling", "DEFAULT_CONFIGS"]
+
+
+@dataclass(frozen=True)
+class RegimeConfig:
+    """A named family of (k, d) choices parameterized by ``n``."""
+
+    name: str
+    k_of_n: Callable[[int], int]
+    d_of_n: Callable[[int], int]
+
+    def parameters(self, n: int) -> tuple[int, int]:
+        k = min(max(1, int(self.k_of_n(n))), n)
+        d = min(max(k, int(self.d_of_n(n))), n)
+        k = min(k, d)
+        return k, d
+
+
+#: Default configurations: one per regime discussed in Section 1.1.
+DEFAULT_CONFIGS: Sequence[RegimeConfig] = (
+    # Classic two-choice anchor, d_k = 2.
+    RegimeConfig("greedy[2]  (k=1,d=2)", lambda n: 1, lambda n: 2),
+    # d_k = O(1) with a wide gap d - k = k: constant-ish max load.
+    RegimeConfig("(k,2k), k=ln n  [d_k=2]", lambda n: max(1, round(math.log(n))),
+                 lambda n: 2 * max(1, round(math.log(n)))),
+    # d_k -> infinity: d = k + 1 with k = sqrt(n).
+    RegimeConfig("(k,k+1), k=sqrt n  [d_k→∞]", lambda n: max(1, int(math.isqrt(n))),
+                 lambda n: max(1, int(math.isqrt(n))) + 1),
+    # Single-choice anchor.
+    RegimeConfig("single-choice (k=d=1)", lambda n: 1, lambda n: 1),
+)
+
+
+@dataclass(frozen=True)
+class RegimePoint:
+    """Measured and predicted maximum load for one (config, n) pair."""
+
+    config: str
+    n: int
+    k: int
+    d: int
+    regime: str
+    mean_max_load: float
+    min_max_load: float
+    max_max_load: float
+    predicted_leading_term: float
+
+
+def run_regime_scaling(
+    n_values: Sequence[int] = (1 << 10, 1 << 12, 1 << 14, 1 << 16),
+    configs: Sequence[RegimeConfig] = DEFAULT_CONFIGS,
+    trials: int = 3,
+    seed: "int | None" = 0,
+) -> List[RegimePoint]:
+    """Sweep ``n`` for each configuration and collect measured vs predicted."""
+    tree = SeedTree(seed)
+    points: List[RegimePoint] = []
+    for config in configs:
+        for n in n_values:
+            k, d = config.parameters(n)
+            values = run_trials(
+                lambda s, n=n, k=k, d=d: run_kd_choice(n_bins=n, k=k, d=d, seed=s),
+                trials=trials,
+                seed=tree.integer_seed(),
+            )
+            regime = classify_regime(k, d, n) if k < d else None
+            points.append(
+                RegimePoint(
+                    config=config.name,
+                    n=n,
+                    k=k,
+                    d=d,
+                    regime=regime.name if regime is not None else "single_choice_like",
+                    mean_max_load=sum(values) / len(values),
+                    min_max_load=min(values),
+                    max_max_load=max(values),
+                    predicted_leading_term=theorem1_leading_term(k, d, n),
+                )
+            )
+    return points
+
+
+def regime_table(points: Sequence[RegimePoint]) -> ResultTable:
+    """Flatten regime points into a printable table."""
+    table = ResultTable(
+        columns=[
+            "config", "n", "k", "d", "regime",
+            "mean_max_load", "min_max_load", "max_max_load", "predicted_leading_term",
+        ],
+        title="Theorem 1 regimes: measured maximum load vs predicted leading term",
+    )
+    for point in points:
+        table.add(
+            {
+                "config": point.config,
+                "n": point.n,
+                "k": point.k,
+                "d": point.d,
+                "regime": point.regime,
+                "mean_max_load": point.mean_max_load,
+                "min_max_load": point.min_max_load,
+                "max_max_load": point.max_max_load,
+                "predicted_leading_term": point.predicted_leading_term,
+            }
+        )
+    return table
+
+
+__all__.append("regime_table")

@@ -1,0 +1,216 @@
+"""One-shot reproduction report.
+
+``generate_report`` runs a scaled version of every experiment recipe and
+renders a single Markdown document — the same artefacts EXPERIMENTS.md
+records, regenerated from scratch on the current machine.  It is exposed as
+``python -m repro report`` and used by the integration tests as a smoke test
+that every recipe composes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..simulation.rng import SeedTree
+from .ablation import ablation_table, run_policy_ablation
+from .applications import (
+    run_scheduling_experiment,
+    run_storage_experiment,
+    scheduling_table,
+    storage_table,
+)
+from .extensions import (
+    churn_table,
+    exact_validation_table,
+    open_question_table,
+    run_churn_experiment,
+    run_exact_validation,
+    run_open_question_heavy,
+    run_staleness_experiment,
+    run_weighted_experiment,
+    staleness_table,
+    weighted_table,
+)
+from .heavy import heavy_table, run_heavy_case
+from .load_profile import run_load_profile
+from .majorization_exp import majorization_table, run_majorization_chain
+from .regimes import regime_table, run_regime_scaling
+from .table1 import run_table1
+from .tradeoff import run_tradeoff, tradeoff_table
+
+__all__ = ["ReportSection", "ReproductionReport", "generate_report", "REPORT_SECTIONS"]
+
+
+@dataclass
+class ReportSection:
+    """One experiment's rendered output."""
+
+    key: str
+    title: str
+    body: str
+
+
+@dataclass
+class ReproductionReport:
+    """A collection of report sections, renderable as Markdown."""
+
+    seed: int
+    sections: List[ReportSection] = field(default_factory=list)
+
+    def section(self, key: str) -> ReportSection:
+        for section in self.sections:
+            if section.key == key:
+                return section
+        raise KeyError(f"no section named {key!r}")
+
+    def to_markdown(self) -> str:
+        lines = [
+            "# (k, d)-choice reproduction report",
+            "",
+            f"Root seed: `{self.seed}`.  Scaled-down parameters; see EXPERIMENTS.md "
+            "for paper-scale anchors.",
+            "",
+        ]
+        for section in self.sections:
+            lines.append(f"## {section.title}")
+            lines.append("")
+            lines.append("```")
+            lines.append(section.body.rstrip())
+            lines.append("```")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def _table1_section(seed: int) -> str:
+    result = run_table1(
+        n=3 * 2 ** 11,
+        trials=3,
+        seed=seed,
+        k_values=(1, 2, 4, 8, 16),
+        d_values=(1, 2, 3, 5, 9, 17),
+    )
+    return result.to_text()
+
+
+def _profile_section(seed: int) -> str:
+    result = run_load_profile(n=3 * 2 ** 12, configurations=((4, 8), (16, 17)), seed=seed)
+    lines = []
+    for series in result.series:
+        lines.append(
+            f"(k={series.k}, d={series.d}): max load {series.max_load}, "
+            f"beta0={series.beta0:.0f}, gamma0={series.gamma0:.0f}, "
+            f"gamma*={series.gamma_star_:.0f}, "
+            f"B(beta0)={series.load_at_beta0}, B(gamma0)={series.load_at_gamma0}, "
+            f"B(gamma*)={series.load_at_gamma_star}"
+        )
+    return "\n".join(lines)
+
+
+#: Section key -> (title, builder).  Builders take the section seed and
+#: return the rendered text body.
+REPORT_SECTIONS: Dict[str, tuple[str, Callable[[int], str]]] = {
+    "table1": ("Table 1 — maximum load grid", _table1_section),
+    "profiles": ("Figures 1 & 2 — sorted load profiles and landmarks", _profile_section),
+    "regimes": (
+        "Theorem 1 regimes",
+        lambda seed: regime_table(
+            run_regime_scaling(n_values=(1 << 10, 1 << 12), trials=2, seed=seed)
+        ).to_text(),
+    ),
+    "heavy": (
+        "Theorem 2 — heavily loaded case",
+        lambda seed: heavy_table(
+            run_heavy_case(n=1 << 10, load_factors=(1, 4), trials=2, seed=seed)
+        ).to_text(),
+    ),
+    "majorization": (
+        "Section 3 — majorization chain",
+        lambda seed: majorization_table(
+            run_majorization_chain(n=3 * 2 ** 9, configurations=((3, 5),), trials=6, seed=seed)
+        ).to_text(),
+    ),
+    "tradeoff": (
+        "Section 1.1 — max load vs message cost",
+        lambda seed: tradeoff_table(run_tradeoff(n=3 * 2 ** 11, trials=2, seed=seed)).to_text(),
+    ),
+    "scheduling": (
+        "Application — cluster scheduling",
+        lambda seed: scheduling_table(
+            run_scheduling_experiment(
+                n_workers=64, tasks_per_job_values=(4, 16), n_jobs=150, seed=seed
+            )
+        ).to_text(),
+    ),
+    "storage": (
+        "Application — distributed storage",
+        lambda seed: storage_table(
+            run_storage_experiment(n_servers=256, n_files=2048, replica_values=(3,), seed=seed)
+        ).to_text(),
+    ),
+    "ablation": (
+        "Ablation — strict vs greedy policy",
+        lambda seed: ablation_table(
+            run_policy_ablation(n=3 * 2 ** 10, trials=3, seed=seed)
+        ).to_text(),
+    ),
+    "weighted": (
+        "Extension — weighted balls",
+        lambda seed: weighted_table(
+            run_weighted_experiment(n=3 * 2 ** 9, trials=2, seed=seed)
+        ).to_text(),
+    ),
+    "staleness": (
+        "Extension — stale information",
+        lambda seed: staleness_table(
+            run_staleness_experiment(n=3 * 2 ** 9, trials=2, seed=seed)
+        ).to_text(),
+    ),
+    "churn": (
+        "Extension — dynamic churn",
+        lambda seed: churn_table(
+            run_churn_experiment(n=256, rounds=1024, trials=1, seed=seed)
+        ).to_text(),
+    ),
+    "open_question": (
+        "Extension — open question (d < 2k, heavily loaded)",
+        lambda seed: open_question_table(
+            run_open_question_heavy(n=1 << 10, load_factors=(1, 4), trials=2, seed=seed)
+        ).to_text(),
+    ),
+    "exact": (
+        "Validation — exact vs simulated distributions",
+        lambda seed: exact_validation_table(
+            run_exact_validation(instances=((4, 2, 3), (5, 2, 4)), trials=2000, seed=seed)
+        ).to_text(),
+    ),
+}
+
+
+def generate_report(
+    seed: int = 0,
+    sections: Optional[List[str]] = None,
+) -> ReproductionReport:
+    """Run the selected experiment recipes and bundle their rendered output.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; each section derives its own stream.
+    sections:
+        Optional subset of section keys (default: all of
+        :data:`REPORT_SECTIONS`, in order).
+    """
+    keys = list(REPORT_SECTIONS) if sections is None else list(sections)
+    unknown = [key for key in keys if key not in REPORT_SECTIONS]
+    if unknown:
+        raise ValueError(
+            f"unknown report sections {unknown}; available: {sorted(REPORT_SECTIONS)}"
+        )
+    tree = SeedTree(seed)
+    report = ReproductionReport(seed=seed)
+    for key in keys:
+        title, builder = REPORT_SECTIONS[key]
+        body = builder(tree.integer_seed())
+        report.sections.append(ReportSection(key=key, title=title, body=body))
+    return report

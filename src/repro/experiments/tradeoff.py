@@ -1,0 +1,135 @@
+"""The maximum-load versus message-cost trade-off (Section 1.1).
+
+The paper's headline claim: by choosing ``k`` and ``d`` appropriately,
+(k, d)-choice achieves
+
+* a **constant** maximum load with ``O(n)`` messages (``d = 2k``,
+  ``k = Θ(polylog n)``), or
+* ``o(ln ln n)`` maximum load with ``(1 + o(1)) n`` messages
+  (``d − k = Θ(ln n)``, ``k ≥ Θ(ln² n)``),
+
+and thereby matches the best known *adaptive* algorithms while being
+non-adaptive.  This experiment runs single choice, Greedy[2], Greedy[d],
+(1+β)-choice, the adaptive comparators and several (k, d)-choice settings on
+the same instance size and reports (max load, messages per ball) pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..core.adaptive import run_threshold_adaptive, run_two_phase_adaptive
+from ..core.baselines import (
+    run_always_go_left,
+    run_d_choice,
+    run_one_plus_beta,
+    run_single_choice,
+)
+from ..core.process import run_kd_choice
+from ..core.types import AllocationResult
+from ..simulation.results import ResultTable
+from ..simulation.rng import SeedTree
+from ..simulation.runner import ExperimentRunner
+
+__all__ = ["TradeoffPoint", "run_tradeoff", "tradeoff_table", "default_schemes"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """Mean max load and message cost of one scheme."""
+
+    scheme: str
+    mean_max_load: float
+    min_max_load: float
+    max_max_load: float
+    mean_messages_per_ball: float
+
+
+SchemeFactory = Callable[[int, int], AllocationResult]
+"""A callable ``(n, seed) -> AllocationResult``."""
+
+
+def default_schemes(n: int) -> Dict[str, SchemeFactory]:
+    """The scheme suite compared by the trade-off experiment."""
+    log_n = max(2, round(math.log(n)))
+    log_sq = max(2, round(math.log(n) ** 2))
+    schemes: Dict[str, SchemeFactory] = {
+        "single-choice": lambda n_, s: run_single_choice(n_, seed=s),
+        "greedy[2]": lambda n_, s: run_d_choice(n_, d=2, seed=s),
+        "greedy[4]": lambda n_, s: run_d_choice(n_, d=4, seed=s),
+        "(1+0.5)-choice": lambda n_, s: run_one_plus_beta(n_, beta=0.5, seed=s),
+        "always-go-left[2]": lambda n_, s: run_always_go_left(n_, d=2, seed=s),
+        "adaptive-threshold": lambda n_, s: run_threshold_adaptive(n_, seed=s),
+        "adaptive-two-phase": lambda n_, s: run_two_phase_adaptive(n_, seed=s),
+        # Constant max load at 2n messages: d = 2k with k = Θ(polylog n).
+        f"(k,2k)-choice k=ln^2 n={log_sq}": (
+            lambda n_, s, k=log_sq: run_kd_choice(n_, k=k, d=2 * k, seed=s)
+        ),
+        # o(ln ln n) max load at (1+o(1))n messages: d - k = Θ(ln n), k = ln^2 n.
+        f"(k,k+ln n)-choice k={log_sq}": (
+            lambda n_, s, k=log_sq, extra=log_n: run_kd_choice(n_, k=k, d=k + extra, seed=s)
+        ),
+        # Storage setting: d = k + 1 with k = ln n (half of two-choice's cost).
+        f"(k,k+1)-choice k=ln n={log_n}": (
+            lambda n_, s, k=log_n: run_kd_choice(n_, k=k, d=k + 1, seed=s)
+        ),
+    }
+    return schemes
+
+
+def run_tradeoff(
+    n: int = 3 * 2 ** 13,
+    trials: int = 3,
+    seed: "int | None" = 0,
+    schemes: "Dict[str, SchemeFactory] | None" = None,
+) -> List[TradeoffPoint]:
+    """Run every scheme ``trials`` times and collect (max load, messages)."""
+    scheme_map = schemes if schemes is not None else default_schemes(n)
+    tree = SeedTree(seed)
+    runner = ExperimentRunner(
+        trials=trials,
+        seed=tree.integer_seed(),
+        metrics={
+            "max_load": lambda r: float(r.max_load),
+            "messages_per_ball": lambda r: float(r.messages_per_ball),
+        },
+    )
+    points: List[TradeoffPoint] = []
+    for name, factory in scheme_map.items():
+        outcome = runner.run(lambda s, f=factory: f(n, s), label=name)
+        max_stats = outcome.statistics("max_load")
+        msg_stats = outcome.statistics("messages_per_ball")
+        points.append(
+            TradeoffPoint(
+                scheme=name,
+                mean_max_load=max_stats.mean,
+                min_max_load=max_stats.minimum,
+                max_max_load=max_stats.maximum,
+                mean_messages_per_ball=msg_stats.mean,
+            )
+        )
+    return points
+
+
+def tradeoff_table(points: Sequence[TradeoffPoint]) -> ResultTable:
+    """Flatten trade-off points into a printable table."""
+    table = ResultTable(
+        columns=[
+            "scheme", "mean_max_load", "min_max_load", "max_max_load",
+            "mean_messages_per_ball",
+        ],
+        title="Maximum load vs message cost (Section 1.1 trade-off)",
+    )
+    for point in points:
+        table.add(
+            {
+                "scheme": point.scheme,
+                "mean_max_load": point.mean_max_load,
+                "min_max_load": point.min_max_load,
+                "max_max_load": point.max_max_load,
+                "mean_messages_per_ball": point.mean_messages_per_ball,
+            }
+        )
+    return table

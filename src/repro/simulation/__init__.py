@@ -1,0 +1,42 @@
+"""Simulation infrastructure: seeding, trial runners, sweeps, workloads."""
+
+from .plotting import horizontal_bar_chart, profile_chart, sparkline
+from .results import GridTable, ResultTable
+from .rng import SeedTree, derive_seeds, make_generator, spawn_generators
+from .runner import ExperimentOutcome, ExperimentRunner, TrialOutcome, run_trials
+from .sweep import KDGridSweep, ParameterSweep, SweepPoint
+from .workloads import (
+    BallBatchStream,
+    FileSpec,
+    JobSpec,
+    JobTrace,
+    file_population,
+    poisson_job_trace,
+    zipf_weights,
+)
+
+__all__ = [
+    "SeedTree",
+    "make_generator",
+    "spawn_generators",
+    "derive_seeds",
+    "ExperimentRunner",
+    "ExperimentOutcome",
+    "TrialOutcome",
+    "run_trials",
+    "ParameterSweep",
+    "KDGridSweep",
+    "SweepPoint",
+    "ResultTable",
+    "GridTable",
+    "horizontal_bar_chart",
+    "sparkline",
+    "profile_chart",
+    "BallBatchStream",
+    "JobSpec",
+    "JobTrace",
+    "poisson_job_trace",
+    "FileSpec",
+    "file_population",
+    "zipf_weights",
+]

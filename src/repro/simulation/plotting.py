@@ -1,0 +1,88 @@
+"""Dependency-free ASCII plotting for terminal reports.
+
+The paper's figures are simple one-dimensional sketches (sorted load
+profiles); rather than pulling in a plotting stack, the experiment recipes
+and examples render them as ASCII charts.  Three primitives are provided:
+
+* :func:`horizontal_bar_chart` — labelled horizontal bars (scheme comparisons),
+* :func:`sparkline` — a one-line trend (gap over time in the churn model),
+* :func:`profile_chart` — a log-rank rendering of a sorted load profile
+  (the Figure 1 / Figure 2 shape).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["horizontal_bar_chart", "sparkline", "profile_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def horizontal_bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    fill: str = "█",
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render labelled values as horizontal bars scaled to ``width`` columns."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if not values:
+        return ""
+    label_width = max(len(str(label)) for label in values)
+    maximum = max(values.values())
+    scale = width / maximum if maximum > 0 else 0.0
+    lines = []
+    for label, value in values.items():
+        bar = fill * max(int(round(value * scale)), 1 if value > 0 else 0)
+        lines.append(
+            f"{str(label).ljust(label_width)}  {bar.ljust(width)}  "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence of values as a one-line unicode sparkline."""
+    data = list(values)
+    if not data:
+        return ""
+    low, high = min(data), max(data)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(data)
+    span = high - low
+    chars = []
+    for value in data:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def profile_chart(
+    profile_points: Iterable[Tuple[int, int]],
+    width: int = 50,
+    marker: str = "*",
+) -> str:
+    """Render (rank, load) points of a sorted load profile.
+
+    Ranks are laid out on a logarithmic horizontal axis (the interesting part
+    of the profile is its head); the load value determines the marker's
+    column label.
+    """
+    points = sorted(profile_points)
+    if not points:
+        return ""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    max_rank = points[-1][0]
+    max_load = max(load for _, load in points)
+    lines = [f"load (max {max_load}) by rank (log scale, up to {max_rank}):"]
+    log_max = np.log10(max(max_rank, 2))
+    for rank, load in points:
+        column = int(round(np.log10(max(rank, 1)) / log_max * (width - 1))) if log_max else 0
+        bar = " " * column + marker
+        lines.append(f"rank {rank:>8}  {bar}  load={load}")
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Result records and text tables.
+
+Experiments in this library produce *records* (flat dictionaries of scalars)
+collected into a :class:`ResultTable`.  The table can render itself as an
+aligned text grid — the same presentation as the paper's Table 1 — and as
+CSV for downstream processing.  No plotting dependency is required; figures
+are reproduced as data series that the benches print.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["ResultTable", "GridTable"]
+
+
+@dataclass
+class ResultTable:
+    """An ordered collection of uniform records (rows).
+
+    Parameters
+    ----------
+    columns:
+        Column names, in display order.  Records may carry extra keys; only
+        the listed columns are rendered.
+    title:
+        Optional table title printed above the grid.
+    """
+
+    columns: Sequence[str]
+    title: str = ""
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add(self, record: Mapping[str, object]) -> None:
+        """Append one record (missing columns render as empty cells)."""
+        self.rows.append(dict(record))
+
+    def extend(self, records: Iterable[Mapping[str, object]]) -> None:
+        """Append many records."""
+        for record in records:
+            self.add(record)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _format_cell(value: object) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def to_text(self) -> str:
+        """Render the table as an aligned text grid."""
+        header = [str(c) for c in self.columns]
+        body = [
+            [self._format_cell(row.get(c)) for c in self.columns] for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render the table as CSV text."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(self.columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({c: row.get(c, "") for c in self.columns})
+        return buffer.getvalue()
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+@dataclass
+class GridTable:
+    """A two-dimensional grid keyed by (row label, column label).
+
+    This mirrors the layout of the paper's Table 1, whose rows are ``k``
+    values and columns are ``d`` values, with a dash for invalid cells
+    (``k >= d`` combinations other than the diagonal single-choice column).
+    """
+
+    row_labels: Sequence[object]
+    column_labels: Sequence[object]
+    row_header: str = ""
+    title: str = ""
+    missing: str = "-"
+    cells: Dict[tuple, str] = field(default_factory=dict)
+
+    def set(self, row: object, column: object, value: object) -> None:
+        """Set the cell at (row, column)."""
+        if row not in self.row_labels:
+            raise KeyError(f"unknown row label {row!r}")
+        if column not in self.column_labels:
+            raise KeyError(f"unknown column label {column!r}")
+        self.cells[(row, column)] = str(value)
+
+    def get(self, row: object, column: object) -> Optional[str]:
+        """Cell content, or ``None`` when unset."""
+        return self.cells.get((row, column))
+
+    def to_text(self) -> str:
+        """Render the grid as aligned text (Table 1 style)."""
+        header = [self.row_header] + [str(c) for c in self.column_labels]
+        body: List[List[str]] = []
+        for row in self.row_labels:
+            cells = [str(row)]
+            for column in self.column_labels:
+                cells.append(self.cells.get((row, column), self.missing))
+            body.append(cells)
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row_cells in body:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row_cells, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()

@@ -1,0 +1,131 @@
+"""Experiment runner: repeated trials of an allocation process.
+
+The paper's Table 1 reports the maximum load observed over ten independent
+runs per parameter combination.  :class:`ExperimentRunner` generalizes that
+pattern: it runs any ``seed -> AllocationResult`` callable a fixed number of
+times with independent seeds from a :class:`~repro.simulation.rng.SeedTree`
+and aggregates whatever scalar metrics the caller asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..core.types import AllocationResult
+from ..analysis.statistics import TrialStatistics, observed_value_set, trial_statistics
+from .rng import SeedTree
+
+__all__ = ["TrialOutcome", "ExperimentOutcome", "ExperimentRunner", "run_trials"]
+
+ResultFactory = Callable[[int], AllocationResult]
+MetricFunction = Callable[[AllocationResult], float]
+
+_DEFAULT_METRICS: Dict[str, MetricFunction] = {
+    "max_load": lambda result: float(result.max_load),
+    "gap": lambda result: float(result.gap),
+    "messages": lambda result: float(result.messages),
+}
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """A single trial: the seed used and the metrics extracted."""
+
+    seed: int
+    metrics: Mapping[str, float]
+
+
+@dataclass
+class ExperimentOutcome:
+    """Aggregated outcome of repeated trials of one configuration.
+
+    Attributes
+    ----------
+    label:
+        Human-readable configuration label.
+    trials:
+        Per-trial outcomes, in execution order.
+    """
+
+    label: str
+    trials: List[TrialOutcome] = field(default_factory=list)
+
+    def metric_values(self, name: str) -> List[float]:
+        """All observed values of one metric."""
+        return [trial.metrics[name] for trial in self.trials]
+
+    def statistics(self, name: str) -> TrialStatistics:
+        """Summary statistics of one metric."""
+        return trial_statistics(self.metric_values(name))
+
+    def observed_set(self, name: str) -> List[int]:
+        """Distinct integer outcomes of a metric (Table-1 presentation)."""
+        return observed_value_set(self.metric_values(name))
+
+    def record(self) -> Dict[str, object]:
+        """Flat record with ``<metric>_mean`` / ``_min`` / ``_max`` columns."""
+        record: Dict[str, object] = {"label": self.label, "trials": len(self.trials)}
+        if not self.trials:
+            return record
+        for name in self.trials[0].metrics:
+            stats = self.statistics(name)
+            record[f"{name}_mean"] = stats.mean
+            record[f"{name}_min"] = stats.minimum
+            record[f"{name}_max"] = stats.maximum
+        return record
+
+
+class ExperimentRunner:
+    """Run a configuration repeatedly with independent, reproducible seeds.
+
+    Parameters
+    ----------
+    trials:
+        Number of independent runs per configuration (the paper uses 10).
+    seed:
+        Root seed for the experiment; every configuration and trial derives
+        its own stream from it.
+    metrics:
+        Mapping from metric name to a function of the
+        :class:`AllocationResult`.  Defaults to max load, gap and messages.
+    """
+
+    def __init__(
+        self,
+        trials: int = 10,
+        seed: "int | None" = 0,
+        metrics: Optional[Mapping[str, MetricFunction]] = None,
+    ) -> None:
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
+        self.trials = trials
+        self.seed_tree = SeedTree(seed)
+        self.metrics: Dict[str, MetricFunction] = dict(metrics or _DEFAULT_METRICS)
+
+    def run(self, factory: ResultFactory, label: str = "") -> ExperimentOutcome:
+        """Run ``factory`` ``trials`` times and aggregate the metrics."""
+        outcome = ExperimentOutcome(label=label)
+        for seed in self.seed_tree.integer_seeds(self.trials):
+            result = factory(seed)
+            metrics = {name: fn(result) for name, fn in self.metrics.items()}
+            outcome.trials.append(TrialOutcome(seed=seed, metrics=metrics))
+        return outcome
+
+    def run_many(
+        self, factories: Mapping[str, ResultFactory]
+    ) -> Dict[str, ExperimentOutcome]:
+        """Run several labelled configurations."""
+        return {label: self.run(factory, label) for label, factory in factories.items()}
+
+
+def run_trials(
+    factory: ResultFactory,
+    trials: int = 10,
+    seed: "int | None" = 0,
+    metric: MetricFunction = lambda result: float(result.max_load),
+) -> List[float]:
+    """Convenience helper: repeated runs, returning one metric per trial."""
+    runner = ExperimentRunner(trials=trials, seed=seed, metrics={"value": metric})
+    outcome = runner.run(factory)
+    return outcome.metric_values("value")

@@ -1,0 +1,157 @@
+"""Parameter sweeps over (k, d, n, m) grids.
+
+A sweep is a declarative description of a family of configurations; running
+it produces one :class:`~repro.simulation.runner.ExperimentOutcome` per
+configuration plus a flat :class:`~repro.simulation.results.ResultTable`.
+Table 1, the regime scaling experiment and the heavy-load experiment are all
+expressed as sweeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from ..core.process import run_kd_choice
+from ..core.types import AllocationResult
+from .results import ResultTable
+from .runner import ExperimentOutcome, ExperimentRunner, MetricFunction
+
+__all__ = ["SweepPoint", "ParameterSweep", "KDGridSweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration in a sweep: arbitrary keyword parameters."""
+
+    params: Mapping[str, object]
+
+    @property
+    def label(self) -> str:
+        return ", ".join(f"{key}={value}" for key, value in sorted(self.params.items()))
+
+
+@dataclass
+class ParameterSweep:
+    """A generic sweep over the Cartesian product of parameter values.
+
+    Parameters
+    ----------
+    grid:
+        Mapping from parameter name to the list of values to sweep.
+    factory:
+        Callable ``(params, seed) -> AllocationResult`` building one run.
+    filter_fn:
+        Optional predicate on the parameter dict; points that fail are
+        skipped (used e.g. to enforce ``k <= d`` in grid sweeps).
+    """
+
+    grid: Mapping[str, Sequence[object]]
+    factory: Callable[[Mapping[str, object], int], AllocationResult]
+    filter_fn: Optional[Callable[[Mapping[str, object]], bool]] = None
+
+    def points(self) -> Iterator[SweepPoint]:
+        """Iterate over the (filtered) grid points."""
+        names = list(self.grid.keys())
+        for values in itertools.product(*(self.grid[name] for name in names)):
+            params = dict(zip(names, values))
+            if self.filter_fn is not None and not self.filter_fn(params):
+                continue
+            yield SweepPoint(params=params)
+
+    def run(
+        self,
+        trials: int = 10,
+        seed: "int | None" = 0,
+        metrics: Optional[Mapping[str, MetricFunction]] = None,
+    ) -> List[tuple[SweepPoint, ExperimentOutcome]]:
+        """Run every grid point ``trials`` times."""
+        runner = ExperimentRunner(trials=trials, seed=seed, metrics=metrics)
+        outcomes: List[tuple[SweepPoint, ExperimentOutcome]] = []
+        for point in self.points():
+            factory = lambda s, p=point.params: self.factory(p, s)  # noqa: E731
+            outcomes.append((point, runner.run(factory, label=point.label)))
+        return outcomes
+
+    def run_table(
+        self,
+        trials: int = 10,
+        seed: "int | None" = 0,
+        metrics: Optional[Mapping[str, MetricFunction]] = None,
+        title: str = "",
+    ) -> ResultTable:
+        """Run the sweep and flatten everything into a :class:`ResultTable`."""
+        outcomes = self.run(trials=trials, seed=seed, metrics=metrics)
+        columns: List[str] = []
+        rows: List[Dict[str, object]] = []
+        for point, outcome in outcomes:
+            record: Dict[str, object] = dict(point.params)
+            record.update(
+                {k: v for k, v in outcome.record().items() if k not in ("label",)}
+            )
+            rows.append(record)
+            for key in record:
+                if key not in columns:
+                    columns.append(key)
+        table = ResultTable(columns=columns, title=title)
+        table.extend(rows)
+        return table
+
+
+def _kd_factory(params: Mapping[str, object], seed: int) -> AllocationResult:
+    return run_kd_choice(
+        n_bins=int(params["n"]),
+        k=int(params["k"]),
+        d=int(params["d"]),
+        n_balls=int(params.get("m", params["n"])),
+        policy=str(params.get("policy", "strict")),
+        seed=seed,
+    )
+
+
+@dataclass
+class KDGridSweep:
+    """A sweep over (k, d) pairs at fixed ``n`` (and optionally ``m``).
+
+    Invalid combinations (``k > d``) are skipped, mirroring the dashes in
+    Table 1.
+    """
+
+    n: int
+    k_values: Sequence[int]
+    d_values: Sequence[int]
+    m: Optional[int] = None
+    policy: str = "strict"
+    extra_filter: Optional[Callable[[int, int], bool]] = None
+    _sweep: ParameterSweep = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        def allowed(params: Mapping[str, object]) -> bool:
+            k, d = int(params["k"]), int(params["d"])
+            if k > d:
+                return False
+            if self.extra_filter is not None and not self.extra_filter(k, d):
+                return False
+            return True
+
+        self._sweep = ParameterSweep(
+            grid={
+                "n": [self.n],
+                "m": [self.m if self.m is not None else self.n],
+                "k": list(self.k_values),
+                "d": list(self.d_values),
+                "policy": [self.policy],
+            },
+            factory=_kd_factory,
+            filter_fn=allowed,
+        )
+
+    def points(self) -> Iterator[SweepPoint]:
+        return self._sweep.points()
+
+    def run(self, trials: int = 10, seed: "int | None" = 0, metrics=None):
+        return self._sweep.run(trials=trials, seed=seed, metrics=metrics)
+
+    def run_table(self, trials: int = 10, seed: "int | None" = 0, metrics=None, title=""):
+        return self._sweep.run_table(trials=trials, seed=seed, metrics=metrics, title=title)

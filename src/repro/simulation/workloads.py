@@ -1,0 +1,268 @@
+"""Workload generators.
+
+Three kinds of workload are used across the experiments and substrates:
+
+* **Ball batches** for the core allocation processes — including the
+  heavily loaded streams of Theorem 2 where the number of balls is a multiple
+  of the number of bins.
+* **Job traces** for the cluster-scheduling substrate — Poisson arrivals of
+  jobs, each consisting of ``k`` parallel tasks with a chosen service-time
+  distribution (the Sparrow-style workload the paper's Section 1.3 cites).
+* **File populations** for the distributed-storage substrate — files with a
+  replication factor or chunk count and optionally skewed (Zipf) sizes and
+  access popularity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .rng import make_generator
+
+__all__ = [
+    "BallBatchStream",
+    "JobSpec",
+    "JobTrace",
+    "poisson_job_trace",
+    "FileSpec",
+    "file_population",
+    "zipf_weights",
+]
+
+
+@dataclass
+class BallBatchStream:
+    """A stream of ball batches of size ``k`` totalling ``n_balls`` balls.
+
+    This formalizes the paper's round structure (``n/k`` rounds of ``k``
+    balls) as an iterable workload so experiment code can treat lightly and
+    heavily loaded runs uniformly.
+    """
+
+    n_balls: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.n_balls < 0:
+            raise ValueError(f"n_balls must be non-negative, got {self.n_balls}")
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+
+    @property
+    def rounds(self) -> int:
+        """Number of batches (the final one may be smaller than ``k``)."""
+        return -(-self.n_balls // self.k)
+
+    def batch_sizes(self) -> Iterator[int]:
+        """Yield the size of each batch in order."""
+        remaining = self.n_balls
+        while remaining > 0:
+            batch = min(self.k, remaining)
+            yield batch
+            remaining -= batch
+
+
+# ----------------------------------------------------------------------
+# Cluster-scheduling workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobSpec:
+    """A parallel job: ``len(task_durations)`` tasks arriving together.
+
+    Attributes
+    ----------
+    job_id:
+        Sequential identifier.
+    arrival_time:
+        Simulation time at which the job (and all of its tasks) arrives.
+    task_durations:
+        Service time of each task on a worker.
+    """
+
+    job_id: int
+    arrival_time: float
+    task_durations: "tuple[float, ...]"
+
+    @property
+    def tasks_per_job(self) -> int:
+        return len(self.task_durations)
+
+    @property
+    def total_work(self) -> float:
+        return float(sum(self.task_durations))
+
+
+@dataclass
+class JobTrace:
+    """An ordered collection of jobs plus the parameters that generated it."""
+
+    jobs: List[JobSpec]
+    arrival_rate: float
+    tasks_per_job: int
+    mean_task_duration: float
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        return iter(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(job.tasks_per_job for job in self.jobs)
+
+    @property
+    def makespan_lower_bound(self) -> float:
+        """Total work divided by infinite parallelism — a sanity anchor."""
+        if not self.jobs:
+            return 0.0
+        return max(job.arrival_time for job in self.jobs)
+
+
+def poisson_job_trace(
+    n_jobs: int,
+    arrival_rate: float,
+    tasks_per_job: int,
+    mean_task_duration: float = 1.0,
+    duration_distribution: str = "exponential",
+    seed: "int | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> JobTrace:
+    """Generate a Poisson job-arrival trace (Sparrow-style workload).
+
+    Parameters
+    ----------
+    n_jobs:
+        Number of jobs to generate.
+    arrival_rate:
+        Expected number of job arrivals per unit time (``λ``).
+    tasks_per_job:
+        Parallelism ``k`` of every job.
+    mean_task_duration:
+        Mean service time of a task.
+    duration_distribution:
+        "exponential", "uniform" (0.5–1.5 × mean) or "constant".
+    """
+    if n_jobs < 0:
+        raise ValueError(f"n_jobs must be non-negative, got {n_jobs}")
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+    if tasks_per_job <= 0:
+        raise ValueError(f"tasks_per_job must be positive, got {tasks_per_job}")
+    if mean_task_duration <= 0:
+        raise ValueError(
+            f"mean_task_duration must be positive, got {mean_task_duration}"
+        )
+    generator = rng if rng is not None else make_generator(seed)
+
+    inter_arrivals = generator.exponential(1.0 / arrival_rate, size=n_jobs)
+    arrival_times = np.cumsum(inter_arrivals)
+
+    if duration_distribution == "exponential":
+        durations = generator.exponential(
+            mean_task_duration, size=(n_jobs, tasks_per_job)
+        )
+    elif duration_distribution == "uniform":
+        durations = generator.uniform(
+            0.5 * mean_task_duration, 1.5 * mean_task_duration, size=(n_jobs, tasks_per_job)
+        )
+    elif duration_distribution == "constant":
+        durations = np.full((n_jobs, tasks_per_job), mean_task_duration)
+    else:
+        raise ValueError(
+            "duration_distribution must be 'exponential', 'uniform' or 'constant', "
+            f"got {duration_distribution!r}"
+        )
+
+    jobs = [
+        JobSpec(
+            job_id=i,
+            arrival_time=float(arrival_times[i]),
+            task_durations=tuple(float(x) for x in durations[i]),
+        )
+        for i in range(n_jobs)
+    ]
+    return JobTrace(
+        jobs=jobs,
+        arrival_rate=arrival_rate,
+        tasks_per_job=tasks_per_job,
+        mean_task_duration=mean_task_duration,
+    )
+
+
+# ----------------------------------------------------------------------
+# Distributed-storage workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FileSpec:
+    """A file to be stored: ``replicas`` copies (or chunks) of ``size`` units."""
+
+    file_id: int
+    replicas: int
+    size: float = 1.0
+    popularity: float = 1.0
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalized Zipf popularity weights for ``count`` items."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def file_population(
+    n_files: int,
+    replicas: int,
+    size_distribution: str = "constant",
+    mean_size: float = 1.0,
+    popularity_exponent: float = 0.0,
+    seed: "int | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[FileSpec]:
+    """Generate a population of files for the storage experiments.
+
+    ``size_distribution`` may be "constant", "exponential" or "lognormal".
+    ``popularity_exponent`` > 0 gives Zipf-skewed access popularity.
+    """
+    if n_files < 0:
+        raise ValueError(f"n_files must be non-negative, got {n_files}")
+    if replicas <= 0:
+        raise ValueError(f"replicas must be positive, got {replicas}")
+    generator = rng if rng is not None else make_generator(seed)
+
+    if size_distribution == "constant":
+        sizes = np.full(n_files, mean_size)
+    elif size_distribution == "exponential":
+        sizes = generator.exponential(mean_size, size=n_files)
+    elif size_distribution == "lognormal":
+        sigma = 1.0
+        mu = math.log(mean_size) - sigma ** 2 / 2.0
+        sizes = generator.lognormal(mu, sigma, size=n_files)
+    else:
+        raise ValueError(
+            "size_distribution must be 'constant', 'exponential' or 'lognormal', "
+            f"got {size_distribution!r}"
+        )
+
+    if popularity_exponent > 0 and n_files > 0:
+        popularity = zipf_weights(n_files, popularity_exponent)
+    else:
+        popularity = np.full(n_files, 1.0 / max(n_files, 1))
+
+    return [
+        FileSpec(
+            file_id=i,
+            replicas=replicas,
+            size=float(sizes[i]),
+            popularity=float(popularity[i]),
+        )
+        for i in range(n_files)
+    ]

@@ -1,0 +1,39 @@
+"""Distributed-storage substrate: replica/chunk placement with (k, d)-choice.
+
+Built to exercise the paper's Section 1.3 storage application: files are
+replicated into ``k`` copies (or split into ``k`` chunks) and placed on the
+``k`` least loaded of ``d`` randomly probed servers.
+"""
+
+from .failures import (
+    AvailabilityReport,
+    availability,
+    fail_random_servers,
+    re_replicate,
+)
+from .files import StoredFile
+from .placement import (
+    KDChoicePlacement,
+    PerReplicaDChoicePlacement,
+    PlacementDecision,
+    PlacementPolicy,
+    RandomPlacement,
+)
+from .servers import StorageServer
+from .system import StorageReport, StorageSystem
+
+__all__ = [
+    "StorageServer",
+    "StoredFile",
+    "PlacementPolicy",
+    "PlacementDecision",
+    "RandomPlacement",
+    "PerReplicaDChoicePlacement",
+    "KDChoicePlacement",
+    "StorageSystem",
+    "StorageReport",
+    "AvailabilityReport",
+    "availability",
+    "fail_random_servers",
+    "re_replicate",
+]

@@ -1,0 +1,120 @@
+"""Failure injection and availability analysis for the storage substrate.
+
+Replication and chunking trade storage overhead for availability; the paper
+motivates (k, d)-choice as the placement step of that pipeline.  This module
+fails random subsets of servers, measures which files remain available, and
+re-replicates lost replicas using the system's own placement policy (so the
+repair traffic also benefits from the load-balanced placement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..simulation.rng import make_generator
+from .system import StorageSystem
+
+__all__ = ["AvailabilityReport", "fail_random_servers", "availability", "re_replicate"]
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Availability after a failure event."""
+
+    policy: str
+    n_servers: int
+    failed_servers: int
+    n_files: int
+    available_files: int
+    lost_replicas: int
+
+    @property
+    def availability(self) -> float:
+        """Fraction of files still readable."""
+        if self.n_files == 0:
+            return 1.0
+        return self.available_files / self.n_files
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "servers": self.n_servers,
+            "failed": self.failed_servers,
+            "files": self.n_files,
+            "available": self.available_files,
+            "availability": round(self.availability, 6),
+            "lost_replicas": self.lost_replicas,
+        }
+
+
+def fail_random_servers(
+    system: StorageSystem,
+    count: int,
+    seed: "int | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[int]:
+    """Fail ``count`` distinct random servers; returns their ids."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    alive_ids = [s.server_id for s in system.servers if s.alive]
+    if count > len(alive_ids):
+        raise ValueError(
+            f"cannot fail {count} servers; only {len(alive_ids)} are alive"
+        )
+    generator = rng if rng is not None else make_generator(seed)
+    picks = generator.choice(len(alive_ids), size=count, replace=False)
+    failed = [alive_ids[int(i)] for i in picks]
+    for server_id in failed:
+        system.servers[server_id].fail()
+    return failed
+
+
+def availability(system: StorageSystem) -> AvailabilityReport:
+    """Measure which files are still readable given current liveness."""
+    alive = [server.alive for server in system.servers]
+    available = sum(1 for f in system.files.values() if f.is_available(alive))
+    lost_replicas = sum(
+        1
+        for f in system.files.values()
+        for server_id, _ in f.placements
+        if not alive[server_id]
+    )
+    return AvailabilityReport(
+        policy=system.placement.name,
+        n_servers=system.n_servers,
+        failed_servers=sum(1 for a in alive if not a),
+        n_files=len(system.files),
+        available_files=available,
+        lost_replicas=lost_replicas,
+    )
+
+
+def re_replicate(system: StorageSystem) -> int:
+    """Recreate replicas lost to failed servers on alive servers.
+
+    Every lost replica is re-placed using the system's placement policy with
+    the remaining alive servers as candidates.  Returns the number of
+    replicas recreated.  Files in "chunking" mode whose chunks were lost are
+    also repaired (in a real system this would require erasure coding or a
+    surviving copy; here we model only the placement traffic).
+    """
+    repaired = 0
+    for stored in system.files.values():
+        lost = [
+            (server_id, replica_index)
+            for server_id, replica_index in stored.placements
+            if not system.servers[server_id].alive
+        ]
+        if not lost:
+            continue
+        decision = system.placement.place(len(lost), system.servers, system.rng)
+        system.placement_messages += decision.messages
+        for (old_server, replica_index), new_server in zip(lost, decision.servers):
+            system.servers[new_server].store(stored.file_id, replica_index, stored.size)
+            stored.placements.remove((old_server, replica_index))
+            stored.placements.append((new_server, replica_index))
+            repaired += 1
+    return repaired

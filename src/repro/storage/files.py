@@ -1,0 +1,77 @@
+"""Stored-file records for the distributed-storage substrate.
+
+A :class:`StoredFile` remembers where each of its replicas (or chunks) was
+placed and which servers were probed as candidates — the latter is what a
+lookup has to contact, so it determines the search cost the paper discusses
+for the data-partitioning case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = ["StoredFile"]
+
+
+@dataclass
+class StoredFile:
+    """Placement record of one file.
+
+    Attributes
+    ----------
+    file_id:
+        Identifier of the file.
+    size:
+        Size of each replica/chunk (uniform within a file).
+    mode:
+        "replication" (any replica serves a read) or "chunking" (all chunks
+        are needed to reconstruct the file).
+    placements:
+        One ``(server_id, replica_index)`` pair per replica.
+    candidates:
+        The servers probed when the file was placed.  A lookup that does not
+        keep a directory must contact these candidates to locate the
+        replicas, so ``len(candidates)`` is the lookup message cost.
+    """
+
+    file_id: int
+    size: float
+    mode: str
+    placements: List[Tuple[int, int]] = field(default_factory=list)
+    candidates: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("replication", "chunking"):
+            raise ValueError(
+                f"mode must be 'replication' or 'chunking', got {self.mode!r}"
+            )
+        if self.size < 0:
+            raise ValueError(f"size must be non-negative, got {self.size}")
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.placements)
+
+    @property
+    def server_ids(self) -> List[int]:
+        """Servers holding at least one replica of this file."""
+        return [server_id for server_id, _ in self.placements]
+
+    @property
+    def lookup_cost(self) -> int:
+        """Messages needed to locate every replica without a directory."""
+        return len(self.candidates)
+
+    def is_available(self, alive: Sequence[bool]) -> bool:
+        """Whether the file can be served given per-server liveness flags.
+
+        Under replication one live replica suffices; under chunking every
+        chunk must live on an alive server.
+        """
+        replica_alive = [alive[server_id] for server_id, _ in self.placements]
+        if not replica_alive:
+            return False
+        if self.mode == "replication":
+            return any(replica_alive)
+        return all(replica_alive)

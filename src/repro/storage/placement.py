@@ -1,0 +1,211 @@
+"""Replica / chunk placement policies.
+
+The paper's distributed-storage application (Section 1.3): when a file is
+replicated into ``k`` copies (or split into ``k`` chunks), the (k, d)-choice
+scheme stores them on the ``k`` least loaded of ``d`` randomly probed servers.
+With ``d = k + 1`` this achieves the asymptotic balance of two-choice at
+roughly half its message cost, and lookups only need to contact ``k + 1``
+candidate servers instead of ``2k``.
+
+Policies implemented:
+
+* :class:`RandomPlacement` — every replica to an independent random server.
+* :class:`PerReplicaDChoicePlacement` — every replica independently probes
+  ``d`` servers and picks the least loaded (classic two-choice for d = 2).
+* :class:`KDChoicePlacement` — the paper's scheme: one batch of ``d`` probes
+  for the whole file; the ``k`` replicas go to the ``k`` least loaded probed
+  servers under the multiplicity cap.
+
+A placement policy returns a :class:`PlacementDecision` with the chosen
+servers, the probed candidate set (= lookup cost) and the probe messages.
+Distinct-server constraints (a fault-tolerance requirement: two replicas on
+one server are pointless) can be enforced by each policy via
+``require_distinct``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.policies import StrictPolicy
+from .servers import StorageServer
+
+__all__ = [
+    "PlacementDecision",
+    "PlacementPolicy",
+    "RandomPlacement",
+    "PerReplicaDChoicePlacement",
+    "KDChoicePlacement",
+]
+
+
+@dataclass
+class PlacementDecision:
+    """Outcome of placing one file."""
+
+    servers: List[int] = field(default_factory=list)
+    candidates: List[int] = field(default_factory=list)
+    messages: int = 0
+
+
+class PlacementPolicy(ABC):
+    """Base class for placement policies."""
+
+    name: str = "placement"
+
+    def __init__(self, require_distinct: bool = False) -> None:
+        self.require_distinct = require_distinct
+
+    @abstractmethod
+    def place(
+        self,
+        replicas: int,
+        servers: Sequence[StorageServer],
+        rng: np.random.Generator,
+    ) -> PlacementDecision:
+        """Choose a server for each of ``replicas`` replicas."""
+
+    # ------------------------------------------------------------------
+    # Helpers shared by the concrete policies
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _alive_ids(servers: Sequence[StorageServer]) -> List[int]:
+        alive = [server.server_id for server in servers if server.alive]
+        if not alive:
+            raise RuntimeError("no alive servers available for placement")
+        return alive
+
+    @staticmethod
+    def _sample(
+        population: Sequence[int], count: int, rng: np.random.Generator, distinct: bool
+    ) -> List[int]:
+        if distinct:
+            if count > len(population):
+                raise ValueError(
+                    f"cannot probe {count} distinct servers out of {len(population)}"
+                )
+            picks = rng.choice(len(population), size=count, replace=False)
+        else:
+            picks = rng.integers(0, len(population), size=count)
+        return [int(population[i]) for i in picks]
+
+
+class RandomPlacement(PlacementPolicy):
+    """Every replica goes to an independent uniformly random alive server."""
+
+    name = "random"
+
+    def place(
+        self,
+        replicas: int,
+        servers: Sequence[StorageServer],
+        rng: np.random.Generator,
+    ) -> PlacementDecision:
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        alive = self._alive_ids(servers)
+        chosen = self._sample(alive, replicas, rng, self.require_distinct)
+        return PlacementDecision(
+            servers=chosen, candidates=list(chosen), messages=replicas
+        )
+
+
+class PerReplicaDChoicePlacement(PlacementPolicy):
+    """Each replica independently probes ``d`` servers (classic d-choice)."""
+
+    def __init__(self, d: int = 2, require_distinct: bool = False) -> None:
+        super().__init__(require_distinct=require_distinct)
+        if d < 1:
+            raise ValueError(f"d must be at least 1, got {d}")
+        self.d = d
+        self.name = f"per-replica-{d}-choice"
+
+    def place(
+        self,
+        replicas: int,
+        servers: Sequence[StorageServer],
+        rng: np.random.Generator,
+    ) -> PlacementDecision:
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        alive = self._alive_ids(servers)
+        decision = PlacementDecision()
+        already_used: set[int] = set()
+        for _ in range(replicas):
+            probes = self._sample(alive, self.d, rng, distinct=False)
+            decision.messages += self.d
+            decision.candidates.extend(probes)
+            eligible = [
+                p for p in probes
+                if not (self.require_distinct and p in already_used)
+            ] or probes
+            best = min(eligible, key=lambda sid: servers[sid].replica_count)
+            decision.servers.append(best)
+            already_used.add(best)
+        return decision
+
+
+class KDChoicePlacement(PlacementPolicy):
+    """The paper's (k, d)-choice placement: one probe batch per file.
+
+    Parameters
+    ----------
+    extra_probes:
+        ``d = k + extra_probes`` probes are issued for a file with ``k``
+        replicas (the paper highlights ``d = k + 1``).
+    probe_ratio:
+        Alternatively ``d = ceil(probe_ratio * k)``; used when
+        ``extra_probes`` is ``None``.
+    """
+
+    def __init__(
+        self,
+        extra_probes: "int | None" = 1,
+        probe_ratio: float = 2.0,
+        require_distinct: bool = False,
+    ) -> None:
+        super().__init__(require_distinct=require_distinct)
+        if extra_probes is not None and extra_probes < 0:
+            raise ValueError(f"extra_probes must be non-negative, got {extra_probes}")
+        if extra_probes is None and probe_ratio < 1.0:
+            raise ValueError(f"probe_ratio must be at least 1, got {probe_ratio}")
+        self.extra_probes = extra_probes
+        self.probe_ratio = probe_ratio
+        self._policy = StrictPolicy()
+        label = (
+            f"d=k+{extra_probes}" if extra_probes is not None else f"d={probe_ratio:g}k"
+        )
+        self.name = f"(k,d)-choice[{label}]"
+
+    def probes_for(self, replicas: int, n_alive: int) -> int:
+        if self.extra_probes is not None:
+            d = replicas + self.extra_probes
+        else:
+            d = int(np.ceil(self.probe_ratio * replicas))
+        return max(replicas, min(d, n_alive) if self.require_distinct else d)
+
+    def place(
+        self,
+        replicas: int,
+        servers: Sequence[StorageServer],
+        rng: np.random.Generator,
+    ) -> PlacementDecision:
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        alive = self._alive_ids(servers)
+        d = self.probes_for(replicas, len(alive))
+        probes = self._sample(alive, d, rng, self.require_distinct)
+
+        # Strict (k, d)-choice selection over the replica-count load signal.
+        # The policy indexes loads by server id, so build a sparse view.
+        loads = [server.replica_count for server in servers]
+        destinations = self._policy.select(loads, probes, replicas, rng)
+        return PlacementDecision(
+            servers=[int(s) for s in destinations],
+            candidates=probes,
+            messages=d,
+        )

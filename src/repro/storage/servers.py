@@ -1,0 +1,73 @@
+"""Storage servers.
+
+A server holds replicas (or chunks) of files.  Its *load* — the signal probed
+by placement policies — is the number of replicas it stores; the byte-weighted
+load is also tracked for experiments with non-uniform file sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+__all__ = ["StorageServer"]
+
+
+@dataclass
+class StorageServer:
+    """A single storage server."""
+
+    server_id: int
+    alive: bool = True
+    replicas: Set["tuple[int, int]"] = field(default_factory=set)
+    bytes_stored: float = 0.0
+    _sizes: Dict["tuple[int, int]", float] = field(default_factory=dict)
+
+    @property
+    def replica_count(self) -> int:
+        """Number of replicas stored (the probe signal)."""
+        return len(self.replicas)
+
+    def store(self, file_id: int, replica_index: int, size: float) -> None:
+        """Store one replica of a file."""
+        if not self.alive:
+            raise RuntimeError(f"server {self.server_id} is down; cannot store")
+        key = (file_id, replica_index)
+        if key in self.replicas:
+            raise ValueError(
+                f"server {self.server_id} already stores replica {replica_index} "
+                f"of file {file_id}"
+            )
+        self.replicas.add(key)
+        self._sizes[key] = size
+        self.bytes_stored += size
+
+    def drop(self, file_id: int, replica_index: int) -> None:
+        """Remove one replica (used by re-replication after failures)."""
+        key = (file_id, replica_index)
+        if key not in self.replicas:
+            raise KeyError(
+                f"server {self.server_id} does not store replica {replica_index} "
+                f"of file {file_id}"
+            )
+        self.replicas.discard(key)
+        self.bytes_stored -= self._sizes.pop(key)
+
+    def holds(self, file_id: int, replica_index: int) -> bool:
+        """Whether this server stores the given replica."""
+        return (file_id, replica_index) in self.replicas
+
+    def fail(self) -> None:
+        """Mark the server as failed.  Its replicas become unavailable."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring the server back online (its replicas are intact)."""
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "up" if self.alive else "down"
+        return (
+            f"StorageServer(id={self.server_id}, replicas={self.replica_count}, "
+            f"{status})"
+        )

@@ -1,0 +1,125 @@
+"""Unit tests for repro.analysis.asymptotics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.asymptotics import (
+    d_k,
+    delta,
+    inverse_factorial,
+    ln_ln,
+    log_binomial,
+    log_ratio,
+    polylog,
+    stirling_inverse_factorial,
+)
+
+
+class TestDk:
+    def test_two_choice(self):
+        assert d_k(1, 2) == pytest.approx(2.0)
+
+    def test_paper_example_k_half_d(self):
+        assert d_k(4, 8) == pytest.approx(2.0)
+
+    def test_k_close_to_d_is_large(self):
+        assert d_k(99, 100) == pytest.approx(100.0)
+
+    def test_k_equal_d_is_infinite(self):
+        assert math.isinf(d_k(5, 5))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            d_k(3, 2)
+        with pytest.raises(ValueError):
+            d_k(0, 2)
+
+
+class TestDelta:
+    def test_positive_for_large_n(self):
+        assert delta(10 ** 6) > 0
+
+    def test_eventually_decreasing_in_n(self):
+        # δ(n) peaks near n = e^(e^e) and then decays towards 0.
+        assert delta(10 ** 40) < delta(10 ** 9)
+
+    def test_small_n_clamped_to_zero(self):
+        assert delta(2) == 0.0
+        assert delta(10) == 0.0
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            delta(0)
+
+    def test_formula_for_large_n(self):
+        n = 10 ** 8
+        expected = math.log(math.log(math.log(n))) / math.log(math.log(n))
+        assert delta(n) == pytest.approx(expected)
+
+
+class TestIteratedLogs:
+    def test_ln_ln_value(self):
+        assert ln_ln(math.e ** math.e) == pytest.approx(1.0)
+
+    def test_ln_ln_clamped(self):
+        assert ln_ln(1.0) == 0.0
+        assert ln_ln(2.0) == 0.0  # ln 2 < 1 so ln ln 2 < 0 -> clamp
+
+    def test_log_ratio_value(self):
+        x = 10 ** 6
+        assert log_ratio(x) == pytest.approx(math.log(x) / math.log(math.log(x)))
+
+    def test_log_ratio_clamped(self):
+        assert log_ratio(1.0) == 0.0
+        assert log_ratio(2.0) == 0.0
+
+    def test_log_ratio_monotone_for_large_x(self):
+        assert log_ratio(10 ** 9) > log_ratio(10 ** 5)
+
+
+class TestInverseFactorial:
+    @pytest.mark.parametrize(
+        "bound,expected",
+        [(0.5, 0), (1, 1), (2, 2), (5, 2), (6, 3), (24, 4), (119, 4), (120, 5)],
+    )
+    def test_exact_values(self, bound, expected):
+        assert inverse_factorial(bound) == expected
+
+    def test_large_bound(self):
+        y = inverse_factorial(10 ** 12)
+        assert math.factorial(y) <= 10 ** 12 < math.factorial(y + 1)
+
+    def test_stirling_approximation_is_a_lower_estimate_of_right_order(self):
+        # ln c / ln ln c is the leading term only; at finite sizes it
+        # underestimates the exact inversion but stays within a small factor.
+        bound = 10 ** 9
+        exact = inverse_factorial(bound)
+        approx = stirling_inverse_factorial(bound)
+        assert approx <= exact <= 2.5 * approx
+
+
+class TestLogBinomial:
+    def test_matches_math_comb(self):
+        assert log_binomial(10, 3) == pytest.approx(math.log(math.comb(10, 3)))
+
+    def test_out_of_range_is_minus_infinity(self):
+        assert log_binomial(5, 7) == -math.inf
+        assert log_binomial(5, -1) == -math.inf
+
+    def test_edges(self):
+        assert log_binomial(5, 0) == pytest.approx(0.0)
+        assert log_binomial(5, 5) == pytest.approx(0.0)
+
+
+class TestPolylog:
+    def test_exponent_one(self):
+        assert polylog(100, 1.0) == pytest.approx(math.log(100))
+
+    def test_exponent_two(self):
+        assert polylog(100, 2.0) == pytest.approx(math.log(100) ** 2)
+
+    def test_small_n_clamped(self):
+        assert polylog(1) == 0.0

@@ -1,0 +1,171 @@
+"""Unit tests for the Theorem 1 / Theorem 2 / Corollary 1 bound formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    classify_regime,
+    corollary1_term,
+    d_choice_max_load,
+    heavy_case_gap_prediction,
+    message_cost,
+    predicted_max_load,
+    single_choice_max_load,
+    theorem1_bounds,
+    theorem1_leading_term,
+    theorem2_bounds,
+)
+
+
+N = 3 * 2 ** 16
+
+
+class TestRegimeClassification:
+    def test_two_choice_is_constant_dk(self):
+        assert classify_regime(1, 2, N).name == "dk_constant"
+
+    def test_half_ratio_is_constant_dk(self):
+        assert classify_regime(8, 16, N).name == "dk_constant"
+
+    def test_k_close_to_d_is_growing(self):
+        assert classify_regime(63, 64, N).name == "dk_growing"
+
+    def test_k_equals_d_is_single_choice_like(self):
+        assert classify_regime(4, 4, N).name == "single_choice_like"
+
+    def test_extreme_dk_is_single_choice_like(self):
+        # d_k enormous relative to n triggers the Corollary 1 regime.
+        assert classify_regime(2 ** 16 - 1, 2 ** 16, 64).name == "single_choice_like"
+
+    def test_regime_records_dk(self):
+        regime = classify_regime(3, 5, N)
+        assert regime.dk == pytest.approx(2.5)
+
+
+class TestTheorem1:
+    def test_constant_regime_leading_term(self):
+        # d - k + 1 = 5: ln ln n / ln 5.
+        term = theorem1_leading_term(4, 8, N)
+        expected = math.log(math.log(N)) / math.log(5)
+        assert term == pytest.approx(expected)
+
+    def test_growing_regime_adds_dk_term(self):
+        k, d = 63, 64
+        term = theorem1_leading_term(k, d, N)
+        base = math.log(math.log(N)) / math.log(d - k + 1)
+        assert term > base
+
+    def test_k_equals_d_behaves_like_single_choice(self):
+        assert theorem1_leading_term(4, 4, N) == pytest.approx(single_choice_max_load(N))
+
+    def test_bounds_straddle_leading_term(self):
+        lower, upper = theorem1_bounds(4, 8, N, additive_constant=2.0)
+        term = theorem1_leading_term(4, 8, N)
+        assert lower <= term <= upper
+        assert upper == pytest.approx(term + 2.0)
+
+    def test_lower_bound_never_below_one(self):
+        lower, _ = theorem1_bounds(16, 32, N, additive_constant=10.0)
+        assert lower >= 1.0
+
+    def test_leading_term_decreases_with_probe_surplus(self):
+        # Larger d - k means a smaller first term.
+        assert theorem1_leading_term(2, 20, N) < theorem1_leading_term(2, 4, N)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            theorem1_leading_term(1, 2, 0)
+
+    def test_predicted_max_load_alias(self):
+        assert predicted_max_load(4, 8, N) == theorem1_leading_term(4, 8, N)
+
+
+class TestCorollary1:
+    def test_matches_log_ratio_of_dk(self):
+        k, d = 99, 100
+        expected = math.log(100) / math.log(math.log(100))
+        assert corollary1_term(k, d, N) == pytest.approx(expected)
+
+    def test_k_equals_d_falls_back_to_single_choice(self):
+        assert corollary1_term(5, 5, N) == pytest.approx(single_choice_max_load(N))
+
+
+class TestTheorem2:
+    def test_requires_d_at_least_2k(self):
+        with pytest.raises(ValueError):
+            theorem2_bounds(4, 7, m=10 * N, n=N)
+
+    def test_bounds_ordered(self):
+        lower, upper = theorem2_bounds(2, 4, m=4 * N, n=N)
+        assert lower <= upper
+
+    def test_lower_bound_nonnegative(self):
+        lower, _ = theorem2_bounds(2, 4, m=2 * N, n=N, additive_constant=100)
+        assert lower >= 0.0
+
+    def test_floor_ratio_one_gives_infinite_upper(self):
+        # d = 2k exactly with k=d/2: floor(d/k) = 2 > 1 so finite; contrast
+        # with a hypothetical floor of 1 by passing d=2, k=1 (floor 2) vs
+        # k=3,d=6 -> floor 2.  Construct floor ratio 1 via d=2k-? not allowed.
+        # Instead check that the upper bound uses ln floor(d/k).
+        lower, upper = theorem2_bounds(3, 6, m=2 * N, n=N, additive_constant=0)
+        assert upper == pytest.approx(math.log(math.log(N)) / math.log(2))
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            theorem2_bounds(1, 2, m=0, n=N)
+
+    def test_heavy_gap_prediction_between_bounds(self):
+        prediction = heavy_case_gap_prediction(2, 4, N)
+        lower, upper = theorem2_bounds(2, 4, m=2 * N, n=N, additive_constant=0.0)
+        assert lower <= prediction <= upper
+
+
+class TestAnchors:
+    def test_single_choice_formula(self):
+        assert single_choice_max_load(N) == pytest.approx(
+            math.log(N) / math.log(math.log(N))
+        )
+
+    def test_d_choice_formula(self):
+        assert d_choice_max_load(N, 2) == pytest.approx(
+            math.log(math.log(N)) / math.log(2)
+        )
+
+    def test_d_choice_with_d_one_is_single_choice(self):
+        assert d_choice_max_load(N, 1) == pytest.approx(single_choice_max_load(N))
+
+    def test_single_choice_larger_than_two_choice(self):
+        assert single_choice_max_load(N) > d_choice_max_load(N, 2)
+
+
+class TestMessageCost:
+    def test_exact_division(self):
+        assert message_cost(4, 8, 100) == 25 * 8
+
+    def test_ceiling_division(self):
+        assert message_cost(3, 5, 10) == 4 * 5
+
+    def test_two_choice_cost(self):
+        assert message_cost(1, 2, 1000) == 2000
+
+    def test_kd_choice_with_d_2k_costs_2n(self):
+        # The paper's "constant max load with 2n messages" configuration.
+        n = 4096
+        assert message_cost(16, 32, n) == 2 * n
+
+    def test_near_minimal_cost_configuration(self):
+        # d = k + ln n with k = ln^2 n costs (1 + o(1)) n messages.
+        n = 2 ** 16
+        k = round(math.log(n) ** 2)
+        d = k + round(math.log(n))
+        assert message_cost(k, d, n) / n < 1.15
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            message_cost(0, 2, 10)
+        with pytest.raises(ValueError):
+            message_cost(3, 2, 10)

@@ -1,0 +1,116 @@
+"""Unit tests for the exact tiny-instance distributions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.exact import (
+    empirical_max_load_distribution,
+    exact_kd_choice_distribution,
+    exact_single_choice_distribution,
+    expected_max_load,
+    max_load_distribution,
+    total_variation_distance,
+)
+
+
+class TestExactDistributions:
+    def test_probabilities_sum_to_one(self):
+        distribution = exact_kd_choice_distribution(4, 2, 3)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_states_are_sorted_and_conserve_balls(self):
+        distribution = exact_kd_choice_distribution(4, 2, 3)
+        for state in distribution:
+            assert list(state) == sorted(state, reverse=True)
+            assert sum(state) == 4
+
+    def test_single_choice_two_bins_two_balls_closed_form(self):
+        # Two balls into two bins uniformly: P(2,0) = 1/2, P(1,1) = 1/2.
+        distribution = exact_single_choice_distribution(2, 2)
+        assert distribution[(2, 0)] == pytest.approx(0.5)
+        assert distribution[(1, 1)] == pytest.approx(0.5)
+
+    def test_two_choice_two_bins_always_balanced(self):
+        # Two-choice with 2 bins: the first ball lands anywhere, the second
+        # sees both bins (d = 2 samples, at least probability of hitting the
+        # empty one)... the exact result: P(1,1) = 3/4, P(2,0) = 1/4.
+        distribution = exact_kd_choice_distribution(2, 1, 2, n_balls=2)
+        assert distribution[(1, 1)] == pytest.approx(0.75)
+        assert distribution[(2, 0)] == pytest.approx(0.25)
+
+    def test_k_equals_d_matches_single_choice(self):
+        # (k, k)-choice is batched single choice: same end distribution.
+        batched = exact_kd_choice_distribution(3, 3, 3)
+        single = exact_single_choice_distribution(3, 3)
+        for state in set(batched) | set(single):
+            assert batched.get(state, 0.0) == pytest.approx(single.get(state, 0.0))
+
+    def test_more_probes_stochastically_lower_max(self):
+        few = max_load_distribution(exact_kd_choice_distribution(4, 1, 1))
+        many = max_load_distribution(exact_kd_choice_distribution(4, 1, 3))
+        # P(max >= 3) must be smaller with more probes.
+        p_few = sum(p for v, p in few.items() if v >= 3)
+        p_many = sum(p for v, p in many.items() if v >= 3)
+        assert p_many < p_few
+
+    def test_expected_max_load_consistent(self):
+        distribution = exact_kd_choice_distribution(4, 2, 3)
+        by_hand = sum(state[0] * mass for state, mass in distribution.items())
+        assert expected_max_load(distribution) == pytest.approx(by_hand)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            exact_kd_choice_distribution(4, 3, 2)
+        with pytest.raises(ValueError):
+            exact_kd_choice_distribution(4, 2, 3, n_balls=5)
+
+    def test_enumeration_guard(self):
+        with pytest.raises(ValueError):
+            exact_kd_choice_distribution(50, 1, 5)
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        p = {1: 0.4, 2: 0.6}
+        assert total_variation_distance(p, dict(p)) == pytest.approx(0.0)
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance({1: 1.0}, {2: 1.0}) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        p = {1: 0.3, 2: 0.7}
+        q = {1: 0.6, 3: 0.4}
+        assert total_variation_distance(p, q) == pytest.approx(
+            total_variation_distance(q, p)
+        )
+
+
+class TestEmpiricalValidation:
+    def test_empirical_distribution_normalized(self):
+        empirical = empirical_max_load_distribution(4, 2, 3, trials=500, seed=0)
+        assert sum(empirical.values()) == pytest.approx(1.0)
+
+    def test_requires_positive_trials(self):
+        with pytest.raises(ValueError):
+            empirical_max_load_distribution(4, 2, 3, trials=0)
+
+    def test_simulator_matches_exact_distribution(self):
+        # The headline validation: Monte-Carlo frequencies converge to the
+        # exact law.  3000 trials give ~0.02 accuracy on each atom.
+        exact = max_load_distribution(exact_kd_choice_distribution(4, 2, 3))
+        empirical = empirical_max_load_distribution(4, 2, 3, trials=3000, seed=1)
+        assert total_variation_distance(exact, empirical) < 0.05
+
+    def test_simulator_matches_exact_for_two_choice(self):
+        exact = max_load_distribution(exact_kd_choice_distribution(5, 1, 2, n_balls=5))
+        empirical = empirical_max_load_distribution(5, 1, 2, trials=3000, seed=2, n_balls=5)
+        assert total_variation_distance(exact, empirical) < 0.05
+
+    def test_expected_max_close_to_simulation(self):
+        exact = exact_kd_choice_distribution(6, 3, 4, n_balls=6)
+        empirical = empirical_max_load_distribution(6, 3, 4, trials=2000, seed=3, n_balls=6)
+        empirical_mean = sum(v * p for v, p in empirical.items())
+        assert math.isclose(expected_max_load(exact), empirical_mean, abs_tol=0.1)

@@ -1,0 +1,123 @@
+"""Unit tests for the layered-induction recurrences (β_i and γ_i)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.recurrences import (
+    LayeredInduction,
+    beta_sequence,
+    beta_zero,
+    gamma_sequence,
+    gamma_star,
+    gamma_zero,
+    predicted_i_star,
+)
+
+
+N = 3 * 2 ** 16
+
+
+class TestLandmarks:
+    def test_beta_zero_formula(self):
+        # d_k = 2 for (4, 8): beta0 = n / 12.
+        assert beta_zero(4, 8, N) == pytest.approx(N / 12)
+
+    def test_beta_zero_zero_when_k_equals_d(self):
+        assert beta_zero(3, 3, N) == 0.0
+
+    def test_gamma_zero_formula(self):
+        assert gamma_zero(8, N) == pytest.approx(N / 8)
+
+    def test_gamma_zero_rejects_bad_d(self):
+        with pytest.raises(ValueError):
+            gamma_zero(0, N)
+
+    def test_gamma_star_formula(self):
+        # d_k = 17 for (16, 17): gamma* = 4n/17.
+        assert gamma_star(16, 17, N) == pytest.approx(4 * N / 17)
+
+    def test_gamma_star_below_n_for_growing_dk(self):
+        assert gamma_star(63, 64, N) < N
+
+
+class TestPredictedIStar:
+    def test_formula(self):
+        expected = math.log(math.log(N)) / math.log(5)
+        assert predicted_i_star(4, 8, N) == pytest.approx(expected)
+
+    def test_infinite_when_d_equals_k(self):
+        assert math.isinf(predicted_i_star(3, 3, N))
+
+    def test_small_n_clamped(self):
+        assert predicted_i_star(1, 2, 2) == 0.0
+
+
+class TestBetaSequence:
+    def test_starts_at_beta_zero(self):
+        sequence = beta_sequence(4, 8, N)
+        assert sequence[0] == pytest.approx(beta_zero(4, 8, N))
+
+    def test_strictly_decreasing(self):
+        sequence = beta_sequence(4, 8, N)
+        assert all(a > b for a, b in zip(sequence, sequence[1:]))
+
+    def test_terminates_below_cutoff(self):
+        sequence = beta_sequence(4, 8, N)
+        assert sequence[-1] < 6 * math.log(N)
+
+    def test_length_close_to_predicted_i_star(self):
+        sequence = beta_sequence(4, 8, N)
+        # The number of useful layers should not exceed the closed-form bound
+        # by more than a small constant.
+        assert len(sequence) - 1 <= predicted_i_star(4, 8, N) + 3
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            beta_sequence(4, 4, N)
+        with pytest.raises(ValueError):
+            beta_sequence(1, 2, 1)
+
+    def test_doubly_exponential_decay(self):
+        # Successive ratios should shrink extremely fast (layered induction).
+        sequence = beta_sequence(1, 2, N)
+        if len(sequence) >= 3:
+            first_ratio = sequence[1] / sequence[0]
+            second_ratio = sequence[2] / sequence[1]
+            assert second_ratio < first_ratio
+
+
+class TestGammaSequence:
+    def test_starts_at_gamma_zero(self):
+        sequence = gamma_sequence(4, 8, N)
+        assert sequence[0] == pytest.approx(gamma_zero(8, N))
+
+    def test_decreasing(self):
+        sequence = gamma_sequence(4, 8, N)
+        assert all(a >= b for a, b in zip(sequence, sequence[1:]))
+
+    def test_terminates_below_cutoff(self):
+        sequence = gamma_sequence(4, 8, N)
+        assert sequence[-1] < 9 * math.log(N)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            gamma_sequence(5, 5, N)
+
+
+class TestLayeredInduction:
+    def test_compute_bundles_everything(self):
+        layered = LayeredInduction.compute(4, 8, N)
+        assert layered.beta0 == pytest.approx(beta_zero(4, 8, N))
+        assert layered.gamma0 == pytest.approx(gamma_zero(8, N))
+        assert layered.gamma_star == pytest.approx(gamma_star(4, 8, N))
+        assert layered.i_star_upper == len(layered.beta) - 1
+        assert layered.i_star_predicted == pytest.approx(predicted_i_star(4, 8, N))
+
+    def test_beta_layers_bound_max_load_contribution(self):
+        # y0 + i* + 2 with y0 = O(1) should be a single-digit number for
+        # (4, 8) at the paper's n — consistent with Table 1's measured 3.
+        layered = LayeredInduction.compute(4, 8, N)
+        assert layered.i_star_upper + 2 <= 8

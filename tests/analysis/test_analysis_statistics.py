@@ -1,0 +1,119 @@
+"""Unit tests for repro.analysis.statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    confidence_interval,
+    empirical_cdf,
+    format_value_set,
+    observed_value_set,
+    stochastic_dominance_fraction,
+    trial_statistics,
+)
+
+
+class TestTrialStatistics:
+    def test_basic_summary(self):
+        stats = trial_statistics([1, 2, 3, 4])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1
+        assert stats.maximum == 4
+        assert stats.median == pytest.approx(2.5)
+
+    def test_single_value_has_zero_std(self):
+        assert trial_statistics([7]).std == 0.0
+
+    def test_std_uses_sample_variance(self):
+        stats = trial_statistics([1, 3])
+        assert stats.std == pytest.approx(np.std([1, 3], ddof=1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trial_statistics([])
+
+    def test_as_dict_round_trip(self):
+        d = trial_statistics([2, 2, 3]).as_dict()
+        assert d["count"] == 3
+        assert d["max"] == 3
+
+
+class TestValueSets:
+    def test_observed_value_set_sorted_unique(self):
+        assert observed_value_set([3, 2, 2, 3, 2]) == [2, 3]
+
+    def test_observed_value_set_casts_to_int(self):
+        assert observed_value_set([2.0, 3.0]) == [2, 3]
+
+    def test_format_matches_paper_style(self):
+        assert format_value_set([2, 3, 2]) == "2, 3"
+        assert format_value_set([2]) == "2"
+
+    def test_format_table1_single_choice_cell(self):
+        assert format_value_set([8, 7, 9, 8]) == "7, 8, 9"
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        low, high = confidence_interval([1, 2, 3, 4, 5])
+        assert low <= 3.0 <= high
+
+    def test_single_sample_degenerate(self):
+        assert confidence_interval([4.0]) == (4.0, 4.0)
+
+    def test_width_shrinks_with_more_samples(self):
+        small = confidence_interval([1, 2, 3, 4] * 2)
+        large = confidence_interval([1, 2, 3, 4] * 50)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_higher_confidence_is_wider(self):
+        data = [1, 2, 3, 4, 5, 6]
+        narrow = confidence_interval(data, confidence=0.5)
+        wide = confidence_interval(data, confidence=0.99)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1, 2], confidence=1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+
+class TestEmpiricalCdf:
+    def test_sorted_values_and_final_probability_one(self):
+        values, cdf = empirical_cdf([3, 1, 2])
+        assert list(values) == [1, 2, 3]
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_monotone(self):
+        _, cdf = empirical_cdf([5, 1, 4, 4, 2])
+        assert all(cdf[i] <= cdf[i + 1] for i in range(len(cdf) - 1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+
+class TestStochasticDominance:
+    def test_clearly_dominated_sample(self):
+        smaller = [1, 1, 2, 2]
+        larger = [3, 4, 4, 5]
+        assert stochastic_dominance_fraction(smaller, larger) == pytest.approx(1.0)
+
+    def test_identical_samples_fully_consistent(self):
+        sample = [2, 3, 3, 4]
+        assert stochastic_dominance_fraction(sample, sample) == pytest.approx(1.0)
+
+    def test_reversed_order_fails_somewhere(self):
+        smaller = [5, 6, 7]
+        larger = [1, 2, 3]
+        assert stochastic_dominance_fraction(smaller, larger) < 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stochastic_dominance_fraction([], [1])

@@ -1,0 +1,188 @@
+"""Unit tests for the cluster substrate primitives: events, jobs, workers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.events import JOB_ARRIVAL, TASK_FINISH, EventQueue
+from repro.cluster.jobs import JobRecord, TaskRecord
+from repro.cluster.workers import Reservation, Worker
+from repro.simulation.workloads import JobSpec
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, TASK_FINISH)
+        queue.push(1.0, JOB_ARRIVAL)
+        queue.push(2.0, TASK_FINISH)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        first = queue.push(1.0, "a", payload="first")
+        second = queue.push(1.0, "b", payload="second")
+        assert queue.pop().payload == "first"
+        assert queue.pop().payload == "second"
+        assert first.sequence < second.sequence
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.push(1.0, "a")
+        assert queue.peek() is not None
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "a")
+
+    def test_bool_and_len(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0.0, "a")
+        assert queue and len(queue) == 1
+
+
+class TestTaskAndJobRecords:
+    def _job(self):
+        spec = JobSpec(job_id=1, arrival_time=2.0, task_durations=(1.0, 3.0))
+        return JobRecord.from_spec(spec)
+
+    def test_from_spec_creates_tasks(self):
+        job = self._job()
+        assert len(job.tasks) == 2
+        assert all(t.arrival_time == 2.0 for t in job.tasks)
+
+    def test_unfinished_job_raises_on_metrics(self):
+        job = self._job()
+        with pytest.raises(ValueError):
+            _ = job.finish_time
+
+    def test_response_time_is_last_task_finish(self):
+        job = self._job()
+        job.tasks[0].start_time = 2.0
+        job.tasks[0].finish_time = 3.0
+        job.tasks[1].start_time = 4.0
+        job.tasks[1].finish_time = 7.0
+        assert job.finished
+        assert job.finish_time == 7.0
+        assert job.response_time == pytest.approx(5.0)
+
+    def test_mean_task_wait(self):
+        job = self._job()
+        job.tasks[0].start_time = 2.0
+        job.tasks[0].finish_time = 3.0
+        job.tasks[1].start_time = 4.0
+        job.tasks[1].finish_time = 7.0
+        assert job.mean_task_wait == pytest.approx((0.0 + 2.0) / 2)
+
+    def test_task_wait_requires_start(self):
+        task = TaskRecord(job_id=0, task_index=0, duration=1.0, arrival_time=0.0)
+        with pytest.raises(ValueError):
+            _ = task.wait_time
+        with pytest.raises(ValueError):
+            _ = task.response_time
+
+
+class TestWorker:
+    def _task(self, duration=2.0, arrival=0.0):
+        return TaskRecord(job_id=0, task_index=0, duration=duration, arrival_time=arrival)
+
+    def test_idle_worker_starts_task_immediately(self):
+        worker = Worker(0)
+        task = self._task()
+        started = worker.enqueue(task, now=1.0)
+        assert started is task
+        assert worker.running is task
+        assert task.start_time == 1.0
+        assert worker.busy_until == 3.0
+
+    def test_busy_worker_queues_tasks(self):
+        worker = Worker(0)
+        worker.enqueue(self._task(), now=0.0)
+        second = self._task()
+        assert worker.enqueue(second, now=0.5) is None
+        assert worker.queue_length == 2
+
+    def test_queue_length_counts_running_and_queued(self):
+        worker = Worker(0)
+        assert worker.queue_length == 0
+        worker.enqueue(self._task(), now=0.0)
+        worker.enqueue(self._task(), now=0.0)
+        worker.enqueue(self._task(), now=0.0)
+        assert worker.queue_length == 3
+
+    def test_finish_current_starts_next(self):
+        worker = Worker(0)
+        first = self._task(duration=1.0)
+        second = self._task(duration=2.0)
+        worker.enqueue(first, now=0.0)
+        worker.enqueue(second, now=0.0)
+        started = worker.finish_current(now=1.0)
+        assert first.finish_time == 1.0
+        assert started is second
+        assert second.start_time == 1.0
+
+    def test_finish_without_running_raises(self):
+        with pytest.raises(RuntimeError):
+            Worker(0).finish_current(now=1.0)
+
+    def test_pending_work_estimate(self):
+        worker = Worker(0)
+        worker.enqueue(self._task(duration=4.0), now=0.0)
+        worker.enqueue(self._task(duration=2.0), now=0.0)
+        assert worker.pending_work(now=1.0) == pytest.approx(3.0 + 2.0)
+
+    def test_utilization(self):
+        worker = Worker(0)
+        task = self._task(duration=2.0)
+        worker.enqueue(task, now=0.0)
+        worker.finish_current(now=2.0)
+        assert worker.utilization(horizon=4.0) == pytest.approx(0.5)
+        assert worker.utilization(horizon=0.0) == 0.0
+
+    def test_reservation_claimed_when_reaching_head(self):
+        worker = Worker(0)
+        claimed_task = self._task(duration=1.5)
+
+        def claim(worker_id, now):
+            return claimed_task
+
+        started = worker.enqueue(Reservation(job_id=7, claim=claim), now=0.0)
+        assert started is claimed_task
+        assert claimed_task.worker_id == 0
+
+    def test_unclaimable_reservation_discarded(self):
+        worker = Worker(0)
+
+        def claim(worker_id, now):
+            return None
+
+        started = worker.enqueue(Reservation(job_id=7, claim=claim), now=0.0)
+        assert started is None
+        assert worker.running is None
+
+    def test_reservation_behind_task_claimed_on_finish(self):
+        worker = Worker(0)
+        first = self._task(duration=1.0)
+        reserved = self._task(duration=2.0)
+        worker.enqueue(first, now=0.0)
+        worker.enqueue(Reservation(job_id=1, claim=lambda w, t: reserved), now=0.0)
+        started = worker.finish_current(now=1.0)
+        assert started is reserved
+
+    def test_empty_reservation_skipped_on_finish(self):
+        worker = Worker(0)
+        first = self._task(duration=1.0)
+        final = self._task(duration=1.0)
+        worker.enqueue(first, now=0.0)
+        worker.enqueue(Reservation(job_id=1, claim=lambda w, t: None), now=0.0)
+        worker.enqueue(final, now=0.0)
+        started = worker.finish_current(now=1.0)
+        # The empty reservation is discarded and the next real task starts.
+        assert started is final

@@ -1,0 +1,174 @@
+"""Unit tests for the cluster schedulers and the discrete-event simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.jobs import JobRecord
+from repro.cluster.metrics import build_report
+from repro.cluster.schedulers import (
+    BatchSamplingScheduler,
+    LateBindingScheduler,
+    PerTaskDChoiceScheduler,
+    RandomScheduler,
+)
+from repro.cluster.simulator import ClusterSimulator, simulate_cluster
+from repro.cluster.workers import Worker
+from repro.simulation.workloads import JobSpec, poisson_job_trace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+@pytest.fixture
+def workers():
+    return [Worker(i) for i in range(8)]
+
+
+def _job(k=4, arrival=0.0, duration=1.0):
+    spec = JobSpec(job_id=0, arrival_time=arrival, task_durations=(duration,) * k)
+    return JobRecord.from_spec(spec)
+
+
+class TestSchedulers:
+    def test_random_places_every_task(self, workers, rng):
+        decision = RandomScheduler().schedule_job(_job(5), workers, 0.0, rng)
+        assert len(decision.placements) == 5
+        assert decision.messages == 5
+
+    def test_per_task_d_choice_message_cost(self, workers, rng):
+        decision = PerTaskDChoiceScheduler(d=3).schedule_job(_job(4), workers, 0.0, rng)
+        assert decision.messages == 12
+        assert len(decision.placements) == 4
+
+    def test_per_task_prefers_short_queues(self, workers, rng):
+        # Load worker 0 heavily; per-task two-choice should mostly avoid it.
+        for _ in range(10):
+            workers[0].enqueue(_job(1).tasks[0], now=0.0)
+        decision = PerTaskDChoiceScheduler(d=8).schedule_job(_job(4), workers, 0.0, rng)
+        assert all(worker_id != 0 for worker_id, _ in decision.placements)
+
+    def test_per_task_invalid_d(self):
+        with pytest.raises(ValueError):
+            PerTaskDChoiceScheduler(d=0)
+
+    def test_batch_sampling_probe_count(self, workers, rng):
+        scheduler = BatchSamplingScheduler(probe_ratio=2.0)
+        decision = scheduler.schedule_job(_job(3), workers, 0.0, rng)
+        assert decision.messages == 6
+        assert len(decision.placements) == 3
+
+    def test_batch_sampling_fixed_d(self, workers, rng):
+        scheduler = BatchSamplingScheduler(d=7)
+        decision = scheduler.schedule_job(_job(3), workers, 0.0, rng)
+        assert decision.messages == 7
+
+    def test_batch_sampling_probe_count_clamped_to_workers(self, workers):
+        scheduler = BatchSamplingScheduler(probe_ratio=10.0)
+        assert scheduler.probes_for(k=4, n_workers=8) == 8
+
+    def test_batch_sampling_probes_at_least_k(self, workers):
+        scheduler = BatchSamplingScheduler(probe_ratio=0.5)
+        assert scheduler.probes_for(k=4, n_workers=8) >= 4
+
+    def test_batch_sampling_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BatchSamplingScheduler(probe_ratio=0.0)
+        with pytest.raises(ValueError):
+            BatchSamplingScheduler(d=0)
+
+    def test_late_binding_places_reservations(self, workers, rng):
+        scheduler = LateBindingScheduler(probe_ratio=2.0)
+        decision = scheduler.schedule_job(_job(3), workers, 0.0, rng)
+        assert decision.messages == 6
+        assert len(decision.placements) == 6  # d reservations
+
+    def test_late_binding_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            LateBindingScheduler(probe_ratio=-1)
+
+
+class TestSimulator:
+    def _trace(self, n_jobs=60, k=4, seed=0, rate=3.0):
+        return poisson_job_trace(
+            n_jobs=n_jobs, arrival_rate=rate, tasks_per_job=k, seed=seed
+        )
+
+    @pytest.mark.parametrize(
+        "scheduler",
+        [
+            RandomScheduler(),
+            PerTaskDChoiceScheduler(d=2),
+            BatchSamplingScheduler(probe_ratio=2.0),
+            LateBindingScheduler(probe_ratio=2.0),
+        ],
+    )
+    def test_every_job_completes(self, scheduler):
+        trace = self._trace()
+        report = simulate_cluster(16, scheduler, trace, seed=1)
+        assert report.n_jobs == len(trace)
+        assert report.n_tasks == trace.total_tasks
+
+    def test_response_time_at_least_service_time(self):
+        trace = self._trace()
+        report = simulate_cluster(16, RandomScheduler(), trace, seed=1)
+        min_duration = min(min(job.task_durations) for job in trace)
+        assert report.mean_response >= min_duration
+
+    def test_message_accounting_per_task_probing(self):
+        trace = self._trace(n_jobs=20, k=4)
+        report = simulate_cluster(16, PerTaskDChoiceScheduler(d=2), trace, seed=1)
+        assert report.messages == 2 * trace.total_tasks
+
+    def test_message_accounting_batch(self):
+        trace = self._trace(n_jobs=20, k=4)
+        report = simulate_cluster(16, BatchSamplingScheduler(probe_ratio=2.0), trace, seed=1)
+        assert report.messages == 8 * len(trace)
+
+    def test_deterministic_given_seed(self):
+        trace = self._trace(n_jobs=30)
+        a = simulate_cluster(8, BatchSamplingScheduler(), trace, seed=5)
+        b = simulate_cluster(8, BatchSamplingScheduler(), trace, seed=5)
+        assert a.mean_response == pytest.approx(b.mean_response)
+
+    def test_single_worker_serializes_everything(self):
+        spec = [
+            JobSpec(job_id=i, arrival_time=0.0, task_durations=(1.0,)) for i in range(4)
+        ]
+        report = simulate_cluster(1, RandomScheduler(), spec, seed=0)
+        # One worker, four unit tasks arriving together: last finishes at 4.
+        assert report.max_response == pytest.approx(4.0)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator(0, RandomScheduler())
+
+    def test_utilization_bounded(self):
+        trace = self._trace()
+        report = simulate_cluster(16, RandomScheduler(), trace, seed=2)
+        assert 0.0 <= report.mean_utilization <= 1.0
+
+    def test_batch_sampling_beats_per_task_for_parallel_jobs(self):
+        # The paper's motivating claim, at moderate load and high parallelism.
+        trace = poisson_job_trace(
+            n_jobs=200, arrival_rate=1.4, tasks_per_job=16, seed=11
+        )
+        per_task = simulate_cluster(32, PerTaskDChoiceScheduler(d=2), trace, seed=3)
+        batch = simulate_cluster(32, BatchSamplingScheduler(probe_ratio=2.0), trace, seed=3)
+        assert batch.mean_response <= per_task.mean_response * 1.05
+
+    def test_report_requires_finished_jobs(self, workers):
+        job = _job(2)
+        with pytest.raises(ValueError):
+            build_report("x", [job], workers, messages=0, horizon=1.0)
+
+    def test_report_as_dict_fields(self):
+        trace = self._trace(n_jobs=10)
+        report = simulate_cluster(8, RandomScheduler(), trace, seed=1)
+        record = report.as_dict()
+        assert record["scheduler"] == "random"
+        assert record["jobs"] == 10
+        assert "p99_response" in record

@@ -1,0 +1,155 @@
+"""Unit tests for the strict and greedy allocation policies.
+
+These tests encode the paper's own worked examples from Section 1
+(scenarios (a), (b) and (c) of the (3, 4)-choice discussion) plus the
+Section 7 example for the greedy relaxation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.policies import GreedyPolicy, StrictPolicy, get_policy
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestStrictPolicyPaperScenarios:
+    """Loads of bins 1..4 are 3, 2, 1, 0 at the start of a (3, 4)-choice round."""
+
+    LOADS = [3, 2, 1, 0]
+
+    def test_scenario_a_each_bin_sampled_once(self, rng):
+        # Samples: one probe per bin.  The three least loaded (bins 2, 3, 4 =
+        # indices 1, 2, 3) each receive one ball.
+        destinations = StrictPolicy().select(self.LOADS, [0, 1, 2, 3], k=3, rng=rng)
+        assert Counter(destinations) == Counter({1: 1, 2: 1, 3: 1})
+
+    def test_scenario_b_duplicate_samples_of_the_empty_bin(self, rng):
+        # bin2 and bin3 sampled once, bin4 sampled twice: the paper's policy
+        # gives bin3 one ball and bin4 two balls.
+        destinations = StrictPolicy().select(self.LOADS, [1, 2, 3, 3], k=3, rng=rng)
+        assert Counter(destinations) == Counter({2: 1, 3: 2})
+
+    def test_scenario_c_only_two_distinct_destinations(self, rng):
+        # bin1 and bin4 sampled twice each: bin1 receives one ball and bin4 two.
+        destinations = StrictPolicy().select(self.LOADS, [0, 0, 3, 3], k=3, rng=rng)
+        assert Counter(destinations) == Counter({0: 1, 3: 2})
+
+
+class TestStrictPolicyGeneralBehaviour:
+    def test_returns_exactly_k_destinations(self, rng):
+        destinations = StrictPolicy().select([0] * 10, [1, 2, 3, 4, 5], k=3, rng=rng)
+        assert len(destinations) == 3
+
+    def test_multiplicity_cap_never_exceeded(self, rng):
+        loads = [0] * 8
+        samples = [2, 2, 5, 7, 2, 5]
+        destinations = StrictPolicy().select(loads, samples, k=4, rng=rng)
+        sample_multiplicity = Counter(samples)
+        for bin_index, count in Counter(destinations).items():
+            assert count <= sample_multiplicity[bin_index]
+
+    def test_destinations_are_subset_of_samples(self, rng):
+        loads = [1, 0, 5, 2, 3]
+        samples = [0, 2, 2, 4]
+        destinations = StrictPolicy().select(loads, samples, k=2, rng=rng)
+        assert set(destinations) <= set(samples)
+
+    def test_k_equal_one_picks_a_least_loaded_sample(self, rng):
+        loads = [4, 1, 3, 0]
+        destinations = StrictPolicy().select(loads, [0, 1, 2], k=1, rng=rng)
+        # Bin 1 (load 1) is the least loaded among the sampled {0, 1, 2}.
+        assert destinations == [1]
+
+    def test_k_equals_d_places_every_sample(self, rng):
+        loads = [0, 0, 0]
+        samples = [2, 2, 1]
+        destinations = StrictPolicy().select(loads, samples, k=3, rng=rng)
+        assert destinations == samples
+
+    def test_rejects_k_larger_than_d(self, rng):
+        with pytest.raises(ValueError):
+            StrictPolicy().select([0, 0], [0, 1], k=3, rng=rng)
+
+    def test_rejects_nonpositive_k(self, rng):
+        with pytest.raises(ValueError):
+            StrictPolicy().select([0, 0], [0, 1], k=0, rng=rng)
+
+    def test_prefers_lower_loads(self, rng):
+        loads = [10, 0, 10, 10]
+        destinations = StrictPolicy().select(loads, [0, 1, 2, 3], k=1, rng=rng)
+        assert destinations == [1]
+
+    def test_equivalent_to_place_then_remove_highest(self, rng):
+        # Cross-check against a direct implementation of the paper's
+        # place-d-then-remove-(d-k)-highest rule.
+        loads = [2, 0, 1, 4, 0, 3]
+        samples = [1, 1, 3, 5, 4]
+        k = 3
+        destinations = StrictPolicy().select(loads, samples, k, rng)
+
+        # Direct simulation: heights of the d placed balls.
+        working = list(loads)
+        heights = []
+        for s in samples:
+            working[s] += 1
+            heights.append((working[s], s))
+        kept = sorted(range(len(samples)), key=lambda j: heights[j][0])[:k]
+        expected_bins = Counter(samples[j] for j in kept)
+        assert Counter(destinations) == expected_bins
+
+
+class TestGreedyPolicy:
+    def test_section7_example_two_balls_to_empty_bin(self, rng):
+        # (2, 3)-choice with sampled loads {0, 2, 3}: the greedy relaxation
+        # puts both balls into the empty bin.
+        loads = [3, 2, 0]
+        destinations = GreedyPolicy().select(loads, [0, 1, 2], k=2, rng=rng)
+        assert Counter(destinations) == Counter({2: 2})
+
+    def test_returns_exactly_k_destinations(self, rng):
+        destinations = GreedyPolicy().select([0] * 6, [0, 1, 2, 3], k=3, rng=rng)
+        assert len(destinations) == 3
+
+    def test_destinations_drawn_from_distinct_samples(self, rng):
+        loads = [5, 0, 2, 1]
+        destinations = GreedyPolicy().select(loads, [1, 1, 3, 3], k=3, rng=rng)
+        assert set(destinations) <= {1, 3}
+
+    def test_water_filling_balances_within_round(self, rng):
+        # With 4 empty distinct bins and k = 4, greedy spreads one ball each.
+        destinations = GreedyPolicy().select([0] * 4, [0, 1, 2, 3], k=4, rng=rng)
+        assert Counter(destinations) == Counter({0: 1, 1: 1, 2: 1, 3: 1})
+
+    def test_can_exceed_sample_multiplicity(self, rng):
+        # The single sample of the empty bin may receive multiple balls.
+        loads = [9, 9, 0]
+        destinations = GreedyPolicy().select(loads, [0, 1, 2], k=3, rng=rng)
+        assert Counter(destinations)[2] >= 2
+
+    def test_rejects_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            GreedyPolicy().select([0, 0], [0, 1], k=0, rng=rng)
+
+
+class TestGetPolicy:
+    def test_resolves_strict_by_name(self):
+        assert isinstance(get_policy("strict"), StrictPolicy)
+
+    def test_resolves_greedy_by_name(self):
+        assert isinstance(get_policy("greedy"), GreedyPolicy)
+
+    def test_passes_through_instances(self):
+        policy = StrictPolicy()
+        assert get_policy(policy) is policy
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            get_policy("does-not-exist")

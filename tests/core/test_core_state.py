@@ -1,0 +1,156 @@
+"""Unit tests for repro.core.state.BinState."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import BinState
+
+
+class TestConstruction:
+    def test_empty_state_has_zero_balls(self):
+        state = BinState(10)
+        assert state.total_balls == 0
+        assert state.loads == [0] * 10
+
+    def test_n_bins_property(self):
+        assert BinState(7).n_bins == 7
+
+    def test_len_matches_n_bins(self):
+        assert len(BinState(13)) == 13
+
+    def test_initial_loads_respected(self):
+        state = BinState(4, loads=[3, 1, 0, 2])
+        assert state.loads == [3, 1, 0, 2]
+        assert state.total_balls == 6
+
+    def test_rejects_nonpositive_bins(self):
+        with pytest.raises(ValueError):
+            BinState(0)
+        with pytest.raises(ValueError):
+            BinState(-3)
+
+    def test_rejects_mismatched_loads_length(self):
+        with pytest.raises(ValueError):
+            BinState(3, loads=[1, 2])
+
+    def test_rejects_negative_loads(self):
+        with pytest.raises(ValueError):
+            BinState(2, loads=[1, -1])
+
+
+class TestPlacement:
+    def test_place_returns_height(self):
+        state = BinState(3)
+        assert state.place(0) == 1
+        assert state.place(0) == 2
+        assert state.place(1) == 1
+
+    def test_place_updates_total(self):
+        state = BinState(3)
+        state.place(2)
+        state.place(2)
+        assert state.total_balls == 2
+
+    def test_place_many_returns_heights_in_order(self):
+        state = BinState(4)
+        heights = state.place_many([1, 1, 2, 1])
+        assert heights == [1, 2, 1, 3]
+
+    def test_remove_decrements_load(self):
+        state = BinState(2, loads=[2, 0])
+        state.remove(0)
+        assert state.load_of(0) == 1
+        assert state.total_balls == 1
+
+    def test_remove_from_empty_bin_raises(self):
+        state = BinState(2)
+        with pytest.raises(ValueError):
+            state.remove(1)
+
+    def test_copy_is_independent(self):
+        state = BinState(3, loads=[1, 0, 2])
+        clone = state.copy()
+        clone.place(0)
+        assert state.load_of(0) == 1
+        assert clone.load_of(0) == 2
+        assert clone.total_balls == state.total_balls + 1
+
+
+class TestSortedViewsAndCounters:
+    def test_sorted_loads_descending(self):
+        state = BinState(4, loads=[1, 3, 0, 2])
+        assert list(state.sorted_loads()) == [3, 2, 1, 0]
+
+    def test_max_min_average(self):
+        state = BinState(4, loads=[1, 3, 0, 2])
+        assert state.max_load() == 3
+        assert state.min_load() == 0
+        assert state.average_load() == pytest.approx(1.5)
+
+    def test_gap(self):
+        state = BinState(4, loads=[1, 3, 0, 2])
+        assert state.gap() == pytest.approx(1.5)
+
+    def test_nu_counts_bins_at_or_above_threshold(self):
+        state = BinState(5, loads=[0, 1, 2, 2, 4])
+        assert state.nu(0) == 5
+        assert state.nu(1) == 4
+        assert state.nu(2) == 3
+        assert state.nu(3) == 1
+        assert state.nu(5) == 0
+
+    def test_mu_counts_balls_at_or_above_height(self):
+        state = BinState(5, loads=[0, 1, 2, 2, 4])
+        # heights present: bin loads give one ball per height 1..load
+        assert state.mu(1) == 9  # all balls
+        assert state.mu(2) == 9 - state.nu(1)  # remove the height-1 balls
+        assert state.mu(4) == 1
+        assert state.mu(5) == 0
+
+    def test_mu_at_nonpositive_height_is_total(self):
+        state = BinState(3, loads=[2, 1, 0])
+        assert state.mu(0) == 3
+        assert state.mu(-2) == 3
+
+    def test_nu_vector_matches_pointwise_nu(self):
+        state = BinState(6, loads=[0, 1, 1, 2, 3, 3])
+        vector = state.nu_vector()
+        assert len(vector) == state.max_load() + 1
+        for y, value in enumerate(vector):
+            assert value == state.nu(y)
+
+    def test_load_histogram(self):
+        state = BinState(5, loads=[0, 1, 1, 2, 0])
+        assert state.load_histogram() == {0: 2, 1: 2, 2: 1}
+
+    def test_fraction_empty(self):
+        state = BinState(4, loads=[0, 0, 1, 3])
+        assert state.fraction_empty() == pytest.approx(0.5)
+
+    def test_as_array_dtype_and_values(self):
+        state = BinState(3, loads=[5, 0, 1])
+        arr = state.as_array()
+        assert arr.dtype == np.int64
+        assert list(arr) == [5, 0, 1]
+
+
+class TestMajorizationHelpers:
+    def test_prefix_sums_of_sorted_vector(self):
+        state = BinState(4, loads=[1, 3, 0, 2])
+        assert list(state.prefix_sums()) == [3, 5, 6, 6]
+
+    def test_majorizes_reflexive(self):
+        state = BinState(4, loads=[2, 2, 1, 1])
+        assert state.majorizes(state.copy())
+
+    def test_majorizes_detects_more_concentrated_state(self):
+        concentrated = BinState(4, loads=[4, 0, 0, 0])
+        balanced = BinState(4, loads=[1, 1, 1, 1])
+        assert concentrated.majorizes(balanced)
+        assert not balanced.majorizes(concentrated)
+
+    def test_majorizes_requires_equal_bin_count(self):
+        with pytest.raises(ValueError):
+            BinState(3).majorizes(BinState(4))

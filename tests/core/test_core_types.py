@@ -1,0 +1,131 @@
+"""Unit tests for repro.core.types (ProcessParams and AllocationResult)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.types import AllocationResult, ProcessParams
+
+
+class TestProcessParams:
+    def test_valid_parameters_accepted(self):
+        params = ProcessParams(n_bins=100, n_balls=100, k=2, d=5)
+        assert params.k == 2
+        assert params.d == 5
+
+    def test_rejects_k_greater_than_d(self):
+        with pytest.raises(ValueError):
+            ProcessParams(n_bins=10, n_balls=10, k=4, d=3)
+
+    def test_rejects_zero_k(self):
+        with pytest.raises(ValueError):
+            ProcessParams(n_bins=10, n_balls=10, k=0, d=3)
+
+    def test_rejects_d_larger_than_bins(self):
+        with pytest.raises(ValueError):
+            ProcessParams(n_bins=4, n_balls=4, k=1, d=5)
+
+    def test_rejects_negative_balls(self):
+        with pytest.raises(ValueError):
+            ProcessParams(n_bins=4, n_balls=-1, k=1, d=2)
+
+    def test_rejects_nonpositive_bins(self):
+        with pytest.raises(ValueError):
+            ProcessParams(n_bins=0, n_balls=0, k=1, d=1)
+
+    def test_d_k_formula(self):
+        params = ProcessParams(n_bins=100, n_balls=100, k=3, d=5)
+        assert params.d_k == pytest.approx(5 / 2)
+
+    def test_d_k_infinite_when_k_equals_d(self):
+        params = ProcessParams(n_bins=100, n_balls=100, k=4, d=4)
+        assert math.isinf(params.d_k)
+
+    def test_rounds_is_ceiling_of_balls_over_k(self):
+        params = ProcessParams(n_bins=100, n_balls=103, k=4, d=8)
+        assert params.rounds == 26
+
+    def test_rounds_exact_division(self):
+        params = ProcessParams(n_bins=100, n_balls=100, k=4, d=8)
+        assert params.rounds == 25
+
+    def test_message_cost_is_d_per_round(self):
+        params = ProcessParams(n_bins=100, n_balls=100, k=4, d=8)
+        assert params.message_cost == 25 * 8
+
+
+class TestAllocationResult:
+    def _result(self, loads, **kwargs):
+        loads = np.asarray(loads)
+        defaults = dict(
+            loads=loads,
+            scheme="test",
+            n_bins=loads.shape[0],
+            n_balls=int(loads.sum()),
+        )
+        defaults.update(kwargs)
+        return AllocationResult(**defaults)
+
+    def test_loads_converted_to_int64_array(self):
+        result = self._result([1, 2, 0])
+        assert isinstance(result.loads, np.ndarray)
+        assert result.loads.dtype == np.int64
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            AllocationResult(loads=np.array([1, 2]), scheme="x", n_bins=3, n_balls=3)
+
+    def test_rejects_two_dimensional_loads(self):
+        with pytest.raises(ValueError):
+            AllocationResult(
+                loads=np.zeros((2, 2)), scheme="x", n_bins=2, n_balls=0
+            )
+
+    def test_max_load(self):
+        assert self._result([1, 5, 2]).max_load == 5
+
+    def test_average_and_gap(self):
+        result = self._result([0, 4, 2])
+        assert result.average_load == pytest.approx(2.0)
+        assert result.gap == pytest.approx(2.0)
+
+    def test_messages_per_ball(self):
+        result = self._result([1, 1, 2], messages=8)
+        assert result.messages_per_ball == pytest.approx(2.0)
+
+    def test_messages_per_ball_zero_balls(self):
+        result = AllocationResult(
+            loads=np.zeros(3, dtype=int), scheme="x", n_bins=3, n_balls=0, messages=5
+        )
+        assert result.messages_per_ball == 0.0
+
+    def test_sorted_loads_descending(self):
+        result = self._result([1, 5, 2])
+        assert list(result.sorted_loads()) == [5, 2, 1]
+
+    def test_nu(self):
+        result = self._result([0, 1, 2, 2])
+        assert result.nu(0) == 4
+        assert result.nu(1) == 3
+        assert result.nu(2) == 2
+        assert result.nu(3) == 0
+
+    def test_total_balls_check_true(self):
+        assert self._result([1, 2, 3]).total_balls_check()
+
+    def test_total_balls_check_false_when_inconsistent(self):
+        result = AllocationResult(
+            loads=np.array([1, 1, 1]), scheme="x", n_bins=3, n_balls=5
+        )
+        assert not result.total_balls_check()
+
+    def test_summary_contains_key_fields(self):
+        summary = self._result([1, 2, 3], k=2, d=4, messages=12).summary()
+        assert summary["k"] == 2
+        assert summary["d"] == 4
+        assert summary["max_load"] == 3
+        assert summary["messages"] == 12
+        assert "messages_per_ball" in summary

@@ -1,0 +1,120 @@
+"""Unit tests for the extension experiment recipes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.extensions import (
+    churn_table,
+    exact_validation_table,
+    open_question_table,
+    run_churn_experiment,
+    run_exact_validation,
+    run_open_question_heavy,
+    run_staleness_experiment,
+    run_weighted_experiment,
+    staleness_table,
+    weighted_table,
+)
+
+
+class TestWeightedExperiment:
+    def test_point_structure(self):
+        points = run_weighted_experiment(
+            n=256, configurations=((1, 2),), weight_distributions=("constant", "exponential"),
+            trials=2, seed=0,
+        )
+        assert len(points) == 2
+        for point in points:
+            assert point.mean_weighted_gap >= 0
+            assert point.mean_unit_max_load >= 1
+
+    def test_constant_weights_have_smallest_gap(self):
+        points = run_weighted_experiment(
+            n=512, configurations=((4, 8),),
+            weight_distributions=("constant", "pareto"), trials=2, seed=1,
+        )
+        by_dist = {p.weight_distribution: p for p in points}
+        assert by_dist["constant"].mean_weighted_gap <= by_dist["pareto"].mean_weighted_gap + 0.5
+
+    def test_table_rendering(self):
+        points = run_weighted_experiment(
+            n=128, configurations=((1, 2),), weight_distributions=("constant",), trials=1, seed=2
+        )
+        assert "mean_weighted_gap" in weighted_table(points).to_text()
+
+
+class TestStalenessExperiment:
+    def test_sweep_structure(self):
+        points = run_staleness_experiment(
+            n=512, stale_rounds_values=(1, 8, 64), trials=2, seed=0
+        )
+        assert [p.stale_rounds for p in points] == [1, 8, 64]
+
+    def test_staleness_monotone_tendency(self):
+        points = run_staleness_experiment(
+            n=1024, stale_rounds_values=(1, 256), trials=3, seed=1
+        )
+        fresh, stale = points[0], points[-1]
+        assert stale.mean_max_load >= fresh.mean_max_load
+
+    def test_table_rendering(self):
+        points = run_staleness_experiment(n=256, stale_rounds_values=(1,), trials=1, seed=2)
+        assert "stale_rounds" in staleness_table(points).to_text()
+
+
+class TestChurnExperiment:
+    def test_structure_and_population(self):
+        points = run_churn_experiment(
+            n=128, configurations=((1, 2),), rounds=256, trials=1, seed=0
+        )
+        point = points[0]
+        assert point.final_balls == 128  # balanced churn keeps the population
+        assert point.steady_gap >= 0
+
+    def test_two_choice_churn_not_worse_than_random_churn(self):
+        points = run_churn_experiment(
+            n=128, configurations=((1, 1), (1, 2)), rounds=1024, trials=1, seed=1
+        )
+        by_config = {(p.k, p.d): p for p in points}
+        assert by_config[(1, 2)].steady_gap <= by_config[(1, 1)].steady_gap + 0.5
+
+    def test_table_rendering(self):
+        points = run_churn_experiment(n=64, configurations=((1, 2),), rounds=64, trials=1, seed=2)
+        assert "steady_gap" in churn_table(points).to_text()
+
+
+class TestOpenQuestionExperiment:
+    def test_covers_both_regimes(self):
+        points = run_open_question_heavy(
+            n=256, load_factors=(1, 4), proven=((2, 4),), open_cases=((3, 4),), trials=2, seed=0
+        )
+        regimes = {p.regime for p in points}
+        assert regimes == {"proven (d>=2k)", "open (d<2k)"}
+
+    def test_open_case_gap_stays_bounded(self):
+        # The simulation-level answer to the Section 7 open question: the gap
+        # does not blow up with the load factor even for d < 2k.
+        points = run_open_question_heavy(
+            n=512, load_factors=(1, 8), proven=(), open_cases=((8, 9),), trials=2, seed=1
+        )
+        gaps = [p.mean_gap for p in points]
+        assert max(gaps) - min(gaps) <= 3.0
+
+    def test_table_rendering(self):
+        points = run_open_question_heavy(
+            n=128, load_factors=(1,), proven=((2, 4),), open_cases=(), trials=1, seed=2
+        )
+        assert "mean_gap" in open_question_table(points).to_text()
+
+
+class TestExactValidation:
+    def test_points_close_to_exact(self):
+        points = run_exact_validation(instances=((4, 2, 3),), trials=2000, seed=0)
+        point = points[0]
+        assert point.total_variation < 0.08
+        assert point.exact_expected_max == pytest.approx(point.empirical_expected_max, abs=0.15)
+
+    def test_table_rendering(self):
+        points = run_exact_validation(instances=((4, 1, 2),), trials=500, seed=1)
+        assert "total_variation" in exact_validation_table(points).to_text()

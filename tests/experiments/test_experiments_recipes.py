@@ -1,0 +1,205 @@
+"""Unit tests for the remaining experiment recipes (regimes, heavy, tradeoff,
+majorization, applications, ablation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import ablation_table, run_policy_ablation
+from repro.experiments.applications import (
+    run_scheduling_experiment,
+    run_storage_experiment,
+    scheduling_table,
+    storage_table,
+)
+from repro.experiments.heavy import heavy_table, run_heavy_case
+from repro.experiments.majorization_exp import majorization_table, run_majorization_chain
+from repro.experiments.regimes import DEFAULT_CONFIGS, regime_table, run_regime_scaling
+from repro.experiments.tradeoff import default_schemes, run_tradeoff, tradeoff_table
+
+
+class TestRegimes:
+    def test_default_configs_cover_both_regimes(self):
+        names = [config.name for config in DEFAULT_CONFIGS]
+        assert any("d_k=2" in name or "d_k" in name for name in names)
+        assert len(names) >= 3
+
+    def test_config_parameters_valid(self):
+        for config in DEFAULT_CONFIGS:
+            for n in (256, 4096):
+                k, d = config.parameters(n)
+                assert 1 <= k <= d <= n
+
+    def test_scaling_points_structure(self):
+        points = run_regime_scaling(n_values=(256, 1024), configs=DEFAULT_CONFIGS[:2],
+                                    trials=2, seed=0)
+        assert len(points) == 4
+        for point in points:
+            assert point.min_max_load <= point.mean_max_load <= point.max_max_load
+            assert point.predicted_leading_term >= 0
+
+    def test_max_load_grows_with_n_for_single_choice(self):
+        points = run_regime_scaling(
+            n_values=(256, 16384), configs=[DEFAULT_CONFIGS[-1]], trials=2, seed=1
+        )
+        small, large = points[0], points[1]
+        assert large.mean_max_load >= small.mean_max_load
+
+    def test_table_rendering(self):
+        points = run_regime_scaling(n_values=(256,), configs=DEFAULT_CONFIGS[:1], trials=2, seed=0)
+        text = regime_table(points).to_text()
+        assert "mean_max_load" in text
+
+
+class TestHeavyCase:
+    def test_requires_d_at_least_2k(self):
+        with pytest.raises(ValueError):
+            run_heavy_case(n=128, configurations=((3, 5),), trials=1)
+
+    def test_gap_roughly_flat_in_load_factor(self):
+        points = run_heavy_case(
+            n=1024, load_factors=(1, 8), configurations=((2, 4),), trials=2, seed=0
+        )
+        light, heavy = points[0], points[1]
+        # Theorem 2: the gap stays O(ln ln n); allow generous slack but it
+        # must not grow proportionally to the load factor (which is 8x).
+        assert heavy.mean_gap <= light.mean_gap + 3.0
+
+    def test_sandwich_gaps_reported(self):
+        points = run_heavy_case(
+            n=512, load_factors=(2,), configurations=((2, 4),), trials=2, seed=1
+        )
+        point = points[0]
+        assert point.sandwich_lower_gap > 0
+        assert point.sandwich_upper_gap > 0
+        assert point.bound_lower <= point.bound_upper
+
+    def test_table_rendering(self):
+        points = run_heavy_case(n=512, load_factors=(1,), configurations=((2, 4),), trials=1, seed=2)
+        assert "mean_gap" in heavy_table(points).to_text()
+
+
+class TestTradeoff:
+    def test_default_schemes_include_headline_configurations(self):
+        schemes = default_schemes(4096)
+        names = " ".join(schemes)
+        assert "single-choice" in names
+        assert "greedy[2]" in names
+        assert "(k,2k)-choice" in names
+        assert "(k,k+1)-choice" in names
+
+    def test_points_have_cost_and_load(self):
+        points = run_tradeoff(n=1024, trials=2, seed=0)
+        assert len(points) >= 8
+        for point in points:
+            assert point.mean_max_load >= 1
+            assert point.mean_messages_per_ball > 0
+
+    def test_kd_choice_dominates_single_choice(self):
+        points = {p.scheme: p for p in run_tradeoff(n=2048, trials=2, seed=1)}
+        single = points["single-choice"]
+        kd = next(p for name, p in points.items() if name.startswith("(k,2k)"))
+        assert kd.mean_max_load < single.mean_max_load
+        # and it costs about 2 probes per ball
+        assert kd.mean_messages_per_ball == pytest.approx(2.0, abs=0.3)
+
+    def test_table_rendering(self):
+        points = run_tradeoff(n=512, trials=1, seed=2)
+        assert "mean_messages_per_ball" in tradeoff_table(points).to_text()
+
+
+class TestMajorizationChain:
+    def test_chain_structure(self):
+        experiments = run_majorization_chain(
+            n=512, configurations=((3, 5),), trials=4, seed=0
+        )
+        assert len(experiments) == 3
+        claims = [e.claim for e in experiments]
+        assert any("A(1,3) <=mj A(3,5)" in c for c in claims)
+
+    def test_reports_mostly_consistent(self):
+        experiments = run_majorization_chain(
+            n=1024, configurations=((3, 5),), trials=6, seed=1
+        )
+        consistent = sum(1 for e in experiments if e.report.consistent)
+        assert consistent >= 2
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            run_majorization_chain(n=128, configurations=((4, 4),), trials=2)
+
+    def test_table_rendering(self):
+        experiments = run_majorization_chain(n=256, configurations=((3, 5),), trials=3, seed=2)
+        assert "prefix_fraction" in majorization_table(experiments).to_text()
+
+
+class TestApplications:
+    def test_scheduling_experiment_structure(self):
+        comparisons = run_scheduling_experiment(
+            n_workers=16, tasks_per_job_values=(4,), n_jobs=60, seed=0
+        )
+        assert len(comparisons) == 1
+        reports = comparisons[0].reports
+        assert any("per-task" in name for name in reports)
+        assert any("batch" in name for name in reports)
+
+    def test_scheduling_batch_not_worse_than_per_task_at_high_parallelism(self):
+        comparisons = run_scheduling_experiment(
+            n_workers=32, tasks_per_job_values=(16,), n_jobs=150, utilization=0.7, seed=1
+        )
+        reports = comparisons[0].reports
+        per_task = next(v for k, v in reports.items() if "per-task" in k)
+        batch = next(v for k, v in reports.items() if k.startswith("batch"))
+        assert batch.mean_response <= per_task.mean_response * 1.1
+
+    def test_scheduling_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            run_scheduling_experiment(utilization=1.5)
+
+    def test_scheduling_table_rendering(self):
+        comparisons = run_scheduling_experiment(
+            n_workers=8, tasks_per_job_values=(2,), n_jobs=30, seed=2
+        )
+        assert "mean_response" in scheduling_table(comparisons).to_text()
+
+    def test_storage_experiment_structure(self):
+        comparisons = run_storage_experiment(
+            n_servers=64, n_files=500, replica_values=(3,), seed=0
+        )
+        reports = comparisons[0].reports
+        assert any("(k,d)-choice" in name for name in reports)
+        assert any("per-replica" in name for name in reports)
+
+    def test_storage_kd_choice_cheaper_lookup_than_two_choice(self):
+        comparisons = run_storage_experiment(
+            n_servers=128, n_files=1000, replica_values=(3,), seed=1
+        )
+        reports = comparisons[0].reports
+        two_choice = next(v for k, v in reports.items() if "per-replica" in k)
+        kd = next(v for k, v in reports.items() if "d=k+1" in k)
+        assert kd.mean_lookup_cost < two_choice.mean_lookup_cost
+        assert kd.placement_messages < two_choice.placement_messages
+
+    def test_storage_table_rendering(self):
+        comparisons = run_storage_experiment(
+            n_servers=32, n_files=100, replica_values=(2,), seed=2
+        )
+        assert "mean_lookup_cost" in storage_table(comparisons).to_text()
+
+
+class TestAblation:
+    def test_points_structure(self):
+        points = run_policy_ablation(n=512, configurations=((2, 3), (8, 9)), trials=2, seed=0)
+        assert len(points) == 2
+        for point in points:
+            assert point.strict_mean >= 1
+            assert point.greedy_mean >= 1
+
+    def test_greedy_never_much_worse_for_k_near_d(self):
+        points = run_policy_ablation(n=1024, configurations=((8, 9),), trials=3, seed=1)
+        point = points[0]
+        assert point.greedy_mean <= point.strict_mean + 0.5
+
+    def test_table_rendering(self):
+        points = run_policy_ablation(n=256, configurations=((2, 3),), trials=1, seed=2)
+        assert "improvement" in ablation_table(points).to_text()

@@ -1,0 +1,62 @@
+"""Unit tests for the one-shot reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import REPORT_SECTIONS, generate_report
+
+
+class TestReportSections:
+    def test_every_section_has_title_and_builder(self):
+        for key, (title, builder) in REPORT_SECTIONS.items():
+            assert isinstance(key, str) and key
+            assert isinstance(title, str) and title
+            assert callable(builder)
+
+    def test_all_paper_artefacts_covered(self):
+        # The report must include a section for each artefact class listed in
+        # DESIGN.md: Table 1, the figures, both theorems, the majorization
+        # chain, the trade-off, both applications and the ablation.
+        for key in (
+            "table1", "profiles", "regimes", "heavy", "majorization",
+            "tradeoff", "scheduling", "storage", "ablation",
+        ):
+            assert key in REPORT_SECTIONS
+
+
+class TestGenerateReport:
+    def test_single_section_report(self):
+        report = generate_report(seed=0, sections=["exact"])
+        assert len(report.sections) == 1
+        assert report.section("exact").body
+        assert "total_variation" in report.section("exact").body
+
+    def test_subset_report_renders_markdown(self):
+        report = generate_report(seed=1, sections=["table1", "profiles"])
+        markdown = report.to_markdown()
+        assert "# (k, d)-choice reproduction report" in markdown
+        assert "## Table 1" in markdown
+        assert "```" in markdown
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(sections=["bogus"])
+
+    def test_unknown_section_lookup_rejected(self):
+        report = generate_report(seed=0, sections=["exact"])
+        with pytest.raises(KeyError):
+            report.section("missing")
+
+    def test_reproducible_for_fixed_seed(self):
+        a = generate_report(seed=3, sections=["table1"]).section("table1").body
+        b = generate_report(seed=3, sections=["table1"]).section("table1").body
+        assert a == b
+
+    @pytest.mark.slow
+    def test_full_report_runs_every_section(self):
+        report = generate_report(seed=0)
+        assert {s.key for s in report.sections} == set(REPORT_SECTIONS)
+        markdown = report.to_markdown()
+        for _, (title, _builder) in REPORT_SECTIONS.items():
+            assert title in markdown

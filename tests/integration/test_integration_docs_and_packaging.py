@@ -1,0 +1,124 @@
+"""Documentation and packaging consistency checks.
+
+These tests keep the README, DESIGN.md and EXPERIMENTS.md honest: the
+commands and modules they reference must exist, and the README quickstart
+snippet must actually run against the installed package.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import build_parser
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _read(name: str) -> str:
+    path = REPO_ROOT / name
+    if not path.exists():
+        pytest.skip(f"{name} not present (running outside the repository checkout)")
+    return path.read_text(encoding="utf-8")
+
+
+class TestDocumentsExist:
+    @pytest.mark.parametrize(
+        "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml"]
+    )
+    def test_required_documents_present(self, name):
+        assert (REPO_ROOT / name).exists(), f"{name} is a required deliverable"
+
+    def test_examples_present(self):
+        examples = list((REPO_ROOT / "examples").glob("*.py"))
+        assert len(examples) >= 3
+        names = {path.name for path in examples}
+        assert "quickstart.py" in names
+
+
+class TestReadmeConsistency:
+    def test_quickstart_snippet_runs(self):
+        readme = _read("README.md")
+        # Run the core of the quickstart: the public names it uses must exist
+        # and behave as described.
+        assert "run_kd_choice" in readme
+        result = repro.run_kd_choice(n_bins=1024, k=8, d=16, seed=0)
+        assert result.max_load >= 1
+        assert "predicted_max_load" in readme
+        from repro.analysis import classify_regime, predicted_max_load
+
+        assert classify_regime(8, 16, 1024).name == "dk_constant"
+        assert predicted_max_load(8, 16, 1024) > 0
+
+    def test_cli_commands_in_readme_exist(self):
+        readme = _read("README.md")
+        parser = build_parser()
+        subcommands = {
+            action.dest
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+            for action in [action]
+        }
+        # Extract `python -m repro <command>` mentions.
+        mentioned = set(re.findall(r"python -m repro ([a-z0-9-]+)", readme))
+        choices = set()
+        for action in parser._actions:
+            if getattr(action, "choices", None):
+                choices.update(action.choices)
+        unknown = mentioned - choices
+        assert not unknown, f"README mentions unknown CLI commands: {unknown}"
+
+    def test_architecture_section_matches_package_layout(self):
+        readme = _read("README.md")
+        for subpackage in ("core", "analysis", "simulation", "experiments", "cluster", "storage"):
+            assert subpackage in readme
+            importlib.import_module(f"repro.{subpackage}")
+
+
+class TestDesignConsistency:
+    def test_design_lists_every_bench_file(self):
+        design = _read("DESIGN.md")
+        bench_dir = REPO_ROOT / "benchmarks"
+        referenced = set(re.findall(r"bench_[a-z0-9_]+\.py", design))
+        existing = {path.name for path in bench_dir.glob("bench_*.py")}
+        missing = referenced - existing
+        assert not missing, f"DESIGN.md references missing bench files: {missing}"
+
+    def test_every_bench_file_reproduces_a_documented_artefact(self):
+        design = _read("DESIGN.md")
+        bench_dir = REPO_ROOT / "benchmarks"
+        for path in bench_dir.glob("bench_*.py"):
+            if path.name in ("bench_core_throughput.py",):
+                continue  # micro-benchmarks, not paper artefacts
+            assert path.name in design, (
+                f"{path.name} is not referenced in DESIGN.md's experiment index"
+            )
+
+    def test_experiments_md_covers_table_and_figures(self):
+        experiments = _read("EXPERIMENTS.md")
+        for artefact in ("Table 1", "Figure 1", "Figure 2", "Theorem 1", "Theorem 2"):
+            assert artefact in experiments
+
+
+class TestPackagingMetadata:
+    def test_version_consistency(self):
+        pyproject = _read("pyproject.toml")
+        assert f'version = "{repro.__version__}"' in pyproject
+
+    def test_console_script_points_at_cli_main(self):
+        pyproject = _read("pyproject.toml")
+        assert 'repro-kd = "repro.cli:main"' in pyproject
+        from repro.cli import main
+
+        assert callable(main)
+
+    def test_runtime_dependency_is_numpy_only(self):
+        pyproject = _read("pyproject.toml")
+        dependencies_block = re.search(r"dependencies = \[(.*?)\]", pyproject, re.S)
+        assert dependencies_block is not None
+        deps = [d.strip().strip('"') for d in dependencies_block.group(1).split(",") if d.strip()]
+        assert all(dep.startswith("numpy") for dep in deps)

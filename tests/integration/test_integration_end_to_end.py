@@ -1,0 +1,109 @@
+"""End-to-end integration tests across subpackages.
+
+These exercise the same flows as the examples: core process -> analysis ->
+experiment recipe -> rendered table, and the two application substrates fed
+by the shared workload generators.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analysis import classify_regime, predicted_max_load
+from repro.cluster import BatchSamplingScheduler, PerTaskDChoiceScheduler, simulate_cluster
+from repro.experiments import run_table1, run_tradeoff
+from repro.simulation import (
+    ExperimentRunner,
+    KDGridSweep,
+    SeedTree,
+    file_population,
+    poisson_job_trace,
+)
+from repro.storage import KDChoicePlacement, PerReplicaDChoicePlacement, StorageSystem
+
+
+class TestPackageSurface:
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports_work_together(self):
+        result = repro.run_kd_choice(n_bins=512, k=4, d=8, seed=1)
+        regime = classify_regime(4, 8, 512)
+        prediction = predicted_max_load(4, 8, 512)
+        assert regime.name == "dk_constant"
+        assert result.max_load <= prediction + 3
+
+    def test_all_declared_names_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestSweepToTablePipeline:
+    def test_grid_sweep_feeds_result_table(self):
+        sweep = KDGridSweep(n=256, k_values=[1, 2], d_values=[2, 4])
+        table = sweep.run_table(trials=2, seed=0, title="demo")
+        text = table.to_text()
+        assert "demo" in text
+        assert len(table) == 4  # (1,2), (1,4), (2,2), (2,4) minus none invalid
+        assert all(row["max_load_mean"] >= 1 for row in table)
+
+    def test_runner_reproducibility_across_pipeline(self):
+        tree = SeedTree(5)
+        runner_a = ExperimentRunner(trials=3, seed=tree.integer_seed())
+        tree = SeedTree(5)
+        runner_b = ExperimentRunner(trials=3, seed=tree.integer_seed())
+        factory = lambda s: repro.run_kd_choice(256, 2, 4, seed=s)  # noqa: E731
+        assert (
+            runner_a.run(factory).metric_values("max_load")
+            == runner_b.run(factory).metric_values("max_load")
+        )
+
+    def test_table1_recipe_round_trip(self):
+        result = run_table1(n=512, trials=2, k_values=[1, 4], d_values=[2, 5, 9], seed=3)
+        text = result.to_text()
+        for (k, d), cell in result.cells.items():
+            assert cell.text in text
+
+    def test_tradeoff_recipe_includes_adaptive_comparators(self):
+        points = run_tradeoff(n=512, trials=1, seed=4)
+        names = {p.scheme for p in points}
+        assert "adaptive-threshold" in names
+        assert "adaptive-two-phase" in names
+
+
+class TestApplicationPipelines:
+    def test_cluster_pipeline_with_shared_trace(self):
+        trace = poisson_job_trace(n_jobs=80, arrival_rate=3.0, tasks_per_job=8, seed=9)
+        batch = simulate_cluster(32, BatchSamplingScheduler(probe_ratio=2.0), trace, seed=1)
+        per_task = simulate_cluster(32, PerTaskDChoiceScheduler(d=2), trace, seed=1)
+        # Same workload, same probe budget per task.
+        assert batch.n_tasks == per_task.n_tasks == 640
+        assert batch.messages == per_task.messages
+        # Batch sampling should not lose by much on mean response time.
+        assert batch.mean_response <= per_task.mean_response * 1.25
+
+    def test_storage_pipeline_balance_and_cost(self):
+        population = file_population(n_files=1500, replicas=3, seed=2)
+        kd = StorageSystem(128, KDChoicePlacement(extra_probes=1), seed=3)
+        two = StorageSystem(128, PerReplicaDChoicePlacement(d=2), seed=3)
+        kd.store_population(population)
+        two.store_population(population)
+        kd_report, two_report = kd.report(), two.report()
+        # (k, k+1)-choice uses ~(k+1)/2k of two-choice's probes...
+        assert kd_report.placement_messages < two_report.placement_messages
+        # ...while keeping the imbalance comparable (within 2 replicas).
+        assert kd_report.max_load <= two_report.max_load + 2
+
+    def test_cluster_and_storage_share_rng_infrastructure(self):
+        tree = SeedTree(0)
+        trace = poisson_job_trace(
+            n_jobs=20, arrival_rate=2.0, tasks_per_job=2, rng=tree.generator()
+        )
+        system = StorageSystem(16, KDChoicePlacement(), rng=tree.generator())
+        system.store_population(
+            file_population(n_files=10, replicas=2, rng=tree.generator())
+        )
+        report = simulate_cluster(8, BatchSamplingScheduler(), trace, seed=tree.integer_seed())
+        assert report.n_jobs == 20
+        assert len(system.files) == 10

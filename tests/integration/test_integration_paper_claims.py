@@ -1,0 +1,149 @@
+"""Integration tests: end-to-end checks of the paper's qualitative claims.
+
+These tests run the public API exactly the way the examples and benches do
+and assert the *shape* of the paper's results: orderings, crossovers and
+rough magnitudes, not exact numbers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    run_d_choice,
+    run_kd_choice,
+    run_single_choice,
+)
+from repro.analysis.bounds import theorem1_leading_term
+from repro.analysis.recurrences import LayeredInduction
+from repro.core.metrics import nu
+
+
+N = 3 * 2 ** 12  # scaled-down instance used throughout the integration tests
+
+
+class TestTheorem1Shape:
+    def test_kd_choice_between_single_and_two_choice(self):
+        """(k, d)-choice with moderate k interpolates the two classics."""
+        single = run_single_choice(N, seed=1).max_load
+        two = run_d_choice(N, d=2, seed=1).max_load
+        middle = run_kd_choice(N, k=48, d=49, seed=1).max_load
+        assert two <= middle <= single
+
+    def test_small_k_matches_standard_d_choice(self):
+        """For k = 1 the process *is* Greedy[d]."""
+        a = run_kd_choice(N, k=1, d=4, seed=3).max_load
+        b = run_d_choice(N, d=4, seed=3).max_load
+        assert abs(a - b) <= 1
+
+    def test_doubly_logarithmic_growth_in_constant_regime(self):
+        """Max load grows extremely slowly with n when d_k = O(1)."""
+        small = run_kd_choice(1 << 10, k=4, d=8, seed=5).max_load
+        large = run_kd_choice(1 << 15, k=4, d=8, seed=5).max_load
+        assert large - small <= 1
+
+    def test_growing_dk_term_matters_when_k_close_to_d(self):
+        """(k, k+1)-choice with large k has a visibly larger max load than
+        (k, 2k)-choice, as predicted by the extra ln d_k / ln ln d_k term."""
+        k = 64
+        tight = run_kd_choice(N, k=k, d=k + 1, seed=7).max_load
+        wide = run_kd_choice(N, k=k, d=2 * k, seed=7).max_load
+        assert tight > wide
+
+    def test_leading_term_orders_configurations_correctly(self):
+        """The theory's leading term predicts the measured ordering."""
+        configs = [(1, 2), (16, 32), (64, 65)]
+        predictions = [theorem1_leading_term(k, d, N) for k, d in configs]
+        measured = [run_kd_choice(N, k=k, d=d, seed=11).max_load for k, d in configs]
+        assert sorted(range(3), key=lambda i: predictions[i])[-1] == int(np.argmax(measured))
+
+
+class TestTable1Anchors:
+    """Spot-check a few Table 1 cells at the paper's own n (marked slow-ish
+    but still tractable: a single trial per cell)."""
+
+    def test_8_9_choice_close_to_two_choice(self):
+        two_choice = run_kd_choice(N, k=1, d=2, seed=13).max_load
+        kd = run_kd_choice(N, k=8, d=9, seed=13).max_load
+        assert abs(kd - two_choice) <= 2
+
+    def test_wide_d_gives_max_load_two(self):
+        assert run_kd_choice(N, k=3, d=17, seed=17).max_load == 2
+
+    def test_128_193_choice_outperforms_single_choice_dramatically(self):
+        single = run_single_choice(N, seed=19).max_load
+        kd = run_kd_choice(N, k=128, d=193, seed=19).max_load
+        assert kd <= 3
+        assert single >= kd + 2
+
+
+class TestTheorem2Shape:
+    def test_gap_independent_of_total_load(self):
+        n = 1 << 11
+        gaps = []
+        for factor in (1, 4, 16):
+            result = run_kd_choice(n, k=2, d=4, n_balls=factor * n, seed=23)
+            gaps.append(result.gap)
+        assert max(gaps) - min(gaps) <= 3.0
+
+    def test_sandwich_ordering_of_gaps(self):
+        n = 1 << 11
+        m = 8 * n
+        lower = run_kd_choice(n, k=1, d=3, n_balls=m, seed=29).gap   # A(1, d-k+1)
+        middle = run_kd_choice(n, k=2, d=4, n_balls=m, seed=29).gap  # A(2, 4)
+        upper = run_kd_choice(n, k=1, d=2, n_balls=m, seed=29).gap   # A(1, floor(d/k))
+        # Stochastic claims on single runs: allow one ball of slack.
+        assert lower <= middle + 1.0
+        assert middle <= upper + 1.0
+
+
+class TestLayeredInductionPredictions:
+    def test_layer_count_matches_induction_prediction(self):
+        """Following the proof of Theorem 4: let y0 be the smallest height
+        with ν_{y0} ≤ β0; the number of further layers needed for ν to drop
+        below ~6 ln n must not exceed the predicted i* by more than a small
+        constant."""
+        import math
+
+        k, d = 4, 8
+        layered = LayeredInduction.compute(k, d, N)
+        result = run_kd_choice(N, k=k, d=d, seed=31)
+
+        y0 = next(y for y in range(0, result.max_load + 1) if nu(result, y) <= layered.beta0)
+        cutoff = 6 * math.log(N)
+        layers = 0
+        while nu(result, y0 + layers) > cutoff and layers < 50:
+            layers += 1
+        assert layers <= layered.i_star_predicted + 2
+        assert result.max_load <= y0 + layers + 2
+
+    def test_i_star_plus_constant_bounds_max_load(self):
+        k, d = 4, 8
+        layered = LayeredInduction.compute(k, d, N)
+        result = run_kd_choice(N, k=k, d=d, seed=37)
+        assert result.max_load <= layered.i_star_predicted + 4
+
+
+class TestMessageCostClaims:
+    def test_d_equals_2k_costs_two_messages_per_ball(self):
+        k = round(math.log(N) ** 2)
+        result = run_kd_choice(N, k=k, d=2 * k, seed=41)
+        assert result.messages_per_ball == pytest.approx(2.0, abs=0.1)
+        assert result.max_load <= 3
+
+    def test_d_equals_k_plus_log_costs_just_over_one_message_per_ball(self):
+        k = round(math.log(N) ** 2)
+        extra = round(math.log(N))
+        result = run_kd_choice(N, k=k, d=k + extra, seed=43)
+        assert result.messages_per_ball < 1.25
+        assert result.max_load <= run_single_choice(N, seed=43).max_load
+
+    def test_storage_configuration_halves_two_choice_cost(self):
+        k = round(math.log(N))
+        kd = run_kd_choice(N, k=k, d=k + 1, seed=47)
+        two_choice = run_d_choice(N, d=2, seed=47)
+        assert kd.messages <= 0.6 * two_choice.messages
+        assert kd.max_load <= two_choice.max_load + 2

@@ -1,0 +1,135 @@
+"""Property-based tests for BinState, metrics and statistics invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.statistics import (
+    confidence_interval,
+    observed_value_set,
+    stochastic_dominance_fraction,
+    trial_statistics,
+)
+from repro.core import metrics
+from repro.core.state import BinState
+
+load_vectors = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=1, max_size=64
+)
+
+
+class TestStateInvariants:
+    @given(loads=load_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_total_is_sum_of_loads(self, loads):
+        state = BinState(len(loads), loads=loads)
+        assert state.total_balls == sum(loads)
+
+    @given(loads=load_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_nu_is_monotone_decreasing_in_y(self, loads):
+        state = BinState(len(loads), loads=loads)
+        values = [state.nu(y) for y in range(0, max(loads) + 2)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    @given(loads=load_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_mu_equals_sum_of_nu_over_levels(self, loads):
+        state = BinState(len(loads), loads=loads)
+        top = max(loads) + 1
+        for y in range(1, top + 1):
+            assert state.mu(y) == sum(state.nu(h) for h in range(y, top + 1))
+
+    @given(loads=load_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_sorted_loads_is_a_permutation(self, loads):
+        state = BinState(len(loads), loads=loads)
+        assert sorted(state.sorted_loads().tolist()) == sorted(loads)
+
+    @given(loads=load_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_sums_end_at_total(self, loads):
+        state = BinState(len(loads), loads=loads)
+        prefix = state.prefix_sums()
+        assert prefix[-1] == sum(loads)
+        assert all(prefix[i] <= prefix[i + 1] for i in range(len(prefix) - 1))
+
+    @given(loads=load_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_place_then_remove_restores_state(self, loads):
+        state = BinState(len(loads), loads=loads)
+        original = state.loads
+        state.place(0)
+        state.remove(0)
+        assert state.loads == original
+
+
+class TestMetricInvariants:
+    @given(loads=load_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_histogram_sums_to_bin_count(self, loads):
+        histogram = metrics.load_histogram(loads)
+        assert sum(histogram.values()) == len(loads)
+
+    @given(loads=load_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_gap_nonnegative(self, loads):
+        assert metrics.gap(loads) >= 0.0
+
+    @given(loads=load_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_load_profile_sorted_and_total_preserved(self, loads):
+        profile = metrics.load_profile(loads)
+        assert all(profile[i] >= profile[i + 1] for i in range(len(profile) - 1))
+        assert profile.sum() == sum(loads)
+
+    @given(loads=load_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_height_histogram_total_is_ball_count(self, loads):
+        histogram = metrics.height_histogram(loads)
+        assert sum(histogram.values()) == sum(loads)
+
+    @given(loads=load_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_nu_vector_matches_nu_everywhere(self, loads):
+        vector = metrics.nu_vector(loads)
+        for y, value in enumerate(vector):
+            assert value == metrics.nu(loads, y)
+
+
+values_strategy = st.lists(
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestStatisticsInvariants:
+    @given(values=values_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_mean_between_min_and_max(self, values):
+        stats = trial_statistics(values)
+        assert stats.minimum <= stats.mean <= stats.maximum
+
+    @given(values=values_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_confidence_interval_contains_mean(self, values):
+        stats = trial_statistics(values)
+        low, high = confidence_interval(values)
+        assert low <= stats.mean + 1e-9
+        assert high >= stats.mean - 1e-9
+
+    @given(values=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_observed_value_set_sorted_and_unique(self, values):
+        observed = observed_value_set(values)
+        assert observed == sorted(set(observed))
+        assert set(observed) == {int(v) for v in values}
+
+    @given(
+        sample=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=30),
+        shift=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shifted_sample_is_dominated(self, sample, shift):
+        larger = [v + shift for v in sample]
+        assert stochastic_dominance_fraction(sample, larger) == 1.0

@@ -1,0 +1,103 @@
+"""Property-based tests for the cluster and storage substrates."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.schedulers import BatchSamplingScheduler, PerTaskDChoiceScheduler, RandomScheduler
+from repro.cluster.simulator import simulate_cluster
+from repro.simulation.workloads import file_population, poisson_job_trace
+from repro.storage.placement import KDChoicePlacement, PerReplicaDChoicePlacement, RandomPlacement
+from repro.storage.system import StorageSystem
+
+
+@st.composite
+def cluster_scenarios(draw):
+    n_workers = draw(st.integers(min_value=2, max_value=16))
+    tasks_per_job = draw(st.integers(min_value=1, max_value=6))
+    n_jobs = draw(st.integers(min_value=1, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 20))
+    scheduler = draw(
+        st.sampled_from(
+            [
+                RandomScheduler(),
+                PerTaskDChoiceScheduler(d=2),
+                BatchSamplingScheduler(probe_ratio=2.0),
+            ]
+        )
+    )
+    return n_workers, tasks_per_job, n_jobs, seed, scheduler
+
+
+class TestClusterProperties:
+    @given(scenario=cluster_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_every_task_completes_and_times_are_causal(self, scenario):
+        n_workers, tasks_per_job, n_jobs, seed, scheduler = scenario
+        trace = poisson_job_trace(
+            n_jobs=n_jobs, arrival_rate=2.0, tasks_per_job=tasks_per_job, seed=seed
+        )
+        simulator_report = simulate_cluster(n_workers, scheduler, trace, seed=seed + 1)
+        assert simulator_report.n_jobs == n_jobs
+        assert simulator_report.n_tasks == n_jobs * tasks_per_job
+        # Response times can never be smaller than the shortest service time
+        # (up to floating-point rounding in the mean).
+        min_duration = min(min(job.task_durations) for job in trace)
+        assert simulator_report.mean_response >= min_duration - 1e-9
+        assert simulator_report.mean_task_wait >= 0.0
+        assert simulator_report.messages > 0
+
+    @given(scenario=cluster_scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_reports_deterministic_for_fixed_seed(self, scenario):
+        n_workers, tasks_per_job, n_jobs, seed, scheduler = scenario
+        trace = poisson_job_trace(
+            n_jobs=n_jobs, arrival_rate=2.0, tasks_per_job=tasks_per_job, seed=seed
+        )
+        a = simulate_cluster(n_workers, type(scheduler)(), trace, seed=7)
+        b = simulate_cluster(n_workers, type(scheduler)(), trace, seed=7)
+        assert a.mean_response == b.mean_response
+        assert a.messages == b.messages
+
+
+@st.composite
+def storage_scenarios(draw):
+    n_servers = draw(st.integers(min_value=4, max_value=64))
+    n_files = draw(st.integers(min_value=1, max_value=60))
+    replicas = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 20))
+    policy = draw(
+        st.sampled_from(
+            [
+                RandomPlacement(),
+                PerReplicaDChoicePlacement(d=2),
+                KDChoicePlacement(extra_probes=1),
+            ]
+        )
+    )
+    return n_servers, n_files, replicas, seed, policy
+
+
+class TestStorageProperties:
+    @given(scenario=storage_scenarios())
+    @settings(max_examples=30, deadline=None)
+    def test_replica_conservation_and_report_consistency(self, scenario):
+        n_servers, n_files, replicas, seed, policy = scenario
+        system = StorageSystem(n_servers=n_servers, placement=type(policy)(), seed=seed)
+        system.store_population(file_population(n_files, replicas=replicas, seed=seed))
+        report = system.report()
+        assert report.n_replicas == n_files * replicas
+        assert int(system.load_vector().sum()) == n_files * replicas
+        assert report.max_load >= report.mean_load
+        assert report.gap >= 0
+        # Every file is readable while every server is alive.
+        assert all(system.read_file(f) for f in system.files)
+
+    @given(scenario=storage_scenarios())
+    @settings(max_examples=20, deadline=None)
+    def test_lookup_cost_at_least_replica_count(self, scenario):
+        n_servers, n_files, replicas, seed, policy = scenario
+        system = StorageSystem(n_servers=n_servers, placement=type(policy)(), seed=seed)
+        system.store_population(file_population(n_files, replicas=replicas, seed=seed))
+        for file_id in system.files:
+            assert system.lookup_cost(file_id) >= replicas

@@ -1,0 +1,79 @@
+"""Unit tests for the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.plotting import horizontal_bar_chart, profile_chart, sparkline
+
+
+class TestHorizontalBarChart:
+    def test_contains_labels_and_values(self):
+        chart = horizontal_bar_chart({"single": 7.0, "two-choice": 3.0})
+        assert "single" in chart
+        assert "two-choice" in chart
+        assert "7.00" in chart
+        assert "3.00" in chart
+
+    def test_longest_bar_belongs_to_largest_value(self):
+        chart = horizontal_bar_chart({"a": 10.0, "b": 1.0}, width=20)
+        line_a, line_b = chart.splitlines()
+        assert line_a.count("█") > line_b.count("█")
+
+    def test_zero_values_render_empty_bars(self):
+        chart = horizontal_bar_chart({"a": 0.0, "b": 2.0})
+        line_a = chart.splitlines()[0]
+        assert "█" not in line_a
+
+    def test_empty_mapping(self):
+        assert horizontal_bar_chart({}) == ""
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            horizontal_bar_chart({"a": 1.0}, width=0)
+
+    def test_custom_format(self):
+        chart = horizontal_bar_chart({"a": 1.23456}, value_format="{:.4f}")
+        assert "1.2346" in chart
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_extremes_use_extreme_glyphs(self):
+        line = sparkline([0, 10])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_series_is_nondecreasing_in_glyph_index(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        levels = "▁▂▃▄▅▆▇█"
+        indices = [levels.index(c) for c in line]
+        assert indices == sorted(indices)
+
+
+class TestProfileChart:
+    def test_contains_every_rank_and_load(self):
+        chart = profile_chart([(1, 5), (10, 2), (100, 1)])
+        assert "rank        1" in chart
+        assert "load=5" in chart
+        assert "load=1" in chart
+
+    def test_empty(self):
+        assert profile_chart([]) == ""
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            profile_chart([(1, 2)], width=0)
+
+    def test_header_mentions_max_values(self):
+        chart = profile_chart([(1, 9), (50, 3)])
+        assert "max 9" in chart
+        assert "50" in chart

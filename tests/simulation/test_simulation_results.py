@@ -1,0 +1,109 @@
+"""Unit tests for ResultTable and GridTable rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.results import GridTable, ResultTable
+
+
+class TestResultTable:
+    def test_add_and_len(self):
+        table = ResultTable(columns=["a", "b"])
+        table.add({"a": 1, "b": 2})
+        table.add({"a": 3, "b": 4})
+        assert len(table) == 2
+
+    def test_extend(self):
+        table = ResultTable(columns=["a"])
+        table.extend([{"a": 1}, {"a": 2}, {"a": 3}])
+        assert len(table) == 3
+
+    def test_column_accessor(self):
+        table = ResultTable(columns=["a", "b"])
+        table.extend([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert table.column("a") == [1, 3]
+
+    def test_missing_columns_render_empty(self):
+        table = ResultTable(columns=["a", "b"])
+        table.add({"a": 1})
+        text = table.to_text()
+        assert "1" in text
+
+    def test_to_text_contains_header_and_title(self):
+        table = ResultTable(columns=["scheme", "max"], title="My Table")
+        table.add({"scheme": "x", "max": 3})
+        text = table.to_text()
+        assert "My Table" in text
+        assert "scheme" in text
+        assert "max" in text
+
+    def test_float_formatting(self):
+        table = ResultTable(columns=["v"])
+        table.add({"v": 3.14159265})
+        assert "3.142" in table.to_text()
+
+    def test_to_csv_header_and_rows(self):
+        table = ResultTable(columns=["a", "b"])
+        table.add({"a": 1, "b": "x"})
+        csv_text = table.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+
+    def test_csv_ignores_extra_keys(self):
+        table = ResultTable(columns=["a"])
+        table.add({"a": 1, "junk": 99})
+        assert "junk" not in table.to_csv()
+
+    def test_iteration_yields_rows(self):
+        table = ResultTable(columns=["a"])
+        table.add({"a": 5})
+        assert list(table) == [{"a": 5}]
+
+    def test_empty_table_renders(self):
+        table = ResultTable(columns=["a", "b"], title="Empty")
+        text = table.to_text()
+        assert "Empty" in text
+        assert "a" in text
+
+
+class TestGridTable:
+    def test_set_and_get(self):
+        grid = GridTable(row_labels=["r1", "r2"], column_labels=["c1", "c2"])
+        grid.set("r1", "c2", "7")
+        assert grid.get("r1", "c2") == "7"
+        assert grid.get("r2", "c1") is None
+
+    def test_unknown_labels_rejected(self):
+        grid = GridTable(row_labels=["r1"], column_labels=["c1"])
+        with pytest.raises(KeyError):
+            grid.set("bad", "c1", 1)
+        with pytest.raises(KeyError):
+            grid.set("r1", "bad", 1)
+
+    def test_missing_cells_render_dash(self):
+        grid = GridTable(row_labels=["r1"], column_labels=["c1", "c2"])
+        grid.set("r1", "c1", "2")
+        text = grid.to_text()
+        assert "-" in text
+        assert "2" in text
+
+    def test_title_and_headers_rendered(self):
+        grid = GridTable(
+            row_labels=["k = 1"], column_labels=["d = 2"], title="Table 1"
+        )
+        grid.set("k = 1", "d = 2", "3, 4")
+        text = grid.to_text()
+        assert "Table 1" in text
+        assert "d = 2" in text
+        assert "k = 1" in text
+        assert "3, 4" in text
+
+    def test_custom_missing_marker(self):
+        grid = GridTable(row_labels=["r"], column_labels=["c"], missing="·")
+        assert "·" in grid.to_text()
+
+    def test_str_equals_to_text(self):
+        grid = GridTable(row_labels=["r"], column_labels=["c"])
+        assert str(grid) == grid.to_text()

@@ -1,0 +1,97 @@
+"""Unit tests for the deterministic randomness management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.rng import SeedTree, derive_seeds, make_generator, spawn_generators
+
+
+class TestMakeGenerator:
+    def test_returns_generator(self):
+        assert isinstance(make_generator(0), np.random.Generator)
+
+    def test_passes_through_existing_generator(self):
+        rng = np.random.default_rng(1)
+        assert make_generator(rng) is rng
+
+    def test_same_seed_same_stream(self):
+        a = make_generator(5).random(4)
+        b = make_generator(5).random(4)
+        assert np.array_equal(a, b)
+
+    def test_none_seed_allowed(self):
+        assert isinstance(make_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_streams_are_independent(self):
+        g1, g2 = spawn_generators(0, 2)
+        assert not np.array_equal(g1.random(8), g2.random(8))
+
+    def test_reproducible(self):
+        a = [g.random() for g in spawn_generators(42, 3)]
+        b = [g.random() for g in spawn_generators(42, 3)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestDeriveSeeds:
+    def test_count_and_type(self):
+        seeds = derive_seeds(7, 4)
+        assert len(seeds) == 4
+        assert all(isinstance(s, int) for s in seeds)
+
+    def test_reproducible(self):
+        assert derive_seeds(7, 4) == derive_seeds(7, 4)
+
+    def test_distinct(self):
+        seeds = derive_seeds(7, 16)
+        assert len(set(seeds)) == 16
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seeds(0, -2)
+
+
+class TestSeedTree:
+    def test_children_spawned_counter(self):
+        tree = SeedTree(0)
+        tree.generator()
+        tree.generators(3)
+        assert tree.children_spawned == 4
+
+    def test_generators_are_distinct_streams(self):
+        tree = SeedTree(0)
+        g1, g2 = tree.generators(2)
+        assert not np.array_equal(g1.random(8), g2.random(8))
+
+    def test_reproducible_across_trees(self):
+        a = SeedTree(3).generator().random(4)
+        b = SeedTree(3).generator().random(4)
+        assert np.array_equal(a, b)
+
+    def test_integer_seeds_reproducible(self):
+        assert SeedTree(9).integer_seeds(5) == SeedTree(9).integer_seeds(5)
+
+    def test_root_entropy_exposed(self):
+        assert SeedTree(123).root_entropy == (123,)
+
+    def test_stream_iterator(self):
+        tree = SeedTree(1)
+        stream = tree.stream()
+        first = next(stream)
+        second = next(stream)
+        assert isinstance(first, np.random.Generator)
+        assert not np.array_equal(first.random(4), second.random(4))
+
+    def test_negative_generator_count_rejected(self):
+        with pytest.raises(ValueError):
+            SeedTree(0).generators(-1)

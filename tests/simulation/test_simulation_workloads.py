@@ -1,0 +1,157 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.workloads import (
+    BallBatchStream,
+    FileSpec,
+    JobSpec,
+    file_population,
+    poisson_job_trace,
+    zipf_weights,
+)
+
+
+class TestBallBatchStream:
+    def test_round_count_exact(self):
+        assert BallBatchStream(n_balls=100, k=4).rounds == 25
+
+    def test_round_count_with_tail(self):
+        assert BallBatchStream(n_balls=10, k=4).rounds == 3
+
+    def test_batch_sizes_sum_to_total(self):
+        stream = BallBatchStream(n_balls=10, k=4)
+        sizes = list(stream.batch_sizes())
+        assert sizes == [4, 4, 2]
+        assert sum(sizes) == 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BallBatchStream(n_balls=-1, k=2)
+        with pytest.raises(ValueError):
+            BallBatchStream(n_balls=4, k=0)
+
+
+class TestJobTrace:
+    def test_job_count_and_tasks(self):
+        trace = poisson_job_trace(20, arrival_rate=2.0, tasks_per_job=4, seed=0)
+        assert len(trace) == 20
+        assert trace.total_tasks == 80
+
+    def test_arrival_times_increasing(self):
+        trace = poisson_job_trace(50, arrival_rate=5.0, tasks_per_job=2, seed=1)
+        arrivals = [job.arrival_time for job in trace]
+        assert all(a <= b for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_mean_interarrival_close_to_rate(self):
+        trace = poisson_job_trace(4000, arrival_rate=4.0, tasks_per_job=1, seed=2)
+        arrivals = np.array([job.arrival_time for job in trace])
+        inter = np.diff(arrivals)
+        assert np.mean(inter) == pytest.approx(0.25, rel=0.15)
+
+    def test_exponential_durations_have_requested_mean(self):
+        trace = poisson_job_trace(
+            2000, arrival_rate=1.0, tasks_per_job=2, mean_task_duration=3.0, seed=3
+        )
+        durations = [d for job in trace for d in job.task_durations]
+        assert np.mean(durations) == pytest.approx(3.0, rel=0.1)
+
+    def test_constant_durations(self):
+        trace = poisson_job_trace(
+            10, arrival_rate=1.0, tasks_per_job=3,
+            mean_task_duration=2.0, duration_distribution="constant", seed=4,
+        )
+        assert all(d == 2.0 for job in trace for d in job.task_durations)
+
+    def test_uniform_durations_in_range(self):
+        trace = poisson_job_trace(
+            100, arrival_rate=1.0, tasks_per_job=2,
+            mean_task_duration=2.0, duration_distribution="uniform", seed=5,
+        )
+        durations = [d for job in trace for d in job.task_durations]
+        assert min(durations) >= 1.0
+        assert max(durations) <= 3.0
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_job_trace(5, 1.0, 2, duration_distribution="weibull")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_job_trace(-1, 1.0, 2)
+        with pytest.raises(ValueError):
+            poisson_job_trace(5, 0.0, 2)
+        with pytest.raises(ValueError):
+            poisson_job_trace(5, 1.0, 0)
+        with pytest.raises(ValueError):
+            poisson_job_trace(5, 1.0, 2, mean_task_duration=0)
+
+    def test_job_spec_helpers(self):
+        job = JobSpec(job_id=0, arrival_time=1.0, task_durations=(1.0, 2.0, 3.0))
+        assert job.tasks_per_job == 3
+        assert job.total_work == pytest.approx(6.0)
+
+    def test_reproducible(self):
+        a = poisson_job_trace(10, 1.0, 2, seed=9)
+        b = poisson_job_trace(10, 1.0, 2, seed=9)
+        assert [j.arrival_time for j in a] == [j.arrival_time for j in b]
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        weights = zipf_weights(50, 1.2)
+        assert all(weights[i] >= weights[i + 1] for i in range(len(weights) - 1))
+
+    def test_zero_exponent_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+
+class TestFilePopulation:
+    def test_count_and_replicas(self):
+        files = file_population(50, replicas=3, seed=0)
+        assert len(files) == 50
+        assert all(f.replicas == 3 for f in files)
+
+    def test_constant_sizes(self):
+        files = file_population(10, replicas=2, mean_size=4.0, seed=0)
+        assert all(f.size == pytest.approx(4.0) for f in files)
+
+    def test_exponential_sizes_have_mean(self):
+        files = file_population(
+            5000, replicas=2, size_distribution="exponential", mean_size=2.0, seed=1
+        )
+        assert np.mean([f.size for f in files]) == pytest.approx(2.0, rel=0.1)
+
+    def test_lognormal_sizes_positive(self):
+        files = file_population(
+            100, replicas=2, size_distribution="lognormal", mean_size=1.0, seed=2
+        )
+        assert all(f.size > 0 for f in files)
+
+    def test_popularity_normalized(self):
+        files = file_population(100, replicas=2, popularity_exponent=1.0, seed=3)
+        assert sum(f.popularity for f in files) == pytest.approx(1.0)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            file_population(5, replicas=2, size_distribution="pareto")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            file_population(-1, replicas=2)
+        with pytest.raises(ValueError):
+            file_population(5, replicas=0)

@@ -1,0 +1,215 @@
+"""Unit tests for placement policies, the storage system and failure handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.workloads import FileSpec, file_population
+from repro.storage.failures import availability, fail_random_servers, re_replicate
+from repro.storage.placement import (
+    KDChoicePlacement,
+    PerReplicaDChoicePlacement,
+    RandomPlacement,
+)
+from repro.storage.servers import StorageServer
+from repro.storage.system import StorageSystem
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture
+def servers():
+    return [StorageServer(i) for i in range(16)]
+
+
+class TestPlacementPolicies:
+    def test_random_counts(self, servers, rng):
+        decision = RandomPlacement().place(3, servers, rng)
+        assert len(decision.servers) == 3
+        assert decision.messages == 3
+
+    def test_random_distinct_servers_option(self, servers, rng):
+        decision = RandomPlacement(require_distinct=True).place(10, servers, rng)
+        assert len(set(decision.servers)) == 10
+
+    def test_random_distinct_impossible_rejected(self, rng):
+        few = [StorageServer(i) for i in range(2)]
+        with pytest.raises(ValueError):
+            RandomPlacement(require_distinct=True).place(3, few, rng)
+
+    def test_per_replica_message_cost(self, servers, rng):
+        decision = PerReplicaDChoicePlacement(d=2).place(4, servers, rng)
+        assert decision.messages == 8
+        assert len(decision.candidates) == 8
+
+    def test_per_replica_prefers_empty_servers(self, servers, rng):
+        for _ in range(5):
+            servers[0].store(file_id=100 + _, replica_index=0, size=1.0)
+        decision = PerReplicaDChoicePlacement(d=16).place(2, servers, rng)
+        assert 0 not in decision.servers
+
+    def test_kd_choice_default_is_k_plus_one_probes(self, servers, rng):
+        decision = KDChoicePlacement(extra_probes=1).place(4, servers, rng)
+        assert decision.messages == 5
+        assert len(decision.servers) == 4
+
+    def test_kd_choice_probe_ratio(self, servers, rng):
+        decision = KDChoicePlacement(extra_probes=None, probe_ratio=2.0).place(4, servers, rng)
+        assert decision.messages == 8
+
+    def test_kd_choice_lookup_candidates_equal_probes(self, servers, rng):
+        decision = KDChoicePlacement(extra_probes=1).place(3, servers, rng)
+        assert len(decision.candidates) == 4
+
+    def test_kd_choice_respects_multiplicity_cap(self, servers, rng):
+        # With distinct probing disabled a server sampled twice can get at
+        # most two replicas; just assert the placement only uses candidates.
+        decision = KDChoicePlacement(extra_probes=2).place(5, servers, rng)
+        assert set(decision.servers) <= set(decision.candidates)
+
+    def test_policies_skip_dead_servers(self, servers, rng):
+        for server in servers[:8]:
+            server.fail()
+        decision = KDChoicePlacement(extra_probes=1).place(3, servers, rng)
+        assert all(servers[s].alive for s in decision.servers)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KDChoicePlacement(extra_probes=-1)
+        with pytest.raises(ValueError):
+            KDChoicePlacement(extra_probes=None, probe_ratio=0.5)
+        with pytest.raises(ValueError):
+            PerReplicaDChoicePlacement(d=0)
+
+    def test_no_alive_servers_raises(self, rng):
+        dead = [StorageServer(0)]
+        dead[0].fail()
+        with pytest.raises(RuntimeError):
+            RandomPlacement().place(1, dead, rng)
+
+
+class TestStorageSystem:
+    def _system(self, policy=None, n_servers=32, mode="replication", seed=0):
+        return StorageSystem(
+            n_servers=n_servers,
+            placement=policy or KDChoicePlacement(extra_probes=1),
+            mode=mode,
+            seed=seed,
+        )
+
+    def test_store_file_places_every_replica(self):
+        system = self._system()
+        stored = system.store_file(FileSpec(file_id=1, replicas=3))
+        assert stored.replica_count == 3
+        assert int(system.load_vector().sum()) == 3
+
+    def test_duplicate_file_rejected(self):
+        system = self._system()
+        system.store_file(FileSpec(file_id=1, replicas=2))
+        with pytest.raises(ValueError):
+            system.store_file(FileSpec(file_id=1, replicas=2))
+
+    def test_store_population_counts(self):
+        system = self._system()
+        system.store_population(file_population(50, replicas=3, seed=1))
+        assert len(system.files) == 50
+        assert int(system.load_vector().sum()) == 150
+
+    def test_chunking_splits_size(self):
+        system = self._system(mode="chunking")
+        stored = system.store_file(FileSpec(file_id=1, replicas=4, size=8.0))
+        assert stored.size == pytest.approx(2.0)
+        assert system.bytes_vector().sum() == pytest.approx(8.0)
+
+    def test_replication_duplicates_size(self):
+        system = self._system(mode="replication")
+        system.store_file(FileSpec(file_id=1, replicas=4, size=8.0))
+        assert system.bytes_vector().sum() == pytest.approx(32.0)
+
+    def test_lookup_cost_matches_candidates(self):
+        system = self._system()
+        stored = system.store_file(FileSpec(file_id=1, replicas=3))
+        assert system.lookup_cost(1) == len(stored.candidates) == 4
+
+    def test_unknown_file_lookup_raises(self):
+        with pytest.raises(KeyError):
+            self._system().lookup_cost(42)
+
+    def test_read_file_alive(self):
+        system = self._system()
+        system.store_file(FileSpec(file_id=1, replicas=2))
+        assert system.read_file(1)
+
+    def test_report_fields(self):
+        system = self._system()
+        system.store_population(file_population(100, replicas=3, seed=2))
+        report = system.report()
+        assert report.n_files == 100
+        assert report.n_replicas == 300
+        assert report.max_load >= report.mean_load
+        assert report.messages_per_file == pytest.approx(4.0)
+        assert report.mean_lookup_cost == pytest.approx(4.0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            StorageSystem(4, RandomPlacement(), mode="raid")
+
+    def test_kd_choice_balances_better_than_random(self):
+        population = file_population(2000, replicas=3, seed=3)
+        random_system = self._system(RandomPlacement(), n_servers=64, seed=5)
+        kd_system = self._system(KDChoicePlacement(extra_probes=1), n_servers=64, seed=5)
+        random_system.store_population(population)
+        kd_system.store_population(population)
+        assert kd_system.report().max_load <= random_system.report().max_load
+
+
+class TestFailures:
+    def _loaded_system(self, mode="replication"):
+        system = StorageSystem(
+            n_servers=32, placement=KDChoicePlacement(extra_probes=1), mode=mode, seed=1
+        )
+        system.store_population(file_population(100, replicas=3, seed=2))
+        return system
+
+    def test_fail_random_servers_marks_them_down(self):
+        system = self._loaded_system()
+        failed = fail_random_servers(system, 4, seed=0)
+        assert len(failed) == 4
+        assert all(not system.servers[i].alive for i in failed)
+
+    def test_fail_too_many_rejected(self):
+        system = self._loaded_system()
+        with pytest.raises(ValueError):
+            fail_random_servers(system, 100, seed=0)
+
+    def test_availability_replication_tolerant(self):
+        system = self._loaded_system(mode="replication")
+        fail_random_servers(system, 2, seed=3)
+        report = availability(system)
+        assert report.availability >= 0.95
+        assert report.failed_servers == 2
+
+    def test_availability_chunking_fragile(self):
+        replication = self._loaded_system(mode="replication")
+        chunking = self._loaded_system(mode="chunking")
+        fail_random_servers(replication, 6, seed=4)
+        fail_random_servers(chunking, 6, seed=4)
+        assert availability(chunking).availability <= availability(replication).availability
+
+    def test_re_replicate_restores_availability(self):
+        system = self._loaded_system(mode="replication")
+        fail_random_servers(system, 6, seed=5)
+        lost_before = availability(system).lost_replicas
+        repaired = re_replicate(system)
+        assert repaired == lost_before
+        # After repair every replica lives on an alive server.
+        assert availability(system).lost_replicas == 0
+        assert availability(system).availability == pytest.approx(1.0)
+
+    def test_re_replicate_noop_without_failures(self):
+        system = self._loaded_system()
+        assert re_replicate(system) == 0

@@ -1,0 +1,86 @@
+"""Unit tests for storage servers and stored-file records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.files import StoredFile
+from repro.storage.servers import StorageServer
+
+
+class TestStorageServer:
+    def test_store_and_counts(self):
+        server = StorageServer(0)
+        server.store(file_id=1, replica_index=0, size=2.0)
+        server.store(file_id=2, replica_index=1, size=3.0)
+        assert server.replica_count == 2
+        assert server.bytes_stored == pytest.approx(5.0)
+
+    def test_holds(self):
+        server = StorageServer(0)
+        server.store(1, 0, 1.0)
+        assert server.holds(1, 0)
+        assert not server.holds(1, 1)
+
+    def test_duplicate_store_rejected(self):
+        server = StorageServer(0)
+        server.store(1, 0, 1.0)
+        with pytest.raises(ValueError):
+            server.store(1, 0, 1.0)
+
+    def test_drop_removes_and_updates_bytes(self):
+        server = StorageServer(0)
+        server.store(1, 0, 2.5)
+        server.drop(1, 0)
+        assert server.replica_count == 0
+        assert server.bytes_stored == pytest.approx(0.0)
+
+    def test_drop_unknown_replica_rejected(self):
+        with pytest.raises(KeyError):
+            StorageServer(0).drop(9, 0)
+
+    def test_fail_and_recover(self):
+        server = StorageServer(0)
+        server.fail()
+        assert not server.alive
+        with pytest.raises(RuntimeError):
+            server.store(1, 0, 1.0)
+        server.recover()
+        server.store(1, 0, 1.0)
+        assert server.replica_count == 1
+
+
+class TestStoredFile:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            StoredFile(file_id=0, size=1.0, mode="mirroring")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            StoredFile(file_id=0, size=-1.0, mode="replication")
+
+    def test_replica_count_and_servers(self):
+        stored = StoredFile(file_id=0, size=1.0, mode="replication")
+        stored.placements = [(3, 0), (7, 1)]
+        assert stored.replica_count == 2
+        assert stored.server_ids == [3, 7]
+
+    def test_lookup_cost_is_candidate_count(self):
+        stored = StoredFile(file_id=0, size=1.0, mode="replication", candidates=[1, 2, 3])
+        assert stored.lookup_cost == 3
+
+    def test_replication_available_with_one_live_replica(self):
+        stored = StoredFile(file_id=0, size=1.0, mode="replication")
+        stored.placements = [(0, 0), (1, 1)]
+        assert stored.is_available([True, False])
+        assert not stored.is_available([False, False])
+
+    def test_chunking_needs_every_chunk(self):
+        stored = StoredFile(file_id=0, size=1.0, mode="chunking")
+        stored.placements = [(0, 0), (1, 1)]
+        assert stored.is_available([True, True])
+        assert not stored.is_available([True, False])
+
+    def test_unplaced_file_is_unavailable(self):
+        stored = StoredFile(file_id=0, size=1.0, mode="replication")
+        assert not stored.is_available([True, True])

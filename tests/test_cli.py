@@ -1,0 +1,92 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+        assert args.trials == 3
+
+    def test_table1_custom_rows(self):
+        args = build_parser().parse_args(["table1", "--k", "1", "2", "--d", "3", "5"])
+        assert args.k == [1, 2]
+        assert args.d == [3, 5]
+
+    def test_every_command_registered(self):
+        parser = build_parser()
+        for command in [
+            "table1", "profile", "regimes", "heavy", "tradeoff",
+            "scheduling", "storage", "majorization", "ablation",
+            "weighted", "staleness", "churn", "open-question", "exact",
+        ]:
+            args = parser.parse_args([command] if command != "table1" else ["table1"])
+            assert args.command == command or command == "table1"
+
+
+class TestMainCommands:
+    def test_table1_small(self, capsys):
+        exit_code = main(
+            ["table1", "--n", "256", "--trials", "1", "--k", "1", "--d", "1", "2"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "k = 1" in output
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--n", "1024"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 1 decomposition" in output
+
+    def test_heavy(self, capsys):
+        assert main(["heavy", "--n", "256", "--trials", "1"]) == 0
+        assert "mean_gap" in capsys.readouterr().out
+
+    def test_tradeoff(self, capsys):
+        assert main(["tradeoff", "--n", "512", "--trials", "1"]) == 0
+        assert "single-choice" in capsys.readouterr().out
+
+    def test_scheduling(self, capsys):
+        assert main(["scheduling", "--workers", "8", "--jobs", "20"]) == 0
+        assert "scheduler" in capsys.readouterr().out
+
+    def test_storage(self, capsys):
+        assert main(["storage", "--servers", "32", "--files", "100"]) == 0
+        assert "policy" in capsys.readouterr().out
+
+    def test_majorization(self, capsys):
+        assert main(["majorization", "--n", "256", "--trials", "3"]) == 0
+        assert "claim" in capsys.readouterr().out
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "--n", "256", "--trials", "1"]) == 0
+        assert "strict_mean" in capsys.readouterr().out
+
+    def test_weighted(self, capsys):
+        assert main(["weighted", "--n", "256", "--trials", "1"]) == 0
+        assert "mean_weighted_gap" in capsys.readouterr().out
+
+    def test_staleness(self, capsys):
+        assert main(["staleness", "--n", "256", "--trials", "1"]) == 0
+        assert "stale_rounds" in capsys.readouterr().out
+
+    def test_churn(self, capsys):
+        assert main(["churn", "--n", "64", "--rounds", "64"]) == 0
+        assert "steady_gap" in capsys.readouterr().out
+
+    def test_open_question(self, capsys):
+        assert main(["open-question", "--n", "256", "--trials", "1"]) == 0
+        assert "mean_gap" in capsys.readouterr().out
+
+    def test_exact(self, capsys):
+        assert main(["exact", "--trials", "300"]) == 0
+        assert "total_variation" in capsys.readouterr().out
