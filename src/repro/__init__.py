@@ -7,8 +7,26 @@ the paper, and two application substrates (a Sparrow-style cluster scheduler
 and a distributed-storage placement simulator), plus experiment recipes that
 regenerate every table and figure in the paper's evaluation.
 
-Quick start
------------
+Canonical entry point
+---------------------
+Workloads are expressed declaratively through :mod:`repro.api`: build a
+:class:`~repro.api.SchemeSpec` naming any registered scheme and execute it
+with :func:`repro.api.simulate` (one run) or :func:`repro.api.simulate_many`
+(seed-tree fan-out over trials):
+
+>>> from repro.api import SchemeSpec, simulate
+>>> spec = SchemeSpec(scheme="kd_choice",
+...                   params={"n_bins": 4096, "k": 4, "d": 8}, seed=7)
+>>> simulate(spec).max_load <= 4
+True
+
+``repro.api.available_schemes()`` lists every registered workload, and
+constructing a spec with ``SchemeSpec(..., engine="vectorized")`` selects
+the batch fast path (seed-for-seed identical to the scalar reference).
+
+The historical ``run_*`` helpers below remain as thin shims around the same
+implementations for backwards compatibility; prefer the spec API in new code.
+
 >>> from repro import run_kd_choice
 >>> result = run_kd_choice(n_bins=4096, k=4, d=8, seed=7)
 >>> result.max_load <= 4
@@ -35,6 +53,7 @@ from .core import (
     run_churn_kd_choice,
     run_d_choice,
     run_kd_choice,
+    run_kd_choice_vectorized,
     run_one_plus_beta,
     run_serialized_kd_choice,
     run_single_choice,
@@ -43,18 +62,34 @@ from .core import (
     run_two_phase_adaptive,
     run_weighted_kd_choice,
 )
-from . import analysis, cluster, experiments, simulation, storage
+from .api import (
+    SchemeSpec,
+    available_schemes,
+    describe_scheme,
+    register_scheme,
+    simulate,
+    simulate_many,
+)
+from . import analysis, api, cluster, experiments, simulation, storage
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # unified spec API
+    "SchemeSpec",
+    "simulate",
+    "simulate_many",
+    "available_schemes",
+    "describe_scheme",
+    "register_scheme",
     # core re-exports
     "AllocationResult",
     "ProcessParams",
     "BinState",
     "KDChoiceProcess",
     "run_kd_choice",
+    "run_kd_choice_vectorized",
     "SerializedKDChoice",
     "run_serialized_kd_choice",
     "BallPlacement",
@@ -77,6 +112,7 @@ __all__ = [
     "run_churn_kd_choice",
     "metrics",
     # subpackages
+    "api",
     "analysis",
     "simulation",
     "experiments",

@@ -53,9 +53,13 @@ def trial_statistics(values: Iterable[float]) -> TrialStatistics:
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         raise ValueError("cannot summarize an empty collection of trials")
+    # Clamp the mean into [min, max]: floating-point summation can drift a
+    # few ulp outside the mathematically guaranteed range (e.g. three equal
+    # values whose sum is not exactly divisible by 3).
+    mean = min(max(float(arr.mean()), float(arr.min())), float(arr.max()))
     return TrialStatistics(
         count=int(arr.size),
-        mean=float(arr.mean()),
+        mean=mean,
         std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
         minimum=float(arr.min()),
         maximum=float(arr.max()),

@@ -1,0 +1,191 @@
+"""The scheme registry: a single discoverable catalogue of every workload.
+
+Every allocation process, baseline, comparator and application substrate in
+the repository registers itself here under a short name via the
+:func:`register_scheme` decorator.  Downstream layers (sweeps, experiment
+recipes, the CLI, remote executors) then express work as
+:class:`~repro.api.spec.SchemeSpec` objects instead of hand-wiring lambdas
+around fourteen differently-shaped ``run_*`` functions.
+
+The registry stores, per scheme:
+
+* the runner callable and its introspected keyword signature (used to
+  validate spec params before execution),
+* an optional *vectorized* runner for the fast batch engine,
+* a one-line summary (the first docstring line by default) for
+  :func:`describe_scheme` / the ``python -m repro schemes`` listing.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "SchemeInfo",
+    "SchemeRegistry",
+    "register_scheme",
+    "available_schemes",
+    "describe_scheme",
+    "get_scheme",
+    "REGISTRY",
+]
+
+Runner = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """Registration record of one scheme."""
+
+    name: str
+    runner: Runner
+    summary: str
+    parameters: Tuple[str, ...]
+    defaults: Mapping[str, Any]
+    required: Tuple[str, ...]
+    aliases: Tuple[str, ...] = ()
+    tags: Tuple[str, ...] = ()
+    vectorized: Optional[Runner] = None
+
+    @property
+    def accepts_policy(self) -> bool:
+        return "policy" in self.parameters
+
+    @property
+    def accepts_rng(self) -> bool:
+        return "rng" in self.parameters
+
+    def describe(self) -> Dict[str, Any]:
+        """Human/machine-readable description of the scheme."""
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "parameters": {
+                name: (self.defaults[name] if name in self.defaults else "<required>")
+                for name in self.parameters
+            },
+            "required": list(self.required),
+            "aliases": list(self.aliases),
+            "tags": list(self.tags),
+            "engines": ["scalar", "vectorized"] if self.vectorized else ["scalar"],
+        }
+
+
+def _introspect(runner: Runner) -> Tuple[Tuple[str, ...], Dict[str, Any], Tuple[str, ...]]:
+    """Extract (parameter names, defaults, required names) from a runner."""
+    names: List[str] = []
+    defaults: Dict[str, Any] = {}
+    required: List[str] = []
+    for parameter in inspect.signature(runner).parameters.values():
+        if parameter.kind in (parameter.VAR_POSITIONAL, parameter.VAR_KEYWORD):
+            continue
+        names.append(parameter.name)
+        if parameter.default is not parameter.empty:
+            defaults[parameter.name] = parameter.default
+        else:
+            required.append(parameter.name)
+    return tuple(names), defaults, tuple(required)
+
+
+class SchemeRegistry:
+    """Mutable mapping from scheme name (and aliases) to :class:`SchemeInfo`."""
+
+    def __init__(self) -> None:
+        self._schemes: Dict[str, SchemeInfo] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        *,
+        summary: Optional[str] = None,
+        aliases: Tuple[str, ...] = (),
+        tags: Tuple[str, ...] = (),
+        vectorized: Optional[Runner] = None,
+    ) -> Callable[[Runner], Runner]:
+        """Decorator registering ``runner`` under ``name``.
+
+        Usage::
+
+            @register_scheme("kd_choice", aliases=("kd",))
+            def _run(n_bins, k, d, ...):
+                ...
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"scheme name must be a non-empty string, got {name!r}")
+
+        def decorator(runner: Runner) -> Runner:
+            if name in self._schemes or name in self._aliases:
+                raise ValueError(f"scheme {name!r} is already registered")
+            doc = (inspect.getdoc(runner) or "").strip()
+            first_line = doc.splitlines()[0] if doc else ""
+            parameters, defaults, required = _introspect(runner)
+            info = SchemeInfo(
+                name=name,
+                runner=runner,
+                summary=summary if summary is not None else first_line,
+                parameters=parameters,
+                defaults=defaults,
+                required=required,
+                aliases=tuple(aliases),
+                tags=tuple(tags),
+                vectorized=vectorized,
+            )
+            self._schemes[name] = info
+            for alias in info.aliases:
+                if alias in self._schemes or alias in self._aliases:
+                    raise ValueError(f"scheme alias {alias!r} is already registered")
+                self._aliases[alias] = name
+            return runner
+
+        return decorator
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> SchemeInfo:
+        """Resolve a scheme name or alias to its registration record."""
+        canonical = self._aliases.get(name, name)
+        try:
+            return self._schemes[canonical]
+        except KeyError:
+            known = ", ".join(sorted(self._schemes))
+            raise KeyError(
+                f"unknown scheme {name!r}; available schemes: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemes or name in self._aliases
+
+    def names(self) -> List[str]:
+        """Canonical scheme names, sorted."""
+        return sorted(self._schemes)
+
+    def describe(self, name: str) -> Dict[str, Any]:
+        return self.get(name).describe()
+
+
+#: The process-wide registry; populated by :mod:`repro.api.schemes` on import.
+REGISTRY = SchemeRegistry()
+
+register_scheme = REGISTRY.register
+
+
+def available_schemes() -> List[str]:
+    """Sorted canonical names of every registered scheme."""
+    return REGISTRY.names()
+
+
+def describe_scheme(name: str) -> Dict[str, Any]:
+    """Summary, parameters (with defaults) and engines of one scheme."""
+    return REGISTRY.describe(name)
+
+
+def get_scheme(name: str) -> SchemeInfo:
+    """The raw :class:`SchemeInfo` record for ``name`` (or an alias)."""
+    return REGISTRY.get(name)

@@ -1,0 +1,304 @@
+"""Registrations: every workload in the repository as a named scheme.
+
+Importing this module (which :mod:`repro.api` does eagerly) populates the
+:data:`~repro.api.registry.REGISTRY` with
+
+* the paper's (k, d)-choice process and its serialized, weighted, stale and
+  dynamic variants,
+* the classic baselines (single choice, Greedy[d], (1+β)-choice,
+  Always-Go-Left, batched random) and the adaptive comparators,
+* application substrates (cluster scheduling, distributed storage) adapted
+  to return the common :class:`~repro.core.types.AllocationResult`.
+
+Every runner takes keyword parameters plus ``seed``/``rng`` and returns an
+``AllocationResult``, so one :class:`~repro.api.spec.SchemeSpec` shape
+describes all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.adaptive import run_threshold_adaptive, run_two_phase_adaptive
+from ..core.baselines import (
+    run_always_go_left,
+    run_batch_random,
+    run_d_choice,
+    run_one_plus_beta,
+    run_single_choice,
+)
+from ..core.dynamic import run_churn_kd_choice
+from ..core.process import run_kd_choice
+from ..core.serialization import run_serialized_kd_choice
+from ..core.stale import run_stale_kd_choice
+from ..core.types import AllocationResult
+from ..core.vectorized import run_kd_choice_vectorized
+from ..core.weighted import run_weighted_kd_choice
+from .registry import register_scheme
+
+__all__: list = []
+
+
+# ----------------------------------------------------------------------
+# The paper's process family
+# ----------------------------------------------------------------------
+register_scheme(
+    "kd_choice",
+    summary="The paper's (k, d)-choice process (k balls per round, d probes).",
+    aliases=("kd",),
+    tags=("paper", "process"),
+    vectorized=run_kd_choice_vectorized,
+)(run_kd_choice)
+
+register_scheme(
+    "serialized_kd_choice",
+    summary="Ball-at-a-time serialization A_sigma of (k, d)-choice (Definition 1).",
+    tags=("paper", "process"),
+)(run_serialized_kd_choice)
+
+register_scheme(
+    "weighted_kd_choice",
+    summary="(k, d)-choice with weighted balls (constant/exponential/Pareto).",
+    tags=("extension", "process"),
+)(run_weighted_kd_choice)
+
+register_scheme(
+    "stale_kd_choice",
+    summary="(k, d)-choice probing stale load snapshots (parallel epochs).",
+    tags=("extension", "process"),
+)(run_stale_kd_choice)
+
+
+@register_scheme(
+    "greedy_kd_choice",
+    summary="(k, d)-choice with the Section 7 greedy (uncapped) policy.",
+    tags=("extension", "process"),
+)
+def _run_greedy_kd_choice(
+    n_bins: int,
+    k: int,
+    d: int,
+    n_balls: Optional[int] = None,
+    seed: "int | np.random.SeedSequence | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> AllocationResult:
+    """(k, d)-choice under the greedy water-filling relaxation."""
+    return run_kd_choice(
+        n_bins=n_bins, k=k, d=d, n_balls=n_balls, policy="greedy", seed=seed, rng=rng
+    )
+
+
+@register_scheme(
+    "churn_kd_choice",
+    summary="Dynamic insert/delete (k, d)-choice; loads are the steady state.",
+    tags=("extension", "process"),
+)
+def _run_churn_kd_choice(
+    n_bins: int,
+    k: int,
+    d: int,
+    rounds: int,
+    departures_per_round: Optional[int] = None,
+    policy: str = "strict",
+    seed: "int | np.random.SeedSequence | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> AllocationResult:
+    """Run the churn process and report its final configuration.
+
+    The full :class:`~repro.core.dynamic.ChurnResult` (snapshots, steady-state
+    statistics) rides along in ``extra["churn_result"]``.
+    """
+    churn = run_churn_kd_choice(
+        n_bins=n_bins,
+        k=k,
+        d=d,
+        rounds=rounds,
+        departures_per_round=departures_per_round,
+        policy=policy,
+        seed=seed,
+        rng=rng,
+    )
+    return AllocationResult(
+        loads=churn.final_loads,
+        scheme=f"churn-({k},{d})-choice",
+        n_bins=n_bins,
+        n_balls=int(churn.final_loads.sum()),
+        k=k,
+        d=d,
+        messages=churn.messages,
+        rounds=churn.rounds,
+        policy="strict" if policy == "strict" else str(policy),
+        extra={
+            "churn_result": churn,
+            "steady_state_gap": churn.steady_state_gap(),
+            "departures_per_round": churn.departures_per_round,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Classic baselines and adaptive comparators
+# ----------------------------------------------------------------------
+register_scheme(
+    "single_choice",
+    summary="Classic single-choice: every ball to one uniform bin.",
+    aliases=("one_choice",),
+    tags=("baseline",),
+)(run_single_choice)
+
+register_scheme(
+    "d_choice",
+    summary="Azar et al.'s Greedy[d]: d probes, join the least loaded.",
+    aliases=("greedy_d",),
+    tags=("baseline",),
+)(run_d_choice)
+
+
+@register_scheme(
+    "two_choice",
+    summary="Greedy[2], the classic two-choice process.",
+    tags=("baseline",),
+)
+def _run_two_choice(
+    n_bins: int,
+    n_balls: Optional[int] = None,
+    seed: "int | np.random.SeedSequence | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> AllocationResult:
+    """Two-choice (Greedy[2]) via the d-choice baseline."""
+    return run_d_choice(n_bins=n_bins, d=2, n_balls=n_balls, seed=seed, rng=rng)
+
+
+register_scheme(
+    "one_plus_beta",
+    summary="Peres-Talwar-Wieder (1+beta)-choice mixture process.",
+    tags=("baseline",),
+)(run_one_plus_beta)
+
+register_scheme(
+    "always_go_left",
+    summary="Voecking's asymmetric Always-Go-Left d-choice scheme.",
+    tags=("baseline",),
+)(run_always_go_left)
+
+register_scheme(
+    "batch_random",
+    summary="SA(k, k): k balls per round, each to a uniform bin.",
+    tags=("baseline",),
+)(run_batch_random)
+
+register_scheme(
+    "threshold_adaptive",
+    summary="Czumaj-Stemann adaptive threshold probing.",
+    tags=("adaptive",),
+)(run_threshold_adaptive)
+
+register_scheme(
+    "two_phase_adaptive",
+    summary="Simplified Lenzen-Wattenhofer two-phase adaptive scheme.",
+    tags=("adaptive",),
+)(run_two_phase_adaptive)
+
+
+# ----------------------------------------------------------------------
+# Application substrates (Section 1.3), adapted to AllocationResult
+# ----------------------------------------------------------------------
+@register_scheme(
+    "cluster_scheduling",
+    summary="Sparrow-style cluster: batch (k, d)-choice task placement.",
+    tags=("application",),
+)
+def _run_cluster_scheduling(
+    n_workers: int,
+    n_jobs: int = 200,
+    tasks_per_job: int = 4,
+    probe_ratio: float = 2.0,
+    arrival_rate: float = 8.0,
+    mean_task_duration: float = 1.0,
+    seed: "int | None" = None,
+) -> AllocationResult:
+    """Run the batch-sampling scheduler; loads are tasks per worker.
+
+    The detailed :class:`~repro.cluster.metrics.ClusterReport` (response-time
+    percentiles, utilization) is attached as ``extra["report"]``.
+    """
+    from ..cluster.schedulers import BatchSamplingScheduler
+    from ..cluster.simulator import ClusterSimulator
+    from ..simulation.workloads import poisson_job_trace
+
+    trace = poisson_job_trace(
+        n_jobs=n_jobs,
+        arrival_rate=arrival_rate,
+        tasks_per_job=tasks_per_job,
+        mean_task_duration=mean_task_duration,
+        seed=seed,
+    )
+    simulator = ClusterSimulator(
+        n_workers=n_workers,
+        scheduler=BatchSamplingScheduler(probe_ratio=probe_ratio),
+        seed=None if seed is None else seed + 1,
+    )
+    report = simulator.run(trace)
+    loads = np.asarray(
+        [worker.tasks_completed for worker in simulator.workers], dtype=np.int64
+    )
+    return AllocationResult(
+        loads=loads,
+        scheme=f"cluster-batch-sampling[ratio={probe_ratio:g}]",
+        n_bins=n_workers,
+        n_balls=int(loads.sum()),
+        k=tasks_per_job,
+        d=int(np.ceil(probe_ratio * tasks_per_job)),
+        messages=report.messages,
+        rounds=n_jobs,
+        policy="strict",
+        extra={"report": report},
+    )
+
+
+@register_scheme(
+    "storage_placement",
+    summary="Distributed storage: (k, k+1)-choice replica placement.",
+    tags=("application",),
+)
+def _run_storage_placement(
+    n_servers: int,
+    n_files: int = 1024,
+    replicas: int = 3,
+    extra_probes: int = 1,
+    mode: str = "replication",
+    seed: "int | None" = None,
+) -> AllocationResult:
+    """Place a file population; loads are replicas per server.
+
+    The :class:`~repro.storage.system.StorageReport` rides along in
+    ``extra["report"]``.
+    """
+    from ..storage.placement import KDChoicePlacement
+    from ..storage.system import StorageSystem
+    from ..simulation.workloads import file_population
+
+    population = file_population(n_files=n_files, replicas=replicas, seed=seed)
+    system = StorageSystem(
+        n_servers=n_servers,
+        placement=KDChoicePlacement(extra_probes=extra_probes),
+        mode=mode,
+        seed=None if seed is None else seed + 1,
+    )
+    system.store_population(population)
+    report = system.report()
+    loads = np.asarray(system.load_vector(), dtype=np.int64)
+    return AllocationResult(
+        loads=loads,
+        scheme=f"storage-(k,k+{extra_probes})-choice",
+        n_bins=n_servers,
+        n_balls=int(loads.sum()),
+        k=replicas,
+        d=replicas + extra_probes,
+        messages=system.placement_messages,
+        rounds=n_files,
+        policy="strict",
+        extra={"report": report},
+    )

@@ -1,0 +1,166 @@
+"""Declarative simulation specs: one dataclass describes any workload.
+
+A :class:`SchemeSpec` is the unit of work of the unified API: it names a
+registered scheme, carries its parameters, and fixes the policy, randomness,
+trial count and execution engine.  Specs are immutable and hashable-free
+plain data, so sweeps, experiment recipes, CLIs and distributed front ends
+can build, store and ship them without touching any process class.
+
+Examples
+--------
+>>> from repro.api import SchemeSpec, simulate
+>>> spec = SchemeSpec(scheme="kd_choice",
+...                   params={"n_bins": 1024, "k": 4, "d": 8}, seed=7)
+>>> simulate(spec).total_balls_check()
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["ENGINES", "SchemeSpecError", "SchemeSpec"]
+
+#: Recognized execution engines.  "auto" lets the engine pick the fastest
+#: implementation that is exactly equivalent to the scalar reference;
+#: "scalar" forces the reference implementation; "vectorized" forces the
+#: batch engine (and errors on schemes that do not provide one).
+ENGINES = ("auto", "scalar", "vectorized")
+
+
+class SchemeSpecError(ValueError):
+    """Raised when a spec is malformed or incompatible with its scheme."""
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Declarative description of one simulation configuration.
+
+    Attributes
+    ----------
+    scheme:
+        Name of a registered scheme (see
+        :func:`repro.api.available_schemes`).
+    params:
+        Keyword parameters forwarded to the scheme runner (problem size,
+        ``k``/``d``, scheme-specific knobs...).  Validated against the
+        runner's signature at execution time.
+    policy:
+        Allocation policy name, for schemes that accept one ("strict",
+        "greedy").  ``None`` keeps the scheme's default.
+    seed:
+        Root integer seed for the run; ``None`` means nondeterministic.
+    rng:
+        Alternatively an existing generator (takes precedence over ``seed``;
+        excluded from equality comparisons).
+    trials:
+        Number of independent trials when the spec is executed through
+        :func:`repro.api.simulate_many`.
+    engine:
+        One of :data:`ENGINES`.
+    label:
+        Optional display label for result tables; defaults to an
+        auto-generated one.
+    """
+
+    scheme: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    policy: Optional[str] = None
+    seed: "int | np.random.SeedSequence | None" = None
+    rng: Optional[np.random.Generator] = field(default=None, compare=False)
+    trials: int = 1
+    engine: str = "auto"
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.scheme, str) or not self.scheme:
+            raise SchemeSpecError(
+                f"scheme must be a non-empty string, got {self.scheme!r}"
+            )
+        if not isinstance(self.params, Mapping):
+            raise SchemeSpecError(
+                f"params must be a mapping of keyword arguments, "
+                f"got {type(self.params).__name__}"
+            )
+        for key in self.params:
+            if not isinstance(key, str):
+                raise SchemeSpecError(f"parameter names must be strings, got {key!r}")
+        # Freeze the mapping so a spec cannot drift after construction.
+        object.__setattr__(self, "params", MappingProxyType(dict(self.params)))
+        if self.policy is not None and not isinstance(self.policy, str):
+            raise SchemeSpecError(f"policy must be a string or None, got {self.policy!r}")
+        if not isinstance(self.trials, int) or isinstance(self.trials, bool):
+            raise SchemeSpecError(f"trials must be an integer, got {self.trials!r}")
+        if self.trials < 1:
+            raise SchemeSpecError(f"trials must be at least 1, got {self.trials}")
+        if self.engine not in ENGINES:
+            raise SchemeSpecError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.rng is not None and not isinstance(self.rng, np.random.Generator):
+            raise SchemeSpecError(
+                f"rng must be a numpy Generator or None, got {type(self.rng).__name__}"
+            )
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would choke on the params
+        # mapping (and on unhashable parameter values such as weight arrays);
+        # hash a normalized tuple so specs can key caches and sets.
+        def hashable(value: Any) -> Any:
+            try:
+                hash(value)
+            except TypeError:
+                return repr(value)
+            return value
+
+        params_key = tuple(
+            (name, hashable(value)) for name, value in sorted(self.params.items())
+        )
+        return hash(
+            (
+                self.scheme,
+                params_key,
+                self.policy,
+                hashable(self.seed),
+                self.trials,
+                self.engine,
+                self.label,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views and functional updates
+    # ------------------------------------------------------------------
+    @property
+    def display_label(self) -> str:
+        """The spec's label, auto-generated from scheme and params if unset."""
+        if self.label is not None:
+            return self.label
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.scheme}({rendered})" if rendered else self.scheme
+
+    def with_seed(self, seed: "int | np.random.SeedSequence | None") -> "SchemeSpec":
+        """A copy of this spec with a different seed (and no bound rng)."""
+        return replace(self, seed=seed, rng=None, params=dict(self.params))
+
+    def with_params(self, **updates: Any) -> "SchemeSpec":
+        """A copy of this spec with parameters merged over the existing ones."""
+        merged: Dict[str, Any] = dict(self.params)
+        merged.update(updates)
+        return replace(self, params=merged)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (for JSON logs and provenance records)."""
+        return {
+            "scheme": self.scheme,
+            "params": dict(self.params),
+            "policy": self.policy,
+            "seed": self.seed if isinstance(self.seed, (int, type(None))) else repr(self.seed),
+            "trials": self.trials,
+            "engine": self.engine,
+            "label": self.label,
+        }

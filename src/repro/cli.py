@@ -6,6 +6,14 @@ Examples
 
     # A scaled-down Table 1 (rows k=1,2,4, all d columns)
     python -m repro table1 --n 12288 --trials 3 --k 1 2 4
+    python -m repro table1 --small          # CI smoke run
+
+    # The unified scheme API: list schemes, run any of them declaratively
+    python -m repro schemes
+    python -m repro schemes --describe kd_choice
+    python -m repro simulate --scheme kd_choice \
+        --param n_bins=4096 --param k=4 --param d=8 \
+        --trials 3 --seed 7 --engine vectorized
 
     # Figures 1 and 2: sorted load profiles with proof landmarks
     python -m repro profile --n 16384
@@ -23,8 +31,17 @@ Examples
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+from .api import (
+    ENGINES,
+    SchemeSpec,
+    available_schemes,
+    describe_scheme,
+    simulate_trials,
+)
 
 from .experiments import (
     ablation_table,
@@ -75,6 +92,35 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--seed", type=int, default=0)
     table1.add_argument("--k", type=int, nargs="*", default=None, help="k rows")
     table1.add_argument("--d", type=int, nargs="*", default=None, help="d columns")
+    table1.add_argument(
+        "--engine", choices=list(ENGINES), default="auto",
+        help="execution engine for every cell",
+    )
+    table1.add_argument(
+        "--small", action="store_true",
+        help="tiny smoke-test grid (n=768, 2 trials, k in {1,2,4}, d in {1,2,5,9})",
+    )
+
+    schemes = subparsers.add_parser(
+        "schemes", help="List (or describe) the registered simulation schemes"
+    )
+    schemes.add_argument(
+        "--describe", type=str, default=None, metavar="SCHEME",
+        help="print the parameters and engines of one scheme",
+    )
+
+    simulate_cmd = subparsers.add_parser(
+        "simulate", help="Run any registered scheme from a declarative spec"
+    )
+    simulate_cmd.add_argument("--scheme", type=str, required=True)
+    simulate_cmd.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="scheme parameter (repeatable), e.g. --param n_bins=4096",
+    )
+    simulate_cmd.add_argument("--policy", type=str, default=None)
+    simulate_cmd.add_argument("--trials", type=int, default=1)
+    simulate_cmd.add_argument("--seed", type=int, default=0)
+    simulate_cmd.add_argument("--engine", choices=list(ENGINES), default="auto")
 
     profile = subparsers.add_parser(
         "profile", help="Figures 1 & 2: sorted load profiles with landmarks"
@@ -179,17 +225,80 @@ def _print(table_or_text: "ResultTable | str") -> None:
         print(table_or_text)
 
 
+def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
+    """Parse repeated ``--param key=value`` flags, literal-evaluating values."""
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            params[key] = raw  # plain string (e.g. a distribution name)
+    return params
+
+
+def _run_simulate(args: argparse.Namespace) -> None:
+    try:
+        spec = SchemeSpec(
+            scheme=args.scheme,
+            params=_parse_params(args.param),
+            policy=args.policy,
+            seed=args.seed,
+            trials=args.trials,
+            engine=args.engine,
+        )
+        outcome = simulate_trials(spec)
+    except KeyError as exc:  # unknown scheme: surface the candidate list
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    except ValueError as exc:  # spec errors and runner parameter validation
+        raise SystemExit(f"error: {exc}") from None
+    record = outcome.record()
+    print(f"spec: {spec.display_label} (engine={args.engine}, seed={args.seed})")
+    for key, value in record.items():
+        print(f"  {key}: {value}")
+
+
+def _run_schemes(args: argparse.Namespace) -> None:
+    if args.describe is not None:
+        try:
+            description = describe_scheme(args.describe)
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}") from None
+        print(f"{description['name']}: {description['summary']}")
+        print(f"  engines: {', '.join(description['engines'])}")
+        if description["aliases"]:
+            print(f"  aliases: {', '.join(description['aliases'])}")
+        print("  parameters:")
+        for name, default in description["parameters"].items():
+            print(f"    {name} = {default}")
+        return
+    width = max(len(name) for name in available_schemes())
+    for name in available_schemes():
+        print(f"{name:<{width}}  {describe_scheme(name)['summary']}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-kd`` / ``python -m repro``."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.command == "table1":
+        if args.small:
+            args.n = min(args.n, 768)
+            args.trials = min(args.trials, 2)
+            args.k = args.k if args.k is not None else [1, 2, 4]
+            args.d = args.d if args.d is not None else [1, 2, 5, 9]
         result = run_table1(
             n=args.n, trials=args.trials, seed=args.seed,
-            k_values=args.k, d_values=args.d,
+            k_values=args.k, d_values=args.d, engine=args.engine,
         )
         _print(result.to_text())
+    elif args.command == "schemes":
+        _run_schemes(args)
+    elif args.command == "simulate":
+        _run_simulate(args)
     elif args.command == "profile":
         result = run_load_profile(n=args.n, seed=args.seed)
         lines: List[str] = []

@@ -18,8 +18,9 @@ from .dynamic import (
     DynamicKDChoiceProcess,
     run_churn_kd_choice,
 )
-from .policies import GreedyPolicy, StrictPolicy, get_policy
+from .policies import GreedyPolicy, StrictPolicy, get_policy, strict_select
 from .process import KDChoiceProcess, run_kd_choice
+from .vectorized import run_kd_choice_vectorized
 from .serialization import BallPlacement, SerializedKDChoice, run_serialized_kd_choice
 from .stale import StaleKDChoiceProcess, run_stale_kd_choice
 from .state import BinState
@@ -33,6 +34,8 @@ __all__ = [
     "BinState",
     "KDChoiceProcess",
     "run_kd_choice",
+    "run_kd_choice_vectorized",
+    "strict_select",
     "SerializedKDChoice",
     "run_serialized_kd_choice",
     "BallPlacement",

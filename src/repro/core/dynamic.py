@@ -112,7 +112,7 @@ class DynamicKDChoiceProcess:
         seed: "int | np.random.SeedSequence | None" = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        ProcessParams(n_bins=n_bins, n_balls=n_bins, k=k, d=d)
+        ProcessParams(n_bins=n_bins, n_balls=None, k=k, d=d)
         if departures_per_round < 0:
             raise ValueError(
                 f"departures_per_round must be non-negative, got {departures_per_round}"

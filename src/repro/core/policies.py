@@ -33,8 +33,40 @@ __all__ = [
     "StrictPolicy",
     "GreedyPolicy",
     "get_policy",
+    "strict_select",
     "POLICIES",
 ]
+
+
+def strict_select(
+    loads: Sequence[int],
+    samples: Sequence[int],
+    k: int,
+    tiebreak: np.ndarray,
+) -> List[int]:
+    """Strict (k, d)-choice selection with an explicit tie-break vector.
+
+    This is the policy kernel shared by :class:`StrictPolicy` (which draws
+    ``tiebreak`` from its generator) and the vectorized engine in
+    :mod:`repro.core.vectorized` (which pre-draws tie-break blocks so that its
+    random stream matches the scalar process draw for draw).
+    """
+    d = len(samples)
+    # Place d virtual balls sequentially and record each ball's height.
+    # ``extra[b]`` counts how many balls this round already went to bin b,
+    # so the j-th ball landing in bin b has height loads[b] + extra[b] + 1.
+    extra: dict[int, int] = {}
+    heights = np.empty(d, dtype=np.int64)
+    for j, bin_index in enumerate(samples):
+        placed_before = extra.get(bin_index, 0)
+        heights[j] = loads[bin_index] + placed_before + 1
+        extra[bin_index] = placed_before + 1
+
+    # Keep the k balls with the smallest heights; break ties uniformly at
+    # random via the secondary sort key.
+    order = np.lexsort((tiebreak, heights))
+    kept = order[:k]
+    return [samples[j] for j in kept]
 
 
 class AllocationPolicy(Protocol):
@@ -86,22 +118,7 @@ class StrictPolicy:
             # the classical single-choice process run in batches of k.
             return list(samples)
 
-        # Place d virtual balls sequentially and record each ball's height.
-        # ``extra[b]`` counts how many balls this round already went to bin b,
-        # so the j-th ball landing in bin b has height loads[b] + extra[b] + 1.
-        extra: dict[int, int] = {}
-        heights = np.empty(d, dtype=np.int64)
-        for j, bin_index in enumerate(samples):
-            placed_before = extra.get(bin_index, 0)
-            heights[j] = loads[bin_index] + placed_before + 1
-            extra[bin_index] = placed_before + 1
-
-        # Keep the k balls with the smallest heights; break ties uniformly at
-        # random by perturbing the sort key with a random secondary key.
-        tiebreak = rng.random(d)
-        order = np.lexsort((tiebreak, heights))
-        kept = order[:k]
-        return [samples[j] for j in kept]
+        return strict_select(loads, samples, k, rng.random(d))
 
 
 class GreedyPolicy:

@@ -15,6 +15,13 @@ Two entry points are provided:
 
 The heavily loaded case (``m > n`` balls, Theorem 2) is supported by simply
 asking for more balls than bins.
+
+.. note::
+   The canonical front door of the library is :func:`repro.api.simulate`
+   with ``SchemeSpec(scheme="kd_choice", ...)``: it validates parameters
+   against the scheme registry and can select the vectorized batch engine
+   (:mod:`repro.core.vectorized`), which is seed-for-seed identical to this
+   scalar reference.  :func:`run_kd_choice` is kept as a thin shim.
 """
 
 from __future__ import annotations
@@ -75,8 +82,8 @@ class KDChoiceProcess:
         chunk_rounds: int = _DEFAULT_CHUNK_ROUNDS,
     ) -> None:
         # ProcessParams performs the parameter validation; the ball count is
-        # only known at run() time, so validate with a placeholder of n_bins.
-        ProcessParams(n_bins=n_bins, n_balls=n_bins, k=k, d=d)
+        # only known at run() time (n_balls=None = "unknown yet").
+        ProcessParams(n_bins=n_bins, n_balls=None, k=k, d=d)
         if chunk_rounds <= 0:
             raise ValueError(f"chunk_rounds must be positive, got {chunk_rounds}")
 
@@ -192,7 +199,15 @@ def run_kd_choice(
 ) -> AllocationResult:
     """Run a complete (k, d)-choice allocation and return its result.
 
-    This is the main public entry point of the library.
+    .. note::
+       Deprecated front door — prefer the unified spec API::
+
+           from repro.api import SchemeSpec, simulate
+           simulate(SchemeSpec(scheme="kd_choice",
+                               params={"n_bins": n, "k": k, "d": d}, seed=seed))
+
+       This shim remains for backwards compatibility and is exactly the
+       registry's scalar ``kd_choice`` runner.
 
     Parameters
     ----------

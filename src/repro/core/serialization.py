@@ -103,7 +103,7 @@ class SerializedKDChoice:
         seed: "int | np.random.SeedSequence | None" = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        ProcessParams(n_bins=n_bins, n_balls=n_bins, k=k, d=d)
+        ProcessParams(n_bins=n_bins, n_balls=None, k=k, d=d)
         self.n_bins = n_bins
         self.k = k
         self.d = d

@@ -51,7 +51,7 @@ class StaleKDChoiceProcess:
         seed: "int | np.random.SeedSequence | None" = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        ProcessParams(n_bins=n_bins, n_balls=n_bins, k=k, d=d)
+        ProcessParams(n_bins=n_bins, n_balls=None, k=k, d=d)
         if stale_rounds < 1:
             raise ValueError(f"stale_rounds must be at least 1, got {stale_rounds}")
         self.n_bins = n_bins

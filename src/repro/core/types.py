@@ -27,6 +27,10 @@ class ProcessParams:
     n_balls:
         Number of balls ``m`` placed in total (``m = n`` in the lightly
         loaded case, ``m > n`` for Theorem 2's heavily loaded case).
+        ``None`` means "not known yet": a process object validates its
+        ``(n, k, d)`` geometry at construction time but only learns the ball
+        count when ``run()`` is called.  Quantities that need ``m``
+        (:attr:`rounds`, :attr:`message_cost`) raise until it is known.
     k:
         Number of balls placed per round.
     d:
@@ -37,15 +41,15 @@ class ProcessParams:
     """
 
     n_bins: int
-    n_balls: int
-    k: int
-    d: int
+    n_balls: Optional[int] = None
+    k: int = 1
+    d: int = 1
     policy: str = "strict"
 
     def __post_init__(self) -> None:
         if self.n_bins <= 0:
             raise ValueError(f"n_bins must be positive, got {self.n_bins}")
-        if self.n_balls < 0:
+        if self.n_balls is not None and self.n_balls < 0:
             raise ValueError(f"n_balls must be non-negative, got {self.n_balls}")
         if not 1 <= self.k <= self.d:
             raise ValueError(
@@ -63,10 +67,18 @@ class ProcessParams:
             return float("inf")
         return self.d / (self.d - self.k)
 
+    def _known_balls(self) -> int:
+        if self.n_balls is None:
+            raise ValueError(
+                "n_balls is not known yet; construct the params with an "
+                "explicit ball count before asking for round quantities"
+            )
+        return self.n_balls
+
     @property
     def rounds(self) -> int:
         """Number of full rounds required to place ``n_balls`` balls."""
-        return -(-self.n_balls // self.k)  # ceiling division
+        return -(-self._known_balls() // self.k)  # ceiling division
 
     @property
     def message_cost(self) -> int:

@@ -20,10 +20,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence
 
 from ..analysis.bounds import classify_regime, theorem1_leading_term
-from ..core.process import run_kd_choice
+from ..api import SchemeSpec, simulate_trials
 from ..simulation.results import ResultTable
 from ..simulation.rng import SeedTree
-from ..simulation.runner import run_trials
 
 __all__ = ["RegimeConfig", "RegimePoint", "run_regime_scaling", "DEFAULT_CONFIGS"]
 
@@ -85,11 +84,14 @@ def run_regime_scaling(
     for config in configs:
         for n in n_values:
             k, d = config.parameters(n)
-            values = run_trials(
-                lambda s, n=n, k=k, d=d: run_kd_choice(n_bins=n, k=k, d=d, seed=s),
-                trials=trials,
+            spec = SchemeSpec(
+                scheme="kd_choice",
+                params={"n_bins": n, "k": k, "d": d},
                 seed=tree.integer_seed(),
+                trials=trials,
+                label=config.name,
             )
+            values = simulate_trials(spec).metric_values("max_load")
             regime = classify_regime(k, d, n) if k < d else None
             points.append(
                 RegimePoint(

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.statistics import format_value_set, observed_value_set
-from ..core.process import run_kd_choice
+from ..api import SchemeSpec, simulate
 from ..simulation.results import GridTable
 from ..simulation.rng import SeedTree
 
@@ -126,21 +126,28 @@ def table1_cell(
     d: int,
     trials: int = 10,
     seed: "int | None" = 0,
+    engine: str = "auto",
 ) -> Table1Cell:
     """Run one (k, d) cell of Table 1.
 
     ``d = 1`` means the classic single-choice process (only defined for
     ``k = 1`` in the paper's table; here any ``k <= d`` is accepted, with
-    ``k = d`` degenerating to batched single choice).
+    ``k = d`` degenerating to batched single choice).  The cell is expressed
+    as a ``kd_choice`` :class:`~repro.api.SchemeSpec`; ``engine`` forwards to
+    the execution engine (the vectorized fast path is seed-for-seed identical
+    to the scalar reference).
     """
     if k > d:
         raise ValueError(
             f"cell (k={k}, d={d}) is invalid: the process requires k <= d"
         )
+    spec = SchemeSpec(
+        scheme="kd_choice", params={"n_bins": n, "k": k, "d": d}, engine=engine
+    )
     tree = SeedTree(seed)
     max_loads = []
     for trial_seed in tree.integer_seeds(trials):
-        result = run_kd_choice(n_bins=n, k=k, d=d, seed=trial_seed)
+        result = simulate(spec.with_seed(trial_seed))
         max_loads.append(result.max_load)
     return Table1Cell(k=k, d=d, n=n, trials=trials, max_loads=tuple(max_loads))
 
@@ -151,6 +158,7 @@ def run_table1(
     seed: "int | None" = 0,
     k_values: Optional[Sequence[int]] = None,
     d_values: Optional[Sequence[int]] = None,
+    engine: str = "auto",
 ) -> Table1Result:
     """Reproduce (a scaled version of) Table 1.
 
@@ -163,6 +171,9 @@ def run_table1(
     k_values, d_values:
         Row / column subsets; default to the paper's full grid.  Cells with
         ``k > d`` are skipped, as in the paper.
+    engine:
+        Execution engine for every cell spec ("auto", "scalar",
+        "vectorized"); the engines are seed-for-seed identical.
     """
     ks = tuple(k_values) if k_values is not None else TABLE1_K_VALUES
     ds = tuple(d_values) if d_values is not None else TABLE1_D_VALUES
@@ -177,6 +188,6 @@ def run_table1(
                 continue
             cell_seed = tree.integer_seed()
             result.cells[(k, d)] = table1_cell(
-                n=n, k=k, d=d, trials=trials, seed=cell_seed
+                n=n, k=k, d=d, trials=trials, seed=cell_seed, engine=engine
             )
     return result

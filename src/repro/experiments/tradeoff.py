@@ -18,16 +18,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Union
 
-from ..core.adaptive import run_threshold_adaptive, run_two_phase_adaptive
-from ..core.baselines import (
-    run_always_go_left,
-    run_d_choice,
-    run_one_plus_beta,
-    run_single_choice,
-)
-from ..core.process import run_kd_choice
+from ..api import SchemeSpec, simulate
 from ..core.types import AllocationResult
 from ..simulation.results import ResultTable
 from ..simulation.rng import SeedTree
@@ -48,32 +41,39 @@ class TradeoffPoint:
 
 
 SchemeFactory = Callable[[int, int], AllocationResult]
-"""A callable ``(n, seed) -> AllocationResult``."""
+"""Legacy form: a callable ``(n, seed) -> AllocationResult``."""
+
+SchemeEntry = Union[SchemeSpec, SchemeFactory]
 
 
-def default_schemes(n: int) -> Dict[str, SchemeFactory]:
-    """The scheme suite compared by the trade-off experiment."""
+def default_schemes(n: int) -> Dict[str, SchemeSpec]:
+    """The scheme suite compared by the trade-off experiment.
+
+    Every entry is a declarative :class:`~repro.api.SchemeSpec` bound to the
+    instance size ``n``; :func:`run_tradeoff` seeds and executes them through
+    :func:`repro.api.simulate`.
+    """
     log_n = max(2, round(math.log(n)))
     log_sq = max(2, round(math.log(n) ** 2))
-    schemes: Dict[str, SchemeFactory] = {
-        "single-choice": lambda n_, s: run_single_choice(n_, seed=s),
-        "greedy[2]": lambda n_, s: run_d_choice(n_, d=2, seed=s),
-        "greedy[4]": lambda n_, s: run_d_choice(n_, d=4, seed=s),
-        "(1+0.5)-choice": lambda n_, s: run_one_plus_beta(n_, beta=0.5, seed=s),
-        "always-go-left[2]": lambda n_, s: run_always_go_left(n_, d=2, seed=s),
-        "adaptive-threshold": lambda n_, s: run_threshold_adaptive(n_, seed=s),
-        "adaptive-two-phase": lambda n_, s: run_two_phase_adaptive(n_, seed=s),
+    schemes: Dict[str, SchemeSpec] = {
+        "single-choice": SchemeSpec("single_choice", {"n_bins": n}),
+        "greedy[2]": SchemeSpec("d_choice", {"n_bins": n, "d": 2}),
+        "greedy[4]": SchemeSpec("d_choice", {"n_bins": n, "d": 4}),
+        "(1+0.5)-choice": SchemeSpec("one_plus_beta", {"n_bins": n, "beta": 0.5}),
+        "always-go-left[2]": SchemeSpec("always_go_left", {"n_bins": n, "d": 2}),
+        "adaptive-threshold": SchemeSpec("threshold_adaptive", {"n_bins": n}),
+        "adaptive-two-phase": SchemeSpec("two_phase_adaptive", {"n_bins": n}),
         # Constant max load at 2n messages: d = 2k with k = Θ(polylog n).
-        f"(k,2k)-choice k=ln^2 n={log_sq}": (
-            lambda n_, s, k=log_sq: run_kd_choice(n_, k=k, d=2 * k, seed=s)
+        f"(k,2k)-choice k=ln^2 n={log_sq}": SchemeSpec(
+            "kd_choice", {"n_bins": n, "k": log_sq, "d": 2 * log_sq}
         ),
         # o(ln ln n) max load at (1+o(1))n messages: d - k = Θ(ln n), k = ln^2 n.
-        f"(k,k+ln n)-choice k={log_sq}": (
-            lambda n_, s, k=log_sq, extra=log_n: run_kd_choice(n_, k=k, d=k + extra, seed=s)
+        f"(k,k+ln n)-choice k={log_sq}": SchemeSpec(
+            "kd_choice", {"n_bins": n, "k": log_sq, "d": log_sq + log_n}
         ),
         # Storage setting: d = k + 1 with k = ln n (half of two-choice's cost).
-        f"(k,k+1)-choice k=ln n={log_n}": (
-            lambda n_, s, k=log_n: run_kd_choice(n_, k=k, d=k + 1, seed=s)
+        f"(k,k+1)-choice k=ln n={log_n}": SchemeSpec(
+            "kd_choice", {"n_bins": n, "k": log_n, "d": log_n + 1}
         ),
     }
     return schemes
@@ -83,9 +83,13 @@ def run_tradeoff(
     n: int = 3 * 2 ** 13,
     trials: int = 3,
     seed: "int | None" = 0,
-    schemes: "Dict[str, SchemeFactory] | None" = None,
+    schemes: "Dict[str, SchemeEntry] | None" = None,
 ) -> List[TradeoffPoint]:
-    """Run every scheme ``trials`` times and collect (max load, messages)."""
+    """Run every scheme ``trials`` times and collect (max load, messages).
+
+    ``schemes`` maps labels to :class:`~repro.api.SchemeSpec` objects
+    (preferred) or to legacy ``(n, seed) -> AllocationResult`` callables.
+    """
     scheme_map = schemes if schemes is not None else default_schemes(n)
     tree = SeedTree(seed)
     runner = ExperimentRunner(
@@ -97,8 +101,12 @@ def run_tradeoff(
         },
     )
     points: List[TradeoffPoint] = []
-    for name, factory in scheme_map.items():
-        outcome = runner.run(lambda s, f=factory: f(n, s), label=name)
+    for name, entry in scheme_map.items():
+        if isinstance(entry, SchemeSpec):
+            factory = lambda s, spec=entry: simulate(spec.with_seed(s))
+        else:
+            factory = lambda s, f=entry: f(n, s)
+        outcome = runner.run(factory, label=name)
         max_stats = outcome.statistics("max_load")
         msg_stats = outcome.statistics("messages_per_ball")
         points.append(

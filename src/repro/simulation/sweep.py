@@ -5,15 +5,28 @@ it produces one :class:`~repro.simulation.runner.ExperimentOutcome` per
 configuration plus a flat :class:`~repro.simulation.results.ResultTable`.
 Table 1, the regime scaling experiment and the heavy-load experiment are all
 expressed as sweeps.
+
+Since the :mod:`repro.api` redesign, a sweep's preferred form is
+*spec-driven*: name a registered scheme and the grid, and every point is
+materialized as a :class:`~repro.api.SchemeSpec` executed through
+:func:`repro.api.simulate`::
+
+    sweep = ParameterSweep(grid={"n_bins": [1024], "k": [2, 4], "d": [8]},
+                           scheme="kd_choice")
+    table = sweep.run_table(trials=5, seed=0)
+
+The historical ``factory`` callable is still accepted for ad-hoc processes
+that are not registered as schemes.  (The :mod:`repro.api` import happens
+lazily inside the run methods: ``repro.api`` itself builds on this package,
+and deferring the import keeps the layers acyclic.)
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
-from ..core.process import run_kd_choice
 from ..core.types import AllocationResult
 from .results import ResultTable
 from .runner import ExperimentOutcome, ExperimentRunner, MetricFunction
@@ -34,22 +47,41 @@ class SweepPoint:
 
 @dataclass
 class ParameterSweep:
-    """A generic sweep over the Cartesian product of parameter values.
+    """A sweep over the Cartesian product of parameter values.
 
     Parameters
     ----------
     grid:
         Mapping from parameter name to the list of values to sweep.
+    scheme:
+        Name of a registered :mod:`repro.api` scheme; each grid point becomes
+        a :class:`~repro.api.SchemeSpec` with the point's parameters.  Either
+        ``scheme`` or ``factory`` must be given.
     factory:
-        Callable ``(params, seed) -> AllocationResult`` building one run.
+        Legacy alternative: a callable ``(params, seed) -> AllocationResult``
+        building one run by hand.
     filter_fn:
         Optional predicate on the parameter dict; points that fail are
         skipped (used e.g. to enforce ``k <= d`` in grid sweeps).
+    param_map:
+        Optional translation from grid-point parameters to scheme-runner
+        parameters (e.g. ``{"n": ..., "m": ...}`` grids mapping onto
+        ``n_bins``/``n_balls``).  Spec-driven sweeps only.
+    policy, engine:
+        Forwarded to every generated spec (spec-driven sweeps only).
     """
 
     grid: Mapping[str, Sequence[object]]
-    factory: Callable[[Mapping[str, object], int], AllocationResult]
+    factory: Optional[Callable[[Mapping[str, object], int], AllocationResult]] = None
     filter_fn: Optional[Callable[[Mapping[str, object]], bool]] = None
+    scheme: Optional[str] = None
+    param_map: Optional[Callable[[Mapping[str, object]], Mapping[str, object]]] = None
+    policy: Optional[str] = None
+    engine: str = "auto"
+
+    def __post_init__(self) -> None:
+        if (self.factory is None) == (self.scheme is None):
+            raise ValueError("provide exactly one of 'scheme' or 'factory'")
 
     def points(self) -> Iterator[SweepPoint]:
         """Iterate over the (filtered) grid points."""
@@ -59,6 +91,33 @@ class ParameterSweep:
             if self.filter_fn is not None and not self.filter_fn(params):
                 continue
             yield SweepPoint(params=params)
+
+    def spec_for(self, point: SweepPoint):
+        """The :class:`~repro.api.SchemeSpec` a grid point materializes to."""
+        from ..api import SchemeSpec  # deferred: repro.api builds on this package
+
+        if self.scheme is None:
+            raise ValueError("spec_for() requires a scheme-driven sweep")
+        params = (
+            dict(self.param_map(point.params))
+            if self.param_map is not None
+            else dict(point.params)
+        )
+        return SchemeSpec(
+            scheme=self.scheme,
+            params=params,
+            policy=self.policy,
+            engine=self.engine,
+            label=point.label,
+        )
+
+    def _result_factory(self, point: SweepPoint):
+        if self.factory is not None:
+            return lambda s, p=point.params: self.factory(p, s)
+        from ..api import simulate  # deferred import, see module docstring
+
+        spec = self.spec_for(point)
+        return lambda s, spec=spec: simulate(spec.with_seed(s))
 
     def run(
         self,
@@ -70,8 +129,9 @@ class ParameterSweep:
         runner = ExperimentRunner(trials=trials, seed=seed, metrics=metrics)
         outcomes: List[tuple[SweepPoint, ExperimentOutcome]] = []
         for point in self.points():
-            factory = lambda s, p=point.params: self.factory(p, s)  # noqa: E731
-            outcomes.append((point, runner.run(factory, label=point.label)))
+            outcomes.append(
+                (point, runner.run(self._result_factory(point), label=point.label))
+            )
         return outcomes
 
     def run_table(
@@ -99,15 +159,14 @@ class ParameterSweep:
         return table
 
 
-def _kd_factory(params: Mapping[str, object], seed: int) -> AllocationResult:
-    return run_kd_choice(
-        n_bins=int(params["n"]),
-        k=int(params["k"]),
-        d=int(params["d"]),
-        n_balls=int(params.get("m", params["n"])),
-        policy=str(params.get("policy", "strict")),
-        seed=seed,
-    )
+def _kd_param_map(params: Mapping[str, object]) -> Mapping[str, object]:
+    """Translate the grid vocabulary (n, m, k, d) to kd_choice parameters."""
+    return {
+        "n_bins": int(params["n"]),
+        "k": int(params["k"]),
+        "d": int(params["d"]),
+        "n_balls": int(params.get("m", params["n"])),
+    }
 
 
 @dataclass
@@ -115,7 +174,9 @@ class KDGridSweep:
     """A sweep over (k, d) pairs at fixed ``n`` (and optionally ``m``).
 
     Invalid combinations (``k > d``) are skipped, mirroring the dashes in
-    Table 1.
+    Table 1.  Each valid cell executes as a ``kd_choice``
+    :class:`~repro.api.SchemeSpec`; ``engine`` selects the scalar reference
+    or the vectorized fast path ("auto" picks the fast one where exact).
     """
 
     n: int
@@ -123,6 +184,7 @@ class KDGridSweep:
     d_values: Sequence[int]
     m: Optional[int] = None
     policy: str = "strict"
+    engine: str = "auto"
     extra_filter: Optional[Callable[[int, int], bool]] = None
     _sweep: ParameterSweep = field(init=False, repr=False)
 
@@ -143,12 +205,19 @@ class KDGridSweep:
                 "d": list(self.d_values),
                 "policy": [self.policy],
             },
-            factory=_kd_factory,
+            scheme="kd_choice",
+            param_map=_kd_param_map,
+            policy=self.policy,
+            engine=self.engine,
             filter_fn=allowed,
         )
 
     def points(self) -> Iterator[SweepPoint]:
         return self._sweep.points()
+
+    def specs(self):
+        """The :class:`~repro.api.SchemeSpec` for every valid grid cell."""
+        return [self._sweep.spec_for(point) for point in self.points()]
 
     def run(self, trials: int = 10, seed: "int | None" = 0, metrics=None):
         return self._sweep.run(trials=trials, seed=seed, metrics=metrics)
