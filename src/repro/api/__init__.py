@@ -30,9 +30,22 @@ Key pieces
     ``"scalar"`` is the reference implementation; ``"vectorized"`` the
     argpartition-based batch engine (seed-for-seed identical, ~4x faster on
     the (k, d)-choice hot loop); ``"auto"`` picks for you.
+:mod:`~repro.api.executor` / :mod:`~repro.api.cache`
+    The execution layer: ``simulate_trials(..., n_jobs=4)`` fans trials out
+    over a process pool (byte-identical to serial — seeds are pre-derived),
+    and ``cache=ResultStore(dir)`` memoizes per-trial metrics on disk so
+    repeated sweeps skip recomputation.
 """
 
+from .cache import ResultStore
 from .engine import resolve_engine, simulate, simulate_many, simulate_trials
+from .executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    resolve_executor,
+    resolve_n_jobs,
+    run_trial,
+)
 from .registry import (
     REGISTRY,
     SchemeInfo,
@@ -48,15 +61,21 @@ from . import schemes as _schemes  # noqa: F401  (imported for registration side
 __all__ = [
     "ENGINES",
     "REGISTRY",
+    "ProcessExecutor",
+    "ResultStore",
     "SchemeInfo",
     "SchemeRegistry",
     "SchemeSpec",
     "SchemeSpecError",
+    "SerialExecutor",
     "available_schemes",
     "describe_scheme",
     "get_scheme",
     "register_scheme",
     "resolve_engine",
+    "resolve_executor",
+    "resolve_n_jobs",
+    "run_trial",
     "simulate",
     "simulate_many",
     "simulate_trials",

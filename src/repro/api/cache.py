@@ -1,0 +1,187 @@
+"""On-disk result cache: skip recomputing identical trials across runs.
+
+Parameter sweeps rerun the same ``(spec, trial seed)`` work over and over —
+every Table 1 rerun, every widened grid, every report regeneration repeats
+trials that were already computed.  :class:`ResultStore` memoizes the
+per-trial metrics on disk, content-addressed on
+
+``(spec.cache_key(), trial_seed, resolved engine, metric names)``
+
+so a warm store lets sweeps and experiment recipes skip the scheme runners
+entirely.  Entries are small JSON documents (one per trial) written
+atomically; a corrupt or unreadable entry is treated as a miss and silently
+recomputed.
+
+The key deliberately mirrors the determinism contract of the executor layer
+(:mod:`repro.api.executor`): given the same spec content, trial seed and
+engine, a trial's metrics are reproducible, so caching them is exact — not
+an approximation.  Metric *names* are part of the key; the store assumes a
+metric name identifies one function (true for the default metric set and for
+any sanely-named custom metric).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence
+
+from ..simulation.runner import TrialOutcome
+from .spec import SchemeSpec
+
+__all__ = ["ResultStore", "as_result_store"]
+
+#: Format marker written into every entry; bump to invalidate old layouts.
+_ENTRY_VERSION = 1
+
+
+def as_result_store(
+    cache: "ResultStore | str | os.PathLike[str] | None",
+) -> Optional["ResultStore"]:
+    """Normalize a ``cache=`` argument: pass stores through, wrap paths.
+
+    Every layer that accepts ``cache`` (engine, sweeps, recipes, CLI) funnels
+    through this one helper, so a caller can hand the same value — a
+    directory path or a ready :class:`ResultStore` — to any of them.
+    """
+    if cache is None or isinstance(cache, ResultStore):
+        return cache
+    return ResultStore(cache)
+
+
+class ResultStore:
+    """A content-addressed, on-disk store of per-trial metrics.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the entries (created on demand).  Stores rooted at
+        the same directory share entries across processes and runs.
+
+    The store keeps ``hits`` / ``misses`` / ``stores`` counters for the
+    lifetime of the instance, so callers (e.g. the CLI) can report how much
+    recomputation was skipped.
+    """
+
+    def __init__(self, cache_dir: "str | os.PathLike[str]") -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def entry_key(
+        spec: SchemeSpec,
+        seed: "int | None",
+        engine: str,
+        metric_names: Iterable[str],
+    ) -> str:
+        """The content address of one trial's metrics."""
+        names = ",".join(sorted(metric_names))
+        payload = f"{spec.cache_key()}:{seed}:{engine}:{names}:v{_ENTRY_VERSION}"
+        return sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small on big sweeps.
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Load / store
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        spec: SchemeSpec,
+        seed: "int | None",
+        engine: str,
+        metric_names: Sequence[str],
+    ) -> Optional[TrialOutcome]:
+        """Return the cached outcome for this trial, or ``None`` on a miss.
+
+        Corrupt entries (unparseable JSON, wrong shape, mismatched seed or
+        metric names) are deleted and reported as misses, so a damaged cache
+        degrades to recomputation instead of failing the experiment.
+        """
+        key = self.entry_key(spec, seed, engine, metric_names)
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry["version"] != _ENTRY_VERSION or entry["seed"] != seed:
+                raise ValueError("stale or mismatched entry")
+            metrics = entry["metrics"]
+            if sorted(metrics) != sorted(metric_names) or not all(
+                isinstance(value, (int, float)) for value in metrics.values()
+            ):
+                raise ValueError("metric payload does not match the request")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+            # Corrupt entry: drop it so the rewrite below starts clean.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return TrialOutcome(seed=seed, metrics={k: float(v) for k, v in metrics.items()})
+
+    def store(
+        self,
+        spec: SchemeSpec,
+        seed: "int | None",
+        engine: str,
+        outcome: TrialOutcome,
+    ) -> Path:
+        """Persist one trial's metrics (atomic write) and return the path."""
+        key = self.entry_key(spec, seed, engine, outcome.metrics)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": _ENTRY_VERSION,
+            "seed": seed,
+            "engine": engine,
+            "spec": spec.to_dict(),
+            "metrics": {name: float(value) for name, value in outcome.metrics.items()},
+        }
+        # Write-then-rename so concurrent readers never see a partial entry.
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, default=repr)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters, for logs and CLI summaries."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"ResultStore({str(self.cache_dir)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

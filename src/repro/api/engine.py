@@ -12,10 +12,17 @@ reproducible from one root seed, and returns one
 :class:`~repro.simulation.runner.ExperimentOutcome` per spec — the same
 aggregation type the historical ``ExperimentRunner`` produces, so existing
 statistics/table code applies unchanged.
+
+Both trial entry points accept ``n_jobs`` (fan trials out over a process
+pool, see :mod:`repro.api.executor`) and ``cache`` (memoize per-trial
+metrics on disk, see :mod:`repro.api.cache`).  Trial seeds are pre-derived
+from the seed tree *before* any execution, so parallel and cached runs are
+byte-identical to the serial reference.
 """
 
 from __future__ import annotations
 
+from os import PathLike
 from typing import Dict, Iterable, List, Mapping, Optional
 
 from ..core.types import AllocationResult
@@ -26,6 +33,8 @@ from ..simulation.runner import (
     MetricFunction,
     TrialOutcome,
 )
+from .cache import ResultStore, as_result_store
+from .executor import resolve_executor
 from .registry import SchemeInfo, get_scheme
 from .spec import SchemeSpec, SchemeSpecError
 
@@ -143,12 +152,21 @@ def simulate_trials(
     trials: Optional[int] = None,
     seed_tree: Optional[SeedTree] = None,
     metrics: Optional[Mapping[str, MetricFunction]] = None,
+    n_jobs: Optional[int] = None,
+    cache: "ResultStore | str | PathLike[str] | None" = None,
 ) -> ExperimentOutcome:
     """Run one spec ``trials`` times with independent derived seeds.
 
     ``seed_tree`` defaults to a fresh tree rooted at ``spec.seed``; pass a
     shared tree to interleave several specs in one reproducible experiment
     (that is exactly what :func:`simulate_many` does).
+
+    ``n_jobs`` selects the execution backend (``None``/1 serial, >= 2 a
+    process pool, -1 one worker per CPU); ``cache`` (a
+    :class:`~repro.api.cache.ResultStore` or a directory path) memoizes
+    per-trial metrics on disk.  Every trial seed is derived from the tree
+    before anything executes, so neither knob changes the results — cached
+    and parallel runs are identical to the serial reference.
     """
     n_trials = spec.trials if trials is None else trials
     if n_trials < 1:
@@ -162,16 +180,34 @@ def simulate_trials(
             "use the seed field instead"
         )
     tree = seed_tree if seed_tree is not None else SeedTree(spec.seed)
-    metric_map = dict(metrics) if metrics is not None else dict(_DEFAULT_METRICS)
+    executor = resolve_executor(n_jobs)
+    store = as_result_store(cache)
+    # Pre-derive every seed up front: the derivation order (and therefore the
+    # seed of trial i) must not depend on the backend or on cache hits.
+    seeds = tree.integer_seeds(n_trials)
+
+    metric_names = sorted(metrics if metrics is not None else _DEFAULT_METRICS)
+    results: Dict[int, TrialOutcome] = {}
+    pending: List[int] = []
+    if store is not None:
+        engine = resolve_engine(spec)
+        for index, trial_seed in enumerate(seeds):
+            hit = store.load(spec, trial_seed, engine, metric_names)
+            if hit is not None:
+                results[index] = hit
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(n_trials))
+
+    computed = executor.run(spec, [seeds[index] for index in pending], metrics)
+    for index, trial in zip(pending, computed):
+        results[index] = trial
+        if store is not None:
+            store.store(spec, seeds[index], engine, trial)
+
     outcome = ExperimentOutcome(label=spec.display_label)
-    for trial_seed in tree.integer_seeds(n_trials):
-        result = _execute(spec, trial_seed)
-        outcome.trials.append(
-            TrialOutcome(
-                seed=trial_seed,
-                metrics={name: fn(result) for name, fn in metric_map.items()},
-            )
-        )
+    outcome.trials.extend(results[index] for index in range(n_trials))
     return outcome
 
 
@@ -180,6 +216,8 @@ def simulate_many(
     trials: Optional[int] = None,
     seed: "int | None" = 0,
     metrics: Optional[Mapping[str, MetricFunction]] = None,
+    n_jobs: Optional[int] = None,
+    cache: "ResultStore | str | PathLike[str] | None" = None,
 ) -> List[ExperimentOutcome]:
     """Execute a batch of specs, fanning each out over repeated trials.
 
@@ -198,9 +236,23 @@ def simulate_many(
     metrics:
         Metric functions applied to each result (default: max load, gap,
         messages).
+    n_jobs:
+        Trial-execution parallelism (see :func:`simulate_trials`); results
+        are identical for every value.
+    cache:
+        Optional :class:`~repro.api.cache.ResultStore` (or directory path)
+        shared by every spec in the batch.
     """
     tree = SeedTree(seed)
+    store = as_result_store(cache)
     return [
-        simulate_trials(spec, trials=trials, seed_tree=tree, metrics=metrics)
+        simulate_trials(
+            spec,
+            trials=trials,
+            seed_tree=tree,
+            metrics=metrics,
+            n_jobs=n_jobs,
+            cache=store,
+        )
         for spec in specs
     ]

@@ -1,0 +1,159 @@
+"""Pluggable trial-execution backends: serial and process-parallel fan-out.
+
+The paper's experiments are embarrassingly parallel over trials: every trial
+of a :class:`~repro.api.spec.SchemeSpec` is an independent run under its own
+pre-derived seed.  This module turns that structure into a pluggable
+execution layer:
+
+* :class:`SerialExecutor` runs trials in-process, in order — the reference
+  behaviour.
+* :class:`ProcessExecutor` fans the same trials out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.
+
+**Determinism contract.**  Backends never derive randomness themselves: the
+caller pre-derives every trial seed from the experiment's
+:class:`~repro.simulation.rng.SeedTree` *before* execution and the backend
+merely maps :func:`run_trial` over ``(spec, seed)`` pairs, returning
+outcomes in submission order.  Parallel results are therefore byte-identical
+to serial ones — same seeds, same metrics, same ordering — and the choice of
+``n_jobs`` is purely a wall-clock decision.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Mapping, Optional, Sequence
+
+from ..simulation.runner import _DEFAULT_METRICS, MetricFunction, TrialOutcome
+from .spec import SchemeSpec, SchemeSpecError
+
+__all__ = [
+    "run_trial",
+    "resolve_n_jobs",
+    "resolve_executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+]
+
+
+def run_trial(
+    spec: SchemeSpec,
+    seed: "int | None",
+    metrics: Optional[Mapping[str, MetricFunction]] = None,
+) -> TrialOutcome:
+    """Execute one ``(spec, seed)`` trial and extract its metrics.
+
+    This is the unit of work every backend schedules.  It lives at module
+    level so a process pool can pickle it by reference; ``metrics=None``
+    selects the default metric set (max load, gap, messages) without having
+    to ship the functions to the worker.  Metric values are coerced to
+    ``float`` (the declared :data:`MetricFunction` contract), so an outcome
+    round-tripped through the JSON result cache is indistinguishable from a
+    freshly computed one.
+    """
+    from .engine import _execute  # deferred: engine builds on this module
+
+    metric_map = dict(metrics) if metrics is not None else dict(_DEFAULT_METRICS)
+    result = _execute(spec, seed)
+    return TrialOutcome(
+        seed=seed,
+        metrics={name: float(fn(result)) for name, fn in metric_map.items()},
+    )
+
+
+def resolve_n_jobs(n_jobs: "int | None") -> int:
+    """Normalize an ``n_jobs`` argument to a positive worker count.
+
+    ``None`` and ``1`` mean serial execution; ``-1`` means one worker per
+    available CPU; any other non-positive value is a configuration error.
+    """
+    if n_jobs is None:
+        return 1
+    if not isinstance(n_jobs, int) or isinstance(n_jobs, bool):
+        raise SchemeSpecError(f"n_jobs must be an integer or None, got {n_jobs!r}")
+    if n_jobs == -1:
+        return max(1, os.cpu_count() or 1)
+    if n_jobs < 1:
+        raise SchemeSpecError(
+            f"n_jobs must be a positive integer or -1 (all CPUs), got {n_jobs}"
+        )
+    return n_jobs
+
+
+class SerialExecutor:
+    """Run every trial in-process, in submission order."""
+
+    n_jobs = 1
+
+    def run(
+        self,
+        spec: SchemeSpec,
+        seeds: Sequence["int | None"],
+        metrics: Optional[Mapping[str, MetricFunction]] = None,
+    ) -> List[TrialOutcome]:
+        return [run_trial(spec, seed, metrics) for seed in seeds]
+
+
+class ProcessExecutor:
+    """Fan trials out over a :class:`ProcessPoolExecutor`.
+
+    Results are collected in submission order, so the outcome list is
+    indistinguishable from :class:`SerialExecutor`'s for the same seeds.
+    """
+
+    def __init__(self, n_jobs: int) -> None:
+        n_jobs = resolve_n_jobs(n_jobs)
+        if n_jobs < 2:
+            raise SchemeSpecError(
+                f"ProcessExecutor needs at least 2 workers, got {n_jobs}; "
+                f"use SerialExecutor for in-process execution"
+            )
+        self.n_jobs = n_jobs
+
+    @staticmethod
+    def _check_payload(
+        spec: SchemeSpec, metrics: Optional[Mapping[str, MetricFunction]]
+    ) -> None:
+        """Fail with an actionable message when the work cannot cross processes."""
+        try:
+            pickle.dumps(spec)
+        except Exception as exc:
+            raise SchemeSpecError(
+                f"spec {spec.display_label!r} cannot be pickled for "
+                f"process-parallel execution: {exc}"
+            ) from exc
+        if metrics is None:
+            return
+        for name, fn in metrics.items():
+            try:
+                pickle.dumps(fn)
+            except Exception as exc:
+                raise SchemeSpecError(
+                    f"metric {name!r} cannot be pickled for process-parallel "
+                    f"execution; use a module-level function instead of a "
+                    f"lambda/closure, or run with n_jobs=1"
+                ) from exc
+
+    def run(
+        self,
+        spec: SchemeSpec,
+        seeds: Sequence["int | None"],
+        metrics: Optional[Mapping[str, MetricFunction]] = None,
+    ) -> List[TrialOutcome]:
+        if not seeds:
+            return []
+        self._check_payload(spec, metrics)
+        workers = min(self.n_jobs, len(seeds))
+        if workers < 2:
+            return SerialExecutor().run(spec, seeds, metrics)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run_trial, spec, seed, metrics) for seed in seeds]
+            return [future.result() for future in futures]
+
+
+def resolve_executor(n_jobs: "int | None") -> "SerialExecutor | ProcessExecutor":
+    """Pick the backend for an ``n_jobs`` argument (``None``/1 -> serial)."""
+    workers = resolve_n_jobs(n_jobs)
+    return SerialExecutor() if workers == 1 else ProcessExecutor(workers)

@@ -17,6 +17,8 @@ True
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from types import MappingProxyType
 from typing import Any, Dict, Mapping, Optional
@@ -131,6 +133,70 @@ class SchemeSpec:
                 self.label,
             )
         )
+
+    # ------------------------------------------------------------------
+    # Pickling (process-pool fan-out)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        # The frozen params mapping is a MappingProxyType, which pickle
+        # rejects; ship a plain dict and re-freeze on the other side.
+        state = dict(self.__dict__)
+        state["params"] = dict(state["params"])
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for key, value in state.items():
+            if key == "params":
+                value = MappingProxyType(dict(value))
+            object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    def cache_key(self) -> str:
+        """Content hash of the *work* this spec describes.
+
+        Two specs share a key exactly when they run the same scheme with the
+        same parameters and policy — the fields that determine an execution's
+        output given a trial seed.  ``seed``, ``trials``, ``label`` and
+        ``engine`` are deliberately excluded: trial count and label are
+        presentation, while the seed and the *resolved* engine are keyed
+        separately by :meth:`~repro.api.cache.ResultStore.entry_key` (so
+        ``engine="auto"`` shares entries with the engine it resolves to).
+        Scheme aliases resolve to the canonical name, so ``"kd"`` and
+        ``"kd_choice"`` address the same entries.
+        """
+
+        def canonical(value: Any) -> Any:
+            if value is None or isinstance(value, (str, int, float, bool)):
+                return value
+            if isinstance(value, np.ndarray):
+                digest = hashlib.sha256(np.ascontiguousarray(value).tobytes())
+                return ["__ndarray__", list(value.shape), value.dtype.str,
+                        digest.hexdigest()]
+            if isinstance(value, Mapping):
+                return {str(k): canonical(v) for k, v in sorted(value.items())}
+            if isinstance(value, (list, tuple)):
+                return [canonical(v) for v in value]
+            return repr(value)
+
+        scheme = self.scheme
+        try:  # resolve aliases to the canonical scheme name
+            from .registry import get_scheme
+
+            scheme = get_scheme(self.scheme).name
+        except KeyError:
+            pass
+        payload = json.dumps(
+            {
+                "scheme": scheme,
+                "params": canonical(self.params),
+                "policy": self.policy,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Derived views and functional updates

@@ -32,11 +32,13 @@ from __future__ import annotations
 
 import argparse
 import ast
+import re
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .api import (
     ENGINES,
+    ResultStore,
     SchemeSpec,
     available_schemes,
     describe_scheme,
@@ -76,6 +78,49 @@ from .simulation.results import ResultTable
 
 __all__ = ["main", "build_parser"]
 
+#: Values that should have parsed as a Python literal (numbers, quoted
+#: strings, containers) but did not: anything *not* starting like a bare
+#: word.  Bare words stay plain strings (e.g. distribution names).
+_LITERAL_PREFIX = re.compile(r"^[\d+\-.'\"\[({]")
+
+_BOOL_TOKENS = {"true": True, "false": False, "yes": True, "no": False}
+
+
+def _parse_param_token(token: str) -> Tuple[str, object]:
+    """Parse one ``--param KEY=VALUE`` token into ``(key, value)``.
+
+    Used as an ``argparse`` type, so malformed tokens surface as clean
+    ``error: argument --param: ...`` messages naming the offending token
+    instead of raw tracebacks.  Values parse as Python literals (ints,
+    floats, quoted strings, lists/tuples), case-insensitive booleans
+    (``true``/``false``/``yes``/``no``) or ``none``; bare words fall back to
+    plain strings so e.g. ``--param distribution=pareto`` works unquoted.
+    """
+    key, separator, raw = token.partition("=")
+    key = key.strip()
+    if not separator:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=VALUE, got {token!r} (missing '=')"
+        )
+    if not key:
+        raise argparse.ArgumentTypeError(f"empty parameter name in {token!r}")
+    raw = raw.strip()
+    if not raw:
+        raise argparse.ArgumentTypeError(f"empty value for parameter {key!r} in {token!r}")
+    lowered = raw.lower()
+    if lowered in _BOOL_TOKENS:
+        return key, _BOOL_TOKENS[lowered]
+    if lowered in ("none", "null"):
+        return key, None
+    try:
+        return key, ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        if _LITERAL_PREFIX.match(raw):
+            raise argparse.ArgumentTypeError(
+                f"cannot parse value {raw!r} in {token!r}"
+            ) from None
+        return key, raw  # bare word: a plain string parameter
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the ``repro-kd`` CLI."""
@@ -100,6 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--small", action="store_true",
         help="tiny smoke-test grid (n=768, 2 trials, k in {1,2,4}, d in {1,2,5,9})",
     )
+    table1.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan each cell's trials out over N worker processes "
+        "(-1 = all CPUs); results are identical for every value",
+    )
+    table1.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="memoize per-trial results in DIR; rerunning against a warm "
+        "cache skips the scheme runners and reports the hit count",
+    )
 
     schemes = subparsers.add_parser(
         "schemes", help="List (or describe) the registered simulation schemes"
@@ -115,12 +170,22 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument("--scheme", type=str, required=True)
     simulate_cmd.add_argument(
         "--param", action="append", default=[], metavar="KEY=VALUE",
-        help="scheme parameter (repeatable), e.g. --param n_bins=4096",
+        type=_parse_param_token,
+        help="scheme parameter (repeatable), e.g. --param n_bins=4096; values "
+        "parse as literals, booleans (true/false) or bare-word strings",
     )
     simulate_cmd.add_argument("--policy", type=str, default=None)
     simulate_cmd.add_argument("--trials", type=int, default=1)
     simulate_cmd.add_argument("--seed", type=int, default=0)
     simulate_cmd.add_argument("--engine", choices=list(ENGINES), default="auto")
+    simulate_cmd.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan the trials out over N worker processes (-1 = all CPUs)",
+    )
+    simulate_cmd.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="memoize per-trial results in DIR and report hits/misses",
+    )
 
     profile = subparsers.add_parser(
         "profile", help="Figures 1 & 2: sorted load profiles with landmarks"
@@ -225,31 +290,35 @@ def _print(table_or_text: "ResultTable | str") -> None:
         print(table_or_text)
 
 
-def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
-    """Parse repeated ``--param key=value`` flags, literal-evaluating values."""
-    params: Dict[str, object] = {}
-    for pair in pairs:
-        key, separator, raw = pair.partition("=")
-        if not separator or not key:
-            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
-        try:
-            params[key] = ast.literal_eval(raw)
-        except (ValueError, SyntaxError):
-            params[key] = raw  # plain string (e.g. a distribution name)
-    return params
+def _collect_params(pairs: Sequence[Tuple[str, object]]) -> Dict[str, object]:
+    """Merge the (key, value) tuples produced by :func:`_parse_param_token`."""
+    return {key: value for key, value in pairs}
+
+
+def _make_store(cache_dir: Optional[str]) -> Optional[ResultStore]:
+    return ResultStore(cache_dir) if cache_dir else None
+
+
+def _print_cache_stats(store: Optional[ResultStore]) -> None:
+    if store is not None:
+        print(
+            f"cache: {store.hits} hits, {store.misses} misses "
+            f"({store.cache_dir})"
+        )
 
 
 def _run_simulate(args: argparse.Namespace) -> None:
+    store = _make_store(args.cache_dir)
     try:
         spec = SchemeSpec(
             scheme=args.scheme,
-            params=_parse_params(args.param),
+            params=_collect_params(args.param),
             policy=args.policy,
             seed=args.seed,
             trials=args.trials,
             engine=args.engine,
         )
-        outcome = simulate_trials(spec)
+        outcome = simulate_trials(spec, n_jobs=args.jobs, cache=store)
     except KeyError as exc:  # unknown scheme: surface the candidate list
         raise SystemExit(f"error: {exc.args[0]}") from None
     except ValueError as exc:  # spec errors and runner parameter validation
@@ -258,6 +327,7 @@ def _run_simulate(args: argparse.Namespace) -> None:
     print(f"spec: {spec.display_label} (engine={args.engine}, seed={args.seed})")
     for key, value in record.items():
         print(f"  {key}: {value}")
+    _print_cache_stats(store)
 
 
 def _run_schemes(args: argparse.Namespace) -> None:
@@ -290,11 +360,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.trials = min(args.trials, 2)
             args.k = args.k if args.k is not None else [1, 2, 4]
             args.d = args.d if args.d is not None else [1, 2, 5, 9]
-        result = run_table1(
-            n=args.n, trials=args.trials, seed=args.seed,
-            k_values=args.k, d_values=args.d, engine=args.engine,
-        )
+        store = _make_store(args.cache_dir)
+        try:
+            result = run_table1(
+                n=args.n, trials=args.trials, seed=args.seed,
+                k_values=args.k, d_values=args.d, engine=args.engine,
+                n_jobs=args.jobs, cache=store,
+            )
+        except ValueError as exc:  # e.g. an invalid --jobs value
+            raise SystemExit(f"error: {exc}") from None
         _print(result.to_text())
+        _print_cache_stats(store)
     elif args.command == "schemes":
         _run_schemes(args)
     elif args.command == "simulate":

@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from os import PathLike
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..analysis.bounds import classify_regime, theorem1_leading_term
-from ..api import SchemeSpec, simulate_trials
+from ..api import ResultStore, SchemeSpec, simulate_trials
+from ..api.cache import as_result_store
 from ..simulation.results import ResultTable
 from ..simulation.rng import SeedTree
 
@@ -77,8 +79,15 @@ def run_regime_scaling(
     configs: Sequence[RegimeConfig] = DEFAULT_CONFIGS,
     trials: int = 3,
     seed: "int | None" = 0,
+    n_jobs: Optional[int] = None,
+    cache: "ResultStore | str | PathLike[str] | None" = None,
 ) -> List[RegimePoint]:
-    """Sweep ``n`` for each configuration and collect measured vs predicted."""
+    """Sweep ``n`` for each configuration and collect measured vs predicted.
+
+    ``n_jobs``/``cache`` forward to :func:`repro.api.simulate_trials`;
+    results are identical for every setting.
+    """
+    cache = as_result_store(cache)
     tree = SeedTree(seed)
     points: List[RegimePoint] = []
     for config in configs:
@@ -91,7 +100,9 @@ def run_regime_scaling(
                 trials=trials,
                 label=config.name,
             )
-            values = simulate_trials(spec).metric_values("max_load")
+            values = simulate_trials(
+                spec, n_jobs=n_jobs, cache=cache
+            ).metric_values("max_load")
             regime = classify_regime(k, d, n) if k < d else None
             points.append(
                 RegimePoint(

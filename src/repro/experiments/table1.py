@@ -17,10 +17,12 @@ grid as ``slow``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from os import PathLike
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.statistics import format_value_set, observed_value_set
-from ..api import SchemeSpec, simulate
+from ..api import ResultStore, SchemeSpec, simulate_trials
+from ..api.cache import as_result_store
 from ..simulation.results import GridTable
 from ..simulation.rng import SeedTree
 
@@ -127,6 +129,8 @@ def table1_cell(
     trials: int = 10,
     seed: "int | None" = 0,
     engine: str = "auto",
+    n_jobs: Optional[int] = None,
+    cache: "ResultStore | str | PathLike[str] | None" = None,
 ) -> Table1Cell:
     """Run one (k, d) cell of Table 1.
 
@@ -135,7 +139,9 @@ def table1_cell(
     ``k = d`` degenerating to batched single choice).  The cell is expressed
     as a ``kd_choice`` :class:`~repro.api.SchemeSpec`; ``engine`` forwards to
     the execution engine (the vectorized fast path is seed-for-seed identical
-    to the scalar reference).
+    to the scalar reference), ``n_jobs`` fans the trials out over a process
+    pool and ``cache`` skips trials already in an on-disk
+    :class:`~repro.api.ResultStore` — none of the three changes the results.
     """
     if k > d:
         raise ValueError(
@@ -144,12 +150,15 @@ def table1_cell(
     spec = SchemeSpec(
         scheme="kd_choice", params={"n_bins": n, "k": k, "d": d}, engine=engine
     )
-    tree = SeedTree(seed)
-    max_loads = []
-    for trial_seed in tree.integer_seeds(trials):
-        result = simulate(spec.with_seed(trial_seed))
-        max_loads.append(result.max_load)
-    return Table1Cell(k=k, d=d, n=n, trials=trials, max_loads=tuple(max_loads))
+    outcome = simulate_trials(
+        spec,
+        trials=trials,
+        seed_tree=SeedTree(seed),
+        n_jobs=n_jobs,
+        cache=cache,
+    )
+    max_loads = tuple(int(value) for value in outcome.metric_values("max_load"))
+    return Table1Cell(k=k, d=d, n=n, trials=trials, max_loads=max_loads)
 
 
 def run_table1(
@@ -159,6 +168,8 @@ def run_table1(
     k_values: Optional[Sequence[int]] = None,
     d_values: Optional[Sequence[int]] = None,
     engine: str = "auto",
+    n_jobs: Optional[int] = None,
+    cache: "ResultStore | str | PathLike[str] | None" = None,
 ) -> Table1Result:
     """Reproduce (a scaled version of) Table 1.
 
@@ -174,9 +185,16 @@ def run_table1(
     engine:
         Execution engine for every cell spec ("auto", "scalar",
         "vectorized"); the engines are seed-for-seed identical.
+    n_jobs:
+        Trial-execution parallelism per cell (``None``/1 serial, >= 2 a
+        process pool, -1 all CPUs); results are identical for every value.
+    cache:
+        Optional :class:`~repro.api.ResultStore` (or directory path); cells
+        whose trials are already cached skip the scheme runner entirely.
     """
     ks = tuple(k_values) if k_values is not None else TABLE1_K_VALUES
     ds = tuple(d_values) if d_values is not None else TABLE1_D_VALUES
+    cache = as_result_store(cache)
     tree = SeedTree(seed)
     result = Table1Result(n=n, trials=trials)
     for k in ks:
@@ -188,6 +206,7 @@ def run_table1(
                 continue
             cell_seed = tree.integer_seed()
             result.cells[(k, d)] = table1_cell(
-                n=n, k=k, d=d, trials=trials, seed=cell_seed, engine=engine
+                n=n, k=k, d=d, trials=trials, seed=cell_seed, engine=engine,
+                n_jobs=n_jobs, cache=cache,
             )
     return result

@@ -18,15 +18,33 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Union
+from os import PathLike
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from ..api import SchemeSpec, simulate
+from ..api import ResultStore, SchemeSpec, simulate_trials
+from ..api.cache import as_result_store
 from ..core.types import AllocationResult
 from ..simulation.results import ResultTable
 from ..simulation.rng import SeedTree
-from ..simulation.runner import ExperimentRunner
+from ..simulation.runner import ExperimentOutcome, TrialOutcome
 
 __all__ = ["TradeoffPoint", "run_tradeoff", "tradeoff_table", "default_schemes"]
+
+
+def _max_load_metric(result: AllocationResult) -> float:
+    return float(result.max_load)
+
+
+def _messages_per_ball_metric(result: AllocationResult) -> float:
+    return float(result.messages_per_ball)
+
+
+#: Module-level (hence picklable) metric set, so ``n_jobs > 1`` can ship the
+#: metrics to pool workers.
+_TRADEOFF_METRICS = {
+    "max_load": _max_load_metric,
+    "messages_per_ball": _messages_per_ball_metric,
+}
 
 
 @dataclass(frozen=True)
@@ -84,29 +102,47 @@ def run_tradeoff(
     trials: int = 3,
     seed: "int | None" = 0,
     schemes: "Dict[str, SchemeEntry] | None" = None,
+    n_jobs: Optional[int] = None,
+    cache: "ResultStore | str | PathLike[str] | None" = None,
 ) -> List[TradeoffPoint]:
     """Run every scheme ``trials`` times and collect (max load, messages).
 
     ``schemes`` maps labels to :class:`~repro.api.SchemeSpec` objects
     (preferred) or to legacy ``(n, seed) -> AllocationResult`` callables.
+    ``n_jobs``/``cache`` forward to :func:`repro.api.simulate_trials` for
+    spec entries (results are identical for every setting); legacy callables
+    always run serially and uncached.
     """
     scheme_map = schemes if schemes is not None else default_schemes(n)
+    cache = as_result_store(cache)
     tree = SeedTree(seed)
-    runner = ExperimentRunner(
-        trials=trials,
-        seed=tree.integer_seed(),
-        metrics={
-            "max_load": lambda r: float(r.max_load),
-            "messages_per_ball": lambda r: float(r.messages_per_ball),
-        },
-    )
+    # One derived subtree shared by every entry, in mapping order — the same
+    # derivation sequence the historical ExperimentRunner-based version used.
+    inner = SeedTree(tree.integer_seed())
     points: List[TradeoffPoint] = []
     for name, entry in scheme_map.items():
         if isinstance(entry, SchemeSpec):
-            factory = lambda s, spec=entry: simulate(spec.with_seed(s))
+            outcome = simulate_trials(
+                entry,
+                trials=trials,
+                seed_tree=inner,
+                metrics=_TRADEOFF_METRICS,
+                n_jobs=n_jobs,
+                cache=cache,
+            )
+            outcome.label = name
         else:
-            factory = lambda s, f=entry: f(n, s)
-        outcome = runner.run(factory, label=name)
+            outcome = ExperimentOutcome(label=name)
+            for trial_seed in inner.integer_seeds(trials):
+                result = entry(n, trial_seed)
+                outcome.trials.append(
+                    TrialOutcome(
+                        seed=trial_seed,
+                        metrics={
+                            key: fn(result) for key, fn in _TRADEOFF_METRICS.items()
+                        },
+                    )
+                )
         max_stats = outcome.statistics("max_load")
         msg_stats = outcome.statistics("messages_per_ball")
         points.append(

@@ -107,7 +107,18 @@ class SeedTree:
         return int(self.child().generate_state(1, dtype=np.uint32)[0])
 
     def integer_seeds(self, count: int) -> List[int]:
-        """Derive ``count`` integer seeds."""
+        """Derive ``count`` integer seeds.
+
+        ``count`` must be positive: a trial fan-out asking for zero (or a
+        negative number of) seeds is a misconfiguration, and silently
+        returning ``[]`` would produce an empty experiment outcome instead of
+        an error at the source.
+        """
+        if count < 1:
+            raise ValueError(
+                f"integer_seeds() requires a positive count, got {count}; "
+                f"a trial fan-out with no trials is a misconfiguration"
+            )
         return [self.integer_seed() for _ in range(count)]
 
     def stream(self) -> Iterator[np.random.Generator]:

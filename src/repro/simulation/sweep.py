@@ -15,17 +15,28 @@ materialized as a :class:`~repro.api.SchemeSpec` executed through
                            scheme="kd_choice")
     table = sweep.run_table(trials=5, seed=0)
 
+Spec-driven sweeps execute through :func:`repro.api.simulate_trials`, so
+they inherit the execution layer for free: ``run(..., n_jobs=4)`` fans every
+point's trials out over a process pool and ``run(..., cache=...)`` skips
+trials already present in an on-disk :class:`~repro.api.cache.ResultStore`.
+Seeds are pre-derived from one shared tree, so neither knob changes results.
+
 The historical ``factory`` callable is still accepted for ad-hoc processes
-that are not registered as schemes.  (The :mod:`repro.api` import happens
-lazily inside the run methods: ``repro.api`` itself builds on this package,
-and deferring the import keeps the layers acyclic.)
+that are not registered as schemes; factory sweeps always run serially and
+uncached (an arbitrary closure can be neither pickled nor content-addressed).
+(The :mod:`repro.api` import happens lazily inside the run methods:
+``repro.api`` itself builds on this package, and deferring the import keeps
+the layers acyclic.)
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from os import PathLike
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from .rng import SeedTree
 
 from ..core.types import AllocationResult
 from .results import ResultTable
@@ -124,8 +135,40 @@ class ParameterSweep:
         trials: int = 10,
         seed: "int | None" = 0,
         metrics: Optional[Mapping[str, MetricFunction]] = None,
+        n_jobs: Optional[int] = None,
+        cache: "object | str | PathLike[str] | None" = None,
     ) -> List[tuple[SweepPoint, ExperimentOutcome]]:
-        """Run every grid point ``trials`` times."""
+        """Run every grid point ``trials`` times.
+
+        ``n_jobs`` and ``cache`` forward to
+        :func:`repro.api.simulate_trials` for spec-driven sweeps (results are
+        identical for every setting); legacy factory sweeps ignore both and
+        run serially.
+        """
+        if self.scheme is not None:
+            # Deferred import, see module docstring.
+            from ..api import simulate_trials
+            from ..api.cache import as_result_store
+
+            cache = as_result_store(cache)
+            # One shared tree, points in order, ``trials`` seeds per point:
+            # the exact derivation sequence ExperimentRunner produced, so
+            # historical results are preserved seed for seed.
+            tree = SeedTree(seed)
+            return [
+                (
+                    point,
+                    simulate_trials(
+                        self.spec_for(point),
+                        trials=trials,
+                        seed_tree=tree,
+                        metrics=metrics,
+                        n_jobs=n_jobs,
+                        cache=cache,
+                    ),
+                )
+                for point in self.points()
+            ]
         runner = ExperimentRunner(trials=trials, seed=seed, metrics=metrics)
         outcomes: List[tuple[SweepPoint, ExperimentOutcome]] = []
         for point in self.points():
@@ -140,9 +183,13 @@ class ParameterSweep:
         seed: "int | None" = 0,
         metrics: Optional[Mapping[str, MetricFunction]] = None,
         title: str = "",
+        n_jobs: Optional[int] = None,
+        cache: "object | str | PathLike[str] | None" = None,
     ) -> ResultTable:
         """Run the sweep and flatten everything into a :class:`ResultTable`."""
-        outcomes = self.run(trials=trials, seed=seed, metrics=metrics)
+        outcomes = self.run(
+            trials=trials, seed=seed, metrics=metrics, n_jobs=n_jobs, cache=cache
+        )
         columns: List[str] = []
         rows: List[Dict[str, object]] = []
         for point, outcome in outcomes:
@@ -219,8 +266,19 @@ class KDGridSweep:
         """The :class:`~repro.api.SchemeSpec` for every valid grid cell."""
         return [self._sweep.spec_for(point) for point in self.points()]
 
-    def run(self, trials: int = 10, seed: "int | None" = 0, metrics=None):
-        return self._sweep.run(trials=trials, seed=seed, metrics=metrics)
+    def run(
+        self, trials: int = 10, seed: "int | None" = 0, metrics=None,
+        n_jobs: Optional[int] = None, cache=None,
+    ):
+        return self._sweep.run(
+            trials=trials, seed=seed, metrics=metrics, n_jobs=n_jobs, cache=cache
+        )
 
-    def run_table(self, trials: int = 10, seed: "int | None" = 0, metrics=None, title=""):
-        return self._sweep.run_table(trials=trials, seed=seed, metrics=metrics, title=title)
+    def run_table(
+        self, trials: int = 10, seed: "int | None" = 0, metrics=None, title="",
+        n_jobs: Optional[int] = None, cache=None,
+    ):
+        return self._sweep.run_table(
+            trials=trials, seed=seed, metrics=metrics, title=title,
+            n_jobs=n_jobs, cache=cache,
+        )

@@ -1,0 +1,120 @@
+"""Unit tests for the trial-execution backends (repro.api.executor)."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.api import (
+    ProcessExecutor,
+    SchemeSpec,
+    SchemeSpecError,
+    SerialExecutor,
+    resolve_executor,
+    resolve_n_jobs,
+    run_trial,
+    simulate_many,
+    simulate_trials,
+)
+
+SPEC = SchemeSpec(scheme="kd_choice", params={"n_bins": 256, "k": 2, "d": 4}, seed=11)
+
+
+class TestResolveNJobs:
+    def test_none_and_one_mean_serial(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+
+    def test_minus_one_means_all_cpus(self):
+        assert resolve_n_jobs(-1) == max(1, os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("bad", [0, -2, 2.5, "4", True])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(SchemeSpecError):
+            resolve_n_jobs(bad)
+
+    def test_resolve_executor_picks_backend(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor(1), SerialExecutor)
+        assert isinstance(resolve_executor(2), ProcessExecutor)
+
+
+class TestSpecPickling:
+    def test_round_trip_preserves_spec(self):
+        clone = pickle.loads(pickle.dumps(SPEC))
+        assert clone == SPEC
+        assert dict(clone.params) == dict(SPEC.params)
+
+    def test_round_trip_params_stay_frozen(self):
+        clone = pickle.loads(pickle.dumps(SPEC))
+        with pytest.raises(TypeError):
+            clone.params["k"] = 99  # MappingProxyType restored
+
+
+class TestRunTrial:
+    def test_returns_trial_outcome_with_default_metrics(self):
+        trial = run_trial(SPEC, seed=3)
+        assert trial.seed == 3
+        assert set(trial.metrics) == {"max_load", "gap", "messages"}
+
+    def test_custom_metrics(self):
+        trial = run_trial(SPEC, seed=3, metrics={"ml": lambda r: float(r.max_load)})
+        assert set(trial.metrics) == {"ml"}
+
+
+class TestBackendEquivalence:
+    def test_process_backend_matches_serial(self):
+        seeds = [5, 6, 7, 8]
+        serial = SerialExecutor().run(SPEC, seeds)
+        parallel = ProcessExecutor(2).run(SPEC, seeds)
+        assert [t.seed for t in parallel] == seeds
+        assert [t.metrics for t in parallel] == [t.metrics for t in serial]
+
+    def test_simulate_trials_parallel_identical_to_serial(self):
+        serial = simulate_trials(SPEC, trials=4, n_jobs=1)
+        parallel = simulate_trials(SPEC, trials=4, n_jobs=2)
+        assert [t.seed for t in parallel.trials] == [t.seed for t in serial.trials]
+        assert [t.metrics for t in parallel.trials] == [
+            t.metrics for t in serial.trials
+        ]
+
+    def test_simulate_many_parallel_identical_to_serial(self):
+        specs = [SPEC, SPEC.with_params(d=8), SPEC.with_params(k=1, d=2)]
+        serial = simulate_many(specs, trials=3, seed=0)
+        parallel = simulate_many(specs, trials=3, seed=0, n_jobs=2)
+        for a, b in zip(serial, parallel):
+            assert [t.seed for t in a.trials] == [t.seed for t in b.trials]
+            assert [t.metrics for t in a.trials] == [t.metrics for t in b.trials]
+
+    def test_empty_seed_list_short_circuits(self):
+        assert ProcessExecutor(2).run(SPEC, []) == []
+
+
+class TestProcessBackendErrors:
+    def test_single_worker_rejected(self):
+        with pytest.raises(SchemeSpecError, match="at least 2"):
+            ProcessExecutor(1)
+
+    def test_unpicklable_metric_reported_by_name(self):
+        captured = 1.0
+        metrics = {"bad": lambda r, c=iter(()): captured}  # generators don't pickle
+        with pytest.raises(SchemeSpecError, match="'bad'"):
+            ProcessExecutor(2).run(SPEC, [1, 2], metrics)
+
+    def test_unpicklable_metric_via_simulate_trials(self):
+        metrics = {"bad": lambda r, c=iter(()): 0.0}
+        with pytest.raises(SchemeSpecError, match="n_jobs=1"):
+            simulate_trials(SPEC, trials=2, n_jobs=2, metrics=metrics)
+
+
+class TestSeedDerivationInvariance:
+    def test_trial_seeds_do_not_depend_on_backend(self):
+        # The seeds recorded in the outcome ARE the provenance; they must be
+        # the same tree-derivation sequence regardless of n_jobs.
+        from repro.simulation.rng import SeedTree
+
+        expected = SeedTree(SPEC.seed).integer_seeds(4)
+        outcome = simulate_trials(SPEC, trials=4, n_jobs=2)
+        assert [t.seed for t in outcome.trials] == expected

@@ -81,6 +81,14 @@ class TestSeedTree:
     def test_integer_seeds_reproducible(self):
         assert SeedTree(9).integer_seeds(5) == SeedTree(9).integer_seeds(5)
 
+    def test_integer_seeds_rejects_non_positive_counts(self):
+        # A fan-out asking for zero trials must fail loudly, not return []
+        # and silently produce an empty experiment outcome.
+        with pytest.raises(ValueError, match="positive count"):
+            SeedTree(9).integer_seeds(0)
+        with pytest.raises(ValueError, match="positive count"):
+            SeedTree(9).integer_seeds(-3)
+
     def test_root_entropy_exposed(self):
         assert SeedTree(123).root_entropy == (123,)
 

@@ -90,3 +90,75 @@ class TestMainCommands:
     def test_exact(self, capsys):
         assert main(["exact", "--trials", "300"]) == 0
         assert "total_variation" in capsys.readouterr().out
+
+
+class TestParamParsing:
+    """--param KEY=VALUE must fail cleanly and support literals/floats/bools."""
+
+    def _parse(self, *tokens):
+        argv = ["simulate", "--scheme", "kd_choice"]
+        for token in tokens:
+            argv += ["--param", token]
+        return dict(build_parser().parse_args(argv).param)
+
+    def test_int_float_bool_and_string_values(self):
+        params = self._parse(
+            "n_bins=4096", "beta=0.5", "flag=true", "off=False", "dist=pareto"
+        )
+        assert params == {
+            "n_bins": 4096, "beta": 0.5, "flag": True, "off": False,
+            "dist": "pareto",
+        }
+        assert isinstance(params["beta"], float)
+
+    def test_none_and_list_values(self):
+        params = self._parse("n_balls=none", "weights=[1, 2, 3]")
+        assert params["n_balls"] is None
+        assert params["weights"] == [1, 2, 3]
+
+    @pytest.mark.parametrize("token", ["noequals", "=3", "key=", "k=[1,"])
+    def test_malformed_token_is_a_clean_argparse_error(self, token, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["simulate", "--scheme", "kd_choice", "--param", token]
+            )
+        assert excinfo.value.code == 2  # argparse usage error, not a traceback
+        err = capsys.readouterr().err
+        assert "--param" in err
+        # The offending token is named in the message.
+        assert token.partition("=")[0] in err or token in err
+
+
+class TestExecutorAndCacheFlags:
+    def test_simulate_accepts_jobs_flag(self, capsys):
+        assert main([
+            "simulate", "--scheme", "kd_choice",
+            "--param", "n_bins=128", "--param", "k=1", "--param", "d=2",
+            "--trials", "2", "--jobs", "2",
+        ]) == 0
+        assert "max_load_mean" in capsys.readouterr().out
+
+    def test_table1_cache_dir_reports_hits_on_second_run(self, tmp_path, capsys):
+        argv = [
+            "table1", "--n", "64", "--trials", "2",
+            "--k", "1", "--d", "2", "4", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 hits, 4 misses" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "4 hits, 0 misses" in second
+        # The grids themselves are identical.
+        assert first.splitlines()[:4] == second.splitlines()[:4]
+
+    def test_simulate_cache_dir_round_trip(self, tmp_path, capsys):
+        argv = [
+            "simulate", "--scheme", "kd_choice",
+            "--param", "n_bins=128", "--param", "k=1", "--param", "d=2",
+            "--trials", "2", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        assert "2 misses" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "2 hits, 0 misses" in capsys.readouterr().out

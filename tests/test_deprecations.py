@@ -1,0 +1,48 @@
+"""The top-level ``run_*`` helpers are deprecated shims and must say so."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+
+
+@pytest.mark.parametrize("name", repro._DEPRECATED_RUNNERS)
+def test_every_shim_is_wrapped(name):
+    shim = getattr(repro, name)
+    assert hasattr(shim, "__wrapped__"), f"repro.{name} is not a warning shim"
+    assert ".. deprecated::" in (shim.__doc__ or "")
+
+
+def test_run_kd_choice_warns_and_still_works():
+    with pytest.warns(DeprecationWarning, match="repro.run_kd_choice"):
+        result = repro.run_kd_choice(n_bins=256, k=2, d=4, seed=0)
+    assert result.total_balls_check()
+
+
+def test_shim_matches_undecorated_implementation():
+    from repro.core.process import run_kd_choice as core_run
+
+    with pytest.warns(DeprecationWarning):
+        shimmed = repro.run_kd_choice(n_bins=128, k=1, d=2, seed=9)
+    direct = core_run(n_bins=128, k=1, d=2, seed=9)
+    assert (shimmed.loads == direct.loads).all()
+
+
+def test_core_implementations_do_not_warn():
+    from repro.core.process import run_kd_choice as core_run
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        core_run(n_bins=128, k=1, d=2, seed=0)
+
+
+def test_spec_api_does_not_warn():
+    from repro.api import SchemeSpec, simulate
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        simulate(SchemeSpec(scheme="kd_choice",
+                            params={"n_bins": 128, "k": 2, "d": 4}, seed=0))
