@@ -35,7 +35,10 @@ from .spec import SchemeSpec
 __all__ = ["ResultStore", "as_result_store"]
 
 #: Format marker written into every entry; bump to invalidate old layouts.
-_ENTRY_VERSION = 1
+# Bump whenever any scheme's RNG stream changes for a fixed seed (entries
+# become unreproducible, not merely stale): v2 = the engine-v2 work moved the
+# scalar weighted/stale processes to chunked/epoch block draws.
+_ENTRY_VERSION = 2
 
 
 def as_result_store(

@@ -35,7 +35,7 @@ from ..simulation.runner import (
 )
 from .cache import ResultStore, as_result_store
 from .executor import resolve_executor
-from .registry import SchemeInfo, get_scheme
+from .registry import SchemeInfo, get_scheme, vectorized_unsupported_reason
 from .spec import SchemeSpec, SchemeSpecError
 
 __all__ = ["simulate", "simulate_trials", "simulate_many", "resolve_engine"]
@@ -46,28 +46,23 @@ def resolve_engine(spec: SchemeSpec, info: Optional[SchemeInfo] = None) -> str:
 
     ``engine="auto"`` selects the vectorized fast path whenever the scheme
     provides one and the spec stays inside its supported envelope (strict
-    policy); the two engines are seed-for-seed identical, so this is purely a
-    performance decision.
+    policy, no guard-rejected parameters); the two engines are seed-for-seed
+    identical, so this is purely a performance decision.  A forced
+    ``engine="vectorized"`` outside that envelope raises
+    :class:`~repro.api.spec.SchemeSpecError` — normally already at spec
+    construction; this re-check covers specs built before the scheme was
+    registered.
     """
     info = info if info is not None else get_scheme(spec.scheme)
     if spec.engine == "scalar":
         return "scalar"
+    reason = vectorized_unsupported_reason(info, spec.policy, spec.params)
     if spec.engine == "vectorized":
-        if info.vectorized is None:
-            raise SchemeSpecError(
-                f"scheme {info.name!r} has no vectorized engine; "
-                f"available engines: scalar"
-            )
-        if spec.policy not in (None, "strict"):
-            raise SchemeSpecError(
-                f"the vectorized engine supports only the strict policy, "
-                f"got policy={spec.policy!r}"
-            )
+        if reason is not None:
+            raise SchemeSpecError(reason)
         return "vectorized"
     # auto
-    if info.vectorized is not None and spec.policy in (None, "strict"):
-        return "vectorized"
-    return "scalar"
+    return "scalar" if reason is not None else "vectorized"
 
 
 def _build_kwargs(

@@ -29,6 +29,7 @@ __all__ = [
     "available_schemes",
     "describe_scheme",
     "get_scheme",
+    "vectorized_unsupported_reason",
     "REGISTRY",
 ]
 
@@ -48,6 +49,10 @@ class SchemeInfo:
     aliases: Tuple[str, ...] = ()
     tags: Tuple[str, ...] = ()
     vectorized: Optional[Runner] = None
+    #: Optional predicate ``(params) -> reason-or-None`` marking parameter
+    #: regions the vectorized runner does not support (e.g. a callable
+    #: threshold).  ``None`` (the return value) means supported.
+    vectorized_guard: Optional[Callable[[Mapping[str, Any]], Optional[str]]] = None
 
     @property
     def accepts_policy(self) -> bool:
@@ -107,6 +112,9 @@ class SchemeRegistry:
         aliases: Tuple[str, ...] = (),
         tags: Tuple[str, ...] = (),
         vectorized: Optional[Runner] = None,
+        vectorized_guard: Optional[
+            Callable[[Mapping[str, Any]], Optional[str]]
+        ] = None,
     ) -> Callable[[Runner], Runner]:
         """Decorator registering ``runner`` under ``name``.
 
@@ -135,6 +143,7 @@ class SchemeRegistry:
                 aliases=tuple(aliases),
                 tags=tuple(tags),
                 vectorized=vectorized,
+                vectorized_guard=vectorized_guard,
             )
             self._schemes[name] = info
             for alias in info.aliases:
@@ -189,3 +198,32 @@ def describe_scheme(name: str) -> Dict[str, Any]:
 def get_scheme(name: str) -> SchemeInfo:
     """The raw :class:`SchemeInfo` record for ``name`` (or an alias)."""
     return REGISTRY.get(name)
+
+
+def vectorized_unsupported_reason(
+    info: SchemeInfo,
+    policy: Optional[str],
+    params: Mapping[str, Any],
+) -> Optional[str]:
+    """Why ``engine="vectorized"`` cannot run this configuration, or ``None``.
+
+    The single source of truth for engine/scheme compatibility: it backs
+    both the construction-time validation in
+    :class:`~repro.api.spec.SchemeSpec` and the run-time resolution in
+    :func:`~repro.api.engine.resolve_engine` (so ``engine="auto"`` falls
+    back to the scalar reference exactly when a forced ``"vectorized"``
+    would have been rejected).
+    """
+    if info.vectorized is None:
+        return (
+            f"scheme {info.name!r} has no vectorized engine; "
+            f"available engines: scalar"
+        )
+    if policy not in (None, "strict"):
+        return (
+            f"the vectorized engine supports only the strict policy, "
+            f"got policy={policy!r}"
+        )
+    if info.vectorized_guard is not None:
+        return info.vectorized_guard(params)
+    return None

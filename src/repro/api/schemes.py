@@ -34,7 +34,18 @@ from ..core.process import run_kd_choice
 from ..core.serialization import run_serialized_kd_choice
 from ..core.stale import run_stale_kd_choice
 from ..core.types import AllocationResult
-from ..core.vectorized import run_kd_choice_vectorized
+from ..core.vectorized import (
+    CALLABLE_THRESHOLD_REASON,
+    run_always_go_left_vectorized,
+    run_churn_kd_choice_vectorized,
+    run_d_choice_vectorized,
+    run_kd_choice_vectorized,
+    run_one_plus_beta_vectorized,
+    run_stale_kd_choice_vectorized,
+    run_threshold_adaptive_vectorized,
+    run_two_phase_adaptive_vectorized,
+    run_weighted_kd_choice_vectorized,
+)
 from ..core.weighted import run_weighted_kd_choice
 from .registry import register_scheme
 
@@ -62,12 +73,14 @@ register_scheme(
     "weighted_kd_choice",
     summary="(k, d)-choice with weighted balls (constant/exponential/Pareto).",
     tags=("extension", "process"),
+    vectorized=run_weighted_kd_choice_vectorized,
 )(run_weighted_kd_choice)
 
 register_scheme(
     "stale_kd_choice",
     summary="(k, d)-choice probing stale load snapshots (parallel epochs).",
     tags=("extension", "process"),
+    vectorized=run_stale_kd_choice_vectorized,
 )(run_stale_kd_choice)
 
 
@@ -90,10 +103,55 @@ def _run_greedy_kd_choice(
     )
 
 
+def _churn_allocation_result(churn, n_bins, k, d, policy) -> AllocationResult:
+    """Adapt a :class:`~repro.core.dynamic.ChurnResult` to the common shape."""
+    return AllocationResult(
+        loads=churn.final_loads,
+        scheme=f"churn-({k},{d})-choice",
+        n_bins=n_bins,
+        n_balls=int(churn.final_loads.sum()),
+        k=k,
+        d=d,
+        messages=churn.messages,
+        rounds=churn.rounds,
+        policy="strict" if policy == "strict" else str(policy),
+        extra={
+            "churn_result": churn,
+            "steady_state_gap": churn.steady_state_gap(),
+            "departures_per_round": churn.departures_per_round,
+        },
+    )
+
+
+def _run_churn_kd_choice_vectorized(
+    n_bins: int,
+    k: int,
+    d: int,
+    rounds: int,
+    departures_per_round: Optional[int] = None,
+    policy: str = "strict",
+    seed: "int | np.random.SeedSequence | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> AllocationResult:
+    """Vectorized counterpart of the ``churn_kd_choice`` runner."""
+    churn = run_churn_kd_choice_vectorized(
+        n_bins=n_bins,
+        k=k,
+        d=d,
+        rounds=rounds,
+        departures_per_round=departures_per_round,
+        policy=policy,
+        seed=seed,
+        rng=rng,
+    )
+    return _churn_allocation_result(churn, n_bins, k, d, policy)
+
+
 @register_scheme(
     "churn_kd_choice",
     summary="Dynamic insert/delete (k, d)-choice; loads are the steady state.",
     tags=("extension", "process"),
+    vectorized=_run_churn_kd_choice_vectorized,
 )
 def _run_churn_kd_choice(
     n_bins: int,
@@ -120,32 +178,21 @@ def _run_churn_kd_choice(
         seed=seed,
         rng=rng,
     )
-    return AllocationResult(
-        loads=churn.final_loads,
-        scheme=f"churn-({k},{d})-choice",
-        n_bins=n_bins,
-        n_balls=int(churn.final_loads.sum()),
-        k=k,
-        d=d,
-        messages=churn.messages,
-        rounds=churn.rounds,
-        policy="strict" if policy == "strict" else str(policy),
-        extra={
-            "churn_result": churn,
-            "steady_state_gap": churn.steady_state_gap(),
-            "departures_per_round": churn.departures_per_round,
-        },
-    )
+    return _churn_allocation_result(churn, n_bins, k, d, policy)
 
 
 # ----------------------------------------------------------------------
 # Classic baselines and adaptive comparators
 # ----------------------------------------------------------------------
+# Single choice (and its batched twin) is one bincount in the scalar path
+# already: the scalar runner doubles as its own vectorized engine, so
+# engine="vectorized" is accepted and trivially scalar-identical.
 register_scheme(
     "single_choice",
     summary="Classic single-choice: every ball to one uniform bin.",
     aliases=("one_choice",),
     tags=("baseline",),
+    vectorized=run_single_choice,
 )(run_single_choice)
 
 register_scheme(
@@ -153,13 +200,27 @@ register_scheme(
     summary="Azar et al.'s Greedy[d]: d probes, join the least loaded.",
     aliases=("greedy_d",),
     tags=("baseline",),
+    vectorized=run_d_choice_vectorized,
 )(run_d_choice)
+
+
+def _run_two_choice_vectorized(
+    n_bins: int,
+    n_balls: Optional[int] = None,
+    seed: "int | np.random.SeedSequence | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> AllocationResult:
+    """Vectorized two-choice via the d-choice batch engine."""
+    return run_d_choice_vectorized(
+        n_bins=n_bins, d=2, n_balls=n_balls, seed=seed, rng=rng
+    )
 
 
 @register_scheme(
     "two_choice",
     summary="Greedy[2], the classic two-choice process.",
     tags=("baseline",),
+    vectorized=_run_two_choice_vectorized,
 )
 def _run_two_choice(
     n_bins: int,
@@ -175,30 +236,44 @@ register_scheme(
     "one_plus_beta",
     summary="Peres-Talwar-Wieder (1+beta)-choice mixture process.",
     tags=("baseline",),
+    vectorized=run_one_plus_beta_vectorized,
 )(run_one_plus_beta)
 
 register_scheme(
     "always_go_left",
     summary="Voecking's asymmetric Always-Go-Left d-choice scheme.",
     tags=("baseline",),
+    vectorized=run_always_go_left_vectorized,
 )(run_always_go_left)
 
 register_scheme(
     "batch_random",
     summary="SA(k, k): k balls per round, each to a uniform bin.",
     tags=("baseline",),
+    vectorized=run_batch_random,
 )(run_batch_random)
+
+
+def _threshold_adaptive_guard(params) -> Optional[str]:
+    """The vectorized engine evaluates thresholds in bulk, not per ball."""
+    if callable(params.get("threshold")):
+        return CALLABLE_THRESHOLD_REASON
+    return None
+
 
 register_scheme(
     "threshold_adaptive",
     summary="Czumaj-Stemann adaptive threshold probing.",
     tags=("adaptive",),
+    vectorized=run_threshold_adaptive_vectorized,
+    vectorized_guard=_threshold_adaptive_guard,
 )(run_threshold_adaptive)
 
 register_scheme(
     "two_phase_adaptive",
     summary="Simplified Lenzen-Wattenhofer two-phase adaptive scheme.",
     tags=("adaptive",),
+    vectorized=run_two_phase_adaptive_vectorized,
 )(run_two_phase_adaptive)
 
 

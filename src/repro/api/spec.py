@@ -107,6 +107,20 @@ class SchemeSpec:
             raise SchemeSpecError(
                 f"rng must be a numpy Generator or None, got {type(self.rng).__name__}"
             )
+        if self.engine == "vectorized":
+            # Engine/scheme compatibility is known statically, so surface it
+            # at construction rather than at run time.  Unknown scheme names
+            # are left for execution (where they raise with the full
+            # candidate list); the registry import is deferred because
+            # repro.api.registry builds on this module.
+            from .registry import REGISTRY, get_scheme, vectorized_unsupported_reason
+
+            if self.scheme in REGISTRY:
+                reason = vectorized_unsupported_reason(
+                    get_scheme(self.scheme), self.policy, self.params
+                )
+                if reason is not None:
+                    raise SchemeSpecError(reason)
 
     def __hash__(self) -> int:
         # The generated frozen-dataclass hash would choke on the params

@@ -196,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
     regimes = subparsers.add_parser("regimes", help="Theorem 1 regime scaling")
     regimes.add_argument("--trials", type=int, default=3)
     regimes.add_argument("--seed", type=int, default=0)
+    regimes.add_argument(
+        "--engine", choices=list(ENGINES), default="auto",
+        help="execution engine for every configuration (results-neutral)",
+    )
+    regimes.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan each configuration's trials out over N worker processes",
+    )
 
     heavy = subparsers.add_parser("heavy", help="Theorem 2 heavily loaded case")
     heavy.add_argument("--n", type=int, default=1 << 12)
@@ -206,6 +214,14 @@ def build_parser() -> argparse.ArgumentParser:
     tradeoff.add_argument("--n", type=int, default=3 * 2 ** 13)
     tradeoff.add_argument("--trials", type=int, default=3)
     tradeoff.add_argument("--seed", type=int, default=0)
+    tradeoff.add_argument(
+        "--engine", choices=list(ENGINES), default="auto",
+        help="execution engine for every scheme spec (results-neutral)",
+    )
+    tradeoff.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan each scheme's trials out over N worker processes",
+    )
 
     scheduling = subparsers.add_parser(
         "scheduling", help="Cluster-scheduling application experiment"
@@ -388,11 +404,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             lines.append(f"  Figure 2 decomposition: {series.figure2_decomposition()}")
         _print("\n".join(lines))
     elif args.command == "regimes":
-        _print(regime_table(run_regime_scaling(trials=args.trials, seed=args.seed)))
+        _print(
+            regime_table(
+                run_regime_scaling(
+                    trials=args.trials, seed=args.seed,
+                    n_jobs=args.jobs, engine=args.engine,
+                )
+            )
+        )
     elif args.command == "heavy":
         _print(heavy_table(run_heavy_case(n=args.n, trials=args.trials, seed=args.seed)))
     elif args.command == "tradeoff":
-        _print(tradeoff_table(run_tradeoff(n=args.n, trials=args.trials, seed=args.seed)))
+        _print(
+            tradeoff_table(
+                run_tradeoff(
+                    n=args.n, trials=args.trials, seed=args.seed,
+                    n_jobs=args.jobs, engine=args.engine,
+                )
+            )
+        )
     elif args.command == "scheduling":
         _print(
             scheduling_table(

@@ -35,11 +35,15 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .baselines import _CHUNK, least_loaded_probe
 from .types import AllocationResult
 
-__all__ = ["run_threshold_adaptive", "run_two_phase_adaptive"]
-
-_CHUNK = 8192
+__all__ = [
+    "run_threshold_adaptive",
+    "run_two_phase_adaptive",
+    "threshold_place",
+    "two_phase_place",
+]
 
 
 def _make_rng(
@@ -47,6 +51,41 @@ def _make_rng(
     rng: Optional[np.random.Generator],
 ) -> np.random.Generator:
     return rng if rng is not None else np.random.default_rng(seed)
+
+
+def threshold_place(loads, row, limit) -> "tuple[int, int]":
+    """Place one ball by threshold probing; returns ``(bin, probes used)``.
+
+    The per-ball kernel shared by the scalar loop and the vectorized
+    engine's conflict replay: probe ``row`` left to right, stop at the first
+    bin at or below ``limit``, and commit to the least loaded bin examined
+    so far (earliest minimum on ties).
+    """
+    best_bin = row[0]
+    best_load = loads[best_bin]
+    used = 1
+    if best_load > limit:
+        for bin_index in row[1:]:
+            used += 1
+            load = loads[bin_index]
+            if load < best_load:
+                best_load = load
+                best_bin = bin_index
+            if load <= limit:
+                break
+    return best_bin, used
+
+
+def two_phase_place(loads, primary, row, cap) -> "tuple[int, bool]":
+    """Place one two-phase ball; returns ``(bin, retried)``.
+
+    Commit to ``primary`` when it is below ``cap``; otherwise join the least
+    loaded bin of the pre-drawn fallback ``row`` (earliest minimum on ties).
+    Shared by the scalar loop and the vectorized engine's conflict replay.
+    """
+    if loads[primary] < cap:
+        return primary, False
+    return least_loaded_probe(loads, row), True
 
 
 def run_threshold_adaptive(
@@ -109,18 +148,7 @@ def run_threshold_adaptive(
         probes = generator.integers(0, n_bins, size=(batch, max_probes))
         for row in probes.tolist():
             limit = threshold_fn(placed / n_bins)
-            best_bin = row[0]
-            best_load = loads[best_bin]
-            used = 1
-            if best_load > limit:
-                for bin_index in row[1:]:
-                    used += 1
-                    load = loads[bin_index]
-                    if load < best_load:
-                        best_load = load
-                        best_bin = bin_index
-                    if load <= limit:
-                        break
+            best_bin, used = threshold_place(loads, row, limit)
             loads[best_bin] += 1
             placed += 1
             messages += used
@@ -180,18 +208,10 @@ def run_two_phase_adaptive(
         fallback = generator.integers(0, n_bins, size=(batch, retry_probes))
         for primary, row in zip(first.tolist(), fallback.tolist()):
             messages += 1
-            if loads[primary] < cap:
-                loads[primary] += 1
-                continue
-            retries += 1
-            messages += retry_probes
-            best_bin = row[0]
-            best_load = loads[best_bin]
-            for bin_index in row[1:]:
-                load = loads[bin_index]
-                if load < best_load:
-                    best_load = load
-                    best_bin = bin_index
+            best_bin, retried = two_phase_place(loads, primary, row, cap)
+            if retried:
+                retries += 1
+                messages += retry_probes
             loads[best_bin] += 1
         remaining -= batch
 

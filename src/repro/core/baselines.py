@@ -40,8 +40,12 @@ __all__ = [
     "run_one_plus_beta",
     "run_always_go_left",
     "run_batch_random",
+    "least_loaded_probe",
 ]
 
+#: Balls per RNG block for the per-ball schemes.  Shared (by import) with
+#: :mod:`repro.core.adaptive` and the vectorized engines: bit-for-bit engine
+#: equivalence depends on both sides drawing identical blocks.
 _CHUNK = 8192
 
 
@@ -50,6 +54,23 @@ def _make_rng(
     rng: Optional[np.random.Generator],
 ) -> np.random.Generator:
     return rng if rng is not None else np.random.default_rng(seed)
+
+
+def least_loaded_probe(loads, row) -> int:
+    """First least-loaded bin of ``row`` (strict ``<`` scan, earliest wins).
+
+    The per-ball kernel shared by the scalar Always-Go-Left loop and the
+    vectorized engine's conflict replay; the earliest-minimum rule is what
+    makes ties "go left".
+    """
+    best_bin = row[0]
+    best_load = loads[best_bin]
+    for bin_index in row[1:]:
+        load = loads[bin_index]
+        if load < best_load:
+            best_load = load
+            best_bin = bin_index
+    return best_bin
 
 
 def run_single_choice(
@@ -198,14 +219,7 @@ def run_always_go_left(
         probes = (boundaries[:-1] + uniform * group_sizes).astype(np.int64)
         for row in probes.tolist():
             messages += d
-            best_bin = row[0]
-            best_load = loads[best_bin]
-            for bin_index in row[1:]:
-                load = loads[bin_index]
-                if load < best_load:  # strict: ties stay with the leftmost
-                    best_load = load
-                    best_bin = bin_index
-            loads[best_bin] += 1
+            loads[least_loaded_probe(loads, row)] += 1
         remaining -= batch
 
     return AllocationResult(

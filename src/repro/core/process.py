@@ -196,6 +196,7 @@ def run_kd_choice(
     policy: "str | AllocationPolicy" = "strict",
     seed: "int | np.random.SeedSequence | None" = None,
     rng: Optional[np.random.Generator] = None,
+    chunk_rounds: Optional[int] = None,
 ) -> AllocationResult:
     """Run a complete (k, d)-choice allocation and return its result.
 
@@ -221,6 +222,11 @@ def run_kd_choice(
         "strict" or "greedy" (or a policy object).
     seed, rng:
         Source of randomness.
+    chunk_rounds:
+        Rounds whose samples are drawn per RNG block (default 4096).  This
+        bounds the sample-buffer memory at ``O(chunk_rounds * d)``; the
+        random stream (and therefore the result) depends on it, so compare
+        engines only at equal ``chunk_rounds``.
 
     Examples
     --------
@@ -229,6 +235,7 @@ def run_kd_choice(
     True
     """
     process = KDChoiceProcess(
-        n_bins=n_bins, k=k, d=d, policy=policy, seed=seed, rng=rng
+        n_bins=n_bins, k=k, d=d, policy=policy, seed=seed, rng=rng,
+        chunk_rounds=_DEFAULT_CHUNK_ROUNDS if chunk_rounds is None else chunk_rounds,
     )
     return process.run(n_balls=n_balls)

@@ -22,7 +22,7 @@ from typing import Optional
 
 import numpy as np
 
-from .policies import AllocationPolicy, get_policy
+from .policies import AllocationPolicy, get_policy, strict_select
 from .types import AllocationResult, ProcessParams
 
 __all__ = ["StaleKDChoiceProcess", "run_stale_kd_choice"]
@@ -70,20 +70,48 @@ class StaleKDChoiceProcess:
         rounds = 0
         placed = 0
         rng = self.rng
+        strict = self.policy.name == "strict"
         select = self.policy.select
 
         while placed < n_balls:
             # Snapshot at epoch start: probes in this epoch see these loads.
             snapshot = list(loads)
             pending: list[int] = []
-            epoch_rounds = 0
-            while epoch_rounds < self.stale_rounds and placed < n_balls:
+            # The whole epoch's samples are one RNG block (then, for the
+            # strict policy, one matching tie-break block); NumPy fills both
+            # element-sequentially, so the vectorized engine can draw the
+            # same blocks and stay stream-identical.  With k == d the strict
+            # policy draws no tie-breaks for full rounds, mirroring the
+            # plain process.  Non-strict policies draw through the policy
+            # object round by round (they stay scalar-only).
+            epoch_rounds = min(
+                self.stale_rounds, -(-(n_balls - placed) // self.k)
+            )
+            samples_block = rng.integers(
+                0, self.n_bins, size=(epoch_rounds, self.d)
+            )
+            ties_block = (
+                rng.random((epoch_rounds, self.d))
+                if strict and self.k < self.d
+                else None
+            )
+            for row in range(epoch_rounds):
                 batch = min(self.k, n_balls - placed)
-                samples = [int(s) for s in rng.integers(0, self.n_bins, size=self.d)]
+                samples = samples_block[row].tolist()
                 messages += self.d
                 rounds += 1
-                epoch_rounds += 1
-                destinations = select(snapshot, samples, batch, rng)
+                if not strict:
+                    destinations = select(snapshot, samples, batch, rng)
+                elif batch == self.d:
+                    destinations = samples
+                elif ties_block is not None:
+                    destinations = strict_select(
+                        snapshot, samples, batch, ties_block[row]
+                    )
+                else:  # k == d but a partial final round
+                    destinations = strict_select(
+                        snapshot, samples, batch, rng.random(self.d)
+                    )
                 pending.extend(destinations)
                 placed += batch
             for bin_index in pending:

@@ -19,9 +19,15 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from .process import _DEFAULT_CHUNK_ROUNDS
 from .types import AllocationResult, ProcessParams
 
-__all__ = ["WeightedKDChoiceProcess", "run_weighted_kd_choice", "make_weights"]
+__all__ = [
+    "WeightedKDChoiceProcess",
+    "run_weighted_kd_choice",
+    "make_weights",
+    "weighted_round_apply",
+]
 
 WeightSpec = Union[str, Sequence[float], Callable[[np.random.Generator, int], np.ndarray]]
 
@@ -76,6 +82,46 @@ def make_weights(
     return weights
 
 
+def weighted_round_apply(
+    loads: np.ndarray,
+    counts: np.ndarray,
+    samples: Sequence[int],
+    tiebreaks: Sequence[float],
+    batch_weights: np.ndarray,
+    increment: float,
+) -> None:
+    """Apply one weighted round in place (the scalar round kernel).
+
+    The ``d`` virtual unit placements are ranked by weighted height (with
+    the multiplicity stacking of the strict rule), the ``len(batch_weights)``
+    lowest slots are kept, and the balls are matched heaviest-first to the
+    least-loaded kept slots.  ``tiebreaks`` is the round's explicit tie-break
+    vector, pre-drawn by the caller so the scalar process and the vectorized
+    engine (:mod:`repro.core.vectorized`) consume the random stream in the
+    same order.
+    """
+    extra: dict[int, int] = {}
+    slot_heights = []
+    for j, bin_index in enumerate(samples):
+        placed_before = extra.get(bin_index, 0)
+        slot_heights.append(
+            (
+                loads[bin_index] + increment * (placed_before + 1),
+                tiebreaks[j],
+                bin_index,
+            )
+        )
+        extra[bin_index] = placed_before + 1
+    slot_heights.sort()
+    kept_bins = [bin_index for _, _, bin_index in slot_heights[: len(batch_weights)]]
+
+    # Heaviest ball to the least-loaded kept slot.
+    kept_bins.sort(key=lambda b: loads[b])
+    for weight, bin_index in zip(batch_weights, kept_bins):
+        loads[bin_index] += weight
+        counts[bin_index] += 1
+
+
 class WeightedKDChoiceProcess:
     """(k, d)-choice with weighted balls.
 
@@ -117,36 +163,53 @@ class WeightedKDChoiceProcess:
         counts = np.zeros(self.n_bins, dtype=np.int64)
         messages = 0
         rounds = 0
+        full_rounds, tail_balls = divmod(n_balls, self.k)
 
+        # Samples and tie-breaks are drawn in chunked blocks, mirroring the
+        # plain process (`KDChoiceProcess._sample_chunks`): a block of round
+        # samples, then the matching block of tie-break doubles.  NumPy fills
+        # both element-sequentially, so the vectorized engine can draw the
+        # same blocks and stay stream-identical.
         position = 0
-        while position < n_balls:
-            batch = min(self.k, n_balls - position)
-            batch_weights = np.sort(weights[position : position + batch])[::-1]
+        done = 0
+        while done < full_rounds:
+            chunk = min(full_rounds - done, _DEFAULT_CHUNK_ROUNDS)
+            samples_block = self.rng.integers(0, self.n_bins, size=(chunk, self.d))
+            ties_block = self.rng.random((chunk, self.d))
+            for row in range(chunk):
+                batch_weights = np.sort(weights[position : position + self.k])[::-1]
+                # Weighted heights of the d virtual unit placements (the cap
+                # is about *how many* balls a bin may take, so the virtual
+                # placement uses the mean batch weight as a tie-neutral
+                # increment).
+                increment = float(batch_weights.mean())
+                weighted_round_apply(
+                    loads,
+                    counts,
+                    samples_block[row].tolist(),
+                    ties_block[row],
+                    batch_weights,
+                    increment,
+                )
+                position += self.k
+            messages += chunk * self.d
+            rounds += chunk
+            done += chunk
+
+        if tail_balls:
+            batch_weights = np.sort(weights[position:])[::-1]
             samples = self.rng.integers(0, self.n_bins, size=self.d)
+            tiebreaks = self.rng.random(self.d)
+            weighted_round_apply(
+                loads,
+                counts,
+                samples.tolist(),
+                tiebreaks,
+                batch_weights,
+                float(batch_weights.mean()),
+            )
             messages += self.d
             rounds += 1
-
-            # Weighted heights of the d virtual unit placements (the cap is
-            # about *how many* balls a bin may take, so the virtual placement
-            # uses the mean batch weight as a tie-neutral increment).
-            increment = float(batch_weights.mean()) if batch else 1.0
-            extra: dict[int, int] = {}
-            slot_heights = []
-            for j, bin_index in enumerate(samples.tolist()):
-                placed_before = extra.get(bin_index, 0)
-                slot_heights.append(
-                    (loads[bin_index] + increment * (placed_before + 1), self.rng.random(), bin_index)
-                )
-                extra[bin_index] = placed_before + 1
-            slot_heights.sort()
-            kept_bins = [bin_index for _, _, bin_index in slot_heights[:batch]]
-
-            # Heaviest ball to the least-loaded kept slot.
-            kept_bins.sort(key=lambda b: loads[b])
-            for weight, bin_index in zip(batch_weights, kept_bins):
-                loads[bin_index] += weight
-                counts[bin_index] += 1
-            position += batch
 
         total_weight = float(weights.sum())
         return AllocationResult(

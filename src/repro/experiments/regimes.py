@@ -81,11 +81,13 @@ def run_regime_scaling(
     seed: "int | None" = 0,
     n_jobs: Optional[int] = None,
     cache: "ResultStore | str | PathLike[str] | None" = None,
+    engine: str = "auto",
 ) -> List[RegimePoint]:
     """Sweep ``n`` for each configuration and collect measured vs predicted.
 
-    ``n_jobs``/``cache`` forward to :func:`repro.api.simulate_trials`;
-    results are identical for every setting.
+    ``n_jobs``/``cache``/``engine`` forward to the spec execution layer;
+    results are identical for every setting (the engines are seed-for-seed
+    identical).
     """
     cache = as_result_store(cache)
     tree = SeedTree(seed)
@@ -99,6 +101,7 @@ def run_regime_scaling(
                 seed=tree.integer_seed(),
                 trials=trials,
                 label=config.name,
+                engine=engine,
             )
             values = simulate_trials(
                 spec, n_jobs=n_jobs, cache=cache

@@ -17,7 +17,7 @@ the same instance size and reports (max load, messages per ball) pairs.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from os import PathLike
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -104,6 +104,7 @@ def run_tradeoff(
     schemes: "Dict[str, SchemeEntry] | None" = None,
     n_jobs: Optional[int] = None,
     cache: "ResultStore | str | PathLike[str] | None" = None,
+    engine: str = "auto",
 ) -> List[TradeoffPoint]:
     """Run every scheme ``trials`` times and collect (max load, messages).
 
@@ -111,9 +112,18 @@ def run_tradeoff(
     (preferred) or to legacy ``(n, seed) -> AllocationResult`` callables.
     ``n_jobs``/``cache`` forward to :func:`repro.api.simulate_trials` for
     spec entries (results are identical for every setting); legacy callables
-    always run serially and uncached.
+    always run serially and uncached.  ``engine`` overrides the execution
+    engine of every spec entry (also results-neutral: the engines are
+    seed-for-seed identical wherever both exist).
     """
     scheme_map = schemes if schemes is not None else default_schemes(n)
+    if engine != "auto":
+        scheme_map = {
+            name: replace(entry, engine=engine)
+            if isinstance(entry, SchemeSpec)
+            else entry
+            for name, entry in scheme_map.items()
+        }
     cache = as_result_store(cache)
     tree = SeedTree(seed)
     # One derived subtree shared by every entry, in mapping order — the same

@@ -72,13 +72,73 @@ class TestEngineResolution:
         assert resolve_engine(spec) == "scalar"
 
     def test_auto_is_scalar_for_schemes_without_fast_path(self):
-        assert resolve_engine(SchemeSpec(scheme="single_choice")) == "scalar"
+        assert resolve_engine(SchemeSpec(scheme="serialized_kd_choice")) == "scalar"
+        assert resolve_engine(SchemeSpec(scheme="storage_placement")) == "scalar"
+
+    def test_auto_prefers_vectorized_for_covered_families(self):
+        for scheme, params in [
+            ("weighted_kd_choice", {"n_bins": 64, "k": 1, "d": 2}),
+            ("stale_kd_choice", {"n_bins": 64, "k": 1, "d": 2}),
+            ("churn_kd_choice", {"n_bins": 64, "k": 1, "d": 2, "rounds": 4}),
+            ("single_choice", {"n_bins": 64}),
+            ("two_choice", {"n_bins": 64}),
+            ("threshold_adaptive", {"n_bins": 64}),
+        ]:
+            spec = SchemeSpec(scheme=scheme, params=params)
+            assert resolve_engine(spec) == "vectorized", scheme
+
+    def test_auto_falls_back_when_guard_rejects_params(self):
+        spec = SchemeSpec(
+            scheme="threshold_adaptive",
+            params={"n_bins": 64, "threshold": lambda average: 2},
+        )
+        assert resolve_engine(spec) == "scalar"
 
     def test_explicit_scalar_request_honoured(self):
         spec = SchemeSpec(
             scheme="kd_choice", params={"n_bins": 64, "k": 1, "d": 2}, engine="scalar"
         )
         assert resolve_engine(spec) == "scalar"
+
+
+class TestFullRegistryEngineDichotomy:
+    """Acceptance: every registered scheme either runs under
+    ``engine="vectorized"`` with scalar-identical results, or rejects the
+    engine with a clear validation error at spec construction."""
+
+    def test_every_scheme_is_vectorized_or_rejects(self):
+        from repro.api import SchemeSpecError, available_schemes, get_scheme
+
+        from test_api_registry import MINIMAL_PARAMS
+
+        covered, rejected = [], []
+        for name in available_schemes():
+            params = MINIMAL_PARAMS[name]
+            if get_scheme(name).vectorized is None:
+                with pytest.raises(SchemeSpecError, match="no vectorized engine"):
+                    SchemeSpec(scheme=name, params=params, engine="vectorized")
+                rejected.append(name)
+                continue
+            results = {
+                engine: simulate(
+                    SchemeSpec(scheme=name, params=params, seed=13, engine=engine)
+                )
+                for engine in ("scalar", "vectorized")
+            }
+            assert np.array_equal(
+                results["scalar"].loads, results["vectorized"].loads
+            ), f"{name}: engines disagree"
+            assert results["scalar"].messages == results["vectorized"].messages
+            covered.append(name)
+        # The engine v2 work covers every family except the inherently
+        # sequential/stateful schemes.
+        assert sorted(rejected) == [
+            "cluster_scheduling",
+            "greedy_kd_choice",
+            "serialized_kd_choice",
+            "storage_placement",
+        ]
+        assert len(covered) + len(rejected) == len(available_schemes())
 
 
 class TestFanOut:

@@ -65,7 +65,9 @@ class TestCatalogue:
         assert description["parameters"]["n_bins"] == "<required>"
         assert description["parameters"]["policy"] == "strict"
         assert description["engines"] == ["scalar", "vectorized"]
-        assert describe_scheme("single_choice")["engines"] == ["scalar"]
+        assert describe_scheme("single_choice")["engines"] == ["scalar", "vectorized"]
+        assert describe_scheme("serialized_kd_choice")["engines"] == ["scalar"]
+        assert describe_scheme("cluster_scheduling")["engines"] == ["scalar"]
 
     def test_duplicate_registration_rejected(self):
         registry = SchemeRegistry()

@@ -65,21 +65,46 @@ class TestExecutionErrors:
         with pytest.raises(SchemeSpecError, match="policy"):
             simulate(spec)
 
-    def test_vectorized_engine_unavailable_for_baselines(self):
-        spec = SchemeSpec(
-            scheme="single_choice", params={"n_bins": 64}, engine="vectorized"
-        )
-        with pytest.raises(SchemeSpecError, match="vectorized"):
-            simulate(spec)
+    def test_vectorized_engine_unavailable_rejected_at_construction(self):
+        # Engine/scheme compatibility is validated when the spec is built,
+        # not when it runs; the message names the supported engines.
+        with pytest.raises(SchemeSpecError, match="available engines: scalar"):
+            SchemeSpec(
+                scheme="serialized_kd_choice",
+                params={"n_bins": 64, "k": 2, "d": 4},
+                engine="vectorized",
+            )
+        with pytest.raises(SchemeSpecError, match="no vectorized engine"):
+            SchemeSpec(
+                scheme="cluster_scheduling",
+                params={"n_workers": 16},
+                engine="vectorized",
+            )
 
-    def test_vectorized_engine_rejects_greedy_policy(self):
-        spec = SchemeSpec(
-            scheme="kd_choice",
-            params={"n_bins": 64, "k": 2, "d": 4},
-            policy="greedy",
-            engine="vectorized",
-        )
+    def test_vectorized_engine_rejects_greedy_policy_at_construction(self):
         with pytest.raises(SchemeSpecError, match="strict"):
+            SchemeSpec(
+                scheme="kd_choice",
+                params={"n_bins": 64, "k": 2, "d": 4},
+                policy="greedy",
+                engine="vectorized",
+            )
+
+    def test_vectorized_engine_guard_rejects_callable_threshold(self):
+        # threshold_adaptive has a vectorized engine, but only for integer
+        # (or default) thresholds; the guard fires at construction.
+        with pytest.raises(SchemeSpecError, match="callable"):
+            SchemeSpec(
+                scheme="threshold_adaptive",
+                params={"n_bins": 64, "threshold": lambda average: 2},
+                engine="vectorized",
+            )
+
+    def test_unknown_scheme_with_vectorized_engine_defers_to_execution(self):
+        # An unregistered name cannot be validated at construction; the
+        # execution path still reports the candidate list.
+        spec = SchemeSpec(scheme="not_a_scheme", engine="vectorized")
+        with pytest.raises(KeyError, match="available schemes"):
             simulate(spec)
 
 

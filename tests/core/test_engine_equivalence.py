@@ -1,0 +1,371 @@
+"""Property-based scalar-vs-vectorized equivalence harness.
+
+The contract locked down here is the one the vectorized engines advertise:
+for every covered scheme family, a fixed seed produces **bit-for-bit** the
+same final load vector as the scalar reference, and both engines consume the
+underlying random stream identically (so results stay equivalent under any
+composition — trial fan-out, caching, parallel executors).
+
+Two layers of coverage:
+
+* Hypothesis (a dev dependency) explores the parameter space adaptively —
+  tiny bin counts maximize batch conflicts, ``k == d`` hits the degenerate
+  shortcuts, ``n_balls % k != 0`` exercises the partial tail rounds.
+* A deterministic randomized-seed parametrization (no Hypothesis required)
+  derives ~a dozen cases per family from a pinned master seed, so the suite
+  keeps its coverage even where Hypothesis is unavailable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import vectorized as vec
+from repro.core.adaptive import run_threshold_adaptive, run_two_phase_adaptive
+from repro.core.baselines import (
+    run_always_go_left,
+    run_d_choice,
+    run_one_plus_beta,
+)
+from repro.core.dynamic import run_churn_kd_choice
+from repro.core.process import run_kd_choice
+from repro.core.stale import run_stale_kd_choice
+from repro.core.weighted import run_weighted_kd_choice
+
+try:  # optional: the randomized parametrization below covers its absence
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without the dep
+    HAVE_HYPOTHESIS = False
+
+MASTER_SEED = 20260728
+
+
+def _paired_rngs(seed):
+    return np.random.default_rng(seed), np.random.default_rng(seed)
+
+
+def _assert_equivalent(scalar_result, vector_result, scalar_rng, vector_rng):
+    """Loads, accounting and RNG stream consumption must all coincide."""
+    scalar_loads = getattr(scalar_result, "loads", None)
+    if scalar_loads is None:  # ChurnResult
+        scalar_loads = scalar_result.final_loads
+        vector_loads = vector_result.final_loads
+    else:
+        vector_loads = vector_result.loads
+    assert np.array_equal(scalar_loads, vector_loads)
+    assert scalar_result.messages == vector_result.messages
+    assert scalar_result.rounds == vector_result.rounds
+    assert (
+        scalar_rng.bit_generator.state == vector_rng.bit_generator.state
+    ), "engines consumed the random stream differently"
+
+
+# ----------------------------------------------------------------------
+# One checker per covered family.  Each takes plain ints/floats so it can be
+# driven by Hypothesis and by the randomized parametrization alike.
+# ----------------------------------------------------------------------
+def check_kd_choice(n_bins, k, d, n_balls, seed):
+    a, b = _paired_rngs(seed)
+    scalar = run_kd_choice(n_bins=n_bins, k=k, d=d, n_balls=n_balls, rng=a)
+    vector = vec.run_kd_choice_vectorized(n_bins=n_bins, k=k, d=d, n_balls=n_balls, rng=b)
+    _assert_equivalent(scalar, vector, a, b)
+
+
+def check_kd_choice_streaming(n_bins, k, d, n_balls, seed, chunk_rounds):
+    a, b = _paired_rngs(seed)
+    scalar = run_kd_choice(
+        n_bins=n_bins, k=k, d=d, n_balls=n_balls, rng=a, chunk_rounds=chunk_rounds
+    )
+    vector = vec.run_kd_choice_vectorized(
+        n_bins=n_bins, k=k, d=d, n_balls=n_balls, rng=b, chunk_rounds=chunk_rounds
+    )
+    _assert_equivalent(scalar, vector, a, b)
+
+
+def check_weighted(n_bins, k, d, n_balls, seed, weights):
+    a, b = _paired_rngs(seed)
+    scalar = run_weighted_kd_choice(
+        n_bins=n_bins, k=k, d=d, weights=weights, n_balls=n_balls, rng=a
+    )
+    vector = vec.run_weighted_kd_choice_vectorized(
+        n_bins=n_bins, k=k, d=d, weights=weights, n_balls=n_balls, rng=b
+    )
+    _assert_equivalent(scalar, vector, a, b)
+    assert np.array_equal(
+        scalar.extra["weighted_loads"], vector.extra["weighted_loads"]
+    ), "weighted (float) loads must match bit for bit"
+    assert scalar.extra["total_weight"] == vector.extra["total_weight"]
+
+
+def check_stale(n_bins, k, d, n_balls, seed, stale_rounds):
+    a, b = _paired_rngs(seed)
+    scalar = run_stale_kd_choice(
+        n_bins=n_bins, k=k, d=d, stale_rounds=stale_rounds, n_balls=n_balls, rng=a
+    )
+    vector = vec.run_stale_kd_choice_vectorized(
+        n_bins=n_bins, k=k, d=d, stale_rounds=stale_rounds, n_balls=n_balls, rng=b
+    )
+    _assert_equivalent(scalar, vector, a, b)
+
+
+def check_churn(n_bins, k, d, rounds, seed, departures):
+    a, b = _paired_rngs(seed)
+    scalar = run_churn_kd_choice(
+        n_bins=n_bins, k=k, d=d, rounds=rounds, departures_per_round=departures, rng=a
+    )
+    vector = vec.run_churn_kd_choice_vectorized(
+        n_bins=n_bins, k=k, d=d, rounds=rounds, departures_per_round=departures, rng=b
+    )
+    _assert_equivalent(scalar, vector, a, b)
+    assert [s.__dict__ for s in scalar.snapshots] == [
+        s.__dict__ for s in vector.snapshots
+    ]
+
+
+def check_d_choice(n_bins, d, n_balls, seed):
+    a, b = _paired_rngs(seed)
+    scalar = run_d_choice(n_bins=n_bins, d=d, n_balls=n_balls, rng=a)
+    vector = vec.run_d_choice_vectorized(n_bins=n_bins, d=d, n_balls=n_balls, rng=b)
+    _assert_equivalent(scalar, vector, a, b)
+    assert scalar.scheme == vector.scheme
+
+
+def check_one_plus_beta(n_bins, beta, n_balls, seed):
+    a, b = _paired_rngs(seed)
+    scalar = run_one_plus_beta(n_bins=n_bins, beta=beta, n_balls=n_balls, rng=a)
+    vector = vec.run_one_plus_beta_vectorized(
+        n_bins=n_bins, beta=beta, n_balls=n_balls, rng=b
+    )
+    _assert_equivalent(scalar, vector, a, b)
+
+
+def check_always_go_left(n_bins, d, n_balls, seed):
+    a, b = _paired_rngs(seed)
+    scalar = run_always_go_left(n_bins=n_bins, d=d, n_balls=n_balls, rng=a)
+    vector = vec.run_always_go_left_vectorized(
+        n_bins=n_bins, d=d, n_balls=n_balls, rng=b
+    )
+    _assert_equivalent(scalar, vector, a, b)
+
+
+def check_threshold_adaptive(n_bins, n_balls, seed, threshold, max_probes):
+    a, b = _paired_rngs(seed)
+    scalar = run_threshold_adaptive(
+        n_bins=n_bins, n_balls=n_balls, threshold=threshold, max_probes=max_probes, rng=a
+    )
+    vector = vec.run_threshold_adaptive_vectorized(
+        n_bins=n_bins, n_balls=n_balls, threshold=threshold, max_probes=max_probes, rng=b
+    )
+    _assert_equivalent(scalar, vector, a, b)
+    assert scalar.extra["probe_histogram"] == vector.extra["probe_histogram"]
+
+
+def check_two_phase_adaptive(n_bins, n_balls, seed, cap, retry_probes):
+    a, b = _paired_rngs(seed)
+    scalar = run_two_phase_adaptive(
+        n_bins=n_bins, n_balls=n_balls, cap=cap, retry_probes=retry_probes, rng=a
+    )
+    vector = vec.run_two_phase_adaptive_vectorized(
+        n_bins=n_bins, n_balls=n_balls, cap=cap, retry_probes=retry_probes, rng=b
+    )
+    _assert_equivalent(scalar, vector, a, b)
+    assert scalar.extra["retries"] == vector.extra["retries"]
+
+
+# ----------------------------------------------------------------------
+# Randomized-seed parametrization (always runs, Hypothesis or not)
+# ----------------------------------------------------------------------
+def _cases(family: str, count: int = 12):
+    """Deterministic pseudo-random configurations for one family."""
+    source = random.Random(f"{MASTER_SEED}-{family}")
+    cases = []
+    for index in range(count):
+        n_bins = source.randint(8, 1500)
+        d = source.randint(1, min(10, n_bins))
+        k = source.randint(1, d)
+        n_balls = source.randint(1, 3 * n_bins)
+        seed = source.randint(0, 2**31)
+        cases.append(
+            {
+                "n_bins": n_bins,
+                "k": k,
+                "d": d,
+                "n_balls": n_balls,
+                "seed": seed,
+                "index": index,
+                "source": source,
+            }
+        )
+    return cases
+
+
+def _ids(cases):
+    return [
+        f"n{c['n_bins']}-k{c['k']}-d{c['d']}-m{c['n_balls']}" for c in cases
+    ]
+
+
+_KD_CASES = _cases("kd")
+_WEIGHTED_CASES = _cases("weighted")
+_STALE_CASES = _cases("stale")
+_CHURN_CASES = _cases("churn")
+_BASELINE_CASES = _cases("baselines")
+_ADAPTIVE_CASES = _cases("adaptive")
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("case", _KD_CASES, ids=_ids(_KD_CASES))
+    def test_kd_choice(self, case):
+        check_kd_choice(case["n_bins"], case["k"], case["d"], case["n_balls"], case["seed"])
+
+    @pytest.mark.parametrize("case", _KD_CASES[:6], ids=_ids(_KD_CASES[:6]))
+    @pytest.mark.parametrize("chunk_rounds", [1, 7, 64, 4096])
+    def test_kd_choice_streaming_chunks(self, case, chunk_rounds):
+        check_kd_choice_streaming(
+            case["n_bins"], case["k"], case["d"], case["n_balls"], case["seed"],
+            chunk_rounds,
+        )
+
+    @pytest.mark.parametrize("case", _WEIGHTED_CASES, ids=_ids(_WEIGHTED_CASES))
+    def test_weighted(self, case):
+        weights = ("constant", "exponential", "pareto")[case["index"] % 3]
+        check_weighted(
+            case["n_bins"], case["k"], case["d"], case["n_balls"], case["seed"], weights
+        )
+
+    def test_weighted_explicit_weight_array(self):
+        weights = list(np.linspace(0.1, 5.0, 300))
+        check_weighted(64, 3, 6, 300, 11, weights)
+
+    @pytest.mark.parametrize("case", _STALE_CASES, ids=_ids(_STALE_CASES))
+    def test_stale(self, case):
+        stale_rounds = (1, 2, 8, 64)[case["index"] % 4]
+        check_stale(
+            case["n_bins"], case["k"], case["d"], case["n_balls"], case["seed"],
+            stale_rounds,
+        )
+
+    @pytest.mark.parametrize("case", _CHURN_CASES, ids=_ids(_CHURN_CASES))
+    def test_churn(self, case):
+        rounds = 1 + case["n_balls"] // max(case["k"], 1) // 4
+        departures = (None, 0, 1, case["k"])[case["index"] % 4]
+        check_churn(
+            case["n_bins"], case["k"], case["d"], min(rounds, 300), case["seed"],
+            departures,
+        )
+
+    @pytest.mark.parametrize("case", _BASELINE_CASES, ids=_ids(_BASELINE_CASES))
+    def test_d_choice_and_two_choice(self, case):
+        check_d_choice(case["n_bins"], case["d"], case["n_balls"], case["seed"])
+        check_d_choice(case["n_bins"], 2, case["n_balls"], case["seed"] + 1)
+
+    @pytest.mark.parametrize("case", _BASELINE_CASES, ids=_ids(_BASELINE_CASES))
+    def test_one_plus_beta(self, case):
+        beta = (0.0, 0.25, 0.5, 1.0)[case["index"] % 4]
+        check_one_plus_beta(case["n_bins"], beta, case["n_balls"], case["seed"])
+
+    @pytest.mark.parametrize("case", _BASELINE_CASES, ids=_ids(_BASELINE_CASES))
+    def test_always_go_left(self, case):
+        check_always_go_left(case["n_bins"], case["d"], case["n_balls"], case["seed"])
+
+    @pytest.mark.parametrize("case", _ADAPTIVE_CASES, ids=_ids(_ADAPTIVE_CASES))
+    def test_threshold_adaptive(self, case):
+        threshold = (None, 0, 2, None)[case["index"] % 4]
+        max_probes = (None, 1, 3, 9)[case["index"] % 4]
+        check_threshold_adaptive(
+            case["n_bins"], case["n_balls"], case["seed"], threshold, max_probes
+        )
+
+    @pytest.mark.parametrize("case", _ADAPTIVE_CASES, ids=_ids(_ADAPTIVE_CASES))
+    def test_two_phase_adaptive(self, case):
+        cap = (None, 1, 2, 5)[case["index"] % 4]
+        retry_probes = (1, 2, 4, 8)[case["index"] % 4]
+        check_two_phase_adaptive(
+            case["n_bins"], case["n_balls"], case["seed"], cap, retry_probes
+        )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis layer (adaptive exploration; skipped when unavailable)
+# ----------------------------------------------------------------------
+if HAVE_HYPOTHESIS:
+    # Small bin counts are deliberately over-weighted: they maximize batch
+    # conflicts, which is where the speculate-verify kernels earn their keep.
+    sizes = st.integers(min_value=2, max_value=600)
+    seeds = st.integers(min_value=0, max_value=2**32 - 1)
+    COMMON = dict(deadline=None, max_examples=30)
+
+    class TestHypothesisEquivalence:
+        @settings(**COMMON)
+        @given(n_bins=sizes, d=st.integers(1, 12), k_frac=st.floats(0, 1),
+               m_frac=st.floats(0.01, 3.0), seed=seeds)
+        def test_kd_choice(self, n_bins, d, k_frac, m_frac, seed):
+            d = min(d, n_bins)
+            k = max(1, round(k_frac * d))
+            n_balls = max(1, round(m_frac * n_bins))
+            check_kd_choice(n_bins, k, d, n_balls, seed)
+
+        @settings(**COMMON)
+        @given(n_bins=sizes, d=st.integers(1, 10), k_frac=st.floats(0, 1),
+               m_frac=st.floats(0.01, 3.0), seed=seeds,
+               weights=st.sampled_from(["constant", "exponential", "pareto"]))
+        def test_weighted(self, n_bins, d, k_frac, m_frac, seed, weights):
+            d = min(d, n_bins)
+            k = max(1, round(k_frac * d))
+            n_balls = max(1, round(m_frac * n_bins))
+            check_weighted(n_bins, k, d, n_balls, seed, weights)
+
+        @settings(**COMMON)
+        @given(n_bins=sizes, d=st.integers(1, 10), k_frac=st.floats(0, 1),
+               m_frac=st.floats(0.01, 3.0), seed=seeds,
+               stale_rounds=st.integers(1, 64))
+        def test_stale(self, n_bins, d, k_frac, m_frac, seed, stale_rounds):
+            d = min(d, n_bins)
+            k = max(1, round(k_frac * d))
+            n_balls = max(1, round(m_frac * n_bins))
+            check_stale(n_bins, k, d, n_balls, seed, stale_rounds)
+
+        @settings(**COMMON)
+        @given(n_bins=sizes, d=st.integers(1, 8), k_frac=st.floats(0, 1),
+               rounds=st.integers(0, 120), seed=seeds,
+               departures=st.one_of(st.none(), st.integers(0, 6)))
+        def test_churn(self, n_bins, d, k_frac, rounds, seed, departures):
+            d = min(d, n_bins)
+            k = max(1, round(k_frac * d))
+            check_churn(n_bins, k, d, rounds, seed, departures)
+
+        @settings(**COMMON)
+        @given(n_bins=sizes, beta=st.floats(0, 1), m_frac=st.floats(0.01, 3.0),
+               seed=seeds)
+        def test_one_plus_beta(self, n_bins, beta, m_frac, seed):
+            n_balls = max(1, round(m_frac * n_bins))
+            check_one_plus_beta(n_bins, beta, n_balls, seed)
+
+        @settings(**COMMON)
+        @given(n_bins=sizes, d=st.integers(1, 8), m_frac=st.floats(0.01, 3.0),
+               seed=seeds)
+        def test_always_go_left(self, n_bins, d, m_frac, seed):
+            d = min(d, n_bins)
+            n_balls = max(1, round(m_frac * n_bins))
+            check_always_go_left(n_bins, d, n_balls, seed)
+
+        @settings(**COMMON)
+        @given(n_bins=sizes, m_frac=st.floats(0.01, 3.0), seed=seeds,
+               threshold=st.one_of(st.none(), st.integers(0, 5)),
+               max_probes=st.one_of(st.none(), st.integers(1, 10)))
+        def test_threshold_adaptive(self, n_bins, m_frac, seed, threshold, max_probes):
+            n_balls = max(1, round(m_frac * n_bins))
+            check_threshold_adaptive(n_bins, n_balls, seed, threshold, max_probes)
+
+        @settings(**COMMON)
+        @given(n_bins=sizes, m_frac=st.floats(0.01, 3.0), seed=seeds,
+               cap=st.one_of(st.none(), st.integers(1, 6)),
+               retry_probes=st.integers(1, 8))
+        def test_two_phase_adaptive(self, n_bins, m_frac, seed, cap, retry_probes):
+            n_balls = max(1, round(m_frac * n_bins))
+            check_two_phase_adaptive(n_bins, n_balls, seed, cap, retry_probes)

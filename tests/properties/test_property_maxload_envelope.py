@@ -1,0 +1,133 @@
+"""Statistical regression tests: max-load gap stays in the paper's envelope.
+
+Theorem 1 predicts a maximum load of ``ln ln n / ln(d - k + 1) + O(1)`` for
+the ``d_k = O(1)`` regime, and the heavily loaded case (Theorem 2) shifts
+the same gap on top of the average ``m / n``.  These tests pin seeds, so
+they are deterministic regressions, and use *loose* constants (a factor ~3
+plus an additive constant) so they only fire when a code change genuinely
+breaks the allocation quality — e.g. an engine change that silently stops
+selecting the least-loaded bins — not on ordinary seed-to-seed noise.
+
+Both engines are exercised; the equivalence harness
+(``tests/core/test_engine_equivalence.py``) already proves them identical,
+so a failure here means the *process* regressed, not one engine.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import SchemeSpec, simulate
+
+SEEDS = (0, 1, 2)
+
+
+def envelope(n: int, k: int, d: int) -> float:
+    """Loose O(log log n / log(d - k + 1)) bound on the gap above average."""
+    if d - k + 1 <= 1:  # single-choice-like: no multi-choice guarantee
+        return 3.0 * math.log(n) / math.log(math.log(n)) + 4.0
+    return (
+        3.0 * math.log(max(math.log(n), 2.0)) / math.log(d - k + 1 + 1e-12) + 4.0
+    )
+
+
+def kd_gap(n, k, d, n_balls, seed, engine):
+    spec = SchemeSpec(
+        scheme="kd_choice",
+        params={"n_bins": n, "k": k, "d": d, "n_balls": n_balls},
+        seed=seed,
+        engine=engine,
+    )
+    result = simulate(spec)
+    return result.max_load - n_balls / n
+
+
+class TestPlainKDChoiceEnvelope:
+    @pytest.mark.parametrize("engine", ["scalar", "vectorized"])
+    @pytest.mark.parametrize("k,d", [(1, 2), (2, 4), (4, 8), (1, 8), (8, 9)])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_light_load_gap_within_envelope(self, k, d, seed, engine):
+        n = 1 << 13
+        gap = kd_gap(n, k, d, n, seed, engine)
+        assert 1.0 <= gap + 1.0  # max load is at least 1 when m >= 1
+        assert gap <= envelope(n, k, d), (
+            f"(k={k}, d={d}) gap {gap:.2f} exceeds the Theorem 1 envelope "
+            f"{envelope(n, k, d):.2f}"
+        )
+
+    @pytest.mark.parametrize("engine", ["scalar", "vectorized"])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_heavy_load_gap_within_envelope(self, seed, engine):
+        # Theorem 2 flavour: m = 8n; the gap above m/n stays in the same
+        # envelope (k < d <= 2k regime uses d - k + 1 = 5).
+        n, k, d = 1 << 11, 4, 8
+        gap = kd_gap(n, k, d, 8 * n, seed, engine)
+        assert gap <= envelope(n, k, d) + 2.0
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("engine", ["scalar", "vectorized"])
+    @pytest.mark.parametrize("k,d", [(1, 2), (4, 8)])
+    def test_large_n_gap_within_envelope(self, k, d, engine):
+        n = 1 << 18
+        gap = kd_gap(n, k, d, n, 0, engine)
+        assert gap <= envelope(n, k, d)
+
+
+class TestWeightedEnvelope:
+    @pytest.mark.parametrize("engine", ["scalar", "vectorized"])
+    @pytest.mark.parametrize("weights", ["constant", "exponential"])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_weighted_gap_within_scaled_envelope(self, weights, seed, engine):
+        # Weighted balls with mean weight 1: the weighted gap obeys the same
+        # doubly-logarithmic envelope, scaled by a constant that absorbs the
+        # weight fluctuations (exponential tails are light).
+        n, k, d = 1 << 12, 4, 8
+        spec = SchemeSpec(
+            scheme="weighted_kd_choice",
+            params={"n_bins": n, "k": k, "d": d, "weights": weights},
+            seed=seed,
+            engine=engine,
+        )
+        result = simulate(spec)
+        weighted_gap = result.extra["weighted_gap"]
+        assert weighted_gap <= 3.0 * envelope(n, k, d), (
+            f"weighted ({weights}) gap {weighted_gap:.2f} exceeds "
+            f"{3.0 * envelope(n, k, d):.2f}"
+        )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("engine", ["scalar", "vectorized"])
+    def test_large_n_weighted_gap(self, engine):
+        n, k, d = 1 << 16, 4, 8
+        spec = SchemeSpec(
+            scheme="weighted_kd_choice",
+            params={"n_bins": n, "k": k, "d": d, "weights": "exponential"},
+            seed=0,
+            engine=engine,
+        )
+        result = simulate(spec)
+        assert result.extra["weighted_gap"] <= 3.0 * envelope(n, k, d)
+
+
+class TestEnginesAgreeOnEnvelopeCases:
+    """The envelope cases double as spec-level equivalence anchors."""
+
+    @pytest.mark.parametrize("k,d", [(1, 2), (4, 8)])
+    def test_metrics_identical_across_engines(self, k, d):
+        n = 1 << 12
+        results = {
+            engine: simulate(
+                SchemeSpec(
+                    scheme="kd_choice",
+                    params={"n_bins": n, "k": k, "d": d},
+                    seed=7,
+                    engine=engine,
+                )
+            )
+            for engine in ("scalar", "vectorized")
+        }
+        assert np.array_equal(results["scalar"].loads, results["vectorized"].loads)
+        assert results["scalar"].messages == results["vectorized"].messages
