@@ -1,0 +1,177 @@
+"""Bench: substrate event-core throughput (cluster + storage fast engines).
+
+Paper reference: Section 1.3 applies (k, d)-choice to cluster scheduling and
+storage placement; checking the response-time/balance claims at realistic
+scale needs million-task traces, which the reference object simulators
+cannot sustain.  This bench pins the scale-out: the array event core and the
+fast storage core must beat their reference engines by a configurable factor
+while reproducing them bit for bit.
+
+Environment knobs (for shared CI runners):
+
+``BENCH_SUBSTRATES_TASKS``
+    Cluster trace size in tasks (default 1_000_000).
+``BENCH_SUBSTRATES_FILES``
+    Storage population size in files (default 100_000).
+``BENCH_SUBSTRATES_MIN_SPEEDUP``
+    Speedup floor asserted for both cores (default 5.0; relax on noisy
+    shared runners).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.api import SchemeSpec, simulate_trials
+from repro.api.cache import ResultStore
+from repro.cluster.schedulers import BatchSamplingScheduler
+from repro.cluster.simulator import ClusterSimulator, simulate_cluster_fast
+from repro.simulation.workloads import file_sizes, job_trace_arrays
+from repro.storage.placement import KDChoicePlacement
+from repro.storage.system import StorageSystem, simulate_storage_fast
+from repro.simulation.workloads import file_population
+
+N_TASKS = int(os.environ.get("BENCH_SUBSTRATES_TASKS", "1000000"))
+N_FILES = int(os.environ.get("BENCH_SUBSTRATES_FILES", "100000"))
+MIN_SPEEDUP = float(os.environ.get("BENCH_SUBSTRATES_MIN_SPEEDUP", "5.0"))
+
+TASKS_PER_JOB = 4
+N_WORKERS = 1024
+N_SERVERS = 1024
+REPLICAS = 3
+
+
+def test_cluster_event_core_speedup(benchmark, run_once, bench_seed):
+    """The array event core must be >= MIN_SPEEDUP x the reference engine
+    on an N_TASKS-task trace, with a bit-identical report."""
+    n_jobs = N_TASKS // TASKS_PER_JOB
+    arrays = job_trace_arrays(
+        n_jobs=n_jobs,
+        arrival_rate=0.7 * N_WORKERS / TASKS_PER_JOB,
+        tasks_per_job=TASKS_PER_JOB,
+        seed=bench_seed,
+    )
+
+    start = time.perf_counter()
+    fast_report = run_once(
+        simulate_cluster_fast,
+        N_WORKERS,
+        BatchSamplingScheduler(),
+        arrays,
+        seed=bench_seed + 1,
+    )
+    fast_seconds = time.perf_counter() - start
+
+    trace = arrays.to_trace()  # object materialization excluded from timing
+    start = time.perf_counter()
+    reference_report = ClusterSimulator(
+        N_WORKERS, BatchSamplingScheduler(), seed=bench_seed + 1
+    ).run(trace)
+    reference_seconds = time.perf_counter() - start
+
+    speedup = reference_seconds / fast_seconds
+    benchmark.extra_info["tasks"] = N_TASKS
+    benchmark.extra_info["fast_seconds"] = round(fast_seconds, 3)
+    benchmark.extra_info["reference_seconds"] = round(reference_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(
+        f"\nevent core @ {N_TASKS} tasks: fast {fast_seconds:.2f}s, "
+        f"reference {reference_seconds:.2f}s, speedup {speedup:.1f}x "
+        f"(floor {MIN_SPEEDUP:g}x)"
+    )
+
+    assert reference_report == fast_report, "engines diverged"
+    assert speedup >= MIN_SPEEDUP, (
+        f"event core speedup {speedup:.2f}x below the {MIN_SPEEDUP:g}x floor"
+    )
+
+
+def test_storage_core_speedup(benchmark, run_once, bench_seed):
+    """The fast storage core must be >= MIN_SPEEDUP x the reference system
+    on an N_FILES-file population, with a bit-identical report."""
+    sizes = file_sizes(N_FILES, seed=bench_seed)
+
+    start = time.perf_counter()
+    loads, fast_report = run_once(
+        simulate_storage_fast,
+        N_SERVERS,
+        sizes,
+        REPLICAS,
+        KDChoicePlacement(extra_probes=1),
+        seed=bench_seed + 1,
+    )
+    fast_seconds = time.perf_counter() - start
+
+    population = file_population(N_FILES, replicas=REPLICAS, seed=bench_seed)
+    system = StorageSystem(
+        N_SERVERS, KDChoicePlacement(extra_probes=1), seed=bench_seed + 1
+    )
+    start = time.perf_counter()
+    system.store_population(population)
+    reference_report = system.report()
+    reference_seconds = time.perf_counter() - start
+
+    speedup = reference_seconds / fast_seconds
+    benchmark.extra_info["files"] = N_FILES
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(
+        f"\nstorage core @ {N_FILES} files: fast {fast_seconds:.2f}s, "
+        f"reference {reference_seconds:.2f}s, speedup {speedup:.1f}x "
+        f"(floor {MIN_SPEEDUP:g}x)"
+    )
+
+    assert reference_report == fast_report, "engines diverged"
+    assert np.array_equal(loads, system.load_vector())
+    assert speedup >= MIN_SPEEDUP, (
+        f"storage core speedup {speedup:.2f}x below the {MIN_SPEEDUP:g}x floor"
+    )
+
+
+def test_warm_cache_substrate_sweep(benchmark, run_once, bench_seed, tmp_path):
+    """A warm-cache substrate sweep must answer entirely from cache
+    ("N hits, 0 misses") with results identical to the cold serial run."""
+    specs = [
+        SchemeSpec(
+            scheme="cluster_scheduling",
+            params={"n_workers": 64, "n_jobs": 400, "tasks_per_job": k},
+            seed=bench_seed,
+            trials=3,
+        )
+        for k in (2, 4, 8)
+    ] + [
+        SchemeSpec(
+            scheme="storage_placement",
+            params={"n_servers": 256, "n_files": 2048, "replicas": r},
+            seed=bench_seed,
+            trials=3,
+        )
+        for r in (2, 3)
+    ]
+
+    cold_store = ResultStore(tmp_path)
+    cold = [simulate_trials(spec, cache=cold_store) for spec in specs]
+    assert cold_store.hits == 0
+
+    warm_store = ResultStore(tmp_path)
+    warm = run_once(
+        lambda: [simulate_trials(spec, cache=warm_store) for spec in specs]
+    )
+
+    expected_hits = sum(spec.trials for spec in specs)
+    print(
+        f"\nwarm substrate sweep: {warm_store.hits} hits, "
+        f"{warm_store.misses} misses (expected {expected_hits} hits)"
+    )
+    benchmark.extra_info["hits"] = warm_store.hits
+    assert warm_store.hits == expected_hits
+    assert warm_store.misses == 0
+    for cold_outcome, warm_outcome in zip(cold, warm):
+        assert [t.seed for t in warm_outcome.trials] == [
+            t.seed for t in cold_outcome.trials
+        ]
+        assert [t.metrics for t in warm_outcome.trials] == [
+            t.metrics for t in cold_outcome.trials
+        ]

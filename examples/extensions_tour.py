@@ -18,7 +18,9 @@ Run with:  python examples/extensions_tour.py
 
 from __future__ import annotations
 
-from repro import run_churn_kd_choice, run_stale_kd_choice, run_weighted_kd_choice
+from repro.core.dynamic import run_churn_kd_choice
+from repro.core.stale import run_stale_kd_choice
+from repro.core.weighted import run_weighted_kd_choice
 from repro.simulation import ResultTable, horizontal_bar_chart, sparkline
 
 

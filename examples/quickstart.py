@@ -10,12 +10,7 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import (
-    run_d_choice,
-    run_kd_choice,
-    run_one_plus_beta,
-    run_single_choice,
-)
+from repro.api import SchemeSpec, simulate
 from repro.analysis import classify_regime, predicted_max_load
 from repro.core.metrics import summarize
 from repro.simulation import ResultTable
@@ -25,15 +20,22 @@ def main() -> None:
     n = 3 * 2 ** 14  # 49 152 balls and bins
     seed = 7
 
-    runs = [
-        run_single_choice(n, seed=seed),
-        run_d_choice(n, d=2, seed=seed),
-        run_one_plus_beta(n, beta=0.5, seed=seed),
-        run_kd_choice(n, k=2, d=3, seed=seed),
-        run_kd_choice(n, k=8, d=9, seed=seed),
-        run_kd_choice(n, k=16, d=32, seed=seed),
-        run_kd_choice(n, k=64, d=65, seed=seed),
+    specs = [
+        SchemeSpec(scheme="single_choice", params={"n_bins": n}, seed=seed),
+        SchemeSpec(scheme="d_choice", params={"n_bins": n, "d": 2}, seed=seed),
+        SchemeSpec(
+            scheme="one_plus_beta", params={"n_bins": n, "beta": 0.5}, seed=seed
+        ),
+        SchemeSpec(scheme="kd_choice", params={"n_bins": n, "k": 2, "d": 3}, seed=seed),
+        SchemeSpec(scheme="kd_choice", params={"n_bins": n, "k": 8, "d": 9}, seed=seed),
+        SchemeSpec(
+            scheme="kd_choice", params={"n_bins": n, "k": 16, "d": 32}, seed=seed
+        ),
+        SchemeSpec(
+            scheme="kd_choice", params={"n_bins": n, "k": 64, "d": 65}, seed=seed
+        ),
     ]
+    runs = [simulate(spec) for spec in specs]
 
     table = ResultTable(
         columns=["scheme", "k", "d", "max_load", "messages_per_ball", "predicted"],

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 
-from repro import run_kd_choice
+from repro.core.process import run_kd_choice
 from repro.analysis import predicted_max_load
 from repro.experiments import run_tradeoff, tradeoff_table
 from repro.simulation import ResultTable, SeedTree

@@ -43,6 +43,7 @@ from .executor import (
     ProcessExecutor,
     SerialExecutor,
     resolve_executor,
+    resolve_metric_set,
     resolve_n_jobs,
     run_trial,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "register_scheme",
     "resolve_engine",
     "resolve_executor",
+    "resolve_metric_set",
     "resolve_n_jobs",
     "run_trial",
     "simulate",

@@ -37,8 +37,11 @@ __all__ = ["ResultStore", "as_result_store"]
 #: Format marker written into every entry; bump to invalidate old layouts.
 # Bump whenever any scheme's RNG stream changes for a fixed seed (entries
 # become unreproducible, not merely stale): v2 = the engine-v2 work moved the
-# scalar weighted/stale processes to chunked/epoch block draws.
-_ENTRY_VERSION = 2
+# scalar weighted/stale processes to chunked/epoch block draws.  v3 = the
+# substrate scale-out: cluster/storage schemes gained scenario parameters,
+# fast engines and report-backed default metric sets, so pre-v3 substrate
+# entries describe a different metric vocabulary.
+_ENTRY_VERSION = 3
 
 
 def as_result_store(

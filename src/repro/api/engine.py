@@ -28,13 +28,12 @@ from typing import Dict, Iterable, List, Mapping, Optional
 from ..core.types import AllocationResult
 from ..simulation.rng import SeedTree
 from ..simulation.runner import (
-    _DEFAULT_METRICS,
     ExperimentOutcome,
     MetricFunction,
     TrialOutcome,
 )
 from .cache import ResultStore, as_result_store
-from .executor import resolve_executor
+from .executor import resolve_executor, resolve_metric_set
 from .registry import SchemeInfo, get_scheme, vectorized_unsupported_reason
 from .spec import SchemeSpec, SchemeSpecError
 
@@ -181,7 +180,9 @@ def simulate_trials(
     # seed of trial i) must not depend on the backend or on cache hits.
     seeds = tree.integer_seeds(n_trials)
 
-    metric_names = sorted(metrics if metrics is not None else _DEFAULT_METRICS)
+    # The scheme's default metric set (not the library default) names the
+    # cache entries, so substrate trials cache their rich report metrics.
+    metric_names = sorted(resolve_metric_set(spec, metrics))
     results: Dict[int, TrialOutcome] = {}
     pending: List[int] = []
     if store is not None:

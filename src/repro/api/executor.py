@@ -27,15 +27,44 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import List, Mapping, Optional, Sequence
 
 from ..simulation.runner import _DEFAULT_METRICS, MetricFunction, TrialOutcome
+from .registry import get_scheme
 from .spec import SchemeSpec, SchemeSpecError
 
 __all__ = [
     "run_trial",
+    "resolve_metric_set",
     "resolve_n_jobs",
     "resolve_executor",
     "SerialExecutor",
     "ProcessExecutor",
 ]
+
+
+def resolve_metric_set(
+    spec: SchemeSpec,
+    metrics: Optional[Mapping[str, MetricFunction]] = None,
+) -> "dict[str, MetricFunction]":
+    """The metric set a ``metrics=None`` trial of ``spec`` computes.
+
+    Explicit metrics win; otherwise the scheme's registered default set is
+    used (the application substrates register rich report-backed metrics —
+    response-time percentiles, lookup costs — so those ride through every
+    trial path); the library default (max load, gap, messages) is the final
+    fallback.  Resolution happens independently in every process, so the
+    ``metrics=None`` fan-out never ships metric functions across pickling
+    boundaries.
+    """
+    if metrics is not None:
+        return dict(metrics)
+    try:
+        info = get_scheme(spec.scheme)
+    except KeyError:
+        # Unknown schemes fail with the full candidate list at execution;
+        # metric resolution should not pre-empt that clearer error.
+        return dict(_DEFAULT_METRICS)
+    if info.metrics:
+        return dict(info.metrics)
+    return dict(_DEFAULT_METRICS)
 
 
 def run_trial(
@@ -47,15 +76,15 @@ def run_trial(
 
     This is the unit of work every backend schedules.  It lives at module
     level so a process pool can pickle it by reference; ``metrics=None``
-    selects the default metric set (max load, gap, messages) without having
-    to ship the functions to the worker.  Metric values are coerced to
-    ``float`` (the declared :data:`MetricFunction` contract), so an outcome
-    round-tripped through the JSON result cache is indistinguishable from a
-    freshly computed one.
+    selects the scheme's default metric set (see :func:`resolve_metric_set`)
+    without having to ship the functions to the worker.  Metric values are
+    coerced to ``float`` (the declared :data:`MetricFunction` contract), so
+    an outcome round-tripped through the JSON result cache is
+    indistinguishable from a freshly computed one.
     """
     from .engine import _execute  # deferred: engine builds on this module
 
-    metric_map = dict(metrics) if metrics is not None else dict(_DEFAULT_METRICS)
+    metric_map = resolve_metric_set(spec, metrics)
     result = _execute(spec, seed)
     return TrialOutcome(
         seed=seed,

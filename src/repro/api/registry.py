@@ -53,6 +53,12 @@ class SchemeInfo:
     #: regions the vectorized runner does not support (e.g. a callable
     #: threshold).  ``None`` (the return value) means supported.
     vectorized_guard: Optional[Callable[[Mapping[str, Any]], Optional[str]]] = None
+    #: Optional scheme-specific default metric set for trial fan-outs
+    #: (``metrics=None`` paths).  Must map names to module-level functions of
+    #: the :class:`~repro.core.types.AllocationResult` returning floats, so
+    #: trials stay picklable and cacheable.  ``None`` selects the library
+    #: default (max load, gap, messages).
+    metrics: Optional[Mapping[str, Callable[[Any], float]]] = None
 
     @property
     def accepts_policy(self) -> bool:
@@ -75,6 +81,7 @@ class SchemeInfo:
             "aliases": list(self.aliases),
             "tags": list(self.tags),
             "engines": ["scalar", "vectorized"] if self.vectorized else ["scalar"],
+            "metrics": sorted(self.metrics) if self.metrics else None,
         }
 
 
@@ -115,6 +122,7 @@ class SchemeRegistry:
         vectorized_guard: Optional[
             Callable[[Mapping[str, Any]], Optional[str]]
         ] = None,
+        metrics: Optional[Mapping[str, Callable[[Any], float]]] = None,
     ) -> Callable[[Runner], Runner]:
         """Decorator registering ``runner`` under ``name``.
 
@@ -144,6 +152,7 @@ class SchemeRegistry:
                 tags=tuple(tags),
                 vectorized=vectorized,
                 vectorized_guard=vectorized_guard,
+                metrics=dict(metrics) if metrics is not None else None,
             )
             self._schemes[name] = info
             for alias in info.aliases:

@@ -23,9 +23,18 @@ Examples
     python -m repro heavy
     python -m repro tradeoff
     python -m repro scheduling
-    python -m repro storage
+    python -m repro storage --compare
     python -m repro majorization
     python -m repro ablation
+
+    # Spec-driven substrate runs (fast event core, scenario library,
+    # parallel trials + on-disk result cache)
+    python -m repro cluster --workers 256 --trace-jobs 5000 \
+        --distribution pareto --arrival-process mmpp --trials 3 --jobs 4
+    python -m repro storage --servers 1024 --files 100000 \
+        --cache-dir .result-cache
+    python -m repro storage --servers 256 --files 4096 \
+        --fail-fraction 0.05 --rebuild
 """
 
 from __future__ import annotations
@@ -230,12 +239,94 @@ def build_parser() -> argparse.ArgumentParser:
     scheduling.add_argument("--jobs", type=int, default=400)
     scheduling.add_argument("--seed", type=int, default=0)
 
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="Run the cluster-scheduling substrate as a spec-driven trial "
+        "fan-out (scenario library, caching, parallel trials)",
+    )
+    cluster.add_argument("--workers", type=int, default=64)
+    cluster.add_argument(
+        "--trace-jobs", type=int, default=200, metavar="J",
+        help="number of jobs in the simulated trace",
+    )
+    cluster.add_argument("--tasks-per-job", type=int, default=4)
+    cluster.add_argument("--probe-ratio", type=float, default=2.0)
+    cluster.add_argument("--arrival-rate", type=float, default=8.0)
+    cluster.add_argument(
+        "--distribution", type=str, default="exponential",
+        help="service-time distribution (exponential, uniform, constant, "
+        "pareto, lognormal)",
+    )
+    cluster.add_argument(
+        "--duration-shape", type=float, default=2.5,
+        help="tail parameter for pareto (shape) / lognormal (sigma)",
+    )
+    cluster.add_argument(
+        "--arrival-process", type=str, default="poisson",
+        choices=["poisson", "mmpp"],
+        help="memoryless or bursty (two-state MMPP) arrivals",
+    )
+    cluster.add_argument("--burstiness", type=float, default=4.0)
+    cluster.add_argument(
+        "--speed-spread", type=float, default=0.0,
+        help="worker heterogeneity: lognormal sigma of the speed factors",
+    )
+    cluster.add_argument("--trials", type=int, default=3)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--engine", choices=list(ENGINES), default="auto")
+    cluster.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan the trials out over N worker processes (-1 = all CPUs)",
+    )
+    cluster.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="memoize per-trial results in DIR and report hits/misses",
+    )
+
     storage = subparsers.add_parser(
-        "storage", help="Distributed-storage application experiment"
+        "storage",
+        help="Run the storage-placement substrate as a spec-driven trial "
+        "fan-out (--compare prints the policy-comparison experiment instead)",
     )
     storage.add_argument("--servers", type=int, default=1024)
     storage.add_argument("--files", type=int, default=8192)
     storage.add_argument("--seed", type=int, default=0)
+    storage.add_argument(
+        "--compare", action="store_true",
+        help="run the historical placement-policy comparison table",
+    )
+    storage.add_argument("--replicas", type=int, default=3)
+    storage.add_argument(
+        "--extra-probes", type=int, default=1,
+        help="d = replicas + extra_probes probes per file",
+    )
+    storage.add_argument(
+        "--mode", type=str, default="replication",
+        choices=["replication", "chunking"],
+    )
+    storage.add_argument(
+        "--size-dist", type=str, default="constant",
+        choices=["constant", "exponential", "lognormal"],
+    )
+    storage.add_argument(
+        "--fail-fraction", type=float, default=0.0,
+        help="fail this fraction of servers after placement and measure "
+        "availability (runs on the reference substrate)",
+    )
+    storage.add_argument(
+        "--rebuild", action="store_true",
+        help="re-replicate the replicas lost to --fail-fraction failures",
+    )
+    storage.add_argument("--trials", type=int, default=3)
+    storage.add_argument("--engine", choices=list(ENGINES), default="auto")
+    storage.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan the trials out over N worker processes (-1 = all CPUs)",
+    )
+    storage.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="memoize per-trial results in DIR and report hits/misses",
+    )
 
     majorization = subparsers.add_parser(
         "majorization", help="Empirical Section 3 majorization checks"
@@ -346,6 +437,28 @@ def _run_simulate(args: argparse.Namespace) -> None:
     _print_cache_stats(store)
 
 
+def _run_substrate(
+    args: argparse.Namespace, scheme: str, params: Dict[str, object]
+) -> None:
+    """Shared driver of the spec-driven ``cluster`` / ``storage`` commands."""
+    store = _make_store(args.cache_dir)
+    try:
+        spec = SchemeSpec(
+            scheme=scheme,
+            params=params,
+            seed=args.seed,
+            trials=args.trials,
+            engine=args.engine,
+        )
+        outcome = simulate_trials(spec, n_jobs=args.jobs, cache=store)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(f"spec: {spec.display_label} (engine={args.engine}, seed={args.seed})")
+    for key, value in outcome.record().items():
+        print(f"  {key}: {value}")
+    _print_cache_stats(store)
+
+
 def _run_schemes(args: argparse.Namespace) -> None:
     if args.describe is not None:
         try:
@@ -431,14 +544,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
             )
         )
+    elif args.command == "cluster":
+        _run_substrate(
+            args,
+            "cluster_scheduling",
+            {
+                "n_workers": args.workers,
+                "n_jobs": args.trace_jobs,
+                "tasks_per_job": args.tasks_per_job,
+                "probe_ratio": args.probe_ratio,
+                "arrival_rate": args.arrival_rate,
+                "duration_distribution": args.distribution,
+                "duration_shape": args.duration_shape,
+                "arrival_process": args.arrival_process,
+                "burstiness": args.burstiness,
+                "speed_spread": args.speed_spread,
+            },
+        )
     elif args.command == "storage":
-        _print(
-            storage_table(
-                run_storage_experiment(
-                    n_servers=args.servers, n_files=args.files, seed=args.seed
+        if args.compare:
+            _print(
+                storage_table(
+                    run_storage_experiment(
+                        n_servers=args.servers, n_files=args.files, seed=args.seed
+                    )
                 )
             )
-        )
+        else:
+            _run_substrate(
+                args,
+                "storage_placement",
+                {
+                    "n_servers": args.servers,
+                    "n_files": args.files,
+                    "replicas": args.replicas,
+                    "extra_probes": args.extra_probes,
+                    "mode": args.mode,
+                    "size_distribution": args.size_dist,
+                    "fail_fraction": args.fail_fraction,
+                    "rebuild": args.rebuild,
+                },
+            )
     elif args.command == "majorization":
         _print(
             majorization_table(

@@ -5,9 +5,9 @@ parallel job scheduling: jobs of ``k`` tasks arrive, probes measure worker
 queue lengths, and the scheduler under test decides placement.
 """
 
-from .events import Event, EventQueue, JOB_ARRIVAL, TASK_FINISH
+from .events import Event, EventHeap, EventQueue, JOB_ARRIVAL, TASK_FINISH
 from .jobs import JobRecord, TaskRecord
-from .metrics import ClusterReport, build_report
+from .metrics import ClusterReport, build_report, build_report_arrays
 from .schedulers import (
     BatchSamplingScheduler,
     LateBindingScheduler,
@@ -16,12 +16,18 @@ from .schedulers import (
     Scheduler,
     SchedulingDecision,
 )
-from .simulator import ClusterSimulator, simulate_cluster
+from .simulator import (
+    CLUSTER_ENGINES,
+    ClusterSimulator,
+    simulate_cluster,
+    simulate_cluster_fast,
+)
 from .workers import Reservation, Worker
 
 __all__ = [
     "Event",
     "EventQueue",
+    "EventHeap",
     "JOB_ARRIVAL",
     "TASK_FINISH",
     "JobRecord",
@@ -36,6 +42,9 @@ __all__ = [
     "LateBindingScheduler",
     "ClusterSimulator",
     "simulate_cluster",
+    "simulate_cluster_fast",
+    "CLUSTER_ENGINES",
     "ClusterReport",
     "build_report",
+    "build_report_arrays",
 ]

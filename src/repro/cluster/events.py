@@ -1,8 +1,19 @@
-"""Event queue for the cluster discrete-event simulation.
+"""Event queues for the cluster discrete-event simulation.
 
-A tiny, dependency-free priority queue of timestamped events.  Ties in time
-are broken by insertion order, which makes simulation runs fully
-deterministic for a fixed seed.
+Two implementations share one ordering contract — events sort by
+``(time, sequence)``, so ties in time are broken by insertion order and
+simulation runs are fully deterministic for a fixed seed:
+
+* :class:`EventQueue` — the reference queue: a min-heap of :class:`Event`
+  dataclass instances carrying an arbitrary ``kind``/``payload``.  Clear,
+  general, and the bottleneck at scale: every event costs a dataclass
+  allocation plus rich-comparison dispatch in the heap.
+* :class:`EventHeap` — the fast core's queue: a min-heap of plain
+  ``(time, sequence, tag)`` tuples, where ``tag`` is a small integer (the
+  fast simulator uses the worker id).  No per-event objects, no field
+  comparators; tuple comparison never reaches ``tag`` because ``sequence``
+  is unique.  This is the array-backed event core's keyed-on-``(time, seq)``
+  representation.
 """
 
 from __future__ import annotations
@@ -10,9 +21,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
 
-__all__ = ["Event", "EventQueue", "JOB_ARRIVAL", "TASK_FINISH"]
+__all__ = ["Event", "EventQueue", "EventHeap", "JOB_ARRIVAL", "TASK_FINISH"]
 
 # Event kinds used by the cluster simulator.
 JOB_ARRIVAL = "job_arrival"
@@ -57,6 +68,57 @@ class EventQueue:
     def peek(self) -> Optional[Event]:
         """The earliest event without removing it, or ``None`` if empty."""
         return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class EventHeap:
+    """Allocation-free event heap keyed on ``(time, sequence)``.
+
+    Entries are plain tuples ``(time, sequence, tag)``; ``sequence`` is
+    assigned monotonically by :meth:`push` starting at ``first_sequence``,
+    so equal-time events order by insertion and the integer ``tag`` payload
+    never participates in comparisons.  The fast simulator seeds
+    ``first_sequence`` with the number of job arrivals so that a task finish
+    coinciding exactly with an arrival sorts *after* it — the same tie order
+    the reference :class:`EventQueue` produces (all arrivals are pushed
+    before any finish, with smaller sequence numbers).
+    """
+
+    __slots__ = ("_heap", "_next_sequence")
+
+    def __init__(self, first_sequence: int = 0) -> None:
+        self._heap: List[Tuple[float, int, int]] = []
+        self._next_sequence = first_sequence
+
+    def push(self, time: float, tag: int) -> None:
+        """Schedule an event at ``time`` carrying the integer ``tag``."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        heapq.heappush(self._heap, (time, self._next_sequence, tag))
+        self._next_sequence += 1
+
+    def pop(self) -> Tuple[float, int, int]:
+        """Remove and return the earliest ``(time, sequence, tag)`` entry."""
+        if not self._heap:
+            raise IndexError("pop from an empty event heap")
+        return heapq.heappop(self._heap)
+
+    def pop_until(self, time: float) -> Tuple[int, ...]:
+        """Pop every event strictly earlier than ``time``; return the tags."""
+        heap = self._heap
+        tags: List[int] = []
+        while heap and heap[0][0] < time:
+            tags.append(heapq.heappop(heap)[2])
+        return tuple(tags)
+
+    def next_time(self) -> Optional[float]:
+        """Time of the earliest event, or ``None`` if empty."""
+        return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
         return len(self._heap)

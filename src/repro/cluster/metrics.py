@@ -3,19 +3,25 @@
 The key metric is the distribution of *job response times* — the time from a
 job's arrival until its last task completes — because that is the quantity
 the paper argues (k, d)-choice improves over per-task d-choice.
+
+Serialization contract: :meth:`ClusterReport.to_dict` emits every field at
+full precision as plain JSON types and :meth:`ClusterReport.from_dict`
+reconstructs an equal report, so reports survive pickling (process pools)
+and JSON round trips (result caches, logs) without loss.  ``as_dict`` stays
+the rounded presentation form for result tables.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
 from .jobs import JobRecord
 from .workers import Worker
 
-__all__ = ["ClusterReport", "build_report"]
+__all__ = ["ClusterReport", "build_report", "build_report_arrays"]
 
 
 def _percentile(values: np.ndarray, q: float) -> float:
@@ -59,6 +65,22 @@ class ClusterReport:
             "utilization": round(self.mean_utilization, 4),
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """Full-precision, JSON-safe form; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ClusterReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        names = {f.name for f in fields(cls)}
+        unknown = set(payload) - names
+        if unknown:
+            raise ValueError(f"unknown ClusterReport fields: {sorted(unknown)}")
+        missing = names - set(payload)
+        if missing:
+            raise ValueError(f"missing ClusterReport fields: {sorted(missing)}")
+        return cls(**payload)
+
 
 def build_report(
     scheduler_name: str,
@@ -95,4 +117,58 @@ def build_report(
         messages_per_task=messages / n_tasks if n_tasks else 0.0,
         mean_utilization=float(np.mean(utilizations)) if utilizations else 0.0,
         max_queue_length=int(max_queue),
+    )
+
+
+def build_report_arrays(
+    scheduler_name: str,
+    arrival_times: np.ndarray,
+    offsets: np.ndarray,
+    starts: np.ndarray,
+    finishes: np.ndarray,
+    busy_time: np.ndarray,
+    messages: int,
+    horizon: float,
+) -> ClusterReport:
+    """Array twin of :func:`build_report`, used by the fast event core.
+
+    ``offsets`` is the CSR job boundary vector (``offsets[j]:offsets[j+1]``
+    slices job ``j``'s tasks out of the flat ``starts``/``finishes``
+    arrays).  The aggregation mirrors :func:`build_report` operation for
+    operation — same dtypes, same summation order — so both engines emit
+    bit-identical reports for the same simulated history.
+    """
+    n_jobs = int(arrival_times.shape[0])
+    n_tasks = int(finishes.shape[0])
+    if n_tasks:
+        job_finish = np.maximum.reduceat(finishes, offsets[:-1])
+        # Zero-task jobs are rejected at JobSpec construction and the fast
+        # simulator validates its offsets, so reduceat slices are non-empty.
+        responses = job_finish - arrival_times
+        waits = starts - np.repeat(arrival_times, np.diff(offsets))
+    else:
+        responses = np.empty(0)
+        waits = np.empty(0)
+    utilizations = (
+        np.minimum(busy_time / horizon, 1.0) if horizon > 0
+        else np.zeros_like(busy_time)
+    )
+    return ClusterReport(
+        scheduler=scheduler_name,
+        n_workers=int(busy_time.shape[0]),
+        n_jobs=n_jobs,
+        n_tasks=n_tasks,
+        horizon=horizon,
+        mean_response=float(responses.mean()) if responses.size else 0.0,
+        median_response=_percentile(responses, 50),
+        p95_response=_percentile(responses, 95),
+        p99_response=_percentile(responses, 99),
+        max_response=float(responses.max()) if responses.size else 0.0,
+        mean_task_wait=float(np.mean(waits)) if waits.size else 0.0,
+        messages=messages,
+        messages_per_task=messages / n_tasks if n_tasks else 0.0,
+        mean_utilization=float(np.mean(utilizations)) if utilizations.size else 0.0,
+        # Every job has completed when a report is built, so no queue entries
+        # remain — matching the reference simulator's end-of-run state.
+        max_queue_length=0,
     )

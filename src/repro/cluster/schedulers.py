@@ -71,6 +71,12 @@ class Scheduler(ABC):
 
     name: str = "scheduler"
 
+    #: Whether :meth:`fast_decide` implements this scheduler for the array
+    #: event core (:func:`repro.cluster.simulator.simulate_cluster_fast`).
+    #: Schedulers that mutate worker queues beyond task placement (e.g. late
+    #: binding's reservations) stay on the reference simulator.
+    supports_fast_core: bool = False
+
     @abstractmethod
     def schedule_job(
         self,
@@ -81,6 +87,24 @@ class Scheduler(ABC):
     ) -> SchedulingDecision:
         """Decide where the tasks of ``job`` go."""
 
+    def fast_decide(
+        self,
+        loads: np.ndarray,
+        k: int,
+        rng: np.random.Generator,
+    ) -> "Tuple[List[int], int]":
+        """Array-core twin of :meth:`schedule_job`: ``(targets, messages)``.
+
+        ``loads`` is the maintained queue-length vector (queued + running
+        tasks per worker) — the same signal :meth:`schedule_job` reads via
+        ``Worker.queue_length``.  Implementations MUST draw exactly the same
+        random variates as :meth:`schedule_job` so the two engines are
+        seed-for-seed identical.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support the fast event core"
+        )
+
     def describe(self) -> str:
         """Human-readable description used in reports."""
         return self.name
@@ -90,6 +114,13 @@ class RandomScheduler(Scheduler):
     """Each task is sent to one uniformly random worker."""
 
     name = "random"
+    supports_fast_core = True
+
+    def fast_decide(
+        self, loads: np.ndarray, k: int, rng: np.random.Generator
+    ) -> "Tuple[List[int], int]":
+        targets = rng.integers(0, len(loads), size=k)
+        return targets.tolist(), k
 
     def schedule_job(
         self,
@@ -115,6 +146,18 @@ class PerTaskDChoiceScheduler(Scheduler):
             raise ValueError(f"d must be at least 1, got {d}")
         self.d = d
         self.name = f"per-task-{d}-choice"
+
+    supports_fast_core = True
+
+    def fast_decide(
+        self, loads: np.ndarray, k: int, rng: np.random.Generator
+    ) -> "Tuple[List[int], int]":
+        probes = rng.integers(0, len(loads), size=(k, self.d))
+        # First occurrence of the row minimum == the scalar scan that only
+        # moves on a strictly smaller load.
+        best = np.argmin(loads[probes], axis=1)
+        targets = probes[np.arange(k), best]
+        return targets.tolist(), k * self.d
 
     def schedule_job(
         self,
@@ -161,6 +204,17 @@ class BatchSamplingScheduler(Scheduler):
         self._policy = StrictPolicy()
         label = f"d={d}" if d is not None else f"ratio={probe_ratio:g}"
         self.name = f"batch-(k,d)-choice[{label}]"
+
+    supports_fast_core = True
+
+    def fast_decide(
+        self, loads: np.ndarray, k: int, rng: np.random.Generator
+    ) -> "Tuple[List[int], int]":
+        n_workers = len(loads)
+        d = self.probes_for(k, n_workers)
+        samples = [int(s) for s in rng.integers(0, n_workers, size=d)]
+        destinations = self._policy.select(loads, samples, k, rng)
+        return destinations, d
 
     def probes_for(self, k: int, n_workers: int) -> int:
         """Number of probes issued for a job with ``k`` tasks."""

@@ -1,35 +1,63 @@
-"""Discrete-event cluster simulator.
+"""Discrete-event cluster simulator: reference engine and fast event core.
 
-The simulator drives job arrivals through a :class:`Scheduler` and a set of
-single-slot FIFO :class:`~repro.cluster.workers.Worker` machines.  Two event
-kinds exist: job arrivals (the scheduler decides task placement based on the
-instantaneous queue lengths it probes) and task completions (the worker pulls
-the next queue entry).
+Two engines drive job arrivals through a :class:`Scheduler` over single-slot
+FIFO :class:`~repro.cluster.workers.Worker` machines:
+
+* :class:`ClusterSimulator` — the reference engine.  Explicit
+  :class:`~repro.cluster.events.EventQueue` of arrival/finish events,
+  per-task :class:`~repro.cluster.jobs.TaskRecord` objects, per-worker
+  deques.  Clear and general (it is the only engine that supports late
+  binding) but allocation-bound at scale.
+* :func:`simulate_cluster_fast` — the array event core.  Because early
+  binding places a task irrevocably at its arrival instant and workers are
+  single-slot FIFO, a task's start and finish times are *determined at
+  placement* (``start = max(now, worker_free)``); the only reason finish
+  events exist at all is to keep the probe signal — the per-worker
+  queued-plus-running count — current.  The fast core therefore keeps one
+  maintained load vector (O(1) probes), a flat
+  :class:`~repro.cluster.events.EventHeap` of ``(finish_time, seq, worker)``
+  tuples, and flat start/finish arrays instead of task objects.  Schedulers
+  participate through :meth:`~repro.cluster.schedulers.Scheduler.fast_decide`,
+  which draws exactly the random variates of ``schedule_job`` — the two
+  engines are **seed-for-seed identical**, report field for report field.
 
 This is the substrate for the paper's Section 1.3 claim that sharing probe
 information across a job's ``k`` tasks — (k, d)-choice — keeps job response
-times low as parallelism grows.
+times low as parallelism grows; the fast core is what lets that claim be
+checked on million-task traces.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..simulation.rng import make_generator
-from ..simulation.workloads import JobSpec, JobTrace
-from .events import JOB_ARRIVAL, TASK_FINISH, EventQueue
+from ..simulation.workloads import JobSpec, JobTrace, JobTraceArrays
+from .events import JOB_ARRIVAL, TASK_FINISH, EventHeap, EventQueue
 from .jobs import JobRecord, TaskRecord
-from .metrics import ClusterReport, build_report
+from .metrics import ClusterReport, build_report, build_report_arrays
 from .schedulers import Scheduler
 from .workers import Worker
 
-__all__ = ["ClusterSimulator", "simulate_cluster"]
+__all__ = [
+    "ClusterSimulator",
+    "simulate_cluster",
+    "simulate_cluster_fast",
+    "CLUSTER_ENGINES",
+]
+
+#: Engines accepted by :func:`simulate_cluster`.  "auto" picks the fast core
+#: whenever the scheduler supports it (the engines are seed-for-seed
+#: identical, so this is purely a throughput decision).
+CLUSTER_ENGINES = ("auto", "fast", "reference")
+
+AnyTrace = Union[JobTrace, JobTraceArrays, Sequence[JobSpec]]
 
 
 class ClusterSimulator:
-    """Event-driven simulation of a worker cluster under one scheduler.
+    """Event-driven reference simulation of a worker cluster.
 
     Parameters
     ----------
@@ -39,6 +67,9 @@ class ClusterSimulator:
         Placement policy (see :mod:`repro.cluster.schedulers`).
     seed, rng:
         Randomness for the scheduler's probes.
+    speeds:
+        Optional per-worker speed factors (worker heterogeneity); a task of
+        duration ``x`` occupies worker ``w`` for ``x / speeds[w]``.
     """
 
     def __init__(
@@ -47,13 +78,22 @@ class ClusterSimulator:
         scheduler: Scheduler,
         seed: "int | None" = None,
         rng: Optional[np.random.Generator] = None,
+        speeds: Optional[Sequence[float]] = None,
     ) -> None:
         if n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
+        if speeds is not None and len(speeds) != n_workers:
+            raise ValueError(
+                f"speeds must have one entry per worker, got {len(speeds)} "
+                f"for {n_workers} workers"
+            )
         self.n_workers = n_workers
         self.scheduler = scheduler
         self.rng = rng if rng is not None else make_generator(seed)
-        self.workers: List[Worker] = [Worker(worker_id=i) for i in range(n_workers)]
+        self.workers: List[Worker] = [
+            Worker(worker_id=i, speed=1.0 if speeds is None else float(speeds[i]))
+            for i in range(n_workers)
+        ]
         self.jobs: List[JobRecord] = []
         self.messages = 0
         self.now = 0.0
@@ -69,20 +109,32 @@ class ClusterSimulator:
                 raise ValueError(
                     f"scheduler placed an entry on unknown worker {worker_id}"
                 )
-            started = self.workers[worker_id].enqueue(entry, self.now)
+            worker = self.workers[worker_id]
+            started = worker.enqueue(entry, self.now)
             if started is not None:
-                queue.push(self.now + started.duration, TASK_FINISH, (worker_id, started))
+                queue.push(
+                    self.now + worker.service_time(started.duration),
+                    TASK_FINISH,
+                    (worker_id, started),
+                )
 
     def _handle_finish(self, queue: EventQueue, worker_id: int) -> None:
-        started = self.workers[worker_id].finish_current(self.now)
+        worker = self.workers[worker_id]
+        started = worker.finish_current(self.now)
         if started is not None:
-            queue.push(self.now + started.duration, TASK_FINISH, (worker_id, started))
+            queue.push(
+                self.now + worker.service_time(started.duration),
+                TASK_FINISH,
+                (worker_id, started),
+            )
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, trace: "JobTrace | Sequence[JobSpec]") -> ClusterReport:
+    def run(self, trace: AnyTrace) -> ClusterReport:
         """Simulate the full trace to completion and return the report."""
+        if isinstance(trace, JobTraceArrays):
+            trace = trace.to_trace()
         specs = list(trace)
         queue = EventQueue()
         self.jobs = []
@@ -116,12 +168,159 @@ class ClusterSimulator:
         )
 
 
+def _trace_as_arrays(trace: AnyTrace) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Flatten any trace form to ``(arrival_times, flat_durations, offsets)``."""
+    if isinstance(trace, JobTraceArrays):
+        n_jobs, tasks_per_job = trace.durations.shape
+        offsets = np.arange(n_jobs + 1, dtype=np.int64) * tasks_per_job
+        return trace.arrival_times, trace.durations.ravel(), offsets
+    specs = list(trace)
+    arrival_times = np.asarray([spec.arrival_time for spec in specs], dtype=float)
+    counts = np.asarray([len(spec.task_durations) for spec in specs], dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    flat = np.asarray(
+        [d for spec in specs for d in spec.task_durations], dtype=float
+    )
+    return arrival_times, flat, offsets
+
+
+def simulate_cluster_fast(
+    n_workers: int,
+    scheduler: Scheduler,
+    trace: AnyTrace,
+    seed: "int | None" = None,
+    rng: Optional[np.random.Generator] = None,
+    speeds: Optional[Sequence[float]] = None,
+    placement_counts: Optional[np.ndarray] = None,
+) -> ClusterReport:
+    """Run the array event core; seed-for-seed identical to the reference.
+
+    Requires a scheduler with ``supports_fast_core`` (random, per-task
+    d-choice, batch sampling); late binding needs the reference engine's
+    reservation queues.  ``placement_counts``, when given (an int64 array of
+    length ``n_workers``), receives the number of tasks placed on each
+    worker — the reference engine's per-worker ``tasks_completed``.
+    """
+    if n_workers <= 0:
+        raise ValueError(f"n_workers must be positive, got {n_workers}")
+    if not getattr(scheduler, "supports_fast_core", False):
+        raise ValueError(
+            f"scheduler {scheduler.describe()!r} does not support the fast "
+            f"event core; run it through the reference ClusterSimulator "
+            f"(engine='reference')"
+        )
+    if speeds is not None and len(speeds) != n_workers:
+        raise ValueError(
+            f"speeds must have one entry per worker, got {len(speeds)} "
+            f"for {n_workers} workers"
+        )
+    generator = rng if rng is not None else make_generator(seed)
+    arrival_times, flat_durations, offsets = _trace_as_arrays(trace)
+    n_jobs = int(arrival_times.shape[0])
+    n_tasks = int(flat_durations.shape[0])
+    if np.any(arrival_times < 0):
+        raise ValueError("job arrival times must be non-negative")
+
+    # The reference queue pops arrivals by (time, push order); generated
+    # traces are already time-sorted, but a hand-built Sequence[JobSpec] may
+    # not be — replay the queue's order via a stable sort in that case.
+    if n_jobs and np.any(np.diff(arrival_times) < 0):
+        job_order = np.argsort(arrival_times, kind="stable").tolist()
+    else:
+        job_order = range(n_jobs)
+
+    loads = np.zeros(n_workers, dtype=np.int64)
+    # Python lists keep the per-task scalar updates cheap; ``loads`` stays a
+    # NumPy array because fast_decide probes it with fancy indexing.
+    speed = [1.0] * n_workers if speeds is None else [float(s) for s in speeds]
+    next_free = [0.0] * n_workers
+    busy_time = [0.0] * n_workers
+    counts = [0] * n_workers  # tasks placed per worker (= tasks completed)
+    starts = np.empty(n_tasks)
+    finishes = np.empty(n_tasks)
+    durations_list = flat_durations.tolist()
+    arrivals_list = arrival_times.tolist()
+    offsets_list = offsets.tolist()
+
+    # Finish sequences start after the arrival block so that a finish tying
+    # an arrival in time sorts after it — the reference queue's exact order.
+    heap = EventHeap(first_sequence=n_jobs)
+    push = heap.push
+    pop_until = heap.pop_until
+    decide = scheduler.fast_decide
+    messages = 0
+
+    last_arrival = 0.0
+    for j in job_order:
+        now = arrivals_list[j]
+        last_arrival = now
+        for worker_id in pop_until(now):
+            loads[worker_id] -= 1
+        lo = offsets_list[j]
+        hi = offsets_list[j + 1]
+        targets, probe_messages = decide(loads, hi - lo, generator)
+        messages += probe_messages
+        for index, worker_id in enumerate(targets, start=lo):
+            if not 0 <= worker_id < n_workers:
+                raise ValueError(
+                    f"scheduler placed an entry on unknown worker {worker_id}"
+                )
+            service = durations_list[index] / speed[worker_id]
+            free = next_free[worker_id]
+            start = free if free > now else now
+            finish = start + service
+            next_free[worker_id] = finish
+            busy_time[worker_id] += service
+            counts[worker_id] += 1
+            loads[worker_id] += 1
+            starts[index] = start
+            finishes[index] = finish
+            push(finish, worker_id)
+
+    # Nothing after the last arrival changes any recorded time: the horizon
+    # is the latest event, i.e. the last task finish (each job finishes at or
+    # after its own arrival).
+    horizon = float(finishes.max()) if n_tasks else (last_arrival if n_jobs else 0.0)
+
+    if placement_counts is not None:
+        placement_counts[:] = counts
+
+    return build_report_arrays(
+        scheduler_name=scheduler.describe(),
+        arrival_times=arrival_times,
+        offsets=offsets,
+        starts=starts,
+        finishes=finishes,
+        busy_time=np.asarray(busy_time),
+        messages=messages,
+        horizon=horizon,
+    )
+
+
 def simulate_cluster(
     n_workers: int,
     scheduler: Scheduler,
-    trace: "JobTrace | Sequence[JobSpec]",
+    trace: AnyTrace,
     seed: "int | None" = None,
+    engine: str = "auto",
+    speeds: Optional[Sequence[float]] = None,
 ) -> ClusterReport:
-    """One-call convenience wrapper around :class:`ClusterSimulator`."""
-    simulator = ClusterSimulator(n_workers=n_workers, scheduler=scheduler, seed=seed)
+    """One-call cluster simulation with engine dispatch.
+
+    ``engine="auto"`` (the default) runs the fast event core whenever the
+    scheduler supports it and falls back to the reference simulator
+    otherwise; the choice never changes the result — both engines consume
+    the same random stream and report the same history.
+    """
+    if engine not in CLUSTER_ENGINES:
+        raise ValueError(f"engine must be one of {CLUSTER_ENGINES}, got {engine!r}")
+    fast_capable = getattr(scheduler, "supports_fast_core", False)
+    if engine == "fast" or (engine == "auto" and fast_capable):
+        return simulate_cluster_fast(
+            n_workers=n_workers, scheduler=scheduler, trace=trace,
+            seed=seed, speeds=speeds,
+        )
+    simulator = ClusterSimulator(
+        n_workers=n_workers, scheduler=scheduler, seed=seed, speeds=speeds
+    )
     return simulator.run(trace)

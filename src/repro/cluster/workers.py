@@ -44,15 +44,27 @@ QueueEntry = Union[TaskRecord, Reservation]
 
 
 class Worker:
-    """A single worker machine with a FIFO queue."""
+    """A single worker machine with a FIFO queue.
 
-    def __init__(self, worker_id: int) -> None:
+    ``speed`` models worker heterogeneity: a task of duration ``x`` occupies
+    a worker of speed ``s`` for ``x / s`` time units (speed 1.0 is the
+    homogeneous default).
+    """
+
+    def __init__(self, worker_id: int, speed: float = 1.0) -> None:
+        if speed <= 0:
+            raise ValueError(f"worker speed must be positive, got {speed}")
         self.worker_id = worker_id
+        self.speed = speed
         self.queue: Deque[QueueEntry] = deque()
         self.running: Optional[TaskRecord] = None
         self.busy_until: float = 0.0
         self.tasks_completed: int = 0
         self.busy_time: float = 0.0
+
+    def service_time(self, duration: float) -> float:
+        """Wall-clock time this worker needs for a task of ``duration`` work."""
+        return duration / self.speed
 
     # ------------------------------------------------------------------
     # Load signals used by probes
@@ -109,7 +121,7 @@ class Worker:
             raise RuntimeError(f"worker {self.worker_id} has no running task to finish")
         finished = self.running
         finished.finish_time = now
-        self.busy_time += finished.duration
+        self.busy_time += self.service_time(finished.duration)
         self.tasks_completed += 1
         self.running = None
 
@@ -131,7 +143,7 @@ class Worker:
             entry = task
         entry.start_time = now
         self.running = entry
-        self.busy_until = now + entry.duration
+        self.busy_until = now + self.service_time(entry.duration)
         return entry
 
     def utilization(self, horizon: float) -> float:

@@ -28,13 +28,13 @@ from ..cluster.simulator import simulate_cluster
 from ..cluster.metrics import ClusterReport
 from ..simulation.results import ResultTable
 from ..simulation.rng import SeedTree
-from ..simulation.workloads import file_population, poisson_job_trace
+from ..simulation.workloads import file_population, file_sizes, poisson_job_trace
 from ..storage.placement import (
     KDChoicePlacement,
     PerReplicaDChoicePlacement,
     RandomPlacement,
 )
-from ..storage.system import StorageReport, StorageSystem
+from ..storage.system import StorageReport, StorageSystem, simulate_storage_fast
 
 __all__ = [
     "SchedulingComparison",
@@ -73,11 +73,16 @@ def run_scheduling_experiment(
     utilization: float = 0.7,
     probe_ratio: float = 2.0,
     seed: "int | None" = 0,
+    engine: str = "auto",
 ) -> List[SchedulingComparison]:
     """Compare schedulers while sweeping the per-job parallelism ``k``.
 
     The arrival rate is set so the offered load is ``utilization`` of the
     cluster capacity regardless of ``k`` (mean task duration 1.0).
+
+    ``engine`` selects the cluster simulation engine ("auto" runs the fast
+    event core for every scheduler that supports it; results are identical
+    either way — the engines are seed-for-seed equivalent).
     """
     if not 0 < utilization < 1:
         raise ValueError(f"utilization must be in (0, 1), got {utilization}")
@@ -100,6 +105,7 @@ def run_scheduling_experiment(
                 scheduler=scheduler,
                 trace=trace,
                 seed=tree.integer_seed(),
+                engine=engine,
             )
             reports[scheduler.describe()] = report
         comparisons.append(SchedulingComparison(tasks_per_job=k, reports=reports))
@@ -150,8 +156,16 @@ def run_storage_experiment(
     replica_values: Sequence[int] = (2, 3, 8),
     mode: str = "replication",
     seed: "int | None" = 0,
+    engine: str = "auto",
 ) -> List[StorageComparison]:
-    """Compare placement policies while sweeping the replication factor."""
+    """Compare placement policies while sweeping the replication factor.
+
+    ``engine="auto"`` places each population with the fast storage core
+    (seed-for-seed identical to the reference ``StorageSystem`` path, which
+    ``engine="reference"`` forces).
+    """
+    if engine not in ("auto", "fast", "reference"):
+        raise ValueError(f"engine must be auto, fast or reference, got {engine!r}")
     tree = SeedTree(seed)
     comparisons: List[StorageComparison] = []
     for replicas in replica_values:
@@ -164,17 +178,29 @@ def run_storage_experiment(
         reports: Dict[str, StorageReport] = {}
         population_seed = tree.integer_seed()
         for policy in policies:
-            population = file_population(
-                n_files=n_files, replicas=replicas, seed=population_seed
-            )
-            system = StorageSystem(
-                n_servers=n_servers,
-                placement=policy,
-                mode=mode,
-                seed=tree.integer_seed(),
-            )
-            system.store_population(population)
-            reports[policy.name] = system.report()
+            if engine == "reference" or not policy.supports_fast_core:
+                population = file_population(
+                    n_files=n_files, replicas=replicas, seed=population_seed
+                )
+                system = StorageSystem(
+                    n_servers=n_servers,
+                    placement=policy,
+                    mode=mode,
+                    seed=tree.integer_seed(),
+                )
+                system.store_population(population)
+                reports[policy.name] = system.report()
+            else:
+                sizes = file_sizes(n_files, seed=population_seed)
+                _, report = simulate_storage_fast(
+                    n_servers=n_servers,
+                    sizes=sizes,
+                    replicas=replicas,
+                    placement=policy,
+                    mode=mode,
+                    seed=tree.integer_seed(),
+                )
+                reports[policy.name] = report
         comparisons.append(StorageComparison(replicas=replicas, reports=reports))
     return comparisons
 

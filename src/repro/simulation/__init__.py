@@ -10,8 +10,11 @@ from .workloads import (
     FileSpec,
     JobSpec,
     JobTrace,
+    JobTraceArrays,
     file_population,
+    job_trace_arrays,
     poisson_job_trace,
+    worker_speeds,
     zipf_weights,
 )
 
@@ -35,7 +38,10 @@ __all__ = [
     "BallBatchStream",
     "JobSpec",
     "JobTrace",
+    "JobTraceArrays",
     "poisson_job_trace",
+    "job_trace_arrays",
+    "worker_speeds",
     "FileSpec",
     "file_population",
     "zipf_weights",

@@ -1,23 +1,38 @@
-"""Workload generators.
+"""Workload generators and the substrate scenario library.
 
 Three kinds of workload are used across the experiments and substrates:
 
 * **Ball batches** for the core allocation processes — including the
   heavily loaded streams of Theorem 2 where the number of balls is a multiple
   of the number of bins.
-* **Job traces** for the cluster-scheduling substrate — Poisson arrivals of
-  jobs, each consisting of ``k`` parallel tasks with a chosen service-time
-  distribution (the Sparrow-style workload the paper's Section 1.3 cites).
+* **Job traces** for the cluster-scheduling substrate — Poisson or bursty
+  (MMPP) arrivals of jobs, each consisting of ``k`` parallel tasks with a
+  chosen service-time distribution (exponential, uniform, constant,
+  heavy-tailed Pareto/lognormal, or a custom sampler) — the Sparrow-style
+  workload the paper's Section 1.3 cites, plus the stress scenarios around
+  it.
 * **File populations** for the distributed-storage substrate — files with a
   replication factor or chunk count and optionally skewed (Zipf) sizes and
   access popularity.
+
+Job traces exist in two physically different but statistically identical
+forms: :class:`JobTrace` (a list of :class:`JobSpec` objects, consumed by the
+reference simulator) and :class:`JobTraceArrays` (flat NumPy arrays, consumed
+by the fast event core).  :func:`job_trace_arrays` draws the *same* random
+variates as :func:`poisson_job_trace`, so the two representations of one seed
+describe the same workload value for value.
+
+Every service-time and inter-arrival sampler output is validated at this
+boundary: a sampler that produces a zero or negative duration would schedule
+a task finish at or before its arrival tick, so such draws are rejected here
+with a clear error instead of corrupting the event order downstream.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -27,9 +42,15 @@ __all__ = [
     "BallBatchStream",
     "JobSpec",
     "JobTrace",
+    "JobTraceArrays",
+    "DURATION_DISTRIBUTIONS",
+    "ARRIVAL_PROCESSES",
     "poisson_job_trace",
+    "job_trace_arrays",
+    "worker_speeds",
     "FileSpec",
     "file_population",
+    "file_sizes",
     "zipf_weights",
 ]
 
@@ -87,6 +108,21 @@ class JobSpec:
     arrival_time: float
     task_durations: "tuple[float, ...]"
 
+    def __post_init__(self) -> None:
+        # A job with no tasks has no completion time (and the fast engine's
+        # grouped aggregation relies on non-empty task slices), so reject it
+        # at construction rather than corrupting a report downstream.
+        if len(self.task_durations) == 0:
+            raise ValueError(
+                f"job {self.job_id} has no tasks; every job needs at least "
+                f"one task duration"
+            )
+        if self.arrival_time < 0:
+            raise ValueError(
+                f"job {self.job_id} has a negative arrival time "
+                f"({self.arrival_time})"
+            )
+
     @property
     def tasks_per_job(self) -> int:
         return len(self.task_durations)
@@ -123,30 +159,194 @@ class JobTrace:
         return max(job.arrival_time for job in self.jobs)
 
 
-def poisson_job_trace(
+@dataclass
+class JobTraceArrays:
+    """A job trace as flat arrays — the fast event core's native input.
+
+    Same content as a :class:`JobTrace` (``arrival_times[i]`` and
+    ``durations[i]`` describe job ``i``) without the per-job
+    :class:`JobSpec` objects, so million-task traces stay cheap to build
+    and iterate.
+    """
+
+    arrival_times: np.ndarray  # (n_jobs,) float64, non-decreasing
+    durations: np.ndarray      # (n_jobs, tasks_per_job) float64, > 0
+    arrival_rate: float
+    mean_task_duration: float
+
+    def __post_init__(self) -> None:
+        self.arrival_times = np.ascontiguousarray(self.arrival_times, dtype=float)
+        self.durations = np.ascontiguousarray(self.durations, dtype=float)
+        if self.durations.ndim != 2 or self.durations.shape[0] != self.arrival_times.shape[0]:
+            raise ValueError(
+                f"durations must be (n_jobs, tasks_per_job), got shape "
+                f"{self.durations.shape} for {self.arrival_times.shape[0]} jobs"
+            )
+        if self.durations.shape[0] and self.durations.shape[1] == 0:
+            raise ValueError("every job needs at least one task duration")
+        _validate_durations(self.durations, "durations")
+
+    def __len__(self) -> int:
+        return int(self.arrival_times.shape[0])
+
+    @property
+    def tasks_per_job(self) -> int:
+        return int(self.durations.shape[1])
+
+    @property
+    def total_tasks(self) -> int:
+        return int(self.durations.size)
+
+    def to_trace(self) -> JobTrace:
+        """Materialize the equivalent object trace (reference simulator)."""
+        jobs = [
+            JobSpec(
+                job_id=i,
+                arrival_time=float(self.arrival_times[i]),
+                task_durations=tuple(float(x) for x in self.durations[i]),
+            )
+            for i in range(len(self))
+        ]
+        return JobTrace(
+            jobs=jobs,
+            arrival_rate=self.arrival_rate,
+            tasks_per_job=self.tasks_per_job,
+            mean_task_duration=self.mean_task_duration,
+        )
+
+
+#: Service-time distributions understood by the trace generators.  Values are
+#: samplers ``(rng, mean, shape_param, size) -> ndarray``.
+DURATION_DISTRIBUTIONS = ("exponential", "uniform", "constant", "pareto", "lognormal")
+
+#: Arrival processes understood by the trace generators.
+ARRIVAL_PROCESSES = ("poisson", "mmpp")
+
+#: A custom service-time sampler: ``(rng, size) -> array of durations``.
+DurationSampler = Callable[[np.random.Generator, "tuple[int, int]"], np.ndarray]
+
+
+def _validate_durations(durations: np.ndarray, source: str) -> None:
+    """Reject non-positive or non-finite service times at the boundary.
+
+    A task whose sampled duration is zero or negative would finish at (or
+    before) its own arrival tick — the event queue would either reject the
+    event or silently reorder history — so the workload layer refuses to
+    emit such a trace.
+    """
+    if durations.size == 0:
+        return
+    if not np.all(np.isfinite(durations)):
+        raise ValueError(
+            f"service-time sampler {source!r} produced non-finite durations; "
+            f"every task duration must be a finite positive number"
+        )
+    smallest = float(durations.min())
+    if smallest <= 0.0:
+        raise ValueError(
+            f"service-time sampler {source!r} produced a non-positive duration "
+            f"({smallest!r}); a task cannot finish at or before its arrival "
+            f"tick, so samplers must draw strictly positive service times"
+        )
+
+
+def _sample_durations(
+    generator: np.random.Generator,
+    n_jobs: int,
+    tasks_per_job: int,
+    mean: float,
+    distribution: "str | DurationSampler",
+    shape: float,
+) -> np.ndarray:
+    """Draw the (n_jobs, tasks_per_job) service-time matrix and validate it."""
+    size = (n_jobs, tasks_per_job)
+    if callable(distribution):
+        durations = np.asarray(distribution(generator, size), dtype=float)
+        if durations.shape != size:
+            raise ValueError(
+                f"custom duration sampler returned shape {durations.shape}, "
+                f"expected {size}"
+            )
+        _validate_durations(durations, getattr(distribution, "__name__", "custom"))
+        return durations
+    if distribution == "exponential":
+        durations = generator.exponential(mean, size=size)
+    elif distribution == "uniform":
+        durations = generator.uniform(0.5 * mean, 1.5 * mean, size=size)
+    elif distribution == "constant":
+        durations = np.full(size, mean)
+    elif distribution == "pareto":
+        # Classical Pareto(x_m, a) with x_m chosen so the mean is ``mean``;
+        # shape a must exceed 1 for the mean to exist.
+        if shape <= 1.0:
+            raise ValueError(
+                f"pareto service times need shape > 1 (finite mean), got {shape}"
+            )
+        x_m = mean * (shape - 1.0) / shape
+        durations = x_m * (1.0 + generator.pareto(shape, size=size))
+    elif distribution == "lognormal":
+        # shape is the log-space sigma; mu is set so the mean is ``mean``.
+        if shape <= 0.0:
+            raise ValueError(
+                f"lognormal service times need shape (sigma) > 0, got {shape}"
+            )
+        mu = math.log(mean) - shape ** 2 / 2.0
+        durations = generator.lognormal(mu, shape, size=size)
+    else:
+        raise ValueError(
+            f"duration_distribution must be one of {DURATION_DISTRIBUTIONS} "
+            f"or a callable sampler, got {distribution!r}"
+        )
+    _validate_durations(durations, str(distribution))
+    return durations
+
+
+def _sample_arrivals(
+    generator: np.random.Generator,
     n_jobs: int,
     arrival_rate: float,
-    tasks_per_job: int,
-    mean_task_duration: float = 1.0,
-    duration_distribution: str = "exponential",
-    seed: "int | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> JobTrace:
-    """Generate a Poisson job-arrival trace (Sparrow-style workload).
+    process: str,
+    burstiness: float,
+    switch_prob: float,
+) -> np.ndarray:
+    """Draw the (sorted) arrival-time vector for ``n_jobs`` jobs."""
+    if process == "poisson":
+        inter_arrivals = generator.exponential(1.0 / arrival_rate, size=n_jobs)
+    elif process == "mmpp":
+        # Two-state Markov-modulated Poisson process: a burst state and a
+        # quiet state whose rates differ by a factor of ``burstiness**2``;
+        # after every arrival the state flips with probability
+        # ``switch_prob``.  The symmetric flips spend the same *number of
+        # arrivals* in each state, so the long-run mean rate is the harmonic
+        # mean of the two state rates; the ``correction`` factor rescales
+        # both so that harmonic mean is exactly ``arrival_rate`` —
+        # ``E[inter] = (1/(2*c*rate)) * (1/b + b) = 1/rate`` for
+        # ``c = (1 + b^2) / (2b)``.
+        if burstiness < 1.0:
+            raise ValueError(f"burstiness must be >= 1, got {burstiness}")
+        if not 0.0 < switch_prob <= 1.0:
+            raise ValueError(f"switch_prob must be in (0, 1], got {switch_prob}")
+        correction = (1.0 + burstiness ** 2) / (2.0 * burstiness)
+        hot_rate = arrival_rate * burstiness * correction
+        quiet_rate = arrival_rate / burstiness * correction
+        draws = generator.exponential(1.0, size=n_jobs)
+        flips = generator.random(size=n_jobs) < switch_prob
+        inter_arrivals = np.empty(n_jobs)
+        hot = True
+        for i in range(n_jobs):
+            inter_arrivals[i] = draws[i] / (hot_rate if hot else quiet_rate)
+            if flips[i]:
+                hot = not hot
+    else:
+        raise ValueError(
+            f"arrival_process must be one of {ARRIVAL_PROCESSES}, got {process!r}"
+        )
+    return np.cumsum(inter_arrivals)
 
-    Parameters
-    ----------
-    n_jobs:
-        Number of jobs to generate.
-    arrival_rate:
-        Expected number of job arrivals per unit time (``λ``).
-    tasks_per_job:
-        Parallelism ``k`` of every job.
-    mean_task_duration:
-        Mean service time of a task.
-    duration_distribution:
-        "exponential", "uniform" (0.5–1.5 × mean) or "constant".
-    """
+
+def _validate_trace_request(
+    n_jobs: int, arrival_rate: float, tasks_per_job: int, mean_task_duration: float
+) -> None:
     if n_jobs < 0:
         raise ValueError(f"n_jobs must be non-negative, got {n_jobs}")
     if arrival_rate <= 0:
@@ -157,41 +357,121 @@ def poisson_job_trace(
         raise ValueError(
             f"mean_task_duration must be positive, got {mean_task_duration}"
         )
+
+
+def job_trace_arrays(
+    n_jobs: int,
+    arrival_rate: float,
+    tasks_per_job: int,
+    mean_task_duration: float = 1.0,
+    duration_distribution: "str | DurationSampler" = "exponential",
+    duration_shape: float = 2.5,
+    arrival_process: str = "poisson",
+    burstiness: float = 4.0,
+    switch_prob: float = 0.1,
+    seed: "int | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> JobTraceArrays:
+    """Generate a job trace as flat arrays (batched arrival generation).
+
+    Draws the same random variates as :func:`poisson_job_trace` for the same
+    generator state, so the array trace and the object trace of one seed
+    describe the identical workload.
+
+    Parameters
+    ----------
+    n_jobs, arrival_rate, tasks_per_job, mean_task_duration:
+        As for :func:`poisson_job_trace`.
+    duration_distribution:
+        One of :data:`DURATION_DISTRIBUTIONS` — including the heavy-tailed
+        "pareto" / "lognormal" scenarios — or a callable
+        ``(rng, size) -> array`` custom sampler.  Sampler outputs are
+        validated: non-positive durations are rejected with a clear error.
+    duration_shape:
+        Tail parameter: the Pareto shape ``a`` (> 1) or the lognormal
+        log-space sigma (> 0).  Ignored by the light-tailed distributions.
+    arrival_process:
+        "poisson" (memoryless) or "mmpp" (two-state bursty arrivals).
+    burstiness, switch_prob:
+        MMPP knobs: rate ratio between the burst and quiet states, and the
+        per-arrival state-flip probability.
+    """
+    _validate_trace_request(n_jobs, arrival_rate, tasks_per_job, mean_task_duration)
     generator = rng if rng is not None else make_generator(seed)
+    arrival_times = _sample_arrivals(
+        generator, n_jobs, arrival_rate, arrival_process, burstiness, switch_prob
+    )
+    durations = _sample_durations(
+        generator, n_jobs, tasks_per_job, mean_task_duration,
+        duration_distribution, duration_shape,
+    )
+    return JobTraceArrays(
+        arrival_times=arrival_times,
+        durations=durations,
+        arrival_rate=arrival_rate,
+        mean_task_duration=mean_task_duration,
+    )
 
-    inter_arrivals = generator.exponential(1.0 / arrival_rate, size=n_jobs)
-    arrival_times = np.cumsum(inter_arrivals)
 
-    if duration_distribution == "exponential":
-        durations = generator.exponential(
-            mean_task_duration, size=(n_jobs, tasks_per_job)
-        )
-    elif duration_distribution == "uniform":
-        durations = generator.uniform(
-            0.5 * mean_task_duration, 1.5 * mean_task_duration, size=(n_jobs, tasks_per_job)
-        )
-    elif duration_distribution == "constant":
-        durations = np.full((n_jobs, tasks_per_job), mean_task_duration)
-    else:
-        raise ValueError(
-            "duration_distribution must be 'exponential', 'uniform' or 'constant', "
-            f"got {duration_distribution!r}"
-        )
+def poisson_job_trace(
+    n_jobs: int,
+    arrival_rate: float,
+    tasks_per_job: int,
+    mean_task_duration: float = 1.0,
+    duration_distribution: "str | DurationSampler" = "exponential",
+    duration_shape: float = 2.5,
+    arrival_process: str = "poisson",
+    burstiness: float = 4.0,
+    switch_prob: float = 0.1,
+    seed: "int | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> JobTrace:
+    """Generate a job-arrival trace as :class:`JobSpec` objects.
 
-    jobs = [
-        JobSpec(
-            job_id=i,
-            arrival_time=float(arrival_times[i]),
-            task_durations=tuple(float(x) for x in durations[i]),
-        )
-        for i in range(n_jobs)
-    ]
-    return JobTrace(
-        jobs=jobs,
+    The historical entry point (Sparrow-style Poisson workload), extended
+    with the scenario library's heavy-tailed service times and bursty
+    arrivals.  See :func:`job_trace_arrays` for the parameters; this
+    function draws the same variates and materializes the object form.
+    """
+    arrays = job_trace_arrays(
+        n_jobs=n_jobs,
         arrival_rate=arrival_rate,
         tasks_per_job=tasks_per_job,
         mean_task_duration=mean_task_duration,
+        duration_distribution=duration_distribution,
+        duration_shape=duration_shape,
+        arrival_process=arrival_process,
+        burstiness=burstiness,
+        switch_prob=switch_prob,
+        seed=seed,
+        rng=rng,
     )
+    return arrays.to_trace()
+
+
+def worker_speeds(
+    n_workers: int,
+    spread: float = 0.0,
+    seed: "int | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Heterogeneous worker speed factors with unit mean.
+
+    ``spread`` is the log-space sigma of a lognormal draw (0 means a
+    homogeneous cluster of unit-speed workers).  A task of duration ``x``
+    occupies a worker of speed ``s`` for ``x / s`` time units.
+    """
+    if n_workers <= 0:
+        raise ValueError(f"n_workers must be positive, got {n_workers}")
+    if spread < 0:
+        raise ValueError(f"spread must be non-negative, got {spread}")
+    if spread == 0.0:
+        return np.ones(n_workers)
+    generator = rng if rng is not None else make_generator(seed)
+    speeds = generator.lognormal(-spread ** 2 / 2.0, spread, size=n_workers)
+    if float(speeds.min()) <= 0.0 or not np.all(np.isfinite(speeds)):
+        raise ValueError("worker speed sampler produced a non-positive speed")
+    return speeds
 
 
 # ----------------------------------------------------------------------
@@ -218,6 +498,37 @@ def zipf_weights(count: int, exponent: float = 1.0) -> np.ndarray:
     return weights / weights.sum()
 
 
+def file_sizes(
+    n_files: int,
+    size_distribution: str = "constant",
+    mean_size: float = 1.0,
+    seed: "int | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Draw the file-size vector used by :func:`file_population`.
+
+    Exposed separately so the fast storage core can consume sizes as a flat
+    array while drawing the exact variates of the object path.
+    """
+    if n_files < 0:
+        raise ValueError(f"n_files must be non-negative, got {n_files}")
+    generator = rng if rng is not None else make_generator(seed)
+    if size_distribution == "constant":
+        sizes = np.full(n_files, mean_size)
+    elif size_distribution == "exponential":
+        sizes = generator.exponential(mean_size, size=n_files)
+    elif size_distribution == "lognormal":
+        sigma = 1.0
+        mu = math.log(mean_size) - sigma ** 2 / 2.0
+        sizes = generator.lognormal(mu, sigma, size=n_files)
+    else:
+        raise ValueError(
+            "size_distribution must be 'constant', 'exponential' or 'lognormal', "
+            f"got {size_distribution!r}"
+        )
+    return sizes
+
+
 def file_population(
     n_files: int,
     replicas: int,
@@ -232,25 +543,13 @@ def file_population(
     ``size_distribution`` may be "constant", "exponential" or "lognormal".
     ``popularity_exponent`` > 0 gives Zipf-skewed access popularity.
     """
-    if n_files < 0:
-        raise ValueError(f"n_files must be non-negative, got {n_files}")
     if replicas <= 0:
         raise ValueError(f"replicas must be positive, got {replicas}")
     generator = rng if rng is not None else make_generator(seed)
-
-    if size_distribution == "constant":
-        sizes = np.full(n_files, mean_size)
-    elif size_distribution == "exponential":
-        sizes = generator.exponential(mean_size, size=n_files)
-    elif size_distribution == "lognormal":
-        sigma = 1.0
-        mu = math.log(mean_size) - sigma ** 2 / 2.0
-        sizes = generator.lognormal(mu, sigma, size=n_files)
-    else:
-        raise ValueError(
-            "size_distribution must be 'constant', 'exponential' or 'lognormal', "
-            f"got {size_distribution!r}"
-        )
+    sizes = file_sizes(
+        n_files, size_distribution=size_distribution, mean_size=mean_size,
+        rng=generator,
+    )
 
     if popularity_exponent > 0 and n_files > 0:
         popularity = zipf_weights(n_files, popularity_exponent)

@@ -20,7 +20,7 @@ from .placement import (
     RandomPlacement,
 )
 from .servers import StorageServer
-from .system import StorageReport, StorageSystem
+from .system import StorageReport, StorageSystem, simulate_storage_fast
 
 __all__ = [
     "StorageServer",
@@ -32,6 +32,7 @@ __all__ = [
     "KDChoicePlacement",
     "StorageSystem",
     "StorageReport",
+    "simulate_storage_fast",
     "AvailabilityReport",
     "availability",
     "fail_random_servers",

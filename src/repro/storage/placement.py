@@ -57,6 +57,10 @@ class PlacementPolicy(ABC):
 
     name: str = "placement"
 
+    #: Whether :meth:`fast_place` implements this policy for the fast
+    #: storage core (:func:`repro.storage.system.simulate_storage_fast`).
+    supports_fast_core: bool = False
+
     def __init__(self, require_distinct: bool = False) -> None:
         self.require_distinct = require_distinct
 
@@ -68,6 +72,38 @@ class PlacementPolicy(ABC):
         rng: np.random.Generator,
     ) -> PlacementDecision:
         """Choose a server for each of ``replicas`` replicas."""
+
+    def fast_place(
+        self,
+        loads: np.ndarray,
+        replicas: int,
+        rng: np.random.Generator,
+    ) -> PlacementDecision:
+        """Array twin of :meth:`place` for an all-alive cluster.
+
+        ``loads`` is the maintained replica-count vector — the signal
+        :meth:`place` reads via ``StorageServer.replica_count``.
+        Implementations MUST draw exactly the random variates of
+        :meth:`place` so the fast storage core is seed-for-seed identical
+        to :class:`~repro.storage.system.StorageSystem`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support the fast storage core"
+        )
+
+    def _fast_sample(
+        self, n_servers: int, count: int, rng: np.random.Generator
+    ) -> List[int]:
+        """Draw-for-draw twin of :meth:`_sample` over servers ``0..n-1``."""
+        if self.require_distinct:
+            if count > n_servers:
+                raise ValueError(
+                    f"cannot probe {count} distinct servers out of {n_servers}"
+                )
+            picks = rng.choice(n_servers, size=count, replace=False)
+        else:
+            picks = rng.integers(0, n_servers, size=count)
+        return [int(p) for p in picks]
 
     # ------------------------------------------------------------------
     # Helpers shared by the concrete policies
@@ -98,6 +134,17 @@ class RandomPlacement(PlacementPolicy):
     """Every replica goes to an independent uniformly random alive server."""
 
     name = "random"
+    supports_fast_core = True
+
+    def fast_place(
+        self, loads: np.ndarray, replicas: int, rng: np.random.Generator
+    ) -> PlacementDecision:
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        chosen = self._fast_sample(len(loads), replicas, rng)
+        return PlacementDecision(
+            servers=chosen, candidates=list(chosen), messages=replicas
+        )
 
     def place(
         self,
@@ -123,6 +170,32 @@ class PerReplicaDChoicePlacement(PlacementPolicy):
             raise ValueError(f"d must be at least 1, got {d}")
         self.d = d
         self.name = f"per-replica-{d}-choice"
+
+    supports_fast_core = True
+
+    def fast_place(
+        self, loads: np.ndarray, replicas: int, rng: np.random.Generator
+    ) -> PlacementDecision:
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        n_servers = len(loads)
+        decision = PlacementDecision()
+        already_used: set = set()
+        for _ in range(replicas):
+            # place() always probes with replacement (require_distinct only
+            # constrains which probed server may be *chosen*), so mirror the
+            # distinct=False sampling path exactly.
+            probes = [int(p) for p in rng.integers(0, n_servers, size=self.d)]
+            decision.messages += self.d
+            decision.candidates.extend(probes)
+            eligible = [
+                p for p in probes
+                if not (self.require_distinct and p in already_used)
+            ] or probes
+            best = min(eligible, key=lambda sid: loads[sid])
+            decision.servers.append(best)
+            already_used.add(best)
+        return decision
 
     def place(
         self,
@@ -187,6 +260,23 @@ class KDChoicePlacement(PlacementPolicy):
         else:
             d = int(np.ceil(self.probe_ratio * replicas))
         return max(replicas, min(d, n_alive) if self.require_distinct else d)
+
+    supports_fast_core = True
+
+    def fast_place(
+        self, loads: np.ndarray, replicas: int, rng: np.random.Generator
+    ) -> PlacementDecision:
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        n_servers = len(loads)
+        d = self.probes_for(replicas, n_servers)
+        probes = self._fast_sample(n_servers, d, rng)
+        destinations = self._policy.select(loads, probes, replicas, rng)
+        return PlacementDecision(
+            servers=[int(s) for s in destinations],
+            candidates=probes,
+            messages=d,
+        )
 
     def place(
         self,

@@ -4,12 +4,24 @@
 it stores file populations, answers lookups, reports load-balance and message
 metrics, and (together with :mod:`repro.storage.failures`) exercises failure
 and re-replication scenarios.
+
+:func:`simulate_storage_fast` is the array twin for the common case — place
+a whole population on an all-alive cluster and report the balance.  It keeps
+one maintained load vector instead of server/file objects and draws the
+exact random variates of the object path, so it is seed-for-seed identical
+to ``StorageSystem.store_population`` + ``report()`` while running in
+O(probes) per file instead of O(servers).
+
+Serialization contract: :meth:`StorageReport.to_dict` /
+:meth:`StorageReport.from_dict` round-trip every field at full precision
+through plain JSON types (``as_dict`` stays the rounded table form), and the
+report dataclass pickles for process-pool fan-out.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Iterable, List, Mapping, Optional
 
 import numpy as np
 
@@ -19,7 +31,7 @@ from .files import StoredFile
 from .placement import PlacementPolicy
 from .servers import StorageServer
 
-__all__ = ["StorageReport", "StorageSystem"]
+__all__ = ["StorageReport", "StorageSystem", "simulate_storage_fast"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +65,22 @@ class StorageReport:
             "messages_per_file": round(self.messages_per_file, 4),
             "mean_lookup_cost": round(self.mean_lookup_cost, 4),
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full-precision, JSON-safe form; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "StorageReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        names = {f.name for f in fields(cls)}
+        unknown = set(payload) - names
+        if unknown:
+            raise ValueError(f"unknown StorageReport fields: {sorted(unknown)}")
+        missing = names - set(payload)
+        if missing:
+            raise ValueError(f"missing StorageReport fields: {sorted(missing)}")
+        return cls(**payload)
 
 
 class StorageSystem:
@@ -183,3 +211,73 @@ class StorageSystem:
             max_bytes=float(bytes_stored.max()) if bytes_stored.size else 0.0,
             mean_bytes=float(bytes_stored.mean()) if bytes_stored.size else 0.0,
         )
+
+
+def simulate_storage_fast(
+    n_servers: int,
+    sizes: "np.ndarray | List[float]",
+    replicas: int,
+    placement: PlacementPolicy,
+    mode: str = "replication",
+    seed: "int | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> "tuple[np.ndarray, StorageReport]":
+    """Place a population with the fast storage core; return (loads, report).
+
+    Seed-for-seed identical to building a :class:`StorageSystem`, storing a
+    constant-``replicas`` population with the same sizes, and calling
+    ``report()`` — for policies with ``supports_fast_core`` on an all-alive
+    cluster.  Use the object path for failure/rebuild scenarios.
+    """
+    if n_servers <= 0:
+        raise ValueError(f"n_servers must be positive, got {n_servers}")
+    if mode not in ("replication", "chunking"):
+        raise ValueError(f"mode must be 'replication' or 'chunking', got {mode!r}")
+    if replicas <= 0:
+        raise ValueError(f"replicas must be positive, got {replicas}")
+    if not getattr(placement, "supports_fast_core", False):
+        raise ValueError(
+            f"placement {placement.name!r} does not support the fast storage "
+            f"core; use StorageSystem.store_population instead"
+        )
+    generator = rng if rng is not None else make_generator(seed)
+    sizes = np.asarray(sizes, dtype=float)
+    n_files = int(sizes.shape[0])
+
+    loads = np.zeros(n_servers, dtype=np.int64)
+    bytes_stored = [0.0] * n_servers
+    lookup_costs: List[int] = []
+    messages = 0
+    fast_place = placement.fast_place
+    for i in range(n_files):
+        decision = fast_place(loads, replicas, generator)
+        if len(decision.servers) != replicas:
+            raise RuntimeError(
+                f"placement returned {len(decision.servers)} servers for "
+                f"{replicas} replicas"
+            )
+        per_replica_size = sizes[i] / replicas if mode == "chunking" else sizes[i]
+        per_replica_size = float(per_replica_size)
+        for server_id in decision.servers:
+            loads[server_id] += 1
+            bytes_stored[server_id] += per_replica_size
+        messages += decision.messages
+        lookup_costs.append(len(decision.candidates))
+
+    bytes_array = np.asarray(bytes_stored)
+    report = StorageReport(
+        policy=placement.name,
+        n_servers=n_servers,
+        n_files=n_files,
+        n_replicas=int(loads.sum()),
+        max_load=int(loads.max()) if loads.size else 0,
+        mean_load=float(loads.mean()) if loads.size else 0.0,
+        load_stddev=float(loads.std()) if loads.size else 0.0,
+        gap=float(loads.max() - loads.mean()) if loads.size else 0.0,
+        placement_messages=messages,
+        messages_per_file=messages / n_files if n_files else 0.0,
+        mean_lookup_cost=float(np.mean(lookup_costs)) if lookup_costs else 0.0,
+        max_bytes=float(bytes_array.max()) if bytes_array.size else 0.0,
+        mean_bytes=float(bytes_array.mean()) if bytes_array.size else 0.0,
+    )
+    return loads, report

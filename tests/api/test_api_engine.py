@@ -73,7 +73,16 @@ class TestEngineResolution:
 
     def test_auto_is_scalar_for_schemes_without_fast_path(self):
         assert resolve_engine(SchemeSpec(scheme="serialized_kd_choice")) == "scalar"
-        assert resolve_engine(SchemeSpec(scheme="storage_placement")) == "scalar"
+        assert resolve_engine(SchemeSpec(scheme="greedy_kd_choice")) == "scalar"
+
+    def test_auto_prefers_fast_cores_for_substrates(self):
+        assert resolve_engine(SchemeSpec(scheme="cluster_scheduling")) == "vectorized"
+        assert resolve_engine(SchemeSpec(scheme="storage_placement")) == "vectorized"
+        # ...but failure/rebuild scenarios fall back to the reference system.
+        spec = SchemeSpec(
+            scheme="storage_placement", params={"fail_fraction": 0.1}
+        )
+        assert resolve_engine(spec) == "scalar"
 
     def test_auto_prefers_vectorized_for_covered_families(self):
         for scheme, params in [
@@ -130,13 +139,12 @@ class TestFullRegistryEngineDichotomy:
             ), f"{name}: engines disagree"
             assert results["scalar"].messages == results["vectorized"].messages
             covered.append(name)
-        # The engine v2 work covers every family except the inherently
-        # sequential/stateful schemes.
+        # The engine-v2 + substrate scale-out work covers every family except
+        # the inherently sequential schemes (ball-at-a-time serialization and
+        # the greedy water-filling policy).
         assert sorted(rejected) == [
-            "cluster_scheduling",
             "greedy_kd_choice",
             "serialized_kd_choice",
-            "storage_placement",
         ]
         assert len(covered) + len(rejected) == len(available_schemes())
 

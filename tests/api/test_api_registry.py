@@ -67,7 +67,11 @@ class TestCatalogue:
         assert description["engines"] == ["scalar", "vectorized"]
         assert describe_scheme("single_choice")["engines"] == ["scalar", "vectorized"]
         assert describe_scheme("serialized_kd_choice")["engines"] == ["scalar"]
-        assert describe_scheme("cluster_scheduling")["engines"] == ["scalar"]
+        assert describe_scheme("cluster_scheduling")["engines"] == [
+            "scalar", "vectorized",
+        ]
+        assert "mean_response" in describe_scheme("cluster_scheduling")["metrics"]
+        assert describe_scheme("kd_choice")["metrics"] is None
 
     def test_duplicate_registration_rejected(self):
         registry = SchemeRegistry()

@@ -76,8 +76,18 @@ class TestExecutionErrors:
             )
         with pytest.raises(SchemeSpecError, match="no vectorized engine"):
             SchemeSpec(
-                scheme="cluster_scheduling",
-                params={"n_workers": 16},
+                scheme="greedy_kd_choice",
+                params={"n_bins": 64, "k": 2, "d": 4},
+                engine="vectorized",
+            )
+
+    def test_vectorized_substrate_guard_rejects_failure_scenarios(self):
+        # The storage substrate's fast core only covers all-alive clusters;
+        # the guard fires at construction for failure/rebuild scenarios.
+        with pytest.raises(SchemeSpecError, match="fail_fraction"):
+            SchemeSpec(
+                scheme="storage_placement",
+                params={"n_servers": 16, "n_files": 32, "fail_fraction": 0.1},
                 engine="vectorized",
             )
 

@@ -1,0 +1,178 @@
+"""Substrate engine parity: cluster/storage through the full spec engine.
+
+Mirrors :mod:`tests.api.test_api_executor` for the application substrates:
+parallel (``n_jobs=4``) trial fan-outs must be byte-for-byte identical to
+serial, warm caches must answer without recomputation and reproduce the cold
+results exactly, and the report objects must round-trip through pickle
+(process pools) and JSON (the result cache / logs).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    SchemeSpec,
+    resolve_metric_set,
+    simulate,
+    simulate_trials,
+)
+from repro.api.cache import ResultStore
+from repro.api.schemes import CLUSTER_METRICS, STORAGE_METRICS
+from repro.cluster.metrics import ClusterReport
+from repro.storage.system import StorageReport
+
+CLUSTER_SPEC = SchemeSpec(
+    scheme="cluster_scheduling",
+    params={"n_workers": 16, "n_jobs": 40, "tasks_per_job": 4},
+    seed=19,
+    trials=4,
+)
+STORAGE_SPEC = SchemeSpec(
+    scheme="storage_placement",
+    params={"n_servers": 32, "n_files": 120, "replicas": 3},
+    seed=19,
+    trials=4,
+)
+SUBSTRATE_SPECS = [CLUSTER_SPEC, STORAGE_SPEC]
+SPEC_IDS = ["cluster", "storage"]
+
+
+class TestMetricSets:
+    def test_substrates_register_report_backed_metric_sets(self):
+        assert resolve_metric_set(CLUSTER_SPEC) == CLUSTER_METRICS
+        assert resolve_metric_set(STORAGE_SPEC) == STORAGE_METRICS
+
+    def test_non_substrate_schemes_keep_the_library_default(self):
+        spec = SchemeSpec(scheme="kd_choice", params={"n_bins": 64, "k": 1, "d": 2})
+        assert set(resolve_metric_set(spec)) == {"max_load", "gap", "messages"}
+
+    def test_explicit_metrics_override_the_registered_set(self):
+        metrics = {"ml": lambda r: float(r.max_load)}
+        assert resolve_metric_set(CLUSTER_SPEC, metrics) == metrics
+
+    @pytest.mark.parametrize("spec", SUBSTRATE_SPECS, ids=SPEC_IDS)
+    def test_metric_values_are_plain_finite_floats(self, spec):
+        outcome = simulate_trials(spec, trials=1)
+        for name, value in outcome.trials[0].metrics.items():
+            assert type(value) is float, name
+            assert np.isfinite(value), name
+
+
+class TestSubstrateDeterminism:
+    """Parallel vs serial byte-for-byte equality (the executor contract)."""
+
+    @pytest.mark.parametrize("spec", SUBSTRATE_SPECS, ids=SPEC_IDS)
+    def test_parallel_trials_identical_to_serial(self, spec):
+        serial = simulate_trials(spec, n_jobs=1)
+        parallel = simulate_trials(spec, n_jobs=4)
+        assert [t.seed for t in parallel.trials] == [t.seed for t in serial.trials]
+        assert [t.metrics for t in parallel.trials] == [
+            t.metrics for t in serial.trials
+        ]
+
+    @pytest.mark.parametrize("spec", SUBSTRATE_SPECS, ids=SPEC_IDS)
+    def test_engines_agree_through_simulate(self, spec):
+        results = {
+            engine: simulate(
+                SchemeSpec(
+                    scheme=spec.scheme, params=spec.params, seed=7, engine=engine
+                )
+            )
+            for engine in ("scalar", "vectorized")
+        }
+        assert np.array_equal(results["scalar"].loads, results["vectorized"].loads)
+        assert results["scalar"].messages == results["vectorized"].messages
+        assert results["scalar"].extra["report"] == results["vectorized"].extra["report"]
+
+
+class TestSubstrateCacheRoundTrip:
+    """Regression for the substrate cache bug: rich report metrics must
+    survive a --cache-dir run losslessly (no crash, no lossy entries)."""
+
+    @pytest.mark.parametrize("spec", SUBSTRATE_SPECS, ids=SPEC_IDS)
+    def test_warm_cache_reproduces_cold_serial_exactly(self, tmp_path, spec):
+        store = ResultStore(tmp_path)
+        cold = simulate_trials(spec, cache=store)
+        assert store.hits == 0 and store.misses == spec.trials
+        warm_store = ResultStore(tmp_path)
+        warm = simulate_trials(spec, cache=warm_store)
+        assert warm_store.hits == spec.trials and warm_store.misses == 0
+        assert [t.seed for t in warm.trials] == [t.seed for t in cold.trials]
+        assert [t.metrics for t in warm.trials] == [t.metrics for t in cold.trials]
+
+    @pytest.mark.parametrize("spec", SUBSTRATE_SPECS, ids=SPEC_IDS)
+    def test_cache_entries_are_valid_full_precision_json(self, tmp_path, spec):
+        store = ResultStore(tmp_path)
+        outcome = simulate_trials(spec, cache=store)
+        entries = sorted(tmp_path.glob("*/*.json"))
+        assert len(entries) == spec.trials
+        stored_metrics = []
+        for path in entries:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            assert all(
+                isinstance(v, (int, float)) for v in entry["metrics"].values()
+            )
+            stored_metrics.append(entry["metrics"])
+        computed = {
+            (t.seed, name): value
+            for t in outcome.trials
+            for name, value in t.metrics.items()
+        }
+        flattened = {
+            (entry["seed"], name): value
+            for entry, metrics in zip(
+                (json.loads(p.read_text()) for p in entries), stored_metrics
+            )
+            for name, value in metrics.items()
+        }
+        assert flattened == computed
+
+    def test_cached_and_fresh_runs_agree_across_engines(self, tmp_path):
+        # auto resolves to the fast core; a cache written by it must answer a
+        # later auto run even though the scalar reference would compute the
+        # same values.
+        spec = CLUSTER_SPEC
+        store = ResultStore(tmp_path)
+        fast = simulate_trials(spec, cache=store)
+        scalar_spec = SchemeSpec(
+            scheme=spec.scheme, params=spec.params, seed=spec.seed,
+            trials=spec.trials, engine="scalar",
+        )
+        scalar = simulate_trials(scalar_spec)
+        assert [t.metrics for t in fast.trials] == [t.metrics for t in scalar.trials]
+
+
+class TestReportSerialization:
+    """The stable to_dict()/from_dict() contract of both report types."""
+
+    def _reports(self):
+        cluster = simulate(CLUSTER_SPEC.with_seed(3)).extra["report"]
+        storage = simulate(STORAGE_SPEC.with_seed(3)).extra["report"]
+        return [cluster, storage]
+
+    def test_json_round_trip_is_lossless(self):
+        for report in self._reports():
+            payload = json.loads(json.dumps(report.to_dict()))
+            assert type(report).from_dict(payload) == report
+
+    def test_pickle_round_trip_is_lossless(self):
+        for report in self._reports():
+            assert pickle.loads(pickle.dumps(report)) == report
+
+    def test_from_dict_rejects_unknown_and_missing_fields(self):
+        report = self._reports()[0]
+        payload = report.to_dict()
+        with pytest.raises(ValueError, match="unknown"):
+            ClusterReport.from_dict({**payload, "bogus": 1})
+        payload.pop("mean_response")
+        with pytest.raises(ValueError, match="missing"):
+            ClusterReport.from_dict(payload)
+
+    def test_storage_from_dict_symmetry(self):
+        report = self._reports()[1]
+        assert StorageReport.from_dict(report.to_dict()) == report

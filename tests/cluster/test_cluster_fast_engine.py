@@ -1,0 +1,182 @@
+"""The fast event core must be seed-for-seed identical to the reference.
+
+The array engine (:func:`repro.cluster.simulator.simulate_cluster_fast`)
+draws the same random variates and replays the same event order as
+:class:`~repro.cluster.simulator.ClusterSimulator`, so for every supported
+scheduler the two engines must emit *equal* :class:`ClusterReport` objects —
+including at tie-heavy workloads (constant durations) where event ordering
+is the hard part.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.events import EventHeap
+from repro.cluster.schedulers import (
+    BatchSamplingScheduler,
+    LateBindingScheduler,
+    PerTaskDChoiceScheduler,
+    RandomScheduler,
+)
+from repro.cluster.simulator import (
+    ClusterSimulator,
+    simulate_cluster,
+    simulate_cluster_fast,
+)
+from repro.simulation.workloads import (
+    job_trace_arrays,
+    poisson_job_trace,
+    worker_speeds,
+)
+
+FAST_SCHEDULERS = [RandomScheduler, PerTaskDChoiceScheduler, BatchSamplingScheduler]
+
+
+class TestEventHeap:
+    def test_orders_by_time_then_sequence(self):
+        heap = EventHeap()
+        heap.push(2.0, 10)
+        heap.push(1.0, 20)
+        heap.push(1.0, 30)
+        assert heap.pop() == (1.0, 1, 20)
+        assert heap.pop() == (1.0, 2, 30)
+        assert heap.pop() == (2.0, 0, 10)
+
+    def test_first_sequence_offsets_tie_order(self):
+        # Sequences start at 5, so these finish-style events sort after any
+        # notional arrival sequence 0..4 at the same instant.
+        heap = EventHeap(first_sequence=5)
+        heap.push(1.0, 0)
+        assert heap.pop() == (1.0, 5, 0)
+
+    def test_pop_until_is_strict(self):
+        heap = EventHeap()
+        for time, tag in [(0.5, 1), (1.0, 2), (1.5, 3)]:
+            heap.push(time, tag)
+        assert heap.pop_until(1.0) == (1,)
+        assert len(heap) == 2
+        assert heap.next_time() == 1.0
+
+    def test_rejects_negative_times_and_empty_pop(self):
+        heap = EventHeap()
+        with pytest.raises(ValueError):
+            heap.push(-0.1, 0)
+        with pytest.raises(IndexError):
+            heap.pop()
+        assert heap.next_time() is None
+
+
+class TestFastReferenceEquivalence:
+    @pytest.mark.parametrize("scheduler_cls", FAST_SCHEDULERS)
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_reports_identical_for_fixed_seed(self, scheduler_cls, seed):
+        trace = poisson_job_trace(
+            n_jobs=120, arrival_rate=6.0, tasks_per_job=5, seed=seed
+        )
+        reference = ClusterSimulator(24, scheduler_cls(), seed=seed + 1).run(trace)
+        fast = simulate_cluster_fast(24, scheduler_cls(), trace, seed=seed + 1)
+        assert reference == fast
+
+    @pytest.mark.parametrize("scheduler_cls", FAST_SCHEDULERS)
+    def test_identical_under_tie_heavy_constant_durations(self, scheduler_cls):
+        # Constant service times produce exact finish/arrival coincidences;
+        # the engines must break those ties identically.
+        trace = poisson_job_trace(
+            n_jobs=200, arrival_rate=8.0, tasks_per_job=4,
+            duration_distribution="constant", seed=3,
+        )
+        reference = ClusterSimulator(16, scheduler_cls(), seed=11).run(trace)
+        fast = simulate_cluster_fast(16, scheduler_cls(), trace, seed=11)
+        assert reference == fast
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            {"duration_distribution": "pareto"},
+            {"duration_distribution": "lognormal", "duration_shape": 1.2},
+            {"arrival_process": "mmpp", "burstiness": 6.0},
+        ],
+        ids=["pareto", "lognormal", "mmpp"],
+    )
+    def test_identical_across_scenario_library(self, scenario):
+        trace = poisson_job_trace(
+            n_jobs=150, arrival_rate=5.0, tasks_per_job=4, seed=5, **scenario
+        )
+        reference = ClusterSimulator(24, BatchSamplingScheduler(), seed=6).run(trace)
+        fast = simulate_cluster_fast(24, BatchSamplingScheduler(), trace, seed=6)
+        assert reference == fast
+
+    def test_identical_with_heterogeneous_workers(self):
+        speeds = worker_speeds(16, spread=0.6, seed=1)
+        trace = poisson_job_trace(n_jobs=100, arrival_rate=4.0, tasks_per_job=3, seed=2)
+        reference = ClusterSimulator(
+            16, BatchSamplingScheduler(), seed=9, speeds=speeds
+        ).run(trace)
+        fast = simulate_cluster_fast(
+            16, BatchSamplingScheduler(), trace, seed=9, speeds=speeds
+        )
+        assert reference == fast
+
+    def test_array_and_object_traces_are_interchangeable(self):
+        arrays = job_trace_arrays(80, 5.0, 4, seed=3)
+        from_arrays = simulate_cluster_fast(16, BatchSamplingScheduler(), arrays, seed=4)
+        from_objects = simulate_cluster_fast(
+            16, BatchSamplingScheduler(), arrays.to_trace(), seed=4
+        )
+        reference = ClusterSimulator(16, BatchSamplingScheduler(), seed=4).run(
+            arrays.to_trace()
+        )
+        assert from_arrays == from_objects == reference
+
+    def test_unsorted_job_sequences_match_reference(self):
+        # Hand-built traces need not arrive time-sorted; the fast core must
+        # replay the reference queue's (time, push order) event order.
+        from repro.simulation.workloads import JobSpec
+
+        specs = [
+            JobSpec(job_id=0, arrival_time=10.0, task_durations=(1.0, 2.0)),
+            JobSpec(job_id=1, arrival_time=0.0, task_durations=(3.0,)),
+            JobSpec(job_id=2, arrival_time=0.5, task_durations=(1.0, 1.0, 1.0)),
+            JobSpec(job_id=3, arrival_time=0.5, task_durations=(2.0,)),  # tie
+        ]
+        for scheduler_cls in FAST_SCHEDULERS:
+            reference = ClusterSimulator(4, scheduler_cls(), seed=3).run(specs)
+            fast = simulate_cluster_fast(4, scheduler_cls(), specs, seed=3)
+            assert reference == fast, scheduler_cls.__name__
+
+    def test_placement_counts_match_reference_tasks_completed(self):
+        trace = poisson_job_trace(n_jobs=60, arrival_rate=4.0, tasks_per_job=4, seed=8)
+        simulator = ClusterSimulator(12, BatchSamplingScheduler(), seed=9)
+        simulator.run(trace)
+        counts = np.zeros(12, dtype=np.int64)
+        simulate_cluster_fast(
+            12, BatchSamplingScheduler(), trace, seed=9, placement_counts=counts
+        )
+        assert counts.tolist() == [w.tasks_completed for w in simulator.workers]
+
+
+class TestEngineDispatch:
+    def test_auto_uses_fast_core_and_matches_reference(self):
+        trace = poisson_job_trace(n_jobs=50, arrival_rate=4.0, tasks_per_job=3, seed=0)
+        auto = simulate_cluster(8, BatchSamplingScheduler(), trace, seed=1)
+        forced = simulate_cluster(
+            8, BatchSamplingScheduler(), trace, seed=1, engine="reference"
+        )
+        assert auto == forced
+
+    def test_late_binding_falls_back_to_reference(self):
+        trace = poisson_job_trace(n_jobs=30, arrival_rate=3.0, tasks_per_job=2, seed=0)
+        report = simulate_cluster(8, LateBindingScheduler(), trace, seed=1)
+        assert report.scheduler.startswith("late-binding")
+
+    def test_forced_fast_engine_rejects_late_binding(self):
+        trace = poisson_job_trace(n_jobs=10, arrival_rate=3.0, tasks_per_job=2, seed=0)
+        with pytest.raises(ValueError, match="fast"):
+            simulate_cluster(8, LateBindingScheduler(), trace, seed=1, engine="fast")
+
+    def test_unknown_engine_rejected(self):
+        trace = poisson_job_trace(n_jobs=5, arrival_rate=3.0, tasks_per_job=2, seed=0)
+        with pytest.raises(ValueError, match="engine"):
+            simulate_cluster(8, RandomScheduler(), trace, seed=1, engine="warp")

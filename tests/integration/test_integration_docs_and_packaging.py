@@ -45,8 +45,15 @@ class TestReadmeConsistency:
         readme = _read("README.md")
         # Run the core of the quickstart: the public names it uses must exist
         # and behave as described.
-        assert "run_kd_choice" in readme
-        result = repro.run_kd_choice(n_bins=1024, k=8, d=16, seed=0)
+        assert "SchemeSpec" in readme
+        assert "simulate" in readme
+        result = repro.simulate(
+            repro.SchemeSpec(
+                scheme="kd_choice",
+                params={"n_bins": 1024, "k": 8, "d": 16},
+                seed=0,
+            )
+        )
         assert result.max_load >= 1
         assert "predicted_max_load" in readme
         from repro.analysis import classify_regime, predicted_max_load

@@ -28,7 +28,13 @@ class TestPackageSurface:
         assert repro.__version__ == "1.0.0"
 
     def test_top_level_exports_work_together(self):
-        result = repro.run_kd_choice(n_bins=512, k=4, d=8, seed=1)
+        result = repro.simulate(
+            repro.SchemeSpec(
+                scheme="kd_choice",
+                params={"n_bins": 512, "k": 4, "d": 8},
+                seed=1,
+            )
+        )
         regime = classify_regime(4, 8, 512)
         prediction = predicted_max_load(4, 8, 512)
         assert regime.name == "dk_constant"
@@ -53,7 +59,11 @@ class TestSweepToTablePipeline:
         runner_a = ExperimentRunner(trials=3, seed=tree.integer_seed())
         tree = SeedTree(5)
         runner_b = ExperimentRunner(trials=3, seed=tree.integer_seed())
-        factory = lambda s: repro.run_kd_choice(256, 2, 4, seed=s)  # noqa: E731
+        factory = lambda s: repro.simulate(  # noqa: E731
+            repro.SchemeSpec(
+                scheme="kd_choice", params={"n_bins": 256, "k": 2, "d": 4}, seed=s
+            )
+        )
         assert (
             runner_a.run(factory).metric_values("max_load")
             == runner_b.run(factory).metric_values("max_load")

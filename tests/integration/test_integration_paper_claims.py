@@ -12,14 +12,32 @@ import math
 import numpy as np
 import pytest
 
-from repro import (
-    run_d_choice,
-    run_kd_choice,
-    run_single_choice,
-)
 from repro.analysis.bounds import theorem1_leading_term
 from repro.analysis.recurrences import LayeredInduction
+from repro.api import SchemeSpec, simulate
 from repro.core.metrics import nu
+
+
+# Spec-API wrappers with the historical call shape, so the assertions below
+# read the way the paper states them (the deprecated top-level run_* shims
+# are gone from the test suite; DeprecationWarning is an error under pytest).
+def run_kd_choice(n_bins, k, d, n_balls=None, seed=None):
+    params = {"n_bins": n_bins, "k": k, "d": d}
+    if n_balls is not None:
+        params["n_balls"] = n_balls
+    return simulate(SchemeSpec(scheme="kd_choice", params=params, seed=seed))
+
+
+def run_d_choice(n_bins, d, seed=None):
+    return simulate(
+        SchemeSpec(scheme="d_choice", params={"n_bins": n_bins, "d": d}, seed=seed)
+    )
+
+
+def run_single_choice(n_bins, seed=None):
+    return simulate(
+        SchemeSpec(scheme="single_choice", params={"n_bins": n_bins}, seed=seed)
+    )
 
 
 N = 3 * 2 ** 12  # scaled-down instance used throughout the integration tests

@@ -10,7 +10,10 @@ from repro.simulation.workloads import (
     FileSpec,
     JobSpec,
     file_population,
+    file_sizes,
+    job_trace_arrays,
     poisson_job_trace,
+    worker_speeds,
     zipf_weights,
 )
 
@@ -94,10 +97,168 @@ class TestJobTrace:
         assert job.tasks_per_job == 3
         assert job.total_work == pytest.approx(6.0)
 
+    def test_job_spec_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError, match="at least one task"):
+            JobSpec(job_id=0, arrival_time=0.0, task_durations=())
+        with pytest.raises(ValueError, match="negative arrival"):
+            JobSpec(job_id=0, arrival_time=-1.0, task_durations=(1.0,))
+
     def test_reproducible(self):
         a = poisson_job_trace(10, 1.0, 2, seed=9)
         b = poisson_job_trace(10, 1.0, 2, seed=9)
         assert [j.arrival_time for j in a] == [j.arrival_time for j in b]
+
+
+class TestScenarioLibrary:
+    """Heavy-tailed service times, bursty arrivals, worker heterogeneity."""
+
+    @pytest.mark.parametrize("distribution", ["pareto", "lognormal"])
+    def test_heavy_tailed_durations_positive_with_requested_mean(self, distribution):
+        trace = job_trace_arrays(
+            4000, arrival_rate=1.0, tasks_per_job=2, mean_task_duration=2.0,
+            duration_distribution=distribution, seed=0,
+        )
+        assert float(trace.durations.min()) > 0.0
+        assert float(trace.durations.mean()) == pytest.approx(2.0, rel=0.25)
+
+    def test_pareto_tail_heavier_than_exponential(self):
+        pareto = job_trace_arrays(
+            5000, 1.0, 1, duration_distribution="pareto", duration_shape=1.5, seed=1
+        )
+        exponential = job_trace_arrays(5000, 1.0, 1, seed=1)
+        assert float(pareto.durations.max()) > float(exponential.durations.max())
+
+    def test_pareto_shape_must_have_finite_mean(self):
+        with pytest.raises(ValueError, match="shape"):
+            job_trace_arrays(5, 1.0, 1, duration_distribution="pareto",
+                             duration_shape=1.0)
+
+    def test_mmpp_arrivals_sorted_and_burstier_than_poisson(self):
+        mmpp = job_trace_arrays(
+            4000, arrival_rate=4.0, tasks_per_job=1,
+            arrival_process="mmpp", burstiness=6.0, seed=2,
+        )
+        poisson = job_trace_arrays(4000, arrival_rate=4.0, tasks_per_job=1, seed=2)
+        assert np.all(np.diff(mmpp.arrival_times) >= 0)
+        # Burstiness shows up as a larger coefficient of variation of the
+        # inter-arrival times than the memoryless baseline's (~1).
+        def cv(times):
+            inter = np.diff(times)
+            return float(inter.std() / inter.mean())
+        assert cv(mmpp.arrival_times) > cv(poisson.arrival_times)
+
+    def test_mmpp_preserves_the_requested_mean_rate(self):
+        # Regression: the burst/quiet rates are rescaled so the long-run
+        # mean arrival rate stays at arrival_rate (harmonic-mean correction).
+        trace = job_trace_arrays(
+            100_000, arrival_rate=8.0, tasks_per_job=1,
+            arrival_process="mmpp", burstiness=4.0, seed=0,
+        )
+        empirical_rate = len(trace) / float(trace.arrival_times[-1])
+        assert empirical_rate == pytest.approx(8.0, rel=0.1)
+
+    def test_mmpp_parameter_validation(self):
+        with pytest.raises(ValueError, match="burstiness"):
+            job_trace_arrays(5, 1.0, 1, arrival_process="mmpp", burstiness=0.5)
+        with pytest.raises(ValueError, match="switch_prob"):
+            job_trace_arrays(5, 1.0, 1, arrival_process="mmpp", switch_prob=0.0)
+        with pytest.raises(ValueError, match="arrival_process"):
+            job_trace_arrays(5, 1.0, 1, arrival_process="fractal")
+
+    def test_worker_speeds_unit_mean_and_validation(self):
+        assert worker_speeds(8).tolist() == [1.0] * 8
+        speeds = worker_speeds(5000, spread=0.4, seed=3)
+        assert float(speeds.min()) > 0.0
+        assert float(speeds.mean()) == pytest.approx(1.0, rel=0.05)
+        with pytest.raises(ValueError):
+            worker_speeds(0)
+        with pytest.raises(ValueError):
+            worker_speeds(4, spread=-0.1)
+
+
+class TestJobTraceArrays:
+    def test_matches_object_trace_value_for_value(self):
+        arrays = job_trace_arrays(60, arrival_rate=3.0, tasks_per_job=3, seed=11)
+        objects = poisson_job_trace(60, arrival_rate=3.0, tasks_per_job=3, seed=11)
+        assert arrays.arrival_times.tolist() == [j.arrival_time for j in objects]
+        assert arrays.durations.tolist() == [
+            list(j.task_durations) for j in objects
+        ]
+        assert arrays.total_tasks == objects.total_tasks
+
+    def test_to_trace_round_trip(self):
+        arrays = job_trace_arrays(12, 2.0, 2, seed=0)
+        trace = arrays.to_trace()
+        assert len(trace) == 12
+        assert trace.tasks_per_job == 2
+
+    def test_shape_mismatch_rejected(self):
+        from repro.simulation.workloads import JobTraceArrays
+
+        with pytest.raises(ValueError, match="shape"):
+            JobTraceArrays(
+                arrival_times=np.zeros(3), durations=np.ones((2, 2)),
+                arrival_rate=1.0, mean_task_duration=1.0,
+            )
+
+    def test_zero_task_jobs_rejected(self):
+        from repro.simulation.workloads import JobTraceArrays
+
+        with pytest.raises(ValueError, match="at least one task"):
+            JobTraceArrays(
+                arrival_times=np.zeros(2), durations=np.empty((2, 0)),
+                arrival_rate=1.0, mean_task_duration=1.0,
+            )
+
+
+class TestSamplerValidation:
+    """Regression: a sampler drawing zero/negative durations would schedule
+    TASK_FINISH at or before the arrival tick; the workload boundary must
+    reject it with a clear error."""
+
+    @pytest.mark.parametrize("bad_value", [0.0, -1.0])
+    def test_non_positive_custom_sampler_rejected(self, bad_value):
+        def sampler(rng, size):
+            out = rng.exponential(1.0, size=size)
+            out.flat[0] = bad_value
+            return out
+
+        with pytest.raises(ValueError, match="non-positive duration"):
+            job_trace_arrays(10, 1.0, 2, duration_distribution=sampler, seed=0)
+
+    def test_non_finite_custom_sampler_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            job_trace_arrays(
+                4, 1.0, 2,
+                duration_distribution=lambda rng, size: np.full(size, np.nan),
+            )
+
+    def test_wrong_shape_custom_sampler_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            job_trace_arrays(
+                4, 1.0, 2, duration_distribution=lambda rng, size: np.ones(3)
+            )
+
+    def test_valid_custom_sampler_accepted(self):
+        trace = job_trace_arrays(
+            6, 1.0, 2,
+            duration_distribution=lambda rng, size: rng.uniform(1.0, 2.0, size=size),
+            seed=1,
+        )
+        assert float(trace.durations.min()) >= 1.0
+
+
+class TestFileSizes:
+    def test_matches_file_population_draws(self):
+        sizes = file_sizes(40, size_distribution="exponential", seed=7)
+        population = file_population(
+            40, replicas=2, size_distribution="exponential", seed=7
+        )
+        assert sizes.tolist() == [f.size for f in population]
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            file_sizes(4, size_distribution="weibull")
 
 
 class TestZipfWeights:

@@ -1,0 +1,71 @@
+"""The fast storage core must be seed-for-seed identical to StorageSystem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.workloads import file_population, file_sizes
+from repro.storage.placement import (
+    KDChoicePlacement,
+    PerReplicaDChoicePlacement,
+    RandomPlacement,
+)
+from repro.storage.system import StorageSystem, simulate_storage_fast
+
+POLICIES = [
+    (RandomPlacement, {}),
+    (RandomPlacement, {"require_distinct": True}),
+    (PerReplicaDChoicePlacement, {"d": 2}),
+    (PerReplicaDChoicePlacement, {"d": 2, "require_distinct": True}),
+    (KDChoicePlacement, {"extra_probes": 1}),
+    (KDChoicePlacement, {"extra_probes": None, "probe_ratio": 2.0}),
+    (KDChoicePlacement, {"extra_probes": 1, "require_distinct": True}),
+]
+POLICY_IDS = [
+    "random", "random-distinct", "per-replica", "per-replica-distinct",
+    "kd+1", "kd-ratio", "kd-distinct",
+]
+
+
+class TestFastStorageEquivalence:
+    @pytest.mark.parametrize("policy_cls,kwargs", POLICIES, ids=POLICY_IDS)
+    @pytest.mark.parametrize("mode", ["replication", "chunking"])
+    def test_reports_and_loads_identical(self, policy_cls, kwargs, mode):
+        seed = 5
+        population = file_population(
+            n_files=300, replicas=3, size_distribution="exponential", seed=seed
+        )
+        system = StorageSystem(64, policy_cls(**kwargs), mode=mode, seed=seed + 1)
+        system.store_population(population)
+
+        sizes = file_sizes(300, size_distribution="exponential", seed=seed)
+        loads, report = simulate_storage_fast(
+            64, sizes, 3, policy_cls(**kwargs), mode=mode, seed=seed + 1
+        )
+        assert report == system.report()
+        assert np.array_equal(loads, system.load_vector())
+
+    def test_replica_conservation(self):
+        loads, report = simulate_storage_fast(
+            32, file_sizes(100, seed=0), 4, KDChoicePlacement(extra_probes=1), seed=1
+        )
+        assert int(loads.sum()) == 400
+        assert report.n_replicas == 400
+        assert report.mean_lookup_cost == 5.0  # d = k + 1 candidates per file
+
+    def test_unsupported_policy_rejected(self):
+        class Unsupported(RandomPlacement):
+            supports_fast_core = False
+
+        with pytest.raises(ValueError, match="fast storage core"):
+            simulate_storage_fast(8, file_sizes(4, seed=0), 2, Unsupported(), seed=0)
+
+    def test_invalid_requests_rejected(self):
+        policy = KDChoicePlacement()
+        with pytest.raises(ValueError, match="n_servers"):
+            simulate_storage_fast(0, file_sizes(4, seed=0), 2, policy)
+        with pytest.raises(ValueError, match="mode"):
+            simulate_storage_fast(8, file_sizes(4, seed=0), 2, policy, mode="raid")
+        with pytest.raises(ValueError, match="replicas"):
+            simulate_storage_fast(8, file_sizes(4, seed=0), 0, policy)

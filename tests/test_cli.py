@@ -26,7 +26,7 @@ class TestParser:
         parser = build_parser()
         for command in [
             "table1", "profile", "regimes", "heavy", "tradeoff",
-            "scheduling", "storage", "majorization", "ablation",
+            "scheduling", "cluster", "storage", "majorization", "ablation",
             "weighted", "staleness", "churn", "open-question", "exact",
         ]:
             args = parser.parse_args([command] if command != "table1" else ["table1"])
@@ -59,9 +59,47 @@ class TestMainCommands:
         assert main(["scheduling", "--workers", "8", "--jobs", "20"]) == 0
         assert "scheduler" in capsys.readouterr().out
 
-    def test_storage(self, capsys):
-        assert main(["storage", "--servers", "32", "--files", "100"]) == 0
+    def test_storage_spec_run(self, capsys):
+        assert main([
+            "storage", "--servers", "32", "--files", "100", "--trials", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "storage_placement" in output
+        assert "mean_lookup_cost_mean" in output
+
+    def test_storage_compare(self, capsys):
+        assert main(["storage", "--servers", "32", "--files", "100", "--compare"]) == 0
         assert "policy" in capsys.readouterr().out
+
+    def test_cluster_spec_run(self, capsys):
+        assert main([
+            "cluster", "--workers", "16", "--trace-jobs", "30", "--trials", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "cluster_scheduling" in output
+        assert "p99_response_mean" in output
+
+    def test_cluster_scenario_flags(self, capsys):
+        assert main([
+            "cluster", "--workers", "16", "--trace-jobs", "30", "--trials", "1",
+            "--distribution", "pareto", "--arrival-process", "mmpp",
+            "--speed-spread", "0.3",
+        ]) == 0
+        assert "mean_response_mean" in capsys.readouterr().out
+
+    def test_storage_failure_scenario(self, capsys):
+        assert main([
+            "storage", "--servers", "32", "--files", "100", "--trials", "1",
+            "--fail-fraction", "0.1", "--rebuild",
+        ]) == 0
+        assert "availability_mean" in capsys.readouterr().out
+
+    def test_storage_forced_vectorized_failure_scenario_is_clean_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "storage", "--servers", "32", "--files", "100",
+                "--fail-fraction", "0.1", "--engine", "vectorized",
+            ])
 
     def test_majorization(self, capsys):
         assert main(["majorization", "--n", "256", "--trials", "3"]) == 0

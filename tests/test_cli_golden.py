@@ -37,6 +37,14 @@ SIMULATE_WEIGHTED_ARGS = [
     "--param", "n_bins=1024", "--param", "k=4", "--param", "d=8",
     "--param", "weights=exponential", "--trials", "2", "--seed", "3",
 ]
+CLUSTER_ARGS = [
+    "cluster", "--workers", "32", "--trace-jobs", "60", "--tasks-per-job", "4",
+    "--trials", "2", "--seed", "7",
+]
+STORAGE_ARGS = [
+    "storage", "--servers", "64", "--files", "200", "--trials", "2",
+    "--seed", "7",
+]
 
 
 def run_cli(capsys, argv) -> str:
@@ -89,6 +97,64 @@ class TestSimulateGolden:
         output = run_cli(capsys, args + ["--engine", "vectorized"])
         normalized = output.replace("(engine=vectorized,", "(engine=scalar,", 1)
         assert normalized == golden(golden_name)
+
+
+class TestSubstrateGolden:
+    """The substrate subcommands under both engines, against stored goldens.
+
+    The fast event core / fast storage core are seed-for-seed identical to
+    the reference simulators, so ``--engine vectorized`` must reproduce the
+    scalar golden byte for byte (modulo the echoed engine token).
+    """
+
+    @pytest.mark.parametrize(
+        "args,golden_name",
+        [(CLUSTER_ARGS, "cluster_run.txt"), (STORAGE_ARGS, "storage_run.txt")],
+        ids=["cluster", "storage"],
+    )
+    def test_scalar_engine_matches_golden(self, capsys, args, golden_name):
+        output = run_cli(capsys, args + ["--engine", "scalar"])
+        assert output == golden(golden_name)
+
+    @pytest.mark.parametrize(
+        "args,golden_name",
+        [(CLUSTER_ARGS, "cluster_run.txt"), (STORAGE_ARGS, "storage_run.txt")],
+        ids=["cluster", "storage"],
+    )
+    @pytest.mark.parametrize("engine", ["vectorized", "auto"])
+    def test_fast_engines_match_golden_bytes(self, capsys, args, golden_name, engine):
+        output = run_cli(capsys, args + ["--engine", engine])
+        normalized = output.replace(f"(engine={engine},", "(engine=scalar,", 1)
+        assert normalized == golden(golden_name)
+
+    @pytest.mark.parametrize(
+        "args,golden_name",
+        [(CLUSTER_ARGS, "cluster_run.txt"), (STORAGE_ARGS, "storage_run.txt")],
+        ids=["cluster", "storage"],
+    )
+    def test_parallel_trials_match_golden_bytes(self, capsys, args, golden_name):
+        output = run_cli(capsys, args + ["--engine", "scalar", "--jobs", "2"])
+        assert output == golden(golden_name)
+
+    @pytest.mark.parametrize(
+        "args,golden_name",
+        [(CLUSTER_ARGS, "cluster_run.txt"), (STORAGE_ARGS, "storage_run.txt")],
+        ids=["cluster", "storage"],
+    )
+    def test_warm_cache_matches_golden_bytes(self, capsys, tmp_path, args, golden_name):
+        argv = args + ["--engine", "scalar", "--cache-dir", str(tmp_path)]
+        cold = run_cli(capsys, argv)
+        warm = run_cli(capsys, argv)
+        assert "0 hits, 2 misses" in cold
+        assert "2 hits, 0 misses" in warm
+
+        def strip_cache_line(text: str) -> str:
+            return "".join(
+                line for line in text.splitlines(keepends=True)
+                if not line.startswith("cache:")
+            )
+
+        assert strip_cache_line(cold) == strip_cache_line(warm) == golden(golden_name)
 
 
 class TestEngineNeutralRecipes:
