@@ -1,0 +1,161 @@
+"""Bench trajectory aggregator: one ``BENCH_ONLINE.json`` artifact per run.
+
+Measures, for every ``online=``-capable scheme, three throughputs on the
+same workload size (``--items``, default 200k):
+
+* ``batch`` — one ``simulate()`` call (the engine the spec resolves to),
+* ``stream`` — the scalar ``place()`` loop (measured on a reduced item
+  count and normalized, it is the per-request reference path),
+* ``place_batch`` — chunked streaming ingestion through the batch kernels,
+
+and writes them as ``scheme -> items/sec`` into a single JSON artifact that
+CI uploads, so the streaming-vs-batch trajectory accumulates across runs.
+Any sibling ``BENCH_*.json`` files already present in the working directory
+(e.g. produced by other bench harnesses) are folded into the artifact under
+``"collected"``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_report.py --items 200000 \
+        --output BENCH_ONLINE.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.api import REGISTRY, SchemeSpec, get_scheme, simulate
+from repro.online import OnlineAllocator
+
+#: Scheme-specific parameters (n_bins/n_balls are filled in per run).
+SCHEME_PARAMS: Dict[str, Dict[str, Any]] = {
+    "kd_choice": {"k": 4, "d": 8},
+    "greedy_kd_choice": {"k": 4, "d": 8},
+    "d_choice": {"d": 4},
+    "two_choice": {},
+    "single_choice": {},
+    "batch_random": {"k": 8},
+    "weighted_kd_choice": {"k": 4, "d": 8},
+    "stale_kd_choice": {"k": 4, "d": 8, "stale_rounds": 8},
+    "one_plus_beta": {"beta": 0.5},
+    "always_go_left": {"d": 4},
+    "threshold_adaptive": {},
+    "two_phase_adaptive": {},
+}
+
+#: Schemes whose per-item reference loop is slow enough that the scalar
+#: stream measurement uses a reduced item count (normalized to items/sec).
+SCALAR_STREAM_CAP = 50_000
+
+
+def _spec(scheme: str, items: int, engine: str) -> SchemeSpec:
+    params = dict(SCHEME_PARAMS.get(scheme, {}))
+    params["n_bins"] = items
+    params["n_balls"] = items
+    return SchemeSpec(scheme=scheme, params=params, seed=0, engine=engine)
+
+
+def _measure_scheme(scheme: str, items: int) -> Dict[str, Any]:
+    # Batch engine throughput (whatever engine "auto" resolves to).
+    start = time.perf_counter()
+    batch_result = simulate(_spec(scheme, items, "auto"))
+    batch_seconds = time.perf_counter() - start
+
+    # Scalar place() loop (reduced size, normalized).
+    scalar_items = min(items, SCALAR_STREAM_CAP)
+    allocator = OnlineAllocator(_spec(scheme, scalar_items, "scalar"))
+    place = allocator.place
+    start = time.perf_counter()
+    for _ in range(scalar_items):
+        place()
+    scalar_seconds = time.perf_counter() - start
+
+    # Chunked streaming ingestion.
+    allocator = OnlineAllocator(_spec(scheme, items, "auto"))
+    start = time.perf_counter()
+    remaining = items
+    while remaining:
+        take = min(16_384, remaining)
+        allocator.place_batch(take)
+        remaining -= take
+    stream_seconds = time.perf_counter() - start
+    if not np.array_equal(allocator.loads, batch_result.loads):
+        raise AssertionError(
+            f"{scheme}: streaming loads diverged from the batch engine"
+        )
+
+    return {
+        "items": items,
+        "batch_items_per_sec": int(items / batch_seconds),
+        "stream_items_per_sec": int(scalar_items / scalar_seconds),
+        "place_batch_items_per_sec": int(items / stream_seconds),
+        "place_batch_vs_stream": round(
+            (items / stream_seconds) / (scalar_items / scalar_seconds), 2
+        ),
+    }
+
+
+def _collect_existing(output: Path) -> Dict[str, Any]:
+    collected: Dict[str, Any] = {}
+    for path in sorted(Path(".").glob("BENCH_*.json")):
+        if path.resolve() == output.resolve():
+            continue
+        try:
+            collected[path.name] = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            collected[path.name] = {"error": "unreadable"}
+    return collected
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--items", type=int, default=200_000)
+    parser.add_argument("--output", type=str, default="BENCH_ONLINE.json")
+    parser.add_argument(
+        "--schemes", nargs="*", default=None,
+        help="subset of online schemes to measure (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    online = [
+        name for name in REGISTRY.names() if get_scheme(name).online is not None
+    ]
+    selected = args.schemes if args.schemes else online
+    unknown = sorted(set(selected) - set(online))
+    if unknown:
+        parser.error(f"not online-capable: {unknown}; choose from {online}")
+
+    report: Dict[str, Any] = {
+        "artifact": "BENCH_ONLINE",
+        "version": 1,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "items": args.items,
+        "schemes": {},
+    }
+    for scheme in selected:
+        report["schemes"][scheme] = _measure_scheme(scheme, args.items)
+        line = report["schemes"][scheme]
+        print(
+            f"{scheme:<22} batch {line['batch_items_per_sec']:>10,}/s  "
+            f"stream {line['stream_items_per_sec']:>9,}/s  "
+            f"place_batch {line['place_batch_items_per_sec']:>10,}/s  "
+            f"({line['place_batch_vs_stream']}x)"
+        )
+    output = Path(args.output)
+    report["collected"] = _collect_existing(output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output} ({len(report['schemes'])} schemes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,7 +38,13 @@ Key pieces
 """
 
 from .cache import ResultStore
-from .engine import resolve_engine, simulate, simulate_many, simulate_trials
+from .engine import (
+    build_runner_kwargs,
+    resolve_engine,
+    simulate,
+    simulate_many,
+    simulate_trials,
+)
 from .executor import (
     ProcessExecutor,
     SerialExecutor,
@@ -54,7 +60,9 @@ from .registry import (
     available_schemes,
     describe_scheme,
     get_scheme,
+    online_unsupported_reason,
     register_scheme,
+    vectorized_unsupported_reason,
 )
 from .spec import ENGINES, SchemeSpec, SchemeSpecError
 from . import schemes as _schemes  # noqa: F401  (imported for registration side effect)
@@ -70,10 +78,13 @@ __all__ = [
     "SchemeSpecError",
     "SerialExecutor",
     "available_schemes",
+    "build_runner_kwargs",
     "describe_scheme",
     "get_scheme",
+    "online_unsupported_reason",
     "register_scheme",
     "resolve_engine",
+    "vectorized_unsupported_reason",
     "resolve_executor",
     "resolve_metric_set",
     "resolve_n_jobs",

@@ -67,9 +67,9 @@ class ResultStore:
         Directory holding the entries (created on demand).  Stores rooted at
         the same directory share entries across processes and runs.
 
-    The store keeps ``hits`` / ``misses`` / ``stores`` counters for the
-    lifetime of the instance, so callers (e.g. the CLI) can report how much
-    recomputation was skipped.
+    The store keeps ``hits`` / ``misses`` / ``stores`` / ``pruned`` counters
+    for the lifetime of the instance, so callers (e.g. the CLI) can report
+    how much recomputation was skipped (and how much was evicted).
     """
 
     def __init__(self, cache_dir: "str | os.PathLike[str]") -> None:
@@ -78,6 +78,7 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.pruned = 0
 
     # ------------------------------------------------------------------
     # Addressing
@@ -176,11 +177,71 @@ class ResultStore:
         return path
 
     # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def prune(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Evict oldest entries until the store fits the given limits.
+
+        Without limits the store grows without bound (every new spec/seed/
+        engine combination adds an entry forever); ``prune`` bounds it by
+        entry count and/or total payload bytes, evicting in
+        least-recently-written order (file mtime, ties broken by name so the
+        order is stable).  Returns the number of entries removed; the
+        lifetime ``pruned`` counter accumulates it, and the hit/miss
+        counters are untouched — eviction is not a cache event.
+
+        Concurrent writers are safe: an entry vanishing mid-prune is simply
+        skipped, and readers treat a missing entry as an ordinary miss.
+        """
+        if max_entries is None and max_bytes is None:
+            return 0
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(
+                f"max_entries must be non-negative, got {max_entries}"
+            )
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        entries = []
+        for path in self.cache_dir.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # vanished under a concurrent prune/rewrite
+            entries.append((stat.st_mtime, path.name, stat.st_size, path))
+        entries.sort()  # oldest first
+        keep = len(entries)
+        if max_entries is not None:
+            keep = min(keep, max_entries)
+        if max_bytes is not None:
+            total = sum(size for _, _, size, _ in entries[len(entries) - keep:])
+            while keep > 0 and total > max_bytes:
+                total -= entries[len(entries) - keep][2]
+                keep -= 1
+        evicted = 0
+        for _, _, _, path in entries[: len(entries) - keep]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted += 1
+        self.pruned += evicted
+        return evicted
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
         """Lifetime counters, for logs and CLI summaries."""
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "pruned": self.pruned,
+        }
 
     def __len__(self) -> int:
         """Number of entries currently on disk."""

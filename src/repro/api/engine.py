@@ -37,7 +37,13 @@ from .executor import resolve_executor, resolve_metric_set
 from .registry import SchemeInfo, get_scheme, vectorized_unsupported_reason
 from .spec import SchemeSpec, SchemeSpecError
 
-__all__ = ["simulate", "simulate_trials", "simulate_many", "resolve_engine"]
+__all__ = [
+    "simulate",
+    "simulate_trials",
+    "simulate_many",
+    "resolve_engine",
+    "build_runner_kwargs",
+]
 
 
 def resolve_engine(spec: SchemeSpec, info: Optional[SchemeInfo] = None) -> str:
@@ -64,12 +70,18 @@ def resolve_engine(spec: SchemeSpec, info: Optional[SchemeInfo] = None) -> str:
     return "scalar" if reason is not None else "vectorized"
 
 
-def _build_kwargs(
+def build_runner_kwargs(
     spec: SchemeSpec,
     info: SchemeInfo,
     seed: "int | None",
 ) -> Dict[str, object]:
-    """Validate spec params against the runner signature and add randomness."""
+    """Validate spec params against the runner signature and add randomness.
+
+    Shared by every execution surface that turns a spec into a runner call:
+    the batch engines here, and the streaming allocator
+    (:class:`repro.online.OnlineAllocator`), whose stepper factories mirror
+    the scalar runner signatures.
+    """
     kwargs: Dict[str, object] = dict(spec.params)
     accepted = set(info.parameters)
     unknown = set(kwargs) - accepted
@@ -113,7 +125,7 @@ def _execute(spec: SchemeSpec, seed: "int | None") -> AllocationResult:
     info = get_scheme(spec.scheme)
     engine = resolve_engine(spec, info)
     runner = info.vectorized if engine == "vectorized" else info.runner
-    kwargs = _build_kwargs(spec, info, seed)
+    kwargs = build_runner_kwargs(spec, info, seed)
     result = runner(**kwargs)
     if not isinstance(result, AllocationResult):
         raise TypeError(

@@ -12,6 +12,8 @@ The registry stores, per scheme:
 * the runner callable and its introspected keyword signature (used to
   validate spec params before execution),
 * an optional *vectorized* runner for the fast batch engine,
+* an optional *online* stepper factory for the streaming allocation service
+  (:mod:`repro.online`), mirroring the vectorized capability surface,
 * a one-line summary (the first docstring line by default) for
   :func:`describe_scheme` / the ``python -m repro schemes`` listing.
 """
@@ -30,6 +32,7 @@ __all__ = [
     "describe_scheme",
     "get_scheme",
     "vectorized_unsupported_reason",
+    "online_unsupported_reason",
     "REGISTRY",
 ]
 
@@ -53,6 +56,15 @@ class SchemeInfo:
     #: regions the vectorized runner does not support (e.g. a callable
     #: threshold).  ``None`` (the return value) means supported.
     vectorized_guard: Optional[Callable[[Mapping[str, Any]], Optional[str]]] = None
+    #: Optional stepper factory for the online/streaming allocation service
+    #: (:mod:`repro.online`).  The factory mirrors the scalar runner's
+    #: keyword signature but returns a stepper object (incremental
+    #: placements) instead of a finished ``AllocationResult``.
+    online: Optional[Runner] = None
+    #: Optional predicate ``(params) -> reason-or-None`` marking parameter
+    #: regions the online stepper does not support.  Mirrors
+    #: ``vectorized_guard``.
+    online_guard: Optional[Callable[[Mapping[str, Any]], Optional[str]]] = None
     #: Optional scheme-specific default metric set for trial fan-outs
     #: (``metrics=None`` paths).  Must map names to module-level functions of
     #: the :class:`~repro.core.types.AllocationResult` returning floats, so
@@ -81,6 +93,7 @@ class SchemeInfo:
             "aliases": list(self.aliases),
             "tags": list(self.tags),
             "engines": ["scalar", "vectorized"] if self.vectorized else ["scalar"],
+            "online": self.online is not None,
             "metrics": sorted(self.metrics) if self.metrics else None,
         }
 
@@ -122,6 +135,10 @@ class SchemeRegistry:
         vectorized_guard: Optional[
             Callable[[Mapping[str, Any]], Optional[str]]
         ] = None,
+        online: Optional[Runner] = None,
+        online_guard: Optional[
+            Callable[[Mapping[str, Any]], Optional[str]]
+        ] = None,
         metrics: Optional[Mapping[str, Callable[[Any], float]]] = None,
     ) -> Callable[[Runner], Runner]:
         """Decorator registering ``runner`` under ``name``.
@@ -152,6 +169,8 @@ class SchemeRegistry:
                 tags=tuple(tags),
                 vectorized=vectorized,
                 vectorized_guard=vectorized_guard,
+                online=online,
+                online_guard=online_guard,
                 metrics=dict(metrics) if metrics is not None else None,
             )
             self._schemes[name] = info
@@ -235,4 +254,29 @@ def vectorized_unsupported_reason(
         )
     if info.vectorized_guard is not None:
         return info.vectorized_guard(params)
+    return None
+
+
+def online_unsupported_reason(
+    info: SchemeInfo,
+    policy: Optional[str],
+    params: Mapping[str, Any],
+) -> Optional[str]:
+    """Why this configuration cannot run as an online allocator, or ``None``.
+
+    The single source of truth for online/scheme compatibility, mirroring
+    :func:`vectorized_unsupported_reason`: it backs both the construction-time
+    validation in :class:`~repro.online.allocator.OnlineAllocator` and the
+    registry dichotomy tests.  Online steppers mirror the *scalar* reference
+    engines, so any policy the scalar runner accepts is accepted here; the
+    scheme either provides a stepper factory or names why it cannot stream.
+    """
+    if info.online is None:
+        return (
+            f"scheme {info.name!r} has no online allocator; schemes stream "
+            f"only when per-item placement is well defined (see "
+            f"repro.online)"
+        )
+    if info.online_guard is not None:
+        return info.online_guard(params)
     return None

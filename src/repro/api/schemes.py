@@ -47,9 +47,72 @@ from ..core.vectorized import (
     run_weighted_kd_choice_vectorized,
 )
 from ..core.weighted import run_weighted_kd_choice
+from ..online.steppers import (
+    AlwaysGoLeftStepper,
+    KDChoiceStepper,
+    OnePlusBetaStepper,
+    SingleChoiceStepper,
+    StaleKDChoiceStepper,
+    ThresholdAdaptiveStepper,
+    TwoPhaseAdaptiveStepper,
+    WeightedKDChoiceStepper,
+)
 from .registry import register_scheme
 
 __all__: list = []
+
+
+# ----------------------------------------------------------------------
+# Online stepper factories (signature-mirroring wrappers where the scheme
+# is a parametrization of another scheme's stepper)
+# ----------------------------------------------------------------------
+def _greedy_kd_choice_stepper(
+    n_bins: int,
+    k: int,
+    d: int,
+    n_balls: Optional[int] = None,
+    seed: "int | np.random.SeedSequence | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> KDChoiceStepper:
+    return KDChoiceStepper(
+        n_bins=n_bins, k=k, d=d, n_balls=n_balls, policy="greedy",
+        seed=seed, rng=rng,
+    )
+
+
+def _d_choice_stepper(
+    n_bins: int,
+    d: int,
+    n_balls: Optional[int] = None,
+    seed: "int | np.random.SeedSequence | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> KDChoiceStepper:
+    return KDChoiceStepper(
+        n_bins=n_bins, k=1, d=d, n_balls=n_balls, seed=seed, rng=rng
+    )
+
+
+def _two_choice_stepper(
+    n_bins: int,
+    n_balls: Optional[int] = None,
+    seed: "int | np.random.SeedSequence | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> KDChoiceStepper:
+    return KDChoiceStepper(
+        n_bins=n_bins, k=1, d=2, n_balls=n_balls, seed=seed, rng=rng
+    )
+
+
+def _batch_random_stepper(
+    n_bins: int,
+    k: int,
+    n_balls: Optional[int] = None,
+    seed: "int | np.random.SeedSequence | None" = None,
+    rng: Optional[np.random.Generator] = None,
+) -> SingleChoiceStepper:
+    return SingleChoiceStepper(
+        n_bins=n_bins, n_balls=n_balls, seed=seed, rng=rng, round_size=k
+    )
 
 
 # ----------------------------------------------------------------------
@@ -61,6 +124,7 @@ register_scheme(
     aliases=("kd",),
     tags=("paper", "process"),
     vectorized=run_kd_choice_vectorized,
+    online=KDChoiceStepper,
 )(run_kd_choice)
 
 register_scheme(
@@ -74,6 +138,7 @@ register_scheme(
     summary="(k, d)-choice with weighted balls (constant/exponential/Pareto).",
     tags=("extension", "process"),
     vectorized=run_weighted_kd_choice_vectorized,
+    online=WeightedKDChoiceStepper,
 )(run_weighted_kd_choice)
 
 register_scheme(
@@ -81,6 +146,7 @@ register_scheme(
     summary="(k, d)-choice probing stale load snapshots (parallel epochs).",
     tags=("extension", "process"),
     vectorized=run_stale_kd_choice_vectorized,
+    online=StaleKDChoiceStepper,
 )(run_stale_kd_choice)
 
 
@@ -88,6 +154,7 @@ register_scheme(
     "greedy_kd_choice",
     summary="(k, d)-choice with the Section 7 greedy (uncapped) policy.",
     tags=("extension", "process"),
+    online=_greedy_kd_choice_stepper,
 )
 def _run_greedy_kd_choice(
     n_bins: int,
@@ -193,6 +260,7 @@ register_scheme(
     aliases=("one_choice",),
     tags=("baseline",),
     vectorized=run_single_choice,
+    online=SingleChoiceStepper,
 )(run_single_choice)
 
 register_scheme(
@@ -201,6 +269,7 @@ register_scheme(
     aliases=("greedy_d",),
     tags=("baseline",),
     vectorized=run_d_choice_vectorized,
+    online=_d_choice_stepper,
 )(run_d_choice)
 
 
@@ -221,6 +290,7 @@ def _run_two_choice_vectorized(
     summary="Greedy[2], the classic two-choice process.",
     tags=("baseline",),
     vectorized=_run_two_choice_vectorized,
+    online=_two_choice_stepper,
 )
 def _run_two_choice(
     n_bins: int,
@@ -237,6 +307,7 @@ register_scheme(
     summary="Peres-Talwar-Wieder (1+beta)-choice mixture process.",
     tags=("baseline",),
     vectorized=run_one_plus_beta_vectorized,
+    online=OnePlusBetaStepper,
 )(run_one_plus_beta)
 
 register_scheme(
@@ -244,6 +315,7 @@ register_scheme(
     summary="Voecking's asymmetric Always-Go-Left d-choice scheme.",
     tags=("baseline",),
     vectorized=run_always_go_left_vectorized,
+    online=AlwaysGoLeftStepper,
 )(run_always_go_left)
 
 register_scheme(
@@ -251,6 +323,7 @@ register_scheme(
     summary="SA(k, k): k balls per round, each to a uniform bin.",
     tags=("baseline",),
     vectorized=run_batch_random,
+    online=_batch_random_stepper,
 )(run_batch_random)
 
 
@@ -267,6 +340,7 @@ register_scheme(
     tags=("adaptive",),
     vectorized=run_threshold_adaptive_vectorized,
     vectorized_guard=_threshold_adaptive_guard,
+    online=ThresholdAdaptiveStepper,
 )(run_threshold_adaptive)
 
 register_scheme(
@@ -274,6 +348,7 @@ register_scheme(
     summary="Simplified Lenzen-Wattenhofer two-phase adaptive scheme.",
     tags=("adaptive",),
     vectorized=run_two_phase_adaptive_vectorized,
+    online=TwoPhaseAdaptiveStepper,
 )(run_two_phase_adaptive)
 
 

@@ -35,6 +35,15 @@ Examples
         --cache-dir .result-cache
     python -m repro storage --servers 256 --files 4096 \
         --fail-fraction 0.05 --rebuild
+
+    # The streaming allocation service: serve a live workload (optionally
+    # recording it), then replay the trace deterministically on any engine
+    python -m repro stream --scheme kd_choice --param n_bins=4096 \
+        --param k=4 --param d=8 --items 100000 --arrival-process mmpp \
+        --churn 0.1 --record run.jsonl
+    python -m repro replay --trace run.jsonl --engine scalar
+    python -m repro replay --trace run.jsonl --snapshot-every 4096 \
+        --snapshot-dir .snapshots
 """
 
 from __future__ import annotations
@@ -164,6 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="memoize per-trial results in DIR; rerunning against a warm "
         "cache skips the scheme runners and reports the hit count",
     )
+    table1.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="after the run, evict the oldest cache entries beyond N",
+    )
 
     schemes = subparsers.add_parser(
         "schemes", help="List (or describe) the registered simulation schemes"
@@ -194,6 +207,95 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument(
         "--cache-dir", type=str, default=None, metavar="DIR",
         help="memoize per-trial results in DIR and report hits/misses",
+    )
+    simulate_cmd.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="after the run, evict the oldest cache entries beyond N",
+    )
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="Serve a generated workload through the streaming allocator "
+        "(repro.online), optionally recording it as a replayable trace",
+    )
+    stream.add_argument("--scheme", type=str, required=True)
+    stream.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        type=_parse_param_token,
+        help="scheme parameter (repeatable), e.g. --param n_bins=4096",
+    )
+    stream.add_argument("--policy", type=str, default=None)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--engine", choices=list(ENGINES), default="auto",
+        help="ingestion mode: scalar steps unit by unit, auto/vectorized "
+        "ride the batch kernels (results identical)",
+    )
+    stream.add_argument(
+        "--items", type=int, default=None, metavar="N",
+        help="requests to place (default: the spec's n_balls / n_bins)",
+    )
+    stream.add_argument(
+        "--arrival-process", type=str, default="none",
+        choices=["none", "poisson", "mmpp"],
+        help="stamp events with substrate arrival times",
+    )
+    stream.add_argument("--arrival-rate", type=float, default=1000.0)
+    stream.add_argument("--burstiness", type=float, default=4.0)
+    stream.add_argument(
+        "--churn", type=float, default=0.0, metavar="FRACTION",
+        help="probability each placement is followed by the removal of a "
+        "random live item",
+    )
+    stream.add_argument(
+        "--workload-seed", type=int, default=None, metavar="SEED",
+        help="seed of the workload generator (independent of the spec seed)",
+    )
+    stream.add_argument(
+        "--record", type=str, default=None, metavar="TRACE",
+        help="record the served stream as a replayable JSONL trace",
+    )
+    stream.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="EVENTS",
+        help="capture an allocator snapshot every EVENTS events",
+    )
+    stream.add_argument(
+        "--snapshot-dir", type=str, default=None, metavar="DIR",
+        help="write the snapshots into DIR (JSON, one file per capture)",
+    )
+    stream.add_argument(
+        "--telemetry-every", type=int, default=4096, metavar="EVENTS",
+        help="events between live telemetry samples",
+    )
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="Replay a recorded trace deterministically through the "
+        "streaming allocator",
+    )
+    replay.add_argument(
+        "--trace", type=str, required=True, metavar="TRACE",
+        help="path to a repro-online-trace JSONL file",
+    )
+    replay.add_argument(
+        "--engine", choices=list(ENGINES), default="auto",
+        help="ingestion mode (results identical across engines)",
+    )
+    replay.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="EVENTS",
+        help="capture an allocator snapshot every EVENTS events",
+    )
+    replay.add_argument(
+        "--snapshot-dir", type=str, default=None, metavar="DIR",
+        help="write the snapshots into DIR (JSON, one file per capture)",
+    )
+    replay.add_argument(
+        "--record-out", type=str, default=None, metavar="TRACE",
+        help="re-record the consumed stream (byte-identical round trip)",
+    )
+    replay.add_argument(
+        "--telemetry-every", type=int, default=4096, metavar="EVENTS",
+        help="events between live telemetry samples",
     )
 
     profile = subparsers.add_parser(
@@ -282,6 +384,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", type=str, default=None, metavar="DIR",
         help="memoize per-trial results in DIR and report hits/misses",
     )
+    cluster.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="after the run, evict the oldest cache entries beyond N",
+    )
 
     storage = subparsers.add_parser(
         "storage",
@@ -326,6 +432,10 @@ def build_parser() -> argparse.ArgumentParser:
     storage.add_argument(
         "--cache-dir", type=str, default=None, metavar="DIR",
         help="memoize per-trial results in DIR and report hits/misses",
+    )
+    storage.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="after the run, evict the oldest cache entries beyond N",
     )
 
     majorization = subparsers.add_parser(
@@ -414,6 +524,18 @@ def _print_cache_stats(store: Optional[ResultStore]) -> None:
         )
 
 
+def _prune_cache(store: Optional[ResultStore], max_entries: Optional[int]) -> None:
+    """Apply ``--cache-max-entries`` after a run and report the eviction."""
+    if max_entries is None or store is None:
+        # A limit without a store is rejected at argument-parse time.
+        return
+    try:
+        evicted = store.prune(max_entries=max_entries)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(f"cache: pruned {evicted} entries, kept {len(store)}")
+
+
 def _run_simulate(args: argparse.Namespace) -> None:
     store = _make_store(args.cache_dir)
     try:
@@ -435,6 +557,7 @@ def _run_simulate(args: argparse.Namespace) -> None:
     for key, value in record.items():
         print(f"  {key}: {value}")
     _print_cache_stats(store)
+    _prune_cache(store, args.cache_max_entries)
 
 
 def _run_substrate(
@@ -457,6 +580,63 @@ def _run_substrate(
     for key, value in outcome.record().items():
         print(f"  {key}: {value}")
     _print_cache_stats(store)
+    _prune_cache(store, args.cache_max_entries)
+
+
+def _run_stream(args: argparse.Namespace) -> None:
+    from .online import LoadTelemetry, stream_workload
+    from .online.trace import TraceError
+
+    try:
+        spec = SchemeSpec(
+            scheme=args.scheme,
+            params=_collect_params(args.param),
+            policy=args.policy,
+            seed=args.seed,
+            engine=args.engine,
+        )
+        summary = stream_workload(
+            spec,
+            items=args.items,
+            arrival_process=args.arrival_process,
+            arrival_rate=args.arrival_rate,
+            burstiness=args.burstiness,
+            churn=args.churn,
+            workload_seed=args.workload_seed,
+            record=args.record,
+            snapshot_every=args.snapshot_every,
+            snapshot_dir=args.snapshot_dir,
+            telemetry=LoadTelemetry(sample_every=args.telemetry_every),
+        )
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    except (ValueError, TraceError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(summary.format_text())
+    if args.record:
+        print(f"recorded: {args.record} ({summary.events} events)")
+
+
+def _run_replay(args: argparse.Namespace) -> None:
+    from .online import LoadTelemetry, replay_trace
+    from .online.trace import TraceError
+
+    try:
+        summary = replay_trace(
+            args.trace,
+            engine=args.engine,
+            snapshot_every=args.snapshot_every,
+            snapshot_dir=args.snapshot_dir,
+            record_out=args.record_out,
+            telemetry=LoadTelemetry(sample_every=args.telemetry_every),
+        )
+    except FileNotFoundError:
+        raise SystemExit(f"error: trace file {args.trace!r} not found") from None
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    except (ValueError, TraceError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(summary.format_text())
 
 
 def _run_schemes(args: argparse.Namespace) -> None:
@@ -467,6 +647,7 @@ def _run_schemes(args: argparse.Namespace) -> None:
             raise SystemExit(f"error: {exc.args[0]}") from None
         print(f"{description['name']}: {description['summary']}")
         print(f"  engines: {', '.join(description['engines'])}")
+        print(f"  online: {'yes' if description['online'] else 'no'}")
         if description["aliases"]:
             print(f"  aliases: {', '.join(description['aliases'])}")
         print("  parameters:")
@@ -482,6 +663,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-kd`` / ``python -m repro``."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    # Reject the combination before any work runs: a long computation that
+    # only errors at the end would waste the whole run.
+    if (
+        getattr(args, "cache_max_entries", None) is not None
+        and not getattr(args, "cache_dir", None)
+    ):
+        parser.error("--cache-max-entries requires --cache-dir")
 
     if args.command == "table1":
         if args.small:
@@ -500,10 +689,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             raise SystemExit(f"error: {exc}") from None
         _print(result.to_text())
         _print_cache_stats(store)
+        _prune_cache(store, args.cache_max_entries)
     elif args.command == "schemes":
         _run_schemes(args)
     elif args.command == "simulate":
         _run_simulate(args)
+    elif args.command == "stream":
+        _run_stream(args)
+    elif args.command == "replay":
+        _run_replay(args)
     elif args.command == "profile":
         result = run_load_profile(n=args.n, seed=args.seed)
         lines: List[str] = []

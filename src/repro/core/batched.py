@@ -42,11 +42,28 @@ from .policies import strict_select
 
 __all__ = [
     "stable_tiebreak_ranks",
+    "ball_order_kept",
     "strict_select_rows",
     "ConflictScratch",
     "prefix_conflicts",
     "clean_segments",
 ]
+
+
+def ball_order_kept(keys: np.ndarray, kept: np.ndarray) -> np.ndarray:
+    """Sort each row's kept columns into *ball order* (ascending key).
+
+    ``kept`` holds per-row column indices selected by ``argpartition`` (the
+    k smallest keys, in arbitrary order); the scalar kernel hands
+    destinations out sorted by ``(height, tiebreak)``.  Keys are unique
+    within a row (they embed the distinct tie-break ranks mod d), so a
+    stable sort of the kept keys reproduces the scalar lexsort order
+    exactly.  Shared by every batch kernel that captures destinations for
+    the streaming allocator.
+    """
+    kept_keys = np.take_along_axis(keys, kept, axis=1)
+    order = np.argsort(kept_keys, axis=1, kind="stable")
+    return np.take_along_axis(kept, order, axis=1)
 
 
 def stable_tiebreak_ranks(tiebreaks: np.ndarray) -> np.ndarray:
@@ -72,13 +89,18 @@ def strict_select_rows(
     samples: np.ndarray,
     tiebreaks: np.ndarray,
     k: int,
+    ordered: bool = False,
 ) -> np.ndarray:
     """Strict (k, d) selection of every row against one load snapshot.
 
     Rows are independent: each sees ``loads`` exactly as passed (no
     placements are applied here).  Returns the ``(B, k)`` destination bins;
     their order within a row is unspecified (callers apply them with
-    ``bincount``-style adds, which are order-insensitive).
+    ``bincount``-style adds, which are order-insensitive) unless
+    ``ordered=True``, which sorts each row into *ball order* — the exact
+    order the scalar :func:`~repro.core.policies.strict_select` kernel
+    returns — for callers that hand destinations out one ball at a time
+    (the streaming allocator).
     """
     batch, d = samples.shape
     destinations = np.empty((batch, k), dtype=np.int64)
@@ -95,6 +117,8 @@ def strict_select_rows(
         ranks = stable_tiebreak_ranks(tiebreaks[clean])
         keys = heights * np.int64(d) + ranks
         kept = np.argpartition(keys, k - 1, axis=1)[:, :k]
+        if ordered:
+            kept = ball_order_kept(keys, kept)
         destinations[clean] = np.take_along_axis(rows, kept, axis=1)
 
     for index in np.flatnonzero(duplicated):

@@ -59,6 +59,7 @@ from .baselines import _CHUNK as _BALL_CHUNK
 from .baselines import _make_rng, least_loaded_probe
 from .batched import (
     ConflictScratch,
+    ball_order_kept,
     clean_segments,
     prefix_conflicts,
     stable_tiebreak_ranks,
@@ -134,12 +135,19 @@ def _select_batch(
     samples: np.ndarray,
     tiebreaks: np.ndarray,
     k: int,
+    out: Optional[np.ndarray] = None,
 ) -> None:
     """Apply one batch of rounds to ``loads`` in place.
 
     ``samples`` and ``tiebreaks`` are ``(B, d)`` blocks; rounds whose bins are
     untouched by every other round in the batch are resolved with one
     argpartition, the rest replay sequentially through the scalar kernel.
+
+    ``out`` (a ``(B, k)`` int64 array) optionally receives each round's
+    destination bins in *ball order* — the exact order the scalar
+    :func:`~repro.core.policies.strict_select` kernel returns them — which is
+    what the streaming allocator (:mod:`repro.online`) hands out one ball at
+    a time.  The batch path skips that per-row sort when no caller asks.
     """
     batch, d = samples.shape
 
@@ -164,12 +172,19 @@ def _select_batch(
         ranks = stable_tiebreak_ranks(tiebreaks[clean])
         keys = heights * np.int64(d) + ranks
         kept = np.argpartition(keys, k - 1, axis=1)[:, :k]
-        destinations = np.take_along_axis(clean_rows, kept, axis=1).ravel()
-        loads[destinations] += 1  # all destinations are distinct bins
+        if out is not None:
+            kept = ball_order_kept(keys, kept)
+        destinations = np.take_along_axis(clean_rows, kept, axis=1)
+        if out is not None:
+            out[clean] = destinations
+        loads[destinations.ravel()] += 1  # all destinations are distinct bins
 
     for row_index in np.flatnonzero(dirty):
         row = samples[row_index].tolist()
-        for bin_index in strict_select(loads, row, k, tiebreaks[row_index]):
+        row_destinations = strict_select(loads, row, k, tiebreaks[row_index])
+        if out is not None:
+            out[row_index] = row_destinations
+        for bin_index in row_destinations:
             loads[bin_index] += 1
 
 
@@ -259,6 +274,7 @@ def _weighted_batch(
     increments: np.ndarray,
     k: int,
     scratch: ConflictScratch,
+    out: Optional[np.ndarray] = None,
 ) -> None:
     """Apply one batch of full weighted rounds to ``loads``/``counts``.
 
@@ -268,6 +284,10 @@ def _weighted_batch(
     validated with the prefix-conflict kernel; suspect rounds replay through
     the scalar round kernel in order.  Rounds that sample a bin twice need
     the multiplicity-stacked heights and are forced straight to the replay.
+
+    ``out`` (a ``(B, k)`` int64 array) optionally receives each round's
+    destination bins in ball order (heaviest ball first — the order the
+    scalar kernel places them), for the streaming allocator.
     """
     row_sorted = np.sort(samples, axis=1)
     internal_dup = (row_sorted[:, 1:] == row_sorted[:, :-1]).any(axis=1)
@@ -286,12 +306,14 @@ def _weighted_batch(
     suspect = prefix_conflicts(
         samples, slots, scratch, expanded=samples, forced=internal_dup
     )
+    if out is not None:
+        out[:] = slots  # clean rows only; suspect rows overwritten below
     for seg_start, seg_stop, suspect_index in clean_segments(suspect):
         seg_slots = slots[seg_start:seg_stop].ravel()
         loads[seg_slots] += batch_weights[seg_start:seg_stop].ravel()
         counts[seg_slots] += 1
         if suspect_index >= 0:
-            weighted_round_apply(
+            replayed = weighted_round_apply(
                 loads,
                 counts,
                 samples[suspect_index].tolist(),
@@ -299,6 +321,8 @@ def _weighted_batch(
                 batch_weights[suspect_index],
                 float(increments[suspect_index]),
             )
+            if out is not None:
+                out[suspect_index] = replayed
 
 
 def run_weighted_kd_choice_vectorized(

@@ -89,7 +89,7 @@ def weighted_round_apply(
     tiebreaks: Sequence[float],
     batch_weights: np.ndarray,
     increment: float,
-) -> None:
+) -> "list[int]":
     """Apply one weighted round in place (the scalar round kernel).
 
     The ``d`` virtual unit placements are ranked by weighted height (with
@@ -99,6 +99,9 @@ def weighted_round_apply(
     vector, pre-drawn by the caller so the scalar process and the vectorized
     engine (:mod:`repro.core.vectorized`) consume the random stream in the
     same order.
+
+    Returns the destination bins in ball order (heaviest ball first), which
+    is how the streaming allocator (:mod:`repro.online`) hands them out.
     """
     extra: dict[int, int] = {}
     slot_heights = []
@@ -120,6 +123,7 @@ def weighted_round_apply(
     for weight, bin_index in zip(batch_weights, kept_bins):
         loads[bin_index] += weight
         counts[bin_index] += 1
+    return kept_bins
 
 
 class WeightedKDChoiceProcess:

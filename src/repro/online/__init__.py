@@ -1,0 +1,71 @@
+"""repro.online — the streaming allocation service.
+
+Where :func:`repro.api.simulate` answers "throw n balls and show me the end
+state", this package serves the opposite, production-shaped question: a
+long-lived allocator that places (and retires) items one request at a time,
+exposes live telemetry, persists its state, and can be driven by recorded
+traces — while staying **bit-for-bit identical** to the batch engines for
+the same spec and seed.
+
+Key pieces
+----------
+:class:`OnlineAllocator`
+    ``place()`` / ``place_batch()`` / ``remove()`` over any scheme
+    registered ``online=``; ``snapshot()`` / ``restore()`` for persistence.
+:class:`~repro.online.telemetry.LoadTelemetry`
+    O(1)-update counters plus a bounded ring of periodic percentile samples.
+:mod:`~repro.online.trace`
+    Versioned JSONL traces: :func:`~repro.online.trace.record_workload`
+    captures a workload (substrate arrival processes, churn) once;
+    :func:`~repro.online.trace.replay_trace` replays it deterministically
+    across engines.  CLI: ``repro stream`` / ``repro replay``.
+:mod:`~repro.online.steppers`
+    The per-scheme streaming engines underneath, mirroring each scalar
+    runner's RNG blocks exactly.
+"""
+
+from .allocator import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    OnlineAllocator,
+    OnlineAllocatorError,
+)
+from .steppers import OnlineStepper, StreamExhausted
+from .telemetry import LoadTelemetry, TelemetrySample
+from .trace import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    ReplaySummary,
+    TraceError,
+    TraceHeader,
+    TraceWriter,
+    generate_workload_events,
+    read_trace,
+    record_workload,
+    replay_trace,
+    run_events,
+    stream_workload,
+)
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "LoadTelemetry",
+    "OnlineAllocator",
+    "OnlineAllocatorError",
+    "OnlineStepper",
+    "ReplaySummary",
+    "StreamExhausted",
+    "TelemetrySample",
+    "TraceError",
+    "TraceHeader",
+    "TraceWriter",
+    "generate_workload_events",
+    "read_trace",
+    "record_workload",
+    "replay_trace",
+    "run_events",
+    "stream_workload",
+]

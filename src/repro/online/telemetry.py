@@ -1,0 +1,222 @@
+"""Live load telemetry for the streaming allocator.
+
+The allocator calls :meth:`LoadTelemetry.record_place` /
+:meth:`~LoadTelemetry.record_remove` on every event and
+:meth:`~LoadTelemetry.record_block` per bulk ingestion; those updates are
+O(1) (counter bumps plus an incremental running max).  The expensive
+statistics — load percentiles, gap to mean — are computed only when a
+*sample* is taken, every ``sample_every`` events, and appended to a
+fixed-capacity ring (:class:`collections.deque`), so a stream of millions of
+placements carries a bounded, recent window of its own history.
+
+The clock is injectable so tests (and the CLI's deterministic summaries)
+can freeze wall time; ``placements_per_sec`` is the only wall-clock-derived
+field and is excluded from deterministic output paths.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TelemetrySample", "LoadTelemetry"]
+
+#: Percentiles reported by every sample.
+DEFAULT_PERCENTILES: Tuple[int, ...] = (50, 95, 99)
+
+
+@dataclass(frozen=True)
+class TelemetrySample:
+    """One point-in-time reading of the allocator's load state."""
+
+    index: int  #: sample sequence number (0-based)
+    events: int  #: placements + removals seen when the sample was taken
+    placements: int
+    removals: int
+    max_load: int
+    mean_load: float
+    gap: float  #: max_load - mean_load
+    percentiles: Dict[int, float]
+    wall_time: float  #: seconds since telemetry start (clock-dependent)
+    placements_per_sec: float  #: realized rate since the previous sample
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "events": self.events,
+            "placements": self.placements,
+            "removals": self.removals,
+            "max_load": self.max_load,
+            "mean_load": self.mean_load,
+            "gap": self.gap,
+            "percentiles": {str(p): v for p, v in self.percentiles.items()},
+            "wall_time": self.wall_time,
+            "placements_per_sec": self.placements_per_sec,
+        }
+
+
+class LoadTelemetry:
+    """O(1)-update metrics with a bounded ring of periodic samples.
+
+    Parameters
+    ----------
+    sample_every:
+        Events (placements + removals) between automatic samples; the
+        allocator triggers them via :meth:`maybe_sample`.
+    capacity:
+        Ring size — only the most recent ``capacity`` samples are kept.
+    percentiles:
+        Load percentiles computed per sample.
+    clock:
+        Wall-clock source (``time.perf_counter`` by default); injectable
+        for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        sample_every: int = 4096,
+        capacity: int = 256,
+        percentiles: Tuple[int, ...] = DEFAULT_PERCENTILES,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be positive, got {sample_every}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sample_every = sample_every
+        self.percentiles = tuple(percentiles)
+        self.samples: Deque[TelemetrySample] = deque(maxlen=capacity)
+        self._clock = clock
+        self._start = clock()
+        self._last_sample_time = self._start
+        self._last_sample_placements = 0
+        self.placements = 0
+        self.removals = 0
+        self._max = 0
+        self._max_dirty = False  # removals/bulk ingestion invalidate the max
+        self._events_since_sample = 0
+        self._samples_taken = 0
+
+    # ------------------------------------------------------------------
+    # O(1) event updates
+    # ------------------------------------------------------------------
+    def record_place(self, bin_index: int, new_load: int) -> None:
+        self.placements += 1
+        if new_load > self._max:
+            self._max = int(new_load)
+        self._events_since_sample += 1
+
+    def record_remove(self, bin_index: int, old_load: int) -> None:
+        self.removals += 1
+        if old_load >= self._max:
+            # The removed ball may have been (one of) the maximum; recompute
+            # lazily at the next read instead of scanning per event.
+            self._max_dirty = True
+        self._events_since_sample += 1
+
+    def record_block(self, count: int) -> None:
+        """Account ``count`` placements ingested through a batch kernel."""
+        self.placements += count
+        self._max_dirty = True
+        self._events_since_sample += count
+
+    # ------------------------------------------------------------------
+    # Reads and sampling
+    # ------------------------------------------------------------------
+    def max_load(self, loads: np.ndarray) -> int:
+        if self._max_dirty:
+            self._max = int(loads.max()) if loads.size else 0
+            self._max_dirty = False
+        return self._max
+
+    def due(self) -> bool:
+        return self._events_since_sample >= self.sample_every
+
+    def events_until_due(self) -> int:
+        """Events until the next sample is due (0 = due now).
+
+        Bulk ingestion drivers chunk their event runs at this boundary so a
+        batched replay takes samples at exactly the same event counts as a
+        per-event one (a single bulk call samples at most once).
+        """
+        return max(0, self.sample_every - self._events_since_sample)
+
+    def maybe_sample(self, loads: np.ndarray) -> Optional[TelemetrySample]:
+        """Take a sample when one is due; returns it (or ``None``)."""
+        if not self.due():
+            return None
+        return self.sample_now(loads)
+
+    def sample_now(self, loads: np.ndarray) -> TelemetrySample:
+        """Compute a full sample (O(n) percentiles) and append it."""
+        now = self._clock()
+        elapsed = max(now - self._last_sample_time, 1e-12)
+        rate = (self.placements - self._last_sample_placements) / elapsed
+        mean = float(loads.mean()) if loads.size else 0.0
+        # Samples are the exported artifact, so read the max straight off
+        # the loads (the O(n) is already paid by the percentiles below) —
+        # the incremental counter can lag deferred commits (stale epochs)
+        # and bulk ingestion, and must not leak into a sample.
+        maximum = int(loads.max()) if loads.size else 0
+        self._max = maximum
+        self._max_dirty = False
+        values = (
+            np.percentile(loads, self.percentiles) if loads.size else
+            np.zeros(len(self.percentiles))
+        )
+        sample = TelemetrySample(
+            index=self._samples_taken,
+            events=self.placements + self.removals,
+            placements=self.placements,
+            removals=self.removals,
+            max_load=maximum,
+            mean_load=mean,
+            gap=maximum - mean,
+            percentiles={
+                int(p): float(v) for p, v in zip(self.percentiles, values)
+            },
+            wall_time=now - self._start,
+            placements_per_sec=rate,
+        )
+        self.samples.append(sample)
+        self._samples_taken += 1
+        self._events_since_sample = 0
+        self._last_sample_time = now
+        self._last_sample_placements = self.placements
+        return sample
+
+    @property
+    def samples_taken(self) -> int:
+        return self._samples_taken
+
+    def latest(self) -> Optional[TelemetrySample]:
+        return self.samples[-1] if self.samples else None
+
+    def history(self) -> List[TelemetrySample]:
+        return list(self.samples)
+
+    # ------------------------------------------------------------------
+    # Snapshot support (counters only; the sample ring is not persisted)
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        return {
+            "placements": self.placements,
+            "removals": self.removals,
+            "samples_taken": self._samples_taken,
+            # The sampling phase: without it a restored stream would reset
+            # its cadence and take samples at different event counts than
+            # the unbroken one.
+            "events_since_sample": self._events_since_sample,
+        }
+
+    def restore_counters(self, counters: Dict[str, int]) -> None:
+        self.placements = int(counters.get("placements", 0))
+        self.removals = int(counters.get("removals", 0))
+        self._samples_taken = int(counters.get("samples_taken", 0))
+        self._events_since_sample = int(counters.get("events_since_sample", 0))
+        self._last_sample_placements = self.placements
+        self._max_dirty = True

@@ -1,0 +1,608 @@
+"""Versioned JSONL traces: capture a workload once, replay it anywhere.
+
+A trace is a JSON-Lines file: one *header* line naming the format, its
+version and the spec that should serve the stream, followed by one *event*
+line per request::
+
+    {"format":"repro-online-trace","version":1,"scheme":"kd_choice",
+     "params":{"d":4,"k":2,"n_bins":64},"policy":null,"seed":7,"events":70}
+    {"op":"place","item":0,"t":0.001017...}
+    {"op":"remove","item":0,"t":0.013314...}
+
+Serialization is canonical (sorted keys, no whitespace), so recording the
+same workload twice produces byte-identical files, and a replay that
+re-records its input (``record_out=``) reproduces it byte for byte — the
+round-trip the CI golden step locks down.  Placement *destinations* are
+deliberately not stored: they are recomputed from the header's seed at
+replay, which is what makes one trace replayable across engines (scalar
+unit-steps or the vectorized batch kernels) with identical results.
+
+The workload bridge (:func:`generate_workload_events` /
+:func:`record_workload`) stamps events with the same Poisson / bursty-MMPP
+arrival processes that drive the cluster substrate
+(:func:`repro.simulation.workloads.sample_arrival_times`), plus optional
+churn (randomized removals of live items), so substrate-grade workloads can
+be captured once and replayed deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+import numpy as np
+
+from ..api.registry import get_scheme
+from ..api.spec import SchemeSpec
+from .allocator import OnlineAllocator
+from .telemetry import LoadTelemetry
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "TraceError",
+    "TraceHeader",
+    "TraceWriter",
+    "read_trace",
+    "generate_workload_events",
+    "record_workload",
+    "ReplaySummary",
+    "run_events",
+    "replay_trace",
+    "stream_workload",
+]
+
+TRACE_FORMAT = "repro-online-trace"
+TRACE_VERSION = 1
+
+_EVENT_OPS = ("place", "remove")
+
+
+class TraceError(ValueError):
+    """Raised for malformed, unversioned or future-versioned traces."""
+
+
+def _canonical(obj: Any) -> str:
+    """The one serialization every trace line uses (byte-stable)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """The first line of a trace: which spec serves the stream."""
+
+    scheme: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    policy: Optional[str] = None
+    seed: Optional[int] = None
+    events: Optional[int] = None  #: advisory event count (not enforced)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "scheme": self.scheme,
+            "params": dict(self.params),
+            "policy": self.policy,
+            "seed": self.seed,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TraceHeader":
+        if payload.get("format") != TRACE_FORMAT:
+            raise TraceError(
+                f"not a {TRACE_FORMAT} file (format={payload.get('format')!r})"
+            )
+        version = payload.get("version")
+        if version != TRACE_VERSION:
+            raise TraceError(
+                f"trace version {version!r} is not supported (this build "
+                f"reads version {TRACE_VERSION}); re-record the trace"
+            )
+        if not isinstance(payload.get("scheme"), str) or not payload["scheme"]:
+            raise TraceError("trace header is missing its scheme name")
+        return cls(
+            scheme=payload["scheme"],
+            params=dict(payload.get("params") or {}),
+            policy=payload.get("policy"),
+            seed=payload.get("seed"),
+            events=payload.get("events"),
+        )
+
+
+def _derive_items(spec: SchemeSpec, items: Optional[int]) -> int:
+    """The stream length: explicit, or the spec's ``n_balls``/``n_bins``.
+
+    Presence-checked (not an ``or`` chain) so an explicit ``n_balls=0``
+    means an empty stream rather than falling through to ``n_bins``.
+    """
+    if items is not None:
+        return int(items)
+    for key in ("n_balls", "n_bins"):
+        if spec.params.get(key) is not None:
+            return int(spec.params[key])
+    raise ValueError(
+        "items could not be derived from the spec; pass it explicitly"
+    )
+
+
+def _require_int_seed(seed: Any) -> Optional[int]:
+    """Traces persist seeds, so only plain integers (or None) are allowed."""
+    if not isinstance(seed, (int, type(None))):
+        raise TraceError(
+            f"traces require an integer (or None) spec seed, got {seed!r}"
+        )
+    return seed
+
+
+def _pin_stream_length(
+    scheme: str, params: Dict[str, Any], n_places: int
+) -> Dict[str, Any]:
+    """Fix the spec's planned stream length to the workload's place count.
+
+    The steppers size their RNG chunks by ``n_balls``, so the serving spec
+    must plan exactly the stream it will see; an explicit ``n_balls`` in the
+    params wins (the stream is then a prefix of that plan).
+    """
+    pinned = dict(params)
+    if "n_balls" in get_scheme(scheme).parameters and "n_balls" not in pinned:
+        pinned["n_balls"] = n_places
+    return pinned
+
+
+def _validate_event(event: Dict[str, Any], line_number: int) -> Dict[str, Any]:
+    op = event.get("op")
+    if op not in _EVENT_OPS:
+        raise TraceError(
+            f"line {line_number}: unknown trace op {op!r} "
+            f"(expected one of {_EVENT_OPS})"
+        )
+    if op == "remove" and "item" not in event:
+        raise TraceError(f"line {line_number}: remove events need an 'item'")
+    return event
+
+
+class TraceWriter:
+    """Stream events into a trace file (header written on open).
+
+    Use as a context manager, or call :meth:`close` explicitly; the file is
+    written with ``\\n`` line endings on every platform so traces are
+    byte-portable.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]", header: TraceHeader) -> None:
+        self.path = Path(path)
+        self.header = header
+        self._handle: Optional[IO[str]] = open(
+            self.path, "w", encoding="utf-8", newline="\n"
+        )
+        self._handle.write(_canonical(header.to_dict()) + "\n")
+        self.events_written = 0
+
+    def write_event(self, event: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise TraceError(f"trace writer for {self.path} is closed")
+        _validate_event(event, self.events_written + 2)
+        self._handle.write(_canonical(event) + "\n")
+        self.events_written += 1
+
+    def place(self, item: Any = None, at: Optional[float] = None) -> None:
+        event: Dict[str, Any] = {"op": "place"}
+        if item is not None:
+            event["item"] = item
+        if at is not None:
+            event["t"] = float(at)
+        self.write_event(event)
+
+    def remove(self, item: Any, at: Optional[float] = None) -> None:
+        event: Dict[str, Any] = {"op": "remove", "item": item}
+        if at is not None:
+            event["t"] = float(at)
+        self.write_event(event)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_trace(
+    path: "str | os.PathLike[str]",
+) -> Tuple[TraceHeader, List[Dict[str, Any]]]:
+    """Parse a trace file into its header and validated event list."""
+    events: List[Dict[str, Any]] = []
+    header: Optional[TraceHeader] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(
+                    f"line {line_number}: invalid JSON ({exc.msg})"
+                ) from None
+            if header is None:
+                header = TraceHeader.from_dict(payload)
+            else:
+                events.append(_validate_event(payload, line_number))
+    if header is None:
+        raise TraceError(f"{path}: empty trace (no header line)")
+    return header, events
+
+
+# ----------------------------------------------------------------------
+# Workload-to-trace bridge
+# ----------------------------------------------------------------------
+def generate_workload_events(
+    items: int,
+    arrival_process: str = "none",
+    arrival_rate: float = 1000.0,
+    burstiness: float = 4.0,
+    switch_prob: float = 0.1,
+    churn: float = 0.0,
+    seed: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """A deterministic request stream: ``items`` placements plus churn.
+
+    ``arrival_process`` of ``"poisson"``/``"mmpp"`` stamps every event with
+    an arrival time from the substrate's samplers; ``"none"`` leaves events
+    unstamped.  With ``churn`` in ``(0, 1]``, each placement is followed by
+    the removal of one uniformly random live item with that probability
+    (removals reuse the placement's timestamp).  The generator is seeded
+    independently of the spec that will serve the stream, so one workload
+    can be replayed against many schemes and seeds.
+    """
+    if items < 0:
+        raise ValueError(f"items must be non-negative, got {items}")
+    if not 0.0 <= churn <= 1.0:
+        raise ValueError(f"churn must lie in [0, 1], got {churn}")
+    times: Optional[np.ndarray] = None
+    if arrival_process != "none":
+        from ..simulation.workloads import sample_arrival_times
+
+        times = sample_arrival_times(
+            items,
+            arrival_rate=arrival_rate,
+            arrival_process=arrival_process,
+            burstiness=burstiness,
+            switch_prob=switch_prob,
+            seed=seed,
+        )
+    rng = np.random.default_rng(seed)
+    if times is not None:
+        # sample_arrival_times consumed this generator's distribution from a
+        # fresh default_rng(seed); reuse an independent stream for churn by
+        # jumping to a child so the two draws never overlap.
+        rng = np.random.default_rng(np.random.SeedSequence(seed).spawn(1)[0])
+    events: List[Dict[str, Any]] = []
+    live: List[int] = []
+    for index in range(items):
+        event: Dict[str, Any] = {"op": "place", "item": index}
+        if times is not None:
+            event["t"] = float(times[index])
+        events.append(event)
+        live.append(index)
+        if churn > 0.0 and live and float(rng.random()) < churn:
+            victim_position = int(rng.integers(0, len(live)))
+            victim = live[victim_position]
+            # Swap-with-last removal: same uniform victim for this draw,
+            # O(1) instead of list.pop's O(live) element shift (which made
+            # million-item churn workloads quadratic).
+            live[victim_position] = live[-1]
+            live.pop()
+            removal: Dict[str, Any] = {"op": "remove", "item": victim}
+            if times is not None:
+                removal["t"] = float(times[index])
+            events.append(removal)
+    return events
+
+
+def record_workload(
+    path: "str | os.PathLike[str]",
+    spec: SchemeSpec,
+    items: Optional[int] = None,
+    arrival_process: str = "none",
+    arrival_rate: float = 1000.0,
+    burstiness: float = 4.0,
+    switch_prob: float = 0.1,
+    churn: float = 0.0,
+    workload_seed: Optional[int] = None,
+) -> TraceHeader:
+    """Capture a workload against ``spec`` as a replayable trace file.
+
+    ``items`` defaults to the spec's planned stream length (``n_balls``,
+    falling back to ``n_bins``).  Returns the written header.
+    """
+    items = _derive_items(spec, items)
+    events = generate_workload_events(
+        items,
+        arrival_process=arrival_process,
+        arrival_rate=arrival_rate,
+        burstiness=burstiness,
+        switch_prob=switch_prob,
+        churn=churn,
+        seed=workload_seed,
+    )
+    seed = _require_int_seed(spec.seed)
+    header = TraceHeader(
+        scheme=spec.scheme,
+        params=dict(spec.params),
+        policy=spec.policy,
+        seed=seed,
+        events=len(events),
+    )
+    with TraceWriter(path, header) as writer:
+        for event in events:
+            writer.write_event(event)
+    return header
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+@dataclass
+class ReplaySummary:
+    """Deterministic outcome of driving an allocator through an event list."""
+
+    spec: SchemeSpec
+    engine: str  #: the engine the caller requested (echoed in output)
+    events: int
+    places: int
+    removes: int
+    stats: Dict[str, Any]  #: :meth:`OnlineAllocator.summary` of the end state
+    snapshots_taken: int = 0
+    snapshot_paths: List[str] = field(default_factory=list)
+
+    def format_text(self) -> str:
+        lines = [
+            f"spec: {self.spec.display_label} "
+            f"(engine={self.engine}, seed={self.spec.seed})",
+            f"  events: {self.events} "
+            f"({self.places} places, {self.removes} removes)",
+        ]
+        for key in (
+            "placed",
+            "removed",
+            "live_balls",
+            "max_load",
+            "mean_load",
+            "gap",
+            "load_p50",
+            "load_p95",
+            "load_p99",
+            "messages",
+            "rounds",
+            "telemetry_samples",
+        ):
+            lines.append(f"  {key}: {self.stats[key]}")
+        if self.snapshots_taken:
+            lines.append(f"  snapshots: {self.snapshots_taken}")
+        lines.append(f"  loads_sha256: {self.stats['loads_sha256']}")
+        return "\n".join(lines)
+
+
+def _spec_for_stream(
+    header: TraceHeader, n_places: int, engine: Optional[str]
+) -> SchemeSpec:
+    """Build the serving spec, pinning the planned stream length."""
+    return SchemeSpec(
+        scheme=header.scheme,
+        params=_pin_stream_length(header.scheme, dict(header.params), n_places),
+        policy=header.policy,
+        seed=header.seed,
+        engine=engine if engine is not None else "auto",
+    )
+
+
+def run_events(
+    spec: SchemeSpec,
+    events: List[Dict[str, Any]],
+    snapshot_every: Optional[int] = None,
+    snapshot_dir: "str | os.PathLike[str] | None" = None,
+    telemetry: Optional[LoadTelemetry] = None,
+    record_writer: Optional[TraceWriter] = None,
+) -> ReplaySummary:
+    """Drive a fresh allocator through ``events`` and summarize the end state.
+
+    The engine choice only affects *how* consecutive placements are ingested
+    (unit steps vs the batch kernels) — the resulting stream is identical.
+    ``snapshot_every`` captures the allocator every that-many events (written
+    to ``snapshot_dir`` when given, else kept out of memory — only counted);
+    ``record_writer`` re-emits every consumed event (the byte-stable
+    re-record path).
+    """
+    if snapshot_every is not None and snapshot_every < 1:
+        raise ValueError(f"snapshot_every must be positive, got {snapshot_every}")
+    has_removes = any(event["op"] == "remove" for event in events)
+    allocator = OnlineAllocator(
+        spec, telemetry=telemetry, track_items=has_removes
+    )
+    batch_mode = spec.engine != "scalar"
+    snapshot_paths: List[str] = []
+    snapshots_taken = 0
+    places = removes = 0
+    consumed = 0
+    total = len(events)
+
+    def take_snapshot() -> None:
+        nonlocal snapshots_taken
+        snapshots_taken += 1
+        if snapshot_dir is not None:
+            directory = Path(snapshot_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            target = directory / f"snapshot-{consumed:08d}.json"
+            with open(target, "w", encoding="utf-8") as handle:
+                json.dump(allocator.snapshot(), handle)
+            snapshot_paths.append(str(target))
+        # Without a directory only the count is observable; building (and
+        # discarding) a full state document every interval would be waste.
+
+    index = 0
+    while index < total:
+        event = events[index]
+        if event["op"] == "place":
+            run_stop = index
+            limit = total
+            if snapshot_every is not None:
+                limit = min(limit, index + snapshot_every - (consumed % snapshot_every))
+            # Chunk at the telemetry cadence too, so a batched replay takes
+            # its samples at the same event counts as a per-event one (the
+            # summary's telemetry_samples must be engine-independent).
+            limit = min(
+                limit, index + max(1, allocator.telemetry.events_until_due())
+            )
+            while run_stop < limit and events[run_stop]["op"] == "place":
+                run_stop += 1
+            run = events[index:run_stop]
+            if batch_mode and len(run) > 1:
+                start_sequence = allocator.placed
+                keys = None
+                if has_removes:
+                    keys = [
+                        e["item"] if e.get("item") is not None
+                        else start_sequence + offset
+                        for offset, e in enumerate(run)
+                    ]
+                allocator.place_batch(len(run), items=keys)
+            else:
+                # Register item ids only when some event will look one up:
+                # a churn-free replay must not build an O(n) item map (and
+                # its snapshots must match the batch path's, which tracks
+                # nothing either).
+                for e in run:
+                    allocator.place(e.get("item") if has_removes else None)
+            places += len(run)
+            if record_writer is not None:
+                for e in run:
+                    record_writer.write_event(e)
+            consumed += len(run)
+            index = run_stop
+        else:
+            allocator.remove(event["item"])
+            removes += 1
+            if record_writer is not None:
+                record_writer.write_event(event)
+            consumed += 1
+            index += 1
+        if snapshot_every is not None and consumed % snapshot_every == 0:
+            take_snapshot()
+
+    return ReplaySummary(
+        spec=spec,
+        engine=spec.engine,
+        events=total,
+        places=places,
+        removes=removes,
+        stats=allocator.summary(),
+        snapshots_taken=snapshots_taken,
+        snapshot_paths=snapshot_paths,
+    )
+
+
+def replay_trace(
+    path: "str | os.PathLike[str]",
+    engine: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
+    snapshot_dir: "str | os.PathLike[str] | None" = None,
+    record_out: "str | os.PathLike[str] | None" = None,
+    telemetry: Optional[LoadTelemetry] = None,
+) -> ReplaySummary:
+    """Replay a recorded trace deterministically; returns the summary.
+
+    ``record_out`` re-records the consumed stream to a new trace file —
+    byte-identical to the input for traces produced by this module (the
+    format round-trip the CI golden step asserts).
+    """
+    header, events = read_trace(path)
+    n_places = sum(1 for event in events if event["op"] == "place")
+    spec = _spec_for_stream(header, n_places, engine)
+    writer = (
+        TraceWriter(record_out, TraceHeader(
+            scheme=header.scheme, params=header.params, policy=header.policy,
+            seed=header.seed, events=header.events,
+        ))
+        if record_out is not None
+        else None
+    )
+    try:
+        return run_events(
+            spec,
+            events,
+            snapshot_every=snapshot_every,
+            snapshot_dir=snapshot_dir,
+            telemetry=telemetry,
+            record_writer=writer,
+        )
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+def stream_workload(
+    spec: SchemeSpec,
+    items: Optional[int] = None,
+    arrival_process: str = "none",
+    arrival_rate: float = 1000.0,
+    burstiness: float = 4.0,
+    switch_prob: float = 0.1,
+    churn: float = 0.0,
+    workload_seed: Optional[int] = None,
+    record: "str | os.PathLike[str] | None" = None,
+    snapshot_every: Optional[int] = None,
+    snapshot_dir: "str | os.PathLike[str] | None" = None,
+    telemetry: Optional[LoadTelemetry] = None,
+) -> ReplaySummary:
+    """Generate a workload and serve it live (optionally recording it).
+
+    The driver behind ``repro stream``: builds the event list with
+    :func:`generate_workload_events`, pins the spec's ``n_balls`` to the
+    placement count, and runs it through :func:`run_events`.  With
+    ``record=`` the served stream is captured as a trace whose later
+    ``repro replay`` reproduces this run exactly.
+    """
+    items = _derive_items(spec, items)
+    events = generate_workload_events(
+        items,
+        arrival_process=arrival_process,
+        arrival_rate=arrival_rate,
+        burstiness=burstiness,
+        switch_prob=switch_prob,
+        churn=churn,
+        seed=workload_seed,
+    )
+    pinned = _pin_stream_length(spec.scheme, dict(spec.params), items)
+    if pinned != dict(spec.params):
+        spec = spec.with_params(**pinned)
+    seed = _require_int_seed(spec.seed) if record is not None else spec.seed
+    writer = (
+        TraceWriter(record, TraceHeader(
+            scheme=spec.scheme, params=dict(spec.params), policy=spec.policy,
+            seed=seed, events=len(events),
+        ))
+        if record is not None
+        else None
+    )
+    try:
+        return run_events(
+            spec,
+            events,
+            snapshot_every=snapshot_every,
+            snapshot_dir=snapshot_dir,
+            telemetry=telemetry,
+            record_writer=writer,
+        )
+    finally:
+        if writer is not None:
+            writer.close()

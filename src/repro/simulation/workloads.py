@@ -47,6 +47,7 @@ __all__ = [
     "ARRIVAL_PROCESSES",
     "poisson_job_trace",
     "job_trace_arrays",
+    "sample_arrival_times",
     "worker_speeds",
     "FileSpec",
     "file_population",
@@ -342,6 +343,32 @@ def _sample_arrivals(
             f"arrival_process must be one of {ARRIVAL_PROCESSES}, got {process!r}"
         )
     return np.cumsum(inter_arrivals)
+
+
+def sample_arrival_times(
+    n_events: int,
+    arrival_rate: float = 1.0,
+    arrival_process: str = "poisson",
+    burstiness: float = 4.0,
+    switch_prob: float = 0.1,
+    seed: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Sorted arrival timestamps for ``n_events`` requests.
+
+    The public workload-to-stream bridge: the same Poisson / bursty-MMPP
+    arrival samplers that drive the cluster substrate's job traces, exposed
+    so the online trace tooling (:mod:`repro.online.trace`) can stamp
+    streaming placement requests with realistic arrival times.
+    """
+    if n_events < 0:
+        raise ValueError(f"n_events must be non-negative, got {n_events}")
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+    generator = make_generator(seed)
+    return _sample_arrivals(
+        generator, n_events, arrival_rate, arrival_process, burstiness,
+        switch_prob,
+    )
 
 
 def _validate_trace_request(

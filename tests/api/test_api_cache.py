@@ -73,7 +73,7 @@ class TestRoundTrip:
     def test_miss_then_hit(self, tmp_path):
         store = ResultStore(tmp_path)
         first = simulate_trials(SPEC, trials=3, cache=store)
-        assert store.stats() == {"hits": 0, "misses": 3, "stores": 3}
+        assert store.stats() == {"hits": 0, "misses": 3, "stores": 3, "pruned": 0}
         second = simulate_trials(SPEC, trials=3, cache=store)
         assert store.hits == 3 and store.misses == 3
         assert [t.seed for t in second.trials] == [t.seed for t in first.trials]
@@ -156,3 +156,67 @@ class TestWarmSweepSkipsRunners:
         assert {kd: c.max_loads for kd, c in first.cells.items()} == {
             kd: c.max_loads for kd, c in second.cells.items()
         }
+
+
+class TestPrune:
+    def _fill(self, tmp_path, trials=6):
+        store = ResultStore(tmp_path)
+        simulate_trials(SPEC, trials=trials, cache=store)
+        return store
+
+    def test_prune_is_a_noop_without_limits(self, tmp_path):
+        store = self._fill(tmp_path)
+        assert store.prune() == 0
+        assert len(store) == 6
+
+    def test_prune_to_max_entries_keeps_the_newest(self, tmp_path):
+        import os
+        import time
+
+        store = self._fill(tmp_path)
+        entries = sorted(store.cache_dir.glob("*/*.json"))
+        # Give the files distinct, known mtimes so the eviction order is
+        # observable (oldest first).
+        now = time.time()
+        for index, path in enumerate(entries):
+            os.utime(path, (now + index, now + index))
+        evicted = store.prune(max_entries=2)
+        assert evicted == 4
+        survivors = set(store.cache_dir.glob("*/*.json"))
+        assert survivors == set(entries[-2:])
+        assert store.pruned == 4
+
+    def test_prune_to_max_bytes(self, tmp_path):
+        store = self._fill(tmp_path)
+        sizes = [p.stat().st_size for p in store.cache_dir.glob("*/*.json")]
+        budget = sum(sorted(sizes)[:3])  # room for about three entries
+        store.prune(max_bytes=budget)
+        remaining = list(store.cache_dir.glob("*/*.json"))
+        assert 0 < len(remaining) <= 3
+        assert sum(p.stat().st_size for p in remaining) <= budget
+
+    def test_prune_preserves_hit_miss_counters_and_recomputes(self, tmp_path):
+        store = self._fill(tmp_path, trials=3)
+        assert store.misses == 3
+        store.prune(max_entries=0)
+        assert len(store) == 0
+        assert store.misses == 3 and store.hits == 0  # untouched by eviction
+        outcome = simulate_trials(SPEC, trials=3, cache=store)
+        assert store.misses == 6  # evicted entries recompute as plain misses
+        assert len(outcome.trials) == 3
+
+    def test_prune_validates_limits(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.prune(max_entries=-1)
+        with pytest.raises(ValueError):
+            store.prune(max_bytes=-1)
+
+    def test_prune_results_unchanged_after_eviction(self, tmp_path):
+        store = self._fill(tmp_path)
+        before = simulate_trials(SPEC, trials=6, cache=store)
+        store.prune(max_entries=2)
+        after = simulate_trials(SPEC, trials=6, cache=store)
+        assert [t.metrics for t in before.trials] == [
+            t.metrics for t in after.trials
+        ]

@@ -81,7 +81,10 @@ class TestReadmeConsistency:
 
     def test_architecture_section_matches_package_layout(self):
         readme = _read("README.md")
-        for subpackage in ("core", "analysis", "simulation", "experiments", "cluster", "storage"):
+        for subpackage in (
+            "core", "analysis", "simulation", "experiments", "cluster",
+            "storage", "online",
+        ):
             assert subpackage in readme
             importlib.import_module(f"repro.{subpackage}")
 
@@ -118,6 +121,7 @@ class TestPackagingMetadata:
 
     def test_console_script_points_at_cli_main(self):
         pyproject = _read("pyproject.toml")
+        assert 'repro = "repro.__main__:main"' in pyproject
         assert 'repro-kd = "repro.cli:main"' in pyproject
         from repro.cli import main
 

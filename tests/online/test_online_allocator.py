@@ -1,0 +1,348 @@
+"""OnlineAllocator behaviour: snapshots, churn, capacity, error surfaces."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import SchemeSpec
+from repro.online import (
+    OnlineAllocator,
+    OnlineAllocatorError,
+    SNAPSHOT_FORMAT,
+)
+
+KD_SPEC = SchemeSpec(
+    scheme="kd_choice", params={"n_bins": 64, "k": 2, "d": 4, "n_balls": 256},
+    seed=7,
+)
+
+SNAPSHOT_CASES = [
+    ("kd_choice", {"n_bins": 64, "k": 4, "d": 8, "n_balls": 999}),
+    ("greedy_kd_choice", {"n_bins": 64, "k": 2, "d": 5, "n_balls": 200}),
+    ("weighted_kd_choice", {"n_bins": 32, "k": 3, "d": 7, "n_balls": 350}),
+    ("stale_kd_choice",
+     {"n_bins": 32, "k": 2, "d": 5, "stale_rounds": 7, "n_balls": 333}),
+    ("single_choice", {"n_bins": 40, "n_balls": 200}),
+    ("batch_random", {"n_bins": 40, "k": 8, "n_balls": 200}),
+    ("one_plus_beta", {"n_bins": 40, "beta": 0.5, "n_balls": 300}),
+    ("always_go_left", {"n_bins": 40, "d": 4, "n_balls": 300}),
+    ("threshold_adaptive", {"n_bins": 64, "n_balls": 200}),
+    ("two_phase_adaptive", {"n_bins": 64, "n_balls": 200}),
+]
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize(
+        "scheme,params", SNAPSHOT_CASES, ids=[c[0] for c in SNAPSHOT_CASES]
+    )
+    def test_midstream_roundtrip_continues_identically(self, scheme, params):
+        n_items = params["n_balls"]
+        cut = n_items // 3
+        reference = OnlineAllocator(
+            SchemeSpec(scheme=scheme, params=params, seed=3)
+        )
+        for _ in range(cut):
+            reference.place()
+        # Force a full JSON round trip: what restore() sees after disk.
+        snapshot = json.loads(json.dumps(reference.snapshot()))
+        assert snapshot["format"] == SNAPSHOT_FORMAT
+        restored = OnlineAllocator.restore(snapshot)
+        tail_reference = [reference.place() for _ in range(n_items - cut)]
+        tail_restored = [restored.place() for _ in range(n_items - cut)]
+        assert tail_reference == tail_restored
+        assert np.array_equal(reference.loads, restored.loads)
+        assert reference.stepper.messages == restored.stepper.messages
+        assert reference.summary() == restored.summary()
+
+    def test_restore_then_batch_ingestion_matches(self):
+        reference = OnlineAllocator(KD_SPEC)
+        for _ in range(100):
+            reference.place()
+        restored = OnlineAllocator.restore(
+            json.loads(json.dumps(reference.snapshot()))
+        )
+        tail = [reference.place() for _ in range(156)]
+        assert tail == list(restored.place_batch(156))
+
+    def test_snapshot_preserves_tracked_items_and_counts(self):
+        allocator = OnlineAllocator(KD_SPEC, track_items=True)
+        allocator.place("a")
+        allocator.place("b")
+        allocator.place_batch(4, items=["c", "d", "e", "f"])
+        allocator.remove("b")
+        restored = OnlineAllocator.restore(
+            json.loads(json.dumps(allocator.snapshot()))
+        )
+        assert restored.items() == allocator.items()
+        assert restored.placed == 6 and restored.removed == 1
+        # Removing the same item from both continues identically.
+        assert allocator.remove("c") == restored.remove("c")
+
+    def test_snapshot_rejects_unserializable_params(self):
+        spec = SchemeSpec(
+            scheme="threshold_adaptive",
+            params={"n_bins": 32, "threshold": lambda average: 2},
+        )
+        allocator = OnlineAllocator(spec)
+        with pytest.raises(OnlineAllocatorError, match="JSON-serializable"):
+            allocator.snapshot()
+
+    def test_restore_rejects_foreign_documents(self):
+        with pytest.raises(OnlineAllocatorError, match="format"):
+            OnlineAllocator.restore({"format": "something-else"})
+        good = OnlineAllocator(KD_SPEC).snapshot()
+        good["version"] = 999
+        with pytest.raises(OnlineAllocatorError, match="version"):
+            OnlineAllocator.restore(good)
+
+
+class TestChurn:
+    def test_remove_returns_bin_and_decrements(self):
+        allocator = OnlineAllocator(KD_SPEC)
+        bin_index = allocator.place("job-1")
+        before = int(allocator.loads[bin_index])
+        assert allocator.remove("job-1") == bin_index
+        assert int(allocator.loads[bin_index]) == before - 1
+        assert allocator.removed == 1
+
+    def test_remove_unknown_item_is_an_error(self):
+        allocator = OnlineAllocator(KD_SPEC)
+        allocator.place()
+        with pytest.raises(OnlineAllocatorError, match="unknown item"):
+            allocator.remove("nope")
+
+    def test_track_items_auto_ids(self):
+        allocator = OnlineAllocator(KD_SPEC, track_items=True)
+        bin_index = allocator.place()
+        assert allocator.items() == {0: bin_index}
+        allocator.remove(0)
+        assert allocator.items() == {}
+
+    def test_duplicate_item_rejected(self):
+        allocator = OnlineAllocator(KD_SPEC)
+        allocator.place("x")
+        with pytest.raises(OnlineAllocatorError, match="already placed"):
+            allocator.place("x")
+
+    def test_weighted_remove_returns_the_ball_weight(self):
+        spec = SchemeSpec(
+            scheme="weighted_kd_choice",
+            params={"n_bins": 16, "k": 2, "d": 4, "n_balls": 32},
+            seed=1,
+        )
+        allocator = OnlineAllocator(spec, track_items=True)
+        allocator.place_batch(32)
+        weighted_before = allocator.stepper.weighted_loads.sum()
+        bin_index = allocator.remove(5)
+        weight = allocator.stepper.ball_weight(5)
+        assert weight > 0
+        assert allocator.stepper.weighted_loads.sum() == pytest.approx(
+            weighted_before - weight
+        )
+        assert int(allocator.loads[bin_index]) >= 0
+
+    def test_weighted_remove_without_tracking_is_rejected(self):
+        spec = SchemeSpec(
+            scheme="weighted_kd_choice",
+            params={"n_bins": 16, "k": 2, "d": 4, "n_balls": 32},
+            seed=1,
+        )
+        allocator = OnlineAllocator(spec)
+        allocator.place("w")
+        # The item is tracked (explicit id), so removal works; but removing
+        # via a stepper call without a ball index must fail loudly.
+        with pytest.raises(ValueError, match="ball index"):
+            allocator.stepper.remove_ball(int(allocator.items()["w"]))
+
+    def test_placements_after_remove_read_decremented_loads(self):
+        # Determinism across ingestion modes with interleaved removals.
+        def run(batch_mode: bool):
+            spec = SchemeSpec(
+                scheme="kd_choice",
+                params={"n_bins": 32, "k": 2, "d": 4, "n_balls": 200},
+                seed=9,
+                engine="auto" if batch_mode else "scalar",
+            )
+            allocator = OnlineAllocator(spec, track_items=True)
+            sequence = []
+            item = 0
+            for step in range(20):
+                if batch_mode:
+                    sequence.extend(
+                        allocator.place_batch(
+                            8, items=list(range(item, item + 8))
+                        )
+                    )
+                else:
+                    for _ in range(8):
+                        allocator.place(item + _)
+                        sequence.append(allocator.items()[item + _])
+                item += 8
+                allocator.remove(step * 8)  # retire the run's first item
+            return sequence, allocator.loads.copy()
+
+        seq_scalar, loads_scalar = run(False)
+        seq_batch, loads_batch = run(True)
+        assert list(seq_scalar) == list(seq_batch)
+        assert np.array_equal(loads_scalar, loads_batch)
+
+
+class TestCapacity:
+    def test_exhaustion_raises_with_guidance(self):
+        spec = SchemeSpec(
+            scheme="kd_choice", params={"n_bins": 8, "k": 2, "d": 4,
+                                        "n_balls": 4}, seed=0,
+        )
+        allocator = OnlineAllocator(spec)
+        allocator.place_batch(4)
+        assert allocator.remaining == 0
+        with pytest.raises(OnlineAllocatorError, match="n_balls"):
+            allocator.place()
+        with pytest.raises(OnlineAllocatorError, match="n_balls"):
+            allocator.place_batch(1)
+
+    def test_capacity_defaults_to_n_bins(self):
+        allocator = OnlineAllocator(
+            SchemeSpec(scheme="two_choice", params={"n_bins": 50}, seed=0)
+        )
+        assert allocator.capacity == 50
+
+    def test_place_batch_validates_inputs(self):
+        allocator = OnlineAllocator(KD_SPEC)
+        with pytest.raises(OnlineAllocatorError, match="non-negative"):
+            allocator.place_batch(-1)
+        with pytest.raises(OnlineAllocatorError, match="entries"):
+            allocator.place_batch(2, items=["only-one"])
+
+    def test_seed_override_matches_spec_seed(self):
+        by_spec = OnlineAllocator(KD_SPEC)
+        by_override = OnlineAllocator(KD_SPEC.with_seed(None), seed=7)
+        n = KD_SPEC.params["n_balls"]
+        assert [by_spec.place() for _ in range(n)] == [
+            by_override.place() for _ in range(n)
+        ]
+
+    def test_non_spec_input_rejected(self):
+        with pytest.raises(OnlineAllocatorError, match="SchemeSpec"):
+            OnlineAllocator("kd_choice")
+
+    def test_summary_is_deterministic_and_complete(self):
+        allocator = OnlineAllocator(KD_SPEC)
+        allocator.place_batch(256)
+        summary = allocator.summary()
+        assert summary["placed"] == 256
+        assert summary["live_balls"] == 256
+        assert summary["max_load"] >= 1
+        assert len(summary["loads_sha256"]) == 64
+        again = OnlineAllocator(KD_SPEC)
+        again.place_batch(256)
+        assert again.summary() == summary
+
+
+class TestStaleEpochChurn:
+    def test_removing_a_pending_epoch_ball_cancels_the_placement(self):
+        spec = SchemeSpec(
+            scheme="stale_kd_choice",
+            params={"n_bins": 16, "k": 2, "d": 4, "stale_rounds": 8,
+                    "n_balls": 32},
+            seed=2,
+        )
+        allocator = OnlineAllocator(spec, track_items=True)
+        bin_index = allocator.place("early")  # epoch of 8 rounds: pending
+        assert int(allocator.loads[bin_index]) == 0  # not committed yet
+        assert allocator.remove("early") == bin_index
+        # Finish the stream; the cancelled ball never lands.
+        while allocator.remaining:
+            allocator.place()
+        assert int(allocator.loads.sum()) == 32 - 1
+
+
+class TestReviewRegressions:
+    def test_rejected_duplicate_place_leaves_no_phantom_ball(self):
+        allocator = OnlineAllocator(KD_SPEC)
+        first_bin = allocator.place("x")
+        total_before = int(allocator.loads.sum())
+        with pytest.raises(OnlineAllocatorError, match="already placed"):
+            allocator.place("x")
+        assert allocator.placed == 1
+        assert int(allocator.loads.sum()) == total_before
+        assert allocator.items() == {"x": first_bin}
+
+    def test_rejected_duplicate_batch_places_nothing(self):
+        allocator = OnlineAllocator(KD_SPEC)
+        allocator.place("x")
+        # One place() applied a whole k=2 round; record that baseline.
+        total_before = int(allocator.loads.sum())
+        for bad in (["x", "y", "z"], ["a", "b", "a"]):
+            with pytest.raises(OnlineAllocatorError, match="already placed|duplicate"):
+                allocator.place_batch(3, items=bad)
+        assert allocator.placed == 1
+        assert int(allocator.loads.sum()) == total_before
+        assert allocator.items() == {"x": allocator.items()["x"]}
+
+    def test_snapshot_preserves_telemetry_sampling_phase(self):
+        from repro.online import LoadTelemetry
+
+        spec = SchemeSpec(
+            scheme="single_choice", params={"n_bins": 64, "n_balls": 400},
+            seed=1,
+        )
+        reference = OnlineAllocator(spec, telemetry=LoadTelemetry(sample_every=64))
+        for _ in range(100):
+            reference.place()
+        restored = OnlineAllocator.restore(
+            json.loads(json.dumps(reference.snapshot())),
+            telemetry=LoadTelemetry(sample_every=64),
+        )
+        for allocator in (reference, restored):
+            for _ in range(300):
+                allocator.place()
+        assert (
+            restored.telemetry.samples_taken == reference.telemetry.samples_taken
+        )
+        assert restored.summary() == reference.summary()
+
+    def test_stale_telemetry_samples_report_committed_max(self):
+        # Scalar ingestion's incremental max lags deferred epoch commits;
+        # samples must read the committed loads, identically to batch
+        # ingestion of the same stream.
+        from repro.online import LoadTelemetry
+
+        samples = {}
+        for engine in ("scalar", "auto"):
+            spec = SchemeSpec(
+                scheme="stale_kd_choice",
+                params={"n_bins": 16, "k": 2, "d": 4, "stale_rounds": 8,
+                        "n_balls": 400},
+                seed=0,
+                engine=engine,
+            )
+            telemetry = LoadTelemetry(sample_every=64)
+            allocator = OnlineAllocator(spec, telemetry=telemetry)
+            if engine == "scalar":
+                for _ in range(400):
+                    allocator.place()
+            else:
+                for _ in range(400 // 64 + 1):
+                    allocator.place_batch(min(64, allocator.remaining))
+            samples[engine] = [
+                (s.events, s.max_load, s.gap) for s in telemetry.history()
+            ]
+        assert samples["scalar"] == samples["auto"]
+
+    def test_explicit_id_colliding_with_auto_sequence_key_is_rejected(self):
+        # track_items auto-keys are sequence numbers; an explicit integer id
+        # that collides with a later sequence number must fail loudly, not
+        # silently overwrite the tracked entry (remove() would then retire
+        # the wrong ball).
+        allocator = OnlineAllocator(KD_SPEC, track_items=True)
+        allocator.place(5)  # explicit id 5 at sequence 0
+        for _ in range(4):
+            allocator.place()  # sequences 1-4
+        with pytest.raises(OnlineAllocatorError, match="already placed"):
+            allocator.place()  # sequence 5 would collide with item 5
+        with pytest.raises(OnlineAllocatorError, match="already placed"):
+            allocator.place_batch(3)  # auto keys 5,6,7 — same collision

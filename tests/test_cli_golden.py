@@ -157,6 +157,36 @@ class TestSubstrateGolden:
         assert strip_cache_line(cold) == strip_cache_line(warm) == golden(golden_name)
 
 
+class TestReplayGolden:
+    """``repro replay`` on the checked-in trace, against the stored golden.
+
+    The trace (``stream_small.jsonl``) was recorded with ``repro stream``
+    at pinned seeds (mmpp arrivals, 15% churn); its replay summary must stay
+    byte-stable on the scalar path and byte-identical across engines (modulo
+    the echoed engine token).
+    """
+
+    TRACE = str(GOLDEN_DIR / "stream_small.jsonl")
+
+    def test_scalar_replay_matches_golden(self, capsys):
+        output = run_cli(capsys, ["replay", "--trace", self.TRACE,
+                                  "--engine", "scalar"])
+        assert output == golden("replay_stream.txt")
+
+    @pytest.mark.parametrize("engine", ["vectorized", "auto"])
+    def test_fast_engines_match_golden_bytes(self, capsys, engine):
+        output = run_cli(capsys, ["replay", "--trace", self.TRACE,
+                                  "--engine", engine])
+        normalized = output.replace(f"(engine={engine},", "(engine=scalar,", 1)
+        assert normalized == golden("replay_stream.txt")
+
+    def test_rerecord_is_byte_identical(self, capsys, tmp_path):
+        out_path = tmp_path / "rerecorded.jsonl"
+        run_cli(capsys, ["replay", "--trace", self.TRACE,
+                         "--record-out", str(out_path)])
+        assert out_path.read_bytes() == Path(self.TRACE).read_bytes()
+
+
 class TestEngineNeutralRecipes:
     def test_regimes_output_identical_across_engines(self, capsys):
         # A cheap regimes run: the whole table must be engine-independent.
