@@ -1,0 +1,176 @@
+"""Shard-pool scaling benchmarks: aggregate placements/sec, 4 shards vs 1.
+
+The acceptance anchor of the serve subsystem: with four process-mode
+shards on a machine with at least four CPUs, the pool must sustain at
+least ``BENCH_SERVE_MIN_SPEEDUP`` (default 2x) the aggregate
+``place_batch`` throughput of a single-shard pool over the same item
+count (``BENCH_SERVE_ITEMS`` scales the workload down for shared CI
+runners).  The floor is measured with the ``round_robin`` policy — its
+routing is vectorized, so the comparison times the shards, not the
+router — and the paper's ``two_choice`` policy is reported alongside as
+extra info.
+
+As everywhere else in this harness, the speedup is never bought with
+drift: a parity check first asserts that every shard of a pooled run is
+bit-identical to a standalone ``OnlineAllocator`` fed that shard's
+subsequence.
+
+The module doubles as the ``BENCH_SERVE.json`` artifact writer::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --items 200000 \
+        --output BENCH_SERVE.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.api import SchemeSpec
+from repro.online import OnlineAllocator
+from repro.serve import ShardPool
+
+#: Problem size of the headline scaling comparison.
+ITEMS = int(os.environ.get("BENCH_SERVE_ITEMS", 400_000))
+MIN_SPEEDUP = float(os.environ.get("BENCH_SERVE_MIN_SPEEDUP", 2.0))
+SHARDS = 4
+CHUNK = 16_384
+
+KD_PARAMS = {"k": 4, "d": 8}
+
+
+def _spec(n_items: int) -> SchemeSpec:
+    return SchemeSpec(
+        scheme="kd_choice",
+        params={"n_bins": n_items, "n_balls": n_items, **KD_PARAMS},
+        seed=0,
+    )
+
+
+def _time_pool(
+    n_shards: int, items: int, policy: str = "round_robin"
+) -> Tuple[float, int]:
+    """Stream ``items`` through a process-mode pool in CHUNK-sized windows.
+
+    Pool construction (worker spawn) is excluded from the timing — the
+    comparison is sustained throughput, not startup cost.
+    """
+    with ShardPool(_spec(items), n_shards, policy=policy, mode="process") as pool:
+        start = time.perf_counter()
+        remaining = items
+        while remaining:
+            take = min(CHUNK, remaining)
+            pool.place_batch(take)
+            remaining -= take
+        elapsed = time.perf_counter() - start
+        placed = pool.placed
+    return elapsed, placed
+
+
+def _assert_pool_matches_standalone(items: int = 20_000) -> None:
+    """Every shard of a pooled run equals its standalone twin, bit for bit."""
+    with ShardPool(
+        _spec(items), SHARDS, policy="round_robin", mode="thread"
+    ) as pool:
+        shards, bins = pool.place_batch(items)
+        for shard_index in range(SHARDS):
+            subsequence = np.flatnonzero(shards == shard_index)
+            standalone = OnlineAllocator(pool.shard_specs[shard_index])
+            expected = standalone.place_batch(len(subsequence))
+            assert np.array_equal(bins[subsequence], expected), (
+                f"shard {shard_index} diverged from its standalone twin"
+            )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < SHARDS,
+    reason=f"shard scaling needs >= {SHARDS} CPUs, "
+    f"got {os.cpu_count() or 1}",
+)
+def test_four_shards_beat_one_shard(benchmark):
+    """4 process shards must sustain >= 2x one shard's placements/sec.
+
+    Both sides stream the same total item count through the same chunk
+    schedule; only the shard count differs.  The parity assertion runs
+    first so the timed runs are known drift-free by construction.
+    """
+    _assert_pool_matches_standalone()
+
+    single_time, single_placed = _time_pool(1, ITEMS)
+    multi_time, multi_placed = _time_pool(SHARDS, ITEMS)
+    assert single_placed == multi_placed == ITEMS
+
+    single_rate = ITEMS / single_time
+    multi_rate = ITEMS / multi_time
+    speedup = multi_rate / single_rate
+    benchmark.extra_info["items"] = ITEMS
+    benchmark.extra_info["cpus"] = os.cpu_count()
+    benchmark.extra_info["single_shard_items_per_sec"] = int(single_rate)
+    benchmark.extra_info[f"{SHARDS}_shard_items_per_sec"] = int(multi_rate)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark(lambda: _time_pool(SHARDS, min(ITEMS, 100_000)))
+    assert speedup >= MIN_SPEEDUP, (
+        f"{SHARDS} shards only {speedup:.2f}x one shard "
+        f"({multi_rate:,.0f} vs {single_rate:,.0f} placements/sec; "
+        f"needs >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_pooled_placements_are_drift_free():
+    """Cheap standalone-parity pin that runs everywhere, CPUs regardless."""
+    _assert_pool_matches_standalone(items=8_000)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--items", type=int, default=200_000)
+    parser.add_argument("--output", type=str, default="BENCH_SERVE.json")
+    args = parser.parse_args(argv)
+
+    _assert_pool_matches_standalone()
+    single_time, _ = _time_pool(1, args.items)
+    multi_time, _ = _time_pool(SHARDS, args.items)
+    two_choice_time, _ = _time_pool(SHARDS, args.items, policy="two_choice")
+
+    single_rate = int(args.items / single_time)
+    multi_rate = int(args.items / multi_time)
+    report: Dict[str, Any] = {
+        "artifact": "BENCH_SERVE",
+        "version": 1,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+        "items": args.items,
+        "shards": SHARDS,
+        "policy": "round_robin",
+        "single_shard_items_per_sec": single_rate,
+        "multi_shard_items_per_sec": multi_rate,
+        "speedup": round(multi_rate / single_rate, 2),
+        "two_choice_multi_shard_items_per_sec": int(
+            args.items / two_choice_time
+        ),
+    }
+    print(
+        f"1 shard  {single_rate:>10,}/s\n"
+        f"{SHARDS} shards {multi_rate:>10,}/s  "
+        f"({report['speedup']}x, round_robin; "
+        f"{report['two_choice_multi_shard_items_per_sec']:,}/s two_choice) "
+        f"on {report['cpus']} CPUs"
+    )
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

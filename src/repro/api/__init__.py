@@ -62,6 +62,7 @@ from .registry import (
     get_scheme,
     online_unsupported_reason,
     register_scheme,
+    registry_dump,
     vectorized_unsupported_reason,
 )
 from .spec import ENGINES, SchemeSpec, SchemeSpecError
@@ -83,6 +84,7 @@ __all__ = [
     "get_scheme",
     "online_unsupported_reason",
     "register_scheme",
+    "registry_dump",
     "resolve_engine",
     "vectorized_unsupported_reason",
     "resolve_executor",

@@ -31,6 +31,7 @@ __all__ = [
     "available_schemes",
     "describe_scheme",
     "get_scheme",
+    "registry_dump",
     "vectorized_unsupported_reason",
     "online_unsupported_reason",
     "REGISTRY",
@@ -226,6 +227,57 @@ def describe_scheme(name: str) -> Dict[str, Any]:
 def get_scheme(name: str) -> SchemeInfo:
     """The raw :class:`SchemeInfo` record for ``name`` (or an alias)."""
     return REGISTRY.get(name)
+
+
+def _json_safe(value: Any) -> Any:
+    """Map a default value to something ``json.dumps`` accepts verbatim.
+
+    Scheme defaults are almost always plain scalars; the fallback covers
+    anything exotic (a callable threshold, say) with its ``repr`` so the
+    dump stays loadable rather than crashing the CLI.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    return repr(value)
+
+
+def registry_dump() -> Dict[str, Any]:
+    """Machine-readable dump of the whole registry.
+
+    Backs ``python -m repro schemes --json``: one JSON-safe record per
+    scheme with its parameters, engines, and — the part the plain listing
+    omits — whether the vectorized engine and the online stepper support
+    the scheme *at its default parameters*, with the human-readable reason
+    when they do not.  Parameter-dependent guards are evaluated against the
+    defaults, so a scheme whose fast path only drops out in exotic corners
+    still reports as supported here.
+    """
+    schemes: List[Dict[str, Any]] = []
+    for name in REGISTRY.names():
+        info = REGISTRY.get(name)
+        entry = info.describe()
+        entry["parameters"] = {
+            key: _json_safe(value) for key, value in entry["parameters"].items()
+        }
+        entry["vectorized"] = info.vectorized is not None
+        entry["vectorized_unsupported_reason"] = vectorized_unsupported_reason(
+            info, None, info.defaults
+        )
+        entry["online"] = info.online is not None
+        entry["online_unsupported_reason"] = online_unsupported_reason(
+            info, None, info.defaults
+        )
+        schemes.append(entry)
+    return {
+        "format": "repro-scheme-registry",
+        "version": 1,
+        "count": len(schemes),
+        "schemes": schemes,
+    }
 
 
 def vectorized_unsupported_reason(

@@ -44,12 +44,22 @@ Examples
     python -m repro replay --trace run.jsonl --engine scalar
     python -m repro replay --trace run.jsonl --snapshot-every 4096 \
         --snapshot-dir .snapshots
+
+    # The sharded allocation service: N allocator shards behind a
+    # (two-choice) router and a batching TCP frontend, plus its load
+    # generator (run them in two terminals)
+    python -m repro serve --scheme kd_choice --param n_bins=4096 \
+        --param k=4 --param d=8 --shards 4 --port 7411
+    python -m repro loadgen --port 7411 --items 100000 \
+        --connections 8 --churn 0.1
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import json
+import os
 import re
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -60,6 +70,7 @@ from .api import (
     SchemeSpec,
     available_schemes,
     describe_scheme,
+    registry_dump,
     simulate_trials,
 )
 
@@ -185,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--describe", type=str, default=None, metavar="SCHEME",
         help="print the parameters and engines of one scheme",
     )
+    schemes.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable registry dump: every scheme with "
+        "its parameters, engines, and vectorized/online support (with the "
+        "reason when unsupported)",
+    )
 
     simulate_cmd = subparsers.add_parser(
         "simulate", help="Run any registered scheme from a declarative spec"
@@ -296,6 +313,125 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--telemetry-every", type=int, default=4096, metavar="EVENTS",
         help="events between live telemetry samples",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="Run the sharded allocation service: N allocator shards behind "
+        "a router and a batching TCP frontend (repro.serve)",
+    )
+    serve.add_argument(
+        "--scheme", type=str, default=None,
+        help="scheme every shard runs (required unless --restore)",
+    )
+    serve.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        type=_parse_param_token,
+        help="scheme parameter (repeatable), e.g. --param n_bins=4096",
+    )
+    serve.add_argument("--policy", type=str, default=None)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--engine", choices=list(ENGINES), default="auto",
+        help="shard ingestion mode (results identical across engines)",
+    )
+    serve.add_argument(
+        "--items", type=int, default=None, metavar="N",
+        help="pool capacity: total placements the service will accept "
+        "(overrides the spec's n_balls)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4, metavar="N",
+        help="number of allocator shards",
+    )
+    serve.add_argument(
+        "--router", type=str, default="two_choice",
+        help="shard-routing policy: two_choice (the paper's scheme applied "
+        "to the shard load vector), least_loaded, or round_robin",
+    )
+    serve.add_argument(
+        "--router-d", type=int, default=None, metavar="D",
+        help="probes per placement for the two_choice router (default 2)",
+    )
+    serve.add_argument(
+        "--mode", choices=["process", "thread"], default="process",
+        help="shard isolation: one process per shard (default) or one "
+        "thread (debugging)",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = ephemeral; the bound port is printed and can "
+        "be written with --port-file)",
+    )
+    serve.add_argument(
+        "--port-file", type=str, default=None, metavar="FILE",
+        help="write the bound port to FILE once listening (atomic; for "
+        "scripted startup handshakes)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=1024, metavar="N",
+        help="most placements coalesced into one batch window",
+    )
+    serve.add_argument(
+        "--max-delay-ms", type=float, default=2.0, metavar="MS",
+        help="milliseconds a batch window stays open after its first place",
+    )
+    serve.add_argument(
+        "--restore", type=str, default=None, metavar="MANIFEST",
+        help="resume from a pool manifest written by --snapshot-on-exit "
+        "or the snapshot op (mutually exclusive with --scheme)",
+    )
+    serve.add_argument(
+        "--snapshot-on-exit", type=str, default=None, metavar="MANIFEST",
+        help="write a consistent cross-shard manifest on clean shutdown",
+    )
+
+    loadgen_cmd = subparsers.add_parser(
+        "loadgen",
+        help="Drive a running allocation server with a deterministic "
+        "workload; report placements/sec and latency percentiles",
+    )
+    loadgen_cmd.add_argument("--host", type=str, default="127.0.0.1")
+    loadgen_cmd.add_argument(
+        "--port", type=int, required=True,
+        help="port of the running `repro serve` instance",
+    )
+    loadgen_cmd.add_argument(
+        "--items", type=int, default=10000, metavar="N",
+        help="placements to drive (plus churn removals)",
+    )
+    loadgen_cmd.add_argument(
+        "--connections", type=int, default=4, metavar="N",
+        help="concurrent pipelined connections",
+    )
+    loadgen_cmd.add_argument(
+        "--max-in-flight", type=int, default=64, metavar="N",
+        help="outstanding requests per connection",
+    )
+    loadgen_cmd.add_argument(
+        "--churn", type=float, default=0.0, metavar="FRACTION",
+        help="probability each placement is followed by a removal",
+    )
+    loadgen_cmd.add_argument(
+        "--arrival-process", type=str, default="none",
+        choices=["none", "poisson", "mmpp"],
+        help="stamp events with substrate arrival times (shapes the "
+        "trace; transmission is not paced)",
+    )
+    loadgen_cmd.add_argument("--arrival-rate", type=float, default=1000.0)
+    loadgen_cmd.add_argument("--burstiness", type=float, default=4.0)
+    loadgen_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed (fixed seed -> identical event stream)",
+    )
+    loadgen_cmd.add_argument(
+        "--shutdown-after", action="store_true",
+        help="send the shutdown op once the stream completes",
+    )
+    loadgen_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the report as one JSON object instead of text",
     )
 
     profile = subparsers.add_parser(
@@ -639,7 +775,126 @@ def _run_replay(args: argparse.Namespace) -> None:
     print(summary.format_text())
 
 
+def _write_port_file(path: str, port: int) -> None:
+    """Publish the bound port atomically (a reader never sees a torn file)."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(f"{port}\n")
+    os.replace(tmp, path)
+
+
+def _run_serve(args: argparse.Namespace) -> None:
+    import asyncio
+    import signal
+
+    from .serve import AllocationServer, ServeConfig, ShardPool, ShardPoolError
+
+    if (args.scheme is None) == (args.restore is None):
+        raise SystemExit(
+            "error: pass exactly one of --scheme (fresh pool) or "
+            "--restore (resume from a manifest)"
+        )
+
+    async def _main() -> None:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            n_shards=args.shards,
+            policy=args.router,
+            mode=args.mode,
+            policy_params=(
+                {"d": args.router_d} if args.router_d is not None else {}
+            ),
+            max_batch=args.max_batch,
+            max_delay=args.max_delay_ms / 1000.0,
+            snapshot_on_exit=args.snapshot_on_exit,
+        )
+        if args.restore is not None:
+            pool = ShardPool.load(args.restore, mode=args.mode)
+            server = AllocationServer(pool=pool, config=config)
+        else:
+            params = _collect_params(args.param)
+            if args.items is not None:
+                params["n_balls"] = args.items
+            spec = SchemeSpec(
+                scheme=args.scheme,
+                params=params,
+                policy=args.policy,
+                seed=args.seed,
+                engine=args.engine,
+            )
+            server = AllocationServer(spec, config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(server.stop())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix loop: Ctrl-C falls back to KeyboardInterrupt
+        pool = server.pool
+        print(
+            f"serving {server.spec.display_label} on "
+            f"{config.host}:{server.port} (shards={pool.n_shards}, "
+            f"router={pool.router.policy}, mode={pool.mode})",
+            flush=True,
+        )
+        if args.port_file:
+            _write_port_file(args.port_file, server.port)
+        await server.serve_forever()
+        print(
+            f"stopped: served {server.places} places, "
+            f"{server.removes} removes over {server.requests} requests",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(_main())
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    except (ShardPoolError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def _run_loadgen(args: argparse.Namespace) -> None:
+    from .serve import ServeError, loadgen
+
+    try:
+        report = loadgen(
+            host=args.host,
+            port=args.port,
+            items=args.items,
+            connections=args.connections,
+            max_in_flight=args.max_in_flight,
+            churn=args.churn,
+            arrival_process=args.arrival_process,
+            arrival_rate=args.arrival_rate,
+            burstiness=args.burstiness,
+            seed=args.seed,
+            shutdown_after=args.shutdown_after,
+        )
+    except ConnectionRefusedError:
+        raise SystemExit(
+            f"error: no server listening on {args.host}:{args.port} "
+            f"(start one with `repro serve`)"
+        ) from None
+    except OSError as exc:
+        raise SystemExit(
+            f"error: cannot reach {args.host}:{args.port} ({exc})"
+        ) from None
+    except (ServeError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.format_text())
+
+
 def _run_schemes(args: argparse.Namespace) -> None:
+    if args.json:
+        print(json.dumps(registry_dump(), indent=2, sort_keys=True))
+        return
     if args.describe is not None:
         try:
             description = describe_scheme(args.describe)
@@ -698,6 +953,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _run_stream(args)
     elif args.command == "replay":
         _run_replay(args)
+    elif args.command == "serve":
+        _run_serve(args)
+    elif args.command == "loadgen":
+        _run_loadgen(args)
     elif args.command == "profile":
         result = run_load_profile(n=args.n, seed=args.seed)
         lines: List[str] = []

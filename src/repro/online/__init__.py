@@ -29,6 +29,9 @@ from .allocator import (
     SNAPSHOT_VERSION,
     OnlineAllocator,
     OnlineAllocatorError,
+    load_snapshot,
+    snapshot_digest,
+    write_snapshot,
 )
 from .steppers import OnlineStepper, StreamExhausted
 from .telemetry import LoadTelemetry, TelemetrySample
@@ -63,9 +66,12 @@ __all__ = [
     "TraceHeader",
     "TraceWriter",
     "generate_workload_events",
+    "load_snapshot",
     "read_trace",
     "record_workload",
     "replay_trace",
     "run_events",
+    "snapshot_digest",
     "stream_workload",
+    "write_snapshot",
 ]

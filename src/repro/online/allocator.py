@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from collections import deque
 from typing import Any, Deque, Dict, Iterable, Optional, Sequence, Tuple
 
@@ -53,6 +54,9 @@ __all__ = [
     "OnlineAllocator",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "snapshot_digest",
+    "load_snapshot",
+    "write_snapshot",
 ]
 
 SNAPSHOT_FORMAT = "repro-online-snapshot"
@@ -63,6 +67,57 @@ _UNSET = object()
 
 class OnlineAllocatorError(ValueError):
     """Raised for unsupported schemes, exhausted streams and bad requests."""
+
+
+def snapshot_digest(snapshot: Dict[str, Any]) -> str:
+    """SHA-256 of a snapshot document's canonical JSON serialization.
+
+    The integrity hook for anything that stores snapshots outside this
+    process: the cross-shard manifests of :mod:`repro.serve` record one
+    digest per shard so a restore can verify every shard document before
+    any allocator state is rebuilt.
+    """
+    payload = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def write_snapshot(path: Any, snapshot: Dict[str, Any]) -> None:
+    """Write a snapshot document to ``path`` atomically.
+
+    The document lands under a ``*.tmp`` sibling first and is moved into
+    place with :func:`os.replace`, so a process killed mid-write can never
+    leave a torn snapshot at the target path — at worst a stale ``.tmp``
+    file next to an intact (old or absent) snapshot.
+    """
+    target = os.fspath(path)
+    tmp = f"{target}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle)
+    os.replace(tmp, target)
+
+
+def load_snapshot(path: Any) -> Dict[str, Any]:
+    """Read a snapshot document from disk, rejecting torn/corrupt files.
+
+    A truncated or otherwise non-JSON file raises a clean
+    :class:`OnlineAllocatorError` naming the path (instead of a raw
+    ``json.JSONDecodeError`` from deep inside a restore).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            snapshot = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise OnlineAllocatorError(
+                f"snapshot file {os.fspath(path)!r} is truncated or corrupt "
+                f"(invalid JSON at line {exc.lineno}, column {exc.colno}); "
+                f"it cannot be restored"
+            ) from None
+    if not isinstance(snapshot, dict):
+        raise OnlineAllocatorError(
+            f"snapshot file {os.fspath(path)!r} does not contain a snapshot "
+            f"document (got {type(snapshot).__name__})"
+        )
+    return snapshot
 
 
 class OnlineAllocator:
@@ -350,6 +405,10 @@ class OnlineAllocator:
             "telemetry": self.telemetry.counters(),
             "stepper": self._stepper.state_dict(),
         }
+
+    def digest(self) -> str:
+        """Canonical SHA-256 of :meth:`snapshot` (see :func:`snapshot_digest`)."""
+        return snapshot_digest(self.snapshot())
 
     @classmethod
     def restore(

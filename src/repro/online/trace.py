@@ -37,7 +37,7 @@ import numpy as np
 
 from ..api.registry import get_scheme
 from ..api.spec import SchemeSpec
-from .allocator import OnlineAllocator
+from .allocator import OnlineAllocator, write_snapshot
 from .telemetry import LoadTelemetry
 
 __all__ = [
@@ -443,8 +443,9 @@ def run_events(
             directory = Path(snapshot_dir)
             directory.mkdir(parents=True, exist_ok=True)
             target = directory / f"snapshot-{consumed:08d}.json"
-            with open(target, "w", encoding="utf-8") as handle:
-                json.dump(allocator.snapshot(), handle)
+            # Atomic (*.tmp + os.replace): a process killed mid-capture must
+            # never leave a torn snapshot behind.
+            write_snapshot(target, allocator.snapshot())
             snapshot_paths.append(str(target))
         # Without a directory only the count is observable; building (and
         # discarding) a full state document every interval would be waste.

@@ -1,0 +1,678 @@
+"""The shard pool: N :class:`OnlineAllocator` workers behind one router.
+
+A :class:`ShardPool` scales the streaming allocator horizontally: each shard
+is a full, independent :class:`~repro.online.allocator.OnlineAllocator`
+(its own bins, its own RNG stream, its own telemetry) running either in a
+worker *process* (``mode="process"`` — placements/sec scales with cores) or
+a worker *thread* (``mode="thread"`` — the zero-IPC fallback for
+single-core debugging).  A pluggable :class:`~repro.serve.router.Router`
+decides which shard serves each request; the routing question is itself a
+(k, d)-choice instance, so the default policy is the paper's own
+``two_choice`` applied to the shard load vector.
+
+Determinism contract
+--------------------
+* Shard seeds derive from the spec's root seed through one
+  :class:`numpy.random.SeedSequence` fan-out, so a pool is reproducible
+  end-to-end from ``(spec, n_shards, policy)``.
+* Routing decisions depend only on (policy, seed, arrival order) — never on
+  how requests were grouped into batches (see :mod:`repro.serve.router`).
+* Each shard's stream is **bit-identical** to a standalone
+  ``OnlineAllocator`` built from that shard's spec (same derived seed, same
+  pinned ``n_balls``) and fed the same subsequence — the pool adds routing
+  and transport, never drift.
+
+Snapshots
+---------
+:meth:`ShardPool.snapshot` captures a *manifest*: shard count, router
+policy state, pool counters, and one full per-shard snapshot guarded by a
+SHA-256 digest (:func:`repro.online.allocator.snapshot_digest`).
+:meth:`ShardPool.restore` verifies every digest, rebuilds the router and
+resumes all shards bit-identically.  :meth:`save` / :meth:`load` move
+manifests to disk atomically (``*.tmp`` + ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api.spec import SchemeSpec
+from ..online.allocator import (
+    OnlineAllocator,
+    OnlineAllocatorError,
+    load_snapshot,
+    snapshot_digest,
+    write_snapshot,
+)
+from .router import Router, make_router, restore_router
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_VERSION",
+    "ShardPoolError",
+    "ShardPool",
+]
+
+MANIFEST_FORMAT = "repro-serve-manifest"
+MANIFEST_VERSION = 1
+
+#: Supported shard execution modes.
+MODES = ("process", "thread")
+
+
+class ShardPoolError(ValueError):
+    """Raised for bad pool requests, dead shards and corrupt manifests."""
+
+
+# ----------------------------------------------------------------------
+# The per-shard worker (one allocator, one command loop)
+# ----------------------------------------------------------------------
+class _ShardServer:
+    """Executes pool commands against one allocator (runs inside a worker)."""
+
+    def __init__(
+        self,
+        spec: Optional[SchemeSpec] = None,
+        snapshot: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if snapshot is not None:
+            self.allocator = OnlineAllocator.restore(snapshot)
+        else:
+            assert spec is not None
+            self.allocator = OnlineAllocator(spec)
+
+    def handle(self, message: Tuple[Any, ...]) -> Any:
+        op = message[0]
+        allocator = self.allocator
+        if op == "place_batch":
+            _, count, items = message
+            return allocator.place_batch(count, items=items)
+        if op == "place":
+            return allocator.place(message[1])
+        if op == "remove":
+            return allocator.remove(message[1])
+        if op == "loads":
+            return np.array(allocator.loads, copy=True)
+        if op == "snapshot":
+            return allocator.snapshot()
+        if op == "summary":
+            return allocator.summary()
+        if op == "telemetry":
+            return allocator.telemetry.counters()
+        raise ShardPoolError(f"unknown shard op {op!r}")
+
+
+def _shard_worker_process(conn: Any, payload: Dict[str, Any]) -> None:
+    """Entry point of a ``mode="process"`` shard worker."""
+    try:
+        server = _ShardServer(**payload)
+    except Exception as exc:  # construction errors surface in the parent
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        conn.close()
+        return
+    conn.send(("ready", None))
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message[0] == "stop":
+            conn.send(("ok", None))
+            break
+        try:
+            conn.send(("ok", server.handle(message)))
+        except Exception as exc:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class _ProcessShard:
+    """A shard in its own OS process, spoken to over a pipe.
+
+    ``submit``/``result`` are split so the pool can dispatch one command to
+    every shard and only then start collecting — that concurrency is the
+    whole point of process mode.
+    """
+
+    def __init__(self, index: int, payload: Dict[str, Any]) -> None:
+        self.index = index
+        context = multiprocessing.get_context()
+        self._conn, child_conn = context.Pipe()
+        self._process = context.Process(
+            target=_shard_worker_process,
+            args=(child_conn, payload),
+            daemon=True,
+            name=f"repro-serve-shard-{index}",
+        )
+        self._process.start()
+        child_conn.close()
+        status, value = self._receive()
+        if status != "ready":
+            raise ShardPoolError(f"shard {index} failed to start: {value}")
+
+    def submit(self, message: Tuple[Any, ...]) -> None:
+        try:
+            self._conn.send(message)
+        except (BrokenPipeError, OSError):
+            raise ShardPoolError(f"shard {self.index} is gone") from None
+
+    def _receive(self) -> Tuple[str, Any]:
+        try:
+            return self._conn.recv()
+        except EOFError:
+            raise ShardPoolError(
+                f"shard {self.index} died (worker process exited)"
+            ) from None
+
+    def result(self) -> Any:
+        status, value = self._receive()
+        if status != "ok":
+            raise ShardPoolError(f"shard {self.index}: {value}")
+        return value
+
+    def call(self, *message: Any) -> Any:
+        self.submit(message)
+        return self.result()
+
+    def close(self) -> None:
+        if self._process.is_alive():
+            try:
+                self._conn.send(("stop",))
+                self._conn.recv()
+            except (BrokenPipeError, OSError, EOFError):
+                pass
+        self._process.join(timeout=5)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=5)
+        self._conn.close()
+
+
+class _ThreadShard:
+    """A shard on a worker thread: same command surface, no IPC.
+
+    The fallback for single-core debugging (``mode="thread"``): results are
+    identical to process mode — only the transport differs — and the live
+    allocator is reachable as ``.server.allocator`` from the parent.
+    """
+
+    def __init__(self, index: int, payload: Dict[str, Any]) -> None:
+        self.index = index
+        self.server = _ShardServer(**payload)
+        self._requests: "queue.Queue[Optional[Tuple[Any, ...]]]" = queue.Queue()
+        self._responses: "queue.Queue[Tuple[str, Any]]" = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name=f"repro-serve-shard-{index}"
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            message = self._requests.get()
+            if message is None or message[0] == "stop":
+                self._responses.put(("ok", None))
+                break
+            try:
+                self._responses.put(("ok", self.server.handle(message)))
+            except Exception as exc:
+                self._responses.put(
+                    ("error", f"{type(exc).__name__}: {exc}")
+                )
+
+    def submit(self, message: Tuple[Any, ...]) -> None:
+        self._requests.put(message)
+
+    def result(self) -> Any:
+        status, value = self._responses.get()
+        if status != "ok":
+            raise ShardPoolError(f"shard {self.index}: {value}")
+        return value
+
+    def call(self, *message: Any) -> Any:
+        self.submit(message)
+        return self.result()
+
+    def close(self) -> None:
+        if self._thread.is_alive():
+            self._requests.put(("stop",))
+            self._responses.get()
+            self._thread.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+def _derive_capacity(spec: SchemeSpec) -> int:
+    """Total planned stream length: the spec's ``n_balls``/``n_bins``."""
+    for key in ("n_balls", "n_bins"):
+        if spec.params.get(key) is not None:
+            return int(spec.params[key])
+    raise ShardPoolError(
+        "the pool capacity could not be derived from the spec; give it an "
+        "n_balls (or n_bins) parameter"
+    )
+
+
+def _shard_specs(
+    spec: SchemeSpec, n_shards: int, capacity: int
+) -> Tuple[List[SchemeSpec], List[int], int]:
+    """Derive the per-shard specs, their seeds and the router seed.
+
+    Every shard plans the *full* pool capacity (any shard could, in the
+    worst routing case, receive every item), so a shard's stream is
+    bit-identical to a standalone allocator built from the same spec and
+    fed the same subsequence.  Seeds fan out of the root seed through one
+    ``SeedSequence``; the router draws from its own independent word.
+    """
+    from ..online.trace import _pin_stream_length
+
+    if not isinstance(spec.seed, (int, type(None))):
+        raise ShardPoolError(
+            f"shard pools require an integer (or None) spec seed, "
+            f"got {spec.seed!r}"
+        )
+    words = np.random.SeedSequence(spec.seed).generate_state(n_shards + 1)
+    shard_seeds = [int(word) for word in words[:n_shards]]
+    router_seed = int(words[n_shards])
+    pinned = _pin_stream_length(spec.scheme, dict(spec.params), capacity)
+    base = spec.with_params(**pinned) if pinned != dict(spec.params) else spec
+    specs = [base.with_seed(seed) for seed in shard_seeds]
+    return specs, shard_seeds, router_seed
+
+
+class ShardPool:
+    """N allocator shards behind a routing policy — the in-process client API.
+
+    Parameters
+    ----------
+    spec:
+        The scheme served by every shard.  ``params["n_balls"]`` (falling
+        back to ``n_bins``) fixes the pool's total planned capacity; the
+        spec's seed is the root of the per-shard seed fan-out.
+    n_shards:
+        Number of allocator workers.
+    policy:
+        A registered router policy name (``round_robin``, ``least_loaded``,
+        ``two_choice``) or a pre-built :class:`Router` instance.
+    mode:
+        ``"process"`` (one OS process per shard, scales with cores) or
+        ``"thread"`` (one thread per shard, zero IPC — the ``n_jobs=1``
+        debugging fallback).
+    policy_params:
+        Extra keyword parameters of the policy factory (e.g. ``{"d": 4}``).
+    """
+
+    def __init__(
+        self,
+        spec: SchemeSpec,
+        n_shards: int,
+        policy: "str | Router" = "two_choice",
+        mode: str = "process",
+        policy_params: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not isinstance(n_shards, int) or isinstance(n_shards, bool):
+            raise ShardPoolError(f"n_shards must be an integer, got {n_shards!r}")
+        if n_shards < 1:
+            raise ShardPoolError(f"n_shards must be at least 1, got {n_shards}")
+        if mode not in MODES:
+            raise ShardPoolError(f"mode must be one of {MODES}, got {mode!r}")
+        self.spec = spec
+        self.n_shards = n_shards
+        self.mode = mode
+        self.capacity = _derive_capacity(spec)
+        specs, self.shard_seeds, self.router_seed = _shard_specs(
+            spec, n_shards, self.capacity
+        )
+        self.shard_specs = specs
+        if isinstance(policy, Router):
+            if policy.n_shards != n_shards:
+                raise ShardPoolError(
+                    f"router covers {policy.n_shards} shards, pool has "
+                    f"{n_shards}"
+                )
+            self.router = policy
+        else:
+            self.router = make_router(
+                policy, n_shards, seed=self.router_seed,
+                **(policy_params or {}),
+            )
+        self._shards = self._start_shards(
+            [{"spec": shard_spec} for shard_spec in specs]
+        )
+        self._shard_items = np.zeros(n_shards, dtype=np.int64)
+        self._items: Dict[Any, int] = {}  # item id -> shard index
+        self.placed = 0
+        self.removed = 0
+        self._closed = False
+
+    def _start_shards(
+        self, payloads: List[Dict[str, Any]]
+    ) -> List[Any]:
+        shard_type = _ProcessShard if self.mode == "process" else _ThreadShard
+        shards: List[Any] = []
+        try:
+            for index, payload in enumerate(payloads):
+                shards.append(shard_type(index, payload))
+        except Exception:
+            for shard in shards:
+                shard.close()
+            raise
+        return shards
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def live_items(self) -> int:
+        return self.placed - self.removed
+
+    @property
+    def remaining(self) -> int:
+        """Placements left before the pool's planned capacity is exhausted."""
+        return self.capacity - self.placed
+
+    def shard_loads(self) -> np.ndarray:
+        """Live item count per shard (the router's load vector)."""
+        return self._shard_items.copy()
+
+    def bin_loads(self) -> List[np.ndarray]:
+        """Every shard's per-bin load vector (one pipe round-trip each)."""
+        self._check_open()
+        for shard in self._shards:
+            shard.submit(("loads",))
+        return [shard.result() for shard in self._shards]
+
+    def items(self) -> Dict[Any, int]:
+        """Tracked live items mapped to their shard."""
+        return dict(self._items)
+
+    # ------------------------------------------------------------------
+    # Placement and churn
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ShardPoolError("the pool is closed")
+
+    def place(self, item: Any = None) -> Tuple[int, int]:
+        """Route and place one item; returns ``(shard, bin)``."""
+        shards, bins = self.place_batch(
+            1, items=None if item is None else [item]
+        )
+        return int(shards[0]), int(bins[0])
+
+    def place_batch(
+        self, count: int, items: Optional[Sequence[Any]] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Route and place ``count`` items arriving as one window.
+
+        Returns ``(shards, bins)`` in arrival order.  Routing is computed
+        sequentially against the live shard-load vector (bit-identical to
+        ``count`` single :meth:`place` calls); the per-shard placements then
+        run concurrently — every shard receives its sub-batch before any
+        result is collected.
+        """
+        self._check_open()
+        count = int(count)
+        if count < 0:
+            raise ShardPoolError(f"count must be non-negative, got {count}")
+        if items is not None:
+            if len(items) != count:
+                raise ShardPoolError(
+                    f"items has {len(items)} entries for {count} placements"
+                )
+            if any(item is None for item in items):
+                raise ShardPoolError("item ids must not be None")
+            seen = set(items)
+            if len(seen) != count:
+                raise ShardPoolError("items contains duplicate ids")
+            collisions = seen & self._items.keys()
+            if collisions:
+                raise ShardPoolError(
+                    f"item {sorted(collisions, key=repr)[0]!r} is already "
+                    f"placed"
+                )
+        if count > self.remaining:
+            raise ShardPoolError(
+                f"cannot place {count} items: only {self.remaining} of the "
+                f"pool's planned capacity {self.capacity} remain"
+            )
+        shards = self.router.route_batch(count, self._shard_items)
+        bins = np.empty(count, dtype=np.int64)
+        positions: List[np.ndarray] = []
+        busy: List[int] = []
+        for shard_index in range(self.n_shards):
+            where = np.flatnonzero(shards == shard_index)
+            positions.append(where)
+            if len(where) == 0:
+                continue
+            shard_items = (
+                [items[p] for p in where] if items is not None else None
+            )
+            self._shards[shard_index].submit(
+                ("place_batch", len(where), shard_items)
+            )
+            busy.append(shard_index)
+        failure: Optional[ShardPoolError] = None
+        for shard_index in busy:
+            try:
+                bins[positions[shard_index]] = self._shards[shard_index].result()
+            except ShardPoolError as exc:
+                # Keep draining the other shards so the pool stays usable,
+                # then surface the first failure.
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+        for shard_index in busy:
+            self._shard_items[shard_index] += len(positions[shard_index])
+        self.placed += count
+        if items is not None:
+            for position, item in enumerate(items):
+                self._items[item] = int(shards[position])
+        return shards, bins
+
+    def remove(self, item: Any) -> Tuple[int, int]:
+        """Retire a tracked item; returns the ``(shard, bin)`` it occupied."""
+        self._check_open()
+        try:
+            shard_index = self._items.pop(item)
+        except KeyError:
+            raise ShardPoolError(
+                f"unknown item {item!r}; place it with an item id before "
+                f"removing it"
+            ) from None
+        try:
+            bin_index = self._shards[shard_index].call("remove", item)
+        except ShardPoolError:
+            self._items[item] = shard_index  # undo the pop
+            raise
+        self._shard_items[shard_index] -= 1
+        self.removed += 1
+        return shard_index, int(bin_index)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Deterministic pool-wide statistics plus per-shard summaries."""
+        self._check_open()
+        for shard in self._shards:
+            shard.submit(("summary",))
+        shard_summaries = [shard.result() for shard in self._shards]
+        max_load = max(s["max_load"] for s in shard_summaries)
+        total_bins = sum(s["n_bins"] for s in shard_summaries)
+        live = sum(s["live_balls"] for s in shard_summaries)
+        mean = live / total_bins if total_bins else 0.0
+        return {
+            "scheme": self.spec.scheme,
+            "n_shards": self.n_shards,
+            "mode": self.mode,
+            "policy": self.router.policy,
+            "router_decisions": self.router.decisions,
+            "capacity": self.capacity,
+            "placed": self.placed,
+            "removed": self.removed,
+            "live_items": live,
+            "total_bins": total_bins,
+            "max_load": max_load,
+            "mean_load": mean,
+            "gap": max_load - mean,
+            "shard_items": self._shard_items.tolist(),
+            "shards": shard_summaries,
+        }
+
+    def telemetry_counters(self) -> List[Dict[str, int]]:
+        """Per-shard telemetry counters (placements, removals, samples)."""
+        self._check_open()
+        for shard in self._shards:
+            shard.submit(("telemetry",))
+        return [shard.result() for shard in self._shards]
+
+    # ------------------------------------------------------------------
+    # Cross-shard snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A consistent cross-shard manifest (quiesce -> capture -> digest).
+
+        The pool's command transport is synchronous, so by the time every
+        shard has answered the ``snapshot`` command there are no in-flight
+        placements anywhere — the per-shard documents are a consistent cut.
+        Each one is recorded together with its canonical SHA-256 digest;
+        :meth:`restore` verifies the digests before rebuilding anything.
+        """
+        self._check_open()
+        for shard in self._shards:
+            shard.submit(("snapshot",))
+        shard_snapshots = [shard.result() for shard in self._shards]
+        return {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "spec": self.spec.to_dict(),
+            "n_shards": self.n_shards,
+            "mode": self.mode,
+            "capacity": self.capacity,
+            "shard_seeds": list(self.shard_seeds),
+            "router": self.router.state_dict(),
+            "placed": self.placed,
+            "removed": self.removed,
+            "shard_items": self._shard_items.tolist(),
+            "items": [[item, shard] for item, shard in self._items.items()],
+            "shards": [
+                {"digest": snapshot_digest(snap), "snapshot": snap}
+                for snap in shard_snapshots
+            ],
+        }
+
+    @classmethod
+    def restore(
+        cls, manifest: Dict[str, Any], mode: Optional[str] = None
+    ) -> "ShardPool":
+        """Rebuild a pool from a :meth:`snapshot` manifest.
+
+        Every shard digest is verified before any worker starts; the router
+        resumes its exact decision stream; the restored pool continues
+        bit-identically to the one that was captured.  ``mode`` optionally
+        overrides the captured execution mode (the shard state machine is
+        transport-independent).
+        """
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise ShardPoolError(
+                f"not a shard-pool manifest: format={manifest.get('format')!r}"
+            )
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise ShardPoolError(
+                f"unsupported manifest version {manifest.get('version')!r} "
+                f"(this build reads version {MANIFEST_VERSION})"
+            )
+        entries = manifest["shards"]
+        if len(entries) != int(manifest["n_shards"]):
+            raise ShardPoolError(
+                f"manifest names {manifest['n_shards']} shards but carries "
+                f"{len(entries)} shard snapshots"
+            )
+        for index, entry in enumerate(entries):
+            digest = snapshot_digest(entry["snapshot"])
+            if digest != entry["digest"]:
+                raise ShardPoolError(
+                    f"shard {index} snapshot digest mismatch "
+                    f"(manifest {entry['digest'][:12]}..., "
+                    f"recomputed {digest[:12]}...); the manifest is corrupt"
+                )
+        spec_dict = manifest["spec"]
+        spec = SchemeSpec(
+            scheme=spec_dict["scheme"],
+            params=spec_dict["params"],
+            policy=spec_dict.get("policy"),
+            seed=spec_dict.get("seed"),
+            trials=spec_dict.get("trials", 1),
+            engine=spec_dict.get("engine", "auto"),
+            label=spec_dict.get("label"),
+        )
+        pool = cls.__new__(cls)
+        pool.spec = spec
+        pool.n_shards = int(manifest["n_shards"])
+        pool.mode = mode if mode is not None else manifest["mode"]
+        if pool.mode not in MODES:
+            raise ShardPoolError(
+                f"mode must be one of {MODES}, got {pool.mode!r}"
+            )
+        pool.capacity = int(manifest["capacity"])
+        pool.shard_seeds = [int(seed) for seed in manifest["shard_seeds"]]
+        pool.shard_specs, _, pool.router_seed = _shard_specs(
+            spec, pool.n_shards, pool.capacity
+        )
+        pool.router = restore_router(manifest["router"])
+        pool._shards = pool._start_shards(
+            [{"snapshot": entry["snapshot"]} for entry in entries]
+        )
+        pool._shard_items = np.asarray(manifest["shard_items"], dtype=np.int64)
+        pool._items = {item: int(shard) for item, shard in manifest["items"]}
+        pool.placed = int(manifest["placed"])
+        pool.removed = int(manifest["removed"])
+        pool._closed = False
+        return pool
+
+    def save(self, path: Any) -> Dict[str, Any]:
+        """Capture :meth:`snapshot` and write it to ``path`` atomically."""
+        manifest = self.snapshot()
+        write_snapshot(path, manifest)
+        return manifest
+
+    @classmethod
+    def load(cls, path: Any, mode: Optional[str] = None) -> "ShardPool":
+        """Restore a pool from a manifest file written by :meth:`save`."""
+        try:
+            manifest = load_snapshot(path)
+        except OnlineAllocatorError as exc:
+            raise ShardPoolError(str(exc)) from None
+        return cls.restore(manifest, mode=mode)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every shard worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"ShardPool({self.spec.display_label!r}, "
+            f"n_shards={self.n_shards}, mode={self.mode!r}, "
+            f"policy={self.router.policy!r}, "
+            f"placed={self.placed}/{self.capacity})"
+        )

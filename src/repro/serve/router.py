@@ -1,0 +1,377 @@
+"""Shard routing policies: the paper's schemes applied to shard load vectors.
+
+Which of the N allocator shards should serve the next placement?  That is
+itself a balls-into-bins instance — shards are bins, requests are balls —
+so the router speaks the paper's own language: ``round_robin`` is the
+deterministic baseline, ``least_loaded`` is the full-information d=N probe,
+and ``two_choice`` is the paper's (1, d)-choice scheme over the shard load
+vector (probe ``d`` shards uniformly, commit to the least loaded).
+
+Policies are *pluggable through the same registry machinery as the schemes
+themselves*: :data:`ROUTER_POLICIES` is a
+:class:`~repro.api.registry.SchemeRegistry`, so lookup, aliasing, signature
+introspection and ``describe()`` all behave exactly like
+``repro.api.get_scheme`` — one mechanism, two catalogues.
+
+Determinism contract
+--------------------
+Routing decisions are a pure function of (policy, seed, arrival order).
+Batch windows are timing-dependent (the server coalesces whatever arrived
+within the window), so a policy must route identically no matter how the
+request sequence was chunked into :meth:`Router.route_batch` calls.  The
+randomized policy guarantees this by pre-drawing its probe rows in
+fixed-size blocks that never align with batch boundaries; the deterministic
+policies carry only counters/loads.  ``route(loads)`` is literally
+``route_batch(1, loads)[0]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..api.registry import SchemeRegistry
+
+__all__ = [
+    "ROUTER_POLICIES",
+    "router_policy",
+    "available_router_policies",
+    "describe_router_policy",
+    "RouterError",
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "TwoChoiceRouter",
+    "make_router",
+    "restore_router",
+]
+
+#: Probe rows pre-drawn per RNG block by the randomized policies.  Fixed —
+#: part of the determinism contract (decisions must not depend on how the
+#: arrival sequence was chunked into batch windows).
+PROBE_BLOCK = 4096
+
+
+class RouterError(ValueError):
+    """Raised for unknown policies, bad shard counts and corrupt states."""
+
+
+class Router:
+    """Base class: a stateful ``arrival order -> shard index`` function.
+
+    Subclasses implement :meth:`_route_into`, filling a destination array
+    while maintaining a *working* shard-load view so that the i-th decision
+    of a batch sees the i-1 earlier decisions of the same batch — batched
+    routing is bit-identical to one-at-a-time routing.
+    """
+
+    policy = "base"
+
+    def __init__(self, n_shards: int, seed: Optional[int] = None) -> None:
+        if not isinstance(n_shards, int) or isinstance(n_shards, bool):
+            raise RouterError(f"n_shards must be an integer, got {n_shards!r}")
+        if n_shards < 1:
+            raise RouterError(f"n_shards must be at least 1, got {n_shards}")
+        self.n_shards = n_shards
+        self.seed = seed
+        self.decisions = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, shard_loads: Sequence[int]) -> int:
+        """Route one request; ``shard_loads`` is the current live view."""
+        return int(self.route_batch(1, shard_loads)[0])
+
+    def route_batch(self, count: int, shard_loads: Sequence[int]) -> np.ndarray:
+        """Route ``count`` requests arriving as one window.
+
+        Returns the destination shard of each request in arrival order.
+        Identical to ``count`` successive :meth:`route` calls against a live
+        load view — the window is an ingestion optimization, not a semantic
+        one.
+        """
+        count = int(count)
+        if count < 0:
+            raise RouterError(f"count must be non-negative, got {count}")
+        loads = np.asarray(shard_loads, dtype=np.int64)
+        if loads.shape != (self.n_shards,):
+            raise RouterError(
+                f"shard_loads must have shape ({self.n_shards},), "
+                f"got {loads.shape}"
+            )
+        destinations = np.empty(count, dtype=np.int64)
+        self._route_into(destinations, loads.copy())
+        self.decisions += count
+        return destinations
+
+    def _route_into(self, destinations: np.ndarray, working: np.ndarray) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Persistence (cross-shard snapshot manifests)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable policy state (manifest payload)."""
+        return {
+            "policy": self.policy,
+            "n_shards": self.n_shards,
+            "seed": self.seed,
+            "decisions": self.decisions,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        if state.get("policy") != self.policy:
+            raise RouterError(
+                f"cannot load {state.get('policy')!r} state into a "
+                f"{self.policy!r} router"
+            )
+        if int(state["n_shards"]) != self.n_shards:
+            raise RouterError(
+                f"router state was captured over {state['n_shards']} shards, "
+                f"this pool has {self.n_shards}"
+            )
+        self.decisions = int(state["decisions"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"{type(self).__name__}(n_shards={self.n_shards}, "
+            f"decisions={self.decisions})"
+        )
+
+
+class RoundRobinRouter(Router):
+    """Cycle through the shards in index order, ignoring load."""
+
+    policy = "round_robin"
+
+    def _route_into(self, destinations: np.ndarray, working: np.ndarray) -> None:
+        count = len(destinations)
+        np.mod(
+            np.arange(self.decisions, self.decisions + count, dtype=np.int64),
+            self.n_shards,
+            out=destinations,
+        )
+
+
+class LeastLoadedRouter(Router):
+    """Full-information baseline: always the least-loaded shard.
+
+    Ties break to the lowest shard index (``argmin`` semantics), so the
+    policy is deterministic without a seed.  Each decision inside a batch
+    sees the batch's earlier decisions — batched routing water-fills.
+    """
+
+    policy = "least_loaded"
+
+    def _route_into(self, destinations: np.ndarray, working: np.ndarray) -> None:
+        loads: List[int] = working.tolist()  # python ints: fast scalar loop
+        n = self.n_shards
+        for position in range(len(destinations)):
+            best = 0
+            best_load = loads[0]
+            for shard in range(1, n):
+                if loads[shard] < best_load:
+                    best = shard
+                    best_load = loads[shard]
+            destinations[position] = best
+            loads[best] = best_load + 1
+
+
+class TwoChoiceRouter(Router):
+    """The paper's (1, d)-choice scheme over the shard load vector.
+
+    Each request probes ``d`` shards uniformly at random (with replacement,
+    matching the reference processes) and commits to the least loaded; ties
+    break to the earliest probe.  Probe rows are pre-drawn in fixed
+    :data:`PROBE_BLOCK`-row blocks from the policy's own generator, so the
+    decision sequence depends only on (seed, arrival order) — never on how
+    requests were grouped into batch windows.
+    """
+
+    policy = "two_choice"
+
+    def __init__(
+        self, n_shards: int, seed: Optional[int] = None, d: int = 2
+    ) -> None:
+        super().__init__(n_shards, seed=seed)
+        if not isinstance(d, int) or isinstance(d, bool) or d < 1:
+            raise RouterError(f"d must be a positive integer, got {d!r}")
+        self.d = d
+        self.rng = np.random.default_rng(seed)
+        self._probes: np.ndarray = np.empty((0, d), dtype=np.int64)
+        self._probe_pos = 0
+
+    def _next_probe_rows(self, count: int) -> np.ndarray:
+        """``count`` probe rows, consuming (and refilling) the block buffer."""
+        rows = np.empty((count, self.d), dtype=np.int64)
+        filled = 0
+        while filled < count:
+            if self._probe_pos == len(self._probes):
+                self._probes = self.rng.integers(
+                    0, self.n_shards, size=(PROBE_BLOCK, self.d), dtype=np.int64
+                )
+                self._probe_pos = 0
+            take = min(count - filled, len(self._probes) - self._probe_pos)
+            rows[filled : filled + take] = self._probes[
+                self._probe_pos : self._probe_pos + take
+            ]
+            self._probe_pos += take
+            filled += take
+        return rows
+
+    def _route_into(self, destinations: np.ndarray, working: np.ndarray) -> None:
+        count = len(destinations)
+        if count == 0:
+            return
+        probe_rows = self._next_probe_rows(count).tolist()
+        loads: List[int] = working.tolist()
+        for position, row in enumerate(probe_rows):
+            best = row[0]
+            best_load = loads[best]
+            for shard in row[1:]:
+                load = loads[shard]
+                if load < best_load:
+                    best = shard
+                    best_load = load
+            destinations[position] = best
+            loads[best] = best_load + 1
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["d"] = self.d
+        state["rng"] = _encode_rng_state(self.rng.bit_generator.state)
+        # Only the unconsumed suffix of the probe buffer is state; a restore
+        # resumes from it before drawing fresh blocks.
+        state["probes"] = self._probes[self._probe_pos :].tolist()
+        return state
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        super().load_state(state)
+        if int(state["d"]) != self.d:
+            raise RouterError(
+                f"router state was captured with d={state['d']}, "
+                f"this router has d={self.d}"
+            )
+        self.rng.bit_generator.state = _decode_rng_state(state["rng"])
+        probes = np.asarray(state["probes"], dtype=np.int64)
+        self._probes = probes.reshape(len(probes), self.d)
+        self._probe_pos = 0
+
+
+def _encode_rng_state(state: Dict[str, Any]) -> Dict[str, Any]:
+    """numpy bit-generator state as plain JSON types (ints stay exact)."""
+
+    def encode(value: Any) -> Any:
+        if isinstance(value, dict):
+            return {key: encode(item) for key, item in value.items()}
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.ndarray):
+            return {"__ndarray__": value.tolist(), "dtype": value.dtype.str}
+        return value
+
+    return encode(state)
+
+
+def _decode_rng_state(state: Dict[str, Any]) -> Dict[str, Any]:
+    def decode(value: Any) -> Any:
+        if isinstance(value, dict):
+            if "__ndarray__" in value:
+                return np.asarray(
+                    value["__ndarray__"], dtype=np.dtype(value["dtype"])
+                )
+            return {key: decode(item) for key, item in value.items()}
+        return value
+
+    return decode(state)
+
+
+# ----------------------------------------------------------------------
+# The policy catalogue — same registry machinery as the schemes
+# ----------------------------------------------------------------------
+#: Registry of router policies.  A second :class:`SchemeRegistry` instance:
+#: registration introspects the factory signature, names resolve through
+#: aliases, and ``describe()`` reports parameters — identical mechanics to
+#: the scheme catalogue behind ``repro.api.get_scheme``.
+ROUTER_POLICIES = SchemeRegistry()
+
+router_policy = ROUTER_POLICIES.register
+
+
+@router_policy("round_robin", aliases=("rr",), tags=("router",))
+def _round_robin(n_shards: int, seed: Optional[int] = None) -> Router:
+    """Cycle through shards in index order (load-oblivious baseline)."""
+    return RoundRobinRouter(n_shards, seed=seed)
+
+
+@router_policy("least_loaded", aliases=("ll",), tags=("router",))
+def _least_loaded(n_shards: int, seed: Optional[int] = None) -> Router:
+    """Always the least-loaded shard (full-information d=N probe)."""
+    return LeastLoadedRouter(n_shards, seed=seed)
+
+
+@router_policy("two_choice", aliases=("two", "d_choice"), tags=("router",))
+def _two_choice(
+    n_shards: int, seed: Optional[int] = None, d: int = 2
+) -> Router:
+    """Probe d shards uniformly, commit to the least loaded (the paper)."""
+    return TwoChoiceRouter(n_shards, seed=seed, d=d)
+
+
+def available_router_policies() -> List[str]:
+    """Sorted canonical names of every registered router policy."""
+    return ROUTER_POLICIES.names()
+
+
+def describe_router_policy(name: str) -> Dict[str, Any]:
+    """Summary and parameters of one policy (registry ``describe()``)."""
+    return ROUTER_POLICIES.describe(name)
+
+
+def make_router(
+    policy: str,
+    n_shards: int,
+    seed: Optional[int] = None,
+    **params: Any,
+) -> Router:
+    """Instantiate a registered policy by name (or alias).
+
+    ``params`` forwards policy-specific knobs (e.g. ``d=4`` for
+    ``two_choice``); unknown policies raise with the candidate list, like
+    scheme lookup does.
+    """
+    try:
+        info = ROUTER_POLICIES.get(policy)
+    except KeyError as exc:
+        raise RouterError(str(exc.args[0])) from None
+    try:
+        router = info.runner(n_shards=n_shards, seed=seed, **params)
+    except TypeError:
+        supported = [
+            name for name in info.parameters if name not in ("n_shards", "seed")
+        ]
+        raise RouterError(
+            f"invalid parameters {sorted(params)} for router policy "
+            f"{info.name!r}; supported: {supported}"
+        ) from None
+    if not isinstance(router, Router):
+        raise RouterError(
+            f"policy {info.name!r} factory returned "
+            f"{type(router).__name__}, expected a Router"
+        )
+    return router
+
+
+def restore_router(state: Dict[str, Any]) -> Router:
+    """Rebuild a router from a :meth:`Router.state_dict` capture."""
+    try:
+        policy = state["policy"]
+        n_shards = int(state["n_shards"])
+    except (KeyError, TypeError) as exc:
+        raise RouterError(f"malformed router state: missing {exc}") from None
+    params = {"d": int(state["d"])} if "d" in state else {}
+    router = make_router(policy, n_shards, seed=state.get("seed"), **params)
+    router.load_state(state)
+    return router

@@ -1,0 +1,413 @@
+"""The asyncio frontend: NDJSON over TCP, batched into ``place_batch`` windows.
+
+:class:`AllocationServer` owns a :class:`~repro.serve.pool.ShardPool` and
+serves the :mod:`~repro.serve.protocol` over TCP.  Concurrent ``place``
+requests — from any number of connections — are coalesced into *batch
+windows*: the batcher collects up to ``max_batch`` placements or whatever
+arrived within ``max_delay`` seconds of the first, then routes and places
+the whole window through one :meth:`ShardPool.place_batch` call, riding the
+allocator's batched ingestion path instead of paying the per-request loop.
+
+Ordering semantics: every mutating operation (place, place_batch, remove,
+snapshot) passes through one queue and executes in arrival order — a
+``remove`` flushes the window collecting in front of it, and ``snapshot``
+quiesces the whole pipeline before the manifest is captured, so the written
+manifest is a consistent cut.  Responses may return out of order (clients
+match them by ``id``).
+
+All pool work runs on a dedicated single-thread executor: the event loop
+never blocks on shard IPC, and pool state is touched by exactly one thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..api.spec import SchemeSpec
+from .pool import ShardPool, ShardPoolError
+from .protocol import (
+    ProtocolError,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["ServeConfig", "AllocationServer"]
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = ephemeral; read the bound port off ``server.port``
+    n_shards: int = 1
+    policy: str = "two_choice"
+    mode: str = "process"
+    policy_params: Dict[str, Any] = field(default_factory=dict)
+    max_batch: int = 1024  #: placements coalesced per window at most
+    max_delay: float = 0.002  #: seconds the window stays open after its first
+    snapshot_on_exit: Optional[str] = None  #: manifest path written by stop()
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {self.max_batch}")
+        if self.max_delay < 0:
+            raise ValueError(
+                f"max_delay must be non-negative, got {self.max_delay}"
+            )
+
+
+class _Stop:
+    """Queue sentinel ending the batch loop."""
+
+
+_STOP = _Stop()
+
+
+class AllocationServer:
+    """One shard pool behind a batching TCP frontend.
+
+    Build it with a spec (the pool is created on :meth:`start`) or hand it a
+    pre-built pool.  Typical lifecycle::
+
+        server = AllocationServer(spec, ServeConfig(n_shards=4))
+        await server.start()
+        ...                       # port available as server.port
+        await server.serve_forever()   # returns after stop()/shutdown op
+    """
+
+    def __init__(
+        self,
+        spec: Optional[SchemeSpec] = None,
+        config: Optional[ServeConfig] = None,
+        pool: Optional[ShardPool] = None,
+    ) -> None:
+        if (spec is None) == (pool is None):
+            raise ValueError("pass exactly one of spec= or pool=")
+        self.spec = spec if spec is not None else pool.spec
+        self.config = config if config is not None else ServeConfig()
+        self.pool = pool
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._port: Optional[int] = None
+        # The queue and the stopped event are created inside start() — on
+        # Python 3.9 asyncio primitives bind to the loop that is running at
+        # construction time, and the server object may be built before any
+        # loop exists.
+        self._queue: "Optional[asyncio.Queue[Any]]" = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._pool_executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-pool"
+        )
+        self._stopped: Optional[asyncio.Event] = None
+        self._stopping = False
+        # Counters reported by the stats op (and the CI smoke step).
+        self.requests = 0
+        self.places = 0
+        self.removes = 0
+        self.protocol_errors = 0
+        self.batches = 0
+        self.batched_places = 0
+        self.largest_batch = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid after :meth:`start`, survives close)."""
+        if self._port is None:
+            raise RuntimeError("the server has not been started")
+        return self._port
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._stopped = asyncio.Event()
+        if self.pool is None:
+            config = self.config
+            self.pool = await loop.run_in_executor(
+                self._pool_executor,
+                lambda: ShardPool(
+                    self.spec,
+                    config.n_shards,
+                    policy=config.policy,
+                    mode=config.mode,
+                    policy_params=config.policy_params,
+                ),
+            )
+        self._batcher = asyncio.create_task(self._batch_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Drain the pipeline, optionally snapshot, shut everything down."""
+        if self._stopped is None:
+            raise RuntimeError("the server has not been started")
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._batcher is not None:
+            await self._queue.put(_STOP)
+            await self._batcher
+        if self.pool is not None:
+            loop = asyncio.get_running_loop()
+            if self.config.snapshot_on_exit:
+                await loop.run_in_executor(
+                    self._pool_executor,
+                    self.pool.save,
+                    self.config.snapshot_on_exit,
+                )
+            await loop.run_in_executor(self._pool_executor, self.pool.close)
+        self._pool_executor.shutdown(wait=True)
+        self._stopped.set()
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` completes (shutdown op or external)."""
+        if self._stopped is None:
+            raise RuntimeError("the server has not been started")
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------------
+    # The batching window
+    # ------------------------------------------------------------------
+    async def _pool_call(self, fn: Any, *args: Any) -> Any:
+        return await asyncio.get_running_loop().run_in_executor(
+            self._pool_executor, fn, *args
+        )
+
+    async def _flush(
+        self, batch: List[Tuple[Any, "asyncio.Future"]]
+    ) -> None:
+        """Place one window through the pool and resolve its futures."""
+        if not batch:
+            return
+        items = [item for item, _ in batch]
+        keys: Optional[List[Any]] = None
+        if any(item is not None for item in items):
+            # The pool requires all-or-none item ids; untracked placements
+            # in a mixed window get synthetic ones.
+            keys = [
+                item if item is not None else f"__serve_auto_{self.places + i}"
+                for i, item in enumerate(items)
+            ]
+        self.batches += 1
+        self.batched_places += len(batch)
+        self.largest_batch = max(self.largest_batch, len(batch))
+        try:
+            shards, bins = await self._pool_call(
+                self.pool.place_batch, len(batch), keys
+            )
+        except (ShardPoolError, ValueError) as exc:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(ShardPoolError(str(exc)))
+            return
+        self.places += len(batch)
+        for position, (_, future) in enumerate(batch):
+            if not future.done():
+                future.set_result(
+                    (int(shards[position]), int(bins[position]))
+                )
+
+    async def _batch_loop(self) -> None:
+        """Coalesce queued placements into windows; keep arrival order."""
+        loop = asyncio.get_running_loop()
+        stopping = False
+        while not stopping:
+            entry = await self._queue.get()
+            if entry is _STOP:
+                break
+            batch: List[Tuple[Any, "asyncio.Future"]] = []
+            # Collect a window: up to max_batch places, or whatever arrives
+            # within max_delay of the first; any non-place entry closes the
+            # window (it must execute after the places queued before it).
+            deadline = loop.time() + self.config.max_delay
+            tail: Optional[Any] = None
+            while True:
+                kind = entry[0]
+                if kind == "place":
+                    batch.append((entry[1], entry[2]))
+                    if len(batch) >= self.config.max_batch:
+                        break
+                else:
+                    tail = entry
+                    break
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    entry = await asyncio.wait_for(
+                        self._queue.get(), timeout
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if entry is _STOP:
+                    stopping = True
+                    break
+            await self._flush(batch)
+            if tail is not None:
+                await self._run_ordered(tail)
+        # Drain anything queued behind the stop sentinel.
+        while not self._queue.empty():
+            entry = self._queue.get_nowait()
+            if entry is _STOP:
+                continue
+            future = entry[2]
+            if not future.done():
+                future.set_exception(ShardPoolError("the server is stopping"))
+
+    async def _run_ordered(self, entry: Any) -> None:
+        """Execute a non-place entry at its arrival-order position."""
+        kind, payload, future = entry
+        try:
+            if kind == "remove":
+                result = await self._pool_call(self.pool.remove, payload)
+            elif kind == "batch":
+                result = await self._pool_call(
+                    self.pool.place_batch, payload, None
+                )
+                self.places += payload
+            elif kind == "snapshot":
+                result = await self._pool_call(self.pool.save, payload)
+            else:  # pragma: no cover - internal invariant
+                raise ShardPoolError(f"unknown queue entry {kind!r}")
+        except (ShardPoolError, ValueError) as exc:
+            if not future.done():
+                future.set_exception(ShardPoolError(str(exc)))
+            return
+        if not future.done():
+            future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: List[asyncio.Task] = []
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                # One task per request: responses go out as they resolve
+                # (matched by id), so a pipelining client keeps the batch
+                # window full instead of ping-ponging per request.
+                tasks.append(
+                    asyncio.create_task(
+                        self._serve_request(line, writer, write_lock)
+                    )
+                )
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _serve_request(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self.requests += 1
+        request_id: Any = None
+        try:
+            request = decode_request(line)
+            request_id = request.get("id")
+            response = await self._dispatch(request)
+        except ProtocolError as exc:
+            self.protocol_errors += 1
+            response = error_response(request_id, str(exc))
+        except (ShardPoolError, ValueError) as exc:
+            response = error_response(request_id, str(exc))
+        async with write_lock:
+            writer.write(encode(response))
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request["op"]
+        request_id = request.get("id")
+        loop = asyncio.get_running_loop()
+        if op == "ping":
+            return ok_response(request_id, op="ping")
+        if op == "place":
+            future: "asyncio.Future" = loop.create_future()
+            await self._queue.put(("place", request.get("item"), future))
+            shard, bin_index = await future
+            return ok_response(request_id, shard=shard, bin=bin_index)
+        if op == "place_batch":
+            future = loop.create_future()
+            await self._queue.put(("batch", request["count"], future))
+            shards, bins = await future
+            return ok_response(
+                request_id,
+                shards=[int(s) for s in shards],
+                bins=[int(b) for b in bins],
+            )
+        if op == "remove":
+            future = loop.create_future()
+            await self._queue.put(("remove", request["item"], future))
+            shard, bin_index = await future
+            self.removes += 1
+            return ok_response(request_id, shard=shard, bin=bin_index)
+        if op == "stats":
+            pool_summary = await self._pool_call(self.pool.summary)
+            return ok_response(
+                request_id, server=self.server_stats(), pool=pool_summary
+            )
+        if op == "snapshot":
+            future = loop.create_future()
+            await self._queue.put(("snapshot", request["path"], future))
+            manifest = await future
+            return ok_response(
+                request_id,
+                path=request["path"],
+                shards=len(manifest["shards"]),
+            )
+        if op == "shutdown":
+            # Respond first, then tear down (the response must get out
+            # before the connection dies with the server).
+            asyncio.create_task(self.stop())
+            return ok_response(request_id, op="shutdown")
+        raise ProtocolError(f"unknown op {op!r}")  # pragma: no cover
+
+    def server_stats(self) -> Dict[str, Any]:
+        """Frontend counters (batching effectiveness, error counts)."""
+        mean_batch = (
+            self.batched_places / self.batches if self.batches else 0.0
+        )
+        return {
+            "requests": self.requests,
+            "places": self.places,
+            "removes": self.removes,
+            "protocol_errors": self.protocol_errors,
+            "batches": self.batches,
+            "batched_places": self.batched_places,
+            "largest_batch": self.largest_batch,
+            "mean_batch": mean_batch,
+            "max_batch": self.config.max_batch,
+            "max_delay": self.config.max_delay,
+        }

@@ -1,0 +1,119 @@
+"""Snapshot files on disk: atomic writes, digests, torn-file rejection."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api import SchemeSpec
+from repro.online import (
+    OnlineAllocator,
+    OnlineAllocatorError,
+    load_snapshot,
+    snapshot_digest,
+    stream_workload,
+    write_snapshot,
+)
+
+SPEC = SchemeSpec(
+    scheme="kd_choice", params={"n_bins": 32, "k": 2, "d": 4, "n_balls": 300},
+    seed=5,
+)
+
+
+def make_allocator(places=120):
+    allocator = OnlineAllocator(SPEC)
+    allocator.place_batch(places)
+    return allocator
+
+
+class TestWriteSnapshot:
+    def test_roundtrip_and_no_tmp_residue(self, tmp_path):
+        path = tmp_path / "state.json"
+        snapshot = make_allocator().snapshot()
+        write_snapshot(path, snapshot)
+        assert load_snapshot(path) == json.loads(json.dumps(snapshot))
+        assert list(tmp_path.iterdir()) == [path]  # the .tmp is gone
+
+    def test_overwrites_atomically(self, tmp_path):
+        path = tmp_path / "state.json"
+        allocator = make_allocator()
+        write_snapshot(path, allocator.snapshot())
+        allocator.place_batch(50)
+        write_snapshot(path, allocator.snapshot())
+        restored = OnlineAllocator.restore(load_snapshot(path))
+        assert restored.placed == 170
+
+    def test_accepts_path_likes(self, tmp_path):
+        path = os.path.join(str(tmp_path), "state.json")
+        write_snapshot(path, make_allocator().snapshot())
+        assert load_snapshot(path)["format"]
+
+
+class TestTruncatedSnapshotRejection:
+    def test_truncated_file_raises_a_clean_error(self, tmp_path):
+        """Regression: a torn snapshot must fail restore() loudly, early."""
+        path = tmp_path / "state.json"
+        write_snapshot(path, make_allocator().snapshot())
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 3], encoding="utf-8")
+        with pytest.raises(
+            OnlineAllocatorError, match="truncated or corrupt"
+        ) as excinfo:
+            OnlineAllocator.restore(load_snapshot(path))
+        assert str(path) in str(excinfo.value)  # the error names the file
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(OnlineAllocatorError, match="truncated or corrupt"):
+            load_snapshot(path)
+
+    def test_non_document_json_rejected(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(OnlineAllocatorError, match="snapshot document"):
+            load_snapshot(path)
+
+    def test_missing_file_is_a_plain_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_snapshot(tmp_path / "absent.json")
+
+
+class TestDigest:
+    def test_digest_is_canonical(self):
+        snapshot = make_allocator().snapshot()
+        # Key order must not matter — the digest canonicalizes.
+        reordered = json.loads(
+            json.dumps(snapshot, sort_keys=False), object_hook=dict
+        )
+        assert snapshot_digest(snapshot) == snapshot_digest(reordered)
+
+    def test_allocator_digest_matches_module_function(self):
+        allocator = make_allocator()
+        assert allocator.digest() == snapshot_digest(allocator.snapshot())
+
+    def test_digest_changes_with_state(self):
+        allocator = make_allocator()
+        before = allocator.digest()
+        allocator.place()
+        assert allocator.digest() != before
+
+
+class TestStreamSnapshotsAreAtomic:
+    def test_stream_workload_snapshots_leave_no_tmp_files(self, tmp_path):
+        snapshot_dir = tmp_path / "snaps"
+        summary = stream_workload(
+            SPEC, items=200, snapshot_every=64, snapshot_dir=str(snapshot_dir),
+        )
+        names = sorted(p.name for p in snapshot_dir.iterdir())
+        assert len(names) == summary.snapshots_taken > 0
+        assert not any(name.endswith(".tmp") for name in names)
+        # Every capture restores (none is torn).
+        for name in names:
+            restored = OnlineAllocator.restore(
+                load_snapshot(snapshot_dir / name)
+            )
+            assert restored.placed > 0

@@ -1,0 +1,245 @@
+"""ShardPool: bit-identity, routing, churn, manifests, error surfaces."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import SchemeSpec
+from repro.online import OnlineAllocator
+from repro.serve import (
+    MANIFEST_FORMAT,
+    MANIFEST_VERSION,
+    ShardPool,
+    ShardPoolError,
+    make_router,
+)
+
+KD_PARAMS = {"n_bins": 64, "k": 2, "d": 4, "n_balls": 600}
+
+
+def kd_spec(seed=7, **overrides):
+    params = dict(KD_PARAMS, **overrides)
+    return SchemeSpec(scheme="kd_choice", params=params, seed=seed)
+
+
+@pytest.fixture(params=["thread", "process"])
+def mode(request):
+    return request.param
+
+
+class TestShardIdentity:
+    def test_each_shard_matches_a_standalone_allocator(self, mode):
+        """The tentpole contract: the pool adds routing, never drift."""
+        with ShardPool(kd_spec(), 3, policy="two_choice", mode=mode) as pool:
+            shards, bins = pool.place_batch(400)
+            for shard_index in range(3):
+                subsequence = np.flatnonzero(shards == shard_index)
+                standalone = OnlineAllocator(pool.shard_specs[shard_index])
+                expected = standalone.place_batch(len(subsequence))
+                assert np.array_equal(bins[subsequence], expected), (
+                    f"shard {shard_index} diverged from its standalone twin"
+                )
+
+    def test_chunking_is_invisible(self, mode):
+        """One 300-batch and 300 singles produce identical placements."""
+        with ShardPool(kd_spec(), 4, mode=mode) as batch_pool, ShardPool(
+            kd_spec(), 4, mode=mode
+        ) as single_pool:
+            shards_a, bins_a = batch_pool.place_batch(300)
+            singles = [single_pool.place() for _ in range(300)]
+            assert shards_a.tolist() == [s for s, _ in singles]
+            assert bins_a.tolist() == [b for _, b in singles]
+
+    def test_thread_and_process_modes_agree(self):
+        with ShardPool(kd_spec(), 2, mode="thread") as a, ShardPool(
+            kd_spec(), 2, mode="process"
+        ) as b:
+            assert a.place_batch(200)[1].tolist() == b.place_batch(200)[1].tolist()
+            summary_a, summary_b = a.summary(), b.summary()
+            assert summary_a.pop("mode") == "thread"
+            assert summary_b.pop("mode") == "process"
+            assert summary_a == summary_b
+
+    def test_single_shard_pool_is_the_plain_allocator(self, mode):
+        with ShardPool(kd_spec(), 1, mode=mode) as pool:
+            _, bins = pool.place_batch(250)
+            standalone = OnlineAllocator(pool.shard_specs[0])
+            assert np.array_equal(bins, standalone.place_batch(250))
+
+
+class TestRoutingAndChurn:
+    def test_router_instance_can_be_injected(self):
+        router = make_router("round_robin", 2)
+        with ShardPool(kd_spec(), 2, policy=router, mode="thread") as pool:
+            shards, _ = pool.place_batch(6)
+            assert shards.tolist() == [0, 1, 0, 1, 0, 1]
+
+    def test_router_shard_count_mismatch(self):
+        with pytest.raises(ShardPoolError, match="router covers"):
+            ShardPool(kd_spec(), 3, policy=make_router("round_robin", 2))
+
+    def test_tracked_place_and_remove_roundtrip(self, mode):
+        with ShardPool(kd_spec(), 2, mode=mode) as pool:
+            placements = {f"item-{i}": pool.place(f"item-{i}") for i in range(40)}
+            assert pool.live_items == 40
+            for item, (shard, bin_index) in placements.items():
+                assert pool.remove(item) == (shard, bin_index)
+            assert pool.live_items == 0
+            assert pool.shard_loads().tolist() == [0, 0]
+
+    def test_remove_frees_router_capacity(self):
+        with ShardPool(kd_spec(), 2, policy="least_loaded", mode="thread") as pool:
+            pool.place_batch(10, items=[f"i{n}" for n in range(10)])
+            before = pool.shard_loads()
+            pool.remove("i0")
+            after = pool.shard_loads()
+            assert after.sum() == before.sum() - 1
+
+    def test_unknown_item_remove(self):
+        with ShardPool(kd_spec(), 2, mode="thread") as pool:
+            with pytest.raises(ShardPoolError, match="unknown item"):
+                pool.remove("ghost")
+
+    def test_duplicate_and_colliding_items_rejected(self):
+        with ShardPool(kd_spec(), 2, mode="thread") as pool:
+            with pytest.raises(ShardPoolError, match="duplicate"):
+                pool.place_batch(2, items=["a", "a"])
+            pool.place("a")
+            with pytest.raises(ShardPoolError, match="already"):
+                pool.place_batch(1, items=["a"])
+            with pytest.raises(ShardPoolError, match="entries"):
+                pool.place_batch(2, items=["b"])
+            with pytest.raises(ShardPoolError, match="None"):
+                pool.place_batch(2, items=["b", None])
+
+    def test_capacity_is_enforced(self):
+        with ShardPool(kd_spec(n_balls=20), 2, mode="thread") as pool:
+            pool.place_batch(20)
+            assert pool.remaining == 0
+            with pytest.raises(ShardPoolError, match="capacity"):
+                pool.place()
+
+    def test_capacity_requires_a_sized_spec(self):
+        spec = SchemeSpec(
+            scheme="kd_choice", params={"n_bins": None, "k": 2, "d": 4}, seed=0
+        )
+        with pytest.raises(ShardPoolError, match="capacity"):
+            ShardPool(spec, 2, mode="thread")
+
+    def test_closed_pool_rejects_work(self):
+        pool = ShardPool(kd_spec(), 2, mode="thread")
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(ShardPoolError, match="closed"):
+            pool.place()
+
+
+class TestManifests:
+    def test_snapshot_restore_resumes_bit_identically(self, mode):
+        with ShardPool(kd_spec(), 3, mode=mode) as pool:
+            pool.place_batch(200, items=[f"i{n}" for n in range(200)])
+            pool.remove("i7")
+            manifest = json.loads(json.dumps(pool.snapshot()))
+            reference_tail = pool.place_batch(150)
+        assert manifest["format"] == MANIFEST_FORMAT
+        assert manifest["version"] == MANIFEST_VERSION
+        with ShardPool.restore(manifest, mode="thread") as restored:
+            assert restored.placed == 200
+            assert restored.removed == 1
+            assert restored.live_items == 199
+            restored_tail = restored.place_batch(150)
+            assert np.array_equal(reference_tail[0], restored_tail[0])
+            assert np.array_equal(reference_tail[1], restored_tail[1])
+
+    def test_restore_preserves_loads_and_telemetry(self):
+        with ShardPool(kd_spec(), 2, mode="thread") as pool:
+            pool.place_batch(120, items=[f"i{n}" for n in range(120)])
+            pool.remove("i3")
+            loads = [l.tolist() for l in pool.bin_loads()]
+            telemetry = pool.telemetry_counters()
+            summary = pool.summary()
+            manifest = json.loads(json.dumps(pool.snapshot()))
+        with ShardPool.restore(manifest) as restored:
+            assert [l.tolist() for l in restored.bin_loads()] == loads
+            assert restored.telemetry_counters() == telemetry
+            assert restored.summary() == summary
+
+    def test_save_load_roundtrip(self, tmp_path, mode):
+        path = tmp_path / "pool.manifest.json"
+        with ShardPool(kd_spec(), 2, mode=mode) as pool:
+            pool.place_batch(100)
+            pool.save(path)
+            expected = pool.place_batch(50)[1].tolist()
+        assert not path.with_suffix(".json.tmp").exists()
+        with ShardPool.load(path, mode="thread") as restored:
+            assert restored.place_batch(50)[1].tolist() == expected
+
+    def test_digest_mismatch_is_rejected_before_any_worker_starts(self):
+        with ShardPool(kd_spec(), 2, mode="thread") as pool:
+            pool.place_batch(50)
+            manifest = pool.snapshot()
+        manifest["shards"][1]["snapshot"]["placed"] = 49  # tamper
+        with pytest.raises(ShardPoolError, match="digest mismatch"):
+            ShardPool.restore(manifest)
+
+    def test_wrong_format_and_version_rejected(self):
+        with ShardPool(kd_spec(), 2, mode="thread") as pool:
+            manifest = pool.snapshot()
+        with pytest.raises(ShardPoolError, match="not a shard-pool manifest"):
+            ShardPool.restore(dict(manifest, format="something-else"))
+        with pytest.raises(ShardPoolError, match="version"):
+            ShardPool.restore(dict(manifest, version=99))
+
+    def test_shard_count_mismatch_rejected(self):
+        with ShardPool(kd_spec(), 2, mode="thread") as pool:
+            manifest = pool.snapshot()
+        manifest["shards"] = manifest["shards"][:1]
+        with pytest.raises(ShardPoolError, match="2 shards"):
+            ShardPool.restore(manifest)
+
+    def test_truncated_manifest_file_rejected_cleanly(self, tmp_path):
+        path = tmp_path / "pool.manifest.json"
+        with ShardPool(kd_spec(), 2, mode="thread") as pool:
+            pool.place_batch(50)
+            pool.save(path)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        with pytest.raises(ShardPoolError, match="truncated or corrupt"):
+            ShardPool.load(path)
+
+
+class TestSeeding:
+    def test_shard_seeds_fan_out_of_the_root_seed(self):
+        with ShardPool(kd_spec(seed=5), 4, mode="thread") as a, ShardPool(
+            kd_spec(seed=5), 4, mode="thread"
+        ) as b:
+            assert a.shard_seeds == b.shard_seeds
+            assert a.router_seed == b.router_seed
+        with ShardPool(kd_spec(seed=6), 4, mode="thread") as c:
+            assert c.shard_seeds != a.shard_seeds
+
+    def test_shards_have_distinct_streams(self):
+        with ShardPool(kd_spec(), 3, mode="thread") as pool:
+            assert len(set(pool.shard_seeds)) == 3
+            streams = [
+                OnlineAllocator(spec).place_batch(50).tolist()
+                for spec in pool.shard_specs
+            ]
+            assert streams[0] != streams[1]
+
+    def test_non_integer_seed_rejected(self):
+        spec = SchemeSpec(
+            scheme="kd_choice", params=dict(KD_PARAMS),
+            seed=np.random.SeedSequence(3),
+        )
+        with pytest.raises(ShardPoolError, match="integer"):
+            ShardPool(spec, 2, mode="thread")
+
+    def test_bad_construction_arguments(self):
+        with pytest.raises(ShardPoolError, match="n_shards"):
+            ShardPool(kd_spec(), 0, mode="thread")
+        with pytest.raises(ShardPoolError, match="mode"):
+            ShardPool(kd_spec(), 2, mode="fiber")

@@ -1,0 +1,227 @@
+"""Router policies: determinism, batch invariance, registry, persistence."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ROUTER_POLICIES,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    RouterError,
+    TwoChoiceRouter,
+    available_router_policies,
+    describe_router_policy,
+    make_router,
+    restore_router,
+)
+from repro.serve.router import PROBE_BLOCK
+
+POLICIES = ["round_robin", "least_loaded", "two_choice"]
+
+
+def drive(router, arrivals, n_shards):
+    """Feed ``arrivals`` single decisions; return the destination list."""
+    loads = np.zeros(n_shards, dtype=np.int64)
+    decisions = []
+    for _ in range(arrivals):
+        shard = router.route(loads)
+        loads[shard] += 1
+        decisions.append(shard)
+    return decisions
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_fixed_seed_identical_across_runs(self, policy):
+        first = drive(make_router(policy, 8, seed=42), 500, 8)
+        second = drive(make_router(policy, 8, seed=42), 500, 8)
+        assert first == second
+
+    def test_two_choice_seeds_give_distinct_streams(self):
+        first = drive(make_router("two_choice", 8, seed=1), 500, 8)
+        second = drive(make_router("two_choice", 8, seed=2), 500, 8)
+        assert first != second
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_chunking_never_changes_decisions(self, policy):
+        """The core contract: batch windows are invisible to routing."""
+        n_shards = 5
+        arrivals = 700
+        reference = drive(make_router(policy, n_shards, seed=9), arrivals, n_shards)
+        # Same arrivals, sliced into ragged windows (including empty ones).
+        router = make_router(policy, n_shards, seed=9)
+        loads = np.zeros(n_shards, dtype=np.int64)
+        chunked = []
+        position = 0
+        for size in [1, 0, 7, 64, 3, 128, 1, 256, 17]:
+            size = min(size, arrivals - position)
+            destinations = router.route_batch(size, loads)
+            for shard in destinations:
+                loads[shard] += 1
+            chunked.extend(int(s) for s in destinations)
+            position += size
+        while position < arrivals:
+            chunked.append(router.route(loads))
+            loads[chunked[-1]] += 1
+            position += 1
+        assert chunked == reference
+
+    def test_two_choice_chunking_across_probe_block_boundary(self):
+        n_shards = 4
+        arrivals = PROBE_BLOCK + 100
+        expected = drive(
+            make_router("two_choice", n_shards, seed=3), arrivals, n_shards
+        )
+        router = make_router("two_choice", n_shards, seed=3)
+        loads = np.zeros(n_shards, dtype=np.int64)
+        chunked = []
+        for size in (PROBE_BLOCK - 50, 150):  # second window straddles blocks
+            destinations = router.route_batch(size, loads)
+            for shard in destinations:
+                loads[shard] += 1
+            chunked.extend(int(s) for s in destinations)
+        assert chunked == expected
+
+
+class TestSemantics:
+    def test_round_robin_cycles(self):
+        router = make_router("round_robin", 3)
+        assert drive(router, 7, 3) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_least_loaded_waterfills_with_lowest_index_ties(self):
+        router = make_router("least_loaded", 3)
+        loads = np.array([2, 0, 1], dtype=np.int64)
+        # 5 arrivals water-fill to [2,2,2] then tie-break to shard 0, 1.
+        assert router.route_batch(5, loads).tolist() == [1, 1, 2, 0, 1]
+
+    def test_batch_sees_its_own_earlier_decisions(self):
+        router = make_router("least_loaded", 4)
+        destinations = router.route_batch(8, np.zeros(4, dtype=np.int64))
+        assert sorted(destinations.tolist()) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_two_choice_probes_d_shards(self):
+        # With d == n_shards == 1 every decision is shard 0.
+        router = TwoChoiceRouter(1, seed=0, d=3)
+        assert drive(router, 10, 1) == [0] * 10
+
+    def test_two_choice_balances_better_than_random(self):
+        n_shards = 16
+        router = make_router("two_choice", n_shards, seed=11)
+        loads = np.zeros(n_shards, dtype=np.int64)
+        for _ in range(64 * n_shards):
+            shard = router.route(loads)
+            loads[shard] += 1
+        assert loads.max() - loads.min() <= 4  # two-choice keeps the gap tiny
+
+    def test_route_equals_route_batch_of_one(self):
+        for policy in POLICIES:
+            a = make_router(policy, 6, seed=5)
+            b = make_router(policy, 6, seed=5)
+            loads = np.array([3, 1, 4, 1, 5, 9], dtype=np.int64)
+            assert a.route(loads) == int(b.route_batch(1, loads)[0])
+
+
+class TestValidation:
+    def test_unknown_policy_lists_candidates(self):
+        with pytest.raises(RouterError, match="two_choice"):
+            make_router("fancy", 4)
+
+    def test_unknown_parameter_lists_supported(self):
+        with pytest.raises(RouterError, match="supported"):
+            make_router("two_choice", 4, fanout=3)
+
+    def test_bad_shard_counts(self):
+        with pytest.raises(RouterError):
+            make_router("round_robin", 0)
+        with pytest.raises(RouterError):
+            make_router("round_robin", "4")
+
+    def test_bad_d(self):
+        with pytest.raises(RouterError):
+            TwoChoiceRouter(4, d=0)
+
+    def test_wrong_load_shape(self):
+        router = make_router("least_loaded", 4)
+        with pytest.raises(RouterError, match="shape"):
+            router.route_batch(1, np.zeros(5, dtype=np.int64))
+
+    def test_negative_count(self):
+        router = make_router("round_robin", 4)
+        with pytest.raises(RouterError):
+            router.route_batch(-1, np.zeros(4, dtype=np.int64))
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_state_roundtrip_resumes_identically(self, policy):
+        n_shards = 6
+        reference = make_router(policy, n_shards, seed=21)
+        loads = np.zeros(n_shards, dtype=np.int64)
+        for _ in range(300):
+            loads[reference.route(loads)] += 1
+        # Through JSON: exactly what the manifest path sees after disk.
+        state = json.loads(json.dumps(reference.state_dict()))
+        resumed = restore_router(state)
+        frozen = np.array(loads)
+        assert np.array_equal(
+            reference.route_batch(200, frozen), resumed.route_batch(200, frozen)
+        )
+
+    def test_two_choice_roundtrip_mid_probe_block(self):
+        reference = TwoChoiceRouter(4, seed=8, d=3)
+        loads = np.zeros(4, dtype=np.int64)
+        reference.route_batch(100, loads)  # 100 of the first block consumed
+        resumed = restore_router(json.loads(json.dumps(reference.state_dict())))
+        assert np.array_equal(
+            reference.route_batch(PROBE_BLOCK, loads),
+            resumed.route_batch(PROBE_BLOCK, loads),
+        )
+
+    def test_policy_mismatch_rejected(self):
+        state = make_router("round_robin", 4).state_dict()
+        with pytest.raises(RouterError, match="cannot load"):
+            make_router("least_loaded", 4).load_state(state)
+
+    def test_shard_count_mismatch_rejected(self):
+        state = make_router("round_robin", 4).state_dict()
+        with pytest.raises(RouterError, match="4 shards"):
+            make_router("round_robin", 5).load_state(state)
+
+    def test_d_mismatch_rejected(self):
+        state = TwoChoiceRouter(4, seed=1, d=2).state_dict()
+        with pytest.raises(RouterError, match="d="):
+            TwoChoiceRouter(4, seed=1, d=3).load_state(state)
+
+    def test_malformed_state_rejected(self):
+        with pytest.raises(RouterError, match="malformed"):
+            restore_router({"n_shards": 4})
+
+
+class TestRegistry:
+    def test_catalogue_names(self):
+        assert available_router_policies() == [
+            "least_loaded", "round_robin", "two_choice",
+        ]
+
+    def test_aliases_resolve(self):
+        assert isinstance(make_router("rr", 2), RoundRobinRouter)
+        assert isinstance(make_router("ll", 2), LeastLoadedRouter)
+        assert isinstance(make_router("two", 2), TwoChoiceRouter)
+        assert isinstance(make_router("d_choice", 2, d=4), TwoChoiceRouter)
+
+    def test_describe_reports_parameters(self):
+        description = describe_router_policy("two_choice")
+        assert description["name"] == "two_choice"
+        assert description["parameters"]["d"] == 2
+        assert "router" in description["tags"]
+
+    def test_separate_from_scheme_registry(self):
+        from repro.api import REGISTRY
+
+        assert "round_robin" in ROUTER_POLICIES
+        assert "round_robin" not in REGISTRY
+        assert "kd_choice" not in ROUTER_POLICIES

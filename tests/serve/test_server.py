@@ -1,0 +1,326 @@
+"""The asyncio frontend: protocol, batching, ordering, snapshots, loadgen."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.api import SchemeSpec
+from repro.serve import (
+    AllocationServer,
+    BlockingServeClient,
+    ProtocolError,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    ShardPool,
+    protocol,
+    run_loadgen,
+)
+
+SPEC = SchemeSpec(
+    scheme="kd_choice",
+    params={"n_bins": 128, "k": 2, "d": 4, "n_balls": 20000},
+    seed=11,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def with_server(body, config=None):
+    """Start a thread-mode server, run ``body(server)``, always stop."""
+    server = AllocationServer(
+        SPEC, config or ServeConfig(n_shards=2, mode="thread")
+    )
+    await server.start()
+    try:
+        return await body(server)
+    finally:
+        await server.stop()
+
+
+class TestProtocol:
+    def test_encode_is_canonical(self):
+        line = protocol.encode({"op": "ping", "id": 3})
+        assert line == b'{"id":3,"op":"ping"}\n'
+
+    def test_decode_roundtrip(self):
+        request = protocol.decode_request(b'{"id":1,"op":"place"}')
+        assert request == {"id": 1, "op": "place"}
+
+    @pytest.mark.parametrize(
+        "line,match",
+        [
+            (b"not json", "not valid JSON"),
+            (b"[1,2]", "JSON object"),
+            (b'{"op":"levitate"}', "unknown op"),
+            (b'{"op":"place_batch"}', "count"),
+            (b'{"op":"place_batch","count":-1}', "count"),
+            (b'{"op":"place_batch","count":true}', "count"),
+            (b'{"op":"remove"}', "item"),
+            (b'{"op":"snapshot"}', "path"),
+            (b'{"op":"snapshot","path":""}', "path"),
+        ],
+    )
+    def test_malformed_requests(self, line, match):
+        with pytest.raises(ProtocolError, match=match):
+            protocol.decode_request(line)
+
+    def test_responses(self):
+        assert protocol.ok_response(4, shard=1) == {
+            "id": 4, "ok": True, "shard": 1,
+        }
+        assert protocol.error_response(4, "boom") == {
+            "id": 4, "ok": False, "error": "boom",
+        }
+
+
+class TestServer:
+    def test_place_remove_and_stats(self):
+        async def body(server):
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            try:
+                assert await client.ping()
+                shard, bin_index = await client.place("x")
+                shards, bins = await client.place_batch(16)
+                assert len(shards) == len(bins) == 16
+                assert await client.remove("x") == (shard, bin_index)
+                stats = await client.stats()
+                assert stats["server"]["places"] == 17
+                assert stats["server"]["removes"] == 1
+                assert stats["pool"]["placed"] == 17
+                assert stats["pool"]["removed"] == 1
+            finally:
+                await client.close()
+
+        run(with_server(body))
+
+    def test_concurrent_places_coalesce_into_windows(self):
+        async def body(server):
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            try:
+                await asyncio.gather(*(client.place() for _ in range(200)))
+            finally:
+                await client.close()
+            assert server.places == 200
+            assert server.batches < 200  # pipelined places share windows
+            assert server.largest_batch > 1
+            stats = server.server_stats()
+            assert stats["batched_places"] == 200
+            assert stats["mean_batch"] > 1.0
+
+        run(with_server(body, ServeConfig(
+            n_shards=2, mode="thread", max_batch=64, max_delay=0.02,
+        )))
+
+    def test_server_stream_matches_inprocess_pool(self):
+        """Transport adds nothing: same spec, same placements as ShardPool."""
+        async def body(server):
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            try:
+                shards, bins = await client.place_batch(300)
+            finally:
+                await client.close()
+            return shards, bins
+
+        shards, bins = run(with_server(body))
+        with ShardPool(SPEC, 2, mode="thread") as pool:
+            expected_shards, expected_bins = pool.place_batch(300)
+        assert shards == expected_shards.tolist()
+        assert bins == expected_bins.tolist()
+
+    def test_malformed_line_gets_error_response_and_keeps_connection(self):
+        async def body(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"] is False
+                assert "JSON" in response["error"]
+                writer.write(protocol.encode({"id": 5, "op": "ping"}))
+                await writer.drain()
+                assert json.loads(await reader.readline())["ok"] is True
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            assert server.protocol_errors == 1
+
+        run(with_server(body))
+
+    def test_pool_errors_become_error_responses(self):
+        async def body(server):
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            try:
+                with pytest.raises(ServeError, match="unknown item"):
+                    await client.remove("ghost")
+                await client.place("dup")
+                with pytest.raises(ServeError, match="already"):
+                    await client.place("dup")
+            finally:
+                await client.close()
+
+        run(with_server(body))
+
+    def test_snapshot_op_quiesces_and_writes_manifest(self, tmp_path):
+        path = tmp_path / "live.manifest.json"
+
+        async def body(server):
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            try:
+                # In-flight places queued before the snapshot land in it.
+                places = [
+                    asyncio.create_task(client.place()) for _ in range(50)
+                ]
+                await asyncio.sleep(0)  # every place writes its line first
+                response = await client.snapshot(str(path))
+                await asyncio.gather(*places)
+                assert response["shards"] == 2
+            finally:
+                await client.close()
+
+        run(with_server(body))
+        with ShardPool.load(path) as restored:
+            assert restored.placed == 50
+            assert sum(restored.shard_loads()) == 50
+
+    def test_shutdown_op_stops_the_server(self):
+        async def body():
+            server = AllocationServer(
+                SPEC, ServeConfig(n_shards=2, mode="thread")
+            )
+            await server.start()
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            try:
+                await client.place()
+                await client.shutdown()
+            finally:
+                await client.close()
+            await asyncio.wait_for(server.serve_forever(), timeout=10)
+            with pytest.raises(ConnectionRefusedError):
+                await asyncio.open_connection("127.0.0.1", server.port)
+
+        run(body())
+
+    def test_snapshot_on_exit(self, tmp_path):
+        path = tmp_path / "exit.manifest.json"
+
+        async def body(server):
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            try:
+                await client.place_batch(30)
+            finally:
+                await client.close()
+
+        run(with_server(body, ServeConfig(
+            n_shards=2, mode="thread", snapshot_on_exit=str(path),
+        )))
+        with ShardPool.load(path) as restored:
+            assert restored.placed == 30
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            AllocationServer()
+        with pytest.raises(ValueError, match="max_batch"):
+            ServeConfig(max_batch=0)
+        with pytest.raises(ValueError, match="max_delay"):
+            ServeConfig(max_delay=-1)
+        with pytest.raises(RuntimeError, match="not been started"):
+            AllocationServer(SPEC).port
+
+
+class TestBlockingClient:
+    def test_blocking_facade(self):
+        done = threading.Event()
+        holder = {}
+
+        def serve():
+            async def body(server):
+                holder["port"] = server.port
+                done.set()
+                await server.serve_forever()
+
+            run(with_server(body))
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert done.wait(timeout=10)
+        with BlockingServeClient("127.0.0.1", holder["port"]) as client:
+            assert client.ping()
+            shard, bin_index = client.place("a")
+            assert client.remove("a") == (shard, bin_index)
+            shards, bins = client.place_batch(8)
+            assert len(shards) == len(bins) == 8
+            assert client.stats()["server"]["places"] == 9
+            client.shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestLoadgen:
+    def test_loadgen_counts_and_report(self):
+        async def body(server):
+            report = await run_loadgen(
+                "127.0.0.1", server.port,
+                items=400, connections=3, churn=0.2, seed=9,
+            )
+            assert report.places == 400
+            assert report.errors == 0
+            assert report.removes == report.events - 400
+            assert report.connections == 3
+            assert report.placements_per_sec > 0
+            assert set(report.latency_ms) == {"p50", "p95", "p99", "mean", "max"}
+            assert report.server["places"] == 400
+            assert report.pool["placed"] == 400
+            assert report.pool["removed"] == report.removes
+            # The dict and text renderings carry the same numbers.
+            assert report.to_dict()["places"] == 400
+            assert f"{report.places} places" in report.format_text()
+
+        run(with_server(body))
+
+    def test_loadgen_event_stream_is_deterministic(self):
+        from repro.serve.loadgen import _partition_events
+        from repro.online.trace import generate_workload_events
+
+        events = generate_workload_events(200, churn=0.3, seed=4)
+        again = generate_workload_events(200, churn=0.3, seed=4)
+        assert events == again
+        parts = _partition_events(events, 4)
+        assert sum(len(part) for part in parts) == len(events)
+        for part in parts:
+            live = set()
+            for event in part:
+                if event["op"] == "place":
+                    live.add(event["item"])
+                else:
+                    # The remove rides the connection that placed the item.
+                    assert event["item"] in live
+
+    def test_loadgen_validation(self):
+        with pytest.raises(ValueError, match="connections"):
+            run(run_loadgen("127.0.0.1", 1, items=10, connections=0))
+        with pytest.raises(ValueError, match="max_in_flight"):
+            run(run_loadgen("127.0.0.1", 1, items=10, max_in_flight=0))
+
+    def test_loadgen_shutdown_after(self):
+        async def body():
+            server = AllocationServer(
+                SPEC, ServeConfig(n_shards=2, mode="thread")
+            )
+            await server.start()
+            report = await run_loadgen(
+                "127.0.0.1", server.port, items=100, connections=2,
+                shutdown_after=True,
+            )
+            assert report.places == 100
+            await asyncio.wait_for(server.serve_forever(), timeout=10)
+
+        run(body())

@@ -326,3 +326,49 @@ class TestConsoleEntryPoints:
         with pytest.raises(SystemExit):
             main(argv)
         assert "requires --cache-dir" in capsys.readouterr().err
+
+
+class TestServeLoadgenCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--scheme", "kd_choice"])
+        assert args.shards == 4
+        assert args.router == "two_choice"
+        assert args.mode == "process"
+        assert args.port == 0
+        assert args.max_delay_ms == 2.0
+
+    def test_serve_requires_scheme_xor_restore(self, capsys):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["serve"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["serve", "--scheme", "kd_choice", "--restore", "x.json"])
+
+    def test_serve_unknown_router_is_clean_error(self):
+        with pytest.raises(SystemExit, match="two_choice"):
+            main([
+                "serve", "--scheme", "kd_choice", "--param", "n_bins=64",
+                "--param", "k=2", "--param", "d=4", "--shards", "1",
+                "--mode", "thread", "--router", "bogus",
+            ])
+
+    def test_serve_unservable_scheme_is_clean_error(self):
+        # A substrate scheme has no n_balls/n_bins, so no pool capacity.
+        with pytest.raises(SystemExit, match="capacity"):
+            main([
+                "serve", "--scheme", "cluster_scheduling", "--shards", "1",
+                "--mode", "thread",
+            ])
+
+    def test_serve_missing_manifest_is_clean_error(self, tmp_path):
+        with pytest.raises((SystemExit, FileNotFoundError)):
+            main(["serve", "--restore", str(tmp_path / "absent.json")])
+
+    def test_loadgen_refused_connection_is_clean_error(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        with pytest.raises(SystemExit, match="no server listening"):
+            main(["loadgen", "--port", str(port), "--items", "1"])

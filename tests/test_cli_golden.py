@@ -200,3 +200,37 @@ class TestEngineNeutralRecipes:
         scalar = run_cli(capsys, args + ["--engine", "scalar"])
         vectorized = run_cli(capsys, args + ["--engine", "vectorized"])
         assert scalar == vectorized
+
+
+class TestSchemesJsonGolden:
+    """The machine-readable registry dump must stay byte-stable.
+
+    Regenerate (only after intentionally changing the registry) with::
+
+        PYTHONPATH=src python -m repro schemes --json \
+            > tests/data/golden/schemes.json
+    """
+
+    def test_registry_dump_matches_golden(self, capsys):
+        output = run_cli(capsys, ["schemes", "--json"])
+        assert output == golden("schemes.json")
+
+    def test_dump_is_valid_json_with_support_reasons(self, capsys):
+        import json
+
+        dump = json.loads(run_cli(capsys, ["schemes", "--json"]))
+        assert dump["format"] == "repro-scheme-registry"
+        assert dump["version"] == 1
+        assert dump["count"] == len(dump["schemes"]) > 0
+        by_name = {entry["name"]: entry for entry in dump["schemes"]}
+        kd = by_name["kd_choice"]
+        assert kd["vectorized"] and kd["vectorized_unsupported_reason"] is None
+        assert kd["online"] and kd["online_unsupported_reason"] is None
+        for entry in dump["schemes"]:
+            # The dichotomy: support flag XOR a human-readable reason.
+            assert entry["vectorized"] == (
+                entry["vectorized_unsupported_reason"] is None
+            )
+            assert entry["online"] == (
+                entry["online_unsupported_reason"] is None
+            )
