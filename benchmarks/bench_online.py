@@ -102,6 +102,7 @@ ONLINE_PARITY_CASES = [
     ("threshold_adaptive", {"n_bins": 4096}),
     ("two_phase_adaptive", {"n_bins": 4096}),
     ("greedy_kd_choice", {"n_bins": 2048, "k": 2, "d": 5}),
+    ("serialized_kd_choice", {"n_bins": 2048, "k": 4, "d": 8}),
 ]
 
 

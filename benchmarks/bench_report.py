@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -49,6 +50,7 @@ SCHEME_PARAMS: Dict[str, Dict[str, Any]] = {
     "always_go_left": {"d": 4},
     "threshold_adaptive": {},
     "two_phase_adaptive": {},
+    "serialized_kd_choice": {"k": 4, "d": 8},
 }
 
 #: Schemes whose per-item reference loop is slow enough that the scalar
@@ -138,6 +140,7 @@ def main(argv: Optional[list] = None) -> int:
         "version": 1,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpus": os.cpu_count() or 1,
         "items": args.items,
         "schemes": {},
     }

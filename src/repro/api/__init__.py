@@ -53,6 +53,7 @@ from .executor import (
     resolve_n_jobs,
     run_trial,
 )
+from .lint import lint_registry
 from .registry import (
     REGISTRY,
     SchemeInfo,
@@ -63,6 +64,7 @@ from .registry import (
     online_unsupported_reason,
     register_scheme,
     registry_dump,
+    vectorized_fastpath_reason,
     vectorized_unsupported_reason,
 )
 from .spec import ENGINES, SchemeSpec, SchemeSpecError
@@ -82,10 +84,12 @@ __all__ = [
     "build_runner_kwargs",
     "describe_scheme",
     "get_scheme",
+    "lint_registry",
     "online_unsupported_reason",
     "register_scheme",
     "registry_dump",
     "resolve_engine",
+    "vectorized_fastpath_reason",
     "vectorized_unsupported_reason",
     "resolve_executor",
     "resolve_metric_set",

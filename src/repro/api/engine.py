@@ -34,7 +34,12 @@ from ..simulation.runner import (
 )
 from .cache import ResultStore, as_result_store
 from .executor import resolve_executor, resolve_metric_set
-from .registry import SchemeInfo, get_scheme, vectorized_unsupported_reason
+from .registry import (
+    SchemeInfo,
+    get_scheme,
+    vectorized_fastpath_reason,
+    vectorized_unsupported_reason,
+)
 from .spec import SchemeSpec, SchemeSpecError
 
 __all__ = [
@@ -50,23 +55,26 @@ def resolve_engine(spec: SchemeSpec, info: Optional[SchemeInfo] = None) -> str:
     """Decide which engine a spec runs on ("scalar" or "vectorized").
 
     ``engine="auto"`` selects the vectorized fast path whenever the scheme
-    provides one and the spec stays inside its supported envelope (strict
-    policy, no guard-rejected parameters); the two engines are seed-for-seed
-    identical, so this is purely a performance decision.  A forced
-    ``engine="vectorized"`` outside that envelope raises
-    :class:`~repro.api.spec.SchemeSpecError` — normally already at spec
-    construction; this re-check covers specs built before the scheme was
-    registered.
+    provides one and the spec stays inside its *fast-path* envelope (strict
+    policy, no guard-rejected parameters, an actual speedup on offer); the
+    two engines are seed-for-seed identical, so this is purely a
+    performance decision.  A forced ``engine="vectorized"`` is honoured
+    whenever the batch engine can run the spec at all — including the
+    derived drive-the-kernel engines that a fast-path guard keeps away from
+    ``auto`` — and raises :class:`~repro.api.spec.SchemeSpecError` outside
+    that hard envelope (normally already at spec construction; this
+    re-check covers specs built before the scheme was registered).
     """
     info = info if info is not None else get_scheme(spec.scheme)
     if spec.engine == "scalar":
         return "scalar"
-    reason = vectorized_unsupported_reason(info, spec.policy, spec.params)
     if spec.engine == "vectorized":
+        reason = vectorized_unsupported_reason(info, spec.policy, spec.params)
         if reason is not None:
             raise SchemeSpecError(reason)
         return "vectorized"
     # auto
+    reason = vectorized_fastpath_reason(info, spec.policy, spec.params)
     return "scalar" if reason is not None else "vectorized"
 
 

@@ -1,0 +1,115 @@
+"""Registry/kernel parity lint.
+
+The kernel contract (:mod:`repro.core.kernels`) makes one registration per
+scheme the single source of truth for its engine surfaces.  This module
+checks, mechanically, that the scheme registry never drifts away from the
+kernel table:
+
+* every kernel in :data:`~repro.core.kernels.table.KERNELS` backs a
+  registered scheme whose ``vectorized``/``online``/guard surfaces are the
+  *identical objects* the kernel carries (not merely equal — a re-wrapped
+  engine is exactly the drift this lint exists to catch);
+* every registered scheme is either kernel-backed or explicitly listed in
+  :data:`~repro.core.kernels.table.EXEMPT_SCHEMES` (the bespoke substrate
+  simulators);
+* the compatibility shims ``repro.core.vectorized`` and
+  ``repro.online.steppers`` define nothing of their own — they re-export
+  kernel symbols only, so there is no second implementation to rot.
+
+Exposed to users as ``python -m repro schemes --check`` and locked down by
+``tests/api/test_registry_parity.py``; CI runs both.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import List
+
+__all__ = ["lint_registry"]
+
+#: Modules that must be pure re-export shims (they historically held the
+#: per-scheme engine implementations now living in repro.core.kernels).
+_SHIM_MODULES = ("repro.core.vectorized", "repro.online.steppers")
+
+
+def _kernel_surface_violations() -> List[str]:
+    from ..core.kernels import EXEMPT_SCHEMES, KERNELS
+    from .registry import REGISTRY
+
+    problems: List[str] = []
+    registered = set(REGISTRY.names())
+
+    for name, kernel in sorted(KERNELS.items()):
+        if name not in registered:
+            problems.append(
+                f"kernel {name!r} (core/kernels/table.py) has no registered "
+                f"scheme; register it in api/schemes.py with kernel=KERNELS[{name!r}]"
+            )
+            continue
+        info = REGISTRY.get(name)
+        if info.kernel != kernel.name:
+            problems.append(
+                f"scheme {name!r} (api/schemes.py) is not kernel-backed "
+                f"(info.kernel={info.kernel!r}); pass kernel=KERNELS[{name!r}] "
+                f"instead of explicit engine surfaces"
+            )
+            continue
+        surfaces = (
+            ("vectorized", info.vectorized, kernel.vectorized),
+            ("online", info.online, kernel.stepper),
+            ("vectorized_guard", info.vectorized_guard, kernel.vectorized_guard),
+            (
+                "vectorized_fastpath_guard",
+                info.vectorized_fastpath_guard,
+                kernel.fastpath_guard,
+            ),
+        )
+        for surface, registered_obj, kernel_obj in surfaces:
+            if registered_obj is not kernel_obj:
+                problems.append(
+                    f"scheme {name!r}: registry {surface} is not the kernel's "
+                    f"object (registry={registered_obj!r}, "
+                    f"kernel={kernel_obj!r}); the registration in "
+                    f"api/schemes.py must derive it from KERNELS[{name!r}]"
+                )
+
+    for name in sorted(registered):
+        if name in KERNELS:
+            continue
+        if name not in EXEMPT_SCHEMES:
+            problems.append(
+                f"scheme {name!r} (api/schemes.py) has no kernel and is not in "
+                f"EXEMPT_SCHEMES (core/kernels/table.py); add a kernel "
+                f"registration or list it as exempt"
+            )
+    return problems
+
+
+def _shim_purity_violations() -> List[str]:
+    problems: List[str] = []
+    for module_name in _SHIM_MODULES:
+        module = importlib.import_module(module_name)
+        owned = sorted(
+            name
+            for name, value in vars(module).items()
+            if not name.startswith("__")
+            and getattr(value, "__module__", None) == module_name
+        )
+        if owned:
+            problems.append(
+                f"shim module {module_name} defines its own symbols "
+                f"{owned}; it must only re-export from repro.core.kernels"
+            )
+    return problems
+
+
+def lint_registry() -> List[str]:
+    """Return every registry/kernel parity violation (empty when clean).
+
+    Each violation is one human-readable sentence naming the offending
+    scheme or module and the file to fix.  ``python -m repro schemes
+    --check`` prints these and exits nonzero when any exist.
+    """
+    import repro.api.schemes  # noqa: F401  (populate the registry)
+
+    return _kernel_surface_violations() + _shim_purity_violations()

@@ -33,6 +33,7 @@ __all__ = [
     "get_scheme",
     "registry_dump",
     "vectorized_unsupported_reason",
+    "vectorized_fastpath_reason",
     "online_unsupported_reason",
     "REGISTRY",
 ]
@@ -54,9 +55,18 @@ class SchemeInfo:
     tags: Tuple[str, ...] = ()
     vectorized: Optional[Runner] = None
     #: Optional predicate ``(params) -> reason-or-None`` marking parameter
-    #: regions the vectorized runner does not support (e.g. a callable
-    #: threshold).  ``None`` (the return value) means supported.
+    #: regions the vectorized runner does not support (e.g. a failure
+    #: scenario only the reference simulator implements).  ``None`` (the
+    #: return value) means supported.  This is the *hard* capability level:
+    #: a reason here means forcing ``engine="vectorized"`` raises.
     vectorized_guard: Optional[Callable[[Mapping[str, Any]], Optional[str]]] = None
+    #: Optional predicate ``(params) -> reason-or-None`` marking parameter
+    #: regions where the vectorized runner *works* but brings no speedup
+    #: (it drives the per-unit kernel), so ``engine="auto"`` should stay on
+    #: the scalar reference.  Forcing ``engine="vectorized"`` is honoured.
+    vectorized_fastpath_guard: Optional[
+        Callable[[Mapping[str, Any]], Optional[str]]
+    ] = None
     #: Optional stepper factory for the online/streaming allocation service
     #: (:mod:`repro.online`).  The factory mirrors the scalar runner's
     #: keyword signature but returns a stepper object (incremental
@@ -72,6 +82,12 @@ class SchemeInfo:
     #: trials stay picklable and cacheable.  ``None`` selects the library
     #: default (max load, gap, messages).
     metrics: Optional[Mapping[str, Callable[[Any], float]]] = None
+    #: Name of the kernel (in :data:`repro.core.kernels.table.KERNELS`) this
+    #: scheme's engine surfaces were derived from, or ``None`` for the
+    #: bespoke substrate simulators.  Set by passing ``kernel=`` to
+    #: ``register``; ``repro schemes --check`` verifies derived surfaces
+    #: stay identical to the kernel table.
+    kernel: Optional[str] = None
 
     @property
     def accepts_policy(self) -> bool:
@@ -96,6 +112,7 @@ class SchemeInfo:
             "engines": ["scalar", "vectorized"] if self.vectorized else ["scalar"],
             "online": self.online is not None,
             "metrics": sorted(self.metrics) if self.metrics else None,
+            "kernel_derived": self.kernel is not None,
         }
 
 
@@ -132,6 +149,7 @@ class SchemeRegistry:
         summary: Optional[str] = None,
         aliases: Tuple[str, ...] = (),
         tags: Tuple[str, ...] = (),
+        kernel: Optional[Any] = None,
         vectorized: Optional[Runner] = None,
         vectorized_guard: Optional[
             Callable[[Mapping[str, Any]], Optional[str]]
@@ -146,12 +164,31 @@ class SchemeRegistry:
 
         Usage::
 
-            @register_scheme("kd_choice", aliases=("kd",))
+            @register_scheme("kd_choice", aliases=("kd",),
+                             kernel=KERNELS["kd_choice"])
             def _run(n_bins, k, d, ...):
                 ...
+
+        ``kernel`` (a :class:`repro.core.kernels.table.Kernel`) is the
+        preferred wiring: the scheme's ``vectorized=``, ``online=`` and
+        guard surfaces are derived from the kernel's capabilities and may
+        not also be passed explicitly — one registration, one source of
+        truth, checked by ``repro schemes --check``.
         """
         if not isinstance(name, str) or not name:
             raise ValueError(f"scheme name must be a non-empty string, got {name!r}")
+        fastpath_guard = None
+        if kernel is not None:
+            if vectorized is not None or vectorized_guard is not None or online is not None:
+                raise ValueError(
+                    f"scheme {name!r} passes kernel= and explicit engine "
+                    f"surfaces; engines of a kernel-backed scheme are derived "
+                    f"from the kernel alone"
+                )
+            vectorized = kernel.vectorized
+            vectorized_guard = kernel.vectorized_guard
+            fastpath_guard = kernel.fastpath_guard
+            online = kernel.stepper
 
         def decorator(runner: Runner) -> Runner:
             if name in self._schemes or name in self._aliases:
@@ -170,9 +207,11 @@ class SchemeRegistry:
                 tags=tuple(tags),
                 vectorized=vectorized,
                 vectorized_guard=vectorized_guard,
+                vectorized_fastpath_guard=fastpath_guard,
                 online=online,
                 online_guard=online_guard,
                 metrics=dict(metrics) if metrics is not None else None,
+                kernel=kernel.name if kernel is not None else None,
             )
             self._schemes[name] = info
             for alias in info.aliases:
@@ -267,6 +306,9 @@ def registry_dump() -> Dict[str, Any]:
         entry["vectorized_unsupported_reason"] = vectorized_unsupported_reason(
             info, None, info.defaults
         )
+        entry["vectorized_fastpath_reason"] = vectorized_fastpath_reason(
+            info, None, info.defaults
+        )
         entry["online"] = info.online is not None
         entry["online_unsupported_reason"] = online_unsupported_reason(
             info, None, info.defaults
@@ -306,6 +348,29 @@ def vectorized_unsupported_reason(
         )
     if info.vectorized_guard is not None:
         return info.vectorized_guard(params)
+    return None
+
+
+def vectorized_fastpath_reason(
+    info: SchemeInfo,
+    policy: Optional[str],
+    params: Mapping[str, Any],
+) -> Optional[str]:
+    """Why ``engine="auto"`` should *prefer the scalar engine*, or ``None``.
+
+    A superset of :func:`vectorized_unsupported_reason`: any configuration
+    the vectorized engine cannot run at all is also not a fast path, and on
+    top of that a scheme's ``vectorized_fastpath_guard`` can mark regions
+    where the batch engine merely drives the per-unit kernel with no
+    speedup (the serialized and greedy schemes, callable thresholds).
+    ``engine="auto"`` resolution uses this reason; forcing
+    ``engine="vectorized"`` only checks the hard reason.
+    """
+    hard = vectorized_unsupported_reason(info, policy, params)
+    if hard is not None:
+        return hard
+    if info.vectorized_fastpath_guard is not None:
+        return info.vectorized_fastpath_guard(params)
     return None
 
 

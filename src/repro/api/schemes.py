@@ -29,124 +29,54 @@ from ..core.baselines import (
     run_one_plus_beta,
     run_single_choice,
 )
-from ..core.dynamic import run_churn_kd_choice
+from ..core.dynamic import allocation_from_churn, run_churn_kd_choice
+from ..core.kernels import KERNELS
 from ..core.process import run_kd_choice
 from ..core.serialization import run_serialized_kd_choice
 from ..core.stale import run_stale_kd_choice
 from ..core.types import AllocationResult
-from ..core.vectorized import (
-    CALLABLE_THRESHOLD_REASON,
-    run_always_go_left_vectorized,
-    run_churn_kd_choice_vectorized,
-    run_d_choice_vectorized,
-    run_kd_choice_vectorized,
-    run_one_plus_beta_vectorized,
-    run_stale_kd_choice_vectorized,
-    run_threshold_adaptive_vectorized,
-    run_two_phase_adaptive_vectorized,
-    run_weighted_kd_choice_vectorized,
-)
 from ..core.weighted import run_weighted_kd_choice
-from ..online.steppers import (
-    AlwaysGoLeftStepper,
-    KDChoiceStepper,
-    OnePlusBetaStepper,
-    SingleChoiceStepper,
-    StaleKDChoiceStepper,
-    ThresholdAdaptiveStepper,
-    TwoPhaseAdaptiveStepper,
-    WeightedKDChoiceStepper,
-)
 from .registry import register_scheme
 
 __all__: list = []
 
 
 # ----------------------------------------------------------------------
-# Online stepper factories (signature-mirroring wrappers where the scheme
-# is a parametrization of another scheme's stepper)
-# ----------------------------------------------------------------------
-def _greedy_kd_choice_stepper(
-    n_bins: int,
-    k: int,
-    d: int,
-    n_balls: Optional[int] = None,
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> KDChoiceStepper:
-    return KDChoiceStepper(
-        n_bins=n_bins, k=k, d=d, n_balls=n_balls, policy="greedy",
-        seed=seed, rng=rng,
-    )
-
-
-def _d_choice_stepper(
-    n_bins: int,
-    d: int,
-    n_balls: Optional[int] = None,
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> KDChoiceStepper:
-    return KDChoiceStepper(
-        n_bins=n_bins, k=1, d=d, n_balls=n_balls, seed=seed, rng=rng
-    )
-
-
-def _two_choice_stepper(
-    n_bins: int,
-    n_balls: Optional[int] = None,
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> KDChoiceStepper:
-    return KDChoiceStepper(
-        n_bins=n_bins, k=1, d=2, n_balls=n_balls, seed=seed, rng=rng
-    )
-
-
-def _batch_random_stepper(
-    n_bins: int,
-    k: int,
-    n_balls: Optional[int] = None,
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> SingleChoiceStepper:
-    return SingleChoiceStepper(
-        n_bins=n_bins, n_balls=n_balls, seed=seed, rng=rng, round_size=k
-    )
-
-
-# ----------------------------------------------------------------------
 # The paper's process family
 # ----------------------------------------------------------------------
+# Every ball-stream scheme passes kernel=KERNELS[name]: its vectorized
+# engine, online stepper and engine guards are derived from that single
+# registration in repro.core.kernels.table (the parity lint
+# ``repro schemes --check`` keeps the two tables in sync).  Only the
+# substrate simulators at the bottom of this module wire their engines
+# explicitly.
 register_scheme(
     "kd_choice",
     summary="The paper's (k, d)-choice process (k balls per round, d probes).",
     aliases=("kd",),
     tags=("paper", "process"),
-    vectorized=run_kd_choice_vectorized,
-    online=KDChoiceStepper,
+    kernel=KERNELS["kd_choice"],
 )(run_kd_choice)
 
 register_scheme(
     "serialized_kd_choice",
     summary="Ball-at-a-time serialization A_sigma of (k, d)-choice (Definition 1).",
     tags=("paper", "process"),
+    kernel=KERNELS["serialized_kd_choice"],
 )(run_serialized_kd_choice)
 
 register_scheme(
     "weighted_kd_choice",
     summary="(k, d)-choice with weighted balls (constant/exponential/Pareto).",
     tags=("extension", "process"),
-    vectorized=run_weighted_kd_choice_vectorized,
-    online=WeightedKDChoiceStepper,
+    kernel=KERNELS["weighted_kd_choice"],
 )(run_weighted_kd_choice)
 
 register_scheme(
     "stale_kd_choice",
     summary="(k, d)-choice probing stale load snapshots (parallel epochs).",
     tags=("extension", "process"),
-    vectorized=run_stale_kd_choice_vectorized,
-    online=StaleKDChoiceStepper,
+    kernel=KERNELS["stale_kd_choice"],
 )(run_stale_kd_choice)
 
 
@@ -154,7 +84,7 @@ register_scheme(
     "greedy_kd_choice",
     summary="(k, d)-choice with the Section 7 greedy (uncapped) policy.",
     tags=("extension", "process"),
-    online=_greedy_kd_choice_stepper,
+    kernel=KERNELS["greedy_kd_choice"],
 )
 def _run_greedy_kd_choice(
     n_bins: int,
@@ -170,55 +100,11 @@ def _run_greedy_kd_choice(
     )
 
 
-def _churn_allocation_result(churn, n_bins, k, d, policy) -> AllocationResult:
-    """Adapt a :class:`~repro.core.dynamic.ChurnResult` to the common shape."""
-    return AllocationResult(
-        loads=churn.final_loads,
-        scheme=f"churn-({k},{d})-choice",
-        n_bins=n_bins,
-        n_balls=int(churn.final_loads.sum()),
-        k=k,
-        d=d,
-        messages=churn.messages,
-        rounds=churn.rounds,
-        policy="strict" if policy == "strict" else str(policy),
-        extra={
-            "churn_result": churn,
-            "steady_state_gap": churn.steady_state_gap(),
-            "departures_per_round": churn.departures_per_round,
-        },
-    )
-
-
-def _run_churn_kd_choice_vectorized(
-    n_bins: int,
-    k: int,
-    d: int,
-    rounds: int,
-    departures_per_round: Optional[int] = None,
-    policy: str = "strict",
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> AllocationResult:
-    """Vectorized counterpart of the ``churn_kd_choice`` runner."""
-    churn = run_churn_kd_choice_vectorized(
-        n_bins=n_bins,
-        k=k,
-        d=d,
-        rounds=rounds,
-        departures_per_round=departures_per_round,
-        policy=policy,
-        seed=seed,
-        rng=rng,
-    )
-    return _churn_allocation_result(churn, n_bins, k, d, policy)
-
-
 @register_scheme(
     "churn_kd_choice",
     summary="Dynamic insert/delete (k, d)-choice; loads are the steady state.",
     tags=("extension", "process"),
-    vectorized=_run_churn_kd_choice_vectorized,
+    kernel=KERNELS["churn_kd_choice"],
 )
 def _run_churn_kd_choice(
     n_bins: int,
@@ -245,7 +131,7 @@ def _run_churn_kd_choice(
         seed=seed,
         rng=rng,
     )
-    return _churn_allocation_result(churn, n_bins, k, d, policy)
+    return allocation_from_churn(churn, n_bins, k, d, policy)
 
 
 # ----------------------------------------------------------------------
@@ -259,8 +145,7 @@ register_scheme(
     summary="Classic single-choice: every ball to one uniform bin.",
     aliases=("one_choice",),
     tags=("baseline",),
-    vectorized=run_single_choice,
-    online=SingleChoiceStepper,
+    kernel=KERNELS["single_choice"],
 )(run_single_choice)
 
 register_scheme(
@@ -268,29 +153,15 @@ register_scheme(
     summary="Azar et al.'s Greedy[d]: d probes, join the least loaded.",
     aliases=("greedy_d",),
     tags=("baseline",),
-    vectorized=run_d_choice_vectorized,
-    online=_d_choice_stepper,
+    kernel=KERNELS["d_choice"],
 )(run_d_choice)
-
-
-def _run_two_choice_vectorized(
-    n_bins: int,
-    n_balls: Optional[int] = None,
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> AllocationResult:
-    """Vectorized two-choice via the d-choice batch engine."""
-    return run_d_choice_vectorized(
-        n_bins=n_bins, d=2, n_balls=n_balls, seed=seed, rng=rng
-    )
 
 
 @register_scheme(
     "two_choice",
     summary="Greedy[2], the classic two-choice process.",
     tags=("baseline",),
-    vectorized=_run_two_choice_vectorized,
-    online=_two_choice_stepper,
+    kernel=KERNELS["two_choice"],
 )
 def _run_two_choice(
     n_bins: int,
@@ -306,49 +177,35 @@ register_scheme(
     "one_plus_beta",
     summary="Peres-Talwar-Wieder (1+beta)-choice mixture process.",
     tags=("baseline",),
-    vectorized=run_one_plus_beta_vectorized,
-    online=OnePlusBetaStepper,
+    kernel=KERNELS["one_plus_beta"],
 )(run_one_plus_beta)
 
 register_scheme(
     "always_go_left",
     summary="Voecking's asymmetric Always-Go-Left d-choice scheme.",
     tags=("baseline",),
-    vectorized=run_always_go_left_vectorized,
-    online=AlwaysGoLeftStepper,
+    kernel=KERNELS["always_go_left"],
 )(run_always_go_left)
 
 register_scheme(
     "batch_random",
     summary="SA(k, k): k balls per round, each to a uniform bin.",
     tags=("baseline",),
-    vectorized=run_batch_random,
-    online=_batch_random_stepper,
+    kernel=KERNELS["batch_random"],
 )(run_batch_random)
-
-
-def _threshold_adaptive_guard(params) -> Optional[str]:
-    """The vectorized engine evaluates thresholds in bulk, not per ball."""
-    if callable(params.get("threshold")):
-        return CALLABLE_THRESHOLD_REASON
-    return None
-
 
 register_scheme(
     "threshold_adaptive",
     summary="Czumaj-Stemann adaptive threshold probing.",
     tags=("adaptive",),
-    vectorized=run_threshold_adaptive_vectorized,
-    vectorized_guard=_threshold_adaptive_guard,
-    online=ThresholdAdaptiveStepper,
+    kernel=KERNELS["threshold_adaptive"],
 )(run_threshold_adaptive)
 
 register_scheme(
     "two_phase_adaptive",
     summary="Simplified Lenzen-Wattenhofer two-phase adaptive scheme.",
     tags=("adaptive",),
-    vectorized=run_two_phase_adaptive_vectorized,
-    online=TwoPhaseAdaptiveStepper,
+    kernel=KERNELS["two_phase_adaptive"],
 )(run_two_phase_adaptive)
 
 

@@ -202,6 +202,29 @@ def build_parser() -> argparse.ArgumentParser:
         "its parameters, engines, and vectorized/online support (with the "
         "reason when unsupported)",
     )
+    schemes.add_argument(
+        "--check", action="store_true",
+        help="run the registry/kernel parity lint: every ball-stream "
+        "scheme's engines must be derived from its kernel registration and "
+        "the compatibility shims must define nothing of their own; exits "
+        "nonzero naming the offending scheme/module on drift",
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="Compare two BENCH_*.json throughput snapshots (CI regression "
+        "gate)",
+    )
+    bench.add_argument(
+        "--compare", nargs=2, required=True, metavar=("OLD", "NEW"),
+        help="baseline and candidate snapshot files; every shared "
+        "*items_per_sec series is compared",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.10, metavar="FRACTION",
+        help="allowed throughput drop before a series counts as a "
+        "regression (default 0.10 = 10%%)",
+    )
 
     simulate_cmd = subparsers.add_parser(
         "simulate", help="Run any registered scheme from a declarative spec"
@@ -891,7 +914,90 @@ def _run_loadgen(args: argparse.Namespace) -> None:
         print(report.format_text())
 
 
+def _collect_rates(payload: object, prefix: str = "") -> Dict[str, float]:
+    """Flatten every numeric ``*items_per_sec`` entry to ``dotted.path -> rate``."""
+    rates: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            value = payload[key]
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key.endswith("items_per_sec") and isinstance(value, (int, float)):
+                rates[path] = float(value)
+            else:
+                rates.update(_collect_rates(value, path))
+    return rates
+
+
+def _run_bench_compare(args: argparse.Namespace) -> None:
+    old_path, new_path = args.compare
+    snapshots = []
+    for path in (old_path, new_path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                snapshots.append(json.load(handle))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"error: cannot read snapshot {path}: {exc}") from None
+    old, new = snapshots
+
+    old_cpus, new_cpus = old.get("cpus"), new.get("cpus")
+    if old_cpus is not None and new_cpus is not None and old_cpus != new_cpus:
+        # Different machines: throughput deltas say nothing about the code.
+        print(
+            f"warning: snapshots were taken on different machines "
+            f"({old_path}: {old_cpus} CPUs, {new_path}: {new_cpus} CPUs); "
+            f"skipping the regression comparison"
+        )
+        return
+
+    old_rates, new_rates = _collect_rates(old), _collect_rates(new)
+    shared = sorted(set(old_rates) & set(new_rates))
+    if not shared:
+        raise SystemExit(
+            f"error: {old_path} and {new_path} share no *items_per_sec "
+            f"series; nothing to compare"
+        )
+
+    regressions: List[str] = []
+    width = max(len(series) for series in shared)
+    for series in shared:
+        before, after = old_rates[series], new_rates[series]
+        change = (after - before) / before if before else 0.0
+        marker = ""
+        if before and after < before * (1.0 - args.tolerance):
+            marker = "  REGRESSION"
+            regressions.append(series)
+        print(
+            f"{series:<{width}}  {before:>12,.0f}/s -> {after:>12,.0f}/s  "
+            f"({change:+.1%}){marker}"
+        )
+    only = sorted(set(old_rates) ^ set(new_rates))
+    if only:
+        print(f"not compared (present in one snapshot only): {', '.join(only)}")
+    if regressions:
+        raise SystemExit(
+            f"{len(regressions)} series regressed more than "
+            f"{args.tolerance:.0%}: {', '.join(regressions)}"
+        )
+    print(
+        f"{len(shared)} series within {args.tolerance:.0%} of {old_path}"
+    )
+
+
 def _run_schemes(args: argparse.Namespace) -> None:
+    if args.check:
+        from .api import lint_registry
+
+        problems = lint_registry()
+        if problems:
+            for problem in problems:
+                print(f"parity: {problem}")
+            raise SystemExit(
+                f"{len(problems)} registry/kernel parity violation(s)"
+            )
+        print(
+            f"registry/kernel parity OK ({len(available_schemes())} schemes)"
+        )
+        return
     if args.json:
         print(json.dumps(registry_dump(), indent=2, sort_keys=True))
         return
@@ -947,6 +1053,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _prune_cache(store, args.cache_max_entries)
     elif args.command == "schemes":
         _run_schemes(args)
+    elif args.command == "bench":
+        _run_bench_compare(args)
     elif args.command == "simulate":
         _run_simulate(args)
     elif args.command == "stream":

@@ -26,9 +26,15 @@ from typing import List, Optional
 import numpy as np
 
 from .policies import AllocationPolicy, get_policy
-from .types import ProcessParams
+from .types import AllocationResult, ProcessParams
 
-__all__ = ["ChurnSnapshot", "ChurnResult", "DynamicKDChoiceProcess", "run_churn_kd_choice"]
+__all__ = [
+    "ChurnSnapshot",
+    "ChurnResult",
+    "DynamicKDChoiceProcess",
+    "run_churn_kd_choice",
+    "allocation_from_churn",
+]
 
 
 @dataclass(frozen=True)
@@ -219,3 +225,31 @@ def run_churn_kd_choice(
         rng=rng,
     )
     return process.run(rounds=rounds)
+
+
+def allocation_from_churn(
+    churn: ChurnResult, n_bins: int, k: int, d: int, policy: "str | AllocationPolicy"
+) -> AllocationResult:
+    """Adapt a :class:`ChurnResult` to the common :class:`AllocationResult`.
+
+    The steady-state loads become the allocation; the full churn record
+    (snapshots, steady-state statistics) rides along in
+    ``extra["churn_result"]``.  Shared by the scalar registry runner and the
+    kernel-derived batch engine so the two report identical shapes.
+    """
+    return AllocationResult(
+        loads=churn.final_loads,
+        scheme=f"churn-({k},{d})-choice",
+        n_bins=n_bins,
+        n_balls=int(churn.final_loads.sum()),
+        k=k,
+        d=d,
+        messages=churn.messages,
+        rounds=churn.rounds,
+        policy="strict" if policy == "strict" else str(policy),
+        extra={
+            "churn_result": churn,
+            "steady_state_gap": churn.steady_state_gap(),
+            "departures_per_round": churn.departures_per_round,
+        },
+    )

@@ -1,0 +1,76 @@
+"""Per-scheme kernel contract: draw blocks, per-unit apply, batched apply.
+
+Each scheme makes exactly one registration in :data:`~repro.core.kernels.table.KERNELS`;
+the online steppers, the vectorized batch engines and the registry's
+``vectorized=``/``online=``/guard wiring are all derived from it.  See
+:mod:`repro.core.kernels.base` for the contract and
+:mod:`repro.core.kernels.table` for the table and the derived engines.
+"""
+
+from .adaptive import ThresholdAdaptiveStepper, TwoPhaseAdaptiveStepper
+from .balls import AlwaysGoLeftStepper, OnePlusBetaStepper
+from .base import (
+    CALLABLE_THRESHOLD_REASON,
+    OnlineStepper,
+    StreamExhausted,
+    independent_batch_rounds,
+    run_to_completion,
+    speculative_batch_rows,
+)
+from .kd import KDChoiceStepper
+from .serialized import SerializedKDChoiceStepper
+from .single import SingleChoiceStepper
+from .stale import StaleKDChoiceStepper
+from .table import (
+    EXEMPT_SCHEMES,
+    KERNELS,
+    Kernel,
+    run_always_go_left_vectorized,
+    run_churn_allocation_vectorized,
+    run_churn_kd_choice_vectorized,
+    run_d_choice_vectorized,
+    run_greedy_kd_choice_vectorized,
+    run_kd_choice_vectorized,
+    run_one_plus_beta_vectorized,
+    run_serialized_kd_choice_vectorized,
+    run_stale_kd_choice_vectorized,
+    run_threshold_adaptive_vectorized,
+    run_two_choice_vectorized,
+    run_two_phase_adaptive_vectorized,
+    run_weighted_kd_choice_vectorized,
+)
+from .weighted import WeightedKDChoiceStepper
+
+__all__ = [
+    "Kernel",
+    "KERNELS",
+    "EXEMPT_SCHEMES",
+    "OnlineStepper",
+    "StreamExhausted",
+    "run_to_completion",
+    "independent_batch_rounds",
+    "speculative_batch_rows",
+    "CALLABLE_THRESHOLD_REASON",
+    "KDChoiceStepper",
+    "SerializedKDChoiceStepper",
+    "SingleChoiceStepper",
+    "WeightedKDChoiceStepper",
+    "StaleKDChoiceStepper",
+    "OnePlusBetaStepper",
+    "AlwaysGoLeftStepper",
+    "ThresholdAdaptiveStepper",
+    "TwoPhaseAdaptiveStepper",
+    "run_kd_choice_vectorized",
+    "run_serialized_kd_choice_vectorized",
+    "run_greedy_kd_choice_vectorized",
+    "run_weighted_kd_choice_vectorized",
+    "run_stale_kd_choice_vectorized",
+    "run_churn_kd_choice_vectorized",
+    "run_churn_allocation_vectorized",
+    "run_d_choice_vectorized",
+    "run_two_choice_vectorized",
+    "run_one_plus_beta_vectorized",
+    "run_always_go_left_vectorized",
+    "run_threshold_adaptive_vectorized",
+    "run_two_phase_adaptive_vectorized",
+]

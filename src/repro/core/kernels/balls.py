@@ -1,0 +1,233 @@
+"""Per-ball mixture kernels: (1 + β)-choice and Always-Go-Left.
+
+Draw blocks (identical to the scalar runners in
+:mod:`repro.core.baselines`): per ``min(remaining, 8192)`` balls,
+(1 + β)-choice draws one coin block then two probe blocks; Always-Go-Left
+draws one ``(batch, d)`` uniform block scaled into the ``d`` group ranges.
+
+Per-unit apply: one ball.  Batched apply: speculate-verify sub-batches over
+:func:`~repro.core.batched.prefix_conflicts`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..baselines import _CHUNK as _BALL_CHUNK
+from ..baselines import _make_rng, least_loaded_probe
+from ..batched import ConflictScratch, clean_segments, prefix_conflicts
+from .base import OnlineStepper, speculative_batch_rows
+
+__all__ = ["OnePlusBetaStepper", "AlwaysGoLeftStepper"]
+
+
+class OnePlusBetaStepper(OnlineStepper):
+    """Streaming (1 + β)-choice, unit = one ball.
+
+    Blocks mirror the scalar runner: per ``min(remaining, 8192)`` balls, one
+    coin block (β-thresholded doubles), then the two probe blocks.
+    """
+
+    _STATE_SCALARS = ("messages", "balls_emitted", "_pos", "_balls_drawn")
+    _STATE_ARRAYS = OnlineStepper._STATE_ARRAYS + ("_coins", "_first", "_second")
+
+    def __init__(
+        self,
+        n_bins: int,
+        beta: float,
+        n_balls: Optional[int] = None,
+        seed: "int | np.random.SeedSequence | None" = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError(f"beta must lie in [0, 1], got {beta}")
+        if n_bins <= 0:
+            raise ValueError(f"n_bins must be positive, got {n_bins}")
+        self.n_bins = n_bins
+        self.beta = beta
+        self.rng = _make_rng(seed, rng)
+        self.planned_balls = n_bins if n_balls is None else n_balls
+        self.loads = np.zeros(n_bins, dtype=np.int64)
+        self.messages = 0
+        self.balls_emitted = 0
+        self._coins: Optional[np.ndarray] = None
+        self._first: Optional[np.ndarray] = None
+        self._second: Optional[np.ndarray] = None
+        self._pos = 0
+        self._balls_drawn = 0
+        self._scratch = ConflictScratch(n_bins)
+        self._sub_rows = speculative_batch_rows(n_bins, 2)
+
+    @property
+    def rounds(self) -> int:
+        return self.balls_emitted
+
+    def _refill(self) -> None:
+        batch = min(self.planned_balls - self._balls_drawn, _BALL_CHUNK)
+        self._coins = self.rng.random(batch) < self.beta
+        self._first = self.rng.integers(0, self.n_bins, size=batch)
+        self._second = self.rng.integers(0, self.n_bins, size=batch)
+        self._pos = 0
+        self._balls_drawn += batch
+
+    def _buffered(self) -> int:
+        if self._coins is None:
+            return 0
+        return len(self._coins) - self._pos
+
+    def step(self) -> List[int]:
+        self._require_more()
+        if self._buffered() == 0:
+            self._refill()
+        position = self._pos
+        self._pos += 1
+        a = int(self._first[position])
+        if self._coins[position]:
+            b = int(self._second[position])
+            target = a if self.loads[a] <= self.loads[b] else b
+            self.messages += 2
+        else:
+            target = a
+            self.messages += 1
+        self.loads[target] += 1
+        self.balls_emitted += 1
+        return [target]
+
+    def step_block(self, max_balls: int) -> Optional[np.ndarray]:
+        if max_balls <= 0 or self.exhausted:
+            return None
+        if self._buffered() == 0:
+            self._refill()
+        take = min(max_balls, self._buffered())
+        out = np.empty(take, dtype=np.int64)
+        done = 0
+        while done < take:
+            stop = min(done + self._sub_rows, take)
+            a = self._first[self._pos + done : self._pos + stop]
+            b = self._second[self._pos + done : self._pos + stop]
+            two = self._coins[self._pos + done : self._pos + stop]
+            destinations = np.where(
+                two, np.where(self.loads[a] <= self.loads[b], a, b), a
+            )
+            # Single-choice balls read nothing, but self-reads are harmless
+            # (a row is never "earlier than itself") and keep the read array
+            # rectangular.
+            reads = np.stack([a, np.where(two, b, a)], axis=1)
+            suspect = prefix_conflicts(reads, destinations, self._scratch)
+            for seg_start, seg_stop, suspect_index in clean_segments(suspect):
+                self.loads[destinations[seg_start:seg_stop]] += 1
+                if suspect_index >= 0:
+                    if two[suspect_index]:
+                        x, y = int(a[suspect_index]), int(b[suspect_index])
+                        chosen = x if self.loads[x] <= self.loads[y] else y
+                    else:
+                        chosen = int(a[suspect_index])
+                    self.loads[chosen] += 1
+                    destinations[suspect_index] = chosen
+            out[done:stop] = destinations
+            self.messages += len(two) + int(two.sum())
+            done = stop
+        self._pos += take
+        self.balls_emitted += take
+        return out
+
+
+class AlwaysGoLeftStepper(OnlineStepper):
+    """Streaming Always-Go-Left, unit = one ball.
+
+    One ``(batch, d)`` uniform block per ``min(remaining, 8192)`` balls,
+    scaled into the ``d`` group ranges exactly like the scalar runner.
+    """
+
+    _STATE_SCALARS = ("messages", "balls_emitted", "_pos", "_balls_drawn")
+    _STATE_ARRAYS = OnlineStepper._STATE_ARRAYS + ("_probes",)
+
+    def __init__(
+        self,
+        n_bins: int,
+        d: int,
+        n_balls: Optional[int] = None,
+        seed: "int | np.random.SeedSequence | None" = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if d < 1:
+            raise ValueError(f"d must be at least 1, got {d}")
+        if n_bins < d:
+            raise ValueError(f"need n_bins >= d groups, got n_bins={n_bins}, d={d}")
+        self.n_bins = n_bins
+        self.d = d
+        self.rng = _make_rng(seed, rng)
+        self.planned_balls = n_bins if n_balls is None else n_balls
+        self._boundaries = np.linspace(0, n_bins, d + 1).astype(np.int64)
+        self._group_sizes = np.diff(self._boundaries)
+        if np.any(self._group_sizes == 0):
+            raise ValueError("every group must contain at least one bin")
+        self.loads = np.zeros(n_bins, dtype=np.int64)
+        self.messages = 0
+        self.balls_emitted = 0
+        self._probes: Optional[np.ndarray] = None
+        self._pos = 0
+        self._balls_drawn = 0
+        self._scratch = ConflictScratch(n_bins)
+        self._sub_rows = speculative_batch_rows(n_bins, d, replays=6)
+
+    @property
+    def rounds(self) -> int:
+        return self.balls_emitted
+
+    def _refill(self) -> None:
+        batch = min(self.planned_balls - self._balls_drawn, _BALL_CHUNK)
+        uniform = self.rng.random(size=(batch, self.d))
+        self._probes = (
+            self._boundaries[:-1] + uniform * self._group_sizes
+        ).astype(np.int64)
+        self._pos = 0
+        self._balls_drawn += batch
+
+    def _buffered(self) -> int:
+        if self._probes is None:
+            return 0
+        return len(self._probes) - self._pos
+
+    def step(self) -> List[int]:
+        self._require_more()
+        if self._buffered() == 0:
+            self._refill()
+        row = self._probes[self._pos].tolist()
+        self._pos += 1
+        target = least_loaded_probe(self.loads, row)
+        self.loads[target] += 1
+        self.messages += self.d
+        self.balls_emitted += 1
+        return [int(target)]
+
+    def step_block(self, max_balls: int) -> Optional[np.ndarray]:
+        if max_balls <= 0 or self.exhausted:
+            return None
+        if self._buffered() == 0:
+            self._refill()
+        take = min(max_balls, self._buffered())
+        out = np.empty(take, dtype=np.int64)
+        done = 0
+        while done < take:
+            stop = min(done + self._sub_rows, take)
+            rows = self._probes[self._pos + done : self._pos + stop]
+            columns = np.argmin(self.loads[rows], axis=1)  # earliest min = left
+            destinations = rows[np.arange(len(rows)), columns]
+            suspect = prefix_conflicts(rows, destinations, self._scratch)
+            for seg_start, seg_stop, suspect_index in clean_segments(suspect):
+                self.loads[destinations[seg_start:seg_stop]] += 1
+                if suspect_index >= 0:
+                    chosen = least_loaded_probe(
+                        self.loads, rows[suspect_index].tolist()
+                    )
+                    self.loads[chosen] += 1
+                    destinations[suspect_index] = chosen
+            out[done:stop] = destinations
+            done = stop
+        self._pos += take
+        self.messages += take * self.d
+        self.balls_emitted += take
+        return out

@@ -1,0 +1,272 @@
+"""Kernel-contract foundations shared by every scheme kernel.
+
+A *kernel* is the single registration a scheme makes (see
+:mod:`repro.core.kernels.table`): a draw-block spec, a per-unit apply and an
+optional batched apply.  This module holds the pieces every kernel builds
+on:
+
+* :class:`OnlineStepper` — the per-unit apply surface.  A stepper owns the
+  bin state and the generator and produces destination bins one *unit*
+  (round, ball or epoch-portion) at a time.  Its contract:
+
+  **RNG-block fidelity.**  Randomness is drawn in exactly the blocks
+  (shape and order) the scalar reference engine draws, buffered, and
+  consumed incrementally.  After a stepper has emitted its full planned
+  stream, its loads, message/round accounting *and generator state* are
+  bit-for-bit what the batch runner produces for the same seed — the
+  property the equivalence suite in ``tests/online`` locks down.  This is
+  why every stepper needs the planned stream length up front (``n_balls``,
+  defaulting like the runners to ``n_bins``): the reference engines size
+  their final chunk by the number of rounds remaining, so an open-ended
+  stream could not reproduce their stream.
+
+  **Units.**  ``step()`` executes the next atomic unit and returns its
+  destination bins in ball order (the exact order the scalar kernel
+  assigns them).  ``step_block(max_balls)`` optionally executes many whole
+  units at once through the vectorized kernels of
+  :mod:`repro.core.batched` — bit-identical to repeated ``step()`` calls,
+  only faster — returning a flat destination array, or ``None`` when no
+  fast path applies (the caller falls back to ``step()``).
+
+  **Snapshots.**  ``state_dict()`` captures the complete mutable state
+  (loads, buffered RNG blocks, counters, the generator state itself) as a
+  JSON-serializable dict; ``load_state()`` restores it, so a resumed
+  stream continues bit-identically.
+
+* :func:`run_to_completion` — the derivation driver.  The vectorized batch
+  engines in :mod:`repro.core.kernels.table` are nothing but "drive the
+  stepper to the end of its planned stream"; because the stepper consumes
+  the same RNG blocks as the historical hand-written batch engine, the
+  derived runner is seed-for-seed identical to it.
+
+* The batch-sizing heuristics (:func:`independent_batch_rounds`,
+  :func:`speculative_batch_rows`) shared by every batched apply.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..baselines import _CHUNK as _BALL_CHUNK
+from ..process import _DEFAULT_CHUNK_ROUNDS as _CHUNK_ROUNDS
+
+__all__ = [
+    "StreamExhausted",
+    "OnlineStepper",
+    "run_to_completion",
+    "independent_batch_rounds",
+    "speculative_batch_rows",
+    "CALLABLE_THRESHOLD_REASON",
+]
+
+#: Why callable thresholds stay off the batched fast path.  The registry's
+#: fast-path guard returns this same string, so engine auto-selection and
+#: the kernel's own check cannot drift apart.
+CALLABLE_THRESHOLD_REASON = (
+    "the vectorized engine supports only integer (or default) thresholds, "
+    "got a callable; use the scalar engine instead"
+)
+
+
+def _require_strict(policy: "str | object") -> None:
+    policy_name = policy if isinstance(policy, str) else getattr(policy, "name", "?")
+    if policy_name != "strict":
+        raise ValueError(
+            f"the vectorized engine implements only the strict policy, "
+            f"got {policy_name!r}; use the scalar engine instead"
+        )
+
+
+def independent_batch_rounds(n_bins: int, d: int) -> int:
+    """Batch size that keeps the expected conflict fraction small.
+
+    A round conflicts when one of its ``d`` samples collides with any of the
+    other ``(B - 1) d`` samples of its batch (or repeats within the round),
+    which happens with probability ~``B d^2 / n``.  The batch size balances
+    that Python-fallback cost against the fixed per-batch NumPy overhead.
+    """
+    return max(8, min(_CHUNK_ROUNDS, int(n_bins // (12 * d * d)) or 8))
+
+
+def speculative_batch_rows(n_bins: int, width: int, replays: int = 12) -> int:
+    """Row count for the speculate-verify kernels.
+
+    A row of ``width`` read bins conflicts with one of the ~``B/2`` earlier
+    writes with probability ~``B * width / (2 n)``, so a batch replays
+    ~``B^2 width / (2 n)`` rows through the scalar kernel.  Solving for a
+    target number of ``replays`` per batch (each costs a couple of
+    microseconds, traded against the batch's fixed NumPy overhead) gives
+    ``B = sqrt(2 * replays * n / width)``.
+    """
+    return max(32, min(_BALL_CHUNK, int((2 * replays * n_bins / width) ** 0.5)))
+
+
+class StreamExhausted(RuntimeError):
+    """Raised when a stepper is asked for more balls than its spec plans.
+
+    The reference engines draw their final RNG chunk sized by the rounds
+    remaining, so a stream cannot be extended past its planned ``n_balls``
+    without diverging from the batch random stream; ask for a larger
+    ``n_balls`` in the spec instead.
+    """
+
+
+def _rng_from_state(state: Dict[str, Any]) -> np.random.Generator:
+    """Reconstruct a generator from a ``bit_generator.state`` dict."""
+    name = state.get("bit_generator")
+    bit_generator_cls = getattr(np.random, str(name), None)
+    if bit_generator_cls is None:
+        raise ValueError(f"unknown bit generator {name!r} in snapshot")
+    bit_generator = bit_generator_cls()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+def _encode_array(array: Optional[np.ndarray]) -> Optional[Dict[str, Any]]:
+    if array is None:
+        return None
+    return {
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "data": array.ravel().tolist(),
+    }
+
+
+def _decode_array(encoded: Optional[Dict[str, Any]]) -> Optional[np.ndarray]:
+    if encoded is None:
+        return None
+    return np.asarray(encoded["data"], dtype=np.dtype(encoded["dtype"])).reshape(
+        encoded["shape"]
+    )
+
+
+#: Sentinel a ``step_block`` returns instead of a destination array while a
+#: kernel runs in drive mode (``_capture = False``): placement happened, but
+#: nobody will read the per-ball order, so the kernel may skip building it.
+_PLACED = np.empty(0, dtype=np.int64)
+
+
+class OnlineStepper:
+    """Base class: planned-stream bookkeeping and snapshot plumbing.
+
+    Subclasses list their mutable attributes in ``_STATE_SCALARS`` (plain
+    ints/floats/bools/None), ``_STATE_ARRAYS`` (numpy arrays or ``None``)
+    and ``_STATE_LISTS`` (lists of ints); everything else — parameters,
+    derived constants, scratch buffers — is reconstructed by ``__init__``.
+    """
+
+    _STATE_SCALARS: Tuple[str, ...] = ("messages", "rounds", "balls_emitted")
+    _STATE_ARRAYS: Tuple[str, ...] = ("loads",)
+    _STATE_LISTS: Tuple[str, ...] = ()
+
+    #: Whether ``step_block`` must return destinations in exact ball order.
+    #: The streaming allocator always captures; :func:`run_to_completion`
+    #: turns capture off so the derived batch engines skip the per-ball
+    #: ordering work (the loads, counters and RNG stream are unaffected).
+    _capture: bool = True
+
+    n_bins: int
+    planned_balls: int
+    loads: np.ndarray
+    rng: np.random.Generator
+    messages: int
+    rounds: int
+    balls_emitted: int
+
+    # ------------------------------------------------------------------
+    # Stream protocol
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        return self.balls_emitted >= self.planned_balls
+
+    def _require_more(self) -> int:
+        remaining = self.planned_balls - self.balls_emitted
+        if remaining <= 0:
+            raise StreamExhausted(
+                f"the stream planned n_balls={self.planned_balls} and all of "
+                f"them have been placed; build the allocator with a larger "
+                f"n_balls to stream further"
+            )
+        return remaining
+
+    def step(self) -> List[int]:
+        """Execute the next unit; return its destinations in ball order."""
+        raise NotImplementedError
+
+    def step_block(self, max_balls: int) -> Optional[np.ndarray]:
+        """Fast path: execute whole units totalling at most ``max_balls``.
+
+        Returns the flat destination array (ball order), or ``None`` when no
+        vectorized progress is possible (tail rounds, non-strict policies,
+        ``max_balls`` below one unit) — callers then fall back to ``step``.
+        """
+        return None
+
+    def remove_ball(self, bin_index: int, ball_index: Optional[int] = None) -> None:
+        """Take one ball out of ``bin_index`` (churn support)."""
+        if not 0 <= bin_index < self.n_bins:
+            raise ValueError(f"bin index {bin_index} out of range")
+        if self.loads[bin_index] <= 0:
+            raise ValueError(f"cannot remove from empty bin {bin_index}")
+        self.loads[bin_index] -= 1
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """The complete mutable state, JSON-serializable."""
+        state: Dict[str, Any] = {
+            "rng": self.rng.bit_generator.state,
+            "scalars": {name: getattr(self, name) for name in self._STATE_SCALARS},
+            "arrays": {
+                name: _encode_array(getattr(self, name))
+                for name in self._STATE_ARRAYS
+            },
+            "lists": {
+                name: list(getattr(self, name)) for name in self._STATE_LISTS
+            },
+        }
+        state.update(self._extra_state())
+        return state
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` capture (replaces the generator)."""
+        self.rng = _rng_from_state(state["rng"])
+        for name in self._STATE_SCALARS:
+            setattr(self, name, state["scalars"][name])
+        for name in self._STATE_ARRAYS:
+            setattr(self, name, _decode_array(state["arrays"][name]))
+        for name in self._STATE_LISTS:
+            setattr(self, name, list(state["lists"][name]))
+        self._load_extra_state(state)
+
+    def _extra_state(self) -> Dict[str, Any]:
+        return {}
+
+    def _load_extra_state(self, state: Dict[str, Any]) -> None:
+        pass
+
+
+def run_to_completion(stepper: OnlineStepper) -> OnlineStepper:
+    """Drive a stepper to the end of its planned stream (in drive mode).
+
+    This is how the vectorized batch engines are derived from the kernel
+    table: the stepper consumes the same RNG blocks as the historical
+    hand-written batch engine, so driving it to exhaustion yields loads,
+    message/round counts and a final generator state that are bit-for-bit
+    identical.  ``_capture`` is cleared for the duration so block kernels
+    can skip per-ball destination ordering nobody will read.
+    """
+    stepper._capture = False
+    try:
+        while not stepper.exhausted:
+            before = stepper.balls_emitted
+            block = stepper.step_block(stepper.planned_balls - stepper.balls_emitted)
+            if block is None or stepper.balls_emitted == before:
+                stepper.step()
+    finally:
+        stepper._capture = True
+    return stepper

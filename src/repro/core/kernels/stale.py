@@ -1,0 +1,186 @@
+"""The stale-information (k, d)-choice kernel (parallel epochs).
+
+Draw blocks (identical to :func:`~repro.core.stale.run_stale_kd_choice`):
+per epoch, one ``(epoch_rounds, d)`` sample block, then — for the strict
+policy with ``k < d`` — the matching ``(epoch_rounds, d)`` tie-break block.
+A partial final round in a ``k == d`` epoch draws its own ``size=d``
+tie-break block when it is selected.
+
+Per-unit apply: one round probing the epoch-start snapshot; placements
+commit when the epoch's last round has been emitted.  Batched apply: whole
+epochs are the kernel's best case — every round probes the same snapshot,
+so an epoch's full rounds resolve in one
+:func:`~repro.core.batched.strict_select_rows` call.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..baselines import _make_rng
+from ..batched import strict_select_rows
+from ..policies import get_policy, strict_select
+from ..types import ProcessParams
+from .base import _PLACED, OnlineStepper
+
+__all__ = ["StaleKDChoiceStepper"]
+
+
+class StaleKDChoiceStepper(OnlineStepper):
+    """Streaming stale (k, d)-choice, unit = one round of an epoch.
+
+    Probes of an epoch see the loads as of the epoch start; placements apply
+    when the epoch's last round has been emitted — exactly the scalar
+    process, so committed ``loads`` lag the emitted stream by design.
+    """
+
+    _STATE_SCALARS = OnlineStepper._STATE_SCALARS + ("_epoch_pos",)
+    _STATE_ARRAYS = OnlineStepper._STATE_ARRAYS + (
+        "_epoch_rows",
+        "_epoch_ties",
+        "_snapshot",
+    )
+    _STATE_LISTS = ("_epoch_pending",)
+
+    def __init__(
+        self,
+        n_bins: int,
+        k: int,
+        d: int,
+        stale_rounds: int = 1,
+        n_balls: Optional[int] = None,
+        policy: str = "strict",
+        seed: "int | np.random.SeedSequence | None" = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        ProcessParams(n_bins=n_bins, n_balls=None, k=k, d=d)
+        if stale_rounds < 1:
+            raise ValueError(f"stale_rounds must be at least 1, got {stale_rounds}")
+        self.n_bins = n_bins
+        self.k = k
+        self.d = d
+        self.stale_rounds = stale_rounds
+        self.policy = get_policy(policy)
+        self.rng = _make_rng(seed, rng)
+        self.planned_balls = n_bins if n_balls is None else n_balls
+        self.loads = np.zeros(n_bins, dtype=np.int64)
+        self.messages = 0
+        self.rounds = 0
+        self.balls_emitted = 0
+        self._epoch_rows: Optional[np.ndarray] = None
+        self._epoch_ties: Optional[np.ndarray] = None
+        self._snapshot: Optional[np.ndarray] = None
+        self._epoch_pos = 0
+        self._epoch_pending: List[int] = []
+
+    def _begin_epoch(self) -> None:
+        remaining = self.planned_balls - self.balls_emitted
+        epoch_rounds = min(self.stale_rounds, -(-remaining // self.k))
+        self._epoch_rows = self.rng.integers(
+            0, self.n_bins, size=(epoch_rounds, self.d)
+        )
+        strict = self.policy.name == "strict"
+        self._epoch_ties = (
+            self.rng.random((epoch_rounds, self.d))
+            if strict and self.k < self.d
+            else None
+        )
+        self._snapshot = self.loads.copy()
+        self._epoch_pos = 0
+        self._epoch_pending = []
+
+    def _end_epoch_if_done(self) -> None:
+        if self._epoch_pos == len(self._epoch_rows):
+            np.add.at(
+                self.loads, np.asarray(self._epoch_pending, dtype=np.int64), 1
+            )
+            self._epoch_rows = None
+            self._epoch_ties = None
+            self._snapshot = None
+            self._epoch_pending = []
+
+    def _finish_round(self, destinations: List[int], batch: int) -> List[int]:
+        self._epoch_pending.extend(int(b) for b in destinations)
+        self._epoch_pos += 1
+        self.rounds += 1
+        self.messages += self.d
+        self.balls_emitted += batch
+        self._end_epoch_if_done()
+        return [int(b) for b in destinations]
+
+    def remove_ball(self, bin_index: int, ball_index: Optional[int] = None) -> None:
+        """Take one ball out of ``bin_index``, committed or epoch-pending.
+
+        A churned item may have been placed in the *current* epoch, whose
+        placements have not been applied to ``loads`` yet; such a removal
+        cancels the pending placement instead (the eventual loads are the
+        same either way, and the epoch's probes keep seeing the epoch-start
+        snapshot by definition).
+        """
+        if not 0 <= bin_index < self.n_bins:
+            raise ValueError(f"bin index {bin_index} out of range")
+        if self.loads[bin_index] > 0:
+            self.loads[bin_index] -= 1
+        elif bin_index in self._epoch_pending:
+            self._epoch_pending.remove(bin_index)
+        else:
+            raise ValueError(f"cannot remove from empty bin {bin_index}")
+
+    def step(self) -> List[int]:
+        remaining = self._require_more()
+        if self._epoch_rows is None:
+            self._begin_epoch()
+        row = self._epoch_rows[self._epoch_pos].tolist()
+        batch = min(self.k, remaining)
+        strict = self.policy.name == "strict"
+        if not strict:
+            destinations = self.policy.select(self._snapshot, row, batch, self.rng)
+        elif batch == self.d:
+            destinations = row
+        elif self._epoch_ties is not None:
+            destinations = strict_select(
+                self._snapshot, row, batch, self._epoch_ties[self._epoch_pos]
+            )
+        else:  # k == d but a partial final round
+            destinations = strict_select(
+                self._snapshot, row, batch, self.rng.random(self.d)
+            )
+        return self._finish_round(destinations, batch)
+
+    def step_block(self, max_balls: int) -> Optional[np.ndarray]:
+        if self.policy.name != "strict":
+            return None
+        if self._epoch_rows is None:
+            if max_balls < min(self.k, self.planned_balls - self.balls_emitted):
+                return None
+            self._begin_epoch()
+        # Whole full rounds still pending in this epoch; the partial tail
+        # round (if this epoch carries one) falls back to step().
+        full_left = len(self._epoch_rows) - self._epoch_pos
+        if (
+            self.balls_emitted + full_left * self.k > self.planned_balls
+        ):  # epoch ends with a partial round
+            full_left -= 1
+        r = min(max_balls // self.k, full_left)
+        if r <= 0:
+            return None
+        rows = self._epoch_rows[self._epoch_pos : self._epoch_pos + r]
+        if self.k == self.d:
+            # Degenerate rounds: every sampled bin keeps its ball, no
+            # tie-break draws — the rows themselves are the ball order.
+            flat = rows.reshape(-1)
+        else:
+            ties = self._epoch_ties[self._epoch_pos : self._epoch_pos + r]
+            destinations = strict_select_rows(
+                self._snapshot, rows, ties, self.k, ordered=self._capture
+            )
+            flat = destinations.reshape(-1)
+        self._epoch_pending.extend(flat.tolist())
+        self._epoch_pos += r
+        self.rounds += r
+        self.messages += r * self.d
+        self.balls_emitted += r * self.k
+        self._end_epoch_if_done()
+        return flat.copy() if self._capture else _PLACED

@@ -1,0 +1,761 @@
+"""The kernel table: one registration per scheme, engines derived from it.
+
+Every allocation scheme registers a :class:`Kernel` here — its draw-block
+spec (the exact RNG blocks the scheme consumes, in order), its per-unit
+apply (an :class:`~repro.core.kernels.base.OnlineStepper` factory) and an
+optional batched apply riding :mod:`repro.core.batched`.  Both engine
+surfaces are *derived* from that single registration:
+
+* the **online** surface is the stepper factory itself;
+* the **vectorized** surface is :func:`~repro.core.kernels.base.run_to_completion`
+  over a fresh stepper plus a result builder — bit-for-bit identical to the
+  historical hand-written batch engines because the stepper consumes the
+  same RNG blocks (``tests/core/test_engine_equivalence.py`` and
+  ``tests/online`` lock this down).
+
+The registry (:mod:`repro.api.schemes`) passes ``kernel=KERNELS[name]`` to
+``register`` and gets its ``vectorized=``/``online=``/guard wiring from the
+kernel's capabilities; ``repro schemes --check`` verifies the two never
+drift apart.
+
+Two capability levels keep auto-selection honest:
+
+* ``vectorized_guard`` (hard): the parameters cannot run on the batch
+  engine at all — forcing ``engine="vectorized"`` raises.
+* ``fastpath_guard`` (soft): the batch engine works (it drives the
+  per-unit kernel) but offers no speedup, so ``engine="auto"`` stays on
+  the scalar reference; forcing ``engine="vectorized"`` is honoured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..baselines import run_batch_random, run_single_choice
+from ..dynamic import allocation_from_churn
+from ..types import AllocationResult, ProcessParams
+from .adaptive import ThresholdAdaptiveStepper, TwoPhaseAdaptiveStepper
+from .balls import AlwaysGoLeftStepper, OnePlusBetaStepper
+from .base import (
+    CALLABLE_THRESHOLD_REASON,
+    OnlineStepper,
+    _require_strict,
+    run_to_completion,
+)
+from .churn import run_churn_kd_choice_vectorized
+from .kd import KDChoiceStepper
+from .serialized import SerializedKDChoiceStepper
+from .single import SingleChoiceStepper
+from .stale import StaleKDChoiceStepper
+from .weighted import WeightedKDChoiceStepper
+
+__all__ = [
+    "Kernel",
+    "KERNELS",
+    "EXEMPT_SCHEMES",
+    "run_kd_choice_vectorized",
+    "run_serialized_kd_choice_vectorized",
+    "run_greedy_kd_choice_vectorized",
+    "run_weighted_kd_choice_vectorized",
+    "run_stale_kd_choice_vectorized",
+    "run_churn_kd_choice_vectorized",
+    "run_churn_allocation_vectorized",
+    "run_d_choice_vectorized",
+    "run_two_choice_vectorized",
+    "run_one_plus_beta_vectorized",
+    "run_always_go_left_vectorized",
+    "run_threshold_adaptive_vectorized",
+    "run_two_phase_adaptive_vectorized",
+]
+
+#: Why the serialized scheme's batch engine is opt-in only.
+SERIALIZED_FASTPATH_REASON = (
+    "the serialized process is defined ball-at-a-time, so its batch engine "
+    "drives the per-round kernel with no speedup (and omits the per-ball "
+    "'placements' record); engine='auto' keeps the scalar reference"
+)
+
+#: Why the greedy relaxation's batch engine is opt-in only.
+GREEDY_FASTPATH_REASON = (
+    "the greedy policy re-reads the loads after every placement, so its "
+    "batch engine drives the per-round kernel with no speedup; "
+    "engine='auto' keeps the scalar reference"
+)
+
+
+# ----------------------------------------------------------------------
+# Derived batch engines: run_to_completion + a result builder
+# ----------------------------------------------------------------------
+def _kd_result(
+    stepper: KDChoiceStepper, scheme: str, policy: str = "strict"
+) -> AllocationResult:
+    params = ProcessParams(
+        n_bins=stepper.n_bins,
+        n_balls=stepper.planned_balls,
+        k=stepper.k,
+        d=stepper.d,
+    )
+    return AllocationResult(
+        loads=stepper.loads,
+        scheme=scheme,
+        n_bins=stepper.n_bins,
+        n_balls=stepper.planned_balls,
+        k=stepper.k,
+        d=stepper.d,
+        messages=stepper.messages,
+        rounds=stepper.rounds,
+        policy=policy,
+        extra={"expected_messages": params.message_cost, "engine": "vectorized"},
+    )
+
+
+def run_kd_choice_vectorized(
+    n_bins: int,
+    k: int,
+    d: int,
+    n_balls: Optional[int] = None,
+    policy: str = "strict",
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+    chunk_rounds: Optional[int] = None,
+) -> AllocationResult:
+    """Run (k, d)-choice with the batch-vectorized engine.
+
+    Seed-for-seed, the returned load vector is identical to
+    :func:`~repro.core.process.run_kd_choice` at the same ``chunk_rounds``;
+    only the wall-clock time differs.  ``chunk_rounds`` (default 4096) is the
+    streaming knob: samples are drawn and processed in blocks of that many
+    rounds, bounding peak buffer memory at ``O(chunk_rounds * d)``.
+    """
+    _require_strict(policy)
+    stepper = run_to_completion(
+        KDChoiceStepper(
+            n_bins=n_bins,
+            k=k,
+            d=d,
+            n_balls=n_balls,
+            seed=seed,
+            rng=rng,
+            chunk_rounds=chunk_rounds,
+        )
+    )
+    return _kd_result(stepper, scheme=f"({k},{d})-choice")
+
+
+def run_greedy_kd_choice_vectorized(
+    n_bins: int,
+    k: int,
+    d: int,
+    n_balls: Optional[int] = None,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> AllocationResult:
+    """(k, d)-choice under the greedy water-filling relaxation, batch surface.
+
+    The greedy policy re-reads the loads after every single placement, so
+    there is no batched apply: this engine drives the per-round kernel and
+    matches :func:`~repro.core.process.run_kd_choice` with
+    ``policy="greedy"`` seed for seed at scalar speed (the registry's
+    fast-path guard keeps ``engine="auto"`` on the scalar reference).
+    """
+    stepper = run_to_completion(
+        KDChoiceStepper(
+            n_bins=n_bins, k=k, d=d, n_balls=n_balls, policy="greedy",
+            seed=seed, rng=rng,
+        )
+    )
+    return _kd_result(stepper, scheme=f"({k},{d})-choice", policy="greedy")
+
+
+def run_serialized_kd_choice_vectorized(
+    n_bins: int,
+    k: int,
+    d: int,
+    n_balls: Optional[int] = None,
+    sigma: "str | Callable[..., Any]" = "identity",
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> AllocationResult:
+    """The serialization ``A_sigma``, batch surface.
+
+    Drives the per-round serialized kernel — the process is defined
+    ball-at-a-time, so there is nothing to batch and no speedup; loads,
+    messages, rounds and the generator stream match
+    :func:`~repro.core.serialization.run_serialized_kd_choice` seed for
+    seed.  The scalar reference's per-ball ``extra["placements"]`` record is
+    omitted (the registry's fast-path guard keeps ``engine="auto"`` on the
+    scalar reference for exactly this reason).
+    """
+    stepper = run_to_completion(
+        SerializedKDChoiceStepper(
+            n_bins=n_bins, k=k, d=d, n_balls=n_balls, sigma=sigma,
+            seed=seed, rng=rng,
+        )
+    )
+    return AllocationResult(
+        loads=stepper.loads,
+        scheme=f"serialized-({k},{d})-choice[{stepper.sigma_name}]",
+        n_bins=n_bins,
+        n_balls=stepper.planned_balls,
+        k=k,
+        d=d,
+        messages=stepper.messages,
+        rounds=stepper.rounds,
+        policy="strict",
+        extra={"engine": "vectorized"},
+    )
+
+
+def run_weighted_kd_choice_vectorized(
+    n_bins: int,
+    k: int,
+    d: int,
+    weights: Any = "exponential",
+    n_balls: Optional[int] = None,
+    mean_weight: float = 1.0,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> AllocationResult:
+    """Weighted (k, d)-choice on the batch engine.
+
+    Seed-for-seed identical to :func:`~repro.core.weighted.run_weighted_kd_choice`:
+    the weights are materialized by the same :func:`make_weights` call, and
+    each round draws its ``d`` samples then its ``d`` tie-break doubles in
+    the scalar order.
+    """
+    stepper = run_to_completion(
+        WeightedKDChoiceStepper(
+            n_bins=n_bins,
+            k=k,
+            d=d,
+            weights=weights,
+            n_balls=n_balls,
+            mean_weight=mean_weight,
+            seed=seed,
+            rng=rng,
+        )
+    )
+    spec_name = (
+        weights if isinstance(weights, str)
+        else getattr(weights, "__name__", "custom") if callable(weights)
+        else "explicit"
+    )
+    weighted_loads = stepper.weighted_loads
+    total_weight = float(stepper._weights.sum())
+    return AllocationResult(
+        loads=stepper.loads,
+        scheme=f"weighted-({k},{d})-choice[{spec_name}]",
+        n_bins=n_bins,
+        n_balls=stepper.planned_balls,
+        k=k,
+        d=d,
+        messages=stepper.messages,
+        rounds=stepper.rounds,
+        policy="weighted-strict",
+        extra={
+            "weighted_loads": weighted_loads,
+            "total_weight": total_weight,
+            "max_weighted_load": (
+                float(weighted_loads.max()) if weighted_loads.size else 0.0
+            ),
+            "weighted_gap": (
+                float(weighted_loads.max() - total_weight / n_bins)
+                if weighted_loads.size
+                else 0.0
+            ),
+            "engine": "vectorized",
+        },
+    )
+
+
+def run_stale_kd_choice_vectorized(
+    n_bins: int,
+    k: int,
+    d: int,
+    stale_rounds: int = 1,
+    n_balls: Optional[int] = None,
+    policy: str = "strict",
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> AllocationResult:
+    """Stale-information (k, d)-choice on the batch engine.
+
+    The stale process is the engine's best case: every round of an epoch
+    probes the same load snapshot by definition, so a whole epoch is one
+    independent row-selection batch — no conflict detection needed.
+    """
+    _require_strict(policy)
+    stepper = run_to_completion(
+        StaleKDChoiceStepper(
+            n_bins=n_bins,
+            k=k,
+            d=d,
+            stale_rounds=stale_rounds,
+            n_balls=n_balls,
+            seed=seed,
+            rng=rng,
+        )
+    )
+    return AllocationResult(
+        loads=stepper.loads,
+        scheme=f"stale-({k},{d})-choice[epoch={stale_rounds} rounds]",
+        n_bins=n_bins,
+        n_balls=stepper.planned_balls,
+        k=k,
+        d=d,
+        messages=stepper.messages,
+        rounds=stepper.rounds,
+        policy="strict",
+        extra={"stale_rounds": stale_rounds, "engine": "vectorized"},
+    )
+
+
+def run_d_choice_vectorized(
+    n_bins: int,
+    d: int,
+    n_balls: Optional[int] = None,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> AllocationResult:
+    """Greedy[d] on the batch engine (the (1, d)-choice special case)."""
+    if d < 1:
+        raise ValueError(f"d must be at least 1, got {d}")
+    result = run_kd_choice_vectorized(
+        n_bins=n_bins, k=1, d=d, n_balls=n_balls, seed=seed, rng=rng
+    )
+    result.scheme = f"greedy[{d}]"
+    return result
+
+
+def run_two_choice_vectorized(
+    n_bins: int,
+    n_balls: Optional[int] = None,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> AllocationResult:
+    """Two-choice (Greedy[2]) on the batch engine."""
+    return run_d_choice_vectorized(
+        n_bins=n_bins, d=2, n_balls=n_balls, seed=seed, rng=rng
+    )
+
+
+def run_one_plus_beta_vectorized(
+    n_bins: int,
+    beta: float,
+    n_balls: Optional[int] = None,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> AllocationResult:
+    """(1 + β)-choice on the speculate-verify batch engine."""
+    stepper = run_to_completion(
+        OnePlusBetaStepper(
+            n_bins=n_bins, beta=beta, n_balls=n_balls, seed=seed, rng=rng
+        )
+    )
+    return AllocationResult(
+        loads=stepper.loads,
+        scheme=f"(1+{beta:g})-choice",
+        n_bins=n_bins,
+        n_balls=stepper.planned_balls,
+        k=1,
+        d=2,
+        messages=stepper.messages,
+        rounds=stepper.planned_balls,
+        policy="mixed",
+        extra={"beta": beta, "engine": "vectorized"},
+    )
+
+
+def run_always_go_left_vectorized(
+    n_bins: int,
+    d: int,
+    n_balls: Optional[int] = None,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> AllocationResult:
+    """Vöcking's Always-Go-Left scheme on the speculate-verify engine."""
+    stepper = run_to_completion(
+        AlwaysGoLeftStepper(n_bins=n_bins, d=d, n_balls=n_balls, seed=seed, rng=rng)
+    )
+    return AllocationResult(
+        loads=stepper.loads,
+        scheme=f"always-go-left[{d}]",
+        n_bins=n_bins,
+        n_balls=stepper.planned_balls,
+        k=1,
+        d=d,
+        messages=stepper.messages,
+        rounds=stepper.planned_balls,
+        policy="asymmetric",
+        extra={"engine": "vectorized"},
+    )
+
+
+def run_threshold_adaptive_vectorized(
+    n_bins: int,
+    n_balls: Optional[int] = None,
+    threshold: "int | Callable[[float], int] | None" = None,
+    max_probes: Optional[int] = None,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> AllocationResult:
+    """Threshold probing on the speculate-verify engine.
+
+    The default average-based rule and fixed integer thresholds ride the
+    batched apply; a callable threshold has no batched form (its evaluation
+    order is inherently per-ball) and is served by the per-unit drive path
+    at scalar speed — the registry's fast-path guard keeps ``engine="auto"``
+    on the scalar reference for callables.
+    """
+    stepper = run_to_completion(
+        ThresholdAdaptiveStepper(
+            n_bins=n_bins,
+            n_balls=n_balls,
+            threshold=threshold,
+            max_probes=max_probes,
+            seed=seed,
+            rng=rng,
+        )
+    )
+    probe_histogram = {
+        int(count): int(balls)
+        for count, balls in sorted(stepper.probe_histogram.items())
+    }
+    return AllocationResult(
+        loads=stepper.loads,
+        scheme="adaptive-threshold",
+        n_bins=n_bins,
+        n_balls=stepper.planned_balls,
+        k=1,
+        d=stepper.max_probes,
+        messages=stepper.messages,
+        rounds=stepper.planned_balls,
+        policy="adaptive",
+        extra={
+            "probe_histogram": probe_histogram,
+            "average_probes": stepper.messages / max(stepper.planned_balls, 1),
+            "max_probes": stepper.max_probes,
+            "engine": "vectorized",
+        },
+    )
+
+
+def run_two_phase_adaptive_vectorized(
+    n_bins: int,
+    n_balls: Optional[int] = None,
+    cap: Optional[int] = None,
+    retry_probes: int = 4,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> AllocationResult:
+    """Two-phase adaptive allocation on the speculate-verify engine."""
+    stepper = run_to_completion(
+        TwoPhaseAdaptiveStepper(
+            n_bins=n_bins,
+            n_balls=n_balls,
+            cap=cap,
+            retry_probes=retry_probes,
+            seed=seed,
+            rng=rng,
+        )
+    )
+    return AllocationResult(
+        loads=stepper.loads,
+        scheme="adaptive-two-phase",
+        n_bins=n_bins,
+        n_balls=stepper.planned_balls,
+        k=1,
+        d=retry_probes,
+        messages=stepper.messages,
+        rounds=stepper.planned_balls,
+        policy="adaptive",
+        extra={
+            "cap": stepper.cap,
+            "retries": stepper.retries,
+            "retry_fraction": stepper.retries / max(stepper.planned_balls, 1),
+            "average_probes": stepper.messages / max(stepper.planned_balls, 1),
+            "engine": "vectorized",
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Stepper factories for the schemes that re-parameterize a shared kernel
+# ----------------------------------------------------------------------
+def greedy_kd_choice_stepper(
+    n_bins: int,
+    k: int,
+    d: int,
+    n_balls: Optional[int] = None,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> KDChoiceStepper:
+    """Stream (k, d)-choice under the greedy water-filling relaxation."""
+    return KDChoiceStepper(
+        n_bins=n_bins, k=k, d=d, n_balls=n_balls, policy="greedy",
+        seed=seed, rng=rng,
+    )
+
+
+def d_choice_stepper(
+    n_bins: int,
+    d: int,
+    n_balls: Optional[int] = None,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> KDChoiceStepper:
+    """Stream Greedy[d] (the (1, d)-choice special case)."""
+    return KDChoiceStepper(
+        n_bins=n_bins, k=1, d=d, n_balls=n_balls, seed=seed, rng=rng
+    )
+
+
+def two_choice_stepper(
+    n_bins: int,
+    n_balls: Optional[int] = None,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> KDChoiceStepper:
+    """Stream classic two-choice (Greedy[2])."""
+    return KDChoiceStepper(
+        n_bins=n_bins, k=1, d=2, n_balls=n_balls, seed=seed, rng=rng
+    )
+
+
+def batch_random_stepper(
+    n_bins: int,
+    k: int,
+    n_balls: Optional[int] = None,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> SingleChoiceStepper:
+    """Stream SA(k, k): uniform bins, rounds of ``k`` balls."""
+    return SingleChoiceStepper(
+        n_bins=n_bins, n_balls=n_balls, seed=seed, rng=rng, round_size=k
+    )
+
+
+def run_churn_allocation_vectorized(
+    n_bins: int,
+    k: int,
+    d: int,
+    rounds: int,
+    departures_per_round: Optional[int] = None,
+    policy: str = "strict",
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> AllocationResult:
+    """Vectorized churn run adapted to the common :class:`AllocationResult`.
+
+    The registry's batch engine must return an ``AllocationResult``; the raw
+    :class:`~repro.core.dynamic.ChurnResult` (snapshots, steady-state
+    statistics) rides along in ``extra["churn_result"]``, exactly as the
+    scalar runner reports it.
+    """
+    churn = run_churn_kd_choice_vectorized(
+        n_bins=n_bins,
+        k=k,
+        d=d,
+        rounds=rounds,
+        departures_per_round=departures_per_round,
+        policy=policy,
+        seed=seed,
+        rng=rng,
+    )
+    return allocation_from_churn(churn, n_bins, k, d, policy)
+
+
+def _threshold_fastpath_guard(params: Mapping[str, Any]) -> Optional[str]:
+    if callable(params.get("threshold")):
+        return CALLABLE_THRESHOLD_REASON
+    return None
+
+
+def _serialized_fastpath_guard(params: Mapping[str, Any]) -> Optional[str]:
+    return SERIALIZED_FASTPATH_REASON
+
+
+def _greedy_fastpath_guard(params: Mapping[str, Any]) -> Optional[str]:
+    return GREEDY_FASTPATH_REASON
+
+
+# ----------------------------------------------------------------------
+# The table
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Kernel:
+    """A scheme's single engine registration.
+
+    ``draw_blocks`` documents the exact RNG blocks the kernel consumes per
+    unit/chunk/epoch — the contract that makes the scalar reference, the
+    stepper and the derived batch engine bit-identical.  ``batched`` names
+    the batched apply (``None`` when the batch engine is pure per-unit
+    drive).  The guards mirror the registry's two capability levels: a
+    ``vectorized_guard`` failure means the batch engine cannot run those
+    parameters at all; a ``fastpath_guard`` reason means it runs but brings
+    no speedup, so engine auto-selection prefers the scalar reference.
+    """
+
+    name: str
+    unit: str
+    draw_blocks: Tuple[str, ...]
+    stepper: Optional[Callable[..., OnlineStepper]]
+    vectorized: Optional[Callable[..., Any]]
+    batched: Optional[str] = None
+    vectorized_guard: Optional[Callable[[Mapping[str, Any]], Optional[str]]] = None
+    fastpath_guard: Optional[Callable[[Mapping[str, Any]], Optional[str]]] = None
+
+
+#: Schemes outside the kernel contract: their engines are bespoke substrate
+#: simulators (event cores), not ball-stream kernels.  The registry parity
+#: lint (``repro schemes --check``) requires every other scheme to be
+#: kernel-derived.
+EXEMPT_SCHEMES = frozenset({"cluster_scheduling", "storage_placement"})
+
+
+KERNELS: Dict[str, Kernel] = {
+    "kd_choice": Kernel(
+        name="kd_choice",
+        unit="round (k balls)",
+        draw_blocks=(
+            "samples int(chunk, d) per <=chunk_rounds rounds",
+            "ties float(chunk, d) [strict, k < d]",
+            "tail: samples int(d), ties float(d)",
+        ),
+        stepper=KDChoiceStepper,
+        vectorized=run_kd_choice_vectorized,
+        batched="independent-round batches (_select_batch)",
+    ),
+    "serialized_kd_choice": Kernel(
+        name="serialized_kd_choice",
+        unit="round (k balls, serialized by sigma)",
+        draw_blocks=(
+            "per round: samples int(d)",
+            "ties float(d) [k < d]",
+            "sigma draws [random sigma: permutation(k)]",
+        ),
+        stepper=SerializedKDChoiceStepper,
+        vectorized=run_serialized_kd_choice_vectorized,
+        fastpath_guard=_serialized_fastpath_guard,
+    ),
+    "weighted_kd_choice": Kernel(
+        name="weighted_kd_choice",
+        unit="round (k weighted balls)",
+        draw_blocks=(
+            "weights float(n_balls) up front (make_weights)",
+            "samples int(chunk, d) + ties float(chunk, d) per <=4096 rounds",
+            "tail: samples int(d), ties float(d)",
+        ),
+        stepper=WeightedKDChoiceStepper,
+        vectorized=run_weighted_kd_choice_vectorized,
+        batched="speculate-verify rounds (_weighted_batch)",
+    ),
+    "stale_kd_choice": Kernel(
+        name="stale_kd_choice",
+        unit="round (k balls, epoch-snapshot probes)",
+        draw_blocks=(
+            "per epoch: samples int(epoch_rounds, d)",
+            "ties float(epoch_rounds, d) [strict, k < d]",
+            "partial k == d tail: ties float(d)",
+        ),
+        stepper=StaleKDChoiceStepper,
+        vectorized=run_stale_kd_choice_vectorized,
+        batched="whole epochs (strict_select_rows)",
+    ),
+    "greedy_kd_choice": Kernel(
+        name="greedy_kd_choice",
+        unit="round (k balls)",
+        draw_blocks=(
+            "samples int(chunk, d) per <=chunk_rounds rounds",
+            "greedy heap ties per round",
+            "tail: samples int(d) + policy draws",
+        ),
+        stepper=greedy_kd_choice_stepper,
+        vectorized=run_greedy_kd_choice_vectorized,
+        fastpath_guard=_greedy_fastpath_guard,
+    ),
+    "churn_kd_choice": Kernel(
+        name="churn_kd_choice",
+        unit="round (k arrivals + departures); batch-only",
+        draw_blocks=(
+            "warmup int(warmup_balls)",
+            "per round: samples int(d), ties float(d) [k < d], "
+            "one int per departure",
+        ),
+        stepper=None,  # departures are global events, not a per-item stream
+        vectorized=run_churn_allocation_vectorized,
+        batched="cumsum/searchsorted departures",
+    ),
+    "single_choice": Kernel(
+        name="single_choice",
+        unit="ball",
+        draw_blocks=("destinations int(n_balls) up front",),
+        stepper=SingleChoiceStepper,
+        vectorized=run_single_choice,  # the scalar runner is already batched
+        batched="bincount over the pre-drawn block",
+    ),
+    "d_choice": Kernel(
+        name="d_choice",
+        unit="ball (a 1-ball round)",
+        draw_blocks=("the kd_choice blocks with k = 1",),
+        stepper=d_choice_stepper,
+        vectorized=run_d_choice_vectorized,
+        batched="independent-round batches (_select_batch)",
+    ),
+    "two_choice": Kernel(
+        name="two_choice",
+        unit="ball (a 1-ball round)",
+        draw_blocks=("the kd_choice blocks with k = 1, d = 2",),
+        stepper=two_choice_stepper,
+        vectorized=run_two_choice_vectorized,
+        batched="independent-round batches (_select_batch)",
+    ),
+    "one_plus_beta": Kernel(
+        name="one_plus_beta",
+        unit="ball",
+        draw_blocks=(
+            "per <=8192 balls: coins float(batch), first int(batch), "
+            "second int(batch)",
+        ),
+        stepper=OnePlusBetaStepper,
+        vectorized=run_one_plus_beta_vectorized,
+        batched="speculate-verify balls (prefix_conflicts)",
+    ),
+    "always_go_left": Kernel(
+        name="always_go_left",
+        unit="ball",
+        draw_blocks=("per <=8192 balls: uniforms float(batch, d)",),
+        stepper=AlwaysGoLeftStepper,
+        vectorized=run_always_go_left_vectorized,
+        batched="speculate-verify balls (prefix_conflicts)",
+    ),
+    "batch_random": Kernel(
+        name="batch_random",
+        unit="ball (rounds of k for accounting)",
+        draw_blocks=("destinations int(n_balls) up front",),
+        stepper=batch_random_stepper,
+        vectorized=run_batch_random,  # the scalar runner is already batched
+        batched="bincount over the pre-drawn block",
+    ),
+    "threshold_adaptive": Kernel(
+        name="threshold_adaptive",
+        unit="ball",
+        draw_blocks=("per <=8192 balls: probes int(batch, max_probes)",),
+        stepper=ThresholdAdaptiveStepper,
+        vectorized=run_threshold_adaptive_vectorized,
+        batched="speculate-verify balls; callable thresholds drive per-unit",
+        fastpath_guard=_threshold_fastpath_guard,
+    ),
+    "two_phase_adaptive": Kernel(
+        name="two_phase_adaptive",
+        unit="ball",
+        draw_blocks=(
+            "per <=8192 balls: primary int(batch), "
+            "fallback int(batch, retry_probes)",
+        ),
+        stepper=TwoPhaseAdaptiveStepper,
+        vectorized=run_two_phase_adaptive_vectorized,
+        batched="speculate-verify balls (prefix_conflicts)",
+    ),
+}

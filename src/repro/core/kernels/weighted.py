@@ -1,0 +1,262 @@
+"""The weighted (k, d)-choice kernel.
+
+Draw blocks (identical to :func:`~repro.core.weighted.run_weighted_kd_choice`):
+the full weight vector first (via :func:`~repro.core.weighted.make_weights`),
+then paired ``(chunk, d)`` sample and tie-break blocks per
+``min(rounds remaining, 4096)`` rounds; the partial tail round draws its own
+``size=d`` pair.
+
+Per-unit apply: one round through the scalar
+:func:`~repro.core.weighted.weighted_round_apply` kernel.  Batched apply:
+speculate-verify rounds through :func:`_weighted_batch`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..baselines import _make_rng
+from ..batched import ConflictScratch, clean_segments, prefix_conflicts
+from ..process import _DEFAULT_CHUNK_ROUNDS
+from ..types import ProcessParams
+from ..weighted import WeightSpec, make_weights, weighted_round_apply
+from .base import _PLACED, OnlineStepper, speculative_batch_rows
+
+__all__ = ["WeightedKDChoiceStepper", "_weighted_batch"]
+
+
+def _weighted_batch(
+    loads: np.ndarray,
+    counts: np.ndarray,
+    samples: np.ndarray,
+    tiebreaks: np.ndarray,
+    batch_weights: np.ndarray,
+    increments: np.ndarray,
+    k: int,
+    scratch: ConflictScratch,
+    out: Optional[np.ndarray] = None,
+) -> None:
+    """Apply one batch of full weighted rounds to ``loads``/``counts``.
+
+    Provisional selections are computed row-wise against the batch-start
+    loads — one ``(height, tiebreak, bin)`` lexsort plus a stable by-load
+    sort of the kept slots (the scalar round kernel's two list sorts) — and
+    validated with the prefix-conflict kernel; suspect rounds replay through
+    the scalar round kernel in order.  Rounds that sample a bin twice need
+    the multiplicity-stacked heights and are forced straight to the replay.
+
+    ``out`` (a ``(B, k)`` int64 array) optionally receives each round's
+    destination bins in ball order (heaviest ball first — the order the
+    scalar kernel places them), for the streaming allocator.
+    """
+    row_sorted = np.sort(samples, axis=1)
+    internal_dup = (row_sorted[:, 1:] == row_sorted[:, :-1]).any(axis=1)
+
+    # Provisional selection (exact for duplicate-free rounds: every virtual
+    # ball has height loads[bin] + increment, a per-row constant shift that
+    # the lexsort ignores-by-including).
+    heights = loads[samples] + increments[:, None]
+    order = np.lexsort((samples, tiebreaks, heights), axis=-1)
+    kept = np.take_along_axis(samples, order[:, :k], axis=1)
+    # Heaviest ball to the least-loaded kept slot: a stable by-load sort of
+    # the slots, matched against the descending weights.
+    slot_order = np.argsort(loads[kept], axis=1, kind="stable")
+    slots = np.take_along_axis(kept, slot_order, axis=1)
+
+    suspect = prefix_conflicts(
+        samples, slots, scratch, expanded=samples, forced=internal_dup
+    )
+    if out is not None:
+        out[:] = slots  # clean rows only; suspect rows overwritten below
+    for seg_start, seg_stop, suspect_index in clean_segments(suspect):
+        seg_slots = slots[seg_start:seg_stop].ravel()
+        loads[seg_slots] += batch_weights[seg_start:seg_stop].ravel()
+        counts[seg_slots] += 1
+        if suspect_index >= 0:
+            replayed = weighted_round_apply(
+                loads,
+                counts,
+                samples[suspect_index].tolist(),
+                tiebreaks[suspect_index],
+                batch_weights[suspect_index],
+                float(increments[suspect_index]),
+            )
+            if out is not None:
+                out[suspect_index] = replayed
+
+
+class WeightedKDChoiceStepper(OnlineStepper):
+    """Streaming weighted (k, d)-choice, unit = one round.
+
+    The ball weights are materialized up front (the reference engines call
+    :func:`~repro.core.weighted.make_weights` before placing anything), so
+    streamed items carry the spec's weights, not caller-supplied ones.
+    Samples and tie-breaks are drawn in the scalar engine's paired
+    ``(chunk, d)`` blocks; ``step_block`` rides the speculate-verify weighted
+    batch kernel.  ``loads`` exposes ball counts (the unit-invariant view);
+    ``weighted_loads`` the per-bin total weight.
+    """
+
+    _STATE_SCALARS = OnlineStepper._STATE_SCALARS + (
+        "_rounds_drawn",
+        "_buffer_pos",
+        "_tail_done",
+        "_weight_pos",
+    )
+    _STATE_ARRAYS = (
+        "loads",
+        "weighted_loads",
+        "_weights",
+        "_buffer_samples",
+        "_buffer_ties",
+    )
+
+    def __init__(
+        self,
+        n_bins: int,
+        k: int,
+        d: int,
+        weights: WeightSpec = "exponential",
+        n_balls: Optional[int] = None,
+        mean_weight: float = 1.0,
+        seed: "int | np.random.SeedSequence | None" = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        ProcessParams(n_bins=n_bins, n_balls=None, k=k, d=d)
+        self.n_bins = n_bins
+        self.k = k
+        self.d = d
+        self.rng = _make_rng(seed, rng)
+        self.planned_balls = n_bins if n_balls is None else n_balls
+        self._weights = make_weights(
+            weights, self.planned_balls, self.rng, mean_weight=mean_weight
+        )
+        self.full_rounds, self.tail_balls = divmod(self.planned_balls, k)
+        self.weighted_loads = np.zeros(n_bins, dtype=float)
+        self.loads = np.zeros(n_bins, dtype=np.int64)  # ball counts
+        self.messages = 0
+        self.rounds = 0
+        self.balls_emitted = 0
+        self._rounds_drawn = 0
+        self._buffer_samples: Optional[np.ndarray] = None
+        self._buffer_ties: Optional[np.ndarray] = None
+        self._buffer_pos = 0
+        self._weight_pos = 0
+        self._tail_done = False
+        self._batch_rounds = speculative_batch_rows(n_bins, k * d)
+        self._scratch = ConflictScratch(n_bins)
+
+    def ball_weight(self, ball_index: int) -> float:
+        """The weight the stream's ``ball_index``-th ball carries."""
+        round_index, position = divmod(ball_index, self.k)
+        if round_index < self.full_rounds:
+            start = round_index * self.k
+            ordered = np.sort(self._weights[start : start + self.k])[::-1]
+        else:
+            ordered = np.sort(self._weights[self.full_rounds * self.k :])[::-1]
+        return float(ordered[position])
+
+    def _refill(self) -> None:
+        chunk = min(
+            self.full_rounds - self._rounds_drawn, _DEFAULT_CHUNK_ROUNDS
+        )
+        self._buffer_samples = self.rng.integers(
+            0, self.n_bins, size=(chunk, self.d)
+        )
+        self._buffer_ties = self.rng.random((chunk, self.d))
+        self._buffer_pos = 0
+        self._rounds_drawn += chunk
+
+    def _buffered_rounds(self) -> int:
+        if self._buffer_samples is None:
+            return 0
+        return len(self._buffer_samples) - self._buffer_pos
+
+    def step(self) -> List[int]:
+        self._require_more()
+        if self.rounds < self.full_rounds:
+            if self._buffered_rounds() == 0:
+                self._refill()
+            row = self._buffer_samples[self._buffer_pos].tolist()
+            ties = self._buffer_ties[self._buffer_pos]
+            self._buffer_pos += 1
+            batch_weights = np.sort(
+                self._weights[self._weight_pos : self._weight_pos + self.k]
+            )[::-1]
+            destinations = weighted_round_apply(
+                self.weighted_loads,
+                self.loads,
+                row,
+                ties,
+                batch_weights,
+                float(batch_weights.mean()),
+            )
+            self._weight_pos += self.k
+            self.rounds += 1
+            self.messages += self.d
+            self.balls_emitted += self.k
+            return [int(b) for b in destinations]
+        batch_weights = np.sort(self._weights[self.full_rounds * self.k :])[::-1]
+        samples = self.rng.integers(0, self.n_bins, size=self.d)
+        ties = self.rng.random(self.d)
+        destinations = weighted_round_apply(
+            self.weighted_loads,
+            self.loads,
+            samples.tolist(),
+            ties,
+            batch_weights,
+            float(batch_weights.mean()),
+        )
+        self.rounds += 1
+        self.messages += self.d
+        self.balls_emitted += self.tail_balls
+        self._tail_done = True
+        return [int(b) for b in destinations]
+
+    def step_block(self, max_balls: int) -> Optional[np.ndarray]:
+        rounds_wanted = min(max_balls // self.k, self.full_rounds - self.rounds)
+        if rounds_wanted <= 0:
+            return None
+        if self._buffered_rounds() == 0:
+            self._refill()
+        r = min(rounds_wanted, self._buffered_rounds())
+        samples = self._buffer_samples[self._buffer_pos : self._buffer_pos + r]
+        ties = self._buffer_ties[self._buffer_pos : self._buffer_pos + r]
+        self._buffer_pos += r
+        block_weights = np.sort(
+            self._weights[self._weight_pos : self._weight_pos + r * self.k].reshape(
+                r, self.k
+            ),
+            axis=1,
+        )[:, ::-1]
+        increments = block_weights.mean(axis=1)
+        out = np.empty((r, self.k), dtype=np.int64) if self._capture else None
+        for start in range(0, r, self._batch_rounds):
+            stop = min(start + self._batch_rounds, r)
+            _weighted_batch(
+                self.weighted_loads,
+                self.loads,
+                samples[start:stop],
+                ties[start:stop],
+                block_weights[start:stop],
+                increments[start:stop],
+                self.k,
+                self._scratch,
+                out=None if out is None else out[start:stop],
+            )
+        self._weight_pos += r * self.k
+        self.rounds += r
+        self.messages += r * self.d
+        self.balls_emitted += r * self.k
+        return out.reshape(-1) if self._capture else _PLACED
+
+    def remove_ball(self, bin_index: int, ball_index: Optional[int] = None) -> None:
+        if ball_index is None:
+            raise ValueError(
+                "removing a weighted ball requires its ball index (track "
+                "items through the allocator) so its weight can be returned"
+            )
+        super().remove_ball(bin_index)
+        self.weighted_loads[bin_index] -= self.ball_weight(ball_index)

@@ -1,82 +1,51 @@
-"""Vectorized engines: batch selection fast paths for every process family.
+"""Vectorized engines — compatibility shim over :mod:`repro.core.kernels`.
 
-The scalar reference processes execute one ball (or one round) at a time in
-Python; those loops dominate every large experiment in the repository.  This
-module provides drop-in fast paths that are **bit-for-bit equivalent** to
-their scalar counterparts for a fixed seed:
+Historically this module hand-implemented a batch engine per scheme.  Those
+engines are now *derived* from each scheme's single kernel registration in
+:mod:`repro.core.kernels.table` (a draw-block spec, a per-unit apply, an
+optional batched apply); this module re-exports the derived runners under
+their long-standing names so existing imports keep working.  It defines
+nothing itself — the registry parity lint (``repro schemes --check``)
+enforces that.
 
-* Every engine consumes the random stream in exactly the scalar order (NumPy
-  fills a ``size=d`` buffer element-sequentially, so block draws equal the
-  scalar per-round draws wherever the scalar already draws blocks).
-* Sequential dependence is broken with the two kernels from
-  :mod:`repro.core.batched`: rows that provably see the batch-start loads are
-  resolved together with fancy indexing and ``argpartition``/``argmin``; the
-  (rare) conflicting rows replay through the exact scalar per-ball kernels,
-  preserving semantics.
-
-Engines provided (scalar counterpart in parentheses):
-
-====================================  =======================================
-:func:`run_kd_choice_vectorized`      :func:`~repro.core.process.run_kd_choice`
-:func:`run_weighted_kd_choice_vectorized`  :mod:`repro.core.weighted`
-:func:`run_stale_kd_choice_vectorized`     :mod:`repro.core.stale`
-:func:`run_churn_kd_choice_vectorized`     :mod:`repro.core.dynamic`
-:func:`run_d_choice_vectorized`       Greedy[d] (:mod:`repro.core.baselines`)
-:func:`run_one_plus_beta_vectorized`  (1+β)-choice
-:func:`run_always_go_left_vectorized` Vöcking's Always-Go-Left
-:func:`run_threshold_adaptive_vectorized`  :mod:`repro.core.adaptive`
-:func:`run_two_phase_adaptive_vectorized`  :mod:`repro.core.adaptive`
-====================================  =======================================
-
-All of them are reachable through the unified front door::
-
-    from repro.api import SchemeSpec, simulate
-    simulate(SchemeSpec(scheme="weighted_kd_choice",
-                        params={"n_bins": 100_000, "k": 4, "d": 8},
-                        engine="vectorized", seed=0))
-
-Only the paper's strict policy is supported; requesting any other policy
-raises ``ValueError`` (the greedy relaxation stays on the scalar path).
-
-Streaming mode
---------------
-:func:`run_kd_choice_vectorized` (and the scalar process) accept
-``chunk_rounds``: samples are drawn and processed in blocks of that many
-rounds, so peak buffer memory is ``O(chunk_rounds * d + n_bins)`` rather
-than ``O(n * d)`` — which is what makes ``n >= 10^7`` runs practical.  The
-random stream depends on the block size, so engines are equivalent at equal
-``chunk_rounds`` (both default to the same 4096).
+Every runner remains **bit-for-bit equivalent** to its scalar counterpart
+for a fixed seed: the kernel steppers consume the random stream in exactly
+the scalar block order, and ``tests/core/test_engine_equivalence.py`` locks
+the property down.
 """
 
-from __future__ import annotations
-
-from typing import List, Optional
-
-import numpy as np
-
-from .adaptive import threshold_place, two_phase_place
-from .baselines import _CHUNK as _BALL_CHUNK
-from .baselines import _make_rng, least_loaded_probe
-from .batched import (
-    ConflictScratch,
-    ball_order_kept,
-    clean_segments,
-    prefix_conflicts,
-    stable_tiebreak_ranks,
-    strict_select_rows,
+from .kernels.base import (
+    CALLABLE_THRESHOLD_REASON,
+    _require_strict,
+    independent_batch_rounds,
+    speculative_batch_rows,
 )
-from .dynamic import ChurnResult, ChurnSnapshot
-from .policies import strict_select
-from .process import _DEFAULT_CHUNK_ROUNDS as _CHUNK_ROUNDS
-from .types import AllocationResult, ProcessParams
-from .weighted import WeightSpec, make_weights, weighted_round_apply
+from .kernels.kd import _select_batch
+from .kernels.table import (
+    run_always_go_left_vectorized,
+    run_churn_kd_choice_vectorized,
+    run_d_choice_vectorized,
+    run_greedy_kd_choice_vectorized,
+    run_kd_choice_vectorized,
+    run_one_plus_beta_vectorized,
+    run_serialized_kd_choice_vectorized,
+    run_stale_kd_choice_vectorized,
+    run_threshold_adaptive_vectorized,
+    run_two_choice_vectorized,
+    run_two_phase_adaptive_vectorized,
+    run_weighted_kd_choice_vectorized,
+)
+from .kernels.weighted import _weighted_batch
 
 __all__ = [
     "run_kd_choice_vectorized",
+    "run_serialized_kd_choice_vectorized",
+    "run_greedy_kd_choice_vectorized",
     "run_weighted_kd_choice_vectorized",
     "run_stale_kd_choice_vectorized",
     "run_churn_kd_choice_vectorized",
     "run_d_choice_vectorized",
+    "run_two_choice_vectorized",
     "run_one_plus_beta_vectorized",
     "run_always_go_left_vectorized",
     "run_threshold_adaptive_vectorized",
@@ -84,889 +53,3 @@ __all__ = [
     "independent_batch_rounds",
     "speculative_batch_rows",
 ]
-
-#: Why callable thresholds stay scalar-only.  The registry's vectorized
-#: guard returns this same string, so spec-construction validation and the
-#: runner's own check cannot drift apart.
-CALLABLE_THRESHOLD_REASON = (
-    "the vectorized engine supports only integer (or default) thresholds, "
-    "got a callable; use the scalar engine instead"
-)
-
-
-def _require_strict(policy: "str | object") -> None:
-    policy_name = policy if isinstance(policy, str) else getattr(policy, "name", "?")
-    if policy_name != "strict":
-        raise ValueError(
-            f"the vectorized engine implements only the strict policy, "
-            f"got {policy_name!r}; use the scalar engine instead"
-        )
-
-
-def independent_batch_rounds(n_bins: int, d: int) -> int:
-    """Batch size that keeps the expected conflict fraction small.
-
-    A round conflicts when one of its ``d`` samples collides with any of the
-    other ``(B - 1) d`` samples of its batch (or repeats within the round),
-    which happens with probability ~``B d^2 / n``.  The batch size balances
-    that Python-fallback cost against the fixed per-batch NumPy overhead.
-    """
-    return max(8, min(_CHUNK_ROUNDS, int(n_bins // (12 * d * d)) or 8))
-
-
-def speculative_batch_rows(n_bins: int, width: int, replays: int = 12) -> int:
-    """Row count for the speculate-verify engines.
-
-    A row of ``width`` read bins conflicts with one of the ~``B/2`` earlier
-    writes with probability ~``B * width / (2 n)``, so a batch replays
-    ~``B^2 width / (2 n)`` rows through the scalar kernel.  Solving for a
-    target number of ``replays`` per batch (each costs a couple of
-    microseconds, traded against the batch's fixed NumPy overhead) gives
-    ``B = sqrt(2 * replays * n / width)``.
-    """
-    return max(32, min(_BALL_CHUNK, int((2 * replays * n_bins / width) ** 0.5)))
-
-
-# ----------------------------------------------------------------------
-# The paper's (k, d)-choice process
-# ----------------------------------------------------------------------
-def _select_batch(
-    loads: np.ndarray,
-    samples: np.ndarray,
-    tiebreaks: np.ndarray,
-    k: int,
-    out: Optional[np.ndarray] = None,
-) -> None:
-    """Apply one batch of rounds to ``loads`` in place.
-
-    ``samples`` and ``tiebreaks`` are ``(B, d)`` blocks; rounds whose bins are
-    untouched by every other round in the batch are resolved with one
-    argpartition, the rest replay sequentially through the scalar kernel.
-
-    ``out`` (a ``(B, k)`` int64 array) optionally receives each round's
-    destination bins in *ball order* — the exact order the scalar
-    :func:`~repro.core.policies.strict_select` kernel returns them — which is
-    what the streaming allocator (:mod:`repro.online`) hands out one ball at
-    a time.  The batch path skips that per-row sort when no caller asks.
-    """
-    batch, d = samples.shape
-
-    # A bin value is "shared" when it occurs more than once in the batch.
-    flat = np.sort(samples, axis=None)
-    shared = flat[1:][flat[1:] == flat[:-1]]
-    if shared.size:
-        dirty = np.isin(samples, shared).any(axis=1)
-    else:
-        dirty = np.zeros(batch, dtype=bool)
-    clean = ~dirty
-
-    clean_rows = samples[clean]
-    if clean_rows.size:
-        # No bin repeats anywhere in these rounds: every virtual ball has
-        # height loads[bin] + 1, and placements cannot interact, so the
-        # strict rule reduces to "keep the k smallest (height, tiebreak)
-        # pairs per round".  Encode the pair as one int64 key: the tie-break
-        # rank within the round replaces the float (rank < d, so the
-        # lexicographic order is preserved exactly).
-        heights = loads[clean_rows] + 1
-        ranks = stable_tiebreak_ranks(tiebreaks[clean])
-        keys = heights * np.int64(d) + ranks
-        kept = np.argpartition(keys, k - 1, axis=1)[:, :k]
-        if out is not None:
-            kept = ball_order_kept(keys, kept)
-        destinations = np.take_along_axis(clean_rows, kept, axis=1)
-        if out is not None:
-            out[clean] = destinations
-        loads[destinations.ravel()] += 1  # all destinations are distinct bins
-
-    for row_index in np.flatnonzero(dirty):
-        row = samples[row_index].tolist()
-        row_destinations = strict_select(loads, row, k, tiebreaks[row_index])
-        if out is not None:
-            out[row_index] = row_destinations
-        for bin_index in row_destinations:
-            loads[bin_index] += 1
-
-
-def run_kd_choice_vectorized(
-    n_bins: int,
-    k: int,
-    d: int,
-    n_balls: Optional[int] = None,
-    policy: str = "strict",
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-    chunk_rounds: Optional[int] = None,
-) -> AllocationResult:
-    """Run (k, d)-choice with the batch-vectorized engine.
-
-    Seed-for-seed, the returned load vector is identical to
-    :func:`~repro.core.process.run_kd_choice` at the same ``chunk_rounds``;
-    only the wall-clock time differs.  ``chunk_rounds`` (default 4096) is the
-    streaming knob: samples are drawn and processed in blocks of that many
-    rounds, bounding peak buffer memory at ``O(chunk_rounds * d)``.
-    """
-    _require_strict(policy)
-    ProcessParams(n_bins=n_bins, n_balls=n_balls, k=k, d=d)
-    if chunk_rounds is None:
-        chunk_rounds = _CHUNK_ROUNDS
-    if chunk_rounds <= 0:
-        raise ValueError(f"chunk_rounds must be positive, got {chunk_rounds}")
-    if n_balls is None:
-        n_balls = n_bins
-    generator = _make_rng(seed, rng)
-
-    loads = np.zeros(n_bins, dtype=np.int64)
-    full_rounds, tail_balls = divmod(n_balls, k)
-    batch_rounds = min(chunk_rounds, independent_batch_rounds(n_bins, d))
-    messages = 0
-    rounds = 0
-
-    remaining = full_rounds
-    while remaining > 0:
-        chunk = min(remaining, chunk_rounds)
-        samples = generator.integers(0, n_bins, size=(chunk, d))
-        if k == d:
-            # Every sampled bin keeps its ball; loads never influence the
-            # outcome, so the whole chunk is one histogram.  (The scalar
-            # policy draws no tie-breaks in this case either.)
-            loads += np.bincount(samples.ravel(), minlength=n_bins)
-        else:
-            tiebreaks = generator.random((chunk, d))
-            for start in range(0, chunk, batch_rounds):
-                stop = start + batch_rounds
-                _select_batch(loads, samples[start:stop], tiebreaks[start:stop], k)
-        messages += chunk * d
-        rounds += chunk
-        remaining -= chunk
-
-    if tail_balls:
-        samples = generator.integers(0, n_bins, size=d).tolist()
-        for bin_index in strict_select(loads, samples, tail_balls, generator.random(d)):
-            loads[bin_index] += 1
-        messages += d
-        rounds += 1
-
-    params = ProcessParams(n_bins=n_bins, n_balls=n_balls, k=k, d=d)
-    return AllocationResult(
-        loads=loads,
-        scheme=f"({k},{d})-choice",
-        n_bins=n_bins,
-        n_balls=n_balls,
-        k=k,
-        d=d,
-        messages=messages,
-        rounds=rounds,
-        policy="strict",
-        extra={"expected_messages": params.message_cost, "engine": "vectorized"},
-    )
-
-
-# ----------------------------------------------------------------------
-# Weighted balls
-# ----------------------------------------------------------------------
-def _weighted_batch(
-    loads: np.ndarray,
-    counts: np.ndarray,
-    samples: np.ndarray,
-    tiebreaks: np.ndarray,
-    batch_weights: np.ndarray,
-    increments: np.ndarray,
-    k: int,
-    scratch: ConflictScratch,
-    out: Optional[np.ndarray] = None,
-) -> None:
-    """Apply one batch of full weighted rounds to ``loads``/``counts``.
-
-    Provisional selections are computed row-wise against the batch-start
-    loads — one ``(height, tiebreak, bin)`` lexsort plus a stable by-load
-    sort of the kept slots (the scalar round kernel's two list sorts) — and
-    validated with the prefix-conflict kernel; suspect rounds replay through
-    the scalar round kernel in order.  Rounds that sample a bin twice need
-    the multiplicity-stacked heights and are forced straight to the replay.
-
-    ``out`` (a ``(B, k)`` int64 array) optionally receives each round's
-    destination bins in ball order (heaviest ball first — the order the
-    scalar kernel places them), for the streaming allocator.
-    """
-    row_sorted = np.sort(samples, axis=1)
-    internal_dup = (row_sorted[:, 1:] == row_sorted[:, :-1]).any(axis=1)
-
-    # Provisional selection (exact for duplicate-free rounds: every virtual
-    # ball has height loads[bin] + increment, a per-row constant shift that
-    # the lexsort ignores-by-including).
-    heights = loads[samples] + increments[:, None]
-    order = np.lexsort((samples, tiebreaks, heights), axis=-1)
-    kept = np.take_along_axis(samples, order[:, :k], axis=1)
-    # Heaviest ball to the least-loaded kept slot: a stable by-load sort of
-    # the slots, matched against the descending weights.
-    slot_order = np.argsort(loads[kept], axis=1, kind="stable")
-    slots = np.take_along_axis(kept, slot_order, axis=1)
-
-    suspect = prefix_conflicts(
-        samples, slots, scratch, expanded=samples, forced=internal_dup
-    )
-    if out is not None:
-        out[:] = slots  # clean rows only; suspect rows overwritten below
-    for seg_start, seg_stop, suspect_index in clean_segments(suspect):
-        seg_slots = slots[seg_start:seg_stop].ravel()
-        loads[seg_slots] += batch_weights[seg_start:seg_stop].ravel()
-        counts[seg_slots] += 1
-        if suspect_index >= 0:
-            replayed = weighted_round_apply(
-                loads,
-                counts,
-                samples[suspect_index].tolist(),
-                tiebreaks[suspect_index],
-                batch_weights[suspect_index],
-                float(increments[suspect_index]),
-            )
-            if out is not None:
-                out[suspect_index] = replayed
-
-
-def run_weighted_kd_choice_vectorized(
-    n_bins: int,
-    k: int,
-    d: int,
-    weights: WeightSpec = "exponential",
-    n_balls: Optional[int] = None,
-    mean_weight: float = 1.0,
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> AllocationResult:
-    """Weighted (k, d)-choice on the batch engine.
-
-    Seed-for-seed identical to :func:`~repro.core.weighted.run_weighted_kd_choice`:
-    the weights are materialized by the same :func:`make_weights` call, and
-    each round draws its ``d`` samples then its ``d`` tie-break doubles in
-    the scalar order.
-    """
-    ProcessParams(n_bins=n_bins, n_balls=None, k=k, d=d)
-    generator = _make_rng(seed, rng)
-    if n_balls is None:
-        n_balls = n_bins
-    all_weights = make_weights(weights, n_balls, generator, mean_weight=mean_weight)
-
-    loads = np.zeros(n_bins, dtype=float)
-    counts = np.zeros(n_bins, dtype=np.int64)
-    messages = 0
-    rounds = 0
-    full_rounds, tail_balls = divmod(n_balls, k)
-    batch_rounds = speculative_batch_rows(n_bins, k * d)
-    scratch = ConflictScratch(n_bins)
-
-    # Per-round descending weights and their means, computed for all full
-    # rounds up front (no RNG involved).  Row r of the 2D sort holds the same
-    # values as the scalar round's `np.sort(weights[r*k:(r+1)*k])[::-1]`, and
-    # the axis-1 mean reduces the same descending view in the same order, so
-    # both match the scalar floats exactly.
-    round_weights = np.sort(
-        all_weights[: full_rounds * k].reshape(full_rounds, k), axis=1
-    )[:, ::-1]
-    round_increments = round_weights.mean(axis=1)
-
-    done = 0
-    remaining = full_rounds
-    while remaining > 0:
-        # Same RNG blocks as the scalar process: chunk of samples, then the
-        # matching chunk of tie-break doubles.
-        chunk = min(remaining, _CHUNK_ROUNDS)
-        samples_block = generator.integers(0, n_bins, size=(chunk, d))
-        ties_block = generator.random((chunk, d))
-        for start in range(0, chunk, batch_rounds):
-            stop = min(start + batch_rounds, chunk)
-            _weighted_batch(
-                loads,
-                counts,
-                samples_block[start:stop],
-                ties_block[start:stop],
-                round_weights[done + start : done + stop],
-                round_increments[done + start : done + stop],
-                k,
-                scratch,
-            )
-        messages += chunk * d
-        rounds += chunk
-        done += chunk
-        remaining -= chunk
-
-    if tail_balls:
-        sorted_weights = np.sort(all_weights[full_rounds * k :])[::-1]
-        samples = generator.integers(0, n_bins, size=d)
-        tiebreaks = generator.random(d)
-        weighted_round_apply(
-            loads,
-            counts,
-            samples.tolist(),
-            tiebreaks,
-            sorted_weights,
-            float(sorted_weights.mean()),
-        )
-        messages += d
-        rounds += 1
-
-    spec_name = (
-        weights if isinstance(weights, str)
-        else getattr(weights, "__name__", "custom") if callable(weights)
-        else "explicit"
-    )
-    total_weight = float(all_weights.sum())
-    return AllocationResult(
-        loads=counts,
-        scheme=f"weighted-({k},{d})-choice[{spec_name}]",
-        n_bins=n_bins,
-        n_balls=n_balls,
-        k=k,
-        d=d,
-        messages=messages,
-        rounds=rounds,
-        policy="weighted-strict",
-        extra={
-            "weighted_loads": loads,
-            "total_weight": total_weight,
-            "max_weighted_load": float(loads.max()) if loads.size else 0.0,
-            "weighted_gap": float(loads.max() - total_weight / n_bins)
-            if loads.size
-            else 0.0,
-            "engine": "vectorized",
-        },
-    )
-
-
-# ----------------------------------------------------------------------
-# Stale load information (parallel epochs)
-# ----------------------------------------------------------------------
-def run_stale_kd_choice_vectorized(
-    n_bins: int,
-    k: int,
-    d: int,
-    stale_rounds: int = 1,
-    n_balls: Optional[int] = None,
-    policy: str = "strict",
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> AllocationResult:
-    """Stale-information (k, d)-choice on the batch engine.
-
-    The stale process is the engine's best case: every round of an epoch
-    probes the same load snapshot by definition, so a whole epoch is one
-    independent row-selection batch — no conflict detection, no snapshot
-    copy (placements are simply deferred to the epoch end).
-    """
-    _require_strict(policy)
-    ProcessParams(n_bins=n_bins, n_balls=None, k=k, d=d)
-    if stale_rounds < 1:
-        raise ValueError(f"stale_rounds must be at least 1, got {stale_rounds}")
-    generator = _make_rng(seed, rng)
-    if n_balls is None:
-        n_balls = n_bins
-
-    loads = np.zeros(n_bins, dtype=np.int64)
-    messages = 0
-    rounds = 0
-    placed = 0
-
-    while placed < n_balls:
-        # Same RNG blocks as the scalar process: the epoch's samples, then
-        # (for k < d) the epoch's tie-breaks.
-        epoch_rounds = min(stale_rounds, -(-(n_balls - placed) // k))
-        samples_block = generator.integers(0, n_bins, size=(epoch_rounds, d))
-        ties_block = generator.random((epoch_rounds, d)) if k < d else None
-        messages += epoch_rounds * d
-        rounds += epoch_rounds
-        epoch_balls = min(n_balls - placed, epoch_rounds * k)
-        placed += epoch_balls
-        tail_balls = epoch_balls - (epoch_rounds - 1) * k  # final round's batch
-
-        extra_destinations: List[np.ndarray] = []
-        full = epoch_rounds  # rounds carrying a full batch of k balls
-        if tail_balls < k:  # partial tail round, selected by itself
-            full -= 1
-            tail_ties = (
-                ties_block[full] if ties_block is not None else generator.random(d)
-            )
-            extra_destinations.append(
-                np.asarray(
-                    strict_select(
-                        loads, samples_block[full].tolist(), tail_balls, tail_ties
-                    ),
-                    dtype=np.int64,
-                )
-            )
-        if full:
-            if k == d:
-                # Degenerate rounds: every sampled bin keeps its ball and the
-                # scalar policy draws no tie-breaks.
-                extra_destinations.append(samples_block[:full].ravel())
-            elif full == 1:
-                # One-round epochs (stale_rounds=1, the fresh process) skip
-                # the batch kernel's fixed costs.
-                extra_destinations.append(
-                    np.asarray(
-                        strict_select(
-                            loads, samples_block[0].tolist(), k, ties_block[0]
-                        ),
-                        dtype=np.int64,
-                    )
-                )
-            else:
-                extra_destinations.append(
-                    strict_select_rows(
-                        loads, samples_block[:full], ties_block[:full], k
-                    ).ravel()
-                )
-
-        # Deferred epoch application; np.add.at handles repeated bins exactly
-        # like the scalar one-ball-at-a-time adds.
-        for destinations in extra_destinations:
-            np.add.at(loads, destinations, 1)
-
-    return AllocationResult(
-        loads=loads,
-        scheme=(
-            f"stale-({k},{d})-choice"
-            f"[epoch={stale_rounds} rounds]"
-        ),
-        n_bins=n_bins,
-        n_balls=n_balls,
-        k=k,
-        d=d,
-        messages=messages,
-        rounds=rounds,
-        policy="strict",
-        extra={"stale_rounds": stale_rounds, "engine": "vectorized"},
-    )
-
-
-# ----------------------------------------------------------------------
-# Dynamic insert/delete churn
-# ----------------------------------------------------------------------
-def run_churn_kd_choice_vectorized(
-    n_bins: int,
-    k: int,
-    d: int,
-    rounds: int,
-    departures_per_round: Optional[int] = None,
-    policy: str = "strict",
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-    warmup_balls: Optional[int] = None,
-    snapshot_every: int = 16,
-) -> ChurnResult:
-    """Dynamic (k, d)-choice churn on the batch engine.
-
-    Seed-for-seed identical to :func:`~repro.core.dynamic.run_churn_kd_choice`.
-    The scalar process spends almost all its time scanning the load vector
-    ball by ball to find each departing ball's bin; here that scan is one
-    ``cumsum``/``searchsorted`` pair per departure.
-    """
-    _require_strict(policy)
-    ProcessParams(n_bins=n_bins, n_balls=None, k=k, d=d)
-    departures_per_round = k if departures_per_round is None else departures_per_round
-    if departures_per_round < 0:
-        raise ValueError(
-            f"departures_per_round must be non-negative, got {departures_per_round}"
-        )
-    if rounds < 0:
-        raise ValueError(f"rounds must be non-negative, got {rounds}")
-    if snapshot_every < 1:
-        raise ValueError(f"snapshot_every must be positive, got {snapshot_every}")
-    generator = _make_rng(seed, rng)
-    if warmup_balls is None:
-        warmup_balls = n_bins
-
-    loads = np.bincount(
-        generator.integers(0, n_bins, size=warmup_balls), minlength=n_bins
-    ).astype(np.int64)
-    total = warmup_balls
-    messages = 0
-    snapshots: List[ChurnSnapshot] = []
-
-    for round_index in range(1, rounds + 1):
-        # Arrivals: one (k, d)-choice round.
-        samples = generator.integers(0, n_bins, size=d).tolist()
-        messages += d
-        if k == d:
-            destinations = samples
-        else:
-            destinations = strict_select(loads, samples, k, generator.random(d))
-        for bin_index in destinations:
-            loads[bin_index] += 1
-        total += k
-
-        # Departures: remove balls uniformly at random (by ball).  The
-        # scalar scan "first bin with target < cumulative load" is exactly a
-        # right-bisect into the cumulative sum.
-        departures = min(departures_per_round, total)
-        for _ in range(departures):
-            target = int(generator.integers(0, total))
-            cumulative = np.cumsum(loads)
-            bin_index = int(np.searchsorted(cumulative, target, side="right"))
-            loads[bin_index] -= 1
-            total -= 1
-
-        if round_index % snapshot_every == 0 or round_index == rounds:
-            snapshots.append(
-                ChurnSnapshot(
-                    round_index=round_index,
-                    total_balls=total,
-                    max_load=int(loads.max()),
-                    average_load=total / n_bins,
-                )
-            )
-
-    return ChurnResult(
-        n_bins=n_bins,
-        k=k,
-        d=d,
-        rounds=rounds,
-        departures_per_round=departures_per_round,
-        messages=messages,
-        final_loads=np.asarray(loads, dtype=np.int64),
-        snapshots=snapshots,
-    )
-
-
-# ----------------------------------------------------------------------
-# Greedy[d] / two-choice baselines (ride the kd kernel)
-# ----------------------------------------------------------------------
-def run_d_choice_vectorized(
-    n_bins: int,
-    d: int,
-    n_balls: Optional[int] = None,
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> AllocationResult:
-    """Greedy[d] on the batch engine (the (1, d)-choice special case)."""
-    if d < 1:
-        raise ValueError(f"d must be at least 1, got {d}")
-    result = run_kd_choice_vectorized(
-        n_bins=n_bins, k=1, d=d, n_balls=n_balls, seed=seed, rng=rng
-    )
-    result.scheme = f"greedy[{d}]"
-    return result
-
-
-# ----------------------------------------------------------------------
-# (1 + beta)-choice
-# ----------------------------------------------------------------------
-def run_one_plus_beta_vectorized(
-    n_bins: int,
-    beta: float,
-    n_balls: Optional[int] = None,
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> AllocationResult:
-    """(1 + β)-choice on the speculate-verify batch engine."""
-    if not 0.0 <= beta <= 1.0:
-        raise ValueError(f"beta must lie in [0, 1], got {beta}")
-    if n_bins <= 0:
-        raise ValueError(f"n_bins must be positive, got {n_bins}")
-    if n_balls is None:
-        n_balls = n_bins
-    generator = _make_rng(seed, rng)
-
-    loads = np.zeros(n_bins, dtype=np.int64)
-    messages = 0
-    scratch = ConflictScratch(n_bins)
-    sub_rows = speculative_batch_rows(n_bins, 2)
-    remaining = n_balls
-    while remaining > 0:
-        batch = min(remaining, _BALL_CHUNK)
-        coins = generator.random(batch) < beta
-        first = generator.integers(0, n_bins, size=batch)
-        second = generator.integers(0, n_bins, size=batch)
-        for start in range(0, batch, sub_rows):
-            stop = start + sub_rows
-            a = first[start:stop]
-            b = second[start:stop]
-            two = coins[start:stop]
-            destinations = np.where(
-                two, np.where(loads[a] <= loads[b], a, b), a
-            )
-            # Single-choice balls read nothing, but self-reads are harmless
-            # (a row is never "earlier than itself") and keep the read array
-            # rectangular.
-            reads = np.stack([a, np.where(two, b, a)], axis=1)
-            suspect = prefix_conflicts(reads, destinations, scratch)
-            for seg_start, seg_stop, suspect_index in clean_segments(suspect):
-                loads[destinations[seg_start:seg_stop]] += 1
-                if suspect_index >= 0:
-                    if two[suspect_index]:
-                        x, y = int(a[suspect_index]), int(b[suspect_index])
-                        loads[x if loads[x] <= loads[y] else y] += 1
-                    else:
-                        loads[a[suspect_index]] += 1
-            messages += len(two) + int(two.sum())
-        remaining -= batch
-
-    return AllocationResult(
-        loads=loads,
-        scheme=f"(1+{beta:g})-choice",
-        n_bins=n_bins,
-        n_balls=n_balls,
-        k=1,
-        d=2,
-        messages=messages,
-        rounds=n_balls,
-        policy="mixed",
-        extra={"beta": beta, "engine": "vectorized"},
-    )
-
-
-# ----------------------------------------------------------------------
-# Always-Go-Left
-# ----------------------------------------------------------------------
-def run_always_go_left_vectorized(
-    n_bins: int,
-    d: int,
-    n_balls: Optional[int] = None,
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> AllocationResult:
-    """Vöcking's Always-Go-Left scheme on the speculate-verify engine."""
-    if d < 1:
-        raise ValueError(f"d must be at least 1, got {d}")
-    if n_bins < d:
-        raise ValueError(f"need n_bins >= d groups, got n_bins={n_bins}, d={d}")
-    if n_balls is None:
-        n_balls = n_bins
-    generator = _make_rng(seed, rng)
-
-    boundaries = np.linspace(0, n_bins, d + 1).astype(np.int64)
-    group_sizes = np.diff(boundaries)
-    if np.any(group_sizes == 0):
-        raise ValueError("every group must contain at least one bin")
-
-    loads = np.zeros(n_bins, dtype=np.int64)
-    messages = 0
-    scratch = ConflictScratch(n_bins)
-    sub_rows = speculative_batch_rows(n_bins, d, replays=6)
-    remaining = n_balls
-    while remaining > 0:
-        batch = min(remaining, _BALL_CHUNK)
-        uniform = generator.random(size=(batch, d))
-        probes = (boundaries[:-1] + uniform * group_sizes).astype(np.int64)
-        for start in range(0, batch, sub_rows):
-            rows = probes[start : start + sub_rows]
-            columns = np.argmin(loads[rows], axis=1)  # earliest min = leftmost
-            destinations = rows[np.arange(len(rows)), columns]
-            suspect = prefix_conflicts(rows, destinations, scratch)
-            for seg_start, seg_stop, suspect_index in clean_segments(suspect):
-                loads[destinations[seg_start:seg_stop]] += 1
-                if suspect_index >= 0:
-                    loads[least_loaded_probe(loads, rows[suspect_index].tolist())] += 1
-        messages += batch * d
-        remaining -= batch
-
-    return AllocationResult(
-        loads=loads,
-        scheme=f"always-go-left[{d}]",
-        n_bins=n_bins,
-        n_balls=n_balls,
-        k=1,
-        d=d,
-        messages=messages,
-        rounds=n_balls,
-        policy="asymmetric",
-        extra={"engine": "vectorized"},
-    )
-
-
-# ----------------------------------------------------------------------
-# Adaptive comparators
-# ----------------------------------------------------------------------
-def run_threshold_adaptive_vectorized(
-    n_bins: int,
-    n_balls: Optional[int] = None,
-    threshold: "int | None" = None,
-    max_probes: Optional[int] = None,
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> AllocationResult:
-    """Threshold probing on the speculate-verify engine.
-
-    Callable thresholds are rejected (their evaluation order is inherently
-    per-ball); the default average-based rule and fixed integer thresholds
-    are supported, which is what every experiment in the repository uses.
-    """
-    if n_bins <= 0:
-        raise ValueError(f"n_bins must be positive, got {n_bins}")
-    if callable(threshold):
-        raise ValueError(CALLABLE_THRESHOLD_REASON)
-    if n_balls is None:
-        n_balls = n_bins
-    if max_probes is None:
-        max_probes = max(2, int(np.ceil(np.log2(max(n_bins, 2)))))
-    if max_probes < 1:
-        raise ValueError(f"max_probes must be at least 1, got {max_probes}")
-    fixed = None if threshold is None else int(threshold)
-    generator = _make_rng(seed, rng)
-
-    loads = np.zeros(n_bins, dtype=np.int64)
-    messages = 0
-    histogram = np.zeros(max_probes + 1, dtype=np.int64)
-    scratch = ConflictScratch(n_bins)
-    sub_rows = speculative_batch_rows(n_bins, max_probes)
-    probe_columns = np.arange(max_probes)
-
-    placed = 0
-    while placed < n_balls:
-        batch = min(n_balls - placed, _BALL_CHUNK)
-        probes = generator.integers(0, n_bins, size=(batch, max_probes))
-        for start in range(0, batch, sub_rows):
-            rows = probes[start : start + sub_rows]
-            size = len(rows)
-            if fixed is None:
-                ball_index = placed + start + np.arange(size)
-                limits = np.ceil(ball_index / n_bins).astype(np.int64) + 1
-            else:
-                limits = np.full(size, fixed, dtype=np.int64)
-            # Fast path: most balls commit on their first probe, so the deep
-            # (full-width) computation runs only on the rows that miss.
-            first_loads = loads[rows[:, 0]]
-            destinations = rows[:, 0].copy()
-            used = np.ones(size, dtype=np.int64)
-            deep = np.flatnonzero(first_loads > limits)
-            if deep.size:
-                deep_rows = rows[deep]
-                deep_loads = loads[deep_rows]
-                meets = deep_loads <= limits[deep][:, None]
-                any_hit = meets.any(axis=1)
-                deep_used = np.where(any_hit, np.argmax(meets, axis=1) + 1, max_probes)
-                # Destination: earliest minimum among the probes examined.
-                masked = np.where(
-                    probe_columns < deep_used[:, None],
-                    deep_loads,
-                    np.iinfo(np.int64).max,
-                )
-                columns = np.argmin(masked, axis=1)
-                used[deep] = deep_used
-                destinations[deep] = deep_rows[np.arange(deep.size), columns]
-            # Reads: the examined prefix, padded with the row's destination.
-            width = int(used.max())
-            reads = np.where(
-                probe_columns[:width] < used[:, None],
-                rows[:, :width],
-                destinations[:, None],
-            )
-            suspect = prefix_conflicts(reads, destinations, scratch, expanded=rows)
-            for seg_start, seg_stop, suspect_index in clean_segments(suspect):
-                loads[destinations[seg_start:seg_stop]] += 1
-                if suspect_index >= 0:
-                    best_bin, used_replay = threshold_place(
-                        loads, rows[suspect_index].tolist(), int(limits[suspect_index])
-                    )
-                    loads[best_bin] += 1
-                    used[suspect_index] = used_replay
-            histogram += np.bincount(used, minlength=max_probes + 1)
-            messages += int(used.sum())
-        placed += batch
-
-    probe_histogram = {
-        int(count): int(balls) for count, balls in enumerate(histogram) if balls
-    }
-    return AllocationResult(
-        loads=loads,
-        scheme="adaptive-threshold",
-        n_bins=n_bins,
-        n_balls=n_balls,
-        k=1,
-        d=max_probes,
-        messages=messages,
-        rounds=n_balls,
-        policy="adaptive",
-        extra={
-            "probe_histogram": probe_histogram,
-            "average_probes": messages / max(n_balls, 1),
-            "max_probes": max_probes,
-            "engine": "vectorized",
-        },
-    )
-
-
-def run_two_phase_adaptive_vectorized(
-    n_bins: int,
-    n_balls: Optional[int] = None,
-    cap: Optional[int] = None,
-    retry_probes: int = 4,
-    seed: "int | np.random.SeedSequence | None" = None,
-    rng: Optional[np.random.Generator] = None,
-) -> AllocationResult:
-    """Two-phase adaptive allocation on the speculate-verify engine."""
-    if n_bins <= 0:
-        raise ValueError(f"n_bins must be positive, got {n_bins}")
-    if n_balls is None:
-        n_balls = n_bins
-    if retry_probes < 1:
-        raise ValueError(f"retry_probes must be at least 1, got {retry_probes}")
-    if cap is None:
-        cap = int(np.ceil(n_balls / n_bins)) + 2
-    generator = _make_rng(seed, rng)
-
-    loads = np.zeros(n_bins, dtype=np.int64)
-    messages = 0
-    retries = 0
-    scratch = ConflictScratch(n_bins)
-    # Committed balls read only their primary probe, so the effective read
-    # width is ~1 + retry_fraction * retry_probes, far below the full row.
-    sub_rows = speculative_batch_rows(n_bins, 2)
-    remaining = n_balls
-    while remaining > 0:
-        batch = min(remaining, _BALL_CHUNK)
-        first = generator.integers(0, n_bins, size=batch)
-        fallback = generator.integers(0, n_bins, size=(batch, retry_probes))
-        for start in range(0, batch, sub_rows):
-            stop = start + sub_rows
-            primary = first[start:stop]
-            rows = fallback[start:stop]
-            size = len(primary)
-            committed = loads[primary] < cap
-            retried = ~committed
-            destinations = primary.copy()
-            misses = np.flatnonzero(retried)
-            if misses.size:
-                miss_rows = rows[misses]
-                columns = np.argmin(loads[miss_rows], axis=1)
-                destinations[misses] = miss_rows[np.arange(misses.size), columns]
-            # Reads: the primary probe, plus the fallback row for the balls
-            # that (provisionally) retried; committed balls pad with their
-            # destination (= the primary itself, so one `where` builds it).
-            expanded = np.concatenate([destinations[:, None], rows], axis=1)
-            reads = np.where(retried[:, None], expanded, destinations[:, None])
-            suspect = prefix_conflicts(reads, destinations, scratch, expanded=expanded)
-            for seg_start, seg_stop, suspect_index in clean_segments(suspect):
-                loads[destinations[seg_start:seg_stop]] += 1
-                if suspect_index >= 0:
-                    best_bin, did_retry = two_phase_place(
-                        loads,
-                        int(primary[suspect_index]),
-                        rows[suspect_index].tolist(),
-                        cap,
-                    )
-                    loads[best_bin] += 1
-                    retried[suspect_index] = did_retry
-            retried_count = int(retried.sum())
-            retries += retried_count
-            messages += size + retried_count * retry_probes
-        remaining -= batch
-
-    return AllocationResult(
-        loads=loads,
-        scheme="adaptive-two-phase",
-        n_bins=n_bins,
-        n_balls=n_balls,
-        k=1,
-        d=retry_probes,
-        messages=messages,
-        rounds=n_balls,
-        policy="adaptive",
-        extra={
-            "cap": cap,
-            "retries": retries,
-            "retry_fraction": retries / max(n_balls, 1),
-            "average_probes": messages / max(n_balls, 1),
-            "engine": "vectorized",
-        },
-    )

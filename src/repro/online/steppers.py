@@ -1,69 +1,34 @@
-"""Streaming steppers: one-item-at-a-time engines for every online scheme.
+"""Streaming steppers — compatibility shim over :mod:`repro.core.kernels`.
 
-A *stepper* is the core-level streaming counterpart of a scalar runner: it
-owns the bin state and the generator, and produces destination bins one
-*unit* (round, ball or epoch-portion) at a time instead of running to
-completion.  The contract every stepper implements:
+Historically this module hand-implemented a stepper per scheme, mirroring
+the batch engines in ``repro.core.vectorized`` draw for draw.  Both engine
+families are now derived from each scheme's single kernel registration in
+:mod:`repro.core.kernels.table`, and the stepper classes live with their
+kernels; this module re-exports them under their long-standing names so
+existing imports keep working.  It defines nothing itself — the registry
+parity lint (``repro schemes --check``) enforces that.
 
-**RNG-block fidelity.**  Randomness is drawn in exactly the blocks (shape
-and order) the scalar reference engine draws, buffered, and consumed
-incrementally.  After a stepper has emitted its full planned stream, its
-loads, message/round accounting *and generator state* are bit-for-bit what
-the batch runner produces for the same seed — the property the equivalence
-suite in ``tests/online`` locks down.  This is why every stepper needs the
-planned stream length up front (``n_balls``, defaulting like the runners to
-``n_bins``): the reference engines size their final chunk by the number of
-rounds remaining, so an open-ended stream could not reproduce their stream.
-
-**Units.**  ``step()`` executes the next atomic unit and returns its
-destination bins in ball order (the exact order the scalar kernel assigns
-them).  ``step_block(max_balls)`` optionally executes many whole units at
-once through the vectorized kernels of :mod:`repro.core.batched` /
-:mod:`repro.core.vectorized` — bit-identical to repeated ``step()`` calls,
-only faster — returning a flat destination array, or ``None`` when no fast
-path applies (the caller falls back to ``step()``).
-
-**Snapshots.**  ``state_dict()`` captures the complete mutable state
-(loads, buffered RNG blocks, counters, the generator state itself) as a
-JSON-serializable dict; ``load_state()`` restores it, so a resumed stream
-continues bit-identically.
-
-Steppers are registered as the ``online=`` capability of their schemes in
-:mod:`repro.api.schemes`; user code reaches them through
-:class:`repro.online.OnlineAllocator`, which adds item tracking, telemetry
-and churn on top.
+See :class:`repro.core.kernels.base.OnlineStepper` for the stepper contract
+(RNG-block fidelity, units, snapshots).  Steppers are registered as the
+``online=`` capability of their schemes via the kernel table; user code
+reaches them through :class:`repro.online.OnlineAllocator`, which adds item
+tracking, telemetry and churn on top.
 """
 
-from __future__ import annotations
-
-from typing import Any, Dict, List, Optional, Tuple
-
-import numpy as np
-
-from ..core.adaptive import threshold_place, two_phase_place
-from ..core.baselines import _CHUNK as _BALL_CHUNK
-from ..core.baselines import _make_rng, least_loaded_probe
-from ..core.batched import (
-    ConflictScratch,
-    clean_segments,
-    prefix_conflicts,
-    strict_select_rows,
-)
-from ..core.policies import get_policy, strict_select
-from ..core.process import _DEFAULT_CHUNK_ROUNDS
-from ..core.types import ProcessParams
-from ..core.vectorized import (
-    _select_batch,
-    _weighted_batch,
-    independent_batch_rounds,
-    speculative_batch_rows,
-)
-from ..core.weighted import WeightSpec, make_weights, weighted_round_apply
+from ..core.kernels.adaptive import ThresholdAdaptiveStepper, TwoPhaseAdaptiveStepper
+from ..core.kernels.balls import AlwaysGoLeftStepper, OnePlusBetaStepper
+from ..core.kernels.base import OnlineStepper, StreamExhausted
+from ..core.kernels.kd import KDChoiceStepper
+from ..core.kernels.serialized import SerializedKDChoiceStepper
+from ..core.kernels.single import SingleChoiceStepper
+from ..core.kernels.stale import StaleKDChoiceStepper
+from ..core.kernels.weighted import WeightedKDChoiceStepper
 
 __all__ = [
     "StreamExhausted",
     "OnlineStepper",
     "KDChoiceStepper",
+    "SerializedKDChoiceStepper",
     "SingleChoiceStepper",
     "WeightedKDChoiceStepper",
     "StaleKDChoiceStepper",
@@ -72,1040 +37,3 @@ __all__ = [
     "ThresholdAdaptiveStepper",
     "TwoPhaseAdaptiveStepper",
 ]
-
-
-class StreamExhausted(RuntimeError):
-    """Raised when a stepper is asked for more balls than its spec plans.
-
-    The reference engines draw their final RNG chunk sized by the rounds
-    remaining, so a stream cannot be extended past its planned ``n_balls``
-    without diverging from the batch random stream; ask for a larger
-    ``n_balls`` in the spec instead.
-    """
-
-
-def _rng_from_state(state: Dict[str, Any]) -> np.random.Generator:
-    """Reconstruct a generator from a ``bit_generator.state`` dict."""
-    name = state.get("bit_generator")
-    bit_generator_cls = getattr(np.random, str(name), None)
-    if bit_generator_cls is None:
-        raise ValueError(f"unknown bit generator {name!r} in snapshot")
-    bit_generator = bit_generator_cls()
-    bit_generator.state = state
-    return np.random.Generator(bit_generator)
-
-
-def _encode_array(array: Optional[np.ndarray]) -> Optional[Dict[str, Any]]:
-    if array is None:
-        return None
-    return {
-        "dtype": array.dtype.str,
-        "shape": list(array.shape),
-        "data": array.ravel().tolist(),
-    }
-
-
-def _decode_array(encoded: Optional[Dict[str, Any]]) -> Optional[np.ndarray]:
-    if encoded is None:
-        return None
-    return np.asarray(encoded["data"], dtype=np.dtype(encoded["dtype"])).reshape(
-        encoded["shape"]
-    )
-
-
-class OnlineStepper:
-    """Base class: planned-stream bookkeeping and snapshot plumbing.
-
-    Subclasses list their mutable attributes in ``_STATE_SCALARS`` (plain
-    ints/floats/bools/None), ``_STATE_ARRAYS`` (numpy arrays or ``None``)
-    and ``_STATE_LISTS`` (lists of ints); everything else — parameters,
-    derived constants, scratch buffers — is reconstructed by ``__init__``.
-    """
-
-    _STATE_SCALARS: Tuple[str, ...] = ("messages", "rounds", "balls_emitted")
-    _STATE_ARRAYS: Tuple[str, ...] = ("loads",)
-    _STATE_LISTS: Tuple[str, ...] = ()
-
-    n_bins: int
-    planned_balls: int
-    loads: np.ndarray
-    rng: np.random.Generator
-    messages: int
-    rounds: int
-    balls_emitted: int
-
-    # ------------------------------------------------------------------
-    # Stream protocol
-    # ------------------------------------------------------------------
-    @property
-    def exhausted(self) -> bool:
-        return self.balls_emitted >= self.planned_balls
-
-    def _require_more(self) -> int:
-        remaining = self.planned_balls - self.balls_emitted
-        if remaining <= 0:
-            raise StreamExhausted(
-                f"the stream planned n_balls={self.planned_balls} and all of "
-                f"them have been placed; build the allocator with a larger "
-                f"n_balls to stream further"
-            )
-        return remaining
-
-    def step(self) -> List[int]:
-        """Execute the next unit; return its destinations in ball order."""
-        raise NotImplementedError
-
-    def step_block(self, max_balls: int) -> Optional[np.ndarray]:
-        """Fast path: execute whole units totalling at most ``max_balls``.
-
-        Returns the flat destination array (ball order), or ``None`` when no
-        vectorized progress is possible (tail rounds, non-strict policies,
-        ``max_balls`` below one unit) — callers then fall back to ``step``.
-        """
-        return None
-
-    def remove_ball(self, bin_index: int, ball_index: Optional[int] = None) -> None:
-        """Take one ball out of ``bin_index`` (churn support)."""
-        if not 0 <= bin_index < self.n_bins:
-            raise ValueError(f"bin index {bin_index} out of range")
-        if self.loads[bin_index] <= 0:
-            raise ValueError(f"cannot remove from empty bin {bin_index}")
-        self.loads[bin_index] -= 1
-
-    # ------------------------------------------------------------------
-    # Snapshots
-    # ------------------------------------------------------------------
-    def state_dict(self) -> Dict[str, Any]:
-        """The complete mutable state, JSON-serializable."""
-        state: Dict[str, Any] = {
-            "rng": self.rng.bit_generator.state,
-            "scalars": {name: getattr(self, name) for name in self._STATE_SCALARS},
-            "arrays": {
-                name: _encode_array(getattr(self, name))
-                for name in self._STATE_ARRAYS
-            },
-            "lists": {
-                name: list(getattr(self, name)) for name in self._STATE_LISTS
-            },
-        }
-        state.update(self._extra_state())
-        return state
-
-    def load_state(self, state: Dict[str, Any]) -> None:
-        """Restore a :meth:`state_dict` capture (replaces the generator)."""
-        self.rng = _rng_from_state(state["rng"])
-        for name in self._STATE_SCALARS:
-            setattr(self, name, state["scalars"][name])
-        for name in self._STATE_ARRAYS:
-            setattr(self, name, _decode_array(state["arrays"][name]))
-        for name in self._STATE_LISTS:
-            setattr(self, name, list(state["lists"][name]))
-        self._load_extra_state(state)
-
-    def _extra_state(self) -> Dict[str, Any]:
-        return {}
-
-    def _load_extra_state(self, state: Dict[str, Any]) -> None:
-        pass
-
-
-# ----------------------------------------------------------------------
-# The paper's (k, d)-choice process (also Greedy[d] / two-choice via k=1)
-# ----------------------------------------------------------------------
-class KDChoiceStepper(OnlineStepper):
-    """Streaming (k, d)-choice, unit = one round of ``k`` balls.
-
-    Mirrors :class:`~repro.core.process.KDChoiceProcess` draw for draw:
-    round samples come from ``(chunk, d)`` integer blocks of
-    ``min(rounds remaining, chunk_rounds)`` rounds, and the policy draws its
-    tie-breaks round by round from the shared generator.  ``step_block``
-    rides the batch kernel of :mod:`repro.core.vectorized` (strict policy,
-    full rounds only) and is bit-identical to repeated ``step()`` calls.
-    """
-
-    _STATE_SCALARS = OnlineStepper._STATE_SCALARS + (
-        "_rounds_drawn",
-        "_buffer_pos",
-        "_tail_done",
-    )
-    _STATE_ARRAYS = OnlineStepper._STATE_ARRAYS + ("_buffer",)
-
-    def __init__(
-        self,
-        n_bins: int,
-        k: int,
-        d: int,
-        n_balls: Optional[int] = None,
-        policy: str = "strict",
-        seed: "int | np.random.SeedSequence | None" = None,
-        rng: Optional[np.random.Generator] = None,
-        chunk_rounds: Optional[int] = None,
-    ) -> None:
-        ProcessParams(n_bins=n_bins, n_balls=n_balls, k=k, d=d)
-        chunk_rounds = _DEFAULT_CHUNK_ROUNDS if chunk_rounds is None else chunk_rounds
-        if chunk_rounds <= 0:
-            raise ValueError(f"chunk_rounds must be positive, got {chunk_rounds}")
-        self.n_bins = n_bins
-        self.k = k
-        self.d = d
-        self.policy = get_policy(policy)
-        self.chunk_rounds = chunk_rounds
-        self.rng = _make_rng(seed, rng)
-        self.planned_balls = n_bins if n_balls is None else n_balls
-        self.full_rounds, self.tail_balls = divmod(self.planned_balls, k)
-        self.loads = np.zeros(n_bins, dtype=np.int64)
-        self.messages = 0
-        self.rounds = 0
-        self.balls_emitted = 0
-        self._rounds_drawn = 0
-        self._buffer: Optional[np.ndarray] = None
-        self._buffer_pos = 0
-        self._tail_done = False
-        self._batch_rounds = min(chunk_rounds, independent_batch_rounds(n_bins, d))
-
-    def _refill(self) -> None:
-        chunk = min(self.full_rounds - self._rounds_drawn, self.chunk_rounds)
-        self._buffer = self.rng.integers(0, self.n_bins, size=(chunk, self.d))
-        self._buffer_pos = 0
-        self._rounds_drawn += chunk
-
-    def _buffered_rounds(self) -> int:
-        if self._buffer is None:
-            return 0
-        return len(self._buffer) - self._buffer_pos
-
-    def step(self) -> List[int]:
-        self._require_more()
-        if self.rounds < self.full_rounds:
-            if self._buffered_rounds() == 0:
-                self._refill()
-            row = self._buffer[self._buffer_pos].tolist()
-            self._buffer_pos += 1
-            destinations = self.policy.select(self.loads, row, self.k, self.rng)
-            for bin_index in destinations:
-                self.loads[bin_index] += 1
-            self.rounds += 1
-            self.messages += self.d
-            self.balls_emitted += self.k
-            return [int(b) for b in destinations]
-        # The partial tail round (n_balls % k balls, still d probes).
-        samples = self.rng.integers(0, self.n_bins, size=self.d).tolist()
-        destinations = self.policy.select(
-            self.loads, samples, self.tail_balls, self.rng
-        )
-        for bin_index in destinations:
-            self.loads[bin_index] += 1
-        self.rounds += 1
-        self.messages += self.d
-        self.balls_emitted += self.tail_balls
-        self._tail_done = True
-        return [int(b) for b in destinations]
-
-    def step_block(self, max_balls: int) -> Optional[np.ndarray]:
-        if self.policy.name != "strict":
-            return None
-        rounds_wanted = min(max_balls // self.k, self.full_rounds - self.rounds)
-        if rounds_wanted <= 0:
-            return None
-        if self._buffered_rounds() == 0:
-            self._refill()
-        r = min(rounds_wanted, self._buffered_rounds())
-        samples = self._buffer[self._buffer_pos : self._buffer_pos + r]
-        self._buffer_pos += r
-        if self.k == self.d:
-            # Degenerate rounds: every sampled bin keeps its ball, and the
-            # strict policy draws no tie-breaks.
-            destinations = samples.reshape(-1).astype(np.int64, copy=True)
-            self.loads += np.bincount(destinations, minlength=self.n_bins)
-        else:
-            ties = self.rng.random((r, self.d))
-            destinations = np.empty((r, self.k), dtype=np.int64)
-            for start in range(0, r, self._batch_rounds):
-                stop = start + self._batch_rounds
-                _select_batch(
-                    self.loads,
-                    samples[start:stop],
-                    ties[start:stop],
-                    self.k,
-                    out=destinations[start:stop],
-                )
-            destinations = destinations.reshape(-1)
-        self.rounds += r
-        self.messages += r * self.d
-        self.balls_emitted += r * self.k
-        return destinations
-
-
-# ----------------------------------------------------------------------
-# Single choice (and SA(k, k) batched random via round_size)
-# ----------------------------------------------------------------------
-class SingleChoiceStepper(OnlineStepper):
-    """Streaming single choice, unit = one ball.
-
-    The scalar runner draws every destination in one ``size=n_balls`` block;
-    the stepper does the same at construction and pops destinations off the
-    pre-drawn array.  ``round_size`` only affects round accounting (the
-    ``batch_random`` scheme reports ``ceil(n / k)`` rounds).
-    """
-
-    _STATE_SCALARS = ("messages", "balls_emitted", "_pos")
-    _STATE_ARRAYS = OnlineStepper._STATE_ARRAYS + ("_choices",)
-
-    def __init__(
-        self,
-        n_bins: int,
-        n_balls: Optional[int] = None,
-        seed: "int | np.random.SeedSequence | None" = None,
-        rng: Optional[np.random.Generator] = None,
-        round_size: int = 1,
-    ) -> None:
-        if n_bins <= 0:
-            raise ValueError(f"n_bins must be positive, got {n_bins}")
-        if n_balls is None:
-            n_balls = n_bins
-        if n_balls < 0:
-            raise ValueError(f"n_balls must be non-negative, got {n_balls}")
-        if round_size < 1:
-            raise ValueError(f"round_size must be at least 1, got {round_size}")
-        self.n_bins = n_bins
-        self.planned_balls = n_balls
-        self.round_size = round_size
-        self.rng = _make_rng(seed, rng)
-        self._choices = self.rng.integers(0, n_bins, size=n_balls)
-        self.loads = np.zeros(n_bins, dtype=np.int64)
-        self.messages = 0
-        self.balls_emitted = 0
-        self._pos = 0
-
-    @property
-    def rounds(self) -> int:
-        return -(-self.balls_emitted // self.round_size)
-
-    def step(self) -> List[int]:
-        self._require_more()
-        bin_index = int(self._choices[self._pos])
-        self._pos += 1
-        self.loads[bin_index] += 1
-        self.messages += 1
-        self.balls_emitted += 1
-        return [bin_index]
-
-    def step_block(self, max_balls: int) -> Optional[np.ndarray]:
-        take = min(max_balls, self.planned_balls - self.balls_emitted)
-        if take <= 0:
-            return None
-        destinations = self._choices[self._pos : self._pos + take].astype(
-            np.int64, copy=True
-        )
-        self._pos += take
-        self.loads += np.bincount(destinations, minlength=self.n_bins)
-        self.messages += take
-        self.balls_emitted += take
-        return destinations
-
-
-# ----------------------------------------------------------------------
-# Weighted (k, d)-choice
-# ----------------------------------------------------------------------
-class WeightedKDChoiceStepper(OnlineStepper):
-    """Streaming weighted (k, d)-choice, unit = one round.
-
-    The ball weights are materialized up front (the reference engines call
-    :func:`~repro.core.weighted.make_weights` before placing anything), so
-    streamed items carry the spec's weights, not caller-supplied ones.
-    Samples and tie-breaks are drawn in the scalar engine's paired
-    ``(chunk, d)`` blocks; ``step_block`` rides the speculate-verify weighted
-    batch kernel.  ``loads`` exposes ball counts (the unit-invariant view);
-    ``weighted_loads`` the per-bin total weight.
-    """
-
-    _STATE_SCALARS = OnlineStepper._STATE_SCALARS + (
-        "_rounds_drawn",
-        "_buffer_pos",
-        "_tail_done",
-        "_weight_pos",
-    )
-    _STATE_ARRAYS = (
-        "loads",
-        "weighted_loads",
-        "_weights",
-        "_buffer_samples",
-        "_buffer_ties",
-    )
-
-    def __init__(
-        self,
-        n_bins: int,
-        k: int,
-        d: int,
-        weights: WeightSpec = "exponential",
-        n_balls: Optional[int] = None,
-        mean_weight: float = 1.0,
-        seed: "int | np.random.SeedSequence | None" = None,
-        rng: Optional[np.random.Generator] = None,
-    ) -> None:
-        ProcessParams(n_bins=n_bins, n_balls=None, k=k, d=d)
-        self.n_bins = n_bins
-        self.k = k
-        self.d = d
-        self.rng = _make_rng(seed, rng)
-        self.planned_balls = n_bins if n_balls is None else n_balls
-        self._weights = make_weights(
-            weights, self.planned_balls, self.rng, mean_weight=mean_weight
-        )
-        self.full_rounds, self.tail_balls = divmod(self.planned_balls, k)
-        self.weighted_loads = np.zeros(n_bins, dtype=float)
-        self.loads = np.zeros(n_bins, dtype=np.int64)  # ball counts
-        self.messages = 0
-        self.rounds = 0
-        self.balls_emitted = 0
-        self._rounds_drawn = 0
-        self._buffer_samples: Optional[np.ndarray] = None
-        self._buffer_ties: Optional[np.ndarray] = None
-        self._buffer_pos = 0
-        self._weight_pos = 0
-        self._tail_done = False
-        self._batch_rounds = speculative_batch_rows(n_bins, k * d)
-        self._scratch = ConflictScratch(n_bins)
-
-    def ball_weight(self, ball_index: int) -> float:
-        """The weight the stream's ``ball_index``-th ball carries."""
-        round_index, position = divmod(ball_index, self.k)
-        if round_index < self.full_rounds:
-            start = round_index * self.k
-            ordered = np.sort(self._weights[start : start + self.k])[::-1]
-        else:
-            ordered = np.sort(self._weights[self.full_rounds * self.k :])[::-1]
-        return float(ordered[position])
-
-    def _refill(self) -> None:
-        chunk = min(
-            self.full_rounds - self._rounds_drawn, _DEFAULT_CHUNK_ROUNDS
-        )
-        self._buffer_samples = self.rng.integers(
-            0, self.n_bins, size=(chunk, self.d)
-        )
-        self._buffer_ties = self.rng.random((chunk, self.d))
-        self._buffer_pos = 0
-        self._rounds_drawn += chunk
-
-    def _buffered_rounds(self) -> int:
-        if self._buffer_samples is None:
-            return 0
-        return len(self._buffer_samples) - self._buffer_pos
-
-    def step(self) -> List[int]:
-        self._require_more()
-        if self.rounds < self.full_rounds:
-            if self._buffered_rounds() == 0:
-                self._refill()
-            row = self._buffer_samples[self._buffer_pos].tolist()
-            ties = self._buffer_ties[self._buffer_pos]
-            self._buffer_pos += 1
-            batch_weights = np.sort(
-                self._weights[self._weight_pos : self._weight_pos + self.k]
-            )[::-1]
-            destinations = weighted_round_apply(
-                self.weighted_loads,
-                self.loads,
-                row,
-                ties,
-                batch_weights,
-                float(batch_weights.mean()),
-            )
-            self._weight_pos += self.k
-            self.rounds += 1
-            self.messages += self.d
-            self.balls_emitted += self.k
-            return [int(b) for b in destinations]
-        batch_weights = np.sort(self._weights[self.full_rounds * self.k :])[::-1]
-        samples = self.rng.integers(0, self.n_bins, size=self.d)
-        ties = self.rng.random(self.d)
-        destinations = weighted_round_apply(
-            self.weighted_loads,
-            self.loads,
-            samples.tolist(),
-            ties,
-            batch_weights,
-            float(batch_weights.mean()),
-        )
-        self.rounds += 1
-        self.messages += self.d
-        self.balls_emitted += self.tail_balls
-        self._tail_done = True
-        return [int(b) for b in destinations]
-
-    def step_block(self, max_balls: int) -> Optional[np.ndarray]:
-        rounds_wanted = min(max_balls // self.k, self.full_rounds - self.rounds)
-        if rounds_wanted <= 0:
-            return None
-        if self._buffered_rounds() == 0:
-            self._refill()
-        r = min(rounds_wanted, self._buffered_rounds())
-        samples = self._buffer_samples[self._buffer_pos : self._buffer_pos + r]
-        ties = self._buffer_ties[self._buffer_pos : self._buffer_pos + r]
-        self._buffer_pos += r
-        block_weights = np.sort(
-            self._weights[self._weight_pos : self._weight_pos + r * self.k].reshape(
-                r, self.k
-            ),
-            axis=1,
-        )[:, ::-1]
-        increments = block_weights.mean(axis=1)
-        destinations = np.empty((r, self.k), dtype=np.int64)
-        for start in range(0, r, self._batch_rounds):
-            stop = min(start + self._batch_rounds, r)
-            _weighted_batch(
-                self.weighted_loads,
-                self.loads,
-                samples[start:stop],
-                ties[start:stop],
-                block_weights[start:stop],
-                increments[start:stop],
-                self.k,
-                self._scratch,
-                out=destinations[start:stop],
-            )
-        self._weight_pos += r * self.k
-        self.rounds += r
-        self.messages += r * self.d
-        self.balls_emitted += r * self.k
-        return destinations.reshape(-1)
-
-    def remove_ball(self, bin_index: int, ball_index: Optional[int] = None) -> None:
-        if ball_index is None:
-            raise ValueError(
-                "removing a weighted ball requires its ball index (track "
-                "items through the allocator) so its weight can be returned"
-            )
-        super().remove_ball(bin_index)
-        self.weighted_loads[bin_index] -= self.ball_weight(ball_index)
-
-
-# ----------------------------------------------------------------------
-# Stale load information (parallel epochs)
-# ----------------------------------------------------------------------
-class StaleKDChoiceStepper(OnlineStepper):
-    """Streaming stale (k, d)-choice, unit = one round of an epoch.
-
-    Probes of an epoch see the loads as of the epoch start; placements apply
-    when the epoch's last round has been emitted — exactly the scalar
-    process, so committed ``loads`` lag the emitted stream by design.
-    """
-
-    _STATE_SCALARS = OnlineStepper._STATE_SCALARS + ("_epoch_pos",)
-    _STATE_ARRAYS = OnlineStepper._STATE_ARRAYS + (
-        "_epoch_rows",
-        "_epoch_ties",
-        "_snapshot",
-    )
-    _STATE_LISTS = ("_epoch_pending",)
-
-    def __init__(
-        self,
-        n_bins: int,
-        k: int,
-        d: int,
-        stale_rounds: int = 1,
-        n_balls: Optional[int] = None,
-        policy: str = "strict",
-        seed: "int | np.random.SeedSequence | None" = None,
-        rng: Optional[np.random.Generator] = None,
-    ) -> None:
-        ProcessParams(n_bins=n_bins, n_balls=None, k=k, d=d)
-        if stale_rounds < 1:
-            raise ValueError(f"stale_rounds must be at least 1, got {stale_rounds}")
-        self.n_bins = n_bins
-        self.k = k
-        self.d = d
-        self.stale_rounds = stale_rounds
-        self.policy = get_policy(policy)
-        self.rng = _make_rng(seed, rng)
-        self.planned_balls = n_bins if n_balls is None else n_balls
-        self.loads = np.zeros(n_bins, dtype=np.int64)
-        self.messages = 0
-        self.rounds = 0
-        self.balls_emitted = 0
-        self._epoch_rows: Optional[np.ndarray] = None
-        self._epoch_ties: Optional[np.ndarray] = None
-        self._snapshot: Optional[np.ndarray] = None
-        self._epoch_pos = 0
-        self._epoch_pending: List[int] = []
-
-    def _begin_epoch(self) -> None:
-        remaining = self.planned_balls - self.balls_emitted
-        epoch_rounds = min(self.stale_rounds, -(-remaining // self.k))
-        self._epoch_rows = self.rng.integers(
-            0, self.n_bins, size=(epoch_rounds, self.d)
-        )
-        strict = self.policy.name == "strict"
-        self._epoch_ties = (
-            self.rng.random((epoch_rounds, self.d))
-            if strict and self.k < self.d
-            else None
-        )
-        self._snapshot = self.loads.copy()
-        self._epoch_pos = 0
-        self._epoch_pending = []
-
-    def _finish_round(self, destinations: List[int], batch: int) -> List[int]:
-        self._epoch_pending.extend(int(b) for b in destinations)
-        self._epoch_pos += 1
-        self.rounds += 1
-        self.messages += self.d
-        self.balls_emitted += batch
-        if self._epoch_pos == len(self._epoch_rows):
-            np.add.at(
-                self.loads, np.asarray(self._epoch_pending, dtype=np.int64), 1
-            )
-            self._epoch_rows = None
-            self._epoch_ties = None
-            self._snapshot = None
-            self._epoch_pending = []
-        return [int(b) for b in destinations]
-
-    def remove_ball(self, bin_index: int, ball_index: Optional[int] = None) -> None:
-        """Take one ball out of ``bin_index``, committed or epoch-pending.
-
-        A churned item may have been placed in the *current* epoch, whose
-        placements have not been applied to ``loads`` yet; such a removal
-        cancels the pending placement instead (the eventual loads are the
-        same either way, and the epoch's probes keep seeing the epoch-start
-        snapshot by definition).
-        """
-        if not 0 <= bin_index < self.n_bins:
-            raise ValueError(f"bin index {bin_index} out of range")
-        if self.loads[bin_index] > 0:
-            self.loads[bin_index] -= 1
-        elif bin_index in self._epoch_pending:
-            self._epoch_pending.remove(bin_index)
-        else:
-            raise ValueError(f"cannot remove from empty bin {bin_index}")
-
-    def step(self) -> List[int]:
-        remaining = self._require_more()
-        if self._epoch_rows is None:
-            self._begin_epoch()
-        row = self._epoch_rows[self._epoch_pos].tolist()
-        batch = min(self.k, remaining)
-        strict = self.policy.name == "strict"
-        if not strict:
-            destinations = self.policy.select(self._snapshot, row, batch, self.rng)
-        elif batch == self.d:
-            destinations = row
-        elif self._epoch_ties is not None:
-            destinations = strict_select(
-                self._snapshot, row, batch, self._epoch_ties[self._epoch_pos]
-            )
-        else:  # k == d but a partial final round
-            destinations = strict_select(
-                self._snapshot, row, batch, self.rng.random(self.d)
-            )
-        return self._finish_round(destinations, batch)
-
-    def step_block(self, max_balls: int) -> Optional[np.ndarray]:
-        if self.policy.name != "strict" or self.k == self.d:
-            return None
-        if self._epoch_rows is None:
-            if max_balls < min(self.k, self.planned_balls - self.balls_emitted):
-                return None
-            self._begin_epoch()
-        # Whole full rounds still pending in this epoch; the partial tail
-        # round (if this epoch carries one) falls back to step().
-        full_left = len(self._epoch_rows) - self._epoch_pos
-        if (
-            self.balls_emitted + full_left * self.k > self.planned_balls
-        ):  # epoch ends with a partial round
-            full_left -= 1
-        r = min(max_balls // self.k, full_left)
-        if r <= 0:
-            return None
-        rows = self._epoch_rows[self._epoch_pos : self._epoch_pos + r]
-        ties = self._epoch_ties[self._epoch_pos : self._epoch_pos + r]
-        destinations = strict_select_rows(
-            self._snapshot, rows, ties, self.k, ordered=True
-        )
-        flat = destinations.reshape(-1)
-        self._epoch_pending.extend(int(b) for b in flat)
-        self._epoch_pos += r
-        self.rounds += r
-        self.messages += r * self.d
-        self.balls_emitted += r * self.k
-        if self._epoch_pos == len(self._epoch_rows):
-            np.add.at(
-                self.loads, np.asarray(self._epoch_pending, dtype=np.int64), 1
-            )
-            self._epoch_rows = None
-            self._epoch_ties = None
-            self._snapshot = None
-            self._epoch_pending = []
-        return flat.copy()
-
-
-# ----------------------------------------------------------------------
-# (1 + beta)-choice
-# ----------------------------------------------------------------------
-class OnePlusBetaStepper(OnlineStepper):
-    """Streaming (1 + β)-choice, unit = one ball.
-
-    Blocks mirror the scalar runner: per ``min(remaining, 8192)`` balls, one
-    coin block (β-thresholded doubles), then the two probe blocks.
-    """
-
-    _STATE_SCALARS = ("messages", "balls_emitted", "_pos", "_balls_drawn")
-    _STATE_ARRAYS = OnlineStepper._STATE_ARRAYS + ("_coins", "_first", "_second")
-
-    def __init__(
-        self,
-        n_bins: int,
-        beta: float,
-        n_balls: Optional[int] = None,
-        seed: "int | np.random.SeedSequence | None" = None,
-        rng: Optional[np.random.Generator] = None,
-    ) -> None:
-        if not 0.0 <= beta <= 1.0:
-            raise ValueError(f"beta must lie in [0, 1], got {beta}")
-        if n_bins <= 0:
-            raise ValueError(f"n_bins must be positive, got {n_bins}")
-        self.n_bins = n_bins
-        self.beta = beta
-        self.rng = _make_rng(seed, rng)
-        self.planned_balls = n_bins if n_balls is None else n_balls
-        self.loads = np.zeros(n_bins, dtype=np.int64)
-        self.messages = 0
-        self.balls_emitted = 0
-        self._coins: Optional[np.ndarray] = None
-        self._first: Optional[np.ndarray] = None
-        self._second: Optional[np.ndarray] = None
-        self._pos = 0
-        self._balls_drawn = 0
-        self._scratch = ConflictScratch(n_bins)
-        self._sub_rows = speculative_batch_rows(n_bins, 2)
-
-    @property
-    def rounds(self) -> int:
-        return self.balls_emitted
-
-    def _refill(self) -> None:
-        batch = min(self.planned_balls - self._balls_drawn, _BALL_CHUNK)
-        self._coins = self.rng.random(batch) < self.beta
-        self._first = self.rng.integers(0, self.n_bins, size=batch)
-        self._second = self.rng.integers(0, self.n_bins, size=batch)
-        self._pos = 0
-        self._balls_drawn += batch
-
-    def _buffered(self) -> int:
-        if self._coins is None:
-            return 0
-        return len(self._coins) - self._pos
-
-    def step(self) -> List[int]:
-        self._require_more()
-        if self._buffered() == 0:
-            self._refill()
-        position = self._pos
-        self._pos += 1
-        a = int(self._first[position])
-        if self._coins[position]:
-            b = int(self._second[position])
-            target = a if self.loads[a] <= self.loads[b] else b
-            self.messages += 2
-        else:
-            target = a
-            self.messages += 1
-        self.loads[target] += 1
-        self.balls_emitted += 1
-        return [target]
-
-    def step_block(self, max_balls: int) -> Optional[np.ndarray]:
-        if max_balls <= 0 or self.exhausted:
-            return None
-        if self._buffered() == 0:
-            self._refill()
-        take = min(max_balls, self._buffered())
-        out = np.empty(take, dtype=np.int64)
-        done = 0
-        while done < take:
-            stop = min(done + self._sub_rows, take)
-            a = self._first[self._pos + done : self._pos + stop]
-            b = self._second[self._pos + done : self._pos + stop]
-            two = self._coins[self._pos + done : self._pos + stop]
-            destinations = np.where(
-                two, np.where(self.loads[a] <= self.loads[b], a, b), a
-            )
-            reads = np.stack([a, np.where(two, b, a)], axis=1)
-            suspect = prefix_conflicts(reads, destinations, self._scratch)
-            for seg_start, seg_stop, suspect_index in clean_segments(suspect):
-                self.loads[destinations[seg_start:seg_stop]] += 1
-                if suspect_index >= 0:
-                    if two[suspect_index]:
-                        x, y = int(a[suspect_index]), int(b[suspect_index])
-                        chosen = x if self.loads[x] <= self.loads[y] else y
-                    else:
-                        chosen = int(a[suspect_index])
-                    self.loads[chosen] += 1
-                    destinations[suspect_index] = chosen
-            out[done:stop] = destinations
-            self.messages += len(two) + int(two.sum())
-            done = stop
-        self._pos += take
-        self.balls_emitted += take
-        return out
-
-
-# ----------------------------------------------------------------------
-# Always-Go-Left
-# ----------------------------------------------------------------------
-class AlwaysGoLeftStepper(OnlineStepper):
-    """Streaming Always-Go-Left, unit = one ball.
-
-    One ``(batch, d)`` uniform block per ``min(remaining, 8192)`` balls,
-    scaled into the ``d`` group ranges exactly like the scalar runner.
-    """
-
-    _STATE_SCALARS = ("messages", "balls_emitted", "_pos", "_balls_drawn")
-    _STATE_ARRAYS = OnlineStepper._STATE_ARRAYS + ("_probes",)
-
-    def __init__(
-        self,
-        n_bins: int,
-        d: int,
-        n_balls: Optional[int] = None,
-        seed: "int | np.random.SeedSequence | None" = None,
-        rng: Optional[np.random.Generator] = None,
-    ) -> None:
-        if d < 1:
-            raise ValueError(f"d must be at least 1, got {d}")
-        if n_bins < d:
-            raise ValueError(f"need n_bins >= d groups, got n_bins={n_bins}, d={d}")
-        self.n_bins = n_bins
-        self.d = d
-        self.rng = _make_rng(seed, rng)
-        self.planned_balls = n_bins if n_balls is None else n_balls
-        self._boundaries = np.linspace(0, n_bins, d + 1).astype(np.int64)
-        self._group_sizes = np.diff(self._boundaries)
-        if np.any(self._group_sizes == 0):
-            raise ValueError("every group must contain at least one bin")
-        self.loads = np.zeros(n_bins, dtype=np.int64)
-        self.messages = 0
-        self.balls_emitted = 0
-        self._probes: Optional[np.ndarray] = None
-        self._pos = 0
-        self._balls_drawn = 0
-        self._scratch = ConflictScratch(n_bins)
-        self._sub_rows = speculative_batch_rows(n_bins, d, replays=6)
-
-    @property
-    def rounds(self) -> int:
-        return self.balls_emitted
-
-    def _refill(self) -> None:
-        batch = min(self.planned_balls - self._balls_drawn, _BALL_CHUNK)
-        uniform = self.rng.random(size=(batch, self.d))
-        self._probes = (
-            self._boundaries[:-1] + uniform * self._group_sizes
-        ).astype(np.int64)
-        self._pos = 0
-        self._balls_drawn += batch
-
-    def _buffered(self) -> int:
-        if self._probes is None:
-            return 0
-        return len(self._probes) - self._pos
-
-    def step(self) -> List[int]:
-        self._require_more()
-        if self._buffered() == 0:
-            self._refill()
-        row = self._probes[self._pos].tolist()
-        self._pos += 1
-        target = least_loaded_probe(self.loads, row)
-        self.loads[target] += 1
-        self.messages += self.d
-        self.balls_emitted += 1
-        return [int(target)]
-
-    def step_block(self, max_balls: int) -> Optional[np.ndarray]:
-        if max_balls <= 0 or self.exhausted:
-            return None
-        if self._buffered() == 0:
-            self._refill()
-        take = min(max_balls, self._buffered())
-        out = np.empty(take, dtype=np.int64)
-        done = 0
-        while done < take:
-            stop = min(done + self._sub_rows, take)
-            rows = self._probes[self._pos + done : self._pos + stop]
-            columns = np.argmin(self.loads[rows], axis=1)  # earliest min = left
-            destinations = rows[np.arange(len(rows)), columns]
-            suspect = prefix_conflicts(rows, destinations, self._scratch)
-            for seg_start, seg_stop, suspect_index in clean_segments(suspect):
-                self.loads[destinations[seg_start:seg_stop]] += 1
-                if suspect_index >= 0:
-                    chosen = least_loaded_probe(
-                        self.loads, rows[suspect_index].tolist()
-                    )
-                    self.loads[chosen] += 1
-                    destinations[suspect_index] = chosen
-            out[done:stop] = destinations
-            done = stop
-        self._pos += take
-        self.messages += take * self.d
-        self.balls_emitted += take
-        return out
-
-
-# ----------------------------------------------------------------------
-# Adaptive comparators
-# ----------------------------------------------------------------------
-class ThresholdAdaptiveStepper(OnlineStepper):
-    """Streaming threshold probing, unit = one ball.
-
-    Mirrors the scalar runner including its per-ball threshold evaluation,
-    so callable thresholds stream too (they stay scalar-only in the batch
-    engine).  No vectorized block path: the probe budget is data-dependent.
-    """
-
-    _STATE_SCALARS = ("messages", "balls_emitted", "_pos", "_balls_drawn")
-    _STATE_ARRAYS = OnlineStepper._STATE_ARRAYS + ("_probes",)
-
-    def __init__(
-        self,
-        n_bins: int,
-        n_balls: Optional[int] = None,
-        threshold: "int | None" = None,
-        max_probes: Optional[int] = None,
-        seed: "int | np.random.SeedSequence | None" = None,
-        rng: Optional[np.random.Generator] = None,
-    ) -> None:
-        if n_bins <= 0:
-            raise ValueError(f"n_bins must be positive, got {n_bins}")
-        self.n_bins = n_bins
-        self.planned_balls = n_bins if n_balls is None else n_balls
-        if max_probes is None:
-            max_probes = max(2, int(np.ceil(np.log2(max(n_bins, 2)))))
-        if max_probes < 1:
-            raise ValueError(f"max_probes must be at least 1, got {max_probes}")
-        self.max_probes = max_probes
-        if threshold is None:
-            self._threshold_fn = lambda average: int(np.ceil(average)) + 1
-        elif callable(threshold):
-            self._threshold_fn = threshold
-        else:
-            fixed = int(threshold)
-            self._threshold_fn = lambda average: fixed
-        self.rng = _make_rng(seed, rng)
-        self.loads = np.zeros(n_bins, dtype=np.int64)
-        self.messages = 0
-        self.balls_emitted = 0
-        self.probe_histogram: Dict[int, int] = {}
-        self._probes: Optional[np.ndarray] = None
-        self._pos = 0
-        self._balls_drawn = 0
-
-    @property
-    def rounds(self) -> int:
-        return self.balls_emitted
-
-    def _refill(self) -> None:
-        batch = min(self.planned_balls - self._balls_drawn, _BALL_CHUNK)
-        self._probes = self.rng.integers(
-            0, self.n_bins, size=(batch, self.max_probes)
-        )
-        self._pos = 0
-        self._balls_drawn += batch
-
-    def step(self) -> List[int]:
-        self._require_more()
-        if self._probes is None or self._pos >= len(self._probes):
-            self._refill()
-        row = self._probes[self._pos].tolist()
-        self._pos += 1
-        limit = self._threshold_fn(self.balls_emitted / self.n_bins)
-        best_bin, used = threshold_place(self.loads, row, limit)
-        self.loads[best_bin] += 1
-        self.messages += used
-        self.probe_histogram[used] = self.probe_histogram.get(used, 0) + 1
-        self.balls_emitted += 1
-        return [int(best_bin)]
-
-    def _extra_state(self) -> Dict[str, Any]:
-        return {
-            "probe_histogram": sorted(self.probe_histogram.items()),
-        }
-
-    def _load_extra_state(self, state: Dict[str, Any]) -> None:
-        self.probe_histogram = {
-            int(used): int(count) for used, count in state["probe_histogram"]
-        }
-
-
-class TwoPhaseAdaptiveStepper(OnlineStepper):
-    """Streaming two-phase adaptive allocation, unit = one ball."""
-
-    _STATE_SCALARS = (
-        "messages",
-        "balls_emitted",
-        "retries",
-        "_pos",
-        "_balls_drawn",
-    )
-    _STATE_ARRAYS = OnlineStepper._STATE_ARRAYS + ("_first", "_fallback")
-
-    def __init__(
-        self,
-        n_bins: int,
-        n_balls: Optional[int] = None,
-        cap: Optional[int] = None,
-        retry_probes: int = 4,
-        seed: "int | np.random.SeedSequence | None" = None,
-        rng: Optional[np.random.Generator] = None,
-    ) -> None:
-        if n_bins <= 0:
-            raise ValueError(f"n_bins must be positive, got {n_bins}")
-        if retry_probes < 1:
-            raise ValueError(f"retry_probes must be at least 1, got {retry_probes}")
-        self.n_bins = n_bins
-        self.planned_balls = n_bins if n_balls is None else n_balls
-        self.retry_probes = retry_probes
-        self.cap = (
-            int(np.ceil(self.planned_balls / n_bins)) + 2 if cap is None else cap
-        )
-        self.rng = _make_rng(seed, rng)
-        self.loads = np.zeros(n_bins, dtype=np.int64)
-        self.messages = 0
-        self.balls_emitted = 0
-        self.retries = 0
-        self._first: Optional[np.ndarray] = None
-        self._fallback: Optional[np.ndarray] = None
-        self._pos = 0
-        self._balls_drawn = 0
-
-    @property
-    def rounds(self) -> int:
-        return self.balls_emitted
-
-    def _refill(self) -> None:
-        batch = min(self.planned_balls - self._balls_drawn, _BALL_CHUNK)
-        self._first = self.rng.integers(0, self.n_bins, size=batch)
-        self._fallback = self.rng.integers(
-            0, self.n_bins, size=(batch, self.retry_probes)
-        )
-        self._pos = 0
-        self._balls_drawn += batch
-
-    def step(self) -> List[int]:
-        self._require_more()
-        if self._first is None or self._pos >= len(self._first):
-            self._refill()
-        primary = int(self._first[self._pos])
-        row = self._fallback[self._pos].tolist()
-        self._pos += 1
-        self.messages += 1
-        best_bin, retried = two_phase_place(self.loads, primary, row, self.cap)
-        if retried:
-            self.retries += 1
-            self.messages += self.retry_probes
-        self.loads[best_bin] += 1
-        self.balls_emitted += 1
-        return [int(best_bin)]

@@ -139,13 +139,12 @@ class TestFullRegistryEngineDichotomy:
             ), f"{name}: engines disagree"
             assert results["scalar"].messages == results["vectorized"].messages
             covered.append(name)
-        # The engine-v2 + substrate scale-out work covers every family except
-        # the inherently sequential schemes (ball-at-a-time serialization and
-        # the greedy water-filling policy).
-        assert sorted(rejected) == [
-            "greedy_kd_choice",
-            "serialized_kd_choice",
-        ]
+        # The kernel contract closes the dichotomy: even the inherently
+        # sequential schemes (ball-at-a-time serialization, the greedy
+        # water-filling policy) gain a derived batch engine that drives the
+        # per-unit kernel, so a forced engine="vectorized" always runs.
+        assert rejected == []
+        assert len(covered) == len(available_schemes())
         assert len(covered) + len(rejected) == len(available_schemes())
 
 

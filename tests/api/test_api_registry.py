@@ -66,7 +66,11 @@ class TestCatalogue:
         assert description["parameters"]["policy"] == "strict"
         assert description["engines"] == ["scalar", "vectorized"]
         assert describe_scheme("single_choice")["engines"] == ["scalar", "vectorized"]
-        assert describe_scheme("serialized_kd_choice")["engines"] == ["scalar"]
+        assert describe_scheme("serialized_kd_choice")["engines"] == [
+            "scalar", "vectorized",
+        ]
+        assert describe_scheme("serialized_kd_choice")["kernel_derived"] is True
+        assert describe_scheme("cluster_scheduling")["kernel_derived"] is False
         assert describe_scheme("cluster_scheduling")["engines"] == [
             "scalar", "vectorized",
         ]

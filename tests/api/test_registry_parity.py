@@ -1,0 +1,130 @@
+"""Registry/kernel parity: the lint that keeps one source of truth.
+
+Every ball-stream scheme's engine surfaces are derived from its single
+kernel registration in ``repro.core.kernels.table``; these tests run the
+parity lint (``repro.api.lint.lint_registry``, exposed as ``repro schemes
+--check``) against the real registry and poke its failure modes against
+synthetic drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import get_scheme, lint_registry
+from repro.api.lint import _kernel_surface_violations, _shim_purity_violations
+from repro.core.kernels import EXEMPT_SCHEMES, KERNELS
+
+
+class TestRealRegistryIsClean:
+    def test_lint_registry_reports_no_violations(self):
+        assert lint_registry() == []
+
+    def test_every_non_exempt_scheme_is_kernel_backed(self):
+        from repro.api import available_schemes
+
+        for name in available_schemes():
+            info = get_scheme(name)
+            if name in EXEMPT_SCHEMES:
+                assert info.kernel is None
+            else:
+                assert info.kernel == name
+                assert name in KERNELS
+
+    def test_registry_surfaces_are_the_kernel_objects(self):
+        # Identity, not equality: a re-wrapped engine would still compare
+        # equal behaviourally but is exactly the duplication the kernel
+        # contract removed.
+        for name, kernel in KERNELS.items():
+            info = get_scheme(name)
+            assert info.vectorized is kernel.vectorized
+            assert info.online is kernel.stepper
+            assert info.vectorized_guard is kernel.vectorized_guard
+            assert info.vectorized_fastpath_guard is kernel.fastpath_guard
+
+    def test_shim_modules_define_nothing(self):
+        import repro.core.vectorized as vec_shim
+        import repro.online.steppers as steppers_shim
+
+        for module in (vec_shim, steppers_shim):
+            owned = [
+                symbol
+                for symbol, value in vars(module).items()
+                if not symbol.startswith("__")
+                and getattr(value, "__module__", None) == module.__name__
+            ]
+            assert owned == [], f"{module.__name__} defines {owned}"
+
+    def test_shim_exports_resolve_to_kernel_objects(self):
+        from repro.core import vectorized as vec_shim
+        from repro.core.kernels import table
+        from repro.online import steppers as steppers_shim
+
+        assert vec_shim.run_kd_choice_vectorized is table.run_kd_choice_vectorized
+        assert steppers_shim.KDChoiceStepper is KERNELS["kd_choice"].stepper
+
+
+class TestLintCatchesDrift:
+    def test_rewrapped_engine_is_a_violation(self, monkeypatch):
+        from repro.api.registry import REGISTRY
+
+        info = REGISTRY.get("kd_choice")
+        drifted = lambda **kwargs: info.vectorized(**kwargs)  # noqa: E731
+        monkeypatch.setitem(
+            REGISTRY._schemes,
+            "kd_choice",
+            _replace(info, vectorized=drifted),
+        )
+        problems = _kernel_surface_violations()
+        assert any("kd_choice" in p and "vectorized" in p for p in problems)
+
+    def test_non_exempt_kernel_free_scheme_is_a_violation(self, monkeypatch):
+        from repro.api.registry import REGISTRY
+
+        info = REGISTRY.get("kd_choice")
+        monkeypatch.setitem(
+            REGISTRY._schemes, "kd_choice", _replace(info, kernel=None)
+        )
+        problems = _kernel_surface_violations()
+        assert any("kd_choice" in p and "kernel-backed" in p for p in problems)
+
+    def test_symbol_defined_in_shim_is_a_violation(self, monkeypatch):
+        import repro.core.vectorized as vec_shim
+
+        def _rogue():  # pragma: no cover - never called
+            return None
+
+        _rogue.__module__ = "repro.core.vectorized"
+        monkeypatch.setattr(vec_shim, "_rogue", _rogue, raising=False)
+        problems = _shim_purity_violations()
+        assert any("repro.core.vectorized" in p and "_rogue" in p for p in problems)
+
+
+def _replace(info, **overrides):
+    from dataclasses import replace
+
+    return replace(info, **overrides)
+
+
+class TestForcedVectorizedMatchesScalarForSequentialSchemes:
+    """The capability the kernel contract unlocked, end to end."""
+
+    @pytest.mark.parametrize(
+        "scheme,params",
+        [
+            ("serialized_kd_choice", {"n_bins": 48, "n_balls": 96, "k": 2, "d": 4}),
+            ("greedy_kd_choice", {"n_bins": 48, "n_balls": 96, "k": 3, "d": 5}),
+            ("threshold_adaptive", {"n_bins": 48, "n_balls": 96}),
+        ],
+    )
+    def test_derived_engine_matches_scalar(self, scheme, params):
+        from repro.api import SchemeSpec, simulate
+
+        scalar = simulate(
+            SchemeSpec(scheme=scheme, params=params, seed=29, engine="scalar")
+        )
+        forced = simulate(
+            SchemeSpec(scheme=scheme, params=params, seed=29, engine="vectorized")
+        )
+        assert np.array_equal(scalar.loads, forced.loads)
+        assert scalar.messages == forced.messages
+        assert scalar.rounds == forced.rounds

@@ -32,6 +32,7 @@ from repro.core.baselines import (
 )
 from repro.core.dynamic import run_churn_kd_choice
 from repro.core.process import run_kd_choice
+from repro.core.serialization import run_serialized_kd_choice
 from repro.core.stale import run_stale_kd_choice
 from repro.core.weighted import run_weighted_kd_choice
 
@@ -165,6 +166,48 @@ def check_threshold_adaptive(n_bins, n_balls, seed, threshold, max_probes):
     assert scalar.extra["probe_histogram"] == vector.extra["probe_histogram"]
 
 
+def check_serialized(n_bins, k, d, n_balls, seed, sigma):
+    # The derived batch engine drives the per-round kernel, so it must stay
+    # bit-identical even for the inherently sequential serialized process
+    # (it omits only the per-ball "placements" record).
+    a, b = _paired_rngs(seed)
+    scalar = run_serialized_kd_choice(
+        n_bins=n_bins, k=k, d=d, n_balls=n_balls, sigma=sigma, rng=a
+    )
+    vector = vec.run_serialized_kd_choice_vectorized(
+        n_bins=n_bins, k=k, d=d, n_balls=n_balls, sigma=sigma, rng=b
+    )
+    _assert_equivalent(scalar, vector, a, b)
+    assert scalar.scheme == vector.scheme
+
+
+def check_greedy_kd_choice(n_bins, k, d, n_balls, seed):
+    # The greedy policy re-reads loads after every placement; the derived
+    # batch engine drives the stepper per round and must match exactly.
+    a, b = _paired_rngs(seed)
+    scalar = run_kd_choice(
+        n_bins=n_bins, k=k, d=d, n_balls=n_balls, policy="greedy", rng=a
+    )
+    vector = vec.run_greedy_kd_choice_vectorized(
+        n_bins=n_bins, k=k, d=d, n_balls=n_balls, rng=b
+    )
+    _assert_equivalent(scalar, vector, a, b)
+
+
+def check_callable_threshold(n_bins, n_balls, seed, threshold, max_probes):
+    # Callable thresholds force the batch engine onto the per-ball drive
+    # path (no bulk threshold evaluation); results must not change.
+    a, b = _paired_rngs(seed)
+    scalar = run_threshold_adaptive(
+        n_bins=n_bins, n_balls=n_balls, threshold=threshold, max_probes=max_probes, rng=a
+    )
+    vector = vec.run_threshold_adaptive_vectorized(
+        n_bins=n_bins, n_balls=n_balls, threshold=threshold, max_probes=max_probes, rng=b
+    )
+    _assert_equivalent(scalar, vector, a, b)
+    assert scalar.extra["probe_histogram"] == vector.extra["probe_histogram"]
+
+
 def check_two_phase_adaptive(n_bins, n_balls, seed, cap, retry_probes):
     a, b = _paired_rngs(seed)
     scalar = run_two_phase_adaptive(
@@ -211,6 +254,7 @@ def _ids(cases):
 
 
 _KD_CASES = _cases("kd")
+_SERIALIZED_CASES = _cases("serialized")
 _WEIGHTED_CASES = _cases("weighted")
 _STALE_CASES = _cases("stale")
 _CHURN_CASES = _cases("churn")
@@ -229,6 +273,30 @@ class TestRandomizedEquivalence:
         check_kd_choice_streaming(
             case["n_bins"], case["k"], case["d"], case["n_balls"], case["seed"],
             chunk_rounds,
+        )
+
+    @pytest.mark.parametrize("case", _SERIALIZED_CASES, ids=_ids(_SERIALIZED_CASES))
+    def test_serialized(self, case):
+        sigma = ("identity", "reversed", "random")[case["index"] % 3]
+        n_balls = case["n_balls"] - (case["n_balls"] % case["k"])
+        check_serialized(
+            case["n_bins"], case["k"], case["d"], max(n_balls, case["k"]),
+            case["seed"], sigma,
+        )
+
+    @pytest.mark.parametrize("case", _KD_CASES, ids=_ids(_KD_CASES))
+    def test_greedy_kd_choice(self, case):
+        check_greedy_kd_choice(
+            case["n_bins"], case["k"], case["d"], case["n_balls"], case["seed"]
+        )
+
+    @pytest.mark.parametrize("case", _ADAPTIVE_CASES, ids=_ids(_ADAPTIVE_CASES))
+    def test_callable_threshold(self, case):
+        offset = case["index"] % 3
+        threshold = lambda average: int(average) + offset  # noqa: E731
+        max_probes = (None, 2, 6)[offset]
+        check_callable_threshold(
+            case["n_bins"], case["n_balls"], case["seed"], threshold, max_probes
         )
 
     @pytest.mark.parametrize("case", _WEIGHTED_CASES, ids=_ids(_WEIGHTED_CASES))
@@ -309,6 +377,35 @@ if HAVE_HYPOTHESIS:
             k = max(1, round(k_frac * d))
             n_balls = max(1, round(m_frac * n_bins))
             check_kd_choice(n_bins, k, d, n_balls, seed)
+
+        @settings(**COMMON)
+        @given(n_bins=sizes, d=st.integers(1, 10), k_frac=st.floats(0, 1),
+               rounds=st.integers(1, 60), seed=seeds,
+               sigma=st.sampled_from(["identity", "reversed", "random"]))
+        def test_serialized(self, n_bins, d, k_frac, rounds, seed, sigma):
+            d = min(d, n_bins)
+            k = max(1, round(k_frac * d))
+            check_serialized(n_bins, k, d, k * rounds, seed, sigma)
+
+        @settings(**COMMON)
+        @given(n_bins=sizes, d=st.integers(1, 12), k_frac=st.floats(0, 1),
+               m_frac=st.floats(0.01, 3.0), seed=seeds)
+        def test_greedy_kd_choice(self, n_bins, d, k_frac, m_frac, seed):
+            d = min(d, n_bins)
+            k = max(1, round(k_frac * d))
+            n_balls = max(1, round(m_frac * n_bins))
+            check_greedy_kd_choice(n_bins, k, d, n_balls, seed)
+
+        @settings(**COMMON)
+        @given(n_bins=sizes, m_frac=st.floats(0.01, 3.0), seed=seeds,
+               offset=st.integers(0, 4),
+               max_probes=st.one_of(st.none(), st.integers(1, 10)))
+        def test_callable_threshold(self, n_bins, m_frac, seed, offset, max_probes):
+            n_balls = max(1, round(m_frac * n_bins))
+            check_callable_threshold(
+                n_bins, n_balls, seed,
+                lambda average: int(average) + offset, max_probes,
+            )
 
         @settings(**COMMON)
         @given(n_bins=sizes, d=st.integers(1, 10), k_frac=st.floats(0, 1),

@@ -22,6 +22,7 @@ KD_SPEC = SchemeSpec(
 SNAPSHOT_CASES = [
     ("kd_choice", {"n_bins": 64, "k": 4, "d": 8, "n_balls": 999}),
     ("greedy_kd_choice", {"n_bins": 64, "k": 2, "d": 5, "n_balls": 200}),
+    ("serialized_kd_choice", {"n_bins": 48, "k": 4, "d": 8, "n_balls": 400}),
     ("weighted_kd_choice", {"n_bins": 32, "k": 3, "d": 7, "n_balls": 350}),
     ("stale_kd_choice",
      {"n_bins": 32, "k": 2, "d": 5, "stale_rounds": 7, "n_balls": 333}),

@@ -168,6 +168,25 @@ class TestRandomizedStreamEquivalence:
             case["seed"],
         )
 
+    @pytest.mark.parametrize("case", _KD, ids=_ids(_KD))
+    def test_serialized_kd_choice(self, case):
+        # n_balls must be a multiple of k (the paper assumes k | n).
+        n_balls = max(case["n_balls"] - case["n_balls"] % case["k"], case["k"])
+        sigma = ("identity", "reversed", "random")[case["pick"] % 3]
+        check_scheme(
+            "serialized_kd_choice",
+            {"n_bins": case["n_bins"], "k": case["k"], "d": case["d"],
+             "n_balls": n_balls, "sigma": sigma},
+            case["seed"],
+        )
+
+    def test_serialized_ball_order_identical_across_ingestion(self):
+        check_ball_order(
+            "serialized_kd_choice",
+            {"n_bins": 32, "k": 4, "d": 8, "n_balls": 400, "sigma": "random"},
+            seed=17,
+        )
+
     @pytest.mark.parametrize("case", _WEIGHTED, ids=_ids(_WEIGHTED))
     def test_weighted(self, case):
         weights = ("constant", "exponential", "pareto")[case["pick"] % 3]
@@ -376,5 +395,6 @@ class TestOnlineDichotomy:
         from repro.api import describe_scheme
 
         assert describe_scheme("kd_choice")["online"] is True
+        assert describe_scheme("serialized_kd_choice")["online"] is True
         assert describe_scheme("churn_kd_choice")["online"] is False
         assert describe_scheme("cluster_scheduling")["online"] is False

@@ -1,0 +1,107 @@
+"""CLI regression gates: ``schemes --check`` and ``bench --compare``.
+
+Both commands exist so CI can fail fast with an actionable message: the
+parity lint names the scheme or module that drifted from the kernel table,
+and the bench comparator names the throughput series that regressed beyond
+tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+def _write(path: Path, payload: dict) -> str:
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+def _snapshot(batch: int, stream: int = 50_000, cpus: int = 2) -> dict:
+    return {
+        "cpus": cpus,
+        "schemes": {
+            "kd_choice": {
+                "batch_items_per_sec": batch,
+                "stream_items_per_sec": stream,
+            }
+        },
+    }
+
+
+class TestSchemesCheck:
+    def test_clean_registry_exits_zero(self, capsys):
+        assert main(["schemes", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "parity OK" in out
+
+    def test_drift_names_the_scheme_and_exits_nonzero(self, capsys, monkeypatch):
+        from dataclasses import replace
+
+        from repro.api.registry import REGISTRY
+
+        info = REGISTRY.get("kd_choice")
+        monkeypatch.setitem(
+            REGISTRY._schemes, "kd_choice", replace(info, kernel=None)
+        )
+        with pytest.raises(SystemExit, match="parity violation"):
+            main(["schemes", "--check"])
+        out = capsys.readouterr().out
+        assert "kd_choice" in out and "api/schemes.py" in out
+
+
+class TestBenchCompare:
+    def test_within_tolerance_exits_zero(self, capsys, tmp_path):
+        old = _write(tmp_path / "old.json", _snapshot(1_000_000))
+        new = _write(tmp_path / "new.json", _snapshot(950_000))
+        assert main(["bench", "--compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "within 10%" in out
+
+    def test_regression_names_the_series_and_exits_nonzero(self, capsys, tmp_path):
+        old = _write(tmp_path / "old.json", _snapshot(1_000_000))
+        new = _write(tmp_path / "new.json", _snapshot(500_000))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--compare", old, new])
+        assert "batch_items_per_sec" in str(excinfo.value)
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_tolerance_flag_widens_the_band(self, tmp_path):
+        old = _write(tmp_path / "old.json", _snapshot(1_000_000))
+        new = _write(tmp_path / "new.json", _snapshot(700_000))
+        assert main(
+            ["bench", "--compare", old, new, "--tolerance", "0.5"]
+        ) == 0
+
+    def test_cpu_mismatch_warns_and_skips(self, capsys, tmp_path):
+        old = _write(tmp_path / "old.json", _snapshot(1_000_000, cpus=1))
+        new = _write(tmp_path / "new.json", _snapshot(100_000, cpus=8))
+        assert main(["bench", "--compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "different machines" in out
+
+    def test_unreadable_snapshot_is_a_clean_error(self, tmp_path):
+        old = _write(tmp_path / "old.json", _snapshot(1_000_000))
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["bench", "--compare", old, str(tmp_path / "missing.json")])
+
+    def test_disjoint_snapshots_are_a_clean_error(self, tmp_path):
+        old = _write(tmp_path / "old.json", _snapshot(1_000_000))
+        new = _write(tmp_path / "new.json", {"cpus": 2, "other": 1})
+        with pytest.raises(SystemExit, match="nothing to compare"):
+            main(["bench", "--compare", old, new])
+
+    def test_series_present_in_one_snapshot_only_is_reported(self, capsys, tmp_path):
+        extra = _snapshot(950_000)
+        extra["single_shard_items_per_sec"] = 900_000
+        old = _write(tmp_path / "old.json", _snapshot(1_000_000))
+        new = _write(tmp_path / "new.json", extra)
+        assert main(["bench", "--compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "single_shard_items_per_sec" in out
+        assert "one snapshot only" in out
