@@ -59,6 +59,8 @@ from .registry import (
     SchemeInfo,
     SchemeRegistry,
     available_schemes,
+    compiled_fastpath_reason,
+    compiled_unsupported_reason,
     describe_scheme,
     get_scheme,
     online_unsupported_reason,
@@ -82,6 +84,8 @@ __all__ = [
     "SerialExecutor",
     "available_schemes",
     "build_runner_kwargs",
+    "compiled_fastpath_reason",
+    "compiled_unsupported_reason",
     "describe_scheme",
     "get_scheme",
     "lint_registry",

@@ -22,6 +22,7 @@ byte-identical to the serial reference.
 
 from __future__ import annotations
 
+import os
 from os import PathLike
 from typing import Dict, Iterable, List, Mapping, Optional
 
@@ -36,6 +37,8 @@ from .cache import ResultStore, as_result_store
 from .executor import resolve_executor, resolve_metric_set
 from .registry import (
     SchemeInfo,
+    compiled_fastpath_reason,
+    compiled_unsupported_reason,
     get_scheme,
     vectorized_fastpath_reason,
     vectorized_unsupported_reason,
@@ -52,18 +55,27 @@ __all__ = [
 
 
 def resolve_engine(spec: SchemeSpec, info: Optional[SchemeInfo] = None) -> str:
-    """Decide which engine a spec runs on ("scalar" or "vectorized").
+    """Decide which engine a spec runs on ("scalar", "vectorized" or
+    "compiled").
 
     ``engine="auto"`` selects the vectorized fast path whenever the scheme
     provides one and the spec stays inside its *fast-path* envelope (strict
     policy, no guard-rejected parameters, an actual speedup on offer); the
-    two engines are seed-for-seed identical, so this is purely a
-    performance decision.  A forced ``engine="vectorized"`` is honoured
-    whenever the batch engine can run the spec at all — including the
-    derived drive-the-kernel engines that a fast-path guard keeps away from
+    engines are seed-for-seed identical, so this is purely a performance
+    decision.  A forced ``engine="vectorized"`` is honoured whenever the
+    batch engine can run the spec at all — including the derived
+    drive-the-kernel engines that a fast-path guard keeps away from
     ``auto`` — and raises :class:`~repro.api.spec.SchemeSpecError` outside
     that hard envelope (normally already at spec construction; this
-    re-check covers specs built before the scheme was registered).
+    re-check covers specs built before the scheme was registered).  A
+    forced ``engine="compiled"`` additionally probes whether the C backend
+    can build/load here and raises with the guard reason when it cannot.
+
+    Under ``engine="auto"``, the ``REPRO_KERNEL`` environment variable
+    steers the preference: ``compiled`` prefers the compiled engine when
+    its full fast path (scheme coverage, parameters, backend availability)
+    applies — degrading silently to the normal auto choice otherwise —
+    and ``scalar`` pins the reference engine.
     """
     info = info if info is not None else get_scheme(spec.scheme)
     if spec.engine == "scalar":
@@ -73,7 +85,23 @@ def resolve_engine(spec: SchemeSpec, info: Optional[SchemeInfo] = None) -> str:
         if reason is not None:
             raise SchemeSpecError(reason)
         return "vectorized"
+    if spec.engine == "compiled":
+        reason = compiled_unsupported_reason(
+            info, spec.policy, spec.params, probe_backend=True
+        )
+        if reason is not None:
+            raise SchemeSpecError(reason)
+        return "compiled"
     # auto
+    preference = os.environ.get("REPRO_KERNEL", "").strip().lower()
+    if preference == "scalar":
+        return "scalar"
+    if preference == "compiled":
+        reason = compiled_fastpath_reason(
+            info, spec.policy, spec.params, probe_backend=True
+        )
+        if reason is None:
+            return "compiled"
     reason = vectorized_fastpath_reason(info, spec.policy, spec.params)
     return "scalar" if reason is not None else "vectorized"
 
@@ -132,7 +160,12 @@ def build_runner_kwargs(
 def _execute(spec: SchemeSpec, seed: "int | None") -> AllocationResult:
     info = get_scheme(spec.scheme)
     engine = resolve_engine(spec, info)
-    runner = info.vectorized if engine == "vectorized" else info.runner
+    if engine == "compiled":
+        runner = info.compiled
+    elif engine == "vectorized":
+        runner = info.vectorized
+    else:
+        runner = info.runner
     kwargs = build_runner_kwargs(spec, info, seed)
     result = runner(**kwargs)
     if not isinstance(result, AllocationResult):

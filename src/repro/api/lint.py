@@ -63,6 +63,13 @@ def _kernel_surface_violations() -> List[str]:
                 info.vectorized_fastpath_guard,
                 kernel.fastpath_guard,
             ),
+            ("compiled", info.compiled, kernel.compiled),
+            ("compiled_guard", info.compiled_guard, kernel.compiled_guard),
+            (
+                "compiled_fastpath_guard",
+                info.compiled_fastpath_guard,
+                kernel.compiled_fastpath_guard,
+            ),
         )
         for surface, registered_obj, kernel_obj in surfaces:
             if registered_obj is not kernel_obj:

@@ -34,6 +34,8 @@ __all__ = [
     "registry_dump",
     "vectorized_unsupported_reason",
     "vectorized_fastpath_reason",
+    "compiled_unsupported_reason",
+    "compiled_fastpath_reason",
     "online_unsupported_reason",
     "REGISTRY",
 ]
@@ -65,6 +67,19 @@ class SchemeInfo:
     #: (it drives the per-unit kernel), so ``engine="auto"`` should stay on
     #: the scalar reference.  Forcing ``engine="vectorized"`` is honoured.
     vectorized_fastpath_guard: Optional[
+        Callable[[Mapping[str, Any]], Optional[str]]
+    ] = None
+    #: Optional compiled (C-backend) runner, derived from the kernel record
+    #: exactly like ``vectorized``.  Selected via ``engine="compiled"`` or
+    #: the ``REPRO_KERNEL=compiled`` auto-preference; seed-for-seed
+    #: identical to the scalar reference by construction.
+    compiled: Optional[Runner] = None
+    #: Hard capability guard for the compiled runner (parameters the C
+    #: kernels cannot run, e.g. probe widths beyond the static scratch).
+    compiled_guard: Optional[Callable[[Mapping[str, Any]], Optional[str]]] = None
+    #: Soft guard: the compiled engine works but degenerates to the
+    #: per-unit drive path (no speedup), so auto-preference skips it.
+    compiled_fastpath_guard: Optional[
         Callable[[Mapping[str, Any]], Optional[str]]
     ] = None
     #: Optional stepper factory for the online/streaming allocation service
@@ -109,7 +124,11 @@ class SchemeInfo:
             "required": list(self.required),
             "aliases": list(self.aliases),
             "tags": list(self.tags),
-            "engines": ["scalar", "vectorized"] if self.vectorized else ["scalar"],
+            "engines": (
+                ["scalar"]
+                + (["vectorized"] if self.vectorized else [])
+                + (["compiled"] if self.compiled else [])
+            ),
             "online": self.online is not None,
             "metrics": sorted(self.metrics) if self.metrics else None,
             "kernel_derived": self.kernel is not None,
@@ -188,7 +207,14 @@ class SchemeRegistry:
             vectorized = kernel.vectorized
             vectorized_guard = kernel.vectorized_guard
             fastpath_guard = kernel.fastpath_guard
+            compiled = kernel.compiled
+            compiled_guard = kernel.compiled_guard
+            compiled_fastpath_guard = kernel.compiled_fastpath_guard
             online = kernel.stepper
+        else:
+            compiled = None
+            compiled_guard = None
+            compiled_fastpath_guard = None
 
         def decorator(runner: Runner) -> Runner:
             if name in self._schemes or name in self._aliases:
@@ -208,6 +234,9 @@ class SchemeRegistry:
                 vectorized=vectorized,
                 vectorized_guard=vectorized_guard,
                 vectorized_fastpath_guard=fastpath_guard,
+                compiled=compiled,
+                compiled_guard=compiled_guard,
+                compiled_fastpath_guard=compiled_fastpath_guard,
                 online=online,
                 online_guard=online_guard,
                 metrics=dict(metrics) if metrics is not None else None,
@@ -309,6 +338,17 @@ def registry_dump() -> Dict[str, Any]:
         entry["vectorized_fastpath_reason"] = vectorized_fastpath_reason(
             info, None, info.defaults
         )
+        entry["compiled"] = info.compiled is not None
+        # probe_backend=False keeps the dump a property of the *registry*,
+        # not of this machine: whether the C backend builds here is surfaced
+        # by ``repro schemes --check`` instead, so the golden dump stays
+        # valid in compiler-less environments.
+        entry["compiled_unsupported_reason"] = compiled_unsupported_reason(
+            info, None, info.defaults, probe_backend=False
+        )
+        entry["compiled_fastpath_reason"] = compiled_fastpath_reason(
+            info, None, info.defaults, probe_backend=False
+        )
         entry["online"] = info.online is not None
         entry["online_unsupported_reason"] = online_unsupported_reason(
             info, None, info.defaults
@@ -371,6 +411,67 @@ def vectorized_fastpath_reason(
         return hard
     if info.vectorized_fastpath_guard is not None:
         return info.vectorized_fastpath_guard(params)
+    return None
+
+
+def compiled_unsupported_reason(
+    info: SchemeInfo,
+    policy: Optional[str],
+    params: Mapping[str, Any],
+    probe_backend: bool = True,
+) -> Optional[str]:
+    """Why ``engine="compiled"`` cannot run this configuration, or ``None``.
+
+    Mirrors :func:`vectorized_unsupported_reason` (same policy restriction —
+    the compiled engines derive from the same steppers) plus the scheme's
+    ``compiled_guard`` and, when ``probe_backend`` is true, whether the C
+    backend can actually build/load in this environment.  Construction-time
+    spec validation passes ``probe_backend=False`` so a spec's validity is a
+    structural property, not a property of the machine it was built on;
+    run-time engine resolution probes.
+    """
+    if info.compiled is None:
+        return (
+            f"scheme {info.name!r} has no compiled engine; "
+            f"available engines: "
+            + ("scalar, vectorized" if info.vectorized else "scalar")
+        )
+    if policy not in (None, "strict"):
+        return (
+            f"the compiled engine supports only the strict policy, "
+            f"got policy={policy!r}"
+        )
+    if info.compiled_guard is not None:
+        reason = info.compiled_guard(params)
+        if reason is not None:
+            return reason
+    if probe_backend:
+        from repro.core.compiled import backend_unavailable_reason
+
+        reason = backend_unavailable_reason()
+        if reason is not None:
+            return f"compiled backend unavailable: {reason}"
+    return None
+
+
+def compiled_fastpath_reason(
+    info: SchemeInfo,
+    policy: Optional[str],
+    params: Mapping[str, Any],
+    probe_backend: bool = True,
+) -> Optional[str]:
+    """Why auto-preference should *skip the compiled engine*, or ``None``.
+
+    A superset of :func:`compiled_unsupported_reason`, mirroring
+    :func:`vectorized_fastpath_reason`: configurations where the compiled
+    engine is honoured but degenerates to the per-unit drive path (callable
+    thresholds) are no reason to override the default engine choice.
+    """
+    hard = compiled_unsupported_reason(info, policy, params, probe_backend)
+    if hard is not None:
+        return hard
+    if info.compiled_fastpath_guard is not None:
+        return info.compiled_fastpath_guard(params)
     return None
 
 

@@ -30,8 +30,10 @@ __all__ = ["ENGINES", "SchemeSpecError", "SchemeSpec"]
 #: Recognized execution engines.  "auto" lets the engine pick the fastest
 #: implementation that is exactly equivalent to the scalar reference;
 #: "scalar" forces the reference implementation; "vectorized" forces the
-#: batch engine (and errors on schemes that do not provide one).
-ENGINES = ("auto", "scalar", "vectorized")
+#: batch engine (and errors on schemes that do not provide one);
+#: "compiled" forces the C-backend engine (and errors on schemes without
+#: one, or when the backend cannot build in this environment).
+ENGINES = ("auto", "scalar", "vectorized", "compiled")
 
 
 class SchemeSpecError(ValueError):
@@ -118,6 +120,22 @@ class SchemeSpec:
             if self.scheme in REGISTRY:
                 reason = vectorized_unsupported_reason(
                     get_scheme(self.scheme), self.policy, self.params
+                )
+                if reason is not None:
+                    raise SchemeSpecError(reason)
+        if self.engine == "compiled":
+            # Same static check for the compiled engine, minus the backend
+            # probe (probe_backend=False): a spec's validity is a structural
+            # property — whether the C backend builds on *this* machine is a
+            # run-time question answered by resolve_engine.
+            from .registry import REGISTRY, compiled_unsupported_reason, get_scheme
+
+            if self.scheme in REGISTRY:
+                reason = compiled_unsupported_reason(
+                    get_scheme(self.scheme),
+                    self.policy,
+                    self.params,
+                    probe_backend=False,
                 )
                 if reason is not None:
                     raise SchemeSpecError(reason)

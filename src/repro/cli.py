@@ -59,6 +59,7 @@ from __future__ import annotations
 import argparse
 import ast
 import json
+import math
 import os
 import re
 import sys
@@ -958,12 +959,24 @@ def _run_bench_compare(args: argparse.Namespace) -> None:
         )
 
     regressions: List[str] = []
+    anomalies: List[str] = []
     width = max(len(series) for series in shared)
     for series in shared:
         before, after = old_rates[series], new_rates[series]
-        change = (after - before) / before if before else 0.0
+        if not math.isfinite(before) or before <= 0.0 or not math.isfinite(after):
+            # A zero, negative or NaN rate is a broken snapshot (a crashed
+            # bench run, a hand-edited file), not a throughput measurement;
+            # reporting it as a +0.0% pass would let a fabricated baseline
+            # slip through the gate.
+            anomalies.append(series)
+            print(
+                f"{series:<{width}}  {before:>12,.0f}/s -> {after:>12,.0f}/s  "
+                f"ANOMALY (rate is zero, negative or non-finite)"
+            )
+            continue
+        change = (after - before) / before
         marker = ""
-        if before and after < before * (1.0 - args.tolerance):
+        if after < before * (1.0 - args.tolerance):
             marker = "  REGRESSION"
             regressions.append(series)
         print(
@@ -973,20 +986,48 @@ def _run_bench_compare(args: argparse.Namespace) -> None:
     only = sorted(set(old_rates) ^ set(new_rates))
     if only:
         print(f"not compared (present in one snapshot only): {', '.join(only)}")
+    failures: List[str] = []
     if regressions:
-        raise SystemExit(
+        failures.append(
             f"{len(regressions)} series regressed more than "
             f"{args.tolerance:.0%}: {', '.join(regressions)}"
         )
+    if anomalies:
+        if args.tolerance >= 1.0:
+            # An explicit tolerance of 100%+ says "report, don't gate";
+            # anomalies stay visible above but do not fail the run.
+            print(
+                f"warning: {len(anomalies)} series with unusable rates "
+                f"ignored at --tolerance >= 100%: {', '.join(anomalies)}"
+            )
+        else:
+            failures.append(
+                f"{len(anomalies)} series carry an unusable rate "
+                f"(zero, negative or non-finite): {', '.join(anomalies)}"
+            )
+    if failures:
+        raise SystemExit("; ".join(failures))
     print(
-        f"{len(shared)} series within {args.tolerance:.0%} of {old_path}"
+        f"{len(shared) - len(anomalies)} series within {args.tolerance:.0%} "
+        f"of {old_path}"
     )
 
 
 def _run_schemes(args: argparse.Namespace) -> None:
     if args.check:
         from .api import lint_registry
+        from .core.compiled import describe_backend
 
+        # Machine-local diagnostic, deliberately absent from --json (the
+        # registry dump must stay host-independent for the golden tests).
+        backend = describe_backend()
+        if backend["available"]:
+            print(
+                f"compiled backend: available (compiler={backend['compiler']}, "
+                f"cache={backend['cache_dir']})"
+            )
+        else:
+            print(f"compiled backend: unavailable ({backend['reason']})")
         problems = lint_registry()
         if problems:
             for problem in problems:

@@ -1,0 +1,297 @@
+/* Sequential C replay kernels for the compiled engine tier.
+ *
+ * Every function here is a straight transliteration of one scalar Python
+ * kernel (see the matching file under src/repro/core/): the randomness is
+ * still drawn by NumPy in the exact scalar block order, so these loops only
+ * *apply* placements, sequentially, one unit at a time.  That is what makes
+ * the compiled engine seed-for-seed identical to the scalar reference by
+ * construction — there is no speculation, no conflict detection and no
+ * reordering to verify, just the interpreter overhead removed.
+ *
+ * Sort comparators mirror the Python sorts bit for bit:
+ *   - strict selection sorts round slots by (height, tiebreak) with a
+ *     stable insertion sort, matching np.lexsort((tie, heights)) including
+ *     its index-order stability on full ties;
+ *   - the weighted round sorts (height, tiebreak, bin) tuples and then
+ *     stable-sorts the kept slots by their pre-placement loads, matching
+ *     list.sort() / sort(key=...) in core/weighted.py.
+ *
+ * Widths (d, max_probes, retry_probes) are bounded by the Python callers
+ * (REPRO registry guard, 1024) so the per-round VLA scratch stays small.
+ */
+
+#include <stdint.h>
+
+/* Stable insertion sort of the round's slot indices by (height, tie).
+ * Equal (height, tie) pairs keep their index order — the same stability
+ * np.lexsort provides. */
+static void sort_slots(const int64_t *heights, const double *ties,
+                       int64_t d, int64_t *order)
+{
+    for (int64_t j = 0; j < d; j++) {
+        order[j] = j;
+    }
+    for (int64_t i = 1; i < d; i++) {
+        int64_t idx = order[i];
+        int64_t h = heights[idx];
+        double t = ties[idx];
+        int64_t m = i - 1;
+        while (m >= 0) {
+            int64_t other = order[m];
+            if (heights[other] > h ||
+                (heights[other] == h && ties[other] > t)) {
+                order[m + 1] = other;
+                m--;
+            } else {
+                break;
+            }
+        }
+        order[m + 1] = idx;
+    }
+}
+
+/* One strict (k, d)-choice selection of `row` against `loads`, destinations
+ * written to `dest` in ball order.  Matches core/policies.py strict_select:
+ * heights carry the within-round multiplicity stacking. */
+static void strict_round(const int64_t *loads, const int64_t *row,
+                         const double *ties, int64_t d, int64_t k,
+                         int64_t *heights, int64_t *order, int64_t *dest)
+{
+    for (int64_t j = 0; j < d; j++) {
+        int64_t placed_before = 0;
+        for (int64_t m = 0; m < j; m++) {
+            if (row[m] == row[j]) {
+                placed_before++;
+            }
+        }
+        heights[j] = loads[row[j]] + placed_before + 1;
+    }
+    sort_slots(heights, ties, d, order);
+    for (int64_t j = 0; j < k; j++) {
+        dest[j] = row[order[j]];
+    }
+}
+
+/* Sequential strict (k, d)-choice rounds, mutating `loads` between rounds
+ * exactly like repeated strict_select calls.  `out` is (r, k), ball order. */
+void repro_kd_rounds(int64_t *loads, const int64_t *samples,
+                     const double *ties, int64_t r, int64_t d, int64_t k,
+                     int64_t *out)
+{
+    int64_t heights[1024];
+    int64_t order[1024];
+    for (int64_t row = 0; row < r; row++) {
+        int64_t *dest = out + row * k;
+        strict_round(loads, samples + row * d, ties + row * d, d, k,
+                     heights, order, dest);
+        for (int64_t j = 0; j < k; j++) {
+            loads[dest[j]] += 1;
+        }
+    }
+}
+
+/* Strict selection of every row against one immutable load snapshot (the
+ * stale-information epochs): no placements are applied here.  `out` is
+ * (r, k) in ball order. */
+void repro_select_rows(const int64_t *snapshot, const int64_t *samples,
+                       const double *ties, int64_t r, int64_t d, int64_t k,
+                       int64_t *out)
+{
+    int64_t heights[1024];
+    int64_t order[1024];
+    for (int64_t row = 0; row < r; row++) {
+        strict_round(snapshot, samples + row * d, ties + row * d, d, k,
+                     heights, order, out + row * k);
+    }
+}
+
+/* Sequential weighted (k, d)-choice rounds; see weighted_round_apply in
+ * core/weighted.py.  `weights` is (r, k) with each row sorted descending
+ * (heaviest ball first); `increments` is each row's mean weight.  `loads`
+ * is the float weighted-load vector, `counts` the integer ball counts.
+ * `out` is (r, k), ball order (heaviest ball first). */
+void repro_weighted_rounds(double *loads, int64_t *counts,
+                           const int64_t *samples, const double *ties,
+                           const double *weights, const double *increments,
+                           int64_t r, int64_t d, int64_t k, int64_t *out)
+{
+    double heights[1024];
+    int64_t order[1024];
+    int64_t kept[1024];
+    double keys[1024];
+    for (int64_t row = 0; row < r; row++) {
+        const int64_t *s = samples + row * d;
+        const double *t = ties + row * d;
+        const double *w = weights + row * k;
+        double increment = increments[row];
+
+        for (int64_t j = 0; j < d; j++) {
+            int64_t placed_before = 0;
+            for (int64_t m = 0; m < j; m++) {
+                if (s[m] == s[j]) {
+                    placed_before++;
+                }
+            }
+            heights[j] = loads[s[j]] + increment * (double)(placed_before + 1);
+        }
+        /* Sort slots by the (height, tie, bin) tuple, ascending; stability
+         * on fully equal tuples matches Python's list.sort(). */
+        for (int64_t j = 0; j < d; j++) {
+            order[j] = j;
+        }
+        for (int64_t i = 1; i < d; i++) {
+            int64_t idx = order[i];
+            double h = heights[idx];
+            double tv = t[idx];
+            int64_t b = s[idx];
+            int64_t m = i - 1;
+            while (m >= 0) {
+                int64_t other = order[m];
+                double oh = heights[other];
+                double ot = t[other];
+                int64_t ob = s[other];
+                if (oh > h || (oh == h && (ot > tv || (ot == tv && ob > b)))) {
+                    order[m + 1] = other;
+                    m--;
+                } else {
+                    break;
+                }
+            }
+            order[m + 1] = idx;
+        }
+        for (int64_t j = 0; j < k; j++) {
+            kept[j] = s[order[j]];
+        }
+        /* Heaviest ball to the least-loaded kept slot: stable sort of the
+         * kept bins by their pre-placement loads (keys snapshot first, as
+         * Python's sort(key=...) evaluates keys before sorting). */
+        for (int64_t j = 0; j < k; j++) {
+            keys[j] = loads[kept[j]];
+        }
+        for (int64_t i = 1; i < k; i++) {
+            double key = keys[i];
+            int64_t b = kept[i];
+            int64_t m = i - 1;
+            while (m >= 0 && keys[m] > key) {
+                keys[m + 1] = keys[m];
+                kept[m + 1] = kept[m];
+                m--;
+            }
+            keys[m + 1] = key;
+            kept[m + 1] = b;
+        }
+        int64_t *dest = out + row * k;
+        for (int64_t j = 0; j < k; j++) {
+            int64_t b = kept[j];
+            loads[b] += w[j];
+            counts[b] += 1;
+            dest[j] = b;
+        }
+    }
+}
+
+/* Sequential (1 + beta)-choice balls; see OnePlusBetaStepper.step. */
+void repro_one_plus_beta(int64_t *loads, const uint8_t *coins,
+                         const int64_t *first, const int64_t *second,
+                         int64_t n, int64_t *out)
+{
+    for (int64_t i = 0; i < n; i++) {
+        int64_t target = first[i];
+        if (coins[i]) {
+            int64_t b = second[i];
+            if (loads[b] < loads[target]) {
+                target = b;
+            }
+        }
+        loads[target] += 1;
+        out[i] = target;
+    }
+}
+
+/* Sequential Always-Go-Left balls: first least-loaded probe of each row
+ * (strict < scan, earliest minimum wins = "go left"). */
+void repro_always_go_left(int64_t *loads, const int64_t *probes,
+                          int64_t n, int64_t d, int64_t *out)
+{
+    for (int64_t i = 0; i < n; i++) {
+        const int64_t *row = probes + i * d;
+        int64_t best = row[0];
+        int64_t best_load = loads[best];
+        for (int64_t j = 1; j < d; j++) {
+            int64_t b = row[j];
+            int64_t load = loads[b];
+            if (load < best_load) {
+                best_load = load;
+                best = b;
+            }
+        }
+        loads[best] += 1;
+        out[i] = best;
+    }
+}
+
+/* Sequential threshold-probing balls; see threshold_place in
+ * core/adaptive.py.  `limits` carries each ball's threshold (the default
+ * average rule and fixed thresholds are pure functions of the ball index,
+ * precomputed by the caller). */
+void repro_threshold(int64_t *loads, const int64_t *probes,
+                     const int64_t *limits, int64_t n, int64_t max_probes,
+                     int64_t *out_bins, int64_t *out_used)
+{
+    for (int64_t i = 0; i < n; i++) {
+        const int64_t *row = probes + i * max_probes;
+        int64_t limit = limits[i];
+        int64_t best = row[0];
+        int64_t best_load = loads[best];
+        int64_t used = 1;
+        if (best_load > limit) {
+            for (int64_t j = 1; j < max_probes; j++) {
+                used++;
+                int64_t b = row[j];
+                int64_t load = loads[b];
+                if (load < best_load) {
+                    best_load = load;
+                    best = b;
+                }
+                if (load <= limit) {
+                    break;
+                }
+            }
+        }
+        loads[best] += 1;
+        out_bins[i] = best;
+        out_used[i] = used;
+    }
+}
+
+/* Sequential two-phase adaptive balls; see two_phase_place in
+ * core/adaptive.py. */
+void repro_two_phase(int64_t *loads, const int64_t *primary,
+                     const int64_t *fallback, int64_t n,
+                     int64_t retry_probes, int64_t cap,
+                     int64_t *out_bins, uint8_t *out_retried)
+{
+    for (int64_t i = 0; i < n; i++) {
+        int64_t p = primary[i];
+        if (loads[p] < cap) {
+            loads[p] += 1;
+            out_bins[i] = p;
+            out_retried[i] = 0;
+            continue;
+        }
+        const int64_t *row = fallback + i * retry_probes;
+        int64_t best = row[0];
+        int64_t best_load = loads[best];
+        for (int64_t j = 1; j < retry_probes; j++) {
+            int64_t b = row[j];
+            int64_t load = loads[b];
+            if (load < best_load) {
+                best_load = load;
+                best = b;
+            }
+        }
+        loads[best] += 1;
+        out_bins[i] = best;
+        out_retried[i] = 1;
+    }
+}

@@ -116,6 +116,25 @@ class ThresholdAdaptiveStepper(OnlineStepper):
         if self._probes is None or self._pos >= len(self._probes):
             self._refill()
         take = min(max_balls, len(self._probes) - self._pos)
+        if self.kernel_mode == "compiled":
+            from repro.core import compiled
+
+            rows = self._probes[self._pos : self._pos + take]
+            if self._threshold_mode == "fixed":
+                limits = np.full(take, self._fixed_limit, dtype=np.int64)
+            else:
+                ball_index = self.balls_emitted + np.arange(take)
+                limits = np.ceil(ball_index / self.n_bins).astype(np.int64) + 1
+            out, used = compiled.threshold(self.loads, rows, limits)
+            for count, balls in zip(*np.unique(used, return_counts=True)):
+                count = int(count)
+                self.probe_histogram[count] = (
+                    self.probe_histogram.get(count, 0) + int(balls)
+                )
+            self.messages += int(used.sum())
+            self._pos += take
+            self.balls_emitted += take
+            return out
         out = np.empty(take, dtype=np.int64)
         done = 0
         while done < take:
@@ -275,6 +294,21 @@ class TwoPhaseAdaptiveStepper(OnlineStepper):
         if self._first is None or self._pos >= len(self._first):
             self._refill()
         take = min(max_balls, len(self._first) - self._pos)
+        if self.kernel_mode == "compiled":
+            from repro.core import compiled
+
+            out, retried = compiled.two_phase(
+                self.loads,
+                self._first[self._pos : self._pos + take],
+                self._fallback[self._pos : self._pos + take],
+                self.cap,
+            )
+            retried_count = int(retried.sum())
+            self.retries += retried_count
+            self.messages += take + retried_count * self.retry_probes
+            self._pos += take
+            self.balls_emitted += take
+            return out
         out = np.empty(take, dtype=np.int64)
         done = 0
         while done < take:

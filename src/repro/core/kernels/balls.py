@@ -101,6 +101,20 @@ class OnePlusBetaStepper(OnlineStepper):
         if self._buffered() == 0:
             self._refill()
         take = min(max_balls, self._buffered())
+        if self.kernel_mode == "compiled":
+            from repro.core import compiled
+
+            coins = self._coins[self._pos : self._pos + take]
+            out = compiled.one_plus_beta(
+                self.loads,
+                coins,
+                self._first[self._pos : self._pos + take],
+                self._second[self._pos : self._pos + take],
+            )
+            self.messages += take + int(coins.sum())
+            self._pos += take
+            self.balls_emitted += take
+            return out
         out = np.empty(take, dtype=np.int64)
         done = 0
         while done < take:
@@ -209,6 +223,16 @@ class AlwaysGoLeftStepper(OnlineStepper):
         if self._buffered() == 0:
             self._refill()
         take = min(max_balls, self._buffered())
+        if self.kernel_mode == "compiled":
+            from repro.core import compiled
+
+            out = compiled.always_go_left(
+                self.loads, self._probes[self._pos : self._pos + take]
+            )
+            self._pos += take
+            self.messages += take * self.d
+            self.balls_emitted += take
+            return out
         out = np.empty(take, dtype=np.int64)
         done = 0
         while done < take:

@@ -161,6 +161,14 @@ class OnlineStepper:
     _STATE_ARRAYS: Tuple[str, ...] = ("loads",)
     _STATE_LISTS: Tuple[str, ...] = ()
 
+    #: How ``step_block`` applies placements: ``"numpy"`` (the vectorized
+    #: batch kernels) or ``"compiled"`` (the sequential C replay loops of
+    #: :mod:`repro.core.compiled`).  Both consume the identical RNG blocks
+    #: and produce identical state — this is a *speed* mode, not state, so
+    #: it is deliberately absent from ``state_dict`` and re-resolved from
+    #: the spec/environment whenever a stepper is (re)constructed.
+    kernel_mode: str = "numpy"
+
     #: Whether ``step_block`` must return destinations in exact ball order.
     #: The streaming allocator always captures; :func:`run_to_completion`
     #: turns capture off so the derived batch engines skip the per-ball
@@ -204,6 +212,23 @@ class OnlineStepper:
         ``max_balls`` below one unit) — callers then fall back to ``step``.
         """
         return None
+
+    def set_kernel_mode(self, mode: str) -> None:
+        """Select the block-apply backend (``"numpy"`` or ``"compiled"``).
+
+        ``"compiled"`` requires the C backend; raises
+        :class:`~repro.core.compiled.CompiledUnavailable` with the guard
+        reason when it cannot load — callers decide whether to degrade.
+        """
+        if mode not in ("numpy", "compiled"):
+            raise ValueError(
+                f"kernel_mode must be 'numpy' or 'compiled', got {mode!r}"
+            )
+        if mode == "compiled":
+            from repro.core.compiled import load_backend
+
+            load_backend()
+        self.kernel_mode = mode
 
     def remove_ball(self, bin_index: int, ball_index: Optional[int] = None) -> None:
         """Take one ball out of ``bin_index`` (churn support)."""
@@ -250,7 +275,9 @@ class OnlineStepper:
         pass
 
 
-def run_to_completion(stepper: OnlineStepper) -> OnlineStepper:
+def run_to_completion(
+    stepper: OnlineStepper, kernel_mode: Optional[str] = None
+) -> OnlineStepper:
     """Drive a stepper to the end of its planned stream (in drive mode).
 
     This is how the vectorized batch engines are derived from the kernel
@@ -259,7 +286,13 @@ def run_to_completion(stepper: OnlineStepper) -> OnlineStepper:
     message/round counts and a final generator state that are bit-for-bit
     identical.  ``_capture`` is cleared for the duration so block kernels
     can skip per-ball destination ordering nobody will read.
+
+    ``kernel_mode`` optionally selects the block-apply backend first
+    (``"compiled"`` derives the compiled batch engine from the same
+    stepper).
     """
+    if kernel_mode is not None:
+        stepper.set_kernel_mode(kernel_mode)
     stepper._capture = False
     try:
         while not stepper.exhausted:

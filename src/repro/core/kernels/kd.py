@@ -193,17 +193,23 @@ class KDChoiceStepper(OnlineStepper):
             destinations = flat.astype(np.int64, copy=True) if self._capture else _PLACED
         else:
             ties = self.rng.random((r, self.d))
-            out = np.empty((r, self.k), dtype=np.int64) if self._capture else None
-            for start in range(0, r, self._batch_rounds):
-                stop = start + self._batch_rounds
-                _select_batch(
-                    self.loads,
-                    samples[start:stop],
-                    ties[start:stop],
-                    self.k,
-                    out=None if out is None else out[start:stop],
-                )
-            destinations = out.reshape(-1) if self._capture else _PLACED
+            if self.kernel_mode == "compiled":
+                from repro.core import compiled
+
+                out = compiled.kd_rounds(self.loads, samples, ties, self.k)
+                destinations = out.reshape(-1) if self._capture else _PLACED
+            else:
+                out = np.empty((r, self.k), dtype=np.int64) if self._capture else None
+                for start in range(0, r, self._batch_rounds):
+                    stop = start + self._batch_rounds
+                    _select_batch(
+                        self.loads,
+                        samples[start:stop],
+                        ties[start:stop],
+                        self.k,
+                        out=None if out is None else out[start:stop],
+                    )
+                destinations = out.reshape(-1) if self._capture else _PLACED
         self.rounds += r
         self.messages += r * self.d
         self.balls_emitted += r * self.k

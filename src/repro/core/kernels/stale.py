@@ -173,9 +173,19 @@ class StaleKDChoiceStepper(OnlineStepper):
             flat = rows.reshape(-1)
         else:
             ties = self._epoch_ties[self._epoch_pos : self._epoch_pos + r]
-            destinations = strict_select_rows(
-                self._snapshot, rows, ties, self.k, ordered=self._capture
-            )
+            if self.kernel_mode == "compiled":
+                from repro.core import compiled
+
+                # The C kernel is always ball-ordered; drive mode commits
+                # via np.add.at, which is order-insensitive, so the same
+                # multiset gives identical loads either way.
+                destinations = compiled.select_rows(
+                    self._snapshot, rows, ties, self.k
+                )
+            else:
+                destinations = strict_select_rows(
+                    self._snapshot, rows, ties, self.k, ordered=self._capture
+                )
             flat = destinations.reshape(-1)
         self._epoch_pending.extend(flat.tolist())
         self._epoch_pos += r

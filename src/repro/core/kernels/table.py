@@ -29,6 +29,7 @@ Two capability levels keep auto-selection honest:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
@@ -67,6 +68,15 @@ __all__ = [
     "run_always_go_left_vectorized",
     "run_threshold_adaptive_vectorized",
     "run_two_phase_adaptive_vectorized",
+    "run_kd_choice_compiled",
+    "run_weighted_kd_choice_compiled",
+    "run_stale_kd_choice_compiled",
+    "run_d_choice_compiled",
+    "run_two_choice_compiled",
+    "run_one_plus_beta_compiled",
+    "run_always_go_left_compiled",
+    "run_threshold_adaptive_compiled",
+    "run_two_phase_adaptive_compiled",
 ]
 
 #: Why the serialized scheme's batch engine is opt-in only.
@@ -87,8 +97,65 @@ GREEDY_FASTPATH_REASON = (
 # ----------------------------------------------------------------------
 # Derived batch engines: run_to_completion + a result builder
 # ----------------------------------------------------------------------
+def _engine_label(kernel_mode: str) -> str:
+    """The result's ``extra["engine"]`` tag for a block-apply mode."""
+    return "compiled" if kernel_mode == "compiled" else "vectorized"
+
+
+def _compiled_variant(runner: Callable[..., Any]) -> Callable[..., Any]:
+    """Derive a ``run_*_compiled`` engine from a ``run_*_vectorized`` runner.
+
+    The compiled engine is the identical drive loop with the stepper's
+    block-apply switched to the C backend — same signature, same RNG
+    stream, same result, different inner loop.  ``functools.wraps`` keeps
+    the public signature so the engine layer's kwargs validation treats
+    both runners identically.
+    """
+
+    @functools.wraps(runner)
+    def run_compiled(*args: Any, **kwargs: Any) -> AllocationResult:
+        kwargs["_kernel_mode"] = "compiled"
+        return runner(*args, **kwargs)
+
+    run_compiled.__name__ = runner.__name__.replace("_vectorized", "_compiled")
+    run_compiled.__qualname__ = run_compiled.__name__
+    run_compiled.__doc__ = (
+        f"Compiled-backend variant of :func:`{runner.__name__}` "
+        f"(same RNG stream and result, C inner loop)."
+    )
+    return run_compiled
+
+
+#: Probe widths above this cannot run on the C kernels (their per-round
+#: scratch is statically sized).  Far beyond any meaningful configuration —
+#: d is O(log n) in every scheme the paper studies.
+_COMPILED_WIDTH_LIMIT = 1024
+
+
+def _compiled_width_guard(
+    *names: str,
+) -> Callable[[Mapping[str, Any]], Optional[str]]:
+    """Hard guard: named width parameters must stay within the C scratch."""
+
+    def guard(params: Mapping[str, Any]) -> Optional[str]:
+        for name in names:
+            value = params.get(name)
+            if isinstance(value, int) and value > _COMPILED_WIDTH_LIMIT:
+                return (
+                    f"the compiled kernels support {name} <= "
+                    f"{_COMPILED_WIDTH_LIMIT}, got {value}; use the "
+                    f"vectorized or scalar engine instead"
+                )
+        return None
+
+    return guard
+
+
 def _kd_result(
-    stepper: KDChoiceStepper, scheme: str, policy: str = "strict"
+    stepper: KDChoiceStepper,
+    scheme: str,
+    policy: str = "strict",
+    engine: str = "vectorized",
 ) -> AllocationResult:
     params = ProcessParams(
         n_bins=stepper.n_bins,
@@ -106,7 +173,7 @@ def _kd_result(
         messages=stepper.messages,
         rounds=stepper.rounds,
         policy=policy,
-        extra={"expected_messages": params.message_cost, "engine": "vectorized"},
+        extra={"expected_messages": params.message_cost, "engine": engine},
     )
 
 
@@ -119,6 +186,7 @@ def run_kd_choice_vectorized(
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
     chunk_rounds: Optional[int] = None,
+    _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """Run (k, d)-choice with the batch-vectorized engine.
 
@@ -138,9 +206,12 @@ def run_kd_choice_vectorized(
             seed=seed,
             rng=rng,
             chunk_rounds=chunk_rounds,
-        )
+        ),
+        kernel_mode=_kernel_mode,
     )
-    return _kd_result(stepper, scheme=f"({k},{d})-choice")
+    return _kd_result(
+        stepper, scheme=f"({k},{d})-choice", engine=_engine_label(_kernel_mode)
+    )
 
 
 def run_greedy_kd_choice_vectorized(
@@ -216,6 +287,7 @@ def run_weighted_kd_choice_vectorized(
     mean_weight: float = 1.0,
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """Weighted (k, d)-choice on the batch engine.
 
@@ -234,7 +306,8 @@ def run_weighted_kd_choice_vectorized(
             mean_weight=mean_weight,
             seed=seed,
             rng=rng,
-        )
+        ),
+        kernel_mode=_kernel_mode,
     )
     spec_name = (
         weights if isinstance(weights, str)
@@ -264,7 +337,7 @@ def run_weighted_kd_choice_vectorized(
                 if weighted_loads.size
                 else 0.0
             ),
-            "engine": "vectorized",
+            "engine": _engine_label(_kernel_mode),
         },
     )
 
@@ -278,6 +351,7 @@ def run_stale_kd_choice_vectorized(
     policy: str = "strict",
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """Stale-information (k, d)-choice on the batch engine.
 
@@ -295,7 +369,8 @@ def run_stale_kd_choice_vectorized(
             n_balls=n_balls,
             seed=seed,
             rng=rng,
-        )
+        ),
+        kernel_mode=_kernel_mode,
     )
     return AllocationResult(
         loads=stepper.loads,
@@ -307,7 +382,7 @@ def run_stale_kd_choice_vectorized(
         messages=stepper.messages,
         rounds=stepper.rounds,
         policy="strict",
-        extra={"stale_rounds": stale_rounds, "engine": "vectorized"},
+        extra={"stale_rounds": stale_rounds, "engine": _engine_label(_kernel_mode)},
     )
 
 
@@ -317,12 +392,14 @@ def run_d_choice_vectorized(
     n_balls: Optional[int] = None,
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """Greedy[d] on the batch engine (the (1, d)-choice special case)."""
     if d < 1:
         raise ValueError(f"d must be at least 1, got {d}")
     result = run_kd_choice_vectorized(
-        n_bins=n_bins, k=1, d=d, n_balls=n_balls, seed=seed, rng=rng
+        n_bins=n_bins, k=1, d=d, n_balls=n_balls, seed=seed, rng=rng,
+        _kernel_mode=_kernel_mode,
     )
     result.scheme = f"greedy[{d}]"
     return result
@@ -333,10 +410,12 @@ def run_two_choice_vectorized(
     n_balls: Optional[int] = None,
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """Two-choice (Greedy[2]) on the batch engine."""
     return run_d_choice_vectorized(
-        n_bins=n_bins, d=2, n_balls=n_balls, seed=seed, rng=rng
+        n_bins=n_bins, d=2, n_balls=n_balls, seed=seed, rng=rng,
+        _kernel_mode=_kernel_mode,
     )
 
 
@@ -346,12 +425,14 @@ def run_one_plus_beta_vectorized(
     n_balls: Optional[int] = None,
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """(1 + β)-choice on the speculate-verify batch engine."""
     stepper = run_to_completion(
         OnePlusBetaStepper(
             n_bins=n_bins, beta=beta, n_balls=n_balls, seed=seed, rng=rng
-        )
+        ),
+        kernel_mode=_kernel_mode,
     )
     return AllocationResult(
         loads=stepper.loads,
@@ -363,7 +444,7 @@ def run_one_plus_beta_vectorized(
         messages=stepper.messages,
         rounds=stepper.planned_balls,
         policy="mixed",
-        extra={"beta": beta, "engine": "vectorized"},
+        extra={"beta": beta, "engine": _engine_label(_kernel_mode)},
     )
 
 
@@ -373,10 +454,12 @@ def run_always_go_left_vectorized(
     n_balls: Optional[int] = None,
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """Vöcking's Always-Go-Left scheme on the speculate-verify engine."""
     stepper = run_to_completion(
-        AlwaysGoLeftStepper(n_bins=n_bins, d=d, n_balls=n_balls, seed=seed, rng=rng)
+        AlwaysGoLeftStepper(n_bins=n_bins, d=d, n_balls=n_balls, seed=seed, rng=rng),
+        kernel_mode=_kernel_mode,
     )
     return AllocationResult(
         loads=stepper.loads,
@@ -388,7 +471,7 @@ def run_always_go_left_vectorized(
         messages=stepper.messages,
         rounds=stepper.planned_balls,
         policy="asymmetric",
-        extra={"engine": "vectorized"},
+        extra={"engine": _engine_label(_kernel_mode)},
     )
 
 
@@ -399,6 +482,7 @@ def run_threshold_adaptive_vectorized(
     max_probes: Optional[int] = None,
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """Threshold probing on the speculate-verify engine.
 
@@ -416,7 +500,8 @@ def run_threshold_adaptive_vectorized(
             max_probes=max_probes,
             seed=seed,
             rng=rng,
-        )
+        ),
+        kernel_mode=_kernel_mode,
     )
     probe_histogram = {
         int(count): int(balls)
@@ -436,7 +521,7 @@ def run_threshold_adaptive_vectorized(
             "probe_histogram": probe_histogram,
             "average_probes": stepper.messages / max(stepper.planned_balls, 1),
             "max_probes": stepper.max_probes,
-            "engine": "vectorized",
+            "engine": _engine_label(_kernel_mode),
         },
     )
 
@@ -448,6 +533,7 @@ def run_two_phase_adaptive_vectorized(
     retry_probes: int = 4,
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """Two-phase adaptive allocation on the speculate-verify engine."""
     stepper = run_to_completion(
@@ -458,7 +544,8 @@ def run_two_phase_adaptive_vectorized(
             retry_probes=retry_probes,
             seed=seed,
             rng=rng,
-        )
+        ),
+        kernel_mode=_kernel_mode,
     )
     return AllocationResult(
         loads=stepper.loads,
@@ -475,7 +562,7 @@ def run_two_phase_adaptive_vectorized(
             "retries": stepper.retries,
             "retry_fraction": stepper.retries / max(stepper.planned_balls, 1),
             "average_probes": stepper.messages / max(stepper.planned_balls, 1),
-            "engine": "vectorized",
+            "engine": _engine_label(_kernel_mode),
         },
     )
 
@@ -566,6 +653,24 @@ def run_churn_allocation_vectorized(
     return allocation_from_churn(churn, n_bins, k, d, policy)
 
 
+# ----------------------------------------------------------------------
+# Derived compiled engines: the same drive loop, C block-apply
+# ----------------------------------------------------------------------
+run_kd_choice_compiled = _compiled_variant(run_kd_choice_vectorized)
+run_weighted_kd_choice_compiled = _compiled_variant(run_weighted_kd_choice_vectorized)
+run_stale_kd_choice_compiled = _compiled_variant(run_stale_kd_choice_vectorized)
+run_d_choice_compiled = _compiled_variant(run_d_choice_vectorized)
+run_two_choice_compiled = _compiled_variant(run_two_choice_vectorized)
+run_one_plus_beta_compiled = _compiled_variant(run_one_plus_beta_vectorized)
+run_always_go_left_compiled = _compiled_variant(run_always_go_left_vectorized)
+run_threshold_adaptive_compiled = _compiled_variant(
+    run_threshold_adaptive_vectorized
+)
+run_two_phase_adaptive_compiled = _compiled_variant(
+    run_two_phase_adaptive_vectorized
+)
+
+
 def _threshold_fastpath_guard(params: Mapping[str, Any]) -> Optional[str]:
     if callable(params.get("threshold")):
         return CALLABLE_THRESHOLD_REASON
@@ -595,6 +700,16 @@ class Kernel:
     ``vectorized_guard`` failure means the batch engine cannot run those
     parameters at all; a ``fastpath_guard`` reason means it runs but brings
     no speedup, so engine auto-selection prefers the scalar reference.
+
+    ``compiled`` names the scheme's C-backend engine (derived from the
+    vectorized runner via :func:`_compiled_variant`), with the same two
+    guard levels: ``compiled_guard`` (hard — the parameters cannot run on
+    the C kernels) and ``compiled_fastpath_guard`` (soft — the compiled
+    engine works but degenerates to the per-unit drive path, so the
+    ``REPRO_KERNEL=compiled`` auto-preference skips it).  Whether the C
+    backend itself is buildable in the current environment is a separate,
+    per-process question answered by
+    :func:`repro.core.compiled.backend_unavailable_reason`.
     """
 
     name: str
@@ -605,6 +720,11 @@ class Kernel:
     batched: Optional[str] = None
     vectorized_guard: Optional[Callable[[Mapping[str, Any]], Optional[str]]] = None
     fastpath_guard: Optional[Callable[[Mapping[str, Any]], Optional[str]]] = None
+    compiled: Optional[Callable[..., Any]] = None
+    compiled_guard: Optional[Callable[[Mapping[str, Any]], Optional[str]]] = None
+    compiled_fastpath_guard: Optional[
+        Callable[[Mapping[str, Any]], Optional[str]]
+    ] = None
 
 
 #: Schemes outside the kernel contract: their engines are bespoke substrate
@@ -626,6 +746,8 @@ KERNELS: Dict[str, Kernel] = {
         stepper=KDChoiceStepper,
         vectorized=run_kd_choice_vectorized,
         batched="independent-round batches (_select_batch)",
+        compiled=run_kd_choice_compiled,
+        compiled_guard=_compiled_width_guard("d"),
     ),
     "serialized_kd_choice": Kernel(
         name="serialized_kd_choice",
@@ -650,6 +772,8 @@ KERNELS: Dict[str, Kernel] = {
         stepper=WeightedKDChoiceStepper,
         vectorized=run_weighted_kd_choice_vectorized,
         batched="speculate-verify rounds (_weighted_batch)",
+        compiled=run_weighted_kd_choice_compiled,
+        compiled_guard=_compiled_width_guard("d"),
     ),
     "stale_kd_choice": Kernel(
         name="stale_kd_choice",
@@ -662,6 +786,8 @@ KERNELS: Dict[str, Kernel] = {
         stepper=StaleKDChoiceStepper,
         vectorized=run_stale_kd_choice_vectorized,
         batched="whole epochs (strict_select_rows)",
+        compiled=run_stale_kd_choice_compiled,
+        compiled_guard=_compiled_width_guard("d"),
     ),
     "greedy_kd_choice": Kernel(
         name="greedy_kd_choice",
@@ -702,6 +828,8 @@ KERNELS: Dict[str, Kernel] = {
         stepper=d_choice_stepper,
         vectorized=run_d_choice_vectorized,
         batched="independent-round batches (_select_batch)",
+        compiled=run_d_choice_compiled,
+        compiled_guard=_compiled_width_guard("d"),
     ),
     "two_choice": Kernel(
         name="two_choice",
@@ -710,6 +838,7 @@ KERNELS: Dict[str, Kernel] = {
         stepper=two_choice_stepper,
         vectorized=run_two_choice_vectorized,
         batched="independent-round batches (_select_batch)",
+        compiled=run_two_choice_compiled,
     ),
     "one_plus_beta": Kernel(
         name="one_plus_beta",
@@ -721,6 +850,7 @@ KERNELS: Dict[str, Kernel] = {
         stepper=OnePlusBetaStepper,
         vectorized=run_one_plus_beta_vectorized,
         batched="speculate-verify balls (prefix_conflicts)",
+        compiled=run_one_plus_beta_compiled,
     ),
     "always_go_left": Kernel(
         name="always_go_left",
@@ -729,6 +859,8 @@ KERNELS: Dict[str, Kernel] = {
         stepper=AlwaysGoLeftStepper,
         vectorized=run_always_go_left_vectorized,
         batched="speculate-verify balls (prefix_conflicts)",
+        compiled=run_always_go_left_compiled,
+        compiled_guard=_compiled_width_guard("d"),
     ),
     "batch_random": Kernel(
         name="batch_random",
@@ -746,6 +878,9 @@ KERNELS: Dict[str, Kernel] = {
         vectorized=run_threshold_adaptive_vectorized,
         batched="speculate-verify balls; callable thresholds drive per-unit",
         fastpath_guard=_threshold_fastpath_guard,
+        compiled=run_threshold_adaptive_compiled,
+        compiled_guard=_compiled_width_guard("max_probes"),
+        compiled_fastpath_guard=_threshold_fastpath_guard,
     ),
     "two_phase_adaptive": Kernel(
         name="two_phase_adaptive",
@@ -757,5 +892,7 @@ KERNELS: Dict[str, Kernel] = {
         stepper=TwoPhaseAdaptiveStepper,
         vectorized=run_two_phase_adaptive_vectorized,
         batched="speculate-verify balls (prefix_conflicts)",
+        compiled=run_two_phase_adaptive_compiled,
+        compiled_guard=_compiled_width_guard("retry_probes"),
     ),
 }

@@ -232,20 +232,32 @@ class WeightedKDChoiceStepper(OnlineStepper):
             axis=1,
         )[:, ::-1]
         increments = block_weights.mean(axis=1)
-        out = np.empty((r, self.k), dtype=np.int64) if self._capture else None
-        for start in range(0, r, self._batch_rounds):
-            stop = min(start + self._batch_rounds, r)
-            _weighted_batch(
+        if self.kernel_mode == "compiled":
+            from repro.core import compiled
+
+            out = compiled.weighted_rounds(
                 self.weighted_loads,
                 self.loads,
-                samples[start:stop],
-                ties[start:stop],
-                block_weights[start:stop],
-                increments[start:stop],
-                self.k,
-                self._scratch,
-                out=None if out is None else out[start:stop],
+                samples,
+                ties,
+                block_weights,
+                increments,
             )
+        else:
+            out = np.empty((r, self.k), dtype=np.int64) if self._capture else None
+            for start in range(0, r, self._batch_rounds):
+                stop = min(start + self._batch_rounds, r)
+                _weighted_batch(
+                    self.weighted_loads,
+                    self.loads,
+                    samples[start:stop],
+                    ties[start:stop],
+                    block_weights[start:stop],
+                    increments[start:stop],
+                    self.k,
+                    self._scratch,
+                    out=None if out is None else out[start:stop],
+                )
         self._weight_pos += r * self.k
         self.rounds += r
         self.messages += r * self.d

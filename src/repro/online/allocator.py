@@ -44,7 +44,12 @@ from typing import Any, Deque, Dict, Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from ..api.engine import build_runner_kwargs
-from ..api.registry import get_scheme, online_unsupported_reason
+from ..api.registry import (
+    compiled_fastpath_reason,
+    compiled_unsupported_reason,
+    get_scheme,
+    online_unsupported_reason,
+)
 from ..api.spec import SchemeSpec
 from .steppers import OnlineStepper, StreamExhausted
 from .telemetry import LoadTelemetry
@@ -76,7 +81,18 @@ def snapshot_digest(snapshot: Dict[str, Any]) -> str:
     process: the cross-shard manifests of :mod:`repro.serve` record one
     digest per shard so a restore can verify every shard document before
     any allocator state is rebuilt.
+
+    The telemetry ``wall_time`` anchor is excluded: it advances with the
+    wall clock between otherwise-identical snapshots, and the digest
+    identifies *stream state* — two snapshots of the same allocator state
+    must hash the same no matter when they were taken.
     """
+    telemetry = snapshot.get("telemetry")
+    if isinstance(telemetry, dict) and "wall_time" in telemetry:
+        snapshot = dict(snapshot)
+        snapshot["telemetry"] = {
+            key: value for key, value in telemetry.items() if key != "wall_time"
+        }
     payload = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -172,6 +188,29 @@ class OnlineAllocator:
                 f"returned {type(stepper).__name__}, expected an OnlineStepper"
             )
         self._stepper = stepper
+        # Kernel-mode resolution mirrors the batch engine's resolve_engine:
+        # a forced engine="compiled" must run compiled or fail loudly, while
+        # the REPRO_KERNEL=compiled preference under "auto" upgrades the
+        # block ingestion path only when the full fast path (scheme
+        # coverage, parameters, backend) applies.  The mode is a speed
+        # choice, not state — restore() re-resolves it for the restoring
+        # host, so a snapshot taken on a compiled host replays bit-
+        # identically on a pure-Python one.
+        if spec.engine == "compiled":
+            reason = compiled_unsupported_reason(
+                info, spec.policy, spec.params, probe_backend=True
+            )
+            if reason is not None:
+                raise OnlineAllocatorError(reason)
+            stepper.set_kernel_mode("compiled")
+        elif spec.engine == "auto":
+            preference = os.environ.get("REPRO_KERNEL", "").strip().lower()
+            if preference == "compiled":
+                reason = compiled_fastpath_reason(
+                    info, spec.policy, spec.params, probe_backend=True
+                )
+                if reason is None:
+                    stepper.set_kernel_mode("compiled")
         self.telemetry = telemetry if telemetry is not None else LoadTelemetry()
         self._pending: Deque[int] = deque()
         self._track_items = bool(track_items)

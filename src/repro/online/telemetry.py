@@ -202,7 +202,7 @@ class LoadTelemetry:
     # ------------------------------------------------------------------
     # Snapshot support (counters only; the sample ring is not persisted)
     # ------------------------------------------------------------------
-    def counters(self) -> Dict[str, int]:
+    def counters(self) -> "Dict[str, int | float]":
         return {
             "placements": self.placements,
             "removals": self.removals,
@@ -211,12 +211,23 @@ class LoadTelemetry:
             # its cadence and take samples at different event counts than
             # the unbroken one.
             "events_since_sample": self._events_since_sample,
+            # Elapsed stream time at snapshot, so a restored stream's
+            # sample ``wall_time`` continues from where the original left
+            # off instead of restarting at zero.
+            "wall_time": self._clock() - self._start,
         }
 
-    def restore_counters(self, counters: Dict[str, int]) -> None:
+    def restore_counters(self, counters: "Dict[str, int | float]") -> None:
         self.placements = int(counters.get("placements", 0))
         self.removals = int(counters.get("removals", 0))
         self._samples_taken = int(counters.get("samples_taken", 0))
         self._events_since_sample = int(counters.get("events_since_sample", 0))
+        # Re-anchor the clocks: back-date the start so elapsed time resumes
+        # at the snapshot's wall_time, and reset the rate window to "now"
+        # (the downtime between snapshot and restore must not be billed to
+        # the next sample's placements_per_sec).
+        now = self._clock()
+        self._start = now - float(counters.get("wall_time", 0.0))
+        self._last_sample_time = now
         self._last_sample_placements = self.placements
         self._max_dirty = True

@@ -64,10 +64,13 @@ class TestCatalogue:
         description = describe_scheme("kd_choice")
         assert description["parameters"]["n_bins"] == "<required>"
         assert description["parameters"]["policy"] == "strict"
-        assert description["engines"] == ["scalar", "vectorized"]
+        assert description["engines"] == ["scalar", "vectorized", "compiled"]
         assert describe_scheme("single_choice")["engines"] == ["scalar", "vectorized"]
         assert describe_scheme("serialized_kd_choice")["engines"] == [
             "scalar", "vectorized",
+        ]
+        assert describe_scheme("two_choice")["engines"] == [
+            "scalar", "vectorized", "compiled",
         ]
         assert describe_scheme("serialized_kd_choice")["kernel_derived"] is True
         assert describe_scheme("cluster_scheduling")["kernel_derived"] is False

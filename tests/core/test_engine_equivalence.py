@@ -466,3 +466,134 @@ if HAVE_HYPOTHESIS:
         def test_two_phase_adaptive(self, n_bins, m_frac, seed, cap, retry_probes):
             n_balls = max(1, round(m_frac * n_bins))
             check_two_phase_adaptive(n_bins, n_balls, seed, cap, retry_probes)
+
+
+# ----------------------------------------------------------------------
+# Compiled engine (C backend): same contract as the vectorized layer —
+# bit-identical loads/accounting and identical RNG stream consumption —
+# checked against the scalar reference for every compiled-covered family.
+# Skipped wholesale when the backend cannot build here (no compiler/cffi).
+# ----------------------------------------------------------------------
+from repro.core.compiled import backend_unavailable_reason  # noqa: E402
+from repro.core.kernels import table as ktable  # noqa: E402
+
+_COMPILED_REASON = backend_unavailable_reason()
+requires_compiled = pytest.mark.skipif(
+    _COMPILED_REASON is not None,
+    reason=f"compiled backend unavailable: {_COMPILED_REASON}",
+)
+
+
+def _assert_compiled_equivalent(scalar_fn, compiled_fn, kwargs, seed):
+    a, b = _paired_rngs(seed)
+    scalar = scalar_fn(rng=a, **kwargs)
+    compiled = compiled_fn(rng=b, **kwargs)
+    _assert_equivalent(scalar, compiled, a, b)
+    assert compiled.extra["engine"] == "compiled"
+    return scalar, compiled
+
+
+@requires_compiled
+class TestCompiledEquivalence:
+    @pytest.mark.parametrize("case", _KD_CASES, ids=_ids(_KD_CASES))
+    def test_kd_choice(self, case):
+        _assert_compiled_equivalent(
+            run_kd_choice, ktable.run_kd_choice_compiled,
+            dict(n_bins=case["n_bins"], k=case["k"], d=case["d"],
+                 n_balls=case["n_balls"]),
+            case["seed"],
+        )
+
+    @pytest.mark.parametrize("case", _KD_CASES[:6], ids=_ids(_KD_CASES[:6]))
+    @pytest.mark.parametrize("chunk_rounds", [1, 7, 64, 4096])
+    def test_kd_choice_streaming_chunks(self, case, chunk_rounds):
+        _assert_compiled_equivalent(
+            run_kd_choice, ktable.run_kd_choice_compiled,
+            dict(n_bins=case["n_bins"], k=case["k"], d=case["d"],
+                 n_balls=case["n_balls"], chunk_rounds=chunk_rounds),
+            case["seed"],
+        )
+
+    @pytest.mark.parametrize("case", _WEIGHTED_CASES, ids=_ids(_WEIGHTED_CASES))
+    def test_weighted(self, case):
+        weights = ("constant", "exponential", "pareto")[case["index"] % 3]
+        scalar, compiled = _assert_compiled_equivalent(
+            run_weighted_kd_choice, ktable.run_weighted_kd_choice_compiled,
+            dict(n_bins=case["n_bins"], k=case["k"], d=case["d"],
+                 weights=weights, n_balls=case["n_balls"]),
+            case["seed"],
+        )
+        assert np.array_equal(
+            scalar.extra["weighted_loads"], compiled.extra["weighted_loads"]
+        ), "weighted (float) loads must match bit for bit"
+        assert scalar.extra["total_weight"] == compiled.extra["total_weight"]
+
+    @pytest.mark.parametrize("case", _STALE_CASES, ids=_ids(_STALE_CASES))
+    def test_stale(self, case):
+        stale_rounds = (1, 2, 8, 64)[case["index"] % 4]
+        _assert_compiled_equivalent(
+            run_stale_kd_choice, ktable.run_stale_kd_choice_compiled,
+            dict(n_bins=case["n_bins"], k=case["k"], d=case["d"],
+                 stale_rounds=stale_rounds, n_balls=case["n_balls"]),
+            case["seed"],
+        )
+
+    @pytest.mark.parametrize("case", _BASELINE_CASES, ids=_ids(_BASELINE_CASES))
+    def test_d_choice_and_two_choice(self, case):
+        _assert_compiled_equivalent(
+            run_d_choice, ktable.run_d_choice_compiled,
+            dict(n_bins=case["n_bins"], d=case["d"], n_balls=case["n_balls"]),
+            case["seed"],
+        )
+        a, b = _paired_rngs(case["seed"] + 1)
+        scalar = run_d_choice(
+            n_bins=case["n_bins"], d=2, n_balls=case["n_balls"], rng=a
+        )
+        compiled = ktable.run_two_choice_compiled(
+            n_bins=case["n_bins"], n_balls=case["n_balls"], rng=b
+        )
+        assert np.array_equal(scalar.loads, compiled.loads)
+        assert scalar.messages == compiled.messages
+        assert a.bit_generator.state == b.bit_generator.state
+        assert compiled.extra["engine"] == "compiled"
+
+    @pytest.mark.parametrize("case", _BASELINE_CASES, ids=_ids(_BASELINE_CASES))
+    def test_one_plus_beta(self, case):
+        beta = (0.0, 0.25, 0.5, 1.0)[case["index"] % 4]
+        _assert_compiled_equivalent(
+            run_one_plus_beta, ktable.run_one_plus_beta_compiled,
+            dict(n_bins=case["n_bins"], beta=beta, n_balls=case["n_balls"]),
+            case["seed"],
+        )
+
+    @pytest.mark.parametrize("case", _BASELINE_CASES, ids=_ids(_BASELINE_CASES))
+    def test_always_go_left(self, case):
+        _assert_compiled_equivalent(
+            run_always_go_left, ktable.run_always_go_left_compiled,
+            dict(n_bins=case["n_bins"], d=case["d"], n_balls=case["n_balls"]),
+            case["seed"],
+        )
+
+    @pytest.mark.parametrize("case", _ADAPTIVE_CASES, ids=_ids(_ADAPTIVE_CASES))
+    def test_threshold_adaptive(self, case):
+        threshold = (None, 0, 2, None)[case["index"] % 4]
+        max_probes = (None, 1, 3, 9)[case["index"] % 4]
+        scalar, compiled = _assert_compiled_equivalent(
+            run_threshold_adaptive, ktable.run_threshold_adaptive_compiled,
+            dict(n_bins=case["n_bins"], n_balls=case["n_balls"],
+                 threshold=threshold, max_probes=max_probes),
+            case["seed"],
+        )
+        assert scalar.extra["probe_histogram"] == compiled.extra["probe_histogram"]
+
+    @pytest.mark.parametrize("case", _ADAPTIVE_CASES, ids=_ids(_ADAPTIVE_CASES))
+    def test_two_phase_adaptive(self, case):
+        cap = (None, 1, 2, 5)[case["index"] % 4]
+        retry_probes = (1, 2, 4, 8)[case["index"] % 4]
+        scalar, compiled = _assert_compiled_equivalent(
+            run_two_phase_adaptive, ktable.run_two_phase_adaptive_compiled,
+            dict(n_bins=case["n_bins"], n_balls=case["n_balls"], cap=cap,
+                 retry_probes=retry_probes),
+            case["seed"],
+        )
+        assert scalar.extra["retries"] == compiled.extra["retries"]

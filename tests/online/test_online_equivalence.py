@@ -398,3 +398,112 @@ class TestOnlineDichotomy:
         assert describe_scheme("serialized_kd_choice")["online"] is True
         assert describe_scheme("churn_kd_choice")["online"] is False
         assert describe_scheme("cluster_scheduling")["online"] is False
+
+
+# ----------------------------------------------------------------------
+# Compiled engine: streaming through the C-backed kernels must stay inside
+# the same parity envelope (loads, accounting, RNG stream) as the scalar
+# reference, including across a mid-stream snapshot/restore boundary.
+# ----------------------------------------------------------------------
+from repro.core.compiled import backend_unavailable_reason  # noqa: E402
+
+_COMPILED_REASON = backend_unavailable_reason()
+requires_compiled = pytest.mark.skipif(
+    _COMPILED_REASON is not None,
+    reason=f"compiled backend unavailable: {_COMPILED_REASON}",
+)
+
+#: Every online-capable scheme with a compiled kernel, with params sized to
+#: force multiple blocks, partial tail rounds and pending-queue splits.
+COMPILED_STREAM_PARAMS = [
+    ("kd_choice", {"n_bins": 96, "k": 3, "d": 7, "n_balls": 1200}),
+    ("d_choice", {"n_bins": 96, "d": 5, "n_balls": 1100}),
+    ("two_choice", {"n_bins": 96, "n_balls": 1000}),
+    ("stale_kd_choice",
+     {"n_bins": 96, "k": 2, "d": 5, "stale_rounds": 7, "n_balls": 900}),
+    ("weighted_kd_choice",
+     {"n_bins": 96, "k": 3, "d": 6, "weights": "pareto", "n_balls": 800}),
+    ("one_plus_beta", {"n_bins": 96, "beta": 0.4, "n_balls": 1300}),
+    ("always_go_left", {"n_bins": 96, "d": 4, "n_balls": 1200}),
+    ("threshold_adaptive", {"n_bins": 96, "max_probes": 5, "n_balls": 1000}),
+    ("two_phase_adaptive",
+     {"n_bins": 96, "retry_probes": 4, "n_balls": 1000}),
+]
+_COMPILED_IDS = [scheme for scheme, _ in COMPILED_STREAM_PARAMS]
+
+
+@requires_compiled
+class TestCompiledStreamEquivalence:
+    @pytest.mark.parametrize(
+        "scheme,params", COMPILED_STREAM_PARAMS, ids=_COMPILED_IDS
+    )
+    @pytest.mark.parametrize("seed", [5, 1234])
+    def test_compiled_stream_matches_scalar_batch(self, scheme, params, seed):
+        n_items = params["n_balls"]
+        reference_rng = np.random.default_rng(seed)
+        batch = simulate(
+            SchemeSpec(scheme=scheme, params=params, rng=reference_rng,
+                       engine="scalar")
+        )
+        reference_state = reference_rng.bit_generator.state
+        for mode in ("batch", "mixed"):
+            stream_rng = np.random.default_rng(seed)
+            allocator = _stream(
+                SchemeSpec(scheme=scheme, params=params, rng=stream_rng,
+                           engine="compiled"),
+                n_items,
+                mode,
+            )
+            assert allocator.stepper.kernel_mode == "compiled"
+            assert np.array_equal(allocator.loads, batch.loads), (scheme, mode)
+            assert allocator.stepper.messages == batch.messages, (scheme, mode)
+            assert allocator.stepper.rounds == batch.rounds, (scheme, mode)
+            assert (
+                stream_rng.bit_generator.state == reference_state
+            ), f"{scheme}/{mode}: compiled stream consumed the RNG differently"
+
+    @pytest.mark.parametrize(
+        "scheme,params", COMPILED_STREAM_PARAMS, ids=_COMPILED_IDS
+    )
+    def test_mid_stream_snapshot_restore(self, scheme, params, seed=31):
+        """A compiled stream survives snapshot/restore bit-identically."""
+        n_items = params["n_balls"]
+        cut = n_items // 3
+        unbroken = OnlineAllocator(
+            SchemeSpec(scheme=scheme, params=params, seed=seed,
+                       engine="compiled")
+        )
+        unbroken.place_batch(n_items)
+
+        first = OnlineAllocator(
+            SchemeSpec(scheme=scheme, params=params, seed=seed,
+                       engine="compiled")
+        )
+        first.place_batch(cut)
+        resumed = OnlineAllocator.restore(first.snapshot())
+        assert resumed.stepper.kernel_mode == "compiled"
+        resumed.place_batch(n_items - cut)
+        assert np.array_equal(resumed.loads, unbroken.loads), scheme
+        assert resumed.stepper.messages == unbroken.stepper.messages, scheme
+        # The stepper state (loads, RNG, buffers) must be identical; the
+        # telemetry wall_time is clock-dependent, so compare stepper dicts.
+        assert (
+            resumed.snapshot()["stepper"] == unbroken.snapshot()["stepper"]
+        ), scheme
+
+    def test_auto_with_repro_kernel_env_upgrades_and_matches(self, monkeypatch):
+        params = {"n_bins": 80, "k": 2, "d": 5, "n_balls": 700}
+        scalar = OnlineAllocator(
+            SchemeSpec(scheme="kd_choice", params=params, seed=9,
+                       engine="scalar")
+        )
+        for _ in range(700):
+            scalar.place()
+        monkeypatch.setenv("REPRO_KERNEL", "compiled")
+        auto = OnlineAllocator(
+            SchemeSpec(scheme="kd_choice", params=params, seed=9)
+        )
+        assert auto.stepper.kernel_mode == "compiled"
+        auto.place_batch(700)
+        assert np.array_equal(auto.loads, scalar.loads)
+        assert auto.stepper.messages == scalar.stepper.messages

@@ -118,3 +118,98 @@ class TestAllocatorIntegration:
         assert allocator.gap == pytest.approx(
             allocator.loads.max() - 64 / 16
         )
+
+
+class TestRestoreAnchors:
+    """Snapshot/restore must carry the wall-clock anchors, not just counts.
+
+    The historical bug: ``restore_counters`` reinstated the event counters
+    but left ``_start``/``_last_sample_time`` at the new telemetry object's
+    construction instants, so a restored stream's samples restarted
+    ``wall_time`` at zero and billed the snapshot/restore downtime to the
+    first sample's ``placements_per_sec``.
+    """
+
+    def _allocator(self, clock, sample_every=10):
+        telemetry = LoadTelemetry(sample_every=sample_every, clock=clock)
+        spec = SchemeSpec(
+            scheme="two_choice", params={"n_bins": 32, "n_balls": 400}, seed=7
+        )
+        return OnlineAllocator(spec, telemetry=telemetry)
+
+    def test_wall_time_resumes_across_restore(self):
+        clock = FakeClock()
+        allocator = self._allocator(clock)
+        clock.now = 4.0
+        allocator.place_batch(25)  # samples at events 10, 20
+        snapshot = allocator.snapshot()
+        assert snapshot["telemetry"]["wall_time"] == pytest.approx(4.0)
+
+        late_clock = FakeClock()
+        late_clock.now = 1000.0  # restore happens much later, elsewhere
+        restored = OnlineAllocator.restore(
+            snapshot, telemetry=LoadTelemetry(sample_every=10, clock=late_clock)
+        )
+        late_clock.now += 2.0
+        restored.place_batch(10)
+        sample = restored.telemetry.latest()
+        # 4.0s elapsed before the snapshot + 2.0s after the restore; the
+        # 996.0s gap between them is downtime, not stream time.
+        assert sample.wall_time == pytest.approx(6.0)
+
+    def test_rate_window_excludes_restore_downtime(self):
+        clock = FakeClock()
+        allocator = self._allocator(clock)
+        clock.now = 1.0
+        allocator.place_batch(25)
+        snapshot = allocator.snapshot()
+
+        late_clock = FakeClock()
+        late_clock.now = 500.0
+        restored = OnlineAllocator.restore(
+            snapshot, telemetry=LoadTelemetry(sample_every=10, clock=late_clock)
+        )
+        late_clock.now += 2.0
+        restored.place_batch(10)
+        sample = restored.telemetry.latest()
+        # 10 placements over the 2.0s since the restore — not over the
+        # 501.0s a naive (now - _last_sample_time) would report.
+        assert sample.placements_per_sec == pytest.approx(10 / 2.0)
+
+    def test_restored_stream_samples_at_the_same_event_counts(self):
+        # Same event grouping on both sides (place_batch samples at most
+        # once per call); the only difference is the snapshot/restore cut.
+        clock = FakeClock()
+        unbroken = self._allocator(clock)
+        unbroken.place_batch(23)
+        unbroken.place_batch(55 - 23)
+
+        first = self._allocator(FakeClock())
+        first.place_batch(23)  # mid-cadence cut: 3 events past sample 2
+        restored = OnlineAllocator.restore(
+            first.snapshot(),
+            telemetry=LoadTelemetry(sample_every=10, clock=FakeClock()),
+        )
+        restored.place_batch(55 - 23)
+        assert (
+            restored.telemetry.samples_taken == unbroken.telemetry.samples_taken
+        )
+        # The ring is not persisted, but the post-restore samples must land
+        # at the same event counts (and sample indices) as the unbroken run.
+        post_cut = [
+            (s.index, s.events)
+            for s in unbroken.telemetry.history()
+            if s.events > 23
+        ]
+        assert [
+            (s.index, s.events) for s in restored.telemetry.history()
+        ] == post_cut
+
+    def test_legacy_snapshot_without_wall_time_restores_at_zero(self):
+        telemetry = LoadTelemetry(clock=FakeClock())
+        telemetry.restore_counters(
+            {"placements": 5, "removals": 1, "samples_taken": 0,
+             "events_since_sample": 6}
+        )
+        assert telemetry.placements == 5
+        assert telemetry.counters()["wall_time"] == pytest.approx(0.0)

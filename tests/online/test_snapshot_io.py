@@ -95,6 +95,16 @@ class TestDigest:
         allocator = make_allocator()
         assert allocator.digest() == snapshot_digest(allocator.snapshot())
 
+    def test_digest_excludes_the_telemetry_wall_clock_anchor(self):
+        # wall_time advances between otherwise-identical snapshots; the
+        # digest identifies stream state, so it must not hash it.
+        snapshot = make_allocator().snapshot()
+        later = json.loads(json.dumps(snapshot))
+        later["telemetry"]["wall_time"] = (
+            later["telemetry"].get("wall_time", 0.0) + 123.0
+        )
+        assert snapshot_digest(later) == snapshot_digest(snapshot)
+
     def test_digest_changes_with_state(self):
         allocator = make_allocator()
         before = allocator.digest()

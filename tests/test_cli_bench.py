@@ -105,3 +105,59 @@ class TestBenchCompare:
         out = capsys.readouterr().out
         assert "single_shard_items_per_sec" in out
         assert "one snapshot only" in out
+
+    def test_zero_baseline_is_an_anomaly_not_a_pass(self, capsys, tmp_path):
+        # The historical bug: a 0/s baseline divided to +0.0% and sailed
+        # through the gate; a zeroed (crashed or fabricated) snapshot must
+        # fail loudly instead.
+        old = _write(tmp_path / "old.json", _snapshot(0))
+        new = _write(tmp_path / "new.json", _snapshot(950_000))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--compare", old, new])
+        assert "batch_items_per_sec" in str(excinfo.value)
+        assert "unusable rate" in str(excinfo.value)
+        out = capsys.readouterr().out
+        batch_line = next(
+            line for line in out.splitlines() if "batch_items_per_sec" in line
+        )
+        assert "ANOMALY" in batch_line
+        assert "+0.0%" not in batch_line
+
+    def test_nan_rate_is_an_anomaly(self, capsys, tmp_path):
+        # json can carry NaN (Python's encoder emits it by default); it must
+        # not satisfy the "no regression" comparison by being unordered.
+        broken = _snapshot(1_000_000)
+        broken["schemes"]["kd_choice"]["batch_items_per_sec"] = float("nan")
+        old = _write(tmp_path / "old.json", _snapshot(1_000_000))
+        new = _write(tmp_path / "new.json", broken)
+        with pytest.raises(SystemExit, match="unusable rate"):
+            main(["bench", "--compare", old, new])
+        assert "ANOMALY" in capsys.readouterr().out
+
+    def test_negative_baseline_is_an_anomaly(self, tmp_path):
+        old = _write(tmp_path / "old.json", _snapshot(-5))
+        new = _write(tmp_path / "new.json", _snapshot(950_000))
+        with pytest.raises(SystemExit, match="unusable rate"):
+            main(["bench", "--compare", old, new])
+
+    def test_tolerance_of_one_exempts_anomalies_with_warning(self, capsys, tmp_path):
+        old = _write(tmp_path / "old.json", _snapshot(0))
+        new = _write(tmp_path / "new.json", _snapshot(950_000))
+        assert main(
+            ["bench", "--compare", old, new, "--tolerance", "1.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ANOMALY" in out and "ignored" in out
+
+    def test_anomaly_does_not_mask_real_regressions(self, capsys, tmp_path):
+        # One series anomalous, the other regressed: both must be named.
+        old_payload = _snapshot(0, stream=100_000)
+        new_payload = _snapshot(950_000, stream=20_000)
+        old = _write(tmp_path / "old.json", old_payload)
+        new = _write(tmp_path / "new.json", new_payload)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--compare", old, new])
+        message = str(excinfo.value)
+        assert "regressed" in message and "unusable rate" in message
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "ANOMALY" in out
