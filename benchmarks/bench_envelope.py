@@ -1,0 +1,76 @@
+"""The one ``BENCH_*.json`` envelope every artifact writer emits.
+
+Version 2 unifies the snapshot schema across ``bench_report.py`` (online +
+core), ``bench_serve.py`` and ``bench_substrates.py``::
+
+    {
+      "artifact":  "BENCH_<NAME>",
+      "version":   2,
+      "collected": {"<sibling BENCH_*.json>": {...}},   # trajectory fold-in
+      "cpus":      <os.cpu_count()>,
+      "python":    "<platform.python_version()>",
+      "numpy":     "<np.__version__>",
+      "items":     <workload size>,
+      "series":    {"<name>": {... "*items_per_sec": <rate> ...}}
+    }
+
+``repro bench --compare`` flattens every numeric ``*items_per_sec`` leaf to
+a dotted path, so any pair of snapshots — including a version-1 baseline
+against a version-2 run — gates the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Any, Dict
+
+import numpy as np
+
+ENVELOPE_VERSION = 2
+
+
+def collect_existing(output: Path) -> Dict[str, Any]:
+    """Sibling ``BENCH_*.json`` snapshots in the working directory.
+
+    Folded into the artifact under ``"collected"`` so each run carries the
+    full throughput trajectory; the output file itself is excluded.
+    """
+    collected: Dict[str, Any] = {}
+    for path in sorted(Path(".").glob("BENCH_*.json")):
+        if path.resolve() == output.resolve():
+            continue
+        try:
+            collected[path.name] = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            collected[path.name] = {"error": "unreadable"}
+    return collected
+
+
+def write_envelope(
+    output: Path,
+    artifact: str,
+    items: int,
+    series: Dict[str, Dict[str, Any]],
+    **extra: Any,
+) -> Dict[str, Any]:
+    """Write one version-2 envelope to ``output``; return the payload.
+
+    ``extra`` keys (e.g. ``compiled_backend``) land at the top level next
+    to the standard fields — they are annotations, not rate series.
+    """
+    report: Dict[str, Any] = {
+        "artifact": artifact,
+        "version": ENVELOPE_VERSION,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count() or 1,
+        "items": items,
+        "series": {name: dict(line) for name, line in series.items()},
+    }
+    report.update(extra)
+    report["collected"] = collect_existing(output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report

@@ -17,10 +17,11 @@ normalized), ``vectorized`` and ``compiled`` (skipped with a recorded
 reason when the C backend cannot build) — plus the tier-over-tier speedup
 ratios CI floors ride on.
 
-Both write ``scheme -> items/sec`` into a single JSON artifact that CI
-uploads and gates with ``repro bench --compare``, so the throughput
-trajectory accumulates across runs.  Any sibling ``BENCH_*.json`` files
-already present in the working directory are folded into the artifact under
+Both write ``scheme -> items/sec`` lines into the ``series`` section of
+the shared version-2 envelope (see :mod:`bench_envelope`) that CI uploads
+and gates with ``repro bench --compare``, so the throughput trajectory
+accumulates across runs.  Any sibling ``BENCH_*.json`` files already
+present in the working directory are folded into the artifact under
 ``"collected"``.
 
 Usage::
@@ -34,9 +35,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -178,21 +176,21 @@ FLOOR_SCHEMES = ("d_choice", "two_choice", "one_plus_beta",
 
 
 def _run_core(
-    report: Dict[str, Any],
+    series: Dict[str, Dict[str, Any]],
     items: int,
     selected: list,
     compiled_floor: Optional[float] = None,
-) -> None:
+) -> Dict[str, Any]:
     from repro.core.compiled import backend_unavailable_reason
 
     reason = backend_unavailable_reason()
-    report["compiled_backend"] = (
+    backend = (
         {"available": True} if reason is None
         else {"available": False, "reason": reason}
     )
     for scheme in selected:
         line = _measure_core_scheme(scheme, items, reason is None)
-        report["schemes"][scheme] = line
+        series[scheme] = line
         compiled_rate = line.get("compiled_items_per_sec")
         compiled_text = (
             f"compiled {compiled_rate:>11,}/s ({line['compiled_vs_vectorized']}x)"
@@ -209,11 +207,10 @@ def _run_core(
                 f"--compiled-floor requires the compiled backend: {reason}"
             )
         missed = [
-            f"{scheme} {report['schemes'][scheme]['compiled_vs_vectorized']}x"
+            f"{scheme} {series[scheme]['compiled_vs_vectorized']}x"
             for scheme in FLOOR_SCHEMES
-            if scheme in report["schemes"]
-            and report["schemes"][scheme]["compiled_vs_vectorized"]
-            < compiled_floor
+            if scheme in series
+            and series[scheme]["compiled_vs_vectorized"] < compiled_floor
         ]
         if missed:
             raise SystemExit(
@@ -221,19 +218,8 @@ def _run_core(
                 f"vectorized: {', '.join(missed)}"
             )
         print(f"compiled floor met (>= {compiled_floor}x over vectorized "
-              f"on {', '.join(s for s in FLOOR_SCHEMES if s in report['schemes'])})")
-
-
-def _collect_existing(output: Path) -> Dict[str, Any]:
-    collected: Dict[str, Any] = {}
-    for path in sorted(Path(".").glob("BENCH_*.json")):
-        if path.resolve() == output.resolve():
-            continue
-        try:
-            collected[path.name] = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            collected[path.name] = {"error": "unreadable"}
-    return collected
+              f"on {', '.join(s for s in FLOOR_SCHEMES if s in series)})")
+    return backend
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -275,21 +261,18 @@ def main(argv: Optional[list] = None) -> int:
     if unknown:
         parser.error(f"not covered: {unknown}; choose from {covered}")
 
-    report: Dict[str, Any] = {
-        "artifact": f"BENCH_{args.artifact.upper()}",
-        "version": 1,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "cpus": os.cpu_count() or 1,
-        "items": args.items,
-        "schemes": {},
-    }
+    from bench_envelope import write_envelope
+
+    series: Dict[str, Dict[str, Any]] = {}
+    extra: Dict[str, Any] = {}
     if args.artifact == "core":
-        _run_core(report, args.items, selected, args.compiled_floor)
+        extra["compiled_backend"] = _run_core(
+            series, args.items, selected, args.compiled_floor
+        )
     else:
         for scheme in selected:
-            report["schemes"][scheme] = _measure_scheme(scheme, args.items)
-            line = report["schemes"][scheme]
+            series[scheme] = _measure_scheme(scheme, args.items)
+            line = series[scheme]
             print(
                 f"{scheme:<22} batch {line['batch_items_per_sec']:>10,}/s  "
                 f"stream {line['stream_items_per_sec']:>9,}/s  "
@@ -297,9 +280,10 @@ def main(argv: Optional[list] = None) -> int:
                 f"({line['place_batch_vs_stream']}x)"
             )
     output = Path(args.output)
-    report["collected"] = _collect_existing(output)
-    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {output} ({len(report['schemes'])} schemes)")
+    write_envelope(
+        output, f"BENCH_{args.artifact.upper()}", args.items, series, **extra
+    )
+    print(f"wrote {output} ({len(series)} series)")
     return 0
 
 

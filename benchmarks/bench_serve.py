@@ -24,9 +24,7 @@ The module doubles as the ``BENCH_SERVE.json`` artifact writer::
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -141,16 +139,12 @@ def main(argv: Optional[list] = None) -> int:
     multi_time, _ = _time_pool(SHARDS, args.items)
     two_choice_time, _ = _time_pool(SHARDS, args.items, policy="two_choice")
 
+    from bench_envelope import write_envelope
+
     single_rate = int(args.items / single_time)
     multi_rate = int(args.items / multi_time)
     cpus = os.cpu_count() or 1
-    report: Dict[str, Any] = {
-        "artifact": "BENCH_SERVE",
-        "version": 1,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "cpus": cpus,
-        "items": args.items,
+    line: Dict[str, Any] = {
         "shards": SHARDS,
         "policy": "round_robin",
         "single_shard_items_per_sec": single_rate,
@@ -163,16 +157,16 @@ def main(argv: Optional[list] = None) -> int:
     # noise (the shards time-slice one core), so the snapshot says so
     # explicitly instead of committing a misleading sub-1x figure.
     if cpus >= SHARDS:
-        report["speedup"] = round(multi_rate / single_rate, 2)
+        line["speedup"] = round(multi_rate / single_rate, 2)
     else:
-        report["speedup"] = None
-        report["speedup_note"] = (
+        line["speedup"] = None
+        line["speedup_note"] = (
             f"machine has {cpus} CPU(s) < {SHARDS} shards; shard scaling "
             f"is not measurable here and the >= {MIN_SPEEDUP}x floor is "
             f"skipped (see test_four_shards_beat_one_shard)"
         )
     speedup_text = (
-        f"{report['speedup']}x" if report["speedup"] is not None
+        f"{line['speedup']}x" if line["speedup"] is not None
         else f"speedup n/a, {cpus} CPU(s) < {SHARDS} shards"
     )
     print(
@@ -180,10 +174,10 @@ def main(argv: Optional[list] = None) -> int:
         f"1 shard  {single_rate:>10,}/s\n"
         f"{SHARDS} shards {multi_rate:>10,}/s  "
         f"({speedup_text}, round_robin; "
-        f"{report['two_choice_multi_shard_items_per_sec']:,}/s two_choice)"
+        f"{line['two_choice_multi_shard_items_per_sec']:,}/s two_choice)"
     )
     output = Path(args.output)
-    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    write_envelope(output, "BENCH_SERVE", args.items, {"shard_pool": line})
     print(f"wrote {output}")
     return 0
 

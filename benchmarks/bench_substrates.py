@@ -16,12 +16,22 @@ Environment knobs (for shared CI runners):
 ``BENCH_SUBSTRATES_MIN_SPEEDUP``
     Speedup floor asserted for both cores (default 5.0; relax on noisy
     shared runners).
+
+The module doubles as the ``BENCH_SUBSTRATES.json`` artifact writer
+(shared version-2 envelope, see :mod:`bench_envelope`)::
+
+    PYTHONPATH=src python benchmarks/bench_substrates.py --tasks 200000 \
+        --files 20000 --output BENCH_SUBSTRATES.json
 """
 
 from __future__ import annotations
 
+import argparse
 import os
+import sys
 import time
+from pathlib import Path
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -128,6 +138,98 @@ def test_storage_core_speedup(benchmark, run_once, bench_seed):
     assert speedup >= MIN_SPEEDUP, (
         f"storage core speedup {speedup:.2f}x below the {MIN_SPEEDUP:g}x floor"
     )
+
+
+def _measure_cluster_core(n_tasks: int, seed: int = 0) -> Dict[str, Any]:
+    """Fast vs reference event-core throughput (reports must be identical)."""
+    n_jobs = n_tasks // TASKS_PER_JOB
+    arrays = job_trace_arrays(
+        n_jobs=n_jobs,
+        arrival_rate=0.7 * N_WORKERS / TASKS_PER_JOB,
+        tasks_per_job=TASKS_PER_JOB,
+        seed=seed,
+    )
+    start = time.perf_counter()
+    fast_report = simulate_cluster_fast(
+        N_WORKERS, BatchSamplingScheduler(), arrays, seed=seed + 1
+    )
+    fast_seconds = time.perf_counter() - start
+
+    trace = arrays.to_trace()
+    start = time.perf_counter()
+    reference_report = ClusterSimulator(
+        N_WORKERS, BatchSamplingScheduler(), seed=seed + 1
+    ).run(trace)
+    reference_seconds = time.perf_counter() - start
+    if reference_report != fast_report:
+        raise AssertionError("cluster event core diverged from the reference")
+    return {
+        "tasks": n_tasks,
+        "fast_items_per_sec": int(n_tasks / fast_seconds),
+        "reference_items_per_sec": int(n_tasks / reference_seconds),
+        "speedup": round(reference_seconds / fast_seconds, 2),
+    }
+
+
+def _measure_storage_core(n_files: int, seed: int = 0) -> Dict[str, Any]:
+    """Fast vs reference storage-core throughput (reports must be identical)."""
+    sizes = file_sizes(n_files, seed=seed)
+    start = time.perf_counter()
+    loads, fast_report = simulate_storage_fast(
+        N_SERVERS, sizes, REPLICAS, KDChoicePlacement(extra_probes=1),
+        seed=seed + 1,
+    )
+    fast_seconds = time.perf_counter() - start
+
+    population = file_population(n_files, replicas=REPLICAS, seed=seed)
+    system = StorageSystem(
+        N_SERVERS, KDChoicePlacement(extra_probes=1), seed=seed + 1
+    )
+    start = time.perf_counter()
+    system.store_population(population)
+    reference_report = system.report()
+    reference_seconds = time.perf_counter() - start
+    if reference_report != fast_report or not np.array_equal(
+        loads, system.load_vector()
+    ):
+        raise AssertionError("storage core diverged from the reference")
+    return {
+        "files": n_files,
+        "fast_items_per_sec": int(n_files / fast_seconds),
+        "reference_items_per_sec": int(n_files / reference_seconds),
+        "speedup": round(reference_seconds / fast_seconds, 2),
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Write the BENCH_SUBSTRATES.json throughput snapshot"
+    )
+    parser.add_argument("--tasks", type=int, default=200_000)
+    parser.add_argument("--files", type=int, default=20_000)
+    parser.add_argument("--output", type=str, default="BENCH_SUBSTRATES.json")
+    args = parser.parse_args(argv)
+
+    from bench_envelope import write_envelope
+
+    series = {
+        "cluster_event_core": _measure_cluster_core(args.tasks),
+        "storage_core": _measure_storage_core(args.files),
+    }
+    for name, line in series.items():
+        print(
+            f"{name:<20} fast {line['fast_items_per_sec']:>10,}/s  "
+            f"reference {line['reference_items_per_sec']:>9,}/s  "
+            f"({line['speedup']}x)"
+        )
+    output = Path(args.output)
+    write_envelope(output, "BENCH_SUBSTRATES", args.tasks, series)
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
 
 
 def test_warm_cache_substrate_sweep(benchmark, run_once, bench_seed, tmp_path):

@@ -16,6 +16,18 @@ kernel table:
   ``repro.online.steppers`` define nothing of their own — they re-export
   kernel symbols only, so there is no second implementation to rot.
 
+The workload registry (:mod:`repro.workloads`) gets the same treatment:
+
+* every consuming surface (``repro.online.trace``,
+  ``repro.simulation.workloads``, ``repro.serve.loadgen``) must carry the
+  registry's own function objects, not re-implementations;
+* every registered workload must be reachable from the CLI's shared
+  ``--workload`` flag group (``simulate``/``stream``/``loadgen``/
+  ``cluster``);
+* the deprecated ``--arrival-process``/``--churn`` spellings must resolve
+  to a registered entry whose schema still accepts them;
+* every scenario's event stream must be deterministic in its seed.
+
 Exposed to users as ``python -m repro schemes --check`` and locked down by
 ``tests/api/test_registry_parity.py``; CI runs both.
 """
@@ -110,6 +122,132 @@ def _shim_purity_violations() -> List[str]:
     return problems
 
 
+#: Surfaces that must carry the workload registry's own function objects
+#: (module, attribute): a wrapper or re-implementation here would be a
+#: second stream derivation that can silently drift from the registry.
+_WORKLOAD_SURFACES = (
+    ("repro.online.trace", "generate_workload_events"),
+    ("repro.simulation.workloads", "workload_events"),
+    ("repro.serve.loadgen", "generate_workload_events"),
+)
+
+#: CLI subcommands that must expose the shared ``--workload`` flag group.
+_WORKLOAD_COMMANDS = ("simulate", "stream", "loadgen", "cluster")
+
+
+def _workload_surface_violations() -> List[str]:
+    problems: List[str] = []
+    for module_name, attribute in _WORKLOAD_SURFACES:
+        module = importlib.import_module(module_name)
+        surface = getattr(module, attribute, None)
+        if surface is None:
+            problems.append(
+                f"workload surface {module_name}.{attribute} is missing; "
+                f"it must re-export the registry function from "
+                f"repro.workloads.records"
+            )
+            continue
+        owner = getattr(surface, "__module__", None)
+        if owner != "repro.workloads.records":
+            problems.append(
+                f"workload surface {module_name}.{attribute} is not the "
+                f"registry's function (defined in {owner}); re-export it "
+                f"from repro.workloads.records instead of wrapping it"
+            )
+    return problems
+
+
+def _workload_cli_violations() -> List[str]:
+    import argparse
+
+    from repro.cli import build_parser
+    from repro.workloads import available_workloads
+
+    problems: List[str] = []
+    registered = available_workloads()
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    for command in _WORKLOAD_COMMANDS:
+        subparser = subparsers.choices.get(command)
+        if subparser is None:
+            problems.append(
+                f"CLI subcommand {command!r} is missing; the shared "
+                f"--workload flag group (cli.py) expects it"
+            )
+            continue
+        flag = next(
+            (
+                action for action in subparser._actions
+                if "--workload" in action.option_strings
+            ),
+            None,
+        )
+        if flag is None:
+            problems.append(
+                f"repro {command} has no --workload flag; attach "
+                f"_add_workload_flags in cli.py so every registered "
+                f"workload stays CLI-reachable"
+            )
+        elif list(flag.choices or ()) != registered:
+            problems.append(
+                f"repro {command} --workload choices {sorted(flag.choices or ())} "
+                f"drifted from the registry {sorted(registered)}; the flag "
+                f"must offer exactly available_workloads()"
+            )
+    return problems
+
+
+def _workload_registry_violations() -> List[str]:
+    from repro.workloads import (
+        WORKLOADS,
+        WorkloadError,
+        generate_events,
+        resolve_legacy,
+    )
+
+    problems: List[str] = []
+
+    # The deprecated flag spellings must keep resolving to a registered
+    # entry whose schema accepts every legacy kwarg.
+    name, params = resolve_legacy()
+    record = WORKLOADS.get(name)
+    if record is None:
+        problems.append(
+            f"legacy workload kwargs resolve to unregistered workload "
+            f"{name!r}; register it in repro/workloads/library.py"
+        )
+    else:
+        try:
+            record.resolve_params(params)
+        except WorkloadError as exc:
+            problems.append(
+                f"legacy workload kwargs no longer fit workload {name!r}'s "
+                f"schema: {exc}"
+            )
+
+    # Every scenario's stream must be deterministic in (params, seed).
+    for workload in WORKLOADS.values():
+        try:
+            first = generate_events(workload.name, 8, seed=0)
+            second = generate_events(workload.name, 8, seed=0)
+        except Exception as exc:  # pragma: no cover - registration bug
+            problems.append(
+                f"workload {workload.name!r} failed to generate a tiny "
+                f"stream: {exc}"
+            )
+            continue
+        if first != second:
+            problems.append(
+                f"workload {workload.name!r} is not deterministic: two "
+                f"seed-0 streams differ; derive all randomness from "
+                f"workload_branches(seed, ...)"
+            )
+    return problems
+
+
 def lint_registry() -> List[str]:
     """Return every registry/kernel parity violation (empty when clean).
 
@@ -119,4 +257,10 @@ def lint_registry() -> List[str]:
     """
     import repro.api.schemes  # noqa: F401  (populate the registry)
 
-    return _kernel_surface_violations() + _shim_purity_violations()
+    return (
+        _kernel_surface_violations()
+        + _shim_purity_violations()
+        + _workload_surface_violations()
+        + _workload_cli_violations()
+        + _workload_registry_violations()
+    )

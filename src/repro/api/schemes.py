@@ -168,9 +168,13 @@ def _run_two_choice(
     n_balls: Optional[int] = None,
     seed: "int | np.random.SeedSequence | None" = None,
     rng: Optional[np.random.Generator] = None,
+    capacities: Optional[np.ndarray] = None,
 ) -> AllocationResult:
     """Two-choice (Greedy[2]) via the d-choice baseline."""
-    return run_d_choice(n_bins=n_bins, d=2, n_balls=n_balls, seed=seed, rng=rng)
+    return run_d_choice(
+        n_bins=n_bins, d=2, n_balls=n_balls, seed=seed, rng=rng,
+        capacities=capacities,
+    )
 
 
 register_scheme(

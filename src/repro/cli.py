@@ -75,6 +75,15 @@ from .api import (
     simulate_trials,
 )
 
+from .workloads import (
+    WorkloadError,
+    available_workloads,
+    bind_spec_params,
+    get_workload,
+    substrate_arrivals,
+    workloads_dump,
+)
+
 from .experiments import (
     ablation_table,
     churn_table,
@@ -152,6 +161,30 @@ def _parse_param_token(token: str) -> Tuple[str, object]:
         return key, raw  # bare word: a plain string parameter
 
 
+def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--workload`` flag group (stream/loadgen/cluster/simulate).
+
+    Each command's historical arrival/churn flags stay as working aliases
+    of the ``uniform`` registry entry; ``--workload`` selects any registered
+    scenario and ``--workload-param`` configures it against the scenario's
+    schema.  Mixing the two spellings is rejected (by the registry shim for
+    the event-stream surfaces, and explicitly for ``cluster``).
+    """
+    parser.add_argument(
+        "--workload", type=str, default=None, choices=available_workloads(),
+        metavar="NAME",
+        help="registered workload scenario (see `repro workloads`); the "
+        "legacy arrival/churn flags alias the 'uniform' entry and cannot "
+        "be combined with --workload",
+    )
+    parser.add_argument(
+        "--workload-param", action="append", default=[], metavar="KEY=VALUE",
+        type=_parse_param_token,
+        help="workload parameter (repeatable), e.g. --workload-param "
+        "exponent=1.2; validated against the scenario's parameter schema",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the ``repro-kd`` CLI."""
     parser = argparse.ArgumentParser(
@@ -211,6 +244,20 @@ def build_parser() -> argparse.ArgumentParser:
         "nonzero naming the offending scheme/module on drift",
     )
 
+    workloads_cmd = subparsers.add_parser(
+        "workloads",
+        help="List (or describe) the registered workload scenarios",
+    )
+    workloads_cmd.add_argument(
+        "--describe", type=str, default=None, metavar="WORKLOAD",
+        help="print the parameters and hooks of one workload",
+    )
+    workloads_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable workload-registry dump: every "
+        "scenario with its parameter schema and surface hooks",
+    )
+
     bench = subparsers.add_parser(
         "bench",
         help="Compare two BENCH_*.json throughput snapshots (CI regression "
@@ -253,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-max-entries", type=int, default=None, metavar="N",
         help="after the run, evict the oldest cache entries beyond N",
     )
+    _add_workload_flags(simulate_cmd)
 
     stream = subparsers.add_parser(
         "stream",
@@ -308,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-every", type=int, default=4096, metavar="EVENTS",
         help="events between live telemetry samples",
     )
+    _add_workload_flags(stream)
 
     replay = subparsers.add_parser(
         "replay",
@@ -457,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the report as one JSON object instead of text",
     )
+    _add_workload_flags(loadgen_cmd)
 
     profile = subparsers.add_parser(
         "profile", help="Figures 1 & 2: sorted load profiles with landmarks"
@@ -548,6 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-max-entries", type=int, default=None, metavar="N",
         help="after the run, evict the oldest cache entries beyond N",
     )
+    _add_workload_flags(cluster)
 
     storage = subparsers.add_parser(
         "storage",
@@ -696,12 +747,32 @@ def _prune_cache(store: Optional[ResultStore], max_entries: Optional[int]) -> No
     print(f"cache: pruned {evicted} entries, kept {len(store)}")
 
 
+def _workload_param_args(args: argparse.Namespace) -> Optional[Dict[str, object]]:
+    """``--workload-param`` tokens as a dict (``None`` when absent)."""
+    if not args.workload_param:
+        return None
+    if args.workload is None:
+        raise SystemExit("error: --workload-param requires --workload")
+    return _collect_params(args.workload_param)
+
+
 def _run_simulate(args: argparse.Namespace) -> None:
     store = _make_store(args.cache_dir)
+    params = _collect_params(args.param)
+    workload_params = _workload_param_args(args)
+    if args.workload is not None:
+        # The workload contributes scenario-derived spec parameters (e.g.
+        # hetero_bins capacities); explicit --param values win.  Item-level
+        # event structure does not reach the batch engines — the equivalence
+        # harness pins the stream itself via the simulation surface.
+        try:
+            params.update(bind_spec_params(args.workload, workload_params, params))
+        except WorkloadError as exc:
+            raise SystemExit(f"error: {exc}") from None
     try:
         spec = SchemeSpec(
             scheme=args.scheme,
-            params=_collect_params(args.param),
+            params=params,
             policy=args.policy,
             seed=args.seed,
             trials=args.trials,
@@ -767,6 +838,8 @@ def _run_stream(args: argparse.Namespace) -> None:
             snapshot_every=args.snapshot_every,
             snapshot_dir=args.snapshot_dir,
             telemetry=LoadTelemetry(sample_every=args.telemetry_every),
+            workload=args.workload,
+            workload_params=_workload_param_args(args),
         )
     except KeyError as exc:
         raise SystemExit(f"error: {exc.args[0]}") from None
@@ -897,6 +970,8 @@ def _run_loadgen(args: argparse.Namespace) -> None:
             burstiness=args.burstiness,
             seed=args.seed,
             shutdown_after=args.shutdown_after,
+            workload=args.workload,
+            workload_params=_workload_param_args(args),
         )
     except ConnectionRefusedError:
         raise SystemExit(
@@ -929,6 +1004,24 @@ def _collect_rates(payload: object, prefix: str = "") -> Dict[str, float]:
     return rates
 
 
+def _normalize_rate_paths(rates: Dict[str, float]) -> Dict[str, float]:
+    """Fold version-1 envelope spellings onto the version-2 ``series.`` prefix.
+
+    Version-1 snapshots nested their rates under ``schemes`` (bench_report)
+    or kept them at the top level (bench_serve); mapping both onto the
+    unified envelope keeps ``repro bench --compare`` usable across any
+    old/new snapshot pair.
+    """
+    normalized: Dict[str, float] = {}
+    for path, rate in rates.items():
+        if path.startswith("schemes."):
+            path = "series." + path[len("schemes."):]
+        elif "." not in path:
+            path = f"series.shard_pool.{path}"
+        normalized[path] = rate
+    return normalized
+
+
 def _run_bench_compare(args: argparse.Namespace) -> None:
     old_path, new_path = args.compare
     snapshots = []
@@ -950,7 +1043,8 @@ def _run_bench_compare(args: argparse.Namespace) -> None:
         )
         return
 
-    old_rates, new_rates = _collect_rates(old), _collect_rates(new)
+    old_rates = _normalize_rate_paths(_collect_rates(old))
+    new_rates = _normalize_rate_paths(_collect_rates(new))
     shared = sorted(set(old_rates) & set(new_rates))
     if not shared:
         raise SystemExit(
@@ -1036,7 +1130,8 @@ def _run_schemes(args: argparse.Namespace) -> None:
                 f"{len(problems)} registry/kernel parity violation(s)"
             )
         print(
-            f"registry/kernel parity OK ({len(available_schemes())} schemes)"
+            f"registry/kernel parity OK ({len(available_schemes())} schemes, "
+            f"{len(available_workloads())} workloads)"
         )
         return
     if args.json:
@@ -1059,6 +1154,38 @@ def _run_schemes(args: argparse.Namespace) -> None:
     width = max(len(name) for name in available_schemes())
     for name in available_schemes():
         print(f"{name:<{width}}  {describe_scheme(name)['summary']}")
+
+
+def _run_workloads(args: argparse.Namespace) -> None:
+    if args.json:
+        print(json.dumps(workloads_dump(), indent=2, sort_keys=True))
+        return
+    if args.describe is not None:
+        try:
+            record = get_workload(args.describe)
+        except WorkloadError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        print(f"{record.name}: {record.summary}")
+        hooks = [
+            label
+            for label, present in (
+                ("arrival stamps", record.stamper is not None
+                 or "arrival_process" in record.defaults),
+                ("tenant labels", record.labeler is not None),
+                ("spec binding", record.binder is not None),
+                ("substrate arrivals", record.arrivals is not None),
+            )
+            if present
+        ]
+        print(f"  hooks: {', '.join(hooks) if hooks else 'none'}")
+        print("  parameters:")
+        for name, default in record.defaults.items():
+            print(f"    {name} = {default}")
+        return
+    names = available_workloads()
+    width = max(len(name) for name in names)
+    for name in names:
+        print(f"{name:<{width}}  {get_workload(name).summary}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -1094,6 +1221,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _prune_cache(store, args.cache_max_entries)
     elif args.command == "schemes":
         _run_schemes(args)
+    elif args.command == "workloads":
+        _run_workloads(args)
     elif args.command == "bench":
         _run_bench_compare(args)
     elif args.command == "simulate":
@@ -1147,22 +1276,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         )
     elif args.command == "cluster":
-        _run_substrate(
-            args,
-            "cluster_scheduling",
-            {
-                "n_workers": args.workers,
-                "n_jobs": args.trace_jobs,
-                "tasks_per_job": args.tasks_per_job,
-                "probe_ratio": args.probe_ratio,
-                "arrival_rate": args.arrival_rate,
-                "duration_distribution": args.distribution,
-                "duration_shape": args.duration_shape,
-                "arrival_process": args.arrival_process,
-                "burstiness": args.burstiness,
-                "speed_spread": args.speed_spread,
-            },
-        )
+        params = {
+            "n_workers": args.workers,
+            "n_jobs": args.trace_jobs,
+            "tasks_per_job": args.tasks_per_job,
+            "probe_ratio": args.probe_ratio,
+            "arrival_rate": args.arrival_rate,
+            "duration_distribution": args.distribution,
+            "duration_shape": args.duration_shape,
+            "arrival_process": args.arrival_process,
+            "burstiness": args.burstiness,
+            "speed_spread": args.speed_spread,
+        }
+        if args.workload is not None:
+            # The substrate stamps its own arrival process; a workload
+            # drives it through the record's arrivals hook.  The legacy
+            # arrival flags alias the 'uniform' entry, so combining the
+            # spellings would be ambiguous.
+            legacy_defaults = {
+                "arrival_process": "poisson",
+                "arrival_rate": 8.0,
+                "burstiness": 4.0,
+            }
+            drifted = sorted(
+                f"--{flag.replace('_', '-')}"
+                for flag, default in legacy_defaults.items()
+                if getattr(args, flag) != default
+            )
+            if drifted:
+                raise SystemExit(
+                    f"error: pass either --workload {args.workload} (with "
+                    f"--workload-param) or the legacy flags "
+                    f"{', '.join(drifted)} — not both"
+                )
+            try:
+                params.update(
+                    substrate_arrivals(args.workload, _workload_param_args(args))
+                )
+            except WorkloadError as exc:
+                raise SystemExit(f"error: {exc}") from None
+        else:
+            _workload_param_args(args)  # rejects --workload-param alone
+        _run_substrate(args, "cluster_scheduling", params)
     elif args.command == "storage":
         if args.compare:
             _print(

@@ -112,6 +112,7 @@ def run_d_choice(
     n_balls: Optional[int] = None,
     seed: "int | np.random.SeedSequence | None" = None,
     rng: Optional[np.random.Generator] = None,
+    capacities: Optional[np.ndarray] = None,
 ) -> AllocationResult:
     """Azar et al.'s Greedy[d] (the standard multiple-choice process).
 
@@ -122,7 +123,8 @@ def run_d_choice(
     if d < 1:
         raise ValueError(f"d must be at least 1, got {d}")
     result = run_kd_choice(
-        n_bins=n_bins, k=1, d=d, n_balls=n_balls, seed=seed, rng=rng
+        n_bins=n_bins, k=1, d=d, n_balls=n_balls, seed=seed, rng=rng,
+        capacities=capacities,
     )
     result.scheme = f"greedy[{d}]"
     return result
@@ -187,18 +189,33 @@ def run_always_go_left(
     n_balls: Optional[int] = None,
     seed: "int | np.random.SeedSequence | None" = None,
     rng: Optional[np.random.Generator] = None,
+    capacities: Optional[np.ndarray] = None,
 ) -> AllocationResult:
     """Vöcking's Always-Go-Left asymmetric d-choice scheme.
 
     The bins are split into ``d`` contiguous groups of (almost) equal size;
     each ball probes one uniformly random bin per group and joins a least
     loaded probed bin, breaking ties towards the leftmost (lowest index)
-    group.
+    group.  ``capacities`` (the ``hetero_bins`` workload) switches the
+    comparison to fractional fill ``(load + 1) / capacity``.
     """
     if d < 1:
         raise ValueError(f"d must be at least 1, got {d}")
     if n_bins < d:
         raise ValueError(f"need n_bins >= d groups, got n_bins={n_bins}, d={d}")
+    if capacities is not None:
+        # The fill-aware variant is defined by the streaming kernel
+        # (AlwaysGoLeftStepper.step); the batch drive loop declines its
+        # batched apply under capacities, so this runs the per-ball
+        # reference path with the identical draw blocks.
+        from .kernels.table import run_always_go_left_vectorized
+
+        result = run_always_go_left_vectorized(
+            n_bins=n_bins, d=d, n_balls=n_balls, seed=seed, rng=rng,
+            capacities=capacities,
+        )
+        result.extra.pop("engine", None)
+        return result
     if n_balls is None:
         n_balls = n_bins
     generator = _make_rng(seed, rng)

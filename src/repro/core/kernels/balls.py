@@ -18,7 +18,7 @@ import numpy as np
 from ..baselines import _CHUNK as _BALL_CHUNK
 from ..baselines import _make_rng, least_loaded_probe
 from ..batched import ConflictScratch, clean_segments, prefix_conflicts
-from .base import OnlineStepper, speculative_batch_rows
+from .base import OnlineStepper, normalize_capacities, speculative_batch_rows
 
 __all__ = ["OnePlusBetaStepper", "AlwaysGoLeftStepper"]
 
@@ -165,6 +165,7 @@ class AlwaysGoLeftStepper(OnlineStepper):
         n_balls: Optional[int] = None,
         seed: "int | np.random.SeedSequence | None" = None,
         rng: Optional[np.random.Generator] = None,
+        capacities: Optional[object] = None,
     ) -> None:
         if d < 1:
             raise ValueError(f"d must be at least 1, got {d}")
@@ -172,6 +173,10 @@ class AlwaysGoLeftStepper(OnlineStepper):
             raise ValueError(f"need n_bins >= d groups, got n_bins={n_bins}, d={d}")
         self.n_bins = n_bins
         self.d = d
+        self.capacities = normalize_capacities(capacities, n_bins)
+        self._inv_capacity = (
+            None if self.capacities is None else 1.0 / self.capacities
+        )
         self.rng = _make_rng(seed, rng)
         self.planned_balls = n_bins if n_balls is None else n_balls
         self._boundaries = np.linspace(0, n_bins, d + 1).astype(np.int64)
@@ -211,7 +216,14 @@ class AlwaysGoLeftStepper(OnlineStepper):
             self._refill()
         row = self._probes[self._pos].tolist()
         self._pos += 1
-        target = least_loaded_probe(self.loads, row)
+        if self._inv_capacity is None:
+            target = least_loaded_probe(self.loads, row)
+        else:
+            # Fill-aware Always-Go-Left: the ball goes to the least *filled*
+            # probed bin, ties to the leftmost group (np.argmin keeps the
+            # earliest minimum, same convention as least_loaded_probe).
+            fills = (self.loads[row] + 1) * self._inv_capacity[row]
+            target = row[int(np.argmin(fills))]
         self.loads[target] += 1
         self.messages += self.d
         self.balls_emitted += 1
@@ -219,6 +231,10 @@ class AlwaysGoLeftStepper(OnlineStepper):
 
     def step_block(self, max_balls: int) -> Optional[np.ndarray]:
         if max_balls <= 0 or self.exhausted:
+            return None
+        if self._inv_capacity is not None:
+            # Fill comparisons are not modelled by the speculate-verify or
+            # compiled batch kernels; every engine takes the per-ball path.
             return None
         if self._buffered() == 0:
             self._refill()

@@ -58,6 +58,7 @@ __all__ = [
     "run_to_completion",
     "independent_batch_rounds",
     "speculative_batch_rows",
+    "normalize_capacities",
     "CALLABLE_THRESHOLD_REASON",
 ]
 
@@ -101,6 +102,32 @@ def speculative_batch_rows(n_bins: int, width: int, replays: int = 12) -> int:
     ``B = sqrt(2 * replays * n / width)``.
     """
     return max(32, min(_BALL_CHUNK, int((2 * replays * n_bins / width) ** 0.5)))
+
+
+def normalize_capacities(
+    capacities: "Optional[object]", n_bins: int
+) -> Optional[np.ndarray]:
+    """Validate a heterogeneous bin-capacity vector (``None`` passes through).
+
+    Capacities are *parameters*, not state: steppers keep the validated
+    array on the instance but reconstruct it from the spec on restore, so
+    snapshots stay free of redundant per-bin floats.  Every capacity must
+    be a finite positive number; the scale is arbitrary (only ratios
+    matter for the fill comparison).
+    """
+    if capacities is None:
+        return None
+    array = np.asarray(capacities, dtype=np.float64)
+    if array.shape != (n_bins,):
+        raise ValueError(
+            f"capacities must have one entry per bin ({n_bins}), got shape "
+            f"{array.shape}"
+        )
+    if not np.all(np.isfinite(array)) or (array.size and float(array.min()) <= 0.0):
+        raise ValueError(
+            "every bin capacity must be a finite positive number"
+        )
+    return array
 
 
 class StreamExhausted(RuntimeError):

@@ -19,10 +19,15 @@ import numpy as np
 
 from ..baselines import _make_rng
 from ..batched import ball_order_kept, stable_tiebreak_ranks
-from ..policies import get_policy, strict_select
+from ..policies import capacity_select, get_policy, strict_select
 from ..process import _DEFAULT_CHUNK_ROUNDS
 from ..types import ProcessParams
-from .base import _PLACED, OnlineStepper, independent_batch_rounds
+from .base import (
+    _PLACED,
+    OnlineStepper,
+    independent_batch_rounds,
+    normalize_capacities,
+)
 
 __all__ = ["KDChoiceStepper", "_select_batch"]
 
@@ -113,6 +118,7 @@ class KDChoiceStepper(OnlineStepper):
         seed: "int | np.random.SeedSequence | None" = None,
         rng: Optional[np.random.Generator] = None,
         chunk_rounds: Optional[int] = None,
+        capacities: Optional[object] = None,
     ) -> None:
         ProcessParams(n_bins=n_bins, n_balls=n_balls, k=k, d=d)
         chunk_rounds = _DEFAULT_CHUNK_ROUNDS if chunk_rounds is None else chunk_rounds
@@ -122,6 +128,15 @@ class KDChoiceStepper(OnlineStepper):
         self.k = k
         self.d = d
         self.policy = get_policy(policy)
+        self.capacities = normalize_capacities(capacities, n_bins)
+        if self.capacities is not None and self.policy.name != "strict":
+            raise ValueError(
+                f"heterogeneous bin capacities implement only the strict "
+                f"policy, got {self.policy.name!r}"
+            )
+        self._inv_capacity = (
+            None if self.capacities is None else 1.0 / self.capacities
+        )
         self.chunk_rounds = chunk_rounds
         self.rng = _make_rng(seed, rng)
         self.planned_balls = n_bins if n_balls is None else n_balls
@@ -147,6 +162,23 @@ class KDChoiceStepper(OnlineStepper):
             return 0
         return len(self._buffer) - self._buffer_pos
 
+    def _select(self, samples: List[int], count: int) -> List[int]:
+        """One round's destinations: the policy, or its fill-aware variant.
+
+        The capacity path mirrors :class:`~repro.core.policies.StrictPolicy`
+        draw for draw (no tie-break when every candidate is kept), so a
+        homogeneous ``capacities`` vector reproduces the uncapacitated
+        stream exactly.
+        """
+        if self._inv_capacity is None:
+            return self.policy.select(self.loads, samples, count, self.rng)
+        if count == len(samples):
+            return list(samples)
+        return capacity_select(
+            self.loads, self._inv_capacity, samples, count,
+            self.rng.random(len(samples)),
+        )
+
     def step(self) -> List[int]:
         self._require_more()
         if self.rounds < self.full_rounds:
@@ -154,7 +186,7 @@ class KDChoiceStepper(OnlineStepper):
                 self._refill()
             row = self._buffer[self._buffer_pos].tolist()
             self._buffer_pos += 1
-            destinations = self.policy.select(self.loads, row, self.k, self.rng)
+            destinations = self._select(row, self.k)
             for bin_index in destinations:
                 self.loads[bin_index] += 1
             self.rounds += 1
@@ -163,9 +195,7 @@ class KDChoiceStepper(OnlineStepper):
             return [int(b) for b in destinations]
         # The partial tail round (n_balls % k balls, still d probes).
         samples = self.rng.integers(0, self.n_bins, size=self.d).tolist()
-        destinations = self.policy.select(
-            self.loads, samples, self.tail_balls, self.rng
-        )
+        destinations = self._select(samples, self.tail_balls)
         for bin_index in destinations:
             self.loads[bin_index] += 1
         self.rounds += 1
@@ -176,6 +206,14 @@ class KDChoiceStepper(OnlineStepper):
 
     def step_block(self, max_balls: int) -> Optional[np.ndarray]:
         if self.policy.name != "strict":
+            return None
+        if self._inv_capacity is not None and self.k != self.d:
+            # Capacity-aware rounds compare fractional fills, which the
+            # batch kernels (and the compiled replay loops) do not model;
+            # every engine falls back to the per-unit drive path, which is
+            # the reference semantics by construction.  (k == d rounds keep
+            # every sampled bin regardless of fill, so they may still ride
+            # the degenerate bincount path below.)
             return None
         rounds_wanted = min(max_balls // self.k, self.full_rounds - self.rounds)
         if rounds_wanted <= 0:

@@ -186,6 +186,7 @@ def run_kd_choice_vectorized(
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
     chunk_rounds: Optional[int] = None,
+    capacities: Optional[Any] = None,
     _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """Run (k, d)-choice with the batch-vectorized engine.
@@ -195,6 +196,10 @@ def run_kd_choice_vectorized(
     only the wall-clock time differs.  ``chunk_rounds`` (default 4096) is the
     streaming knob: samples are drawn and processed in blocks of that many
     rounds, bounding peak buffer memory at ``O(chunk_rounds * d)``.
+
+    ``capacities`` (the ``hetero_bins`` workload) switches the strict rule to
+    fractional fills; the stepper then declines its batched apply, so this
+    engine drives the per-round reference path at scalar speed.
     """
     _require_strict(policy)
     stepper = run_to_completion(
@@ -206,6 +211,7 @@ def run_kd_choice_vectorized(
             seed=seed,
             rng=rng,
             chunk_rounds=chunk_rounds,
+            capacities=capacities,
         ),
         kernel_mode=_kernel_mode,
     )
@@ -287,6 +293,7 @@ def run_weighted_kd_choice_vectorized(
     mean_weight: float = 1.0,
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    capacities: Optional[Any] = None,
     _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """Weighted (k, d)-choice on the batch engine.
@@ -306,6 +313,7 @@ def run_weighted_kd_choice_vectorized(
             mean_weight=mean_weight,
             seed=seed,
             rng=rng,
+            capacities=capacities,
         ),
         kernel_mode=_kernel_mode,
     )
@@ -392,6 +400,7 @@ def run_d_choice_vectorized(
     n_balls: Optional[int] = None,
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    capacities: Optional[Any] = None,
     _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """Greedy[d] on the batch engine (the (1, d)-choice special case)."""
@@ -399,7 +408,7 @@ def run_d_choice_vectorized(
         raise ValueError(f"d must be at least 1, got {d}")
     result = run_kd_choice_vectorized(
         n_bins=n_bins, k=1, d=d, n_balls=n_balls, seed=seed, rng=rng,
-        _kernel_mode=_kernel_mode,
+        capacities=capacities, _kernel_mode=_kernel_mode,
     )
     result.scheme = f"greedy[{d}]"
     return result
@@ -410,12 +419,13 @@ def run_two_choice_vectorized(
     n_balls: Optional[int] = None,
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    capacities: Optional[Any] = None,
     _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """Two-choice (Greedy[2]) on the batch engine."""
     return run_d_choice_vectorized(
         n_bins=n_bins, d=2, n_balls=n_balls, seed=seed, rng=rng,
-        _kernel_mode=_kernel_mode,
+        capacities=capacities, _kernel_mode=_kernel_mode,
     )
 
 
@@ -454,11 +464,15 @@ def run_always_go_left_vectorized(
     n_balls: Optional[int] = None,
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    capacities: Optional[Any] = None,
     _kernel_mode: str = "numpy",
 ) -> AllocationResult:
     """Vöcking's Always-Go-Left scheme on the speculate-verify engine."""
     stepper = run_to_completion(
-        AlwaysGoLeftStepper(n_bins=n_bins, d=d, n_balls=n_balls, seed=seed, rng=rng),
+        AlwaysGoLeftStepper(
+            n_bins=n_bins, d=d, n_balls=n_balls, seed=seed, rng=rng,
+            capacities=capacities,
+        ),
         kernel_mode=_kernel_mode,
     )
     return AllocationResult(
@@ -591,10 +605,12 @@ def d_choice_stepper(
     n_balls: Optional[int] = None,
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    capacities: Optional[Any] = None,
 ) -> KDChoiceStepper:
     """Stream Greedy[d] (the (1, d)-choice special case)."""
     return KDChoiceStepper(
-        n_bins=n_bins, k=1, d=d, n_balls=n_balls, seed=seed, rng=rng
+        n_bins=n_bins, k=1, d=d, n_balls=n_balls, seed=seed, rng=rng,
+        capacities=capacities,
     )
 
 
@@ -603,10 +619,12 @@ def two_choice_stepper(
     n_balls: Optional[int] = None,
     seed: "int | Any" = None,
     rng: Optional[Any] = None,
+    capacities: Optional[Any] = None,
 ) -> KDChoiceStepper:
     """Stream classic two-choice (Greedy[2])."""
     return KDChoiceStepper(
-        n_bins=n_bins, k=1, d=2, n_balls=n_balls, seed=seed, rng=rng
+        n_bins=n_bins, k=1, d=2, n_balls=n_balls, seed=seed, rng=rng,
+        capacities=capacities,
     )
 
 

@@ -22,7 +22,12 @@ from ..batched import ConflictScratch, clean_segments, prefix_conflicts
 from ..process import _DEFAULT_CHUNK_ROUNDS
 from ..types import ProcessParams
 from ..weighted import WeightSpec, make_weights, weighted_round_apply
-from .base import _PLACED, OnlineStepper, speculative_batch_rows
+from .base import (
+    _PLACED,
+    OnlineStepper,
+    normalize_capacities,
+    speculative_batch_rows,
+)
 
 __all__ = ["WeightedKDChoiceStepper", "_weighted_batch"]
 
@@ -123,11 +128,16 @@ class WeightedKDChoiceStepper(OnlineStepper):
         mean_weight: float = 1.0,
         seed: "int | np.random.SeedSequence | None" = None,
         rng: Optional[np.random.Generator] = None,
+        capacities: Optional[object] = None,
     ) -> None:
         ProcessParams(n_bins=n_bins, n_balls=None, k=k, d=d)
         self.n_bins = n_bins
         self.k = k
         self.d = d
+        self.capacities = normalize_capacities(capacities, n_bins)
+        self._inv_capacity = (
+            None if self.capacities is None else 1.0 / self.capacities
+        )
         self.rng = _make_rng(seed, rng)
         self.planned_balls = n_bins if n_balls is None else n_balls
         self._weights = make_weights(
@@ -192,6 +202,7 @@ class WeightedKDChoiceStepper(OnlineStepper):
                 ties,
                 batch_weights,
                 float(batch_weights.mean()),
+                inv_capacity=self._inv_capacity,
             )
             self._weight_pos += self.k
             self.rounds += 1
@@ -208,6 +219,7 @@ class WeightedKDChoiceStepper(OnlineStepper):
             ties,
             batch_weights,
             float(batch_weights.mean()),
+            inv_capacity=self._inv_capacity,
         )
         self.rounds += 1
         self.messages += self.d
@@ -216,6 +228,10 @@ class WeightedKDChoiceStepper(OnlineStepper):
         return [int(b) for b in destinations]
 
     def step_block(self, max_balls: int) -> Optional[np.ndarray]:
+        if self._inv_capacity is not None:
+            # Fill-aware rounds are not modelled by the speculate-verify or
+            # compiled batch kernels; every engine takes the per-round path.
+            return None
         rounds_wanted = min(max_balls // self.k, self.full_rounds - self.rounds)
         if rounds_wanted <= 0:
             return None

@@ -34,6 +34,7 @@ __all__ = [
     "GreedyPolicy",
     "get_policy",
     "strict_select",
+    "capacity_select",
     "POLICIES",
 ]
 
@@ -65,6 +66,38 @@ def strict_select(
     # Keep the k balls with the smallest heights; break ties uniformly at
     # random via the secondary sort key.
     order = np.lexsort((tiebreak, heights))
+    kept = order[:k]
+    return [samples[j] for j in kept]
+
+
+def capacity_select(
+    loads: Sequence[int],
+    inv_capacity: np.ndarray,
+    samples: Sequence[int],
+    k: int,
+    tiebreak: np.ndarray,
+) -> List[int]:
+    """:func:`strict_select` over *fractional fill* instead of raw height.
+
+    The heterogeneous-bins extension (``hetero_bins`` workload): a bin of
+    capacity ``c`` holding ``h`` balls is filled to ``h / c``, so the j-th
+    virtual ball landing in bin ``b`` has fill
+    ``(loads[b] + placed_before + 1) / capacity[b]`` and the strict rule
+    keeps the ``k`` least-filled candidates.  With all capacities equal
+    this reduces to :func:`strict_select` exactly (every fill is the raw
+    height scaled by one constant).  Tie-breaking (equal fills, e.g.
+    equal-capacity bins at equal load) stays uniform via the same
+    secondary key.
+    """
+    d = len(samples)
+    extra: dict[int, int] = {}
+    fills = np.empty(d, dtype=np.float64)
+    for j, bin_index in enumerate(samples):
+        placed_before = extra.get(bin_index, 0)
+        fills[j] = (loads[bin_index] + placed_before + 1) * inv_capacity[bin_index]
+        extra[bin_index] = placed_before + 1
+
+    order = np.lexsort((tiebreak, fills))
     kept = order[:k]
     return [samples[j] for j in kept]
 

@@ -197,6 +197,7 @@ def run_kd_choice(
     seed: "int | np.random.SeedSequence | None" = None,
     rng: Optional[np.random.Generator] = None,
     chunk_rounds: Optional[int] = None,
+    capacities: Optional[np.ndarray] = None,
 ) -> AllocationResult:
     """Run a complete (k, d)-choice allocation and return its result.
 
@@ -227,6 +228,10 @@ def run_kd_choice(
         bounds the sample-buffer memory at ``O(chunk_rounds * d)``; the
         random stream (and therefore the result) depends on it, so compare
         engines only at equal ``chunk_rounds``.
+    capacities:
+        Optional per-bin capacity vector (the ``hetero_bins`` workload):
+        the strict rule then ranks candidates by fractional fill
+        ``(load + 1) / capacity`` instead of raw load.  Strict policy only.
 
     Examples
     --------
@@ -234,6 +239,19 @@ def run_kd_choice(
     >>> result.total_balls_check()
     True
     """
+    if capacities is not None:
+        # The fill-aware process is defined by the streaming kernel
+        # (KDChoiceStepper.step); the batch drive loop declines its batched
+        # apply under capacities, so this runs the per-round reference path.
+        from .kernels.table import run_kd_choice_vectorized
+
+        result = run_kd_choice_vectorized(
+            n_bins=n_bins, k=k, d=d, n_balls=n_balls, policy=policy,
+            seed=seed, rng=rng, chunk_rounds=chunk_rounds,
+            capacities=capacities,
+        )
+        result.extra.pop("engine", None)
+        return result
     process = KDChoiceProcess(
         n_bins=n_bins, k=k, d=d, policy=policy, seed=seed, rng=rng,
         chunk_rounds=_DEFAULT_CHUNK_ROUNDS if chunk_rounds is None else chunk_rounds,

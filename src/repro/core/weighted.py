@@ -89,6 +89,7 @@ def weighted_round_apply(
     tiebreaks: Sequence[float],
     batch_weights: np.ndarray,
     increment: float,
+    inv_capacity: Optional[np.ndarray] = None,
 ) -> "list[int]":
     """Apply one weighted round in place (the scalar round kernel).
 
@@ -102,24 +103,29 @@ def weighted_round_apply(
 
     Returns the destination bins in ball order (heaviest ball first), which
     is how the streaming allocator (:mod:`repro.online`) hands them out.
+
+    ``inv_capacity`` (the ``hetero_bins`` extension) switches both rankings
+    from raw weighted load to fractional fill — heights and the final slot
+    order are scaled by each bin's inverse capacity; ``None`` leaves the
+    arithmetic exactly as before.
     """
     extra: dict[int, int] = {}
     slot_heights = []
     for j, bin_index in enumerate(samples):
         placed_before = extra.get(bin_index, 0)
-        slot_heights.append(
-            (
-                loads[bin_index] + increment * (placed_before + 1),
-                tiebreaks[j],
-                bin_index,
-            )
-        )
+        height = loads[bin_index] + increment * (placed_before + 1)
+        if inv_capacity is not None:
+            height = height * inv_capacity[bin_index]
+        slot_heights.append((height, tiebreaks[j], bin_index))
         extra[bin_index] = placed_before + 1
     slot_heights.sort()
     kept_bins = [bin_index for _, _, bin_index in slot_heights[: len(batch_weights)]]
 
-    # Heaviest ball to the least-loaded kept slot.
-    kept_bins.sort(key=lambda b: loads[b])
+    # Heaviest ball to the least-loaded (least-filled) kept slot.
+    if inv_capacity is None:
+        kept_bins.sort(key=lambda b: loads[b])
+    else:
+        kept_bins.sort(key=lambda b: loads[b] * inv_capacity[b])
     for weight, bin_index in zip(batch_weights, kept_bins):
         loads[bin_index] += weight
         counts[bin_index] += 1
@@ -253,13 +259,30 @@ def run_weighted_kd_choice(
     mean_weight: float = 1.0,
     seed: "int | np.random.SeedSequence | None" = None,
     rng: Optional[np.random.Generator] = None,
+    capacities: Optional[np.ndarray] = None,
 ) -> AllocationResult:
     """One-call wrapper around :class:`WeightedKDChoiceProcess`.
 
     ``result.extra['weighted_loads']`` holds the per-bin total weight;
     ``result.loads`` holds ball counts, so the unit-weight invariants still
-    apply to it.
+    apply to it.  ``capacities`` (the ``hetero_bins`` workload) ranks the
+    round's virtual placements by fractional fill instead of raw weighted
+    load.
     """
+    if capacities is not None:
+        # The fill-aware variant is defined by the streaming kernel
+        # (WeightedKDChoiceStepper.step); the batch drive loop declines its
+        # batched apply under capacities, so this runs the per-round
+        # reference path with the identical draw blocks.
+        from .kernels.table import run_weighted_kd_choice_vectorized
+
+        result = run_weighted_kd_choice_vectorized(
+            n_bins=n_bins, k=k, d=d, weights=weights, n_balls=n_balls,
+            mean_weight=mean_weight, seed=seed, rng=rng,
+            capacities=capacities,
+        )
+        result.extra.pop("engine", None)
+        return result
     process = WeightedKDChoiceProcess(
         n_bins=n_bins,
         k=k,

@@ -100,6 +100,11 @@ class LoadTelemetry:
         self._max_dirty = False  # removals/bulk ingestion invalidate the max
         self._events_since_sample = 0
         self._samples_taken = 0
+        # Per-tenant counters (multi-tenant workloads only): tenant label ->
+        # {"placements", "removals", "bins": {bin -> live count}}.  Labels
+        # are normalized to strings so the counters survive a JSON snapshot
+        # round-trip unchanged.
+        self._tenants: Dict[str, Dict[str, object]] = {}
 
     # ------------------------------------------------------------------
     # O(1) event updates
@@ -123,6 +128,76 @@ class LoadTelemetry:
         self.placements += count
         self._max_dirty = True
         self._events_since_sample += count
+
+    # ------------------------------------------------------------------
+    # Per-tenant attribution (multi-tenant workloads)
+    # ------------------------------------------------------------------
+    def record_tenant_place(self, tenant: object, bin_index: int) -> None:
+        """Attribute one placement to ``tenant`` landing in ``bin_index``.
+
+        Called by the event drivers (which see the workload's tenant
+        labels and the chosen destinations), not by the allocator — the
+        global counters above stay tenancy-agnostic.
+        """
+        stats = self._tenants.get(str(tenant))
+        if stats is None:
+            stats = self._tenants[str(tenant)] = {
+                "placements": 0, "removals": 0, "bins": {},
+            }
+        stats["placements"] = int(stats["placements"]) + 1
+        bins = stats["bins"]
+        bins[int(bin_index)] = bins.get(int(bin_index), 0) + 1  # type: ignore[union-attr]
+
+    def record_tenant_remove(self, tenant: object, bin_index: int) -> None:
+        """Attribute one removal from ``bin_index`` to ``tenant``."""
+        stats = self._tenants.get(str(tenant))
+        if stats is None:
+            stats = self._tenants[str(tenant)] = {
+                "placements": 0, "removals": 0, "bins": {},
+            }
+        stats["removals"] = int(stats["removals"]) + 1
+        bins = stats["bins"]
+        key = int(bin_index)
+        remaining = bins.get(key, 0) - 1  # type: ignore[union-attr]
+        if remaining > 0:
+            bins[key] = remaining  # type: ignore[index]
+        else:
+            bins.pop(key, None)  # type: ignore[union-attr]
+
+    @property
+    def has_tenants(self) -> bool:
+        return bool(self._tenants)
+
+    def tenant_summary(self) -> "Dict[str, Dict[str, int]]":
+        """Per-tenant counters, sorted by label: placements, removals,
+        live balls, and the tenant's own max load over the bins."""
+        summary: Dict[str, Dict[str, int]] = {}
+        for tenant in sorted(self._tenants):
+            stats = self._tenants[tenant]
+            bins: Dict[int, int] = stats["bins"]  # type: ignore[assignment]
+            summary[tenant] = {
+                "placements": int(stats["placements"]),
+                "removals": int(stats["removals"]),
+                "live": int(stats["placements"]) - int(stats["removals"]),
+                "max_load": max(bins.values()) if bins else 0,
+            }
+        return summary
+
+    def tenant_fairness(self) -> float:
+        """Jain's fairness index over per-tenant live ball counts.
+
+        1.0 means every tenant holds the same number of live balls; the
+        lower bound ``1/len(tenants)`` means one tenant holds everything.
+        An empty system is vacuously fair.
+        """
+        lives = [
+            int(stats["placements"]) - int(stats["removals"])
+            for stats in self._tenants.values()
+        ]
+        total = sum(lives)
+        if not lives or total == 0:
+            return 1.0
+        return (total * total) / (len(lives) * sum(x * x for x in lives))
 
     # ------------------------------------------------------------------
     # Reads and sampling
@@ -203,7 +278,7 @@ class LoadTelemetry:
     # Snapshot support (counters only; the sample ring is not persisted)
     # ------------------------------------------------------------------
     def counters(self) -> "Dict[str, int | float]":
-        return {
+        data: Dict[str, object] = {
             "placements": self.placements,
             "removals": self.removals,
             "samples_taken": self._samples_taken,
@@ -216,6 +291,21 @@ class LoadTelemetry:
             # off instead of restarting at zero.
             "wall_time": self._clock() - self._start,
         }
+        if self._tenants:
+            # Only present for multi-tenant streams: tenancy-free snapshots
+            # (and their digests) are unchanged by the feature's existence.
+            data["tenants"] = {
+                tenant: {
+                    "placements": int(stats["placements"]),
+                    "removals": int(stats["removals"]),
+                    "bins": {
+                        str(b): int(c)
+                        for b, c in stats["bins"].items()  # type: ignore[union-attr]
+                    },
+                }
+                for tenant, stats in self._tenants.items()
+            }
+        return data  # type: ignore[return-value]
 
     def restore_counters(self, counters: "Dict[str, int | float]") -> None:
         self.placements = int(counters.get("placements", 0))
@@ -231,3 +321,14 @@ class LoadTelemetry:
         self._last_sample_time = now
         self._last_sample_placements = self.placements
         self._max_dirty = True
+        self._tenants = {
+            str(tenant): {
+                "placements": int(stats.get("placements", 0)),
+                "removals": int(stats.get("removals", 0)),
+                "bins": {
+                    int(b): int(c)
+                    for b, c in (stats.get("bins") or {}).items()
+                },
+            }
+            for tenant, stats in (counters.get("tenants") or {}).items()
+        }

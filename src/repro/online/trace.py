@@ -33,8 +33,6 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, IO, List, Optional, Tuple
 
-import numpy as np
-
 from ..api.registry import get_scheme
 from ..api.spec import SchemeSpec
 from .allocator import OnlineAllocator, write_snapshot
@@ -245,68 +243,25 @@ def read_trace(
 # ----------------------------------------------------------------------
 # Workload-to-trace bridge
 # ----------------------------------------------------------------------
-def generate_workload_events(
-    items: int,
-    arrival_process: str = "none",
-    arrival_rate: float = 1000.0,
-    burstiness: float = 4.0,
-    switch_prob: float = 0.1,
-    churn: float = 0.0,
-    seed: Optional[int] = None,
-) -> List[Dict[str, Any]]:
-    """A deterministic request stream: ``items`` placements plus churn.
+# The bridge is a thin shim over the workload registry
+# (:mod:`repro.workloads`): the historical kwargs resolve to the
+# ``uniform`` registry entry and stay byte-identical to the pre-registry
+# implementation, while ``workload=``/``workload_params=`` select any
+# registered scenario.  ``repro schemes --check`` lints that this module
+# defines no generator of its own.
+from ..workloads import bind_spec_params, generate_workload_events  # noqa: E402
 
-    ``arrival_process`` of ``"poisson"``/``"mmpp"`` stamps every event with
-    an arrival time from the substrate's samplers; ``"none"`` leaves events
-    unstamped.  With ``churn`` in ``(0, 1]``, each placement is followed by
-    the removal of one uniformly random live item with that probability
-    (removals reuse the placement's timestamp).  The generator is seeded
-    independently of the spec that will serve the stream, so one workload
-    can be replayed against many schemes and seeds.
-    """
-    if items < 0:
-        raise ValueError(f"items must be non-negative, got {items}")
-    if not 0.0 <= churn <= 1.0:
-        raise ValueError(f"churn must lie in [0, 1], got {churn}")
-    times: Optional[np.ndarray] = None
-    if arrival_process != "none":
-        from ..simulation.workloads import sample_arrival_times
 
-        times = sample_arrival_times(
-            items,
-            arrival_rate=arrival_rate,
-            arrival_process=arrival_process,
-            burstiness=burstiness,
-            switch_prob=switch_prob,
-            seed=seed,
-        )
-    rng = np.random.default_rng(seed)
-    if times is not None:
-        # sample_arrival_times consumed this generator's distribution from a
-        # fresh default_rng(seed); reuse an independent stream for churn by
-        # jumping to a child so the two draws never overlap.
-        rng = np.random.default_rng(np.random.SeedSequence(seed).spawn(1)[0])
-    events: List[Dict[str, Any]] = []
-    live: List[int] = []
-    for index in range(items):
-        event: Dict[str, Any] = {"op": "place", "item": index}
-        if times is not None:
-            event["t"] = float(times[index])
-        events.append(event)
-        live.append(index)
-        if churn > 0.0 and live and float(rng.random()) < churn:
-            victim_position = int(rng.integers(0, len(live)))
-            victim = live[victim_position]
-            # Swap-with-last removal: same uniform victim for this draw,
-            # O(1) instead of list.pop's O(live) element shift (which made
-            # million-item churn workloads quadratic).
-            live[victim_position] = live[-1]
-            live.pop()
-            removal: Dict[str, Any] = {"op": "remove", "item": victim}
-            if times is not None:
-                removal["t"] = float(times[index])
-            events.append(removal)
-    return events
+def _bind_workload_spec(
+    spec: SchemeSpec,
+    workload: Optional[str],
+    workload_params: Optional[Dict[str, Any]],
+) -> SchemeSpec:
+    """Merge the workload's contributed spec params (e.g. capacities)."""
+    if workload is None:
+        return spec
+    extra = bind_spec_params(workload, workload_params, spec.params)
+    return spec.with_params(**extra) if extra else spec
 
 
 def record_workload(
@@ -319,6 +274,8 @@ def record_workload(
     switch_prob: float = 0.1,
     churn: float = 0.0,
     workload_seed: Optional[int] = None,
+    workload: Optional[str] = None,
+    workload_params: Optional[Dict[str, Any]] = None,
 ) -> TraceHeader:
     """Capture a workload against ``spec`` as a replayable trace file.
 
@@ -326,6 +283,7 @@ def record_workload(
     falling back to ``n_bins``).  Returns the written header.
     """
     items = _derive_items(spec, items)
+    spec = _bind_workload_spec(spec, workload, workload_params)
     events = generate_workload_events(
         items,
         arrival_process=arrival_process,
@@ -334,6 +292,8 @@ def record_workload(
         switch_prob=switch_prob,
         churn=churn,
         seed=workload_seed,
+        workload=workload,
+        workload_params=workload_params,
     )
     seed = _require_int_seed(spec.seed)
     header = TraceHeader(
@@ -387,6 +347,18 @@ class ReplaySummary:
             "telemetry_samples",
         ):
             lines.append(f"  {key}: {self.stats[key]}")
+        if "tenants" in self.stats:
+            fairness = self.stats["tenant_fairness"]
+            lines.append(
+                f"  tenants: {len(self.stats['tenants'])} "
+                f"(fairness={fairness:.4f})"
+            )
+            for tenant, counters in self.stats["tenants"].items():
+                lines.append(
+                    f"    tenant {tenant}: placed={counters['placements']}, "
+                    f"removed={counters['removals']}, live={counters['live']}, "
+                    f"max_load={counters['max_load']}"
+                )
         if self.snapshots_taken:
             lines.append(f"  snapshots: {self.snapshots_taken}")
         lines.append(f"  loads_sha256: {self.stats['loads_sha256']}")
@@ -426,9 +398,14 @@ def run_events(
     if snapshot_every is not None and snapshot_every < 1:
         raise ValueError(f"snapshot_every must be positive, got {snapshot_every}")
     has_removes = any(event["op"] == "remove" for event in events)
+    has_tenants = any("tenant" in event for event in events)
     allocator = OnlineAllocator(
         spec, telemetry=telemetry, track_items=has_removes
     )
+    # Tenant attribution lives here, not in the allocator: only the event
+    # driver sees the workload's labels together with the chosen bins.
+    tenant_place = allocator.telemetry.record_tenant_place
+    tenant_remove = allocator.telemetry.record_tenant_remove
     batch_mode = spec.engine != "scalar"
     snapshot_paths: List[str] = []
     snapshots_taken = 0
@@ -476,14 +453,22 @@ def run_events(
                         else start_sequence + offset
                         for offset, e in enumerate(run)
                     ]
-                allocator.place_batch(len(run), items=keys)
+                destinations = allocator.place_batch(len(run), items=keys)
+                if has_tenants:
+                    for e, bin_index in zip(run, destinations):
+                        if "tenant" in e:
+                            tenant_place(e["tenant"], int(bin_index))
             else:
                 # Register item ids only when some event will look one up:
                 # a churn-free replay must not build an O(n) item map (and
                 # its snapshots must match the batch path's, which tracks
                 # nothing either).
                 for e in run:
-                    allocator.place(e.get("item") if has_removes else None)
+                    bin_index = allocator.place(
+                        e.get("item") if has_removes else None
+                    )
+                    if "tenant" in e:
+                        tenant_place(e["tenant"], bin_index)
             places += len(run)
             if record_writer is not None:
                 for e in run:
@@ -491,7 +476,9 @@ def run_events(
             consumed += len(run)
             index = run_stop
         else:
-            allocator.remove(event["item"])
+            bin_index = allocator.remove(event["item"])
+            if "tenant" in event:
+                tenant_remove(event["tenant"], bin_index)
             removes += 1
             if record_writer is not None:
                 record_writer.write_event(event)
@@ -500,13 +487,19 @@ def run_events(
         if snapshot_every is not None and consumed % snapshot_every == 0:
             take_snapshot()
 
+    stats = allocator.summary()
+    if allocator.telemetry.has_tenants:
+        # Additive keys: tenancy-free summaries (and their goldens) are
+        # byte-identical with or without this feature.
+        stats["tenants"] = allocator.telemetry.tenant_summary()
+        stats["tenant_fairness"] = allocator.telemetry.tenant_fairness()
     return ReplaySummary(
         spec=spec,
         engine=spec.engine,
         events=total,
         places=places,
         removes=removes,
-        stats=allocator.summary(),
+        stats=stats,
         snapshots_taken=snapshots_taken,
         snapshot_paths=snapshot_paths,
     )
@@ -564,6 +557,8 @@ def stream_workload(
     snapshot_every: Optional[int] = None,
     snapshot_dir: "str | os.PathLike[str] | None" = None,
     telemetry: Optional[LoadTelemetry] = None,
+    workload: Optional[str] = None,
+    workload_params: Optional[Dict[str, Any]] = None,
 ) -> ReplaySummary:
     """Generate a workload and serve it live (optionally recording it).
 
@@ -571,9 +566,13 @@ def stream_workload(
     :func:`generate_workload_events`, pins the spec's ``n_balls`` to the
     placement count, and runs it through :func:`run_events`.  With
     ``record=`` the served stream is captured as a trace whose later
-    ``repro replay`` reproduces this run exactly.
+    ``repro replay`` reproduces this run exactly.  ``workload=`` selects a
+    registered scenario (any entry of :mod:`repro.workloads`) instead of
+    the legacy kwargs, and merges the scenario's contributed spec params
+    (e.g. ``hetero_bins`` capacities) before serving.
     """
     items = _derive_items(spec, items)
+    spec = _bind_workload_spec(spec, workload, workload_params)
     events = generate_workload_events(
         items,
         arrival_process=arrival_process,
@@ -582,6 +581,8 @@ def stream_workload(
         switch_prob=switch_prob,
         churn=churn,
         seed=workload_seed,
+        workload=workload,
+        workload_params=workload_params,
     )
     pinned = _pin_stream_length(spec.scheme, dict(spec.params), items)
     if pinned != dict(spec.params):

@@ -1,11 +1,12 @@
 """The load generator: drive a running allocation server, measure it.
 
 ``repro loadgen`` is the companion of ``repro serve``: it builds a
-deterministic request stream with the same workload bridge that powers
-``repro stream`` (:func:`repro.online.trace.generate_workload_events` —
-Poisson / bursty-MMPP arrival stamps, optional churn), fans it out over N
-pipelined connections, and reports sustained placements/sec plus latency
-percentiles and the server's batching counters.
+deterministic request stream from the workload registry that powers
+``repro stream`` and ``simulate`` (:mod:`repro.workloads` — the same
+``(workload, params, seed)`` triple yields the identical event list on
+every surface), fans it out over N pipelined connections, and reports
+sustained placements/sec plus latency percentiles and the server's
+batching counters.
 
 The *request stream* is deterministic (fixed seed -> same events, same
 per-connection partition); the *measurements* are wall-clock.  Events are
@@ -23,10 +24,38 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ..online.trace import generate_workload_events
+from ..workloads import generate_workload_events
 from .client import ServeClient, ServeError
 
-__all__ = ["LoadgenReport", "run_loadgen", "loadgen"]
+__all__ = ["LoadgenReport", "build_loadgen_events", "run_loadgen", "loadgen"]
+
+
+def build_loadgen_events(
+    items: int,
+    churn: float = 0.0,
+    arrival_process: str = "none",
+    arrival_rate: float = 1000.0,
+    burstiness: float = 4.0,
+    seed: Optional[int] = 0,
+    workload: Optional[str] = None,
+    workload_params: Optional[Dict[str, Any]] = None,
+) -> List[Dict[str, Any]]:
+    """The loadgen's event stream: the registry stream, verbatim.
+
+    One derivation point so the cross-surface equivalence harness can
+    assert the loadgen fires byte-for-byte the events ``repro stream``
+    and ``simulate`` consume for the same ``(workload, params, seed)``.
+    """
+    return generate_workload_events(
+        items,
+        arrival_process=arrival_process,
+        arrival_rate=arrival_rate,
+        burstiness=burstiness,
+        churn=churn,
+        seed=seed,
+        workload=workload,
+        workload_params=workload_params,
+    )
 
 
 @dataclass
@@ -170,6 +199,8 @@ async def run_loadgen(
     seed: Optional[int] = 0,
     collect_stats: bool = True,
     shutdown_after: bool = False,
+    workload: Optional[str] = None,
+    workload_params: Optional[Dict[str, Any]] = None,
 ) -> LoadgenReport:
     """Drive ``items`` placements (plus churn) at the server; measure.
 
@@ -184,13 +215,15 @@ async def run_loadgen(
         raise ValueError(
             f"max_in_flight must be positive, got {max_in_flight}"
         )
-    events = generate_workload_events(
+    events = build_loadgen_events(
         items,
         arrival_process=arrival_process,
         arrival_rate=arrival_rate,
         burstiness=burstiness,
         churn=churn,
         seed=seed,
+        workload=workload,
+        workload_params=workload_params,
     )
     connections = min(connections, max(1, items))
     parts = _partition_events(events, connections)

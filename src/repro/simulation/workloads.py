@@ -53,6 +53,7 @@ __all__ = [
     "file_population",
     "file_sizes",
     "zipf_weights",
+    "workload_events",
 ]
 
 
@@ -592,3 +593,13 @@ def file_population(
         )
         for i in range(n_files)
     ]
+
+
+# ----------------------------------------------------------------------
+# The workload registry's event streams, re-exported for simulation-side
+# callers.  This is the registry function itself (not a wrapper) so the
+# parity lint can hold every surface to the same derivation; the lazy
+# placement keeps the import acyclic (repro.workloads samples arrival
+# times and Zipf weights from this module).
+# ----------------------------------------------------------------------
+from ..workloads import generate_events as workload_events  # noqa: E402

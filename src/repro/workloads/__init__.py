@@ -1,0 +1,42 @@
+"""One workload contract, every surface derived.
+
+See :mod:`repro.workloads.records` for the contract and
+:mod:`repro.workloads.library` for the scenario registrations.
+"""
+
+from .records import (
+    Event,
+    LEGACY_WORKLOAD_DEFAULTS,
+    WORKLOADS,
+    Workload,
+    WorkloadError,
+    available_workloads,
+    bind_spec_params,
+    generate_events,
+    generate_workload_events,
+    get_workload,
+    register_workload,
+    resolve_legacy,
+    substrate_arrivals,
+    workload_branches,
+    workloads_dump,
+)
+from . import library  # noqa: F401  (registers the scenario library)
+
+__all__ = [
+    "Event",
+    "LEGACY_WORKLOAD_DEFAULTS",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadError",
+    "available_workloads",
+    "bind_spec_params",
+    "generate_events",
+    "generate_workload_events",
+    "get_workload",
+    "register_workload",
+    "resolve_legacy",
+    "substrate_arrivals",
+    "workload_branches",
+    "workloads_dump",
+]

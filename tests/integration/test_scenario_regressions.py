@@ -1,0 +1,209 @@
+"""Seed-pinned balance regressions for the scenario library v2.
+
+Every new workload scenario, streamed through three allocation schemes at
+pinned ``(spec seed, workload seed)``, must keep reproducing the exact
+load distribution it produced when the scenario was registered: the pins
+below record max-load, gap, load percentiles and the SHA-256 of the final
+load vector (the strongest possible pin — any reordering or off-by-one in
+the stream derivation changes it).
+
+The pins are regression locks, not paper claims; EXPERIMENTS.md discusses
+what the numbers *mean*.  Regenerate (only after an intentional change to
+a scenario's derivation) by re-running the stream commands printed in each
+pin's id, e.g.::
+
+    PYTHONPATH=src python -m repro stream --scheme two_choice \
+        --param n_bins=256 --items 2000 --workload zipf_items \
+        --workload-param exponent=1.2 --workload-param universe=512 \
+        --seed 1 --workload-seed 5
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SchemeSpec
+from repro.online.trace import stream_workload
+
+SCHEME_PARAMS = {
+    "two_choice": {},
+    "weighted_kd_choice": {"k": 2, "d": 4, "weights": "exponential"},
+    "always_go_left": {"d": 4},
+}
+
+SCENARIO_PARAMS = {
+    "zipf_items": {"exponent": 1.2, "universe": 512},
+    "adversarial_burst": {"burst": 32, "attack": 0.5},
+    "diurnal": {"period": 30.0, "amplitude": 0.6, "churn": 0.1},
+    "hetero_bins": {"spread": 4.0, "churn": 0.1},
+    "multi_tenant": {"tenants": 3, "churn": 0.2},
+}
+
+#: (scheme, workload) -> pinned stats at n_bins=256, items=2000,
+#: spec seed 1, workload seed 5.
+PINS = {
+    ("two_choice", "zipf_items"): {
+        "max_load": 3, "gap": 1.875, "load_p50": 1.0, "load_p99": 3.0,
+        "loads_sha256":
+        "74af69f544f204e08dc969261f075dbe0f9937adf22b6e027d3a2001651ed35f",
+    },
+    ("two_choice", "adversarial_burst"): {
+        "max_load": 6, "gap": 2.09375, "load_p50": 4.0, "load_p99": 6.0,
+        "loads_sha256":
+        "134a780fa3e8c47e26419da8cafbd373e0e3961211eeded15467821d1d27fed5",
+    },
+    ("two_choice", "diurnal"): {
+        "max_load": 9, "gap": 1.8984375, "load_p50": 7.0, "load_p99": 9.0,
+        "loads_sha256":
+        "cd9b79a5a55e916d2714ecfbf37256cdf61d7391aaac19469d01acd44b8cb993",
+    },
+    ("two_choice", "hetero_bins"): {
+        "max_load": 14, "gap": 6.8984375, "load_p50": 7.0, "load_p99": 13.0,
+        "loads_sha256":
+        "9f92d3303241a1fef73ea9c642af7f1af77d7c9f89fdf207c998e4202105943e",
+    },
+    ("two_choice", "multi_tenant"): {
+        "max_load": 8, "gap": 1.62890625, "load_p50": 7.0, "load_p99": 8.0,
+        "loads_sha256":
+        "8c459e78bac4bd5c42da19c9a1876ae1347aed9c53ee386da6cbe8f0d37d9370",
+    },
+    ("weighted_kd_choice", "zipf_items"): {
+        "max_load": 4, "gap": 2.875, "load_p50": 1.0, "load_p99": 3.0,
+        "loads_sha256":
+        "e87d93b4646cdc0fff2b5d5aa2c00fe29f611c591ac1875a7c3c4417270d23c5",
+    },
+    ("weighted_kd_choice", "adversarial_burst"): {
+        "max_load": 8, "gap": 4.09375, "load_p50": 4.0, "load_p99": 7.0,
+        "loads_sha256":
+        "7eae00dbe19afc9f34b0e87030753ee803b98d6c3e1c5c5af5143eea646c57ee",
+    },
+    ("weighted_kd_choice", "diurnal"): {
+        "max_load": 13, "gap": 5.8984375, "load_p50": 7.0,
+        "load_p99": 12.449999999999989,
+        "loads_sha256":
+        "edc085451a28ec26d3cc93b55498691f410fef10ddba3c35225198b74ae07177",
+    },
+    ("weighted_kd_choice", "hetero_bins"): {
+        "max_load": 20, "gap": 12.8984375, "load_p50": 7.0,
+        "load_p99": 16.44999999999999,
+        "loads_sha256":
+        "bafe62f6282b90cd772da936bb7d11e0ff184f6e6715c4d6bb612fca6a5a11e1",
+    },
+    ("weighted_kd_choice", "multi_tenant"): {
+        "max_load": 11, "gap": 4.62890625, "load_p50": 6.0, "load_p99": 11.0,
+        "loads_sha256":
+        "3178e5ad5a05f0fb50aa54c347c1e0a019193ec8dad2644455371d75a38d4723",
+    },
+    ("always_go_left", "zipf_items"): {
+        "max_load": 2, "gap": 0.875, "load_p50": 1.0, "load_p99": 2.0,
+        "loads_sha256":
+        "a947795291325652b68370057d2daba47ae9c697bab07e43889a8ad1af2a3e1e",
+    },
+    ("always_go_left", "adversarial_burst"): {
+        "max_load": 5, "gap": 1.09375, "load_p50": 4.0, "load_p99": 5.0,
+        "loads_sha256":
+        "753a59210cd44e7028e7f18d99dd61e2a00f26d21f017b335dfcf950ab612b05",
+    },
+    ("always_go_left", "diurnal"): {
+        "max_load": 8, "gap": 0.8984375, "load_p50": 7.0, "load_p99": 8.0,
+        "loads_sha256":
+        "8a3fd0fc631c650b3a7092270168553d257399230abd5f690d21af8d093c3d6a",
+    },
+    ("always_go_left", "hetero_bins"): {
+        "max_load": 14, "gap": 6.8984375, "load_p50": 6.5, "load_p99": 14.0,
+        "loads_sha256":
+        "4469a17fa9cd2f4d60a06d68dfce986e131fb9702b34c36ac5f4fee98e93c069",
+    },
+    ("always_go_left", "multi_tenant"): {
+        "max_load": 7, "gap": 0.62890625, "load_p50": 6.0, "load_p99": 7.0,
+        "loads_sha256":
+        "6aa67d16889ff42a29656fc0a63bd3487385a4bf6018a055bd4e38ce2e0f728b",
+    },
+}
+
+#: workload -> pinned stats for two_choice at n_bins=4096, items=100_000
+#: (paper-scale sanity of the same derivations; slow-marked).
+LARGE_PINS = {
+    "zipf_items": {
+        "max_load": 4, "gap": 2.228271484375, "load_p99": 4.0,
+        "loads_sha256":
+        "a5f60e3f881b0a31342fd51ea05c1541222ba190cfc61262dd6b969969f70a85",
+    },
+    "adversarial_burst": {
+        "max_load": 15, "gap": 2.79296875, "load_p99": 14.0,
+        "loads_sha256":
+        "4c2f6bbc593db3f4b6e651cb3ab03d49ceff49e148b91bdbeb598d7dbb8e9523",
+    },
+    "diurnal": {
+        "max_load": 24, "gap": 2.038330078125, "load_p99": 24.0,
+        "loads_sha256":
+        "1eafb89de41d759dbcec8715a07fca002216d3c64b26dd8347f7722dbc17f87d",
+    },
+    "hetero_bins": {
+        "max_load": 44, "gap": 22.038330078125, "load_p99": 39.0,
+        "loads_sha256":
+        "9b34ed12c45a63c15e1be9f3da80033157efe16e4eed2391d17beed4b094676c",
+    },
+    "multi_tenant": {
+        "max_load": 22, "gap": 2.48681640625, "load_p99": 21.0,
+        "loads_sha256":
+        "09eec22cc8007ab0dca25e1a837ec7925e098a43f0edc48fb3118302c40bfbf8",
+    },
+}
+
+#: The large runs widen zipf's key universe so repeats stay informative.
+LARGE_SCENARIO_PARAMS = dict(
+    SCENARIO_PARAMS, zipf_items={"exponent": 1.2, "universe": 16384}
+)
+
+
+def _stream_stats(scheme, scheme_params, workload, workload_params,
+                  n_bins, items):
+    spec = SchemeSpec(
+        scheme=scheme,
+        params={"n_bins": n_bins, "n_balls": items, **scheme_params},
+        seed=1,
+    )
+    return stream_workload(
+        spec, items=items, workload_seed=5,
+        workload=workload, workload_params=workload_params,
+    ).stats
+
+
+@pytest.mark.parametrize(
+    "scheme,workload", sorted(PINS),
+    ids=[f"{scheme}-{workload}" for scheme, workload in sorted(PINS)],
+)
+def test_scenario_stream_reproduces_the_pinned_distribution(scheme, workload):
+    stats = _stream_stats(
+        scheme, SCHEME_PARAMS[scheme], workload, SCENARIO_PARAMS[workload],
+        n_bins=256, items=2000,
+    )
+    expected = PINS[(scheme, workload)]
+    observed = {key: stats[key] for key in expected}
+    assert observed == expected
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workload", sorted(LARGE_PINS))
+def test_scenario_stream_reproduces_the_pinned_distribution_at_scale(workload):
+    stats = _stream_stats(
+        "two_choice", {}, workload, LARGE_SCENARIO_PARAMS[workload],
+        n_bins=4096, items=100_000,
+    )
+    expected = LARGE_PINS[workload]
+    observed = {key: stats[key] for key in expected}
+    assert observed == expected
+
+
+def test_hetero_bins_capacities_change_the_allocation():
+    """The capacity profile must actually reach the load comparison —
+    a hetero_bins stream and a plain uniform stream of the same size
+    must place differently."""
+    hetero = _stream_stats(
+        "two_choice", {}, "hetero_bins", {"spread": 4.0}, 256, 2000
+    )
+    uniform = _stream_stats(
+        "two_choice", {}, "uniform", {}, 256, 2000
+    )
+    assert hetero["loads_sha256"] != uniform["loads_sha256"]

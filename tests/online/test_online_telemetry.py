@@ -213,3 +213,67 @@ class TestRestoreAnchors:
         )
         assert telemetry.placements == 5
         assert telemetry.counters()["wall_time"] == pytest.approx(0.0)
+
+
+class TestTenantCounters:
+    """Per-tenant attribution: counters, fairness, snapshot round-trip."""
+
+    def _telemetry_with_two_tenants(self) -> LoadTelemetry:
+        telemetry = LoadTelemetry()
+        telemetry.record_tenant_place("a", 0)
+        telemetry.record_tenant_place("a", 0)
+        telemetry.record_tenant_place("a", 3)
+        telemetry.record_tenant_place("b", 1)
+        telemetry.record_tenant_remove("a", 0)
+        return telemetry
+
+    def test_summary_tracks_placements_removals_live_and_max_load(self):
+        summary = self._telemetry_with_two_tenants().tenant_summary()
+        assert summary == {
+            "a": {"placements": 3, "removals": 1, "live": 2, "max_load": 1},
+            "b": {"placements": 1, "removals": 0, "live": 1, "max_load": 1},
+        }
+
+    def test_no_tenants_means_no_tenant_section(self):
+        telemetry = LoadTelemetry()
+        telemetry.record_place(0, 1)
+        assert not telemetry.has_tenants
+        assert "tenants" not in telemetry.counters()
+        assert telemetry.tenant_fairness() == 1.0
+
+    def test_fairness_is_jains_index_over_live_balls(self):
+        telemetry = LoadTelemetry()
+        for _ in range(3):
+            telemetry.record_tenant_place(0, 0)
+        telemetry.record_tenant_place(1, 1)
+        # lives = [3, 1]: (3+1)^2 / (2 * (9+1)) = 16/20
+        assert telemetry.tenant_fairness() == pytest.approx(0.8)
+        telemetry.record_tenant_place(1, 2)
+        telemetry.record_tenant_place(1, 3)
+        assert telemetry.tenant_fairness() == pytest.approx(1.0)
+
+    def test_one_tenant_holding_everything_is_the_lower_bound(self):
+        telemetry = LoadTelemetry()
+        telemetry.record_tenant_place("hog", 0)
+        telemetry.record_tenant_place("idle", 1)
+        telemetry.record_tenant_remove("idle", 1)
+        assert telemetry.tenant_fairness() == pytest.approx(0.5)
+
+    def test_counters_round_trip_through_restore(self):
+        telemetry = self._telemetry_with_two_tenants()
+        snapshot = telemetry.counters()
+        restored = LoadTelemetry()
+        restored.restore_counters(snapshot)
+        assert restored.tenant_summary() == telemetry.tenant_summary()
+        assert restored.tenant_fairness() == telemetry.tenant_fairness()
+        # The restored instance keeps attributing correctly.
+        restored.record_tenant_remove("a", 3)
+        assert restored.tenant_summary()["a"]["live"] == 1
+
+    def test_labels_normalize_to_strings(self):
+        telemetry = LoadTelemetry()
+        telemetry.record_tenant_place(7, 0)
+        telemetry.record_tenant_remove("7", 0)
+        assert telemetry.tenant_summary() == {
+            "7": {"placements": 1, "removals": 1, "live": 0, "max_load": 0},
+        }

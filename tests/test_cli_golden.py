@@ -234,3 +234,43 @@ class TestSchemesJsonGolden:
             assert entry["online"] == (
                 entry["online_unsupported_reason"] is None
             )
+
+
+class TestWorkloadsJsonGolden:
+    """The machine-readable workload-registry dump must stay byte-stable.
+
+    Regenerate (only after intentionally changing the scenario library)
+    with::
+
+        PYTHONPATH=src python -m repro workloads --json \
+            > tests/data/golden/workloads.json
+    """
+
+    def test_registry_dump_matches_golden(self, capsys):
+        output = run_cli(capsys, ["workloads", "--json"])
+        assert output == golden("workloads.json")
+
+    def test_dump_is_valid_json_with_hook_flags(self, capsys):
+        import json
+
+        dump = json.loads(run_cli(capsys, ["workloads", "--json"]))
+        assert dump["format"] == "repro-workload-registry"
+        assert dump["version"] == 1
+        workloads = dump["workloads"]
+        assert set(workloads) >= {
+            "uniform", "zipf_items", "adversarial_burst", "diurnal",
+            "hetero_bins", "multi_tenant",
+        }
+        assert workloads["hetero_bins"]["binds_spec_params"]
+        assert workloads["multi_tenant"]["tenant_labels"]
+        assert workloads["uniform"]["substrate_arrivals"]
+        for entry in workloads.values():
+            assert isinstance(entry["params"], dict)
+            assert entry["summary"]
+
+    def test_table_lists_every_registered_workload(self, capsys):
+        from repro.workloads import available_workloads
+
+        output = run_cli(capsys, ["workloads"])
+        for name in available_workloads():
+            assert name in output
