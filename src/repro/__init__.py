@@ -24,18 +24,10 @@ True
 constructing a spec with ``SchemeSpec(..., engine="vectorized")`` selects
 the batch fast path (seed-for-seed identical to the scalar reference).
 
-The historical ``run_*`` helpers below remain as thin shims around the same
-implementations for backwards compatibility; they emit a
-:class:`DeprecationWarning` when called — prefer the spec API in new code.
-
->>> from repro import run_kd_choice
->>> result = run_kd_choice(n_bins=4096, k=4, d=8, seed=7)  # doctest: +SKIP
->>> result.max_load <= 4  # doctest: +SKIP
-True
+The historical top-level ``run_*`` shims (deprecated since the spec API
+landed) are gone; the undecorated reference implementations remain
+importable from :mod:`repro.core` for the registry and the engines.
 """
-
-import functools as _functools
-import warnings as _warnings
 
 from .core import (
     AllocationResult,
@@ -52,19 +44,6 @@ from .core import (
     WeightedKDChoiceProcess,
     get_policy,
     metrics,
-    run_always_go_left,
-    run_batch_random,
-    run_churn_kd_choice,
-    run_d_choice,
-    run_kd_choice,
-    run_kd_choice_vectorized,
-    run_one_plus_beta,
-    run_serialized_kd_choice,
-    run_single_choice,
-    run_stale_kd_choice,
-    run_threshold_adaptive,
-    run_two_phase_adaptive,
-    run_weighted_kd_choice,
 )
 from .api import (
     SchemeSpec,
@@ -75,50 +54,6 @@ from .api import (
     simulate_many,
 )
 from . import analysis, api, cluster, experiments, simulation, storage
-
-#: The historical helpers kept as deprecated shims.  ``repro.core`` still
-#: exposes the undecorated implementations (the registry and the engines
-#: call those directly); only these top-level re-exports warn.
-_DEPRECATED_RUNNERS = (
-    "run_always_go_left",
-    "run_batch_random",
-    "run_churn_kd_choice",
-    "run_d_choice",
-    "run_kd_choice",
-    "run_kd_choice_vectorized",
-    "run_one_plus_beta",
-    "run_serialized_kd_choice",
-    "run_single_choice",
-    "run_stale_kd_choice",
-    "run_threshold_adaptive",
-    "run_two_phase_adaptive",
-    "run_weighted_kd_choice",
-)
-
-
-def _deprecated_shim(func):
-    """Wrap a ``run_*`` implementation so calling it via ``repro`` warns."""
-
-    @_functools.wraps(func)
-    def shim(*args, **kwargs):
-        _warnings.warn(
-            f"repro.{func.__name__} is deprecated; build a "
-            f"repro.api.SchemeSpec and call repro.api.simulate instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return func(*args, **kwargs)
-
-    shim.__doc__ = (
-        f".. deprecated:: 1.0\n   Use :func:`repro.api.simulate` with a "
-        f":class:`repro.api.SchemeSpec` instead.\n\n{func.__doc__ or ''}"
-    )
-    return shim
-
-
-for _name in _DEPRECATED_RUNNERS:
-    globals()[_name] = _deprecated_shim(globals()[_name])
-del _name
 
 __version__ = "1.0.0"
 
@@ -136,28 +71,15 @@ __all__ = [
     "ProcessParams",
     "BinState",
     "KDChoiceProcess",
-    "run_kd_choice",
-    "run_kd_choice_vectorized",
     "SerializedKDChoice",
-    "run_serialized_kd_choice",
     "BallPlacement",
     "StrictPolicy",
     "GreedyPolicy",
     "get_policy",
-    "run_single_choice",
-    "run_d_choice",
-    "run_one_plus_beta",
-    "run_always_go_left",
-    "run_batch_random",
-    "run_threshold_adaptive",
-    "run_two_phase_adaptive",
     "WeightedKDChoiceProcess",
-    "run_weighted_kd_choice",
     "StaleKDChoiceProcess",
-    "run_stale_kd_choice",
     "DynamicKDChoiceProcess",
     "ChurnResult",
-    "run_churn_kd_choice",
     "metrics",
     # subpackages
     "api",

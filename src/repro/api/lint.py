@@ -28,6 +28,16 @@ The workload registry (:mod:`repro.workloads`) gets the same treatment:
   to a registered entry whose schema still accepts them;
 * every scenario's event stream must be deterministic in its seed.
 
+The topology registry (:mod:`repro.topology`) is linted the same way:
+
+* every scheme tagged ``topology`` must be kernel-backed (its engines are
+  derived, never hand-wired);
+* every named layout must bind, JSON-round-trip exactly, and dump
+  byte-identically on a double run;
+* the shared ``--topology`` flag must be present on every CLI surface that
+  reaches the topology-aware schemes (``simulate``/``stream``/``serve``/
+  ``loadgen``).
+
 Exposed to users as ``python -m repro schemes --check`` and locked down by
 ``tests/api/test_registry_parity.py``; CI runs both.
 """
@@ -248,6 +258,114 @@ def _workload_registry_violations() -> List[str]:
     return problems
 
 
+#: CLI subcommands that must expose the shared ``--topology`` flag.
+_TOPOLOGY_COMMANDS = ("simulate", "stream", "serve", "loadgen")
+
+
+def _topology_registry_violations() -> List[str]:
+    import json
+
+    from repro.topology import (
+        TOPOLOGY_LAYOUTS,
+        Topology,
+        TopologyError,
+        topology_registry_dump,
+    )
+
+    from ..core.kernels import KERNELS
+    from .registry import REGISTRY
+
+    problems: List[str] = []
+
+    # Topology-aware schemes ride the same kernel contract as everything
+    # else: a hand-wired engine surface would escape the equivalence pins.
+    for name in REGISTRY.names():
+        info = REGISTRY.get(name)
+        if "topology" not in (info.tags or ()):
+            continue
+        if info.kernel is None or info.kernel not in KERNELS:
+            problems.append(
+                f"topology scheme {name!r} (api/schemes.py) is not "
+                f"kernel-backed; register it with kernel=KERNELS[{name!r}]"
+            )
+
+    # Every named layout must bind and survive an exact JSON round-trip.
+    for name, layout in sorted(TOPOLOGY_LAYOUTS.items()):
+        if name != layout.name:
+            problems.append(
+                f"topology layout registered as {name!r} carries "
+                f"name={layout.name!r}; the registry key must match"
+            )
+        try:
+            topology = layout.bind(64)
+        except TopologyError as exc:
+            problems.append(
+                f"topology layout {name!r} fails to bind 64 bins: {exc}"
+            )
+            continue
+        if Topology.from_dict(topology.to_dict()) != topology:
+            problems.append(
+                f"topology layout {name!r} does not JSON-round-trip "
+                f"(from_dict(to_dict()) differs); fix "
+                f"repro/topology/records.py"
+            )
+        first = json.dumps(topology.to_dict(), sort_keys=True)
+        second = json.dumps(layout.bind(64).to_dict(), sort_keys=True)
+        if first != second:
+            problems.append(
+                f"topology layout {name!r} dumps differently on a double "
+                f"run; to_dict() must be deterministic"
+            )
+
+    if json.dumps(topology_registry_dump(), sort_keys=True) != json.dumps(
+        topology_registry_dump(), sort_keys=True
+    ):
+        problems.append(
+            "topology_registry_dump() is not deterministic across calls"
+        )
+    return problems
+
+
+def _topology_cli_violations() -> List[str]:
+    import argparse
+
+    from repro.cli import build_parser
+
+    problems: List[str] = []
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    if "topology" not in subparsers.choices:
+        problems.append(
+            "CLI subcommand 'topology' is missing; the layout registry "
+            "must stay inspectable (cli.py)"
+        )
+    for command in _TOPOLOGY_COMMANDS:
+        subparser = subparsers.choices.get(command)
+        if subparser is None:
+            problems.append(
+                f"CLI subcommand {command!r} is missing; the shared "
+                f"--topology flag (cli.py) expects it"
+            )
+            continue
+        flag = next(
+            (
+                action for action in subparser._actions
+                if "--topology" in action.option_strings
+            ),
+            None,
+        )
+        if flag is None:
+            problems.append(
+                f"repro {command} has no --topology flag; attach "
+                f"_add_topology_flag in cli.py so every named layout stays "
+                f"CLI-reachable"
+            )
+    return problems
+
+
 def lint_registry() -> List[str]:
     """Return every registry/kernel parity violation (empty when clean).
 
@@ -263,4 +381,6 @@ def lint_registry() -> List[str]:
         + _workload_surface_violations()
         + _workload_cli_violations()
         + _workload_registry_violations()
+        + _topology_registry_violations()
+        + _topology_cli_violations()
     )

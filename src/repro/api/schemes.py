@@ -36,6 +36,7 @@ from ..core.serialization import run_serialized_kd_choice
 from ..core.stale import run_stale_kd_choice
 from ..core.types import AllocationResult
 from ..core.weighted import run_weighted_kd_choice
+from ..topology.schemes import run_hierarchical_go_left, run_locality_two_choice
 from .registry import register_scheme
 
 __all__: list = []
@@ -211,6 +212,26 @@ register_scheme(
     tags=("adaptive",),
     kernel=KERNELS["two_phase_adaptive"],
 )(run_two_phase_adaptive)
+
+
+# ----------------------------------------------------------------------
+# Topology-aware variants (rack/zone hierarchies, repro.topology)
+# ----------------------------------------------------------------------
+register_scheme(
+    "hierarchical_always_go_left",
+    summary="Always-Go-Left over a topology's racks (go-left per level).",
+    aliases=("hgl",),
+    tags=("extension", "topology"),
+    kernel=KERNELS["hierarchical_always_go_left"],
+)(run_hierarchical_go_left)
+
+register_scheme(
+    "locality_two_choice",
+    summary="Greedy[d] with zone-biased probes and threshold cross-zone spill.",
+    aliases=("l2c",),
+    tags=("extension", "topology"),
+    kernel=KERNELS["locality_two_choice"],
+)(run_locality_two_choice)
 
 
 # ----------------------------------------------------------------------

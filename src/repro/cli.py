@@ -185,6 +185,21 @@ def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_topology_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--topology`` flag (simulate/stream/serve/loadgen).
+
+    Accepts either a named layout from :data:`repro.topology.TOPOLOGY_LAYOUTS`
+    (bin-count independent, bound against the spec's ``n_bins``) or a path
+    to a ``repro-topology`` JSON document.
+    """
+    parser.add_argument(
+        "--topology", type=str, default=None, metavar="NAME|FILE",
+        help="rack/zone topology for zone-aware schemes: a named layout "
+        "(see `repro topology`) or a topology JSON file; injected as the "
+        "spec's topology parameter",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the ``repro-kd`` CLI."""
     parser = argparse.ArgumentParser(
@@ -258,6 +273,21 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario with its parameter schema and surface hooks",
     )
 
+    topology_cmd = subparsers.add_parser(
+        "topology",
+        help="List the named rack/zone topology layouts (or validate a "
+        "topology JSON file)",
+    )
+    topology_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable topology-layout registry dump",
+    )
+    topology_cmd.add_argument(
+        "--validate", type=str, default=None, metavar="FILE",
+        help="validate a repro-topology JSON document (schema, cost "
+        "monotonicity, zone/rack shape) and print its summary",
+    )
+
     bench = subparsers.add_parser(
         "bench",
         help="Compare two BENCH_*.json throughput snapshots (CI regression "
@@ -301,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="after the run, evict the oldest cache entries beyond N",
     )
     _add_workload_flags(simulate_cmd)
+    _add_topology_flag(simulate_cmd)
 
     stream = subparsers.add_parser(
         "stream",
@@ -357,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="events between live telemetry samples",
     )
     _add_workload_flags(stream)
+    _add_topology_flag(stream)
 
     replay = subparsers.add_parser(
         "replay",
@@ -420,11 +452,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--router", type=str, default="two_choice",
         help="shard-routing policy: two_choice (the paper's scheme applied "
-        "to the shard load vector), least_loaded, or round_robin",
+        "to the shard load vector), topology (zone-biased probes with "
+        "cross-zone spill), least_loaded, or round_robin",
     )
     serve.add_argument(
         "--router-d", type=int, default=None, metavar="D",
-        help="probes per placement for the two_choice router (default 2)",
+        help="probes per placement for the two_choice/topology routers "
+        "(default 2)",
     )
     serve.add_argument(
         "--mode", choices=["process", "thread"], default="process",
@@ -459,6 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-on-exit", type=str, default=None, metavar="MANIFEST",
         help="write a consistent cross-shard manifest on clean shutdown",
     )
+    _add_topology_flag(serve)
 
     loadgen_cmd = subparsers.add_parser(
         "loadgen",
@@ -507,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the report as one JSON object instead of text",
     )
     _add_workload_flags(loadgen_cmd)
+    _add_topology_flag(loadgen_cmd)
 
     profile = subparsers.add_parser(
         "profile", help="Figures 1 & 2: sorted load profiles with landmarks"
@@ -756,9 +792,89 @@ def _workload_param_args(args: argparse.Namespace) -> Optional[Dict[str, object]
     return _collect_params(args.workload_param)
 
 
+def _resolve_topology_arg(value: Optional[str]) -> "object | None":
+    """``--topology NAME|FILE`` -> a spec-ready ``topology=`` parameter.
+
+    A path that exists on disk loads as a ``repro-topology`` document (the
+    spec carries the full dict); anything else must name a registered
+    layout and stays a string (bound to ``n_bins`` at run time).
+    """
+    if value is None:
+        return None
+    from .topology import TOPOLOGY_LAYOUTS, TopologyError, load_topology
+
+    if os.path.exists(value):
+        try:
+            return load_topology(value).to_dict()
+        except (OSError, TopologyError) as exc:
+            raise SystemExit(
+                f"error: cannot load topology file {value!r}: {exc}"
+            ) from None
+    if value not in TOPOLOGY_LAYOUTS:
+        raise SystemExit(
+            f"error: unknown topology {value!r}; named layouts: "
+            f"{', '.join(sorted(TOPOLOGY_LAYOUTS))} (or pass a topology "
+            f"JSON file)"
+        )
+    return value
+
+
+def _topology_shape(resolved: object) -> Tuple[int, int]:
+    """``(zones, racks_per_zone)`` of a resolved ``--topology`` value."""
+    if isinstance(resolved, str):
+        from .topology import TOPOLOGY_LAYOUTS
+
+        layout = TOPOLOGY_LAYOUTS[resolved]
+        return layout.zones, layout.racks_per_zone
+    zones = resolved["zones"]  # type: ignore[index]
+    return len(zones), max(len(racks) for racks in zones)
+
+
+def _run_topology(args: argparse.Namespace) -> None:
+    from .topology import (
+        TOPOLOGY_LAYOUTS,
+        TopologyError,
+        load_topology,
+        topology_registry_dump,
+    )
+
+    if args.validate is not None:
+        try:
+            topology = load_topology(args.validate)
+        except FileNotFoundError:
+            raise SystemExit(
+                f"error: topology file {args.validate!r} not found"
+            ) from None
+        except (OSError, TopologyError) as exc:
+            raise SystemExit(f"error: invalid topology: {exc}") from None
+        costs = ", ".join(
+            f"{relation}={topology.probe_costs[relation]:g}"
+            for relation in ("rack", "zone", "cross")
+        )
+        print(
+            f"{topology.name}: valid ({topology.n_zones} zones, "
+            f"{topology.n_racks} racks, {topology.n_bins} bins)"
+        )
+        print(f"  probe_costs: {costs}")
+        return
+    if args.json:
+        print(json.dumps(topology_registry_dump(), indent=2, sort_keys=True))
+        return
+    width = max(len(name) for name in TOPOLOGY_LAYOUTS)
+    for name in sorted(TOPOLOGY_LAYOUTS):
+        layout = TOPOLOGY_LAYOUTS[name]
+        print(
+            f"{name:<{width}}  {layout.zones}x{layout.racks_per_zone}  "
+            f"{layout.summary}"
+        )
+
+
 def _run_simulate(args: argparse.Namespace) -> None:
     store = _make_store(args.cache_dir)
     params = _collect_params(args.param)
+    topology = _resolve_topology_arg(args.topology)
+    if topology is not None:
+        params["topology"] = topology
     workload_params = _workload_param_args(args)
     if args.workload is not None:
         # The workload contributes scenario-derived spec parameters (e.g.
@@ -818,10 +934,14 @@ def _run_stream(args: argparse.Namespace) -> None:
     from .online import LoadTelemetry, stream_workload
     from .online.trace import TraceError
 
+    params = _collect_params(args.param)
+    topology = _resolve_topology_arg(args.topology)
+    if topology is not None:
+        params["topology"] = topology
     try:
         spec = SchemeSpec(
             scheme=args.scheme,
-            params=_collect_params(args.param),
+            params=params,
             policy=args.policy,
             seed=args.seed,
             engine=args.engine,
@@ -892,6 +1012,15 @@ def _run_serve(args: argparse.Namespace) -> None:
             "--restore (resume from a manifest)"
         )
 
+    topology = _resolve_topology_arg(args.topology)
+    policy_params: Dict[str, object] = (
+        {"d": args.router_d} if args.router_d is not None else {}
+    )
+    if topology is not None and args.router in ("topology", "zone"):
+        # The topology router maps shards onto zones; derive the zone count
+        # from the --topology layout so the two surfaces stay in step.
+        policy_params.setdefault("zones", _topology_shape(topology)[0])
+
     async def _main() -> None:
         config = ServeConfig(
             host=args.host,
@@ -899,9 +1028,7 @@ def _run_serve(args: argparse.Namespace) -> None:
             n_shards=args.shards,
             policy=args.router,
             mode=args.mode,
-            policy_params=(
-                {"d": args.router_d} if args.router_d is not None else {}
-            ),
+            policy_params=policy_params,
             max_batch=args.max_batch,
             max_delay=args.max_delay_ms / 1000.0,
             snapshot_on_exit=args.snapshot_on_exit,
@@ -911,6 +1038,15 @@ def _run_serve(args: argparse.Namespace) -> None:
             server = AllocationServer(pool=pool, config=config)
         else:
             params = _collect_params(args.param)
+            if topology is not None:
+                # Topology routing composes with any shard scheme; the spec
+                # parameter only exists on the topology-aware schemes.
+                try:
+                    accepts = "topology" in describe_scheme(args.scheme)["parameters"]
+                except KeyError:
+                    accepts = False  # unknown scheme: spec creation reports it
+                if accepts:
+                    params["topology"] = topology
             if args.items is not None:
                 params["n_balls"] = args.items
             spec = SchemeSpec(
@@ -957,6 +1093,18 @@ def _run_serve(args: argparse.Namespace) -> None:
 def _run_loadgen(args: argparse.Namespace) -> None:
     from .serve import ServeError, loadgen
 
+    workload = args.workload
+    workload_params = _workload_param_args(args)
+    topology = _resolve_topology_arg(args.topology)
+    if topology is not None:
+        # --topology selects the zone-tagged workload and sizes its grid to
+        # the layout, so the generated stream matches the server's topology.
+        if workload is None:
+            workload = "topology_aware"
+        zones, racks_per_zone = _topology_shape(topology)
+        workload_params = dict(workload_params or {})
+        workload_params.setdefault("zones", zones)
+        workload_params.setdefault("racks_per_zone", racks_per_zone)
     try:
         report = loadgen(
             host=args.host,
@@ -970,8 +1118,8 @@ def _run_loadgen(args: argparse.Namespace) -> None:
             burstiness=args.burstiness,
             seed=args.seed,
             shutdown_after=args.shutdown_after,
-            workload=args.workload,
-            workload_params=_workload_param_args(args),
+            workload=workload,
+            workload_params=workload_params,
         )
     except ConnectionRefusedError:
         raise SystemExit(
@@ -1223,6 +1371,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _run_schemes(args)
     elif args.command == "workloads":
         _run_workloads(args)
+    elif args.command == "topology":
+        _run_topology(args)
     elif args.command == "bench":
         _run_bench_compare(args)
     elif args.command == "simulate":

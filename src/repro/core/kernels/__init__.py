@@ -30,7 +30,9 @@ from .table import (
     run_churn_kd_choice_vectorized,
     run_d_choice_vectorized,
     run_greedy_kd_choice_vectorized,
+    run_hierarchical_go_left_vectorized,
     run_kd_choice_vectorized,
+    run_locality_two_choice_vectorized,
     run_one_plus_beta_vectorized,
     run_serialized_kd_choice_vectorized,
     run_stale_kd_choice_vectorized,
@@ -39,6 +41,7 @@ from .table import (
     run_two_phase_adaptive_vectorized,
     run_weighted_kd_choice_vectorized,
 )
+from .topology import HierarchicalGoLeftStepper, LocalityTwoChoiceStepper
 from .weighted import WeightedKDChoiceStepper
 
 __all__ = [
@@ -58,6 +61,8 @@ __all__ = [
     "StaleKDChoiceStepper",
     "OnePlusBetaStepper",
     "AlwaysGoLeftStepper",
+    "HierarchicalGoLeftStepper",
+    "LocalityTwoChoiceStepper",
     "ThresholdAdaptiveStepper",
     "TwoPhaseAdaptiveStepper",
     "run_kd_choice_vectorized",
@@ -73,4 +78,6 @@ __all__ = [
     "run_always_go_left_vectorized",
     "run_threshold_adaptive_vectorized",
     "run_two_phase_adaptive_vectorized",
+    "run_hierarchical_go_left_vectorized",
+    "run_locality_two_choice_vectorized",
 ]

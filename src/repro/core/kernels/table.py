@@ -33,6 +33,7 @@ import functools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
+from ...topology.records import zone_counter_extra
 from ..baselines import run_batch_random, run_single_choice
 from ..dynamic import allocation_from_churn
 from ..types import AllocationResult, ProcessParams
@@ -49,6 +50,7 @@ from .kd import KDChoiceStepper
 from .serialized import SerializedKDChoiceStepper
 from .single import SingleChoiceStepper
 from .stale import StaleKDChoiceStepper
+from .topology import HierarchicalGoLeftStepper, LocalityTwoChoiceStepper
 from .weighted import WeightedKDChoiceStepper
 
 __all__ = [
@@ -68,6 +70,8 @@ __all__ = [
     "run_always_go_left_vectorized",
     "run_threshold_adaptive_vectorized",
     "run_two_phase_adaptive_vectorized",
+    "run_hierarchical_go_left_vectorized",
+    "run_locality_two_choice_vectorized",
     "run_kd_choice_compiled",
     "run_weighted_kd_choice_compiled",
     "run_stale_kd_choice_compiled",
@@ -581,6 +585,82 @@ def run_two_phase_adaptive_vectorized(
     )
 
 
+def run_hierarchical_go_left_vectorized(
+    n_bins: int,
+    d: Optional[int] = None,
+    topology: Optional[Any] = None,
+    n_balls: Optional[int] = None,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+) -> AllocationResult:
+    """Hierarchical go-left on the speculate-verify engine.
+
+    Same drive loop as Always-Go-Left with the topology's racks as the
+    probe groups; the zone counters come off the stepper after the run.
+    """
+    stepper = run_to_completion(
+        HierarchicalGoLeftStepper(
+            n_bins=n_bins, d=d, topology=topology, n_balls=n_balls,
+            seed=seed, rng=rng,
+        )
+    )
+    topo = stepper.topology
+    return AllocationResult(
+        loads=stepper.loads,
+        scheme=f"hierarchical-go-left[{topo.name}]",
+        n_bins=n_bins,
+        n_balls=stepper.planned_balls,
+        k=1,
+        d=stepper.d,
+        messages=stepper.messages,
+        rounds=stepper.planned_balls,
+        policy="hierarchical",
+        extra={
+            **zone_counter_extra(topo, stepper.zone_counters),
+            "engine": "vectorized",
+        },
+    )
+
+
+def run_locality_two_choice_vectorized(
+    n_bins: int,
+    d: int = 2,
+    bias: float = 0.0,
+    threshold: int = 0,
+    topology: Optional[Any] = None,
+    n_balls: Optional[int] = None,
+    seed: "int | Any" = None,
+    rng: Optional[Any] = None,
+    chunk_rounds: Optional[int] = None,
+) -> AllocationResult:
+    """Locality two-choice on the independent-round batch engine."""
+    stepper = run_to_completion(
+        LocalityTwoChoiceStepper(
+            n_bins=n_bins, d=d, bias=bias, threshold=threshold,
+            topology=topology, n_balls=n_balls, seed=seed, rng=rng,
+            chunk_rounds=chunk_rounds,
+        )
+    )
+    topo = stepper.topology
+    return AllocationResult(
+        loads=stepper.loads,
+        scheme=f"locality-two-choice[{topo.name}]",
+        n_bins=n_bins,
+        n_balls=stepper.planned_balls,
+        k=1,
+        d=d,
+        messages=stepper.messages,
+        rounds=stepper.planned_balls,
+        policy="locality",
+        extra={
+            **zone_counter_extra(topo, stepper.zone_counters),
+            "bias": float(bias),
+            "threshold": int(threshold),
+            "engine": "vectorized",
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # Stepper factories for the schemes that re-parameterize a shared kernel
 # ----------------------------------------------------------------------
@@ -912,5 +992,27 @@ KERNELS: Dict[str, Kernel] = {
         batched="speculate-verify balls (prefix_conflicts)",
         compiled=run_two_phase_adaptive_compiled,
         compiled_guard=_compiled_width_guard("retry_probes"),
+    ),
+    "hierarchical_always_go_left": Kernel(
+        name="hierarchical_always_go_left",
+        unit="ball",
+        draw_blocks=(
+            "per <=8192 balls: uniforms float(batch, n_racks) scaled into "
+            "the topology's rack ranges",
+        ),
+        stepper=HierarchicalGoLeftStepper,
+        vectorized=run_hierarchical_go_left_vectorized,
+        batched="speculate-verify balls (prefix_conflicts)",
+    ),
+    "locality_two_choice": Kernel(
+        name="locality_two_choice",
+        unit="ball (a 1-ball round)",
+        draw_blocks=(
+            "samples int(chunk, d) per <=chunk_rounds rounds",
+            "ties float(d) per ball (the Bresenham remap draws nothing)",
+        ),
+        stepper=LocalityTwoChoiceStepper,
+        vectorized=run_locality_two_choice_vectorized,
+        batched="independent-round batches (_locality_batch)",
     ),
 }

@@ -28,6 +28,15 @@ __all__ = ["TelemetrySample", "LoadTelemetry"]
 #: Percentiles reported by every sample.
 DEFAULT_PERCENTILES: Tuple[int, ...] = (50, 95, 99)
 
+#: Zeroed topology counters (probe relations + placement locality).
+_TOPOLOGY_ZERO: Dict[str, int] = {
+    "rack_probes": 0,
+    "zone_probes": 0,
+    "cross_probes": 0,
+    "local_places": 0,
+    "cross_places": 0,
+}
+
 
 @dataclass(frozen=True)
 class TelemetrySample:
@@ -105,6 +114,10 @@ class LoadTelemetry:
         # are normalized to strings so the counters survive a JSON snapshot
         # round-trip unchanged.
         self._tenants: Dict[str, Dict[str, object]] = {}
+        # Topology counters (topology-aware streams only): probe relations
+        # come off the stepper's kernel tallies, placement locality from the
+        # drivers' zone attribution.  All zero ⇒ absent from snapshots.
+        self._topology: Dict[str, int] = dict(_TOPOLOGY_ZERO)
 
     # ------------------------------------------------------------------
     # O(1) event updates
@@ -167,6 +180,50 @@ class LoadTelemetry:
     @property
     def has_tenants(self) -> bool:
         return bool(self._tenants)
+
+    # ------------------------------------------------------------------
+    # Topology attribution (topology-aware workloads)
+    # ------------------------------------------------------------------
+    def record_zone_probes(
+        self, rack: int = 0, zone: int = 0, cross: int = 0
+    ) -> None:
+        """Accumulate probe-relation deltas (same rack / same zone / cross).
+
+        Called by the event drivers with the difference of the stepper's
+        kernel tallies across a run of placements — the telemetry layer
+        never re-derives probe relations itself.
+        """
+        self._topology["rack_probes"] += int(rack)
+        self._topology["zone_probes"] += int(zone)
+        self._topology["cross_probes"] += int(cross)
+
+    def record_zone_place(self, local: bool) -> None:
+        """Attribute one placement as same-zone (``local``) or cross-zone."""
+        if local:
+            self._topology["local_places"] += 1
+        else:
+            self._topology["cross_places"] += 1
+
+    @property
+    def has_topology(self) -> bool:
+        return any(self._topology.values())
+
+    def topology_summary(self) -> "Dict[str, int | float]":
+        """Topology counters plus cross-zone fractions."""
+        counters = dict(self._topology)
+        probes = (
+            counters["rack_probes"]
+            + counters["zone_probes"]
+            + counters["cross_probes"]
+        )
+        places = counters["local_places"] + counters["cross_places"]
+        counters["cross_probe_fraction"] = (
+            counters["cross_probes"] / probes if probes else 0.0
+        )
+        counters["cross_place_fraction"] = (
+            counters["cross_places"] / places if places else 0.0
+        )
+        return counters  # type: ignore[return-value]
 
     def tenant_summary(self) -> "Dict[str, Dict[str, int]]":
         """Per-tenant counters, sorted by label: placements, removals,
@@ -305,6 +362,11 @@ class LoadTelemetry:
                 }
                 for tenant, stats in self._tenants.items()
             }
+        if self.has_topology:
+            # Only present for topology-aware streams: topology-free
+            # snapshots (and their digests) are unchanged by the feature's
+            # existence.
+            data["topology"] = dict(self._topology)
         return data  # type: ignore[return-value]
 
     def restore_counters(self, counters: "Dict[str, int | float]") -> None:
@@ -331,4 +393,8 @@ class LoadTelemetry:
                 },
             }
             for tenant, stats in (counters.get("tenants") or {}).items()
+        }
+        restored = counters.get("topology") or {}
+        self._topology = {
+            key: int(restored.get(key, 0)) for key in _TOPOLOGY_ZERO
         }

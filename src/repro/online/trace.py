@@ -359,6 +359,19 @@ class ReplaySummary:
                     f"removed={counters['removals']}, live={counters['live']}, "
                     f"max_load={counters['max_load']}"
                 )
+        if "topology" in self.stats:
+            topo = self.stats["topology"]
+            lines.append(
+                f"  topology: cross_probe_fraction="
+                f"{topo['cross_probe_fraction']:.4f}, "
+                f"cross_place_fraction={topo['cross_place_fraction']:.4f}"
+            )
+            lines.append(
+                f"    probes: rack={topo['rack_probes']}, "
+                f"zone={topo['zone_probes']}, cross={topo['cross_probes']}; "
+                f"places: local={topo['local_places']}, "
+                f"cross={topo['cross_places']}"
+            )
         if self.snapshots_taken:
             lines.append(f"  snapshots: {self.snapshots_taken}")
         lines.append(f"  loads_sha256: {self.stats['loads_sha256']}")
@@ -406,6 +419,36 @@ def run_events(
     # driver sees the workload's labels together with the chosen bins.
     tenant_place = allocator.telemetry.record_tenant_place
     tenant_remove = allocator.telemetry.record_tenant_remove
+    # Zone attribution (topology-aware workloads): placement locality comes
+    # from the event's source-zone tag against the destination bin's zone;
+    # probe relations come off the stepper's own kernel tallies, diffed per
+    # placement run.
+    bin_zone = None
+    if (
+        any("zone" in event for event in events)
+        and spec.params.get("topology") is not None
+        and spec.params.get("n_bins") is not None
+    ):
+        from ..topology.records import as_topology
+
+        bin_zone = as_topology(
+            spec.params["topology"], int(spec.params["n_bins"])
+        ).bin_zone
+    zone_place = allocator.telemetry.record_zone_place
+    probe_tally = getattr(allocator.stepper, "zone_counters", None)
+    probe_base = dict(probe_tally) if probe_tally is not None else None
+
+    def sync_zone_probes() -> None:
+        if probe_base is None:
+            return
+        current = allocator.stepper.zone_counters
+        allocator.telemetry.record_zone_probes(
+            rack=current["rack_probes"] - probe_base["rack_probes"],
+            zone=current["zone_probes"] - probe_base["zone_probes"],
+            cross=current["cross_probes"] - probe_base["cross_probes"],
+        )
+        probe_base.update(current)
+
     batch_mode = spec.engine != "scalar"
     snapshot_paths: List[str] = []
     snapshots_taken = 0
@@ -458,6 +501,10 @@ def run_events(
                     for e, bin_index in zip(run, destinations):
                         if "tenant" in e:
                             tenant_place(e["tenant"], int(bin_index))
+                if bin_zone is not None:
+                    for e, bin_index in zip(run, destinations):
+                        if "zone" in e:
+                            zone_place(int(bin_zone[int(bin_index)]) == e["zone"])
             else:
                 # Register item ids only when some event will look one up:
                 # a churn-free replay must not build an O(n) item map (and
@@ -469,6 +516,9 @@ def run_events(
                     )
                     if "tenant" in e:
                         tenant_place(e["tenant"], bin_index)
+                    if bin_zone is not None and "zone" in e:
+                        zone_place(int(bin_zone[int(bin_index)]) == e["zone"])
+            sync_zone_probes()
             places += len(run)
             if record_writer is not None:
                 for e in run:
@@ -493,6 +543,12 @@ def run_events(
         # byte-identical with or without this feature.
         stats["tenants"] = allocator.telemetry.tenant_summary()
         stats["tenant_fairness"] = allocator.telemetry.tenant_fairness()
+    if allocator.telemetry.has_topology:
+        # Additive keys, same contract as tenants above.
+        topology_stats = allocator.telemetry.topology_summary()
+        stats["topology"] = topology_stats
+        stats["cross_zone_probe_fraction"] = topology_stats["cross_probe_fraction"]
+        stats["cross_zone_place_fraction"] = topology_stats["cross_place_fraction"]
     return ReplaySummary(
         spec=spec,
         engine=spec.engine,

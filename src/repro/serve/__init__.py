@@ -42,6 +42,7 @@ from .router import (
     RoundRobinRouter,
     Router,
     RouterError,
+    TopologyRouter,
     TwoChoiceRouter,
     available_router_policies,
     describe_router_policy,
@@ -69,6 +70,7 @@ __all__ = [
     "ServeError",
     "ShardPool",
     "ShardPoolError",
+    "TopologyRouter",
     "TwoChoiceRouter",
     "available_router_policies",
     "describe_router_policy",

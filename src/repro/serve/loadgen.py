@@ -115,6 +115,12 @@ class LoadgenReport:
                 f"max_load={self.pool['max_load']}, "
                 f"shard_items={self.pool['shard_items']}"
             )
+        if self.pool and "cross_routes" in self.pool:
+            lines.append(
+                f"  routing: cross_routes={self.pool['cross_routes']} "
+                f"(fraction={self.pool['cross_route_fraction']:.4f}), "
+                f"route_cost={self.pool['route_cost']:.1f}"
+            )
         return "\n".join(lines)
 
 

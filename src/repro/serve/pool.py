@@ -508,7 +508,7 @@ class ShardPool:
         total_bins = sum(s["n_bins"] for s in shard_summaries)
         live = sum(s["live_balls"] for s in shard_summaries)
         mean = live / total_bins if total_bins else 0.0
-        return {
+        summary = {
             "scheme": self.spec.scheme,
             "n_shards": self.n_shards,
             "mode": self.mode,
@@ -525,6 +525,15 @@ class ShardPool:
             "shard_items": self._shard_items.tolist(),
             "shards": shard_summaries,
         }
+        cross_routes = getattr(self.router, "cross_routes", None)
+        if cross_routes is not None:
+            decisions = self.router.decisions
+            summary["cross_routes"] = int(cross_routes)
+            summary["cross_route_fraction"] = (
+                int(cross_routes) / decisions if decisions else 0.0
+            )
+            summary["route_cost"] = float(self.router.route_cost)
+        return summary
 
     def telemetry_counters(self) -> List[Dict[str, int]]:
         """Per-shard telemetry counters (placements, removals, samples)."""

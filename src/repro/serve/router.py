@@ -43,6 +43,7 @@ __all__ = [
     "RoundRobinRouter",
     "LeastLoadedRouter",
     "TwoChoiceRouter",
+    "TopologyRouter",
     "make_router",
     "restore_router",
 ]
@@ -260,6 +261,125 @@ class TwoChoiceRouter(Router):
         self._probe_pos = 0
 
 
+class TopologyRouter(TwoChoiceRouter):
+    """Zone-aware d-choice: probe the caller's zone first, spill on threshold.
+
+    Shards map onto ``zones`` round-robin (shard ``s`` lives in zone
+    ``s % zones``) and arrivals carry a home zone the same way (the i-th
+    request belongs to zone ``i % zones`` — the serve-side analogue of the
+    ``topology_aware`` workload's home assignment).  Each request draws the
+    same pre-drawn probe row a :class:`TwoChoiceRouter` would, then remaps
+    the *first* probe into its home zone's shard set; the remaining probes
+    stay global.  The best local probe wins unless the best cross-zone probe
+    beats it by more than ``threshold``, in which case the request spills and
+    is charged ``cross_cost``.  ``cross_routes``/``route_cost`` tally the
+    spills; both persist through :meth:`state_dict`.
+
+    With ``zones=1`` every shard is local, no spill can happen, and the
+    decision sequence degenerates to plain ``two_choice`` bit-for-bit (the
+    probe stream is shared, the remap is the identity mod 1 pool).
+    """
+
+    policy = "topology"
+
+    def __init__(
+        self,
+        n_shards: int,
+        seed: Optional[int] = None,
+        d: int = 2,
+        zones: int = 2,
+        threshold: int = 0,
+        cross_cost: float = 1.0,
+    ) -> None:
+        super().__init__(n_shards, seed=seed, d=d)
+        if not isinstance(zones, int) or isinstance(zones, bool) or zones < 1:
+            raise RouterError(f"zones must be a positive integer, got {zones!r}")
+        if zones > n_shards:
+            raise RouterError(
+                f"zones must not exceed n_shards ({n_shards}), got {zones}"
+            )
+        if not isinstance(threshold, int) or isinstance(threshold, bool):
+            raise RouterError(
+                f"threshold must be a non-negative integer, got {threshold!r}"
+            )
+        if threshold < 0:
+            raise RouterError(
+                f"threshold must be a non-negative integer, got {threshold!r}"
+            )
+        cross_cost = float(cross_cost)
+        if not np.isfinite(cross_cost) or cross_cost < 0:
+            raise RouterError(
+                f"cross_cost must be finite and non-negative, got {cross_cost!r}"
+            )
+        self.zones = zones
+        self.threshold = threshold
+        self.cross_cost = cross_cost
+        self.shard_zone = np.arange(n_shards, dtype=np.int64) % zones
+        self._zone_shards = [
+            np.flatnonzero(self.shard_zone == zone).tolist()
+            for zone in range(zones)
+        ]
+        self.cross_routes = 0
+        self.route_cost = 0.0
+
+    def _route_into(self, destinations: np.ndarray, working: np.ndarray) -> None:
+        count = len(destinations)
+        if count == 0:
+            return
+        probe_rows = self._next_probe_rows(count).tolist()
+        loads: List[int] = working.tolist()
+        shard_zone = self.shard_zone.tolist()
+        zones = self.zones
+        threshold = self.threshold
+        base = self.decisions
+        for position, row in enumerate(probe_rows):
+            home = (base + position) % zones
+            pool = self._zone_shards[home]
+            row[0] = pool[row[0] % len(pool)]
+            best_local = -1
+            best_local_load = 0
+            best_remote = -1
+            best_remote_load = 0
+            for shard in row:
+                load = loads[shard]
+                if shard_zone[shard] == home:
+                    if best_local < 0 or load < best_local_load:
+                        best_local = shard
+                        best_local_load = load
+                else:
+                    if best_remote < 0 or load < best_remote_load:
+                        best_remote = shard
+                        best_remote_load = load
+            # The first probe is always local, so best_local is always set.
+            if best_remote < 0 or best_local_load <= best_remote_load + threshold:
+                chosen = best_local
+            else:
+                chosen = best_remote
+                self.cross_routes += 1
+                self.route_cost += self.cross_cost
+            destinations[position] = chosen
+            loads[chosen] += 1
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["zones"] = self.zones
+        state["threshold"] = self.threshold
+        state["cross_cost"] = self.cross_cost
+        state["cross_routes"] = self.cross_routes
+        state["route_cost"] = self.route_cost
+        return state
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        super().load_state(state)
+        if int(state["zones"]) != self.zones:
+            raise RouterError(
+                f"router state was captured with zones={state['zones']}, "
+                f"this router has zones={self.zones}"
+            )
+        self.cross_routes = int(state.get("cross_routes", 0))
+        self.route_cost = float(state.get("route_cost", 0.0))
+
+
 def _encode_rng_state(state: Dict[str, Any]) -> Dict[str, Any]:
     """numpy bit-generator state as plain JSON types (ints stay exact)."""
 
@@ -320,6 +440,26 @@ def _two_choice(
     return TwoChoiceRouter(n_shards, seed=seed, d=d)
 
 
+@router_policy("topology", aliases=("zone",), tags=("router",))
+def _topology(
+    n_shards: int,
+    seed: Optional[int] = None,
+    d: int = 2,
+    zones: int = 2,
+    threshold: int = 0,
+    cross_cost: float = 1.0,
+) -> Router:
+    """Zone-biased d-choice: local probe first, cross-zone spill on threshold."""
+    return TopologyRouter(
+        n_shards,
+        seed=seed,
+        d=d,
+        zones=zones,
+        threshold=threshold,
+        cross_cost=cross_cost,
+    )
+
+
 def available_router_policies() -> List[str]:
     """Sorted canonical names of every registered router policy."""
     return ROUTER_POLICIES.names()
@@ -371,7 +511,15 @@ def restore_router(state: Dict[str, Any]) -> Router:
         n_shards = int(state["n_shards"])
     except (KeyError, TypeError) as exc:
         raise RouterError(f"malformed router state: missing {exc}") from None
-    params = {"d": int(state["d"])} if "d" in state else {}
+    params: Dict[str, Any] = {}
+    for key, caster in (
+        ("d", int),
+        ("zones", int),
+        ("threshold", int),
+        ("cross_cost", float),
+    ):
+        if key in state:
+            params[key] = caster(state[key])
     router = make_router(policy, n_shards, seed=state.get("seed"), **params)
     router.load_state(state)
     return router

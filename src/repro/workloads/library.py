@@ -51,7 +51,7 @@ from .records import (
 )
 
 __all__ = ["uniform", "zipf_items", "adversarial_burst", "diurnal",
-           "hetero_bins", "multi_tenant"]
+           "hetero_bins", "multi_tenant", "topology_aware"]
 
 
 def _validate_churn(churn: float) -> float:
@@ -397,4 +397,63 @@ multi_tenant = register_workload(Workload(
     defaults={"tenants": 4, "churn": 0.0},
     generator=_multi_tenant_events,
     labeler=_tenant_labeler,
+))
+
+
+# ----------------------------------------------------------------------
+# topology_aware — zone-tagged arrivals over a rack/zone grid
+# ----------------------------------------------------------------------
+def _topology_events(
+    items: int, params: Mapping[str, Any], seed: Optional[int]
+) -> List[Event]:
+    churn = _validate_churn(params["churn"])
+    if int(params["zones"]) <= 0:
+        raise WorkloadError(f"zones must be positive, got {params['zones']}")
+    if int(params["racks_per_zone"]) <= 0:
+        raise WorkloadError(
+            f"racks_per_zone must be positive, got {params['racks_per_zone']}"
+        )
+    (rng,) = workload_branches(seed, 1)
+    return _places_with_churn(items, churn, rng)
+
+
+def _topology_labeler(events: List[Event], params: Mapping[str, Any]) -> None:
+    zones = int(params["zones"])
+    # Round-robin home zones: zone identity is a pure function of the item
+    # id, matching the steppers' home assignment (ball index % n_zones), so
+    # the driver's cross-zone attribution agrees with the kernel counters.
+    for event in events:
+        event["zone"] = int(event["item"]) % zones
+
+
+def _topology_binder(
+    params: Mapping[str, Any], spec_params: Mapping[str, Any]
+) -> Dict[str, Any]:
+    from ..topology.records import Topology
+
+    zones = int(params["zones"])
+    racks_per_zone = int(params["racks_per_zone"])
+    n_bins = spec_params.get("n_bins")
+    if n_bins is None:
+        raise WorkloadError(
+            "topology_aware derives its rack/zone grid from the spec's "
+            "n_bins; pass --param n_bins=<count>"
+        )
+    n = int(n_bins)
+    if n <= 0:
+        raise WorkloadError(f"n_bins must be positive, got {n}")
+    # A deterministic grid — no seed involved, so every surface (and every
+    # snapshot restore) rebuilds the identical tree from the params alone.
+    topology = Topology.grid(n, zones, racks_per_zone)
+    return {"topology": topology.to_dict()}
+
+
+topology_aware = register_workload(Workload(
+    name="topology_aware",
+    summary="zone-tagged arrivals over a rack/zone grid (topology=)",
+    defaults={"zones": 2, "racks_per_zone": 1, "churn": 0.0},
+    generator=_topology_events,
+    stamper=None,
+    labeler=_topology_labeler,
+    binder=_topology_binder,
 ))

@@ -156,6 +156,35 @@ LARGE_SCENARIO_PARAMS = dict(
     SCENARIO_PARAMS, zipf_items={"exponent": 1.2, "universe": 16384}
 )
 
+#: The topology-aware schemes streamed through the zone-tagged workload at
+#: the same pinned seeds (n_bins=256, items=2000, spec seed 1, workload
+#: seed 5); the cross-zone fractions pin the locality behaviour itself,
+#: not just the final load vector.
+TOPOLOGY_PINS = {
+    "hierarchical_always_go_left": {
+        "scheme_params": {"topology": "quad_rack"},
+        "workload_params": {"zones": 2, "racks_per_zone": 2},
+        "stats": {
+            "max_load": 9, "gap": 1.1875,
+            "cross_zone_probe_fraction": 0.5,
+            "cross_zone_place_fraction": 0.509,
+            "loads_sha256":
+            "7655dbfe19f773e9d6bf2fed37377cfce1c2f63c4be3757cfbcaa221423e1ea2",
+        },
+    },
+    "locality_two_choice": {
+        "scheme_params": {"bias": 0.5, "threshold": 1, "topology": "dual_zone"},
+        "workload_params": {"zones": 2, "racks_per_zone": 1},
+        "stats": {
+            "max_load": 10, "gap": 2.1875,
+            "cross_zone_probe_fraction": 0.2505,
+            "cross_zone_place_fraction": 0.0595,
+            "loads_sha256":
+            "cdb90963ba5646d9b58283652db55f5218226635ad3622f7869e51a6c7a6bb35",
+        },
+    },
+}
+
 
 def _stream_stats(scheme, scheme_params, workload, workload_params,
                   n_bins, items):
@@ -194,6 +223,39 @@ def test_scenario_stream_reproduces_the_pinned_distribution_at_scale(workload):
     expected = LARGE_PINS[workload]
     observed = {key: stats[key] for key in expected}
     assert observed == expected
+
+
+@pytest.mark.parametrize("scheme", sorted(TOPOLOGY_PINS))
+def test_topology_stream_reproduces_the_pinned_distribution(scheme):
+    pin = TOPOLOGY_PINS[scheme]
+    stats = _stream_stats(
+        scheme, pin["scheme_params"], "topology_aware",
+        pin["workload_params"], n_bins=256, items=2000,
+    )
+    expected = pin["stats"]
+    observed = {key: stats[key] for key in expected}
+    assert observed == expected
+
+
+@pytest.mark.parametrize("scheme", sorted(TOPOLOGY_PINS))
+@pytest.mark.parametrize("engine", ["scalar", "vectorized"])
+def test_topology_stream_is_engine_independent(scheme, engine):
+    pin = TOPOLOGY_PINS[scheme]
+    spec = SchemeSpec(
+        scheme=scheme,
+        params={"n_bins": 256, "n_balls": 2000, **pin["scheme_params"]},
+        seed=1,
+        engine=engine,
+    )
+    stats = stream_workload(
+        spec, items=2000, workload_seed=5,
+        workload="topology_aware", workload_params=pin["workload_params"],
+    ).stats
+    assert stats["loads_sha256"] == pin["stats"]["loads_sha256"]
+    assert (
+        stats["cross_zone_probe_fraction"]
+        == pin["stats"]["cross_zone_probe_fraction"]
+    )
 
 
 def test_hetero_bins_capacities_change_the_allocation():

@@ -38,6 +38,7 @@ SCENARIOS = [
     ("diurnal", {"period": 30.0, "amplitude": 0.6, "churn": 0.1}),
     ("hetero_bins", {"spread": 4.0, "churn": 0.1}),
     ("multi_tenant", {"tenants": 3, "churn": 0.2}),
+    ("topology_aware", {"zones": 2, "racks_per_zone": 2, "churn": 0.1}),
 ]
 
 ITEMS = 400
@@ -80,8 +81,11 @@ class TestEverySurfaceDerivesTheSameStream:
         stream verbatim (events round-trip through canonical JSON)."""
         reference = generate_events(name, ITEMS, params, seed=7)
         path = tmp_path / "trace.jsonl"
+        # topology_aware's binder injects a topology= param, which only the
+        # topology-aware schemes accept.
+        scheme = "locality_two_choice" if name == "topology_aware" else "two_choice"
         trace.stream_workload(
-            SchemeSpec(scheme="two_choice",
+            SchemeSpec(scheme=scheme,
                        params={"n_bins": 64, "n_balls": ITEMS}, seed=1),
             items=ITEMS,
             workload_seed=7,

@@ -368,6 +368,10 @@ DICHOTOMY_PARAMS = {
     "batch_random": {"n_bins": 64, "k": 4},
     "threshold_adaptive": {"n_bins": 64},
     "two_phase_adaptive": {"n_bins": 64},
+    "hierarchical_always_go_left": {"n_bins": 64, "topology": "quad_rack"},
+    "locality_two_choice": {
+        "n_bins": 64, "bias": 0.5, "threshold": 1, "topology": "dual_zone",
+    },
     "cluster_scheduling": {"n_workers": 8, "n_jobs": 10},
     "storage_placement": {"n_servers": 16, "n_files": 20},
 }

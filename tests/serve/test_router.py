@@ -12,6 +12,7 @@ from repro.serve import (
     LeastLoadedRouter,
     RoundRobinRouter,
     RouterError,
+    TopologyRouter,
     TwoChoiceRouter,
     available_router_policies,
     describe_router_policy,
@@ -20,7 +21,7 @@ from repro.serve import (
 )
 from repro.serve.router import PROBE_BLOCK
 
-POLICIES = ["round_robin", "least_loaded", "two_choice"]
+POLICIES = ["round_robin", "least_loaded", "two_choice", "topology"]
 
 
 def drive(router, arrivals, n_shards):
@@ -201,10 +202,92 @@ class TestPersistence:
             restore_router({"n_shards": 4})
 
 
+class TestTopologySemantics:
+    def test_single_zone_matches_two_choice_bit_for_bit(self):
+        n_shards = 6
+        flat = drive(TwoChoiceRouter(n_shards, seed=17), 800, n_shards)
+        zoned = drive(TopologyRouter(n_shards, seed=17, zones=1), 800, n_shards)
+        assert zoned == flat
+
+    def test_zone_affinity_beats_two_choice_on_cross_fraction(self):
+        n_shards = 8
+        arrivals = 4000
+        fractions = {}
+        for policy in ("two_choice", "topology"):
+            router = make_router(policy, n_shards, seed=13, **(
+                {"zones": 2} if policy == "topology" else {}
+            ))
+            loads = np.zeros(n_shards, dtype=np.int64)
+            cross = 0
+            decisions = 0
+            shard_zone = np.arange(n_shards) % 2
+            for _ in range(arrivals):
+                home = decisions % 2
+                shard = router.route(loads)
+                loads[shard] += 1
+                if shard_zone[shard] != home:
+                    cross += 1
+                decisions += 1
+            fractions[policy] = cross / arrivals
+        assert fractions["topology"] < fractions["two_choice"] / 2
+
+    def test_cross_route_counter_tracks_spills(self):
+        router = TopologyRouter(4, seed=5, zones=2, cross_cost=3.0)
+        loads = np.zeros(4, dtype=np.int64)
+        for _ in range(600):
+            loads[router.route(loads)] += 1
+        assert 0 < router.cross_routes < 600
+        assert router.route_cost == pytest.approx(3.0 * router.cross_routes)
+
+    def test_zero_threshold_spills_under_extreme_local_imbalance(self):
+        # Zone 0 shards massively loaded: whenever a zone-0 arrival draws a
+        # remote probe the spill path must fire and pick the light zone.
+        router = TopologyRouter(4, seed=1, zones=2, threshold=0)
+        loads = np.array([1000, 0, 1000, 0], dtype=np.int64)
+        destinations = router.route_batch(50, loads).tolist()
+        assert router.cross_routes > 0
+        # Every spill escapes to the light zone, so it absorbs the majority;
+        # the heavy zone only sees arrivals whose probes all landed at home.
+        light = sum(1 for shard in destinations if shard in (1, 3))
+        assert light > len(destinations) // 2
+
+    def test_validation(self):
+        with pytest.raises(RouterError, match="zones"):
+            TopologyRouter(4, zones=0)
+        with pytest.raises(RouterError, match="zones"):
+            TopologyRouter(4, zones=5)
+        with pytest.raises(RouterError, match="threshold"):
+            TopologyRouter(4, zones=2, threshold=-1)
+        with pytest.raises(RouterError, match="cross_cost"):
+            TopologyRouter(4, zones=2, cross_cost=-1.0)
+        with pytest.raises(RouterError, match="cross_cost"):
+            TopologyRouter(4, zones=2, cross_cost=float("nan"))
+
+    def test_state_roundtrip_preserves_counters(self):
+        reference = TopologyRouter(6, seed=3, zones=3, threshold=1, cross_cost=2.0)
+        loads = np.zeros(6, dtype=np.int64)
+        for _ in range(400):
+            loads[reference.route(loads)] += 1
+        state = json.loads(json.dumps(reference.state_dict()))
+        resumed = restore_router(state)
+        assert isinstance(resumed, TopologyRouter)
+        assert resumed.cross_routes == reference.cross_routes
+        assert resumed.route_cost == reference.route_cost
+        frozen = np.array(loads)
+        assert np.array_equal(
+            reference.route_batch(200, frozen), resumed.route_batch(200, frozen)
+        )
+
+    def test_zones_mismatch_rejected(self):
+        state = TopologyRouter(4, seed=1, zones=2).state_dict()
+        with pytest.raises(RouterError, match="zones"):
+            TopologyRouter(4, seed=1, zones=4).load_state(state)
+
+
 class TestRegistry:
     def test_catalogue_names(self):
         assert available_router_policies() == [
-            "least_loaded", "round_robin", "two_choice",
+            "least_loaded", "round_robin", "topology", "two_choice",
         ]
 
     def test_aliases_resolve(self):
@@ -212,6 +295,7 @@ class TestRegistry:
         assert isinstance(make_router("ll", 2), LeastLoadedRouter)
         assert isinstance(make_router("two", 2), TwoChoiceRouter)
         assert isinstance(make_router("d_choice", 2, d=4), TwoChoiceRouter)
+        assert isinstance(make_router("zone", 4, zones=2), TopologyRouter)
 
     def test_describe_reports_parameters(self):
         description = describe_router_policy("two_choice")

@@ -274,3 +274,53 @@ class TestWorkloadsJsonGolden:
         output = run_cli(capsys, ["workloads"])
         for name in available_workloads():
             assert name in output
+
+
+class TestTopologyJsonGolden:
+    """The machine-readable topology-layout dump must stay byte-stable.
+
+    Regenerate (only after intentionally changing the layout registry)
+    with::
+
+        PYTHONPATH=src python -m repro topology --json \
+            > tests/data/golden/topology.json
+    """
+
+    def test_layout_dump_matches_golden(self, capsys):
+        output = run_cli(capsys, ["topology", "--json"])
+        assert output == golden("topology.json")
+
+    def test_dump_is_valid_json_with_every_layout(self, capsys):
+        import json
+
+        from repro.topology import TOPOLOGY_LAYOUTS
+
+        dump = json.loads(run_cli(capsys, ["topology", "--json"]))
+        assert dump["format"] == "repro-topology-registry"
+        assert dump["version"] == 1
+        assert dump["count"] == len(dump["layouts"]) == len(TOPOLOGY_LAYOUTS)
+        for name, entry in dump["layouts"].items():
+            assert entry["name"] == name
+            assert entry["zones"] >= 1 and entry["racks_per_zone"] >= 1
+            assert set(entry["probe_costs"]) == {"rack", "zone", "cross"}
+
+    def test_table_lists_every_registered_layout(self, capsys):
+        from repro.topology import TOPOLOGY_LAYOUTS
+
+        output = run_cli(capsys, ["topology"])
+        for name in TOPOLOGY_LAYOUTS:
+            assert name in output
+
+    def test_validate_round_trips_a_saved_topology(self, capsys, tmp_path):
+        from repro.topology import Topology, save_topology
+
+        path = tmp_path / "topo.json"
+        save_topology(path, Topology.grid(64, 2, 2))
+        output = run_cli(capsys, ["topology", "--validate", str(path)])
+        assert "valid" in output and "2 zones" in output
+
+    def test_validate_rejects_a_corrupt_topology(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "repro-topology", "version": 1}')
+        with pytest.raises(SystemExit, match="invalid topology"):
+            main(["topology", "--validate", str(path)])

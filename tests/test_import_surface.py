@@ -1,0 +1,59 @@
+"""The top-level import surface: ``__all__`` is exact, the shims are gone."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+#: The historical top-level shims removed after their deprecation cycle.
+_REMOVED_SHIMS = (
+    "run_always_go_left",
+    "run_batch_random",
+    "run_churn_kd_choice",
+    "run_d_choice",
+    "run_kd_choice",
+    "run_kd_choice_vectorized",
+    "run_one_plus_beta",
+    "run_serialized_kd_choice",
+    "run_single_choice",
+    "run_stale_kd_choice",
+    "run_threshold_adaptive",
+    "run_two_phase_adaptive",
+    "run_weighted_kd_choice",
+)
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ names missing {name!r}"
+
+
+def test_all_has_no_duplicates():
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+@pytest.mark.parametrize("name", _REMOVED_SHIMS)
+def test_shims_are_gone(name):
+    assert not hasattr(repro, name), f"repro.{name} should have been removed"
+    assert name not in repro.__all__
+
+
+def test_core_still_exposes_the_reference_runners():
+    from repro.core import run_kd_choice  # the undecorated implementation
+
+    result = run_kd_choice(n_bins=128, k=1, d=2, seed=9)
+    assert result.total_balls_check()
+
+
+def test_spec_api_is_the_front_door():
+    from repro.api import SchemeSpec, simulate
+
+    result = simulate(
+        SchemeSpec(scheme="kd_choice", params={"n_bins": 128, "k": 2, "d": 4}, seed=0)
+    )
+    assert result.total_balls_check()
+
+
+def test_version_is_a_string():
+    assert isinstance(repro.__version__, str) and repro.__version__

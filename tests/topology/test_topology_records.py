@@ -1,0 +1,208 @@
+"""The Topology record: validation, constructors, homes, JSON contract."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    DEFAULT_PROBE_COSTS,
+    DEFAULT_TRANSFER_COSTS,
+    TOPOLOGY_LAYOUTS,
+    Topology,
+    TopologyError,
+    as_topology,
+    load_topology,
+    save_topology,
+    topology_registry_dump,
+    zone_counter_extra,
+)
+
+
+class TestValidation:
+    def test_empty_tree_rejected(self):
+        with pytest.raises(TopologyError, match="at least one zone"):
+            Topology(name="bad", zones=())
+
+    def test_empty_zone_rejected(self):
+        with pytest.raises(TopologyError, match="no racks"):
+            Topology(name="bad", zones=((4,), ()))
+
+    def test_empty_rack_rejected(self):
+        with pytest.raises(TopologyError, match="at least one bin"):
+            Topology(name="bad", zones=((4, 0),))
+
+    def test_costs_must_cover_all_relations(self):
+        with pytest.raises(TopologyError, match="relations"):
+            Topology(
+                name="bad", zones=((4,),), probe_costs={"rack": 0.0, "zone": 1.0}
+            )
+
+    def test_costs_must_be_finite_and_non_negative(self):
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(TopologyError, match="finite non-negative"):
+                Topology(
+                    name="bad",
+                    zones=((4,),),
+                    probe_costs={"rack": 0.0, "zone": bad, "cross": 4.0},
+                )
+
+    def test_costs_must_be_monotone(self):
+        with pytest.raises(TopologyError, match="monotone"):
+            Topology(
+                name="bad",
+                zones=((4,),),
+                transfer_costs={"rack": 2.0, "zone": 1.0, "cross": 4.0},
+            )
+
+    def test_grid_needs_enough_bins(self):
+        with pytest.raises(TopologyError, match="n_bins"):
+            Topology.grid(3, zones=2, racks_per_zone=2)
+        with pytest.raises(TopologyError, match="at least one zone"):
+            Topology.grid(8, zones=0)
+
+
+class TestShape:
+    def test_flat_is_one_zone_one_rack_zero_cost(self):
+        topo = Topology.flat(64)
+        assert topo.is_flat
+        assert topo.zero_cost
+        assert topo.n_zones == 1 and topo.n_racks == 1 and topo.n_bins == 64
+        assert topo.bin_zone.tolist() == [0] * 64
+
+    def test_grid_partitions_all_bins_contiguously(self):
+        topo = Topology.grid(100, zones=3, racks_per_zone=2)
+        assert topo.n_bins == 100
+        assert topo.n_racks == 6
+        # linspace boundaries: bins split as evenly as integer rounding allows
+        assert topo.rack_starts.tolist() == [0, 16, 33, 50, 66, 83, 100]
+        assert int(topo.rack_sizes.sum()) == 100
+        # bin_zone is non-decreasing and covers every zone
+        assert (np.diff(topo.bin_zone) >= 0).all()
+        assert set(topo.bin_zone.tolist()) == {0, 1, 2}
+
+    def test_ragged_trees_are_allowed(self):
+        topo = Topology(name="ragged", zones=((3, 5), (8,)))
+        assert topo.n_bins == 16
+        assert topo.zone_sizes.tolist() == [8, 8]
+        assert topo.bin_rack.tolist() == [0] * 3 + [1] * 5 + [2] * 8
+
+    def test_home_assignment_round_robins_zones_then_racks(self):
+        topo = Topology.grid(32, zones=2, racks_per_zone=2)
+        # zones alternate with the ball index
+        assert [topo.home_zone(i) for i in range(4)] == [0, 1, 0, 1]
+        # within a zone, racks alternate every full zone cycle
+        assert [topo.home_rack(i) for i in range(8)] == [0, 2, 1, 3, 0, 2, 1, 3]
+        # vectorized homes agree with the scalar ones
+        indices = np.arange(200, dtype=np.int64)
+        assert topo.home_zones(indices).tolist() == [
+            topo.home_zone(i) for i in range(200)
+        ]
+        assert topo.home_racks(indices).tolist() == [
+            topo.home_rack(i) for i in range(200)
+        ]
+
+
+class TestJsonContract:
+    def test_round_trip_preserves_equality(self):
+        topo = Topology.grid(64, zones=2, racks_per_zone=2, name="rt")
+        clone = Topology.from_dict(json.loads(json.dumps(topo.to_dict())))
+        assert clone == topo
+
+    def test_wrong_format_and_version_rejected(self):
+        doc = Topology.flat(8).to_dict()
+        with pytest.raises(TopologyError, match="format"):
+            Topology.from_dict({**doc, "format": "something-else"})
+        with pytest.raises(TopologyError, match="version"):
+            Topology.from_dict({**doc, "version": 99})
+        with pytest.raises(TopologyError, match="zones"):
+            Topology.from_dict({k: v for k, v in doc.items() if k != "zones"})
+
+    def test_save_load_round_trip(self, tmp_path):
+        topo = Topology.grid(48, zones=2, racks_per_zone=3)
+        path = tmp_path / "topo.json"
+        save_topology(path, topo)
+        assert load_topology(path) == topo
+        # canonical JSON: re-saving is byte-identical
+        first = path.read_bytes()
+        save_topology(path, load_topology(path))
+        assert path.read_bytes() == first
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(TopologyError, match="invalid JSON"):
+            load_topology(path)
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(TopologyError, match="not a topology document"):
+            load_topology(path)
+
+
+class TestLayoutsAndResolution:
+    def test_registry_names(self):
+        assert sorted(TOPOLOGY_LAYOUTS) == [
+            "dual_zone", "flat", "quad_rack", "wide",
+        ]
+
+    def test_layouts_bind_any_bin_count(self):
+        for layout in TOPOLOGY_LAYOUTS.values():
+            topo = layout.bind(64)
+            assert topo.n_bins == 64
+            assert topo.n_zones == layout.zones
+            assert topo.n_racks == layout.zones * layout.racks_per_zone
+
+    def test_as_topology_accepts_all_spellings(self):
+        flat = as_topology(None, 32)
+        assert flat.is_flat and flat.n_bins == 32
+        named = as_topology("dual_zone", 32)
+        assert named.n_zones == 2
+        doc = as_topology(named.to_dict(), 32)
+        assert doc == named
+        assert as_topology(named, 32) is named
+
+    def test_as_topology_rejects_mismatch_and_unknowns(self):
+        with pytest.raises(TopologyError, match="unknown topology layout"):
+            as_topology("nonexistent", 32)
+        with pytest.raises(TopologyError, match="n_bins=16"):
+            as_topology(Topology.flat(32), 16)
+        with pytest.raises(TopologyError, match="must be None"):
+            as_topology(42, 32)
+
+    def test_registry_dump_is_deterministic_json(self):
+        dump = topology_registry_dump()
+        assert dump["format"] == "repro-topology-registry"
+        assert dump["count"] == len(TOPOLOGY_LAYOUTS)
+        assert json.dumps(dump, sort_keys=True) == json.dumps(
+            topology_registry_dump(), sort_keys=True
+        )
+
+
+class TestZoneCounterExtra:
+    def test_fractions_and_costs(self):
+        topo = Topology.grid(
+            16, zones=2,
+            probe_costs=DEFAULT_PROBE_COSTS,
+            transfer_costs=DEFAULT_TRANSFER_COSTS,
+        )
+        counters = {
+            "rack_probes": 6, "zone_probes": 0, "cross_probes": 2,
+            "rack_places": 3, "zone_places": 0, "cross_places": 1,
+        }
+        extra = zone_counter_extra(topo, counters)
+        assert extra["cross_probe_fraction"] == pytest.approx(0.25)
+        assert extra["cross_place_fraction"] == pytest.approx(0.25)
+        # dual-zone grid has one rack per zone: cross probes cost 4 each
+        assert extra["probe_cost"] == pytest.approx(2 * 4.0)
+        assert extra["transfer_cost"] == pytest.approx(1 * 8.0)
+        assert extra["topology"] == topo.name
+
+    def test_zero_totals_do_not_divide(self):
+        topo = Topology.flat(8)
+        extra = zone_counter_extra(topo, {
+            f"{r}_{kind}": 0
+            for r in ("rack", "zone", "cross") for kind in ("probes", "places")
+        })
+        assert extra["cross_probe_fraction"] == 0.0
+        assert extra["cross_place_fraction"] == 0.0
